@@ -1,0 +1,187 @@
+//! Radix-2 Cooley–Tukey FFT, from scratch.
+//!
+//! The survey processing "consists of data unpacking, dedispersion, Fourier
+//! analysis, harmonic summing, threshold tests ..."; this module provides
+//! the Fourier analysis. Iterative, in-place, power-of-two lengths.
+
+/// A complex number for the transform. Deliberately minimal.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex { re: self.re + other.re, im: self.im + other.im }
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex { re: self.re - other.re, im: self.im - other.im }
+    }
+}
+
+/// In-place FFT. `data.len()` must be a power of two. `inverse` applies the
+/// conjugate transform *without* the 1/N normalisation (callers that need a
+/// round trip divide by N).
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half].mul(w);
+                chunk[i] = u.add(v);
+                chunk[i + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real series, returning the one-sided power spectrum
+/// (bins 1 .. n/2; bin 0 — the DC term — is excluded, matching pulsar
+/// search practice where the mean is uninformative).
+pub fn real_power_spectrum(series: &[f32]) -> Vec<f64> {
+    let n = series.len().next_power_of_two();
+    let mut buf: Vec<Complex> = series
+        .iter()
+        .map(|&x| Complex::new(x as f64, 0.0))
+        .chain(std::iter::repeat(Complex::default()))
+        .take(n)
+        .collect();
+    fft_in_place(&mut buf, false);
+    (1..n / 2).map(|i| buf[i].norm_sqr()).collect()
+}
+
+/// Frequency in Hz of one-sided power-spectrum bin `i` (1-based relative to
+/// DC) for a series of `n_padded` samples at `dt` seconds per sample.
+pub fn bin_freq_hz(bin_index: usize, n_padded: usize, dt: f64) -> f64 {
+    (bin_index + 1) as f64 / (n_padded as f64 * dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(data: &[Complex]) -> Vec<Complex> {
+        let n = data.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (j, &x) in data.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc = acc.add(x.mul(Complex::new(ang.cos(), ang.sin())));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let data: Vec<Complex> = (0..64)
+            .map(|i| Complex::new(((i * 7) % 13) as f64 - 6.0, ((i * 3) % 5) as f64))
+            .collect();
+        let want = naive_dft(&data);
+        let mut got = data.clone();
+        fft_in_place(&mut got, false);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let data: Vec<Complex> = (0..128).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let mut buf = data.clone();
+        fft_in_place(&mut buf, false);
+        fft_in_place(&mut buf, true);
+        for (a, b) in buf.iter().zip(&data) {
+            assert!((a.re / 128.0 - b.re).abs() < 1e-9);
+            assert!((a.im / 128.0 - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        let series: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let mut buf: Vec<Complex> =
+            series.iter().map(|&x| Complex::new(x as f64, 0.0)).collect();
+        fft_in_place(&mut buf, false);
+        let time_energy: f64 = series.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        let freq_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sine_concentrates_in_one_bin() {
+        let n = 1024;
+        let dt = 1e-3;
+        let f = 50.0; // exactly bin 51.2? choose bin-aligned: 50 cycles over n*dt
+        let cycles = 50.0;
+        let f_signal = cycles / (n as f64 * dt);
+        let _ = f;
+        let series: Vec<f32> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f_signal * i as f64 * dt).sin() as f32)
+            .collect();
+        let power = real_power_spectrum(&series);
+        let (imax, _) = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        let freq = bin_freq_hz(imax, n, dt);
+        assert!((freq - f_signal).abs() < 0.5, "peak at {freq}, wanted {f_signal}");
+    }
+
+    #[test]
+    fn power_spectrum_pads_to_power_of_two() {
+        let series = vec![1.0f32; 300];
+        let power = real_power_spectrum(&series);
+        assert_eq!(power.len(), 512 / 2 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex::default(); 12];
+        fft_in_place(&mut data, false);
+    }
+}

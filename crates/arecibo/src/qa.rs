@@ -1,0 +1,198 @@
+//! Local data-quality monitoring at the observatory.
+//!
+//! "To ensure data quality against spectrometer functionality, proper
+//! signal levels, and interference that contaminates signals to
+//! highly-varying degree, data are analyzed locally at the Arecibo
+//! Observatory." This is that first-look pass (Figure 1, step 2): cheap
+//! whole-session statistics deciding whether a session's disks are worth
+//! shipping, with the specific failure modes called out.
+
+use crate::rfi::channel_mask;
+use crate::spectra::DynamicSpectrum;
+
+/// Quality thresholds for a session.
+#[derive(Debug, Clone, Copy)]
+pub struct QaConfig {
+    /// Maximum |mean| of the (nominally zero-mean) band.
+    pub max_mean_offset: f64,
+    /// Acceptable band variance window (spectrometer gain sanity).
+    pub min_variance: f64,
+    pub max_variance: f64,
+    /// Maximum fraction of channels flagged as interference.
+    pub max_rfi_fraction: f64,
+    /// Maximum fraction of dead (zero-variance) channels.
+    pub max_dead_fraction: f64,
+    /// Channel-mask threshold passed to the RFI detector.
+    pub rfi_sigma: f64,
+}
+
+impl Default for QaConfig {
+    fn default() -> Self {
+        QaConfig {
+            max_mean_offset: 0.1,
+            min_variance: 0.5,
+            max_variance: 2.0,
+            max_rfi_fraction: 0.25,
+            max_dead_fraction: 0.1,
+            rfi_sigma: 6.0,
+        }
+    }
+}
+
+/// The specific problems QA can flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QaIssue {
+    /// Mean far from zero: baseline/levelling fault.
+    SignalLevelOffset,
+    /// Band variance outside the window: gain fault.
+    GainOutOfRange,
+    /// Too many contaminated channels.
+    ExcessiveInterference,
+    /// Dead channels: spectrometer hardware fault.
+    DeadChannels,
+}
+
+/// The quality report for one beam's spectrum.
+#[derive(Debug, Clone)]
+pub struct QaReport {
+    pub mean: f64,
+    pub variance: f64,
+    pub rfi_fraction: f64,
+    pub dead_fraction: f64,
+    pub issues: Vec<QaIssue>,
+}
+
+impl QaReport {
+    /// Ship the disks only when nothing is flagged.
+    pub fn passes(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Run quality monitoring on one spectrum.
+pub fn quality_check(spec: &DynamicSpectrum, cfg: &QaConfig) -> QaReport {
+    let means = spec.channel_means();
+    let vars = spec.channel_variances();
+    let n = means.len() as f64;
+    let mean = means.iter().sum::<f64>() / n;
+    let variance = vars.iter().sum::<f64>() / n;
+    let dead = vars.iter().filter(|&&v| v < 1e-9).count();
+    let dead_fraction = dead as f64 / n;
+    let flagged = channel_mask(spec, cfg.rfi_sigma)
+        .iter()
+        .filter(|&&b| b)
+        .count();
+    let rfi_fraction = flagged as f64 / n;
+
+    let mut issues = Vec::new();
+    if mean.abs() > cfg.max_mean_offset {
+        issues.push(QaIssue::SignalLevelOffset);
+    }
+    // Exclude dead channels from the gain check: they are reported
+    // separately (a dead spectrometer board shouldn't also read as "low
+    // gain").
+    let live_variance = if dead_fraction < 1.0 {
+        vars.iter().filter(|&&v| v >= 1e-9).sum::<f64>() / (n - dead as f64).max(1.0)
+    } else {
+        0.0
+    };
+    if live_variance < cfg.min_variance || live_variance > cfg.max_variance {
+        issues.push(QaIssue::GainOutOfRange);
+    }
+    if rfi_fraction > cfg.max_rfi_fraction {
+        issues.push(QaIssue::ExcessiveInterference);
+    }
+    if dead_fraction > cfg.max_dead_fraction {
+        issues.push(QaIssue::DeadChannels);
+    }
+    QaReport { mean, variance, rfi_fraction, dead_fraction, issues }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectra::ObsConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn noise(seed: u64) -> DynamicSpectrum {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DynamicSpectrum::noise(ObsConfig::test_scale(), &mut rng)
+    }
+
+    #[test]
+    fn healthy_session_passes() {
+        let report = quality_check(&noise(1), &QaConfig::default());
+        assert!(report.passes(), "issues: {:?}", report.issues);
+        assert!(report.mean.abs() < 0.05);
+        assert!((report.variance - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn level_offset_is_flagged() {
+        let cfg = ObsConfig::test_scale();
+        let mut spec = noise(2);
+        for ch in 0..cfg.n_channels {
+            for s in 0..cfg.n_samples {
+                spec.set(ch, s, spec.at(ch, s) + 0.5);
+            }
+        }
+        let report = quality_check(&spec, &QaConfig::default());
+        assert!(report.issues.contains(&QaIssue::SignalLevelOffset));
+    }
+
+    #[test]
+    fn gain_faults_are_flagged_both_ways() {
+        let cfg = ObsConfig::test_scale();
+        for scale in [0.3f32, 3.0] {
+            let mut spec = noise(3);
+            for ch in 0..cfg.n_channels {
+                for s in 0..cfg.n_samples {
+                    spec.set(ch, s, spec.at(ch, s) * scale);
+                }
+            }
+            let report = quality_check(&spec, &QaConfig::default());
+            assert!(
+                report.issues.contains(&QaIssue::GainOutOfRange),
+                "scale {scale}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_interference_is_flagged() {
+        let cfg = ObsConfig::test_scale();
+        let mut spec = noise(4);
+        // Contaminate a third of the band.
+        for ch in (0..cfg.n_channels).step_by(3) {
+            spec.inject_narrowband_rfi(ch, 8.0);
+        }
+        let report = quality_check(&spec, &QaConfig::default());
+        assert!(
+            report.issues.contains(&QaIssue::ExcessiveInterference),
+            "rfi fraction {}",
+            report.rfi_fraction
+        );
+    }
+
+    #[test]
+    fn dead_channels_are_flagged() {
+        let cfg = ObsConfig::test_scale();
+        let mut spec = noise(5);
+        for ch in 0..cfg.n_channels / 4 {
+            spec.zap_channel(ch);
+        }
+        let report = quality_check(&spec, &QaConfig::default());
+        assert!(report.issues.contains(&QaIssue::DeadChannels));
+        assert!(report.dead_fraction >= 0.2);
+    }
+
+    #[test]
+    fn mild_interference_does_not_block_shipping() {
+        let mut spec = noise(6);
+        spec.inject_narrowband_rfi(10, 6.0); // one bad channel of 64
+        let report = quality_check(&spec, &QaConfig::default());
+        assert!(report.passes(), "one hot channel should pass QA: {:?}", report.issues);
+        assert!(report.rfi_fraction > 0.0);
+    }
+}

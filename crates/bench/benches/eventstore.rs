@@ -1,0 +1,68 @@
+//! E6/E7 kernels: merge throughput and snapshot resolution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sciflow_core::md5::md5;
+use sciflow_core::version::CalDate;
+use sciflow_eventstore::{merge_into, EventStore, FileRecord, GradeEntry, RunRange, StoreTier};
+
+fn d(s: &str) -> CalDate {
+    CalDate::parse_compact(s).unwrap()
+}
+
+fn personal(n: usize, base: u64) -> EventStore {
+    let mut es = EventStore::new(StoreTier::Personal);
+    for i in 0..n {
+        let id = base + i as u64;
+        es.register_file(&FileRecord {
+            id,
+            runs: RunRange::single(100 + i as u32),
+            kind: "mc".into(),
+            version: "MC Jun05".into(),
+            site: "farm".into(),
+            registered: d("20050601"),
+            location: format!("/mc/{id}"),
+            prov_digest: md5(format!("f{id}").as_bytes()),
+        })
+        .unwrap();
+    }
+    es
+}
+
+fn bench_eventstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eventstore");
+    group.bench_function("merge_500_files", |b| {
+        let src = personal(500, 0);
+        b.iter(|| {
+            let mut collab = EventStore::new(StoreTier::Collaboration);
+            merge_into(&mut collab, black_box(&src)).unwrap();
+            collab.file_count()
+        })
+    });
+    group.bench_function("serialize_roundtrip_500", |b| {
+        let src = personal(500, 0);
+        b.iter(|| {
+            let bytes = src.to_bytes();
+            EventStore::from_bytes(black_box(&bytes)).unwrap().file_count()
+        })
+    });
+    group.bench_function("resolve_with_history", |b| {
+        let mut es = EventStore::new(StoreTier::Collaboration);
+        for month in 1..=12u8 {
+            es.declare_snapshot(
+                "physics",
+                CalDate::new(2004, month, 1).unwrap(),
+                vec![GradeEntry {
+                    runs: RunRange::new(1, 1000).unwrap(),
+                    kind: "recon".into(),
+                    version: format!("Recon 2004_{month:02}"),
+                }],
+            )
+            .unwrap();
+        }
+        b.iter(|| es.resolve("physics", black_box(d("20040615"))).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eventstore);
+criterion_main!(benches);

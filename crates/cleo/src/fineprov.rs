@@ -1,0 +1,255 @@
+//! Fine-grained (ASU-level) provenance — the paper's deferred design,
+//! implemented.
+//!
+//! CLEO settled for file-header provenance because "the effort to retrofit
+//! this functionality would require major changes to the core of our
+//! analysis software" and "the metadata volume to track at the ASU level
+//! will be large, and it will be inappropriate to store it in the headers of
+//! the data files. It will have to be stored in a metadata DB and references
+//! to it placed in the data file." The CMS design the authors moved on to
+//! "is designed to use fine-grained provenance for data selection".
+//!
+//! This module builds that system: per-ASU provenance records deduplicated
+//! into a metadata DB, references (record ids) attached to each ASU, exact
+//! input tracking per output ASU — and a measurement of the metadata volume
+//! so the paper's cost argument can be checked quantitatively
+//! (experiment extension EX1).
+
+use std::collections::HashMap;
+
+use sciflow_core::md5::Digest;
+use sciflow_core::provenance::ProvenanceRecord;
+use sciflow_metastore::prelude::*;
+
+use crate::asu::AsuKind;
+
+/// A reference from an ASU to its provenance record in the DB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProvRef(pub i64);
+
+/// The ASU-level provenance store: deduplicated records in a metadata
+/// database plus per-ASU references.
+#[derive(Debug)]
+pub struct FineProvenanceStore {
+    db: Database,
+    /// digest → record id (records are content-addressed and deduplicated:
+    /// "it always processes a run as a unit, all events in a run have
+    /// identical provenance" — so dedup is the common case for recon, and
+    /// the interesting costs appear at analysis granularity).
+    by_digest: HashMap<Digest, i64>,
+    next_record: i64,
+    /// (event, kind) → (provenance ref, exact input refs).
+    asu_refs: HashMap<(u64, AsuKind), (ProvRef, Vec<ProvRef>)>,
+}
+
+impl Default for FineProvenanceStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FineProvenanceStore {
+    pub fn new() -> Self {
+        let mut db = Database::new();
+        let records = Schema::new(vec![
+            ColumnDef::new("id", ValueType::Int),
+            ColumnDef::new("digest", ValueType::Text),
+            ColumnDef::new("strings", ValueType::Text),
+        ])
+        .expect("valid schema")
+        .with_primary_key("id")
+        .expect("id exists");
+        db.create_table("prov_records", records).expect("fresh db");
+        let refs = Schema::new(vec![
+            ColumnDef::new("ref_id", ValueType::Int),
+            ColumnDef::new("event", ValueType::Int),
+            ColumnDef::new("kind", ValueType::Text),
+            ColumnDef::new("record", ValueType::Int),
+            ColumnDef::new("n_inputs", ValueType::Int),
+        ])
+        .expect("valid schema")
+        .with_primary_key("ref_id")
+        .expect("ref_id exists");
+        let t = db.create_table("asu_refs", refs).expect("fresh db");
+        t.create_index("event").expect("event exists");
+        FineProvenanceStore {
+            db,
+            by_digest: HashMap::new(),
+            next_record: 0,
+            asu_refs: HashMap::new(),
+        }
+    }
+
+    /// Intern a provenance record, returning its stable reference.
+    pub fn intern(&mut self, record: &ProvenanceRecord) -> ProvRef {
+        let digest = record.digest();
+        if let Some(&id) = self.by_digest.get(&digest) {
+            return ProvRef(id);
+        }
+        let id = self.next_record;
+        self.next_record += 1;
+        self.db
+            .table_mut("prov_records")
+            .expect("created in new")
+            .insert(vec![
+                Value::Int(id),
+                Value::Text(digest.to_hex()),
+                Value::Text(record.canonical_strings().join("\n")),
+            ])
+            .expect("fresh id");
+        self.by_digest.insert(digest, id);
+        ProvRef(id)
+    }
+
+    /// Record that output ASU (event, kind) was produced under `prov` from
+    /// exactly `inputs` (references to the provenance of the consumed
+    /// ASUs) — the "track exact inputs" semantics the header scheme cannot
+    /// express.
+    pub fn attach(
+        &mut self,
+        event: u64,
+        kind: AsuKind,
+        prov: ProvRef,
+        inputs: Vec<ProvRef>,
+    ) -> MetaResult<()> {
+        let ref_id = self.asu_refs.len() as i64;
+        self.db.table_mut("asu_refs")?.insert(vec![
+            Value::Int(ref_id),
+            Value::Int(event as i64),
+            Value::Text(kind.name().to_string()),
+            Value::Int(prov.0),
+            Value::Int(inputs.len() as i64),
+        ])?;
+        self.asu_refs.insert((event, kind), (prov, inputs));
+        Ok(())
+    }
+
+    /// The provenance reference of one ASU.
+    pub fn provenance_of(&self, event: u64, kind: AsuKind) -> Option<ProvRef> {
+        self.asu_refs.get(&(event, kind)).map(|(p, _)| *p)
+    }
+
+    /// Exactly which input ASU provenances fed (event, kind) — not "might
+    /// have been used" but *were* used.
+    pub fn inputs_of(&self, event: u64, kind: AsuKind) -> Option<&[ProvRef]> {
+        self.asu_refs.get(&(event, kind)).map(|(_, i)| i.as_slice())
+    }
+
+    /// Fine-grained data *selection*: every event whose `kind` ASU was
+    /// produced under `prov` — the query CMS wants provenance for.
+    pub fn events_with(&self, kind: AsuKind, prov: ProvRef) -> Vec<u64> {
+        let mut events: Vec<u64> = self
+            .asu_refs
+            .iter()
+            .filter(|((_, k), (p, _))| *k == kind && *p == prov)
+            .map(|((e, _), _)| *e)
+            .collect();
+        events.sort_unstable();
+        events
+    }
+
+    pub fn record_count(&self) -> usize {
+        self.next_record as usize
+    }
+
+    pub fn ref_count(&self) -> usize {
+        self.asu_refs.len()
+    }
+
+    /// The metadata volume of the fine-grained scheme: the serialized DB.
+    pub fn metadata_bytes(&self) -> u64 {
+        sciflow_metastore::persist::to_bytes(&self.db).len() as u64
+    }
+}
+
+/// The header-level baseline's metadata volume for comparison: one digest
+/// (16 bytes) plus the version strings per *file*, not per ASU.
+pub fn header_scheme_bytes(n_files: usize, strings_bytes: usize) -> u64 {
+    (n_files * (16 + strings_bytes)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciflow_core::provenance::ProvenanceStep;
+    use sciflow_core::version::{CalDate, VersionId};
+
+    fn prov(module: &str, param: &str) -> ProvenanceRecord {
+        let mut r = ProvenanceRecord::new();
+        r.push(
+            ProvenanceStep::new(
+                module,
+                VersionId::new("Recon", "R1", CalDate::new(2004, 3, 12).unwrap(), "Cornell"),
+            )
+            .with_param("p", param),
+        );
+        r
+    }
+
+    #[test]
+    fn interning_deduplicates_identical_records() {
+        let mut store = FineProvenanceStore::new();
+        let a = store.intern(&prov("Recon", "x"));
+        let b = store.intern(&prov("Recon", "x"));
+        let c = store.intern(&prov("Recon", "y"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(store.record_count(), 2);
+    }
+
+    #[test]
+    fn exact_inputs_are_tracked_per_asu() {
+        let mut store = FineProvenanceStore::new();
+        let raw = store.intern(&prov("Acquire", "run1"));
+        let calib = store.intern(&prov("Calib", "feb"));
+        let recon = store.intern(&prov("Recon", "r1"));
+        store.attach(7, AsuKind::HitBank, raw, vec![]).unwrap();
+        store
+            .attach(7, AsuKind::TrackList, recon, vec![raw, calib])
+            .unwrap();
+        // TrackList used the calibration; HitBank did not. The header
+        // scheme could only say calibration "might have been used".
+        assert_eq!(store.inputs_of(7, AsuKind::TrackList).unwrap(), &[raw, calib]);
+        assert_eq!(store.inputs_of(7, AsuKind::HitBank).unwrap(), &[] as &[ProvRef]);
+        assert_eq!(store.provenance_of(7, AsuKind::TrackList), Some(recon));
+        assert!(store.provenance_of(7, AsuKind::BeamSpot).is_none());
+    }
+
+    #[test]
+    fn provenance_based_selection() {
+        let mut store = FineProvenanceStore::new();
+        let r1 = store.intern(&prov("Recon", "jan"));
+        let r2 = store.intern(&prov("Recon", "jun"));
+        for ev in 0..10u64 {
+            let p = if ev < 6 { r1 } else { r2 };
+            store.attach(ev, AsuKind::TrackList, p, vec![]).unwrap();
+        }
+        assert_eq!(store.events_with(AsuKind::TrackList, r1), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(store.events_with(AsuKind::TrackList, r2).len(), 4);
+        assert!(store.events_with(AsuKind::HitBank, r1).is_empty());
+    }
+
+    #[test]
+    fn metadata_volume_dwarfs_the_header_scheme() {
+        // The paper's cost argument: per-ASU tracking is far heavier than
+        // per-file headers. One run, 500 events, a dozen ASUs each, all
+        // under uniform provenance (the *cheapest* fine-grained case), vs
+        // a handful of file headers.
+        let mut store = FineProvenanceStore::new();
+        let p = store.intern(&prov("Recon", "r1"));
+        for ev in 0..500u64 {
+            for kind in AsuKind::post_recon() {
+                store.attach(ev, kind, p, vec![]).unwrap();
+            }
+        }
+        let fine = store.metadata_bytes();
+        let header = header_scheme_bytes(4, 300); // 4 files/run, ~300 B of strings
+        assert!(
+            fine > 20 * header,
+            "fine-grained {fine} B should dwarf header scheme {header} B"
+        );
+        assert_eq!(store.ref_count(), 500 * 12);
+        // Dedup kept the record table tiny even so.
+        assert_eq!(store.record_count(), 1);
+    }
+}

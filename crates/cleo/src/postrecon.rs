@@ -1,0 +1,160 @@
+//! Post-reconstruction values.
+//!
+//! "In addition to the reconstructed data files, post-reconstruction values
+//! are also produced and stored. These values depend on statistics gathered
+//! from the reconstructed data, and so cannot be calculated until after
+//! reconstruction." The API enforces that ordering: [`compute_post_recon`]
+//! takes the *complete* set of reconstructed events of a run and derives
+//! run-level calibrations plus per-event values that depend on them.
+
+use crate::reconstruction::ReconstructedEvent;
+
+/// Run-level statistics derived from all reconstructed events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunCalibration {
+    /// Mean reconstructed track pt over the run (momentum-scale anchor).
+    pub mean_pt_gev: f64,
+    /// Mean fit residual (tracking quality).
+    pub mean_residual: f64,
+    /// Mean track multiplicity.
+    pub mean_multiplicity: f64,
+    pub events: usize,
+}
+
+/// Per-event post-reconstruction values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PostReconValues {
+    pub event_id: u64,
+    /// Event momentum scale relative to the run mean.
+    pub momentum_scale: f64,
+    /// Event quality relative to the run's residual distribution.
+    pub quality: f64,
+    /// Multiplicity z-score within the run.
+    pub shape_z: f64,
+}
+
+/// The post-reconstruction product for one run.
+#[derive(Debug, Clone)]
+pub struct PostReconRun {
+    pub calibration: RunCalibration,
+    pub per_event: Vec<PostReconValues>,
+}
+
+/// Compute post-reconstruction values. Panics if called with no events —
+/// the pipeline must reconstruct first (which is the point).
+pub fn compute_post_recon(events: &[ReconstructedEvent]) -> PostReconRun {
+    assert!(
+        !events.is_empty(),
+        "post-reconstruction requires the run's reconstructed events"
+    );
+    let n = events.len() as f64;
+    let all_tracks: Vec<&crate::reconstruction::RecTrack> =
+        events.iter().flat_map(|e| e.tracks.iter()).collect();
+    let n_tracks = all_tracks.len().max(1) as f64;
+    let mean_pt = all_tracks.iter().map(|t| t.pt_gev).sum::<f64>() / n_tracks;
+    let mean_residual = all_tracks.iter().map(|t| t.residual).sum::<f64>() / n_tracks;
+    let mean_mult = events.iter().map(|e| e.tracks.len() as f64).sum::<f64>() / n;
+    let mult_var = events
+        .iter()
+        .map(|e| {
+            let d = e.tracks.len() as f64 - mean_mult;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let mult_sigma = mult_var.sqrt().max(1e-9);
+
+    let calibration = RunCalibration {
+        mean_pt_gev: mean_pt,
+        mean_residual,
+        mean_multiplicity: mean_mult,
+        events: events.len(),
+    };
+    let per_event = events
+        .iter()
+        .map(|e| {
+            let ev_pt = if e.tracks.is_empty() {
+                mean_pt
+            } else {
+                e.tracks.iter().map(|t| t.pt_gev).sum::<f64>() / e.tracks.len() as f64
+            };
+            let ev_res = if e.tracks.is_empty() {
+                mean_residual
+            } else {
+                e.tracks.iter().map(|t| t.residual).sum::<f64>() / e.tracks.len() as f64
+            };
+            PostReconValues {
+                event_id: e.event_id,
+                momentum_scale: if mean_pt > 0.0 { ev_pt / mean_pt } else { 1.0 },
+                quality: if mean_residual > 0.0 { mean_residual / ev_res.max(1e-12) } else { 1.0 },
+                shape_z: (e.tracks.len() as f64 - mean_mult) / mult_sigma,
+            }
+        })
+        .collect();
+    PostReconRun { calibration, per_event }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reconstruction::RecTrack;
+
+    fn rec(event_id: u64, pts: &[f64]) -> ReconstructedEvent {
+        ReconstructedEvent {
+            event_id,
+            tracks: pts
+                .iter()
+                .map(|&pt| RecTrack {
+                    phi0: 0.0,
+                    slope: 0.01,
+                    pt_gev: pt,
+                    charge: 1,
+                    n_hits: 16,
+                    residual: 0.004,
+                })
+                .collect(),
+            unassigned_hits: 0,
+        }
+    }
+
+    #[test]
+    fn calibration_aggregates_whole_run() {
+        let events = vec![rec(1, &[1.0, 2.0]), rec(2, &[3.0])];
+        let post = compute_post_recon(&events);
+        assert!((post.calibration.mean_pt_gev - 2.0).abs() < 1e-12);
+        assert_eq!(post.calibration.events, 2);
+        assert!((post.calibration.mean_multiplicity - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn momentum_scale_is_relative_to_run_mean() {
+        let events = vec![rec(1, &[1.0]), rec(2, &[3.0])];
+        let post = compute_post_recon(&events);
+        assert!((post.per_event[0].momentum_scale - 0.5).abs() < 1e-12);
+        assert!((post.per_event[1].momentum_scale - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depends_on_full_run_statistics() {
+        // Adding an event changes *other* events' post-recon values: the
+        // reason these "cannot be calculated until after reconstruction".
+        let partial = compute_post_recon(&[rec(1, &[1.0]), rec(2, &[3.0])]);
+        let full = compute_post_recon(&[rec(1, &[1.0]), rec(2, &[3.0]), rec(3, &[8.0])]);
+        assert_ne!(
+            partial.per_event[0].momentum_scale,
+            full.per_event[0].momentum_scale
+        );
+    }
+
+    #[test]
+    fn trackless_events_get_neutral_values() {
+        let post = compute_post_recon(&[rec(1, &[2.0]), rec(2, &[])]);
+        assert!((post.per_event[1].momentum_scale - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the run's reconstructed events")]
+    fn empty_run_is_a_contract_violation() {
+        compute_post_recon(&[]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for the core workflow and simulation layer.
+
+use std::fmt;
+
+use crate::graph::StageId;
+
+/// Errors produced by workflow-graph construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The workflow graph contains a cycle involving the named stage.
+    CycleDetected { stage: String },
+    /// An edge references a stage id that does not exist.
+    UnknownStage { id: StageId },
+    /// A stage name was used twice; names must be unique within a graph.
+    DuplicateStage { name: String },
+    /// A source stage was given a downstream edge configuration that is
+    /// invalid (for example, a source with incoming edges).
+    InvalidTopology { detail: String },
+    /// The simulator was asked to run with an invalid configuration.
+    InvalidConfig { detail: String },
+    /// A resource pool referenced by a stage does not exist.
+    UnknownPool { name: String },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::CycleDetected { stage } => {
+                write!(f, "workflow graph contains a cycle through stage `{stage}`")
+            }
+            CoreError::UnknownStage { id } => write!(f, "unknown stage id {id:?}"),
+            CoreError::DuplicateStage { name } => {
+                write!(f, "stage name `{name}` is used more than once")
+            }
+            CoreError::InvalidTopology { detail } => write!(f, "invalid topology: {detail}"),
+            CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            CoreError::UnknownPool { name } => write!(f, "unknown resource pool `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used across the core crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::DuplicateStage { name: "dedisperse".into() };
+        assert!(e.to_string().contains("dedisperse"));
+        let e = CoreError::UnknownPool { name: "ctc".into() };
+        assert!(e.to_string().contains("ctc"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Workflow graphs: typed DAGs of data-flow stages.
+//!
+//! Figures 1 and 2 of the paper are exactly such graphs — acquisition,
+//! transport, processing, archiving and dissemination stages joined by data
+//! flows. [`FlowGraph`] is the declarative description; the discrete-event
+//! simulator in [`crate::sim`] executes it.
+
+use std::collections::VecDeque;
+
+use crate::error::{CoreError, CoreResult};
+use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
+
+/// Index of a stage within its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StageId(pub(crate) usize);
+
+impl StageId {
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a stage does with the blocks that reach it.
+#[derive(Debug, Clone)]
+pub enum StageKind {
+    /// Emits `blocks` blocks of `block` bytes, one every `interval`,
+    /// beginning at `start`. Models data acquisition (observing sessions,
+    /// runs, crawl deliveries).
+    Source {
+        block: DataVolume,
+        interval: SimDuration,
+        blocks: u64,
+        start: SimTime,
+    },
+    /// Consumes a block using `cpus_per_task` processors from the named pool
+    /// at `rate_per_cpu` each, then emits `output_ratio` × input volume.
+    ///
+    /// `chunk` splits arriving blocks into independently schedulable tasks
+    /// of at most that size — the data parallelism of stages like
+    /// dedispersion, where each telescope pointing of a 14 TB weekly block
+    /// is processed independently. `None` processes each arriving block as
+    /// one task.
+    ///
+    /// `workspace_ratio` is extra scratch space held while the task runs (the
+    /// Arecibo dedispersion step is "iterative, requiring operations on both
+    /// the dedispersed time series and the raw data").
+    ///
+    /// `retain_input` keeps the input allocated after completion (archival
+    /// retention rather than scratch).
+    Process {
+        rate_per_cpu: DataRate,
+        cpus_per_task: u32,
+        chunk: Option<DataVolume>,
+        output_ratio: f64,
+        pool: String,
+        workspace_ratio: f64,
+        retain_input: bool,
+    },
+    /// A serial channel (network link or physical shipment lane): one block
+    /// at a time, `latency + volume / rate` per block.
+    Transfer { rate: DataRate, latency: SimDuration },
+    /// Terminal stage that accumulates everything it receives (tape archive,
+    /// database load, dissemination store).
+    Archive,
+}
+
+/// A named stage plus its behaviour.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    pub name: String,
+    pub kind: StageKind,
+}
+
+/// A directed acyclic graph of stages. Build with [`FlowGraph::add_stage`] /
+/// [`FlowGraph::connect`], check with [`FlowGraph::validate`].
+#[derive(Debug, Clone, Default)]
+pub struct FlowGraph {
+    stages: Vec<Stage>,
+    /// Downstream adjacency: `succ[i]` lists stages fed by stage `i`.
+    succ: Vec<Vec<StageId>>,
+    /// Upstream adjacency, kept in sync with `succ`.
+    pred: Vec<Vec<StageId>>,
+}
+
+impl FlowGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_stage(&mut self, name: impl Into<String>, kind: StageKind) -> StageId {
+        let id = StageId(self.stages.len());
+        self.stages.push(Stage { name: name.into(), kind });
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Route the output of `from` into `to`.
+    pub fn connect(&mut self, from: StageId, to: StageId) -> CoreResult<()> {
+        for id in [from, to] {
+            if id.0 >= self.stages.len() {
+                return Err(CoreError::UnknownStage { id });
+            }
+        }
+        self.succ[from.0].push(to);
+        self.pred[to.0].push(from);
+        Ok(())
+    }
+
+    pub fn stage(&self, id: StageId) -> &Stage {
+        &self.stages[id.0]
+    }
+
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    pub fn stage_ids(&self) -> impl Iterator<Item = StageId> {
+        (0..self.stages.len()).map(StageId)
+    }
+
+    pub fn downstream(&self, id: StageId) -> &[StageId] {
+        &self.succ[id.0]
+    }
+
+    pub fn upstream(&self, id: StageId) -> &[StageId] {
+        &self.pred[id.0]
+    }
+
+    pub fn find(&self, name: &str) -> Option<StageId> {
+        self.stages.iter().position(|s| s.name == name).map(StageId)
+    }
+
+    /// Validate the graph: unique names, sources have no inputs, non-source
+    /// stages have at least one input, and the graph is acyclic.
+    pub fn validate(&self) -> CoreResult<()> {
+        for (i, a) in self.stages.iter().enumerate() {
+            for b in &self.stages[..i] {
+                if a.name == b.name {
+                    return Err(CoreError::DuplicateStage { name: a.name.clone() });
+                }
+            }
+        }
+        for id in self.stage_ids() {
+            let stage = self.stage(id);
+            let inputs = self.upstream(id).len();
+            match stage.kind {
+                StageKind::Source { .. } if inputs > 0 => {
+                    return Err(CoreError::InvalidTopology {
+                        detail: format!("source `{}` has {} incoming edge(s)", stage.name, inputs),
+                    });
+                }
+                StageKind::Source { .. } => {}
+                _ if inputs == 0 => {
+                    return Err(CoreError::InvalidTopology {
+                        detail: format!("non-source `{}` has no incoming edges", stage.name),
+                    });
+                }
+                _ => {}
+            }
+            if let StageKind::Archive = stage.kind {
+                if !self.downstream(id).is_empty() {
+                    return Err(CoreError::InvalidTopology {
+                        detail: format!("archive `{}` has outgoing edges", stage.name),
+                    });
+                }
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// Kahn's algorithm; error names a stage on a cycle if one exists.
+    pub fn topo_order(&self) -> CoreResult<Vec<StageId>> {
+        let mut in_deg: Vec<usize> = self.pred.iter().map(|p| p.len()).collect();
+        let mut queue: VecDeque<StageId> = self
+            .stage_ids()
+            .filter(|id| in_deg[id.0] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.stages.len());
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for &next in &self.succ[id.0] {
+                in_deg[next.0] -= 1;
+                if in_deg[next.0] == 0 {
+                    queue.push_back(next);
+                }
+            }
+        }
+        if order.len() != self.stages.len() {
+            let stuck = self
+                .stage_ids()
+                .find(|id| in_deg[id.0] > 0)
+                .expect("some stage must have positive in-degree on a cycle");
+            return Err(CoreError::CycleDetected {
+                stage: self.stage(stuck).name.clone(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Names of the resource pools referenced by `Process` stages.
+    pub fn referenced_pools(&self) -> Vec<&str> {
+        let mut pools: Vec<&str> = self
+            .stages
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StageKind::Process { pool, .. } => Some(pool.as_str()),
+                _ => None,
+            })
+            .collect();
+        pools.sort_unstable();
+        pools.dedup();
+        pools
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source() -> StageKind {
+        StageKind::Source {
+            block: DataVolume::gib(1),
+            interval: SimDuration::from_hours(1),
+            blocks: 4,
+            start: SimTime::ZERO,
+        }
+    }
+
+    fn process(pool: &str) -> StageKind {
+        StageKind::Process {
+            rate_per_cpu: DataRate::mb_per_sec(10.0),
+            cpus_per_task: 1,
+            chunk: None,
+            output_ratio: 0.5,
+            pool: pool.to_string(),
+            workspace_ratio: 0.0,
+            retain_input: false,
+        }
+    }
+
+    #[test]
+    fn linear_graph_validates() {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage("acquire", source());
+        let p = g.add_stage("process", process("ctc"));
+        let a = g.add_stage("archive", StageKind::Archive);
+        g.connect(s, p).unwrap();
+        g.connect(p, a).unwrap();
+        g.validate().unwrap();
+        let order = g.topo_order().unwrap();
+        assert_eq!(order, vec![s, p, a]);
+        assert_eq!(g.referenced_pools(), vec!["ctc"]);
+        assert_eq!(g.find("process"), Some(p));
+        assert_eq!(g.find("nope"), None);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage("acquire", source());
+        let p1 = g.add_stage("p1", process("x"));
+        let p2 = g.add_stage("p2", process("x"));
+        g.connect(s, p1).unwrap();
+        g.connect(p1, p2).unwrap();
+        g.connect(p2, p1).unwrap();
+        match g.validate() {
+            Err(CoreError::CycleDetected { stage }) => assert!(stage == "p1" || stage == "p2"),
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_with_input_is_rejected() {
+        let mut g = FlowGraph::new();
+        let s1 = g.add_stage("s1", source());
+        let s2 = g.add_stage("s2", source());
+        g.connect(s1, s2).unwrap();
+        assert!(matches!(g.validate(), Err(CoreError::InvalidTopology { .. })));
+    }
+
+    #[test]
+    fn orphan_process_is_rejected() {
+        let mut g = FlowGraph::new();
+        let _s = g.add_stage("s", source());
+        let _p = g.add_stage("p", process("x"));
+        assert!(matches!(g.validate(), Err(CoreError::InvalidTopology { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = FlowGraph::new();
+        g.add_stage("x", source());
+        g.add_stage("x", source());
+        assert!(matches!(g.validate(), Err(CoreError::DuplicateStage { .. })));
+    }
+
+    #[test]
+    fn connect_unknown_stage_errors() {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage("s", source());
+        assert!(g.connect(s, StageId(99)).is_err());
+    }
+
+    #[test]
+    fn archive_with_outgoing_rejected() {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage("s", source());
+        let a = g.add_stage("a", StageKind::Archive);
+        let p = g.add_stage("p", process("x"));
+        g.connect(s, a).unwrap();
+        g.connect(a, p).unwrap();
+        assert!(matches!(g.validate(), Err(CoreError::InvalidTopology { .. })));
+    }
+}

@@ -1,0 +1,154 @@
+//! Reports produced by the flow simulator.
+
+use std::fmt;
+
+use crate::units::{DataVolume, SimDuration, SimTime};
+
+/// Per-stage counters accumulated during a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct StageMetrics {
+    pub name: String,
+    pub blocks_in: u64,
+    pub volume_in: DataVolume,
+    pub blocks_out: u64,
+    pub volume_out: DataVolume,
+    /// Total time the stage spent actively working (summed over tasks).
+    pub busy: SimDuration,
+    /// High-water marks of the stage's input queue.
+    pub max_queue_blocks: usize,
+    pub max_queue_volume: DataVolume,
+    /// Volume still queued when the simulation ended (should be zero for a
+    /// flow that "keeps up").
+    pub final_queue_volume: DataVolume,
+    /// Simulated time of the stage's last completion.
+    pub completed_at: SimTime,
+}
+
+impl StageMetrics {
+    pub(crate) fn note_queue(&mut self, blocks: usize, volume: DataVolume) {
+        self.max_queue_blocks = self.max_queue_blocks.max(blocks);
+        self.max_queue_volume = self.max_queue_volume.max(volume);
+    }
+}
+
+/// Per-pool utilisation summary.
+#[derive(Debug, Clone)]
+pub struct PoolMetrics {
+    pub name: String,
+    pub cpus: u32,
+    pub peak_in_use: u32,
+    pub busy_cpu_secs: f64,
+    /// busy cpu-seconds / (cpus × elapsed); 1.0 means fully saturated.
+    pub utilization: f64,
+}
+
+/// The result of a [`crate::sim::FlowSim`] run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Time of the last event (all work complete).
+    pub finished_at: SimTime,
+    /// When the last source block was emitted, if any source emitted.
+    pub source_end: Option<SimTime>,
+    /// Total queued volume across all stages at `source_end` — the backlog a
+    /// flow that cannot keep up accumulates.
+    pub backlog_at_source_end: Option<DataVolume>,
+    pub stages: Vec<StageMetrics>,
+    pub pools: Vec<PoolMetrics>,
+    /// High-water mark of instantaneous allocated storage.
+    pub peak_storage: DataVolume,
+    /// Bytes permanently retained (archives plus retained inputs).
+    pub retained_storage: DataVolume,
+}
+
+impl SimReport {
+    pub fn stage(&self, name: &str) -> Option<&StageMetrics> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    pub fn pool(&self, name: &str) -> Option<&PoolMetrics> {
+        self.pools.iter().find(|p| p.name == name)
+    }
+
+    /// How long after the sources stopped did the flow take to finish. A
+    /// small drain duration means the system "keeps up with the flow of
+    /// data"; a large one means processing is the bottleneck.
+    pub fn drain_duration(&self) -> Option<SimDuration> {
+        self.source_end.and_then(|s| self.finished_at.checked_sub(s))
+    }
+
+    /// True when the flow kept pace: bounded backlog at source end and a
+    /// drain time within `slack`.
+    pub fn kept_up(&self, slack: SimDuration) -> bool {
+        match (self.backlog_at_source_end, self.drain_duration()) {
+            (Some(_), Some(drain)) => drain <= slack,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "simulation finished at {}", self.finished_at)?;
+        if let (Some(end), Some(backlog)) = (self.source_end, self.backlog_at_source_end) {
+            writeln!(f, "  sources ended at {end}, backlog then {backlog}")?;
+        }
+        writeln!(f, "  peak storage {}  retained {}", self.peak_storage, self.retained_storage)?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  stage {:<24} in {:>12} ({} blk)  out {:>12} ({} blk)  busy {}  maxq {}",
+                s.name,
+                s.volume_in.to_string(),
+                s.blocks_in,
+                s.volume_out.to_string(),
+                s.blocks_out,
+                s.busy,
+                s.max_queue_volume,
+            )?;
+        }
+        for p in &self.pools {
+            writeln!(
+                f,
+                "  pool  {:<24} cpus {:>5}  peak {:>5}  utilization {:.1}%",
+                p.name,
+                p.cpus,
+                p.peak_in_use,
+                p.utilization * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_high_water_marks() {
+        let mut m = StageMetrics::default();
+        m.note_queue(3, DataVolume::gib(3));
+        m.note_queue(1, DataVolume::gib(1));
+        assert_eq!(m.max_queue_blocks, 3);
+        assert_eq!(m.max_queue_volume, DataVolume::gib(3));
+    }
+
+    #[test]
+    fn report_lookup_and_display() {
+        let report = SimReport {
+            finished_at: SimTime::from_micros(1_000_000),
+            source_end: Some(SimTime::from_micros(500_000)),
+            backlog_at_source_end: Some(DataVolume::ZERO),
+            stages: vec![StageMetrics { name: "x".into(), ..Default::default() }],
+            pools: vec![],
+            peak_storage: DataVolume::gib(1),
+            retained_storage: DataVolume::ZERO,
+        };
+        assert!(report.stage("x").is_some());
+        assert!(report.stage("y").is_none());
+        assert!(report.kept_up(SimDuration::from_secs(1)));
+        assert!(!report.kept_up(SimDuration::ZERO) || report.drain_duration().unwrap() == SimDuration::ZERO);
+        let text = report.to_string();
+        assert!(text.contains("peak storage"));
+    }
+}

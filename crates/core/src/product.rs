@@ -1,0 +1,113 @@
+//! Data products: the things that flow through the workflows.
+//!
+//! The paper's three projects all "meld raw data through expensive processing
+//! steps into finished data products". A [`DataProduct`] couples a payload
+//! description (name, kind, volume) with the version and provenance metadata
+//! that Sections 2.2 and 3.2 argue must travel with it.
+
+use crate::provenance::ProvenanceRecord;
+use crate::units::DataVolume;
+use crate::version::VersionId;
+
+/// Broad classes of product that appear across the three case studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProductKind {
+    /// Raw instrument output: dynamic spectra, detector responses, ARC files.
+    Raw,
+    /// Centrally produced derived data: reconstruction, dedispersed series.
+    Derived,
+    /// Monte-Carlo simulation output.
+    Simulation,
+    /// Candidate lists, test statistics, diagnostics, plots.
+    Candidate,
+    /// Calibration inputs (detector calibration, channel masks).
+    Calibration,
+    /// Metadata destined for the relational store.
+    Metadata,
+}
+
+impl ProductKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProductKind::Raw => "raw",
+            ProductKind::Derived => "derived",
+            ProductKind::Simulation => "simulation",
+            ProductKind::Candidate => "candidate",
+            ProductKind::Calibration => "calibration",
+            ProductKind::Metadata => "metadata",
+        }
+    }
+}
+
+/// A versioned, provenance-carrying data product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataProduct {
+    pub name: String,
+    pub kind: ProductKind,
+    pub volume: DataVolume,
+    /// Version of the processing that produced this product; `None` only for
+    /// raw acquisition output that has not been processed at all.
+    pub version: Option<VersionId>,
+    pub provenance: ProvenanceRecord,
+}
+
+impl DataProduct {
+    /// A raw product straight off the instrument.
+    pub fn raw(name: impl Into<String>, volume: DataVolume) -> Self {
+        DataProduct {
+            name: name.into(),
+            kind: ProductKind::Raw,
+            volume,
+            version: None,
+            provenance: ProvenanceRecord::new(),
+        }
+    }
+
+    /// Derive a new product from this one, extending its provenance.
+    pub fn derive(
+        &self,
+        name: impl Into<String>,
+        kind: ProductKind,
+        volume: DataVolume,
+        step: crate::provenance::ProvenanceStep,
+    ) -> Self {
+        let version = Some(step.version.clone());
+        DataProduct {
+            name: name.into(),
+            kind,
+            volume,
+            version,
+            provenance: self.provenance.derive(step),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::ProvenanceStep;
+    use crate::version::{CalDate, VersionId};
+
+    #[test]
+    fn derivation_extends_provenance() {
+        let raw = DataProduct::raw("run123", DataVolume::gib(2));
+        assert!(raw.provenance.is_empty());
+        let v = VersionId::new("Recon", "Feb13_04_P2", CalDate::new(2004, 3, 12).unwrap(), "Cornell");
+        let recon = raw.derive(
+            "run123-recon",
+            ProductKind::Derived,
+            DataVolume::gib(1),
+            ProvenanceStep::new("ReconProd", v.clone()).with_input("run123"),
+        );
+        assert_eq!(recon.kind, ProductKind::Derived);
+        assert_eq!(recon.provenance.len(), 1);
+        assert_eq!(recon.version.as_ref().unwrap().label(), "Recon Feb13_04_P2");
+        // Raw parent unchanged.
+        assert!(raw.provenance.is_empty());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(ProductKind::Simulation.as_str(), "simulation");
+    }
+}

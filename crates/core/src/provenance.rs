@@ -1,0 +1,254 @@
+//! Provenance tracking for data products.
+//!
+//! The paper describes the CLEO compromise precisely: full ASU-granularity
+//! provenance was infeasible to retrofit, so instead the system collects "as
+//! strings, all the software module names, their parameters, plus all the
+//! input file information", makes an MD5 hash of the strings, and stores the
+//! version strings and hash in the output stream of each file. "We can detect
+//! the majority of usage discrepancies by comparing the hashes. In the event
+//! of a discrepancy, the physicists can view the strings to see what has
+//! changed."
+//!
+//! [`ProvenanceRecord`] implements exactly that: an ordered list of
+//! [`ProvenanceStep`]s accumulated at each processing step, a canonical
+//! string rendering, and an MD5 digest over it.
+
+use crate::md5::{md5_strings, Digest};
+use crate::version::VersionId;
+
+/// One processing step in a product's history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenanceStep {
+    /// Software module that ran (e.g. `DedisperseModule`, `ReconProd`).
+    pub module: String,
+    /// Module parameters as ordered key/value pairs, exactly as configured.
+    pub params: Vec<(String, String)>,
+    /// Input file names/identifiers consumed by this step.
+    pub inputs: Vec<String>,
+    /// The version identifier recorded for this step.
+    pub version: VersionId,
+}
+
+impl ProvenanceStep {
+    pub fn new(module: impl Into<String>, version: VersionId) -> Self {
+        ProvenanceStep {
+            module: module.into(),
+            params: Vec::new(),
+            inputs: Vec::new(),
+            version,
+        }
+    }
+
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.push((key.into(), value.into()));
+        self
+    }
+
+    pub fn with_input(mut self, input: impl Into<String>) -> Self {
+        self.inputs.push(input.into());
+        self
+    }
+
+    /// The canonical strings hashed for this step. Order is significant:
+    /// changing a parameter, adding an input, or renaming the module all
+    /// change the digest.
+    fn canonical_strings(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(2 + self.params.len() + self.inputs.len());
+        out.push(format!("module={}", self.module));
+        out.push(format!(
+            "version={}|{}|{}|{}",
+            self.version.step, self.version.release, self.version.effective, self.version.site
+        ));
+        for (k, v) in &self.params {
+            out.push(format!("param:{k}={v}"));
+        }
+        for input in &self.inputs {
+            out.push(format!("input={input}"));
+        }
+        out
+    }
+}
+
+/// The accumulated provenance of a data product: "these tags are accumulated
+/// at each processing step, along with enough additional information to fully
+/// specify the sequence of processing steps and data inputs."
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProvenanceRecord {
+    steps: Vec<ProvenanceStep>,
+}
+
+impl ProvenanceRecord {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one more processing step. Steps are append-only: history is
+    /// never rewritten, matching the reproducibility requirement.
+    pub fn push(&mut self, step: ProvenanceStep) {
+        self.steps.push(step);
+    }
+
+    /// Derive a child record: the parent's history plus one new step. This is
+    /// how provenance flows raw → recon → post-recon → analysis.
+    pub fn derive(&self, step: ProvenanceStep) -> ProvenanceRecord {
+        let mut child = self.clone();
+        child.push(step);
+        child
+    }
+
+    pub fn steps(&self) -> &[ProvenanceStep] {
+        &self.steps
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// All canonical strings across all steps, with step framing. These are
+    /// what a physicist views "to see what has changed" after a hash
+    /// discrepancy.
+    pub fn canonical_strings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            out.push(format!("step[{i}]"));
+            out.extend(step.canonical_strings());
+        }
+        out
+    }
+
+    /// The MD5 digest over the canonical strings — the value stored in each
+    /// derived data file's header.
+    pub fn digest(&self) -> Digest {
+        md5_strings(&self.canonical_strings())
+    }
+
+    /// Compare two records and describe the first difference, if any. Returns
+    /// `None` when the records (and therefore their digests) agree.
+    pub fn explain_discrepancy(&self, other: &ProvenanceRecord) -> Option<String> {
+        if self == other {
+            return None;
+        }
+        let a = self.canonical_strings();
+        let b = other.canonical_strings();
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            if x != y {
+                return Some(format!("line {i}: `{x}` vs `{y}`"));
+            }
+        }
+        Some(match a.len().cmp(&b.len()) {
+            std::cmp::Ordering::Less => {
+                format!("other has {} extra line(s), first: `{}`", b.len() - a.len(), b[a.len()])
+            }
+            std::cmp::Ordering::Greater => {
+                format!("self has {} extra line(s), first: `{}`", a.len() - b.len(), a[b.len()])
+            }
+            std::cmp::Ordering::Equal => "records differ".to_string(),
+        })
+    }
+
+    /// The version labels along the chain, e.g.
+    /// `["Acquire Raw_05", "Recon Feb13_04_P2"]`.
+    pub fn version_chain(&self) -> Vec<String> {
+        self.steps.iter().map(|s| s.version.label()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::CalDate;
+
+    fn ver(step: &str, release: &str) -> VersionId {
+        VersionId::new(step, release, CalDate::new(2004, 3, 12).unwrap(), "Cornell")
+    }
+
+    fn sample() -> ProvenanceRecord {
+        let mut rec = ProvenanceRecord::new();
+        rec.push(
+            ProvenanceStep::new("PassOne", ver("Acquire", "Raw_05"))
+                .with_param("run", "123456")
+                .with_input("cesr/beam-conditions"),
+        );
+        rec.push(
+            ProvenanceStep::new("ReconProd", ver("Recon", "Feb13_04_P2"))
+                .with_param("calibration", "cal-2004-02")
+                .with_input("raw/run123456"),
+        );
+        rec
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        assert_eq!(sample().digest(), sample().digest());
+    }
+
+    #[test]
+    fn any_change_changes_digest() {
+        let base = sample();
+        let base_digest = base.digest();
+
+        // Changed parameter value.
+        let mut changed = ProvenanceRecord::new();
+        changed.push(
+            ProvenanceStep::new("PassOne", ver("Acquire", "Raw_05"))
+                .with_param("run", "123457")
+                .with_input("cesr/beam-conditions"),
+        );
+        changed.push(base.steps()[1].clone());
+        assert_ne!(changed.digest(), base_digest);
+
+        // Extra derived step.
+        let derived = base.derive(ProvenanceStep::new("Analysis", ver("Skim", "May01_04")));
+        assert_ne!(derived.digest(), base_digest);
+
+        // Parent unchanged by derivation.
+        assert_eq!(base.digest(), base_digest);
+    }
+
+    #[test]
+    fn discrepancy_explanation_points_at_the_change() {
+        let a = sample();
+        let mut b = sample();
+        b.push(ProvenanceStep::new("Analysis", ver("Skim", "May01_04")));
+        let why = a.explain_discrepancy(&b).unwrap();
+        assert!(why.contains("extra line"), "{why}");
+        assert!(a.explain_discrepancy(&a.clone()).is_none());
+
+        let mut c = ProvenanceRecord::new();
+        c.push(
+            ProvenanceStep::new("PassOne", ver("Acquire", "Raw_05"))
+                .with_param("run", "999999")
+                .with_input("cesr/beam-conditions"),
+        );
+        c.push(sample().steps()[1].clone());
+        let why = a.explain_discrepancy(&c).unwrap();
+        assert!(why.contains("run"), "{why}");
+    }
+
+    #[test]
+    fn version_chain_renders_labels() {
+        assert_eq!(sample().version_chain(), vec!["Acquire Raw_05", "Recon Feb13_04_P2"]);
+    }
+
+    #[test]
+    fn param_order_is_significant() {
+        let v = ver("Recon", "R1");
+        let mut a = ProvenanceRecord::new();
+        a.push(
+            ProvenanceStep::new("M", v.clone())
+                .with_param("x", "1")
+                .with_param("y", "2"),
+        );
+        let mut b = ProvenanceRecord::new();
+        b.push(
+            ProvenanceStep::new("M", v)
+                .with_param("y", "2")
+                .with_param("x", "1"),
+        );
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,623 @@
+//! Discrete-event simulation of a [`FlowGraph`].
+//!
+//! The paper's flow-level questions — "about 50 to 200 processors would be
+//! needed to keep up with the flow of data", "a minimum of 30 Terabytes of
+//! storage is required instantaneously", "tested at sustained rates of
+//! approximately 1 TB per day" — are all statements about a stage graph under
+//! resource contention. [`FlowSim`] answers them: it executes a graph in
+//! simulated time against named CPU pools, tracking throughput, queue
+//! backlogs, pool utilisation, and instantaneous storage.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::error::{CoreError, CoreResult};
+use crate::graph::{FlowGraph, StageId, StageKind};
+use crate::metrics::{PoolMetrics, SimReport, StageMetrics};
+use crate::units::{DataVolume, SimDuration, SimTime};
+
+/// A named pool of interchangeable processors shared by `Process` stages.
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    pub name: String,
+    pub cpus: u32,
+}
+
+impl CpuPool {
+    pub fn new(name: impl Into<String>, cpus: u32) -> Self {
+        CpuPool { name: name.into(), cpus }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A source emits its next block.
+    Emit { stage: StageId },
+    /// A block of `volume` arrives at `stage`.
+    Arrive { stage: StageId, volume: DataVolume },
+    /// A processing task at `stage` finishes.
+    ProcessDone { stage: StageId, input: DataVolume, held: DataVolume, cpus: u32 },
+    /// A transfer at `stage` completes delivery of `volume`.
+    TransferDone { stage: StageId, volume: DataVolume },
+}
+
+struct PoolState {
+    free: u32,
+    total: u32,
+    peak_in_use: u32,
+    /// Stages with queued work waiting for this pool, FIFO.
+    waiters: VecDeque<StageId>,
+    /// Accumulated busy cpu-seconds.
+    busy_cpu_secs: f64,
+}
+
+#[derive(Default)]
+struct StageState {
+    queue: VecDeque<DataVolume>,
+    queued_volume: DataVolume,
+    /// For Transfer stages: is the channel currently occupied?
+    transfer_busy: bool,
+    /// Is this stage already registered in its pool's waiter list?
+    waiting: bool,
+    metrics: StageMetrics,
+}
+
+/// Tracks instantaneous allocated storage across the whole flow.
+#[derive(Debug, Default, Clone)]
+pub struct StorageLedger {
+    current: u64,
+    peak: u64,
+    /// Bytes retained permanently (archives, `retain_input` stages).
+    retained: u64,
+}
+
+impl StorageLedger {
+    fn alloc(&mut self, v: DataVolume) {
+        self.current += v.bytes();
+        self.peak = self.peak.max(self.current);
+    }
+
+    fn free(&mut self, v: DataVolume) {
+        debug_assert!(self.current >= v.bytes(), "ledger underflow");
+        self.current = self.current.saturating_sub(v.bytes());
+    }
+
+    fn retain(&mut self, v: DataVolume) {
+        self.retained += v.bytes();
+    }
+
+    pub fn peak(&self) -> DataVolume {
+        DataVolume::from_bytes(self.peak)
+    }
+
+    pub fn current(&self) -> DataVolume {
+        DataVolume::from_bytes(self.current)
+    }
+
+    pub fn retained(&self) -> DataVolume {
+        DataVolume::from_bytes(self.retained)
+    }
+}
+
+/// Discrete-event executor for a validated [`FlowGraph`].
+pub struct FlowSim {
+    graph: FlowGraph,
+    pools: HashMap<String, PoolState>,
+    stages: Vec<StageState>,
+    /// (time, sequence, event); sequence breaks ties deterministically.
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    events: Vec<Option<Event>>,
+    now: SimTime,
+    seq: u64,
+    ledger: StorageLedger,
+    /// Number of source Emit events still outstanding.
+    pending_emits: u64,
+    /// Snapshot of total queued volume when the last source block was emitted.
+    backlog_at_source_end: Option<DataVolume>,
+    source_end: Option<SimTime>,
+    max_events: u64,
+}
+
+impl FlowSim {
+    /// Build a simulator. The graph is validated and every pool referenced by
+    /// a `Process` stage must be supplied.
+    pub fn new(graph: FlowGraph, pools: Vec<CpuPool>) -> CoreResult<Self> {
+        graph.validate()?;
+        let mut pool_map = HashMap::new();
+        for p in pools {
+            if p.cpus == 0 {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("pool `{}` has zero cpus", p.name),
+                });
+            }
+            pool_map.insert(
+                p.name.clone(),
+                PoolState {
+                    free: p.cpus,
+                    total: p.cpus,
+                    peak_in_use: 0,
+                    waiters: VecDeque::new(),
+                    busy_cpu_secs: 0.0,
+                },
+            );
+        }
+        for name in graph.referenced_pools() {
+            if !pool_map.contains_key(name) {
+                return Err(CoreError::UnknownPool { name: name.to_string() });
+            }
+        }
+        let mut pending_emits = 0u64;
+        for id in graph.stage_ids() {
+            if let StageKind::Source { blocks, .. } = graph.stage(id).kind {
+                pending_emits += blocks;
+            }
+        }
+        let n = graph.len();
+        Ok(FlowSim {
+            graph,
+            pools: pool_map,
+            stages: (0..n).map(|_| StageState::default()).collect(),
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            ledger: StorageLedger::default(),
+            pending_emits,
+            backlog_at_source_end: None,
+            source_end: None,
+            max_events: 50_000_000,
+        })
+    }
+
+    /// Override the runaway-event safety cap (default fifty million).
+    pub fn with_max_events(mut self, cap: u64) -> Self {
+        self.max_events = cap;
+        self
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Event) {
+        let idx = self.events.len();
+        self.events.push(Some(ev));
+        self.heap.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    /// Run to completion and produce a report.
+    pub fn run(mut self) -> CoreResult<SimReport> {
+        // Seed the first emit of every source.
+        for id in self.graph.stage_ids() {
+            if let StageKind::Source { start, blocks, .. } = self.graph.stage(id).kind {
+                if blocks > 0 {
+                    self.schedule(start, Event::Emit { stage: id });
+                }
+            }
+        }
+        let mut handled = 0u64;
+        while let Some(Reverse((at, _, idx))) = self.heap.pop() {
+            handled += 1;
+            if handled > self.max_events {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("event cap of {} exceeded; flow is diverging", self.max_events),
+                });
+            }
+            self.now = at;
+            let ev = self.events[idx].take().expect("event consumed twice");
+            self.handle(ev);
+        }
+        Ok(self.report())
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Emit { stage } => self.on_emit(stage),
+            Event::Arrive { stage, volume } => self.on_arrive(stage, volume),
+            Event::ProcessDone { stage, input, held, cpus } => {
+                self.on_process_done(stage, input, held, cpus)
+            }
+            Event::TransferDone { stage, volume } => self.on_transfer_done(stage, volume),
+        }
+    }
+
+    fn on_emit(&mut self, stage: StageId) {
+        let (block, interval, blocks, start) = match self.graph.stage(stage).kind {
+            StageKind::Source { block, interval, blocks, start } => (block, interval, blocks, start),
+            _ => unreachable!("Emit scheduled on non-source"),
+        };
+        let st = &mut self.stages[stage.index()];
+        st.metrics.blocks_out += 1;
+        st.metrics.volume_out += block;
+        let emitted = st.metrics.blocks_out;
+        self.deliver(stage, block);
+        self.pending_emits -= 1;
+        if self.pending_emits == 0 {
+            self.backlog_at_source_end = Some(self.total_queued());
+            self.source_end = Some(self.now);
+        }
+        if emitted < blocks {
+            let next = start + interval * emitted;
+            self.schedule(next, Event::Emit { stage });
+        }
+    }
+
+    /// Fan a block out to every downstream stage (each consumer receives the
+    /// full block, as when raw data go both to archive and to processing).
+    fn deliver(&mut self, from: StageId, volume: DataVolume) {
+        let targets: Vec<StageId> = self.graph.downstream(from).to_vec();
+        for t in targets {
+            self.schedule(self.now, Event::Arrive { stage: t, volume });
+        }
+    }
+
+    fn on_arrive(&mut self, stage: StageId, volume: DataVolume) {
+        self.ledger.alloc(volume);
+        let kind = self.graph.stage(stage).kind.clone();
+        {
+            let st = &mut self.stages[stage.index()];
+            st.metrics.blocks_in += 1;
+            st.metrics.volume_in += volume;
+        }
+        match kind {
+            StageKind::Archive => {
+                let st = &mut self.stages[stage.index()];
+                st.metrics.volume_out += volume;
+                st.metrics.blocks_out += 1;
+                st.metrics.completed_at = self.now;
+                self.ledger.retain(volume);
+                // Archive holds its contents; allocation is permanent.
+            }
+            StageKind::Transfer { .. } => {
+                let st = &mut self.stages[stage.index()];
+                st.queue.push_back(volume);
+                st.queued_volume += volume;
+                st.metrics.note_queue(st.queue.len(), st.queued_volume);
+                self.try_start_transfer(stage);
+            }
+            StageKind::Process { chunk, .. } => {
+                let st = &mut self.stages[stage.index()];
+                // Data-parallel stages split blocks into independent tasks.
+                match chunk {
+                    Some(c) if !c.is_zero() && volume > c => {
+                        let mut remaining = volume;
+                        while remaining > DataVolume::ZERO {
+                            let piece = remaining.min(c);
+                            st.queue.push_back(piece);
+                            remaining -= piece;
+                        }
+                    }
+                    _ => st.queue.push_back(volume),
+                }
+                st.queued_volume += volume;
+                st.metrics.note_queue(st.queue.len(), st.queued_volume);
+                self.enlist_waiter(stage);
+                self.drain_pool_waiters(stage);
+            }
+            StageKind::Source { .. } => unreachable!("validated graphs have no edges into sources"),
+        }
+    }
+
+    fn enlist_waiter(&mut self, stage: StageId) {
+        let pool_name = match &self.graph.stage(stage).kind {
+            StageKind::Process { pool, .. } => pool.clone(),
+            _ => return,
+        };
+        let st = &mut self.stages[stage.index()];
+        if !st.waiting && !st.queue.is_empty() {
+            st.waiting = true;
+            self.pools.get_mut(&pool_name).expect("pool checked at build").waiters.push_back(stage);
+        }
+    }
+
+    /// Start as many queued tasks as the stage's pool allows, FIFO across all
+    /// stages sharing the pool.
+    fn drain_pool_waiters(&mut self, hint: StageId) {
+        let pool_name = match &self.graph.stage(hint).kind {
+            StageKind::Process { pool, .. } => pool.clone(),
+            _ => return,
+        };
+        while let Some(&head) = self.pools[&pool_name].waiters.front().copied().as_ref() {
+            let (rate_per_cpu, cpus_per_task, output_ratio, workspace_ratio) =
+                match &self.graph.stage(head).kind {
+                    StageKind::Process { rate_per_cpu, cpus_per_task, output_ratio, workspace_ratio, .. } => {
+                        (*rate_per_cpu, *cpus_per_task, *output_ratio, *workspace_ratio)
+                    }
+                    _ => unreachable!("only process stages wait on pools"),
+                };
+            let pool = self.pools.get_mut(&pool_name).expect("pool exists");
+            if pool.free < cpus_per_task {
+                break; // head-of-line blocks until enough cpus free up
+            }
+            let st = &mut self.stages[head.index()];
+            let Some(input) = st.queue.pop_front() else {
+                pool.waiters.pop_front();
+                st.waiting = false;
+                continue;
+            };
+            st.queued_volume -= input;
+            if st.queue.is_empty() {
+                pool.waiters.pop_front();
+                st.waiting = false;
+            } else {
+                // Rotate so stages sharing the pool interleave fairly.
+                pool.waiters.pop_front();
+                pool.waiters.push_back(head);
+            }
+            pool.free -= cpus_per_task;
+            pool.peak_in_use = pool.peak_in_use.max(pool.total - pool.free);
+            let aggregate = rate_per_cpu * (cpus_per_task as f64);
+            let dur = input
+                .time_at(aggregate)
+                .unwrap_or(SimDuration::ZERO);
+            pool.busy_cpu_secs += dur.as_secs_f64() * cpus_per_task as f64;
+            // Working space held during the task: scratch plus output estimate.
+            let held = input.scale(workspace_ratio) + input.scale(output_ratio);
+            self.ledger.alloc(held);
+            let st = &mut self.stages[head.index()];
+            st.metrics.busy += dur;
+            self.schedule(
+                self.now + dur,
+                Event::ProcessDone { stage: head, input, held, cpus: cpus_per_task },
+            );
+        }
+    }
+
+    fn on_process_done(&mut self, stage: StageId, input: DataVolume, held: DataVolume, cpus: u32) {
+        let (pool_name, output_ratio, retain_input) = match &self.graph.stage(stage).kind {
+            StageKind::Process { pool, output_ratio, retain_input, .. } => {
+                (pool.clone(), *output_ratio, *retain_input)
+            }
+            _ => unreachable!("ProcessDone on non-process stage"),
+        };
+        self.ledger.free(held);
+        if retain_input {
+            self.ledger.retain(input);
+        } else {
+            self.ledger.free(input);
+        }
+        let output = input.scale(output_ratio);
+        {
+            let st = &mut self.stages[stage.index()];
+            st.metrics.blocks_out += 1;
+            st.metrics.volume_out += output;
+            st.metrics.completed_at = self.now;
+        }
+        if !output.is_zero() && !self.graph.downstream(stage).is_empty() {
+            self.deliver(stage, output);
+        }
+        let pool = self.pools.get_mut(&pool_name).expect("pool exists");
+        pool.free += cpus;
+        self.enlist_waiter(stage);
+        self.drain_pool_waiters(stage);
+    }
+
+    fn try_start_transfer(&mut self, stage: StageId) {
+        let (rate, latency) = match &self.graph.stage(stage).kind {
+            StageKind::Transfer { rate, latency } => (*rate, *latency),
+            _ => unreachable!("transfer start on non-transfer stage"),
+        };
+        let st = &mut self.stages[stage.index()];
+        if st.transfer_busy {
+            return;
+        }
+        let Some(volume) = st.queue.pop_front() else { return };
+        st.queued_volume -= volume;
+        st.transfer_busy = true;
+        let dur = latency
+            + volume.time_at(rate).unwrap_or(SimDuration::ZERO);
+        st.metrics.busy += dur;
+        self.schedule(self.now + dur, Event::TransferDone { stage, volume });
+    }
+
+    fn on_transfer_done(&mut self, stage: StageId, volume: DataVolume) {
+        {
+            let st = &mut self.stages[stage.index()];
+            st.transfer_busy = false;
+            st.metrics.blocks_out += 1;
+            st.metrics.volume_out += volume;
+            st.metrics.completed_at = self.now;
+        }
+        self.ledger.free(volume); // handed to the consumer, who re-allocates
+        self.deliver(stage, volume);
+        self.try_start_transfer(stage);
+    }
+
+    fn total_queued(&self) -> DataVolume {
+        self.stages.iter().map(|s| s.queued_volume).sum()
+    }
+
+    fn report(self) -> SimReport {
+        let mut stages = Vec::with_capacity(self.graph.len());
+        for id in self.graph.stage_ids() {
+            let mut m = self.stages[id.index()].metrics.clone();
+            m.name = self.graph.stage(id).name.clone();
+            m.final_queue_volume = self.stages[id.index()].queued_volume;
+            stages.push(m);
+        }
+        let elapsed = self.now;
+        let pools = self
+            .pools
+            .into_iter()
+            .map(|(name, p)| {
+                let capacity_secs = p.total as f64 * elapsed.as_secs_f64();
+                PoolMetrics {
+                    name,
+                    cpus: p.total,
+                    peak_in_use: p.peak_in_use,
+                    busy_cpu_secs: p.busy_cpu_secs,
+                    utilization: if capacity_secs > 0.0 { p.busy_cpu_secs / capacity_secs } else { 0.0 },
+                }
+            })
+            .collect();
+        SimReport {
+            finished_at: elapsed,
+            source_end: self.source_end,
+            backlog_at_source_end: self.backlog_at_source_end,
+            stages,
+            pools,
+            peak_storage: self.ledger.peak(),
+            retained_storage: self.ledger.retained(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::DataRate;
+
+    fn simple_graph(cpus_rate_mb: f64, output_ratio: f64) -> FlowGraph {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage(
+            "acquire",
+            StageKind::Source {
+                block: DataVolume::gb(36),
+                interval: SimDuration::from_hours(1),
+                blocks: 3,
+                start: SimTime::ZERO,
+            },
+        );
+        let p = g.add_stage(
+            "process",
+            StageKind::Process {
+                rate_per_cpu: DataRate::mb_per_sec(cpus_rate_mb),
+                cpus_per_task: 1,
+                chunk: None,
+                output_ratio,
+                pool: "pool".into(),
+                workspace_ratio: 0.0,
+                retain_input: false,
+            },
+        );
+        let a = g.add_stage("archive", StageKind::Archive);
+        g.connect(s, p).unwrap();
+        g.connect(p, a).unwrap();
+        g
+    }
+
+    #[test]
+    fn conservation_of_volume() {
+        let g = simple_graph(100.0, 0.5);
+        let report = FlowSim::new(g, vec![CpuPool::new("pool", 4)]).unwrap().run().unwrap();
+        let src = report.stage("acquire").unwrap();
+        let proc = report.stage("process").unwrap();
+        let arch = report.stage("archive").unwrap();
+        assert_eq!(src.volume_out, DataVolume::gb(108));
+        assert_eq!(proc.volume_in, DataVolume::gb(108));
+        assert_eq!(proc.volume_out, DataVolume::gb(54));
+        assert_eq!(arch.volume_in, DataVolume::gb(54));
+        assert_eq!(report.retained_storage, DataVolume::gb(54));
+    }
+
+    #[test]
+    fn fast_processing_keeps_up_slow_processing_backlogs() {
+        // 36 GB arrives hourly; one cpu at 100 MB/s handles it in 6 min.
+        let fast = FlowSim::new(simple_graph(100.0, 0.5), vec![CpuPool::new("pool", 1)])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(fast.drain_duration().unwrap().as_hours_f64() < 0.5);
+
+        // At 1 MB/s each block takes 10 h: queue grows.
+        let slow = FlowSim::new(simple_graph(1.0, 0.5), vec![CpuPool::new("pool", 1)])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(slow.backlog_at_source_end.unwrap() > DataVolume::ZERO);
+        assert!(slow.drain_duration().unwrap() > fast.drain_duration().unwrap());
+    }
+
+    #[test]
+    fn pool_is_shared_and_utilization_reported() {
+        let g = simple_graph(10.0, 1.0);
+        let report = FlowSim::new(g, vec![CpuPool::new("pool", 2)]).unwrap().run().unwrap();
+        let pool = &report.pools[0];
+        assert_eq!(pool.cpus, 2);
+        assert!(pool.peak_in_use >= 1);
+        assert!(pool.utilization > 0.0 && pool.utilization <= 1.0);
+    }
+
+    #[test]
+    fn missing_pool_is_an_error() {
+        let g = simple_graph(10.0, 1.0);
+        match FlowSim::new(g, vec![]) {
+            Err(CoreError::UnknownPool { name }) => assert_eq!(name, "pool"),
+            Err(other) => panic!("expected UnknownPool, got {other:?}"),
+            Ok(_) => panic!("expected UnknownPool, got Ok"),
+        }
+    }
+
+    #[test]
+    fn zero_cpu_pool_is_an_error() {
+        let g = simple_graph(10.0, 1.0);
+        assert!(matches!(
+            FlowSim::new(g, vec![CpuPool::new("pool", 0)]),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_serializes_blocks() {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage(
+            "src",
+            StageKind::Source {
+                block: DataVolume::gb(1),
+                interval: SimDuration::from_secs(1),
+                blocks: 3,
+                start: SimTime::ZERO,
+            },
+        );
+        let t = g.add_stage(
+            "link",
+            StageKind::Transfer {
+                rate: DataRate::mb_per_sec(100.0), // 10 s per block
+                latency: SimDuration::from_secs(2),
+            },
+        );
+        let a = g.add_stage("dst", StageKind::Archive);
+        g.connect(s, t).unwrap();
+        g.connect(t, a).unwrap();
+        let report = FlowSim::new(g, vec![]).unwrap().run().unwrap();
+        // Three serialized 12 s transfers: last completes at 36 s.
+        assert!((report.finished_at.as_secs_f64() - 36.0).abs() < 1e-6);
+        assert_eq!(report.stage("dst").unwrap().volume_in, DataVolume::gb(3));
+    }
+
+    #[test]
+    fn peak_storage_includes_working_space() {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage(
+            "src",
+            StageKind::Source {
+                block: DataVolume::tb(14),
+                interval: SimDuration::from_days(7),
+                blocks: 1,
+                start: SimTime::ZERO,
+            },
+        );
+        let p = g.add_stage(
+            "dedisperse",
+            StageKind::Process {
+                rate_per_cpu: DataRate::mb_per_sec(500.0),
+                cpus_per_task: 1,
+                chunk: None,
+                output_ratio: 1.0,  // time series ≈ raw volume
+                pool: "ctc".into(),
+                workspace_ratio: 0.2,
+                retain_input: true, // raw data kept for iterative reprocessing
+            },
+        );
+        let a = g.add_stage("archive", StageKind::Archive);
+        g.connect(s, p).unwrap();
+        g.connect(p, a).unwrap();
+        let report = FlowSim::new(g, vec![CpuPool::new("ctc", 8)]).unwrap().run().unwrap();
+        // Raw 14 TB + output 14 TB + 20% scratch > 30 TB instantaneous.
+        assert!(report.peak_storage >= DataVolume::tb(30), "peak {}", report.peak_storage);
+    }
+
+    #[test]
+    fn event_cap_detects_divergence() {
+        let g = simple_graph(10.0, 1.0);
+        let sim = FlowSim::new(g, vec![CpuPool::new("pool", 1)]).unwrap().with_max_events(2);
+        assert!(matches!(sim.run(), Err(CoreError::InvalidConfig { .. })));
+    }
+}

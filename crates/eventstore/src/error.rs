@@ -1,0 +1,68 @@
+//! Errors for the EventStore.
+
+use std::fmt;
+
+use sciflow_metastore::MetaError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum EsError {
+    /// Underlying metadata-store failure.
+    Meta(MetaError),
+    UnknownGrade { grade: String },
+    /// No snapshot of the grade exists at or before the analysis timestamp.
+    NoSnapshotBefore { grade: String, timestamp: String },
+    /// A grade snapshot must be declared strictly after existing snapshots.
+    SnapshotOutOfOrder { grade: String, date: String },
+    DuplicateFile { id: u64 },
+    UnknownFile { id: u64 },
+    /// Merge found records that disagree with the target store.
+    MergeConflict { detail: String },
+    /// The provenance header in a data file is malformed.
+    BadHeader { detail: String },
+    InvalidRunRange { first: u32, last: u32 },
+}
+
+impl fmt::Display for EsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EsError::Meta(e) => write!(f, "metadata store: {e}"),
+            EsError::UnknownGrade { grade } => write!(f, "no such grade `{grade}`"),
+            EsError::NoSnapshotBefore { grade, timestamp } => {
+                write!(f, "grade `{grade}` has no snapshot at or before {timestamp}")
+            }
+            EsError::SnapshotOutOfOrder { grade, date } => {
+                write!(f, "snapshot of `{grade}` at {date} is not after existing snapshots")
+            }
+            EsError::DuplicateFile { id } => write!(f, "file {id} already registered"),
+            EsError::UnknownFile { id } => write!(f, "no file {id}"),
+            EsError::MergeConflict { detail } => write!(f, "merge conflict: {detail}"),
+            EsError::BadHeader { detail } => write!(f, "bad provenance header: {detail}"),
+            EsError::InvalidRunRange { first, last } => {
+                write!(f, "invalid run range [{first}, {last}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EsError {}
+
+impl From<MetaError> for EsError {
+    fn from(e: MetaError) -> Self {
+        EsError::Meta(e)
+    }
+}
+
+pub type EsResult<T> = Result<T, EsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = EsError::UnknownGrade { grade: "physics".into() };
+        assert!(e.to_string().contains("physics"));
+        let e: EsError = MetaError::UnknownTable { name: "files".into() }.into();
+        assert!(e.to_string().contains("files"));
+    }
+}

@@ -1,0 +1,179 @@
+//! The data-file format extension that carries provenance.
+//!
+//! "The version strings and hash are stored in the output stream of each
+//! file written using a simple extension to the CLEO data storage system, so
+//! that every derived data file carries a summary of its provenance."
+//!
+//! An [`EsFileHeader`] holds the canonical provenance strings and their MD5
+//! digest; [`write_file`] prepends it to a payload and [`read_file`] parses
+//! it back, verifying internal consistency.
+
+use sciflow_core::md5::{md5_strings, Digest};
+use sciflow_core::provenance::ProvenanceRecord;
+
+use crate::error::{EsError, EsResult};
+
+const MAGIC: &[u8; 4] = b"ESF1";
+
+/// The provenance header stored in every EventStore-managed file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EsFileHeader {
+    /// The canonical provenance strings ("the physicists can view the
+    /// strings to see what has changed").
+    pub strings: Vec<String>,
+    /// MD5 over the strings.
+    pub digest: Digest,
+}
+
+impl EsFileHeader {
+    pub fn from_provenance(record: &ProvenanceRecord) -> Self {
+        let strings = record.canonical_strings();
+        let digest = md5_strings(&strings);
+        EsFileHeader { strings, digest }
+    }
+
+    /// Recompute the digest from the strings and compare — detects header
+    /// tampering or corruption.
+    pub fn verify(&self) -> bool {
+        md5_strings(&self.strings) == self.digest
+    }
+
+    /// "We can detect the majority of usage discrepancies by comparing the
+    /// hashes."
+    pub fn consistent_with(&self, other: &EsFileHeader) -> bool {
+        self.digest == other.digest
+    }
+}
+
+/// Serialize a payload with its provenance header.
+pub fn write_file(provenance: &ProvenanceRecord, payload: &[u8]) -> Vec<u8> {
+    let header = EsFileHeader::from_provenance(provenance);
+    let mut out = Vec::with_capacity(payload.len() + 256);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(header.strings.len() as u32).to_le_bytes());
+    for s in &header.strings {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.extend_from_slice(&header.digest.0);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse a file produced by [`write_file`]. Returns the header and payload.
+pub fn read_file(data: &[u8]) -> EsResult<(EsFileHeader, &[u8])> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> EsResult<&[u8]> {
+        if *pos + n > data.len() {
+            return Err(EsError::BadHeader { detail: "truncated file".into() });
+        }
+        let s = &data[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(EsError::BadHeader { detail: "bad magic".into() });
+    }
+    let n_strings = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    if n_strings > 1_000_000 {
+        return Err(EsError::BadHeader { detail: "implausible string count".into() });
+    }
+    let mut strings = Vec::with_capacity(n_strings);
+    for _ in 0..n_strings {
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let bytes = take(&mut pos, len)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| EsError::BadHeader { detail: "non-utf8 provenance string".into() })?;
+        strings.push(s.to_string());
+    }
+    let digest = Digest(
+        take(&mut pos, 16)?
+            .try_into()
+            .expect("16 bytes"),
+    );
+    let payload_len =
+        u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+    let payload = take(&mut pos, payload_len)?;
+    if pos != data.len() {
+        return Err(EsError::BadHeader { detail: "trailing bytes".into() });
+    }
+    let header = EsFileHeader { strings, digest };
+    if !header.verify() {
+        return Err(EsError::BadHeader { detail: "digest does not match strings".into() });
+    }
+    Ok((header, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciflow_core::provenance::ProvenanceStep;
+    use sciflow_core::version::{CalDate, VersionId};
+
+    fn record() -> ProvenanceRecord {
+        let mut r = ProvenanceRecord::new();
+        r.push(
+            ProvenanceStep::new(
+                "ReconProd",
+                VersionId::new("Recon", "Feb13_04_P2", CalDate::new(2004, 3, 12).unwrap(), "Cornell"),
+            )
+            .with_param("calibration", "cal-2004-02")
+            .with_input("raw/run123456"),
+        );
+        r
+    }
+
+    #[test]
+    fn roundtrip() {
+        let payload = b"event data bytes".to_vec();
+        let bytes = write_file(&record(), &payload);
+        let (header, got) = read_file(&bytes).unwrap();
+        assert_eq!(got, payload.as_slice());
+        assert!(header.verify());
+        assert_eq!(header.digest, record().digest());
+    }
+
+    #[test]
+    fn headers_detect_usage_discrepancies() {
+        let a = EsFileHeader::from_provenance(&record());
+        let mut changed = record();
+        changed.push(ProvenanceStep::new(
+            "Skim",
+            VersionId::new("Skim", "May01_04", CalDate::new(2004, 5, 1).unwrap(), "Cornell"),
+        ));
+        let b = EsFileHeader::from_provenance(&changed);
+        assert!(!a.consistent_with(&b));
+        assert!(a.consistent_with(&a.clone()));
+    }
+
+    #[test]
+    fn corrupted_files_rejected() {
+        let bytes = write_file(&record(), b"payload");
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(read_file(&bad).is_err());
+        // Truncated.
+        assert!(read_file(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(7);
+        assert!(read_file(&extended).is_err());
+        // Tampered digest.
+        let mut tampered = bytes.clone();
+        let digest_pos = bytes.len() - b"payload".len() - 8 - 16;
+        tampered[digest_pos] ^= 0xff;
+        assert!(matches!(read_file(&tampered), Err(EsError::BadHeader { .. })));
+    }
+
+    #[test]
+    fn empty_payload_and_empty_provenance() {
+        let empty = ProvenanceRecord::new();
+        let bytes = write_file(&empty, b"");
+        let (header, payload) = read_file(&bytes).unwrap();
+        assert!(payload.is_empty());
+        assert!(header.strings.is_empty());
+        assert!(header.verify());
+    }
+}

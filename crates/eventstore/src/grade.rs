@@ -1,0 +1,236 @@
+//! Data grades and run ranges.
+//!
+//! "The EventStore organizes consistent sets of data by associating a list
+//! of run ranges and a list of version identifiers for each run range with a
+//! data grade. Assignment of data to grades, particularly to the `physics`
+//! grade, is an administrative procedure performed by the CLEO officers. The
+//! evolution of a grade over time is recorded, so a consistent set of data
+//! is fully identified by the name of a grade and a time at which to
+//! snapshot that grade."
+
+use sciflow_core::version::CalDate;
+
+use crate::error::{EsError, EsResult};
+
+/// An inclusive range of run numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunRange {
+    pub first: u32,
+    pub last: u32,
+}
+
+impl RunRange {
+    pub fn new(first: u32, last: u32) -> EsResult<Self> {
+        if first > last {
+            return Err(EsError::InvalidRunRange { first, last });
+        }
+        Ok(RunRange { first, last })
+    }
+
+    pub fn single(run: u32) -> Self {
+        RunRange { first: run, last: run }
+    }
+
+    pub fn contains(&self, run: u32) -> bool {
+        (self.first..=self.last).contains(&run)
+    }
+
+    pub fn overlaps(&self, other: &RunRange) -> bool {
+        self.first <= other.last && other.first <= self.last
+    }
+
+    pub fn len(&self) -> u32 {
+        self.last - self.first + 1
+    }
+
+    /// A run range always contains at least one run.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Display for RunRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.first == self.last {
+            write!(f, "run {}", self.first)
+        } else {
+            write!(f, "runs {}-{}", self.first, self.last)
+        }
+    }
+}
+
+/// One assignment within a grade snapshot: for these runs and this data
+/// kind, analyses should read this version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradeEntry {
+    pub runs: RunRange,
+    /// The data kind this entry governs (`recon`, `postrecon`, `mc`, ...).
+    pub kind: String,
+    /// Version label, e.g. `Recon Feb13_04_P2`.
+    pub version: String,
+}
+
+/// The state of a grade as declared on one date.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradeSnapshot {
+    pub date: CalDate,
+    pub entries: Vec<GradeEntry>,
+}
+
+impl GradeSnapshot {
+    /// The version an analysis should use for (run, kind) under this
+    /// snapshot, if the snapshot covers it. Later entries override earlier
+    /// ones when ranges overlap (declaration order is authoritative).
+    pub fn version_for(&self, run: u32, kind: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.kind == kind && e.runs.contains(run))
+            .map(|e| e.version.as_str())
+    }
+
+    /// Is (run, kind) covered by any entry?
+    pub fn covers(&self, run: u32, kind: &str) -> bool {
+        self.version_for(run, kind).is_some()
+    }
+}
+
+/// The full recorded evolution of one grade.
+#[derive(Debug, Clone, Default)]
+pub struct GradeHistory {
+    pub name: String,
+    /// Snapshots in strictly increasing date order.
+    snapshots: Vec<GradeSnapshot>,
+}
+
+impl GradeHistory {
+    pub fn new(name: impl Into<String>) -> Self {
+        GradeHistory { name: name.into(), snapshots: Vec::new() }
+    }
+
+    pub fn snapshots(&self) -> &[GradeSnapshot] {
+        &self.snapshots
+    }
+
+    /// Record a new snapshot; must be dated strictly after all existing
+    /// snapshots (grade evolution is append-only).
+    pub fn declare(&mut self, snapshot: GradeSnapshot) -> EsResult<()> {
+        if let Some(last) = self.snapshots.last() {
+            if snapshot.date <= last.date {
+                return Err(EsError::SnapshotOutOfOrder {
+                    grade: self.name.clone(),
+                    date: snapshot.date.to_string(),
+                });
+            }
+        }
+        self.snapshots.push(snapshot);
+        Ok(())
+    }
+
+    /// "EventStore finds the most recent snapshot prior to the specified
+    /// date, so the date specified is not limited to a set of magic values."
+    pub fn resolve(&self, timestamp: CalDate) -> EsResult<&GradeSnapshot> {
+        self.snapshots
+            .iter()
+            .rev()
+            .find(|s| s.date <= timestamp)
+            .ok_or_else(|| EsError::NoSnapshotBefore {
+                grade: self.name.clone(),
+                timestamp: timestamp.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> CalDate {
+        CalDate::parse_compact(s).unwrap()
+    }
+
+    fn snapshot(date: &str, version: &str, first: u32, last: u32) -> GradeSnapshot {
+        GradeSnapshot {
+            date: d(date),
+            entries: vec![GradeEntry {
+                runs: RunRange::new(first, last).unwrap(),
+                kind: "recon".into(),
+                version: version.into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn run_range_basics() {
+        let r = RunRange::new(100, 200).unwrap();
+        assert!(r.contains(100) && r.contains(200) && !r.contains(99));
+        assert_eq!(r.len(), 101);
+        assert!(r.overlaps(&RunRange::new(200, 300).unwrap()));
+        assert!(!r.overlaps(&RunRange::new(201, 300).unwrap()));
+        assert!(RunRange::new(5, 4).is_err());
+        assert_eq!(RunRange::single(7).to_string(), "run 7");
+    }
+
+    #[test]
+    fn resolve_picks_most_recent_prior_snapshot() {
+        let mut g = GradeHistory::new("physics");
+        g.declare(snapshot("20040101", "Recon Jan01_04", 1, 100)).unwrap();
+        g.declare(snapshot("20040601", "Recon Jun01_04", 1, 150)).unwrap();
+        // Analysis started 2004-03-15: sees the January snapshot.
+        let s = g.resolve(d("20040315")).unwrap();
+        assert_eq!(s.version_for(50, "recon"), Some("Recon Jan01_04"));
+        // Exact snapshot date included.
+        let s = g.resolve(d("20040601")).unwrap();
+        assert_eq!(s.version_for(50, "recon"), Some("Recon Jun01_04"));
+        // Arbitrary later date, "not limited to a set of magic values".
+        let s = g.resolve(d("20051231")).unwrap();
+        assert_eq!(s.version_for(120, "recon"), Some("Recon Jun01_04"));
+    }
+
+    #[test]
+    fn no_snapshot_before_errors() {
+        let mut g = GradeHistory::new("physics");
+        g.declare(snapshot("20040601", "v", 1, 10)).unwrap();
+        assert!(matches!(
+            g.resolve(d("20040101")),
+            Err(EsError::NoSnapshotBefore { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshots_append_only() {
+        let mut g = GradeHistory::new("physics");
+        g.declare(snapshot("20040601", "v1", 1, 10)).unwrap();
+        assert!(matches!(
+            g.declare(snapshot("20040601", "v2", 1, 10)),
+            Err(EsError::SnapshotOutOfOrder { .. })
+        ));
+        assert!(matches!(
+            g.declare(snapshot("20040101", "v0", 1, 10)),
+            Err(EsError::SnapshotOutOfOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn later_entries_override_overlapping_ranges() {
+        let s = GradeSnapshot {
+            date: d("20040601"),
+            entries: vec![
+                GradeEntry {
+                    runs: RunRange::new(1, 100).unwrap(),
+                    kind: "recon".into(),
+                    version: "old".into(),
+                },
+                GradeEntry {
+                    runs: RunRange::new(50, 60).unwrap(),
+                    kind: "recon".into(),
+                    version: "patched".into(),
+                },
+            ],
+        };
+        assert_eq!(s.version_for(55, "recon"), Some("patched"));
+        assert_eq!(s.version_for(10, "recon"), Some("old"));
+        assert_eq!(s.version_for(10, "postrecon"), None);
+        assert!(!s.covers(101, "recon"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Merging a personal EventStore into a group or collaboration store.
+//!
+//! "Somewhat to our surprise, merging became the fundamental operation for
+//! adding results to the group and collaboration stores. Rather than having
+//! long-running jobs hold lengthy open transactions on the main data
+//! repository, it proved simpler to create a personal EventStore for the
+//! operation, which is merged into the larger store upon successful
+//! completion. This stratagem allowed the highest degree of integrity
+//! protection for the centrally managed data repositories with the fewest
+//! modifications to the legacy data analysis applications."
+//!
+//! [`merge_into`] implements that operation: the entire personal store is
+//! folded into the target in **one atomic transaction** — the target is
+//! locked only for the duration of a batch apply, not for the lifetime of
+//! the producing job.
+
+use sciflow_metastore::prelude::*;
+
+use crate::error::{EsError, EsResult};
+use crate::store::EventStore;
+
+/// Outcome of a merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Files newly added to the target.
+    pub files_added: usize,
+    /// Files skipped because an identical record already exists
+    /// (re-merging a store is idempotent).
+    pub files_skipped: usize,
+    /// Grade-entry rows newly added.
+    pub grade_entries_added: usize,
+    pub grade_entries_skipped: usize,
+}
+
+const FILES: &str = "es_files";
+const GRADES: &str = "es_grade_entries";
+
+/// Merge `source` (typically a personal store) into `target`.
+///
+/// Conflict policy, matching the integrity goal in the paper:
+/// * a file id present in both stores with **identical** metadata is skipped;
+/// * a file id present in both with **different** metadata aborts the merge
+///   (nothing is applied);
+/// * grade entries are deduplicated on their full content; a grade snapshot
+///   date that exists in both with different entries aborts.
+pub fn merge_into(target: &mut EventStore, source: &EventStore) -> EsResult<MergeReport> {
+    let mut report = MergeReport::default();
+    let mut txn = Transaction::new();
+
+    // --- Files ---
+    {
+        let src = source.database().table(FILES)?;
+        let dst = target.database().table(FILES)?;
+        for (_, row) in src.scan() {
+            match dst.get_by_key(&row[0])? {
+                Some(existing) if existing == row => {
+                    report.files_skipped += 1;
+                }
+                Some(existing) => {
+                    return Err(EsError::MergeConflict {
+                        detail: format!(
+                            "file {} differs between stores (target version {}, source version {})",
+                            row[0], existing[4], row[4]
+                        ),
+                    });
+                }
+                None => {
+                    txn.insert(FILES, row.to_vec());
+                    report.files_added += 1;
+                }
+            }
+        }
+    }
+
+    // --- Grade entries ---
+    let mut next_row = target.next_grade_row();
+    {
+        let src = source.database().table(GRADES)?;
+        let dst = target.database().table(GRADES)?;
+        // Content key ignores rowid (column 0).
+        let content = |row: &[Value]| -> Vec<Value> { row[1..].to_vec() };
+        let existing: Vec<Vec<Value>> = dst.scan().map(|(_, r)| content(r)).collect();
+        // Detect conflicting snapshots: same (grade, date) but differing
+        // entry sets.
+        let dst_snapshot_keys: std::collections::HashSet<(String, u32)> = dst
+            .scan()
+            .map(|(_, r)| {
+                (
+                    r[1].as_text().expect("grade is text").to_string(),
+                    r[2].as_date().expect("snapshot_date is a date"),
+                )
+            })
+            .collect();
+        for (_, row) in src.scan() {
+            let c = content(row);
+            if existing.contains(&c) {
+                report.grade_entries_skipped += 1;
+                continue;
+            }
+            let key = (
+                row[1].as_text().expect("grade is text").to_string(),
+                row[2].as_date().expect("snapshot_date is a date"),
+            );
+            if dst_snapshot_keys.contains(&key) {
+                return Err(EsError::MergeConflict {
+                    detail: format!(
+                        "grade `{}` snapshot {} exists in target with different entries",
+                        key.0, row[2]
+                    ),
+                });
+            }
+            let mut new_row = row.to_vec();
+            new_row[0] = Value::Int(next_row);
+            next_row += 1;
+            txn.insert(GRADES, new_row);
+            report.grade_entries_added += 1;
+        }
+    }
+
+    // One atomic apply: the collaboration store is never left half-merged.
+    target.db_mut().execute(&txn)?;
+    target.bump_grade_rows(report.grade_entries_added as i64);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grade::{GradeEntry, RunRange};
+    use crate::store::{FileRecord, StoreTier};
+    use sciflow_core::md5::md5;
+    use sciflow_core::version::CalDate;
+
+    fn d(s: &str) -> CalDate {
+        CalDate::parse_compact(s).unwrap()
+    }
+
+    fn file(id: u64, run: u32, version: &str) -> FileRecord {
+        FileRecord {
+            id,
+            runs: RunRange::single(run),
+            kind: "mc".into(),
+            version: version.into(),
+            site: "offsite-farm".into(),
+            registered: d("20050601"),
+            location: format!("/mc/{id}"),
+            prov_digest: md5(format!("{id}-{version}").as_bytes()),
+        }
+    }
+
+    fn entry(run: u32, version: &str) -> GradeEntry {
+        GradeEntry {
+            runs: RunRange::single(run),
+            kind: "mc".into(),
+            version: version.into(),
+        }
+    }
+
+    #[test]
+    fn merge_moves_everything_atomically() {
+        let mut collab = EventStore::new(StoreTier::Collaboration);
+        let mut personal = EventStore::new(StoreTier::Personal);
+        for i in 0..20 {
+            personal.register_file(&file(i, 100 + i as u32, "MC Jun05")).unwrap();
+        }
+        personal
+            .declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "MC Jun05")])
+            .unwrap();
+        let report = merge_into(&mut collab, &personal).unwrap();
+        assert_eq!(report.files_added, 20);
+        assert_eq!(report.grade_entries_added, 1);
+        assert_eq!(collab.file_count(), 20);
+        let view = collab.resolve("mc-pass1", d("20050701")).unwrap();
+        assert_eq!(view.version_for(100, "mc"), Some("MC Jun05"));
+    }
+
+    #[test]
+    fn remerging_is_idempotent() {
+        let mut collab = EventStore::new(StoreTier::Collaboration);
+        let mut personal = EventStore::new(StoreTier::Personal);
+        personal.register_file(&file(1, 100, "MC Jun05")).unwrap();
+        personal
+            .declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "MC Jun05")])
+            .unwrap();
+        merge_into(&mut collab, &personal).unwrap();
+        let second = merge_into(&mut collab, &personal).unwrap();
+        assert_eq!(second.files_added, 0);
+        assert_eq!(second.files_skipped, 1);
+        assert_eq!(second.grade_entries_added, 0);
+        assert_eq!(second.grade_entries_skipped, 1);
+        assert_eq!(collab.file_count(), 1);
+    }
+
+    #[test]
+    fn conflicting_file_aborts_whole_merge() {
+        let mut collab = EventStore::new(StoreTier::Collaboration);
+        collab.register_file(&file(5, 100, "MC Jun05")).unwrap();
+        let mut personal = EventStore::new(StoreTier::Personal);
+        personal.register_file(&file(4, 99, "MC Jun05")).unwrap();
+        personal.register_file(&file(5, 100, "MC DIFFERENT")).unwrap();
+        let err = merge_into(&mut collab, &personal).unwrap_err();
+        assert!(matches!(err, EsError::MergeConflict { .. }));
+        // Nothing leaked: file 4 was not added either.
+        assert_eq!(collab.file_count(), 1);
+        assert!(collab.file(4).unwrap().is_none());
+    }
+
+    #[test]
+    fn conflicting_grade_snapshot_aborts() {
+        let mut collab = EventStore::new(StoreTier::Collaboration);
+        collab
+            .declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "A")])
+            .unwrap();
+        let mut personal = EventStore::new(StoreTier::Personal);
+        personal
+            .declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "B")])
+            .unwrap();
+        assert!(matches!(
+            merge_into(&mut collab, &personal),
+            Err(EsError::MergeConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_after_roundtrip_through_disk_bytes() {
+        // The full paper workflow: generate offsite into a personal store,
+        // ship the bytes, merge at Cornell.
+        let mut personal = EventStore::new(StoreTier::Personal);
+        for i in 0..5 {
+            personal.register_file(&file(i, 200 + i as u32, "MC Jul05")).unwrap();
+        }
+        let shipped = personal.to_bytes();
+        let received = EventStore::from_bytes(&shipped).unwrap();
+        let mut collab = EventStore::new(StoreTier::Collaboration);
+        let report = merge_into(&mut collab, &received).unwrap();
+        assert_eq!(report.files_added, 5);
+    }
+
+    #[test]
+    fn grade_rows_do_not_collide_after_merges_from_multiple_sources() {
+        let mut collab = EventStore::new(StoreTier::Collaboration);
+        let mut p1 = EventStore::new(StoreTier::Personal);
+        p1.declare_snapshot("g1", d("20050601"), vec![entry(1, "v1")]).unwrap();
+        let mut p2 = EventStore::new(StoreTier::Personal);
+        p2.declare_snapshot("g2", d("20050601"), vec![entry(2, "v2")]).unwrap();
+        merge_into(&mut collab, &p1).unwrap();
+        merge_into(&mut collab, &p2).unwrap();
+        assert_eq!(collab.grade_names().unwrap(), vec!["g1", "g2"]);
+        // And the collaboration store can still declare its own snapshots.
+        collab.declare_snapshot("g1", d("20050701"), vec![entry(1, "v3")]).unwrap();
+    }
+}

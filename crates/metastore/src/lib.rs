@@ -1,0 +1,67 @@
+//! # sciflow-metastore
+//!
+//! An embedded relational-style metadata store — the workspace's stand-in
+//! for the MS SQL Server, MySQL and SQLite instances the paper's three
+//! projects rely on.
+//!
+//! All three case studies converged on the same architecture: bulk payloads
+//! in files or object stores, metadata in a relational database. Arecibo
+//! loads "data diagnostics and plots, test statistics, candidate lists,
+//! confirmation analyses" into SQL Server; CLEO's EventStore keeps grade and
+//! version metadata in SQLite (personal) or MySQL/SQL Server (group,
+//! collaboration), with "all but the lowest layers of the database interface
+//! code ... independent of the database implementation"; WebLab separates
+//! link/metadata (relational) from page content. This crate provides that
+//! common layer:
+//!
+//! * typed [`value::Value`]s and validated [`schema::Schema`]s;
+//! * [`table::Table`] row storage with primary-key and secondary B-tree
+//!   indexes;
+//! * [`query`] — predicate trees, projection/order/limit, and a planner that
+//!   reports its [`query::AccessPath`];
+//! * [`db::Database`] with atomic batch [`db::Transaction`]s (the primitive
+//!   EventStore merging is built on);
+//! * [`persist`] — self-contained binary snapshots for disconnected
+//!   operation.
+//!
+//! ```
+//! use sciflow_metastore::prelude::*;
+//!
+//! let mut db = Database::new();
+//! let schema = Schema::new(vec![
+//!     ColumnDef::new("run", ValueType::Int),
+//!     ColumnDef::new("grade", ValueType::Text),
+//! ]).unwrap().with_primary_key("run").unwrap();
+//! db.create_table("runs", schema).unwrap();
+//!
+//! let mut txn = Transaction::new();
+//! txn.insert("runs", vec![Value::Int(201_388), Value::Text("physics".into())]);
+//! db.execute(&txn).unwrap();
+//!
+//! let t = db.table("runs").unwrap();
+//! let got = select(t, &Query::filter(Predicate::Eq(0, Value::Int(201_388)))).unwrap();
+//! assert_eq!(got.rows.len(), 1);
+//! assert_eq!(got.path, AccessPath::IndexEq);
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod persist;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod value;
+pub mod view;
+
+/// Convenient glob import for applications.
+pub mod prelude {
+    pub use crate::db::{Database, Op, Transaction};
+    pub use crate::error::{MetaError, MetaResult};
+    pub use crate::query::{group_count, select, AccessPath, Predicate, Query, Selected};
+    pub use crate::schema::{ColumnDef, Schema};
+    pub use crate::table::{RowId, Table};
+    pub use crate::value::{Value, ValueType};
+    pub use crate::view::{ViewCatalog, ViewDef};
+}
+
+pub use prelude::*;

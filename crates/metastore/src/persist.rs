@@ -1,0 +1,339 @@
+//! Persistence: a self-describing binary snapshot of a [`Database`].
+//!
+//! The personal EventStore in the paper is "self-contained ... supporting
+//! completely disconnected operation" — a user carries the store on a laptop
+//! and later merges it back. That requires the metadata database to round-
+//! trip through a file. The format here is deliberately simple: a magic
+//! header, then length-prefixed tables, schemas, and tagged values.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::db::Database;
+use crate::error::{MetaError, MetaResult};
+use crate::schema::{ColumnDef, Schema};
+use crate::table::Table;
+use crate::value::{Value, ValueType};
+
+const MAGIC: &[u8; 8] = b"SFMETA1\n";
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Real(r) => {
+            out.push(2);
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        Value::Blob(b) => {
+            out.push(4);
+            put_u32(out, b.len() as u32);
+            out.extend_from_slice(b);
+        }
+        Value::Date(d) => {
+            out.push(5);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+    }
+}
+
+fn type_tag(t: ValueType) -> u8 {
+    match t {
+        ValueType::Int => 1,
+        ValueType::Real => 2,
+        ValueType::Text => 3,
+        ValueType::Blob => 4,
+        ValueType::Date => 5,
+    }
+}
+
+fn type_from_tag(tag: u8) -> MetaResult<ValueType> {
+    Ok(match tag {
+        1 => ValueType::Int,
+        2 => ValueType::Real,
+        3 => ValueType::Text,
+        4 => ValueType::Blob,
+        5 => ValueType::Date,
+        other => {
+            return Err(MetaError::Corrupt { detail: format!("unknown type tag {other}") })
+        }
+    })
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> MetaResult<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(MetaError::Corrupt { detail: "unexpected end of snapshot".into() });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> MetaResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> MetaResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> MetaResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> MetaResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| MetaError::Corrupt { detail: "invalid utf-8 string".into() })
+    }
+
+    fn value(&mut self) -> MetaResult<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"))),
+            2 => Value::Real(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"))),
+            3 => Value::Text(self.string()?),
+            4 => {
+                let len = self.u32()? as usize;
+                Value::Blob(self.take(len)?.to_vec())
+            }
+            5 => Value::Date(self.u32()?),
+            other => {
+                return Err(MetaError::Corrupt { detail: format!("unknown value tag {other}") })
+            }
+        })
+    }
+}
+
+/// Serialize the whole database to bytes.
+pub fn to_bytes(db: &Database) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let tables: Vec<&Table> = db.tables().collect();
+    put_u32(&mut out, tables.len() as u32);
+    for t in tables {
+        put_str(&mut out, t.name());
+        let schema = t.schema();
+        put_u32(&mut out, schema.arity() as u32);
+        for c in schema.columns() {
+            put_str(&mut out, &c.name);
+            out.push(type_tag(c.ty));
+            out.push(c.nullable as u8);
+        }
+        match schema.primary_key() {
+            Some(pk) => {
+                out.push(1);
+                put_u32(&mut out, pk as u32);
+            }
+            None => out.push(0),
+        }
+        // Secondary indexes by column position.
+        let index_cols: Vec<u32> = (0..schema.arity())
+            .filter(|&c| Some(c) != schema.primary_key() && t.has_index(c))
+            .map(|c| c as u32)
+            .collect();
+        put_u32(&mut out, index_cols.len() as u32);
+        for c in &index_cols {
+            put_u32(&mut out, *c);
+        }
+        put_u64(&mut out, t.len() as u64);
+        for (_, row) in t.scan() {
+            for v in row {
+                put_value(&mut out, v);
+            }
+        }
+    }
+    out
+}
+
+/// Reconstruct a database from bytes produced by [`to_bytes`].
+pub fn from_bytes(data: &[u8]) -> MetaResult<Database> {
+    let mut cur = Cursor { data, pos: 0 };
+    if cur.take(MAGIC.len())? != MAGIC {
+        return Err(MetaError::Corrupt { detail: "bad magic".into() });
+    }
+    let mut db = Database::new();
+    let n_tables = cur.u32()?;
+    for _ in 0..n_tables {
+        let name = cur.string()?;
+        let n_cols = cur.u32()? as usize;
+        let mut cols = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let cname = cur.string()?;
+            let ty = type_from_tag(cur.u8()?)?;
+            let nullable = cur.u8()? != 0;
+            let mut def = ColumnDef::new(cname, ty);
+            if nullable {
+                def = def.nullable();
+            }
+            cols.push(def);
+        }
+        let mut schema = Schema::new(cols)?;
+        if cur.u8()? == 1 {
+            let pk = cur.u32()? as usize;
+            if pk >= schema.arity() {
+                return Err(MetaError::Corrupt { detail: "primary key out of range".into() });
+            }
+            let pk_name = schema.columns()[pk].name.clone();
+            schema = schema.with_primary_key(&pk_name)?;
+        }
+        let n_indexes = cur.u32()? as usize;
+        let mut index_cols = Vec::with_capacity(n_indexes);
+        for _ in 0..n_indexes {
+            let c = cur.u32()? as usize;
+            if c >= schema.arity() {
+                return Err(MetaError::Corrupt { detail: "index column out of range".into() });
+            }
+            index_cols.push(schema.columns()[c].name.clone());
+        }
+        let arity = schema.arity();
+        let table = db.create_table(name, schema)?;
+        for col in &index_cols {
+            table.create_index(col)?;
+        }
+        let n_rows = cur.u64()?;
+        for _ in 0..n_rows {
+            let mut row = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                row.push(cur.value()?);
+            }
+            table.insert(row)?;
+        }
+    }
+    if cur.pos != data.len() {
+        return Err(MetaError::Corrupt { detail: "trailing bytes after snapshot".into() });
+    }
+    Ok(db)
+}
+
+/// Write a snapshot to `path`.
+pub fn save(db: &Database, path: &Path) -> MetaResult<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&to_bytes(db))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a snapshot from `path`.
+pub fn load(path: &Path) -> MetaResult<Database> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{select, AccessPath, Predicate, Query};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", ValueType::Int),
+            ColumnDef::new("name", ValueType::Text),
+            ColumnDef::new("score", ValueType::Real).nullable(),
+            ColumnDef::new("payload", ValueType::Blob),
+            ColumnDef::new("day", ValueType::Date),
+        ])
+        .unwrap()
+        .with_primary_key("id")
+        .unwrap();
+        let t = db.create_table("products", schema).unwrap();
+        t.create_index("name").unwrap();
+        for i in 0..50i64 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::Text(format!("p{}", i % 5)),
+                if i % 3 == 0 { Value::Null } else { Value::Real(i as f64 / 3.0) },
+                Value::Blob(vec![i as u8; (i % 7) as usize]),
+                Value::Date(20050100 + (i % 28) as u32 + 1),
+            ])
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows_and_indexes() {
+        let db = sample_db();
+        let bytes = to_bytes(&db);
+        let loaded = from_bytes(&bytes).unwrap();
+        let orig = db.table("products").unwrap();
+        let copy = loaded.table("products").unwrap();
+        assert_eq!(orig.len(), copy.len());
+        assert_eq!(orig.schema(), copy.schema());
+        let rows_a: Vec<_> = orig.scan().map(|(_, r)| r.to_vec()).collect();
+        let rows_b: Vec<_> = copy.scan().map(|(_, r)| r.to_vec()).collect();
+        assert_eq!(rows_a, rows_b);
+        // Index survives: query planner still uses it.
+        let q = Query::filter(Predicate::Eq(1, Value::Text("p2".into())));
+        assert_eq!(select(copy, &q).unwrap().path, AccessPath::IndexEq);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let db = sample_db();
+        let mut bytes = to_bytes(&db);
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(from_bytes(&bad), Err(MetaError::Corrupt { .. })));
+        // Truncation.
+        bytes.truncate(bytes.len() / 2);
+        assert!(from_bytes(&bytes).is_err());
+        // Trailing garbage.
+        let mut extended = to_bytes(&db);
+        extended.push(0);
+        assert!(matches!(from_bytes(&extended), Err(MetaError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let db = Database::new();
+        let loaded = from_bytes(&to_bytes(&db)).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("sciflow-metastore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.sfm");
+        save(&db, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.table("products").unwrap().len(), 50);
+        std::fs::remove_file(&path).ok();
+    }
+}

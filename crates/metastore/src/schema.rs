@@ -1,0 +1,195 @@
+//! Table schemas: column definitions, primary keys, and row validation.
+
+use std::fmt;
+
+use crate::error::{MetaError, MetaResult};
+use crate::value::{Value, ValueType};
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ValueType,
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        ColumnDef { name: name.into(), ty, nullable: false }
+    }
+
+    pub fn nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+}
+
+/// A table schema: ordered columns plus an optional single-column primary
+/// key. (Single-column keys cover every metadata table in the paper: run
+/// numbers, candidate ids, page ids, file uids.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    primary_key: Option<usize>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<ColumnDef>) -> MetaResult<Self> {
+        if columns.is_empty() {
+            return Err(MetaError::InvalidSchema { detail: "schema has no columns".into() });
+        }
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[..i] {
+                if a.name == b.name {
+                    return Err(MetaError::InvalidSchema {
+                        detail: format!("duplicate column `{}`", a.name),
+                    });
+                }
+            }
+        }
+        Ok(Schema { columns, primary_key: None })
+    }
+
+    /// Declare `column` as the primary key. Key columns must be non-nullable.
+    pub fn with_primary_key(mut self, column: &str) -> MetaResult<Self> {
+        let idx = self.column_index(column)?;
+        if self.columns[idx].nullable {
+            return Err(MetaError::InvalidSchema {
+                detail: format!("primary key `{column}` must be non-nullable"),
+            });
+        }
+        self.primary_key = Some(idx);
+        Ok(self)
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn primary_key(&self) -> Option<usize> {
+        self.primary_key
+    }
+
+    pub fn column_index(&self, name: &str) -> MetaResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| MetaError::UnknownColumn { name: name.to_string() })
+    }
+
+    /// Check a row against this schema: arity, types, nullability.
+    pub fn validate_row(&self, row: &[Value]) -> MetaResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(MetaError::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (col, val) in self.columns.iter().zip(row) {
+            match val.type_of() {
+                None if col.nullable => {}
+                None => {
+                    return Err(MetaError::NullViolation { column: col.name.clone() });
+                }
+                Some(ty) if ty == col.ty => {}
+                Some(ty) => {
+                    return Err(MetaError::TypeMismatch {
+                        column: col.name.clone(),
+                        expected: col.ty,
+                        got: ty,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+            if c.nullable {
+                write!(f, " NULL")?;
+            }
+            if self.primary_key == Some(i) {
+                write!(f, " PRIMARY KEY")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("run", ValueType::Int),
+            ColumnDef::new("grade", ValueType::Text),
+            ColumnDef::new("score", ValueType::Real).nullable(),
+        ])
+        .unwrap()
+        .with_primary_key("run")
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_rows_pass() {
+        let s = sample();
+        s.validate_row(&[Value::Int(1), Value::Text("physics".into()), Value::Real(0.5)])
+            .unwrap();
+        s.validate_row(&[Value::Int(1), Value::Text("physics".into()), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let s = sample();
+        assert!(matches!(
+            s.validate_row(&[Value::Int(1)]),
+            Err(MetaError::ArityMismatch { expected: 3, got: 1 })
+        ));
+        assert!(matches!(
+            s.validate_row(&[Value::Text("x".into()), Value::Text("y".into()), Value::Null]),
+            Err(MetaError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate_row(&[Value::Int(1), Value::Null, Value::Null]),
+            Err(MetaError::NullViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_construction_errors() {
+        assert!(Schema::new(vec![]).is_err());
+        let dup = Schema::new(vec![
+            ColumnDef::new("a", ValueType::Int),
+            ColumnDef::new("a", ValueType::Int),
+        ]);
+        assert!(dup.is_err());
+        let nullable_pk = Schema::new(vec![ColumnDef::new("a", ValueType::Int).nullable()])
+            .unwrap()
+            .with_primary_key("a");
+        assert!(nullable_pk.is_err());
+        let missing_pk = Schema::new(vec![ColumnDef::new("a", ValueType::Int)])
+            .unwrap()
+            .with_primary_key("b");
+        assert!(missing_pk.is_err());
+    }
+
+    #[test]
+    fn display_includes_key() {
+        let text = sample().to_string();
+        assert!(text.contains("run INT PRIMARY KEY"), "{text}");
+        assert!(text.contains("score REAL NULL"), "{text}");
+    }
+}

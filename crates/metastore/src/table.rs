@@ -1,0 +1,353 @@
+//! Row storage with primary-key and secondary B-tree indexes.
+
+use std::collections::BTreeMap;
+
+use crate::error::{MetaError, MetaResult};
+use crate::schema::Schema;
+use crate::value::{OrdValue, Value};
+
+/// Stable identifier of a row slot within a table. Deleted slots leave
+/// tombstones so ids never move.
+pub type RowId = usize;
+
+#[derive(Debug, Clone)]
+pub(crate) struct SecondaryIndex {
+    pub column: usize,
+    pub map: BTreeMap<OrdValue, Vec<RowId>>,
+}
+
+impl SecondaryIndex {
+    fn insert(&mut self, key: &Value, id: RowId) {
+        self.map.entry(OrdValue(key.clone())).or_default().push(id);
+    }
+
+    fn remove(&mut self, key: &Value, id: RowId) {
+        if let Some(ids) = self.map.get_mut(&OrdValue(key.clone())) {
+            ids.retain(|&x| x != id);
+            if ids.is_empty() {
+                self.map.remove(&OrdValue(key.clone()));
+            }
+        }
+    }
+}
+
+/// A table: schema, rows, primary-key map, and secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Option<Vec<Value>>>,
+    live: usize,
+    pk_map: BTreeMap<OrdValue, RowId>,
+    pub(crate) indexes: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            pk_map: BTreeMap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Create a secondary index on `column`. Existing rows are indexed
+    /// immediately; idempotent for an already-indexed column.
+    pub fn create_index(&mut self, column: &str) -> MetaResult<()> {
+        let col = self.schema.column_index(column)?;
+        if self.indexes.iter().any(|i| i.column == col) {
+            return Ok(());
+        }
+        let mut idx = SecondaryIndex { column: col, map: BTreeMap::new() };
+        for (id, row) in self.rows.iter().enumerate() {
+            if let Some(row) = row {
+                idx.insert(&row[col], id);
+            }
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes.iter().any(|i| i.column == col)
+            || self.schema.primary_key() == Some(col)
+    }
+
+    /// Insert a row, enforcing schema and primary-key uniqueness.
+    pub fn insert(&mut self, row: Vec<Value>) -> MetaResult<RowId> {
+        self.schema.validate_row(&row)?;
+        if let Some(pk) = self.schema.primary_key() {
+            if self.pk_map.contains_key(&OrdValue(row[pk].clone())) {
+                return Err(MetaError::DuplicateKey { key: row[pk].to_string() });
+            }
+        }
+        let id = self.rows.len();
+        if let Some(pk) = self.schema.primary_key() {
+            self.pk_map.insert(OrdValue(row[pk].clone()), id);
+        }
+        for idx in &mut self.indexes {
+            idx.insert(&row[idx.column], id);
+        }
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(id)
+    }
+
+    pub fn get(&self, id: RowId) -> Option<&[Value]> {
+        self.rows.get(id).and_then(|r| r.as_deref())
+    }
+
+    /// Look up a row by primary key.
+    pub fn get_by_key(&self, key: &Value) -> MetaResult<Option<&[Value]>> {
+        if self.schema.primary_key().is_none() {
+            return Err(MetaError::NoPrimaryKey { table: self.name.clone() });
+        }
+        Ok(self
+            .pk_map
+            .get(&OrdValue(key.clone()))
+            .and_then(|&id| self.get(id)))
+    }
+
+    /// Replace the row with primary key `key`. The new row may change the
+    /// key itself (uniqueness re-checked). Returns the old row.
+    pub fn update_by_key(&mut self, key: &Value, row: Vec<Value>) -> MetaResult<Vec<Value>> {
+        let pk = self
+            .schema
+            .primary_key()
+            .ok_or_else(|| MetaError::NoPrimaryKey { table: self.name.clone() })?;
+        self.schema.validate_row(&row)?;
+        let id = *self
+            .pk_map
+            .get(&OrdValue(key.clone()))
+            .ok_or_else(|| MetaError::RowNotFound { key: key.to_string() })?;
+        let new_key = &row[pk];
+        if new_key.total_cmp(key) != std::cmp::Ordering::Equal
+            && self.pk_map.contains_key(&OrdValue(new_key.clone()))
+        {
+            return Err(MetaError::DuplicateKey { key: new_key.to_string() });
+        }
+        let old = self.rows[id].take().expect("pk map points at live row");
+        self.pk_map.remove(&OrdValue(key.clone()));
+        self.pk_map.insert(OrdValue(row[pk].clone()), id);
+        for idx in &mut self.indexes {
+            idx.remove(&old[idx.column], id);
+            idx.insert(&row[idx.column], id);
+        }
+        self.rows[id] = Some(row);
+        Ok(old)
+    }
+
+    /// Delete the row with primary key `key`, returning it.
+    pub fn delete_by_key(&mut self, key: &Value) -> MetaResult<Vec<Value>> {
+        if self.schema.primary_key().is_none() {
+            return Err(MetaError::NoPrimaryKey { table: self.name.clone() });
+        }
+        let id = self
+            .pk_map
+            .remove(&OrdValue(key.clone()))
+            .ok_or_else(|| MetaError::RowNotFound { key: key.to_string() })?;
+        let old = self.rows[id].take().expect("pk map points at live row");
+        for idx in &mut self.indexes {
+            idx.remove(&old[idx.column], id);
+        }
+        self.live -= 1;
+        Ok(old)
+    }
+
+    /// Iterate over live rows in insertion order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.as_deref().map(|row| (id, row)))
+    }
+
+    /// Row ids whose indexed `col` equals `key`, if an index (or the primary
+    /// key) covers it. `None` means no index available.
+    pub(crate) fn index_eq(&self, col: usize, key: &Value) -> Option<Vec<RowId>> {
+        if self.schema.primary_key() == Some(col) {
+            return Some(
+                self.pk_map
+                    .get(&OrdValue(key.clone()))
+                    .map(|&id| vec![id])
+                    .unwrap_or_default(),
+            );
+        }
+        self.indexes
+            .iter()
+            .find(|i| i.column == col)
+            .map(|i| i.map.get(&OrdValue(key.clone())).cloned().unwrap_or_default())
+    }
+
+    /// Row ids whose indexed `col` lies in `[lo, hi]` (either bound may be
+    /// open). `None` means no index available.
+    pub(crate) fn index_range(
+        &self,
+        col: usize,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<Vec<RowId>> {
+        use std::ops::Bound;
+        let lo_b = lo.map_or(Bound::Unbounded, |v| Bound::Included(OrdValue(v.clone())));
+        let hi_b = hi.map_or(Bound::Unbounded, |v| Bound::Included(OrdValue(v.clone())));
+        if self.schema.primary_key() == Some(col) {
+            return Some(self.pk_map.range((lo_b, hi_b)).map(|(_, &id)| id).collect());
+        }
+        self.indexes.iter().find(|i| i.column == col).map(|i| {
+            i.map
+                .range((lo_b, hi_b))
+                .flat_map(|(_, ids)| ids.iter().copied())
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+
+    fn runs_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("run", ValueType::Int),
+            ColumnDef::new("events", ValueType::Int),
+            ColumnDef::new("grade", ValueType::Text),
+        ])
+        .unwrap()
+        .with_primary_key("run")
+        .unwrap();
+        Table::new("runs", schema)
+    }
+
+    fn row(run: i64, events: i64, grade: &str) -> Vec<Value> {
+        vec![Value::Int(run), Value::Int(events), Value::Text(grade.into())]
+    }
+
+    #[test]
+    fn insert_get_update_delete() {
+        let mut t = runs_table();
+        t.insert(row(1, 100_000, "physics")).unwrap();
+        t.insert(row(2, 15_000, "raw")).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.get_by_key(&Value::Int(2)).unwrap().unwrap()[1],
+            Value::Int(15_000)
+        );
+        let old = t.update_by_key(&Value::Int(2), row(2, 16_000, "physics")).unwrap();
+        assert_eq!(old[1], Value::Int(15_000));
+        let gone = t.delete_by_key(&Value::Int(1)).unwrap();
+        assert_eq!(gone[2], Value::Text("physics".into()));
+        assert_eq!(t.len(), 1);
+        assert!(t.get_by_key(&Value::Int(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = runs_table();
+        t.insert(row(7, 1, "raw")).unwrap();
+        assert!(matches!(t.insert(row(7, 2, "raw")), Err(MetaError::DuplicateKey { .. })));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn update_missing_row_errors() {
+        let mut t = runs_table();
+        assert!(matches!(
+            t.update_by_key(&Value::Int(9), row(9, 1, "raw")),
+            Err(MetaError::RowNotFound { .. })
+        ));
+        assert!(matches!(
+            t.delete_by_key(&Value::Int(9)),
+            Err(MetaError::RowNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn update_changing_key_checks_uniqueness() {
+        let mut t = runs_table();
+        t.insert(row(1, 1, "a")).unwrap();
+        t.insert(row(2, 2, "b")).unwrap();
+        assert!(matches!(
+            t.update_by_key(&Value::Int(1), row(2, 1, "a")),
+            Err(MetaError::DuplicateKey { .. })
+        ));
+        // Moving to a fresh key works and frees the old one.
+        t.update_by_key(&Value::Int(1), row(3, 1, "a")).unwrap();
+        assert!(t.get_by_key(&Value::Int(1)).unwrap().is_none());
+        assert!(t.get_by_key(&Value::Int(3)).unwrap().is_some());
+    }
+
+    #[test]
+    fn secondary_index_tracks_mutations() {
+        let mut t = runs_table();
+        t.create_index("grade").unwrap();
+        t.insert(row(1, 1, "raw")).unwrap();
+        t.insert(row(2, 2, "physics")).unwrap();
+        t.insert(row(3, 3, "physics")).unwrap();
+        let grade_col = t.schema().column_index("grade").unwrap();
+        assert_eq!(t.index_eq(grade_col, &Value::Text("physics".into())).unwrap().len(), 2);
+        t.delete_by_key(&Value::Int(2)).unwrap();
+        assert_eq!(t.index_eq(grade_col, &Value::Text("physics".into())).unwrap().len(), 1);
+        t.update_by_key(&Value::Int(3), row(3, 3, "raw")).unwrap();
+        assert!(t.index_eq(grade_col, &Value::Text("physics".into())).unwrap().is_empty());
+        assert_eq!(t.index_eq(grade_col, &Value::Text("raw".into())).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn index_created_after_rows_exist() {
+        let mut t = runs_table();
+        t.insert(row(1, 10, "raw")).unwrap();
+        t.insert(row(2, 20, "raw")).unwrap();
+        t.create_index("events").unwrap();
+        let col = t.schema().column_index("events").unwrap();
+        assert_eq!(
+            t.index_range(col, Some(&Value::Int(15)), None).unwrap(),
+            vec![1]
+        );
+        // Idempotent.
+        t.create_index("events").unwrap();
+        assert_eq!(t.indexes.len(), 1);
+    }
+
+    #[test]
+    fn pk_range_scan() {
+        let mut t = runs_table();
+        for i in 0..10 {
+            t.insert(row(i, i * 10, "raw")).unwrap();
+        }
+        let ids = t.index_range(0, Some(&Value::Int(3)), Some(&Value::Int(5))).unwrap();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn scan_skips_tombstones() {
+        let mut t = runs_table();
+        t.insert(row(1, 1, "a")).unwrap();
+        t.insert(row(2, 2, "b")).unwrap();
+        t.delete_by_key(&Value::Int(1)).unwrap();
+        let rows: Vec<_> = t.scan().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[0], Value::Int(2));
+    }
+}

@@ -1,0 +1,175 @@
+//! Federated analysis across sites.
+//!
+//! Section 5's outlook: "if the Internet Archive also connects to the
+//! TeraGrid ... A social science researcher will be able to analyze data,
+//! some of which is stored at Cornell, some in San Francisco at the
+//! Internet Archive, and some on a local computer. When extracting subsets
+//! for detailed research, a social scientist will be able to combine
+//! relational queries at Cornell with text searches ... at the Internet
+//! Archive."
+//!
+//! The model: a federated query touches data at several [`Site`]s; we cost
+//! two execution strategies — **ship the data** to the researcher and
+//! filter locally, or **ship the query** and move only each site's
+//! (selective) result — over the links between sites.
+
+use sciflow_core::units::{DataVolume, SimDuration};
+
+use crate::link::NetworkLink;
+
+/// One participating site with the data it holds.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub name: String,
+    /// Data the query must consult at this site.
+    pub data: DataVolume,
+    /// Fraction of that data surviving the site-local predicate
+    /// (selectivity of the subquery that could run there).
+    pub selectivity: f64,
+    /// Link from this site to the researcher.
+    pub link: NetworkLink,
+}
+
+impl Site {
+    pub fn new(
+        name: impl Into<String>,
+        data: DataVolume,
+        selectivity: f64,
+        link: NetworkLink,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&selectivity), "selectivity must be in [0, 1]");
+        Site { name: name.into(), data, selectivity, link }
+    }
+}
+
+/// Per-strategy costs of one federated query.
+#[derive(Debug, Clone)]
+pub struct FederationPlan {
+    /// Move every byte, filter at home.
+    pub ship_data: SimDuration,
+    /// Run subqueries in place, move only results.
+    pub ship_query: SimDuration,
+    pub result_volume: DataVolume,
+    /// ship_data / ship_query.
+    pub speedup: f64,
+}
+
+/// Cost a federated query over `sites`. Sites transfer concurrently (each
+/// has its own link), so the elapsed time is the slowest site's transfer.
+pub fn plan_federated_query(sites: &[Site]) -> Option<FederationPlan> {
+    if sites.is_empty() {
+        return None;
+    }
+    let mut ship_data = SimDuration::ZERO;
+    let mut ship_query = SimDuration::ZERO;
+    let mut result = DataVolume::ZERO;
+    for s in sites {
+        let full = s.link.transfer_time(s.data)?;
+        let filtered = s.data.scale(s.selectivity);
+        let partial = s.link.transfer_time(filtered)?;
+        ship_data = ship_data.max(full);
+        ship_query = ship_query.max(partial);
+        result += filtered;
+    }
+    let speedup = if ship_query.as_micros() == 0 {
+        f64::INFINITY
+    } else {
+        ship_data.as_secs_f64() / ship_query.as_secs_f64()
+    };
+    Some(FederationPlan { ship_data, ship_query, result_volume: result, speedup })
+}
+
+/// The paper's concrete scenario: Cornell (relational extract), the
+/// Internet Archive (text-search hits), and the researcher's local data.
+pub fn paper_scenario() -> Vec<Site> {
+    use crate::profiles::{internet2_100, teragrid};
+    vec![
+        Site::new("cornell-weblab", DataVolume::tb(2), 0.01, teragrid()),
+        Site::new("internet-archive", DataVolume::tb(5), 0.002, internet2_100()),
+        Site::new(
+            "local-workstation",
+            DataVolume::gb(50),
+            0.2,
+            NetworkLink::new(
+                "localhost",
+                sciflow_core::DataRate::mb_per_sec(400.0),
+                SimDuration::ZERO,
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciflow_core::DataRate;
+
+    #[test]
+    fn shipping_queries_beats_shipping_data_for_selective_work() {
+        let plan = plan_federated_query(&paper_scenario()).expect("links are live");
+        assert!(
+            plan.speedup > 50.0,
+            "selective subqueries should win big: {:.0}×",
+            plan.speedup
+        );
+        // The researcher receives a tractable result, not terabytes.
+        assert!(plan.result_volume < DataVolume::gb(50));
+        assert!(plan.ship_query < SimDuration::from_hours(24));
+        assert!(plan.ship_data > SimDuration::from_days(4));
+    }
+
+    #[test]
+    fn unselective_queries_gain_nothing() {
+        let sites = vec![Site::new(
+            "all-of-it",
+            DataVolume::gb(100),
+            1.0,
+            NetworkLink::new("l", DataRate::mb_per_sec(100.0), SimDuration::ZERO),
+        )];
+        let plan = plan_federated_query(&sites).expect("link is live");
+        assert!((plan.speedup - 1.0).abs() < 1e-9);
+        assert_eq!(plan.result_volume, DataVolume::gb(100));
+    }
+
+    #[test]
+    fn elapsed_time_is_the_slowest_site() {
+        let fast = Site::new(
+            "fast",
+            DataVolume::gb(10),
+            0.5,
+            NetworkLink::new("f", DataRate::mb_per_sec(1000.0), SimDuration::ZERO),
+        );
+        let slow = Site::new(
+            "slow",
+            DataVolume::gb(10),
+            0.5,
+            NetworkLink::new("s", DataRate::mb_per_sec(10.0), SimDuration::ZERO),
+        );
+        let only_slow = plan_federated_query(std::slice::from_ref(&slow)).expect("live");
+        let both = plan_federated_query(&[fast, slow]).expect("live");
+        assert_eq!(both.ship_query, only_slow.ship_query);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(plan_federated_query(&[]).is_none());
+        let dead = Site::new(
+            "dead",
+            DataVolume::gb(1),
+            0.5,
+            NetworkLink::new("d", DataRate::ZERO, SimDuration::ZERO),
+        );
+        assert!(plan_federated_query(&[dead]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn bad_selectivity_panics() {
+        Site::new(
+            "x",
+            DataVolume::gb(1),
+            1.5,
+            NetworkLink::new("l", DataRate::mb_per_sec(1.0), SimDuration::ZERO),
+        );
+    }
+}

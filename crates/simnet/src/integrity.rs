@@ -1,0 +1,167 @@
+//! Data-integrity verification for media transport.
+//!
+//! The paper lists "assessment and maintenance of data integrity; tracking
+//! and logging; ensuring no data loss" among the main issues of physical
+//! transport. We model the standard remedy: checksum every unit before it
+//! leaves, verify on arrival, re-ship corrupted units.
+
+use rand::Rng;
+
+use sciflow_core::md5::{md5, Digest};
+
+/// A manifest entry: unit name plus its checksum at the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    pub name: String,
+    pub checksum: Digest,
+    pub bytes: u64,
+}
+
+/// Build a shipping manifest from (name, payload) pairs.
+pub fn build_manifest(units: &[(String, Vec<u8>)]) -> Vec<ManifestEntry> {
+    units
+        .iter()
+        .map(|(name, data)| ManifestEntry {
+            name: name.clone(),
+            checksum: md5(data),
+            bytes: data.len() as u64,
+        })
+        .collect()
+}
+
+/// Verify received payloads against a manifest. Returns the names of units
+/// whose checksum (or size) does not match — these must be re-shipped.
+pub fn verify_against_manifest(
+    manifest: &[ManifestEntry],
+    received: &[(String, Vec<u8>)],
+) -> Vec<String> {
+    let mut failed = Vec::new();
+    for entry in manifest {
+        match received.iter().find(|(name, _)| name == &entry.name) {
+            Some((_, data)) => {
+                if data.len() as u64 != entry.bytes || md5(data) != entry.checksum {
+                    failed.push(entry.name.clone());
+                }
+            }
+            None => failed.push(entry.name.clone()),
+        }
+    }
+    failed
+}
+
+/// Outcome of a simulated verify-and-reship campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerificationReport {
+    pub units: usize,
+    /// Units that arrived corrupted at least once.
+    pub corrupted: usize,
+    /// Total shipping rounds needed until every unit verified (≥ 1).
+    pub rounds: usize,
+    /// Total unit-shipments, including re-ships.
+    pub total_unit_shipments: usize,
+}
+
+/// Simulate shipping `units` units where each unit independently corrupts in
+/// transit with probability `corruption_prob`; corrupted units are re-shipped
+/// until clean. Deterministic given the RNG.
+pub fn simulate_verified_shipping<R: Rng>(
+    units: usize,
+    corruption_prob: f64,
+    rng: &mut R,
+) -> VerificationReport {
+    assert!((0.0..1.0).contains(&corruption_prob), "probability must be in [0, 1)");
+    let mut outstanding = units;
+    let mut rounds = 0usize;
+    let mut total = 0usize;
+    let mut ever_corrupted = 0usize;
+    let mut first_round = true;
+    while outstanding > 0 {
+        rounds += 1;
+        total += outstanding;
+        let mut failures = 0usize;
+        for _ in 0..outstanding {
+            if rng.gen_bool(corruption_prob) {
+                failures += 1;
+            }
+        }
+        if first_round {
+            ever_corrupted = failures;
+            first_round = false;
+        }
+        outstanding = failures;
+    }
+    VerificationReport {
+        units,
+        corrupted: ever_corrupted,
+        rounds: rounds.max(1),
+        total_unit_shipments: total.max(units),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn units() -> Vec<(String, Vec<u8>)> {
+        (0..5)
+            .map(|i| (format!("disk-{i}"), vec![i as u8; 1000 + i]))
+            .collect()
+    }
+
+    #[test]
+    fn clean_shipment_verifies() {
+        let u = units();
+        let manifest = build_manifest(&u);
+        assert!(verify_against_manifest(&manifest, &u).is_empty());
+    }
+
+    #[test]
+    fn corruption_and_loss_detected() {
+        let u = units();
+        let manifest = build_manifest(&u);
+        let mut received = u.clone();
+        received[2].1[500] ^= 0xff; // bit flip
+        received.remove(4); // lost in transit
+        let failed = verify_against_manifest(&manifest, &received);
+        assert_eq!(failed, vec!["disk-2".to_string(), "disk-4".to_string()]);
+    }
+
+    #[test]
+    fn truncation_detected_even_if_prefix_matches() {
+        let u = units();
+        let manifest = build_manifest(&u);
+        let mut received = u.clone();
+        received[0].1.truncate(10);
+        let failed = verify_against_manifest(&manifest, &received);
+        assert_eq!(failed, vec!["disk-0".to_string()]);
+    }
+
+    #[test]
+    fn zero_corruption_needs_one_round() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = simulate_verified_shipping(100, 0.0, &mut rng);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.total_unit_shipments, 100);
+        assert_eq!(report.corrupted, 0);
+    }
+
+    #[test]
+    fn high_corruption_costs_reships() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = simulate_verified_shipping(1000, 0.2, &mut rng);
+        assert!(report.rounds > 1);
+        assert!(report.total_unit_shipments > 1000);
+        // Expected extra ≈ 1/(1-p) - 1 = 25%.
+        let overhead = report.total_unit_shipments as f64 / 1000.0;
+        assert!(overhead > 1.1 && overhead < 1.5, "overhead {overhead}");
+    }
+
+    #[test]
+    fn zero_units_trivially_done() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = simulate_verified_shipping(0, 0.1, &mut rng);
+        assert_eq!(report.total_unit_shipments, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # sciflow-simnet
+//!
+//! Transport simulation for large-scale data flows: network links, physical
+//! media shipping ("sneakernet"), transfer planning, and integrity
+//! verification.
+//!
+//! The paper's central transport finding is that no single channel fits all
+//! three projects: Arecibo ships ATA disks because its uplink cannot carry
+//! petabyte-scale raw data; WebLab pulls 250 GB/day over a dedicated
+//! 100 Mb/s Internet2 link; CLEO ships USB disks of Monte-Carlo output
+//! because "a Grid-based approach will only be a viable alternative if it
+//! provides faster data transfer at lower cost". The [`transfer`] module
+//! makes those comparisons quantitative, and [`profiles`] captures the
+//! paper's concrete 2005/2006 infrastructure.
+
+pub mod federation;
+pub mod integrity;
+pub mod link;
+pub mod profiles;
+pub mod shipping;
+pub mod transfer;
+
+pub use federation::{paper_scenario, plan_federated_query, FederationPlan, Site};
+pub use integrity::{build_manifest, simulate_verified_shipping, verify_against_manifest,
+                    ManifestEntry, VerificationReport};
+pub use link::NetworkLink;
+pub use shipping::{plan_shipment, MediaSpec, ShipmentPlan, ShippingRoute};
+pub use transfer::{compare, crossover_bandwidth, TransferComparison, TransferMode};

@@ -1,0 +1,177 @@
+//! Transfer planning: network vs physical shipment.
+//!
+//! Section 5 of the paper frames the choice exactly: "The currently
+//! available best solutions are very different in nature, mostly determined
+//! by bandwidth considerations and cost: physical disk transfer vs. a
+//! dedicated link to Internet2" — and, for CLEO, "a Grid-based approach will
+//! only be a viable alternative if it provides faster data transfer at lower
+//! cost". [`compare`] renders that verdict for a given volume, and
+//! [`crossover_bandwidth`] finds the link speed at which the network starts
+//! winning.
+
+use sciflow_core::units::{DataRate, DataVolume, SimDuration};
+
+use crate::link::NetworkLink;
+use crate::shipping::{plan_shipment, MediaSpec, ShipmentPlan, ShippingRoute};
+
+/// Which channel wins for a given transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMode {
+    Network,
+    Shipping,
+}
+
+/// The outcome of comparing the two channels for one volume.
+#[derive(Debug, Clone)]
+pub struct TransferComparison {
+    pub volume: DataVolume,
+    /// `None` when the link cannot carry data at all.
+    pub network_time: Option<SimDuration>,
+    pub shipping: ShipmentPlan,
+    pub winner: TransferMode,
+    /// time(loser) / time(winner); `None` when the network is unusable.
+    pub advantage: Option<f64>,
+}
+
+/// Compare moving `volume` over `link` against shipping it on `media` via
+/// `route`. Faster channel wins; a dead link means shipping wins outright.
+pub fn compare(
+    volume: DataVolume,
+    link: &NetworkLink,
+    media: &MediaSpec,
+    route: &ShippingRoute,
+) -> TransferComparison {
+    let shipping = plan_shipment(volume, media, route);
+    let network_time = link.transfer_time(volume);
+    let (winner, advantage) = match network_time {
+        None => (TransferMode::Shipping, None),
+        Some(net) => {
+            let ship = shipping.total_time;
+            if net <= ship {
+                (
+                    TransferMode::Network,
+                    Some(ship.as_secs_f64() / net.as_secs_f64().max(f64::MIN_POSITIVE)),
+                )
+            } else {
+                (
+                    TransferMode::Shipping,
+                    Some(net.as_secs_f64() / ship.as_secs_f64().max(f64::MIN_POSITIVE)),
+                )
+            }
+        }
+    };
+    TransferComparison { volume, network_time, shipping, winner, advantage }
+}
+
+/// The minimum sustained link rate at which the network matches the shipping
+/// plan for `volume`. Returns `None` if shipping completes within the link
+/// latency alone (no finite bandwidth can win).
+pub fn crossover_bandwidth(
+    volume: DataVolume,
+    media: &MediaSpec,
+    route: &ShippingRoute,
+    link_latency: SimDuration,
+) -> Option<DataRate> {
+    let ship = plan_shipment(volume, media, route).total_time;
+    let budget = ship.as_secs_f64() - link_latency.as_secs_f64();
+    if budget <= 0.0 {
+        return None;
+    }
+    Some(DataRate::from_bytes_per_sec(volume.bytes() as f64 / budget))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ata_disk() -> MediaSpec {
+        MediaSpec::new(
+            "ATA-400GB",
+            DataVolume::gb(400),
+            DataRate::mb_per_sec(50.0),
+            DataRate::mb_per_sec(60.0),
+        )
+    }
+
+    fn route() -> ShippingRoute {
+        ShippingRoute {
+            name: "Arecibo→CTC".into(),
+            transit: SimDuration::from_days(3),
+            handling: SimDuration::from_hours(4),
+            personnel_hours_per_shipment: 6.0,
+            units_per_shipment: 20,
+        }
+    }
+
+    #[test]
+    fn slow_uplink_loses_to_disks_for_arecibo_volumes() {
+        // A few Mb/s of effective off-island bandwidth vs 10 TB sessions.
+        let uplink = NetworkLink::new(
+            "arecibo-uplink",
+            DataRate::mbit_per_sec(10.0),
+            SimDuration::from_micros(80_000),
+        )
+        .with_efficiency(0.5);
+        let c = compare(DataVolume::tb(10), &uplink, &ata_disk(), &route());
+        assert_eq!(c.winner, TransferMode::Shipping);
+        // 10 TB at 0.625 MB/s ≈ 185 days vs ~6 days shipped.
+        assert!(c.advantage.unwrap() > 10.0);
+    }
+
+    #[test]
+    fn fast_dedicated_link_wins() {
+        let internet2 = NetworkLink::new(
+            "internet2",
+            DataRate::mbit_per_sec(500.0),
+            SimDuration::from_micros(35_000),
+        );
+        let c = compare(DataVolume::tb(10), &internet2, &ata_disk(), &route());
+        assert_eq!(c.winner, TransferMode::Network);
+    }
+
+    #[test]
+    fn dead_link_means_shipping() {
+        let down = NetworkLink::new("down", DataRate::ZERO, SimDuration::ZERO);
+        let c = compare(DataVolume::tb(1), &down, &ata_disk(), &route());
+        assert_eq!(c.winner, TransferMode::Shipping);
+        assert!(c.advantage.is_none());
+        assert!(c.network_time.is_none());
+    }
+
+    #[test]
+    fn crossover_sits_between_win_and_loss() {
+        let volume = DataVolume::tb(10);
+        let cross = crossover_bandwidth(volume, &ata_disk(), &route(), SimDuration::ZERO).unwrap();
+
+        let below = NetworkLink::new("below", cross * 0.8, SimDuration::ZERO);
+        assert_eq!(compare(volume, &below, &ata_disk(), &route()).winner, TransferMode::Shipping);
+
+        let above = NetworkLink::new("above", cross * 1.2, SimDuration::ZERO);
+        assert_eq!(compare(volume, &above, &ata_disk(), &route()).winner, TransferMode::Network);
+    }
+
+    #[test]
+    fn crossover_none_when_shipping_beats_latency() {
+        let instant_route = ShippingRoute {
+            name: "same-building".into(),
+            transit: SimDuration::from_secs(1),
+            handling: SimDuration::ZERO,
+            personnel_hours_per_shipment: 0.1,
+            units_per_shipment: 1,
+        };
+        // Link latency alone exceeds the shipping time for tiny volumes.
+        let media = MediaSpec::new(
+            "usb",
+            DataVolume::gb(100),
+            DataRate::mb_per_sec(1e9),
+            DataRate::mb_per_sec(1e9),
+        );
+        let cross = crossover_bandwidth(
+            DataVolume::from_bytes(1),
+            &media,
+            &instant_route,
+            SimDuration::from_secs(10),
+        );
+        assert!(cross.is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Long-term archiving across media generations.
+//!
+//! "A key issue ... is the migration of the data to new storage technologies
+//! as they emerge. Storage media costs undoubtedly will decrease, but
+//! manpower requirements for migrating the data are significant and care is
+//! needed to avoid loss of data." This module models an archive whose
+//! contents must periodically be copied onto newer media, tracking media
+//! cost, migration personnel effort, and residual loss risk.
+
+use sciflow_core::units::{DataRate, DataVolume, SimDuration};
+
+use crate::cost::CostLedger;
+use crate::error::{StorageError, StorageResult};
+
+/// One storage technology generation (e.g. successive tape formats).
+#[derive(Debug, Clone)]
+pub struct MediaGeneration {
+    pub name: String,
+    /// Purchase cost per decimal terabyte.
+    pub cost_per_tb: f64,
+    /// Streaming copy rate when migrating onto this generation.
+    pub copy_rate: DataRate,
+    /// Probability per year that a given stored byte's media unit fails if
+    /// left unmigrated (annualised media decay).
+    pub annual_failure_rate: f64,
+}
+
+impl MediaGeneration {
+    pub fn new(
+        name: impl Into<String>,
+        cost_per_tb: f64,
+        copy_rate: DataRate,
+        annual_failure_rate: f64,
+    ) -> Self {
+        MediaGeneration {
+            name: name.into(),
+            cost_per_tb,
+            copy_rate,
+            annual_failure_rate,
+        }
+    }
+}
+
+/// A long-lived archive: contents, current generation, accumulated cost.
+#[derive(Debug)]
+pub struct LongTermArchive {
+    volume: DataVolume,
+    generation: MediaGeneration,
+    ledger: CostLedger,
+    /// Fraction of human oversight per migrated terabyte, in hours.
+    pub personnel_hours_per_tb: f64,
+    migrations: u32,
+}
+
+impl LongTermArchive {
+    pub fn new(generation: MediaGeneration, personnel_hours_per_tb: f64) -> Self {
+        LongTermArchive {
+            volume: DataVolume::ZERO,
+            generation,
+            ledger: CostLedger::default(),
+            personnel_hours_per_tb,
+            migrations: 0,
+        }
+    }
+
+    pub fn volume(&self) -> DataVolume {
+        self.volume
+    }
+
+    pub fn generation(&self) -> &MediaGeneration {
+        &self.generation
+    }
+
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    pub fn migrations(&self) -> u32 {
+        self.migrations
+    }
+
+    /// Add data to the archive on the current generation, buying media.
+    pub fn ingest(&mut self, volume: DataVolume) {
+        self.volume += volume;
+        let tb = volume.bytes() as f64 / 1e12;
+        self.ledger.add_media_cost(tb * self.generation.cost_per_tb);
+    }
+
+    /// Copy the entire archive onto a new generation. Returns the wall-clock
+    /// copy time. Media for the full volume is purchased at the new
+    /// generation's price, and personnel time is charged per terabyte.
+    pub fn migrate(&mut self, to: MediaGeneration) -> StorageResult<SimDuration> {
+        if to.copy_rate.bytes_per_sec() <= 0.0 {
+            return Err(StorageError::InvalidConfig {
+                detail: "migration target has zero copy rate".into(),
+            });
+        }
+        let tb = self.volume.bytes() as f64 / 1e12;
+        self.ledger.add_media_cost(tb * to.cost_per_tb);
+        self.ledger.add_personnel_hours(tb * self.personnel_hours_per_tb);
+        let t = self
+            .volume
+            .time_at(to.copy_rate)
+            .unwrap_or(SimDuration::ZERO);
+        self.generation = to;
+        self.migrations += 1;
+        Ok(t)
+    }
+
+    /// Probability that any given byte survives `years` on the current
+    /// generation without migration.
+    pub fn survival_probability(&self, years: f64) -> f64 {
+        (1.0 - self.generation.annual_failure_rate).powf(years.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_2005() -> MediaGeneration {
+        MediaGeneration::new("LTO-3", 300.0, DataRate::mb_per_sec(80.0), 0.02)
+    }
+
+    fn gen_2008() -> MediaGeneration {
+        MediaGeneration::new("LTO-4", 150.0, DataRate::mb_per_sec(120.0), 0.01)
+    }
+
+    #[test]
+    fn ingest_accrues_media_cost() {
+        let mut a = LongTermArchive::new(gen_2005(), 0.5);
+        a.ingest(DataVolume::tb(10));
+        assert_eq!(a.volume(), DataVolume::tb(10));
+        assert!((a.ledger().media_cost() - 3000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn migration_charges_media_and_personnel() {
+        let mut a = LongTermArchive::new(gen_2005(), 0.5);
+        a.ingest(DataVolume::tb(100));
+        let t = a.migrate(gen_2008()).unwrap();
+        // 100 TB at 120 MB/s ≈ 9.6 days.
+        assert!((t.as_days_f64() - 9.645).abs() < 0.1, "{t}");
+        assert!((a.ledger().personnel_hours() - 50.0).abs() < 1e-6);
+        // Old media 100*300 + new media 100*150.
+        assert!((a.ledger().media_cost() - 45_000.0).abs() < 1e-6);
+        assert_eq!(a.generation().name, "LTO-4");
+        assert_eq!(a.migrations(), 1);
+    }
+
+    #[test]
+    fn newer_generation_improves_survival() {
+        let mut a = LongTermArchive::new(gen_2005(), 0.5);
+        a.ingest(DataVolume::tb(1));
+        let before = a.survival_probability(10.0);
+        a.migrate(gen_2008()).unwrap();
+        let after = a.survival_probability(10.0);
+        assert!(after > before);
+        assert!(before > 0.8 && before < 1.0);
+    }
+
+    #[test]
+    fn zero_rate_target_rejected() {
+        let mut a = LongTermArchive::new(gen_2005(), 0.5);
+        a.ingest(DataVolume::tb(1));
+        let bad = MediaGeneration::new("broken", 1.0, DataRate::ZERO, 0.5);
+        assert!(a.migrate(bad).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Hierarchical storage management: a disk cache in front of a tape library.
+//!
+//! CLEO's data "are stored in a hierarchical storage management (HSM) system
+//! (which automatically moves data between tape and disk cache)". The cache
+//! is LRU: recalls of resident files are disk-speed hits; cold recalls mount
+//! tape, stream the file, and evict least-recently-used residents to make
+//! room.
+
+use std::collections::HashMap;
+
+use sciflow_core::units::{DataVolume, SimDuration};
+
+use crate::error::StorageResult;
+use crate::media::{Disk, FileId, TapeLibrary};
+
+/// Cache statistics for an HSM instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HsmStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Total time spent servicing recalls.
+    pub total_recall_time: SimDuration,
+}
+
+impl HsmStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A disk cache fronting a tape library.
+#[derive(Debug)]
+pub struct Hsm {
+    cache: Disk,
+    tape: TapeLibrary,
+    /// file → (volume, last-use tick) for residents.
+    resident: HashMap<FileId, (DataVolume, u64)>,
+    tick: u64,
+    stats: HsmStats,
+}
+
+impl Hsm {
+    pub fn new(cache: Disk, tape: TapeLibrary) -> Self {
+        Hsm { cache, tape, resident: HashMap::new(), tick: 0, stats: HsmStats::default() }
+    }
+
+    pub fn stats(&self) -> HsmStats {
+        self.stats
+    }
+
+    pub fn tape(&self) -> &TapeLibrary {
+        &self.tape
+    }
+
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Ingest a new file: write through to tape and leave a copy in cache.
+    /// Returns the ingest time (tape write dominates).
+    pub fn store(&mut self, id: FileId, volume: DataVolume) -> StorageResult<SimDuration> {
+        let tape_time = self.tape.archive(id, volume)?;
+        self.make_room(volume);
+        if self.cache.write(volume).is_ok() {
+            self.tick += 1;
+            self.resident.insert(id, (volume, self.tick));
+        }
+        Ok(tape_time)
+    }
+
+    /// Read a file, recalling from tape on a cache miss. Returns the service
+    /// time.
+    pub fn recall(&mut self, id: FileId) -> StorageResult<SimDuration> {
+        self.tick += 1;
+        if let Some(entry) = self.resident.get_mut(&id) {
+            entry.1 = self.tick;
+            let t = self.cache.read_time(entry.0);
+            self.stats.hits += 1;
+            self.stats.total_recall_time += t;
+            return Ok(t);
+        }
+        let (volume, tape_time) = self.tape.recall(id)?;
+        self.stats.misses += 1;
+        self.make_room(volume);
+        let cache_time = if self.cache.write(volume).is_ok() {
+            self.resident.insert(id, (volume, self.tick));
+            // Staging to disk overlaps the tape stream; no extra charge.
+            SimDuration::ZERO
+        } else {
+            SimDuration::ZERO
+        };
+        let t = tape_time + cache_time;
+        self.stats.total_recall_time += t;
+        Ok(t)
+    }
+
+    /// Evict least-recently-used residents until `needed` fits in cache.
+    fn make_room(&mut self, needed: DataVolume) {
+        while self.cache.free() < needed && !self.resident.is_empty() {
+            let (&victim, &(vol, _)) = self
+                .resident
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .expect("resident non-empty");
+            self.resident.remove(&victim);
+            self.cache.release(vol);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciflow_core::units::DataRate;
+
+    fn hsm(cache_gb: u64) -> Hsm {
+        let cache = Disk::new(
+            "cache",
+            DataVolume::gb(cache_gb),
+            DataRate::mb_per_sec(200.0),
+            DataRate::mb_per_sec(150.0),
+        );
+        let tape = TapeLibrary::new(
+            "silo",
+            DataVolume::gb(500),
+            100,
+            DataRate::mb_per_sec(30.0),
+            SimDuration::from_secs(90),
+        );
+        Hsm::new(cache, tape)
+    }
+
+    #[test]
+    fn hot_files_hit_cache() {
+        let mut h = hsm(100);
+        h.store(FileId(1), DataVolume::gb(10)).unwrap();
+        let t = h.recall(FileId(1)).unwrap();
+        // Disk read, no mount: 10 GB / 200 MB/s = 50 s.
+        assert!((t.as_secs_f64() - 50.0).abs() < 1e-6);
+        assert_eq!(h.stats().hits, 1);
+        assert_eq!(h.stats().misses, 0);
+    }
+
+    #[test]
+    fn cold_files_pay_tape_penalty() {
+        let mut h = hsm(15);
+        h.store(FileId(1), DataVolume::gb(10)).unwrap();
+        h.store(FileId(2), DataVolume::gb(10)).unwrap(); // evicts 1
+        assert_eq!(h.stats().evictions, 1);
+        let t = h.recall(FileId(1)).unwrap();
+        assert!(t.as_secs_f64() > 90.0, "mount + stream expected, got {t}");
+        assert_eq!(h.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut h = hsm(25);
+        h.store(FileId(1), DataVolume::gb(10)).unwrap();
+        h.store(FileId(2), DataVolume::gb(10)).unwrap();
+        h.recall(FileId(1)).unwrap(); // 1 now more recent than 2
+        h.store(FileId(3), DataVolume::gb(10)).unwrap(); // must evict 2
+        let t1 = h.recall(FileId(1)).unwrap();
+        assert!(t1.as_secs_f64() < 90.0, "1 should still be resident");
+        let stats_before = h.stats().misses;
+        h.recall(FileId(2)).unwrap();
+        assert_eq!(h.stats().misses, stats_before + 1, "2 was the LRU victim");
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut h = hsm(100);
+        h.store(FileId(1), DataVolume::gb(1)).unwrap();
+        for _ in 0..9 {
+            h.recall(FileId(1)).unwrap();
+        }
+        assert!((h.stats().hit_rate() - 1.0).abs() < 1e-9);
+        assert_eq!(HsmStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn file_larger_than_cache_still_served_from_tape() {
+        let mut h = hsm(5);
+        h.store(FileId(1), DataVolume::gb(10)).unwrap();
+        assert_eq!(h.resident_count(), 0, "cannot cache a file bigger than cache");
+        let t = h.recall(FileId(1)).unwrap();
+        assert!(t.as_secs_f64() > 90.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Storage media models: disks and robotic tape libraries.
+//!
+//! Arecibo raw data disks "are transported to the CTC, where their contents
+//! are archived to a robotic tape system and retrieved for processing";
+//! CLEO keeps most data "in a hierarchical storage management (HSM) system
+//! (which automatically moves data between tape and disk cache)". These
+//! models capture what matters to the flow experiments: capacity, transfer
+//! rate, and (for tape) mount latency.
+
+use sciflow_core::units::{DataRate, DataVolume, SimDuration};
+
+use crate::error::{StorageError, StorageResult};
+
+/// Identifier for a stored object (an archived file or run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// A directly attached disk volume.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    pub name: String,
+    capacity: DataVolume,
+    used: DataVolume,
+    pub read_rate: DataRate,
+    pub write_rate: DataRate,
+}
+
+impl Disk {
+    pub fn new(
+        name: impl Into<String>,
+        capacity: DataVolume,
+        read_rate: DataRate,
+        write_rate: DataRate,
+    ) -> Self {
+        Disk { name: name.into(), capacity, used: DataVolume::ZERO, read_rate, write_rate }
+    }
+
+    pub fn capacity(&self) -> DataVolume {
+        self.capacity
+    }
+
+    pub fn used(&self) -> DataVolume {
+        self.used
+    }
+
+    pub fn free(&self) -> DataVolume {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Reserve space for `volume`; returns the write duration.
+    pub fn write(&mut self, volume: DataVolume) -> StorageResult<SimDuration> {
+        if volume > self.free() {
+            return Err(StorageError::Full {
+                device: self.name.clone(),
+                requested: volume,
+                free: self.free(),
+            });
+        }
+        self.used += volume;
+        Ok(volume.time_at(self.write_rate).unwrap_or(SimDuration::ZERO))
+    }
+
+    /// Release previously written space.
+    pub fn release(&mut self, volume: DataVolume) {
+        self.used = self.used.saturating_sub(volume);
+    }
+
+    /// Time to read `volume` back.
+    pub fn read_time(&self, volume: DataVolume) -> SimDuration {
+        volume.time_at(self.read_rate).unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Where a file landed inside the tape library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapeLocation {
+    pub cartridge: usize,
+    pub volume: DataVolume,
+}
+
+/// A robotic tape library: a pool of cartridges behind a small number of
+/// drives, with a mount penalty per recall.
+#[derive(Debug, Clone)]
+pub struct TapeLibrary {
+    pub name: String,
+    cartridge_capacity: DataVolume,
+    cartridges: Vec<DataVolume>, // used bytes per cartridge
+    max_cartridges: usize,
+    pub drive_rate: DataRate,
+    pub mount_time: SimDuration,
+    catalog: std::collections::HashMap<FileId, TapeLocation>,
+    /// Cartridge currently mounted (None when the drive is empty).
+    mounted: Option<usize>,
+    pub mounts: u64,
+}
+
+impl TapeLibrary {
+    pub fn new(
+        name: impl Into<String>,
+        cartridge_capacity: DataVolume,
+        max_cartridges: usize,
+        drive_rate: DataRate,
+        mount_time: SimDuration,
+    ) -> Self {
+        TapeLibrary {
+            name: name.into(),
+            cartridge_capacity,
+            cartridges: Vec::new(),
+            max_cartridges,
+            drive_rate,
+            mount_time,
+            catalog: std::collections::HashMap::new(),
+            mounted: None,
+            mounts: 0,
+        }
+    }
+
+    pub fn stored(&self) -> DataVolume {
+        self.cartridges.iter().copied().sum()
+    }
+
+    pub fn cartridge_count(&self) -> usize {
+        self.cartridges.len()
+    }
+
+    pub fn contains(&self, id: FileId) -> bool {
+        self.catalog.contains_key(&id)
+    }
+
+    /// Archive a file. A file must fit on one cartridge (the ARC/run/block
+    /// granularities in the paper are all far below cartridge capacity).
+    /// Returns the time to mount (if needed) and stream the data.
+    pub fn archive(&mut self, id: FileId, volume: DataVolume) -> StorageResult<SimDuration> {
+        if self.catalog.contains_key(&id) {
+            return Err(StorageError::AlreadyArchived { id });
+        }
+        if volume > self.cartridge_capacity {
+            return Err(StorageError::ObjectTooLarge {
+                requested: volume,
+                limit: self.cartridge_capacity,
+            });
+        }
+        // First cartridge with room, else a fresh one.
+        let slot = self
+            .cartridges
+            .iter()
+            .position(|&used| self.cartridge_capacity.saturating_sub(used) >= volume);
+        let slot = match slot {
+            Some(s) => s,
+            None => {
+                if self.cartridges.len() >= self.max_cartridges {
+                    return Err(StorageError::Full {
+                        device: self.name.clone(),
+                        requested: volume,
+                        free: DataVolume::ZERO,
+                    });
+                }
+                self.cartridges.push(DataVolume::ZERO);
+                self.cartridges.len() - 1
+            }
+        };
+        self.cartridges[slot] += volume;
+        self.catalog.insert(id, TapeLocation { cartridge: slot, volume });
+        Ok(self.mount_cost(slot) + volume.time_at(self.drive_rate).unwrap_or(SimDuration::ZERO))
+    }
+
+    /// Recall a file: mount its cartridge (if not already mounted) and
+    /// stream it off. Returns (volume, time).
+    pub fn recall(&mut self, id: FileId) -> StorageResult<(DataVolume, SimDuration)> {
+        let loc = *self
+            .catalog
+            .get(&id)
+            .ok_or(StorageError::NotArchived { id })?;
+        let t = self.mount_cost(loc.cartridge)
+            + loc.volume.time_at(self.drive_rate).unwrap_or(SimDuration::ZERO);
+        Ok((loc.volume, t))
+    }
+
+    fn mount_cost(&mut self, cartridge: usize) -> SimDuration {
+        if self.mounted == Some(cartridge) {
+            SimDuration::ZERO
+        } else {
+            self.mounted = Some(cartridge);
+            self.mounts += 1;
+            self.mount_time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> TapeLibrary {
+        TapeLibrary::new(
+            "ctc-silo",
+            DataVolume::gb(200),
+            4,
+            DataRate::mb_per_sec(30.0),
+            SimDuration::from_secs(90),
+        )
+    }
+
+    #[test]
+    fn disk_capacity_enforced() {
+        let mut d = Disk::new(
+            "ata0",
+            DataVolume::gb(250),
+            DataRate::mb_per_sec(60.0),
+            DataRate::mb_per_sec(50.0),
+        );
+        d.write(DataVolume::gb(200)).unwrap();
+        assert_eq!(d.free(), DataVolume::gb(50));
+        assert!(matches!(d.write(DataVolume::gb(100)), Err(StorageError::Full { .. })));
+        d.release(DataVolume::gb(150));
+        d.write(DataVolume::gb(100)).unwrap();
+        assert_eq!(d.used(), DataVolume::gb(150));
+    }
+
+    #[test]
+    fn disk_write_time_follows_rate() {
+        let mut d = Disk::new(
+            "ata0",
+            DataVolume::gb(250),
+            DataRate::mb_per_sec(60.0),
+            DataRate::mb_per_sec(50.0),
+        );
+        let t = d.write(DataVolume::gb(5)).unwrap();
+        assert!((t.as_secs_f64() - 100.0).abs() < 1e-6);
+        assert!((d.read_time(DataVolume::gb(6)).as_secs_f64() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tape_archive_and_recall() {
+        let mut t = lib();
+        let write = t.archive(FileId(1), DataVolume::gb(30)).unwrap();
+        assert_eq!(t.mounts, 1);
+        assert!((write.as_secs_f64() - (90.0 + 1000.0)).abs() < 1e-6);
+        // Second file on the same cartridge: no new mount.
+        t.archive(FileId(2), DataVolume::gb(30)).unwrap();
+        assert_eq!(t.mounts, 1);
+        let (vol, read) = t.recall(FileId(1)).unwrap();
+        assert_eq!(vol, DataVolume::gb(30));
+        assert_eq!(t.mounts, 1, "cartridge already mounted");
+        assert!((read.as_secs_f64() - 1000.0).abs() < 1e-6);
+        assert!(t.contains(FileId(2)));
+        assert!(!t.contains(FileId(9)));
+    }
+
+    #[test]
+    fn tape_spills_to_new_cartridges_until_library_full() {
+        let mut t = lib();
+        for i in 0..4 {
+            t.archive(FileId(i), DataVolume::gb(180)).unwrap();
+        }
+        assert_eq!(t.cartridge_count(), 4);
+        assert!(matches!(
+            t.archive(FileId(99), DataVolume::gb(180)),
+            Err(StorageError::Full { .. })
+        ));
+        // Small file still fits in the slack of cartridge 0.
+        t.archive(FileId(100), DataVolume::gb(10)).unwrap();
+    }
+
+    #[test]
+    fn tape_rejects_oversized_and_duplicate_objects() {
+        let mut t = lib();
+        assert!(matches!(
+            t.archive(FileId(1), DataVolume::gb(500)),
+            Err(StorageError::ObjectTooLarge { .. })
+        ));
+        t.archive(FileId(1), DataVolume::gb(10)).unwrap();
+        assert!(matches!(
+            t.archive(FileId(1), DataVolume::gb(10)),
+            Err(StorageError::AlreadyArchived { .. })
+        ));
+        assert!(matches!(t.recall(FileId(7)), Err(StorageError::NotArchived { .. })));
+    }
+
+    #[test]
+    fn remount_counted_when_switching_cartridges() {
+        let mut t = lib();
+        t.archive(FileId(1), DataVolume::gb(150)).unwrap(); // cart 0
+        t.archive(FileId(2), DataVolume::gb(150)).unwrap(); // cart 1
+        assert_eq!(t.mounts, 2);
+        t.recall(FileId(1)).unwrap(); // back to cart 0
+        assert_eq!(t.mounts, 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! RAID array capacity and throughput model.
+//!
+//! The WebLab server "will have 240 TB of RAID disk storage" by the end of
+//! 2007; this module answers the sizing questions such a deployment poses:
+//! usable capacity, aggregate bandwidth, and how many disk failures a level
+//! survives.
+
+use sciflow_core::units::{DataRate, DataVolume};
+
+use crate::error::{StorageError, StorageResult};
+
+/// Supported RAID levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaidLevel {
+    /// Striping, no redundancy.
+    Raid0,
+    /// Mirrored pairs.
+    Raid10,
+    /// Single parity.
+    Raid5,
+    /// Double parity.
+    Raid6,
+}
+
+/// A RAID array of identical disks.
+#[derive(Debug, Clone)]
+pub struct RaidArray {
+    pub level: RaidLevel,
+    pub disks: u32,
+    pub disk_capacity: DataVolume,
+    pub disk_rate: DataRate,
+}
+
+impl RaidArray {
+    pub fn new(
+        level: RaidLevel,
+        disks: u32,
+        disk_capacity: DataVolume,
+        disk_rate: DataRate,
+    ) -> StorageResult<Self> {
+        let min = match level {
+            RaidLevel::Raid0 => 1,
+            RaidLevel::Raid10 => 2,
+            RaidLevel::Raid5 => 3,
+            RaidLevel::Raid6 => 4,
+        };
+        if disks < min {
+            return Err(StorageError::InvalidConfig {
+                detail: format!("{level:?} needs at least {min} disks, got {disks}"),
+            });
+        }
+        if level == RaidLevel::Raid10 && !disks.is_multiple_of(2) {
+            return Err(StorageError::InvalidConfig {
+                detail: "RAID 10 needs an even number of disks".into(),
+            });
+        }
+        Ok(RaidArray { level, disks, disk_capacity, disk_rate })
+    }
+
+    /// Capacity available to the filesystem after redundancy.
+    pub fn usable_capacity(&self) -> DataVolume {
+        let data_disks = match self.level {
+            RaidLevel::Raid0 => self.disks,
+            RaidLevel::Raid10 => self.disks / 2,
+            RaidLevel::Raid5 => self.disks - 1,
+            RaidLevel::Raid6 => self.disks - 2,
+        };
+        self.disk_capacity * data_disks as u64
+    }
+
+    /// Aggregate sequential read bandwidth (all spindles contribute).
+    pub fn read_rate(&self) -> DataRate {
+        self.disk_rate * self.disks as f64
+    }
+
+    /// Aggregate sequential write bandwidth (data spindles only; parity and
+    /// mirror writes consume the rest).
+    pub fn write_rate(&self) -> DataRate {
+        let effective = match self.level {
+            RaidLevel::Raid0 => self.disks,
+            RaidLevel::Raid10 => self.disks / 2,
+            RaidLevel::Raid5 => self.disks - 1,
+            RaidLevel::Raid6 => self.disks - 2,
+        };
+        self.disk_rate * effective as f64
+    }
+
+    /// How many arbitrary concurrent disk failures the array is guaranteed
+    /// to survive.
+    pub fn guaranteed_failure_tolerance(&self) -> u32 {
+        match self.level {
+            RaidLevel::Raid0 => 0,
+            RaidLevel::Raid10 => 1,
+            RaidLevel::Raid5 => 1,
+            RaidLevel::Raid6 => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weblab_sizing() {
+        // Approximate the 240 TB WebLab array: 500 GB disks, RAID 5.
+        let array = RaidArray::new(
+            RaidLevel::Raid5,
+            481,
+            DataVolume::gb(500),
+            DataRate::mb_per_sec(60.0),
+        )
+        .unwrap();
+        assert_eq!(array.usable_capacity(), DataVolume::tb(240));
+        assert!(array.guaranteed_failure_tolerance() >= 1);
+    }
+
+    #[test]
+    fn levels_differ_in_usable_capacity() {
+        let mk = |level| {
+            RaidArray::new(level, 8, DataVolume::tb(1), DataRate::mb_per_sec(100.0)).unwrap()
+        };
+        assert_eq!(mk(RaidLevel::Raid0).usable_capacity(), DataVolume::tb(8));
+        assert_eq!(mk(RaidLevel::Raid10).usable_capacity(), DataVolume::tb(4));
+        assert_eq!(mk(RaidLevel::Raid5).usable_capacity(), DataVolume::tb(7));
+        assert_eq!(mk(RaidLevel::Raid6).usable_capacity(), DataVolume::tb(6));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(RaidArray::new(RaidLevel::Raid5, 2, DataVolume::tb(1), DataRate::mb_per_sec(1.0))
+            .is_err());
+        assert!(RaidArray::new(RaidLevel::Raid10, 5, DataVolume::tb(1), DataRate::mb_per_sec(1.0))
+            .is_err());
+        assert!(RaidArray::new(RaidLevel::Raid6, 3, DataVolume::tb(1), DataRate::mb_per_sec(1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn rates_scale_with_spindles() {
+        let a = RaidArray::new(RaidLevel::Raid10, 8, DataVolume::tb(1), DataRate::mb_per_sec(50.0))
+            .unwrap();
+        assert!((a.read_rate().bytes_per_sec() - 400e6).abs() < 1.0);
+        assert!((a.write_rate().bytes_per_sec() - 200e6).abs() < 1.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Burst detection.
+//!
+//! "Others plan to extend research on burst detection, which can be used to
+//! identify emerging topics, to highlight portions of the Web that are
+//! undergoing rapid change at any point in time, and to provide a means of
+//! structuring the content of emerging media like Weblogs."
+//!
+//! A two-state Kleinberg-style automaton over per-crawl occurrence counts:
+//! state 0 emits at the corpus base rate, state 1 at `scale ×` that rate;
+//! transitions into the burst state pay `gamma · ln(total)`; the Viterbi
+//! path marks the bursty crawls.
+
+/// One time bin: occurrences of the term out of total documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bin {
+    pub hits: u64,
+    pub total: u64,
+}
+
+/// A detected burst interval `[start, end]` (bin indices, inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Detection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstConfig {
+    /// Burst-state rate multiplier (Kleinberg's `s`), > 1.
+    pub scale: f64,
+    /// Transition cost coefficient (Kleinberg's `γ`).
+    pub gamma: f64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig { scale: 3.0, gamma: 1.0 }
+    }
+}
+
+/// Negative log-likelihood of seeing `hits` of `total` at rate `p`
+/// (binomial, up to the constant binomial coefficient shared by both
+/// states).
+fn cost(bin: Bin, p: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    let k = bin.hits as f64;
+    let n = bin.total as f64;
+    -(k * p.ln() + (n - k) * (1.0 - p).ln())
+}
+
+/// Run the two-state automaton; returns the maximal bursty intervals.
+pub fn detect_bursts(bins: &[Bin], cfg: &BurstConfig) -> Vec<Burst> {
+    assert!(cfg.scale > 1.0, "burst scale must exceed 1");
+    if bins.is_empty() {
+        return Vec::new();
+    }
+    let total_hits: u64 = bins.iter().map(|b| b.hits).sum();
+    let total_docs: u64 = bins.iter().map(|b| b.total).sum();
+    if total_docs == 0 || total_hits == 0 {
+        return Vec::new();
+    }
+    let p0 = total_hits as f64 / total_docs as f64;
+    let p1 = (p0 * cfg.scale).min(0.9999);
+    let trans = cfg.gamma * (bins.len() as f64).ln().max(1.0);
+
+    // Viterbi over two states.
+    let mut cost0 = cost(bins[0], p0);
+    let mut cost1 = cost(bins[0], p1) + trans;
+    let mut back: Vec<(bool, bool)> = vec![(false, false)]; // (prev for s0, prev for s1)
+    for &bin in &bins[1..] {
+        let stay0 = cost0;
+        let from1to0 = cost1; // leaving a burst is free
+        let (prev_for_0, base0) =
+            if stay0 <= from1to0 { (false, stay0) } else { (true, from1to0) };
+        let stay1 = cost1;
+        let from0to1 = cost0 + trans;
+        let (prev_for_1, base1) =
+            if stay1 <= from0to1 { (true, stay1) } else { (false, from0to1) };
+        back.push((prev_for_0, prev_for_1));
+        cost0 = base0 + cost(bin, p0);
+        cost1 = base1 + cost(bin, p1);
+    }
+
+    // Trace back.
+    let mut state = cost1 < cost0;
+    let mut states = vec![false; bins.len()];
+    for i in (0..bins.len()).rev() {
+        states[i] = state;
+        if i > 0 {
+            state = if state { back[i].1 } else { back[i].0 };
+        }
+    }
+
+    // Collapse into intervals.
+    let mut bursts = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, &s) in states.iter().enumerate() {
+        match (s, start) {
+            (true, None) => start = Some(i),
+            (false, Some(b)) => {
+                bursts.push(Burst { start: b, end: i - 1 });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(b) = start {
+        bursts.push(Burst { start: b, end: bins.len() - 1 });
+    }
+    bursts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bins(hits: &[u64], total: u64) -> Vec<Bin> {
+        hits.iter().map(|&h| Bin { hits: h, total }).collect()
+    }
+
+    #[test]
+    fn flat_stream_has_no_bursts() {
+        let b = bins(&[10, 11, 9, 10, 10, 12, 9, 10], 1000);
+        assert!(detect_bursts(&b, &BurstConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn injected_burst_is_found_with_right_extent() {
+        // Base rate ~1%, bins 4..=6 burst at ~6%.
+        let b = bins(&[10, 12, 9, 11, 60, 65, 58, 10, 9, 11], 1000);
+        let bursts = detect_bursts(&b, &BurstConfig::default());
+        assert_eq!(bursts.len(), 1, "{bursts:?}");
+        assert_eq!(bursts[0], Burst { start: 4, end: 6 });
+    }
+
+    #[test]
+    fn two_separate_bursts() {
+        let b = bins(&[5, 40, 42, 5, 6, 5, 45, 41, 5], 1000);
+        let bursts = detect_bursts(&b, &BurstConfig::default());
+        assert_eq!(bursts.len(), 2, "{bursts:?}");
+        assert_eq!(bursts[0], Burst { start: 1, end: 2 });
+        assert_eq!(bursts[1], Burst { start: 6, end: 7 });
+    }
+
+    #[test]
+    fn higher_gamma_suppresses_marginal_bursts() {
+        let b = bins(&[10, 18, 19, 10, 10], 1000);
+        let loose = detect_bursts(&b, &BurstConfig { scale: 1.8, gamma: 0.1 });
+        let strict = detect_bursts(&b, &BurstConfig { scale: 1.8, gamma: 20.0 });
+        assert!(loose.len() >= strict.len());
+        assert!(strict.is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(detect_bursts(&[], &BurstConfig::default()).is_empty());
+        assert!(detect_bursts(&bins(&[0, 0, 0], 100), &BurstConfig::default()).is_empty());
+        assert!(detect_bursts(&bins(&[1], 0), &BurstConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! A self-contained LZ77-style codec — the workspace's stand-in for gzip.
+//!
+//! The Internet Archive stores ARC and DAT files "compressed with gzip"; the
+//! preload subsystem's first job is to uncompress them. The offline build
+//! has no gzip binding, so this codec preserves the properties that matter:
+//! a CPU-bound decompression step, a realistic compression ratio on markup
+//! text, and framing that detects truncation and corruption.
+//!
+//! Format: `magic | u64 raw_len | u32 checksum | tokens`, where a token is
+//! either a literal run (`0x00, varint len, bytes`) or a back-reference
+//! (`0x01, varint distance, varint length`).
+
+use crate::error::{WebError, WebResult};
+
+const MAGIC: &[u8; 4] = b"SFLZ";
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 1 << 16;
+const WINDOW: usize = 1 << 15;
+const HASH_BITS: u32 = 15;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> WebResult<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = data.get(*pos).ok_or_else(|| WebError::Corrupt {
+            detail: "truncated varint".into(),
+        })?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WebError::Corrupt { detail: "varint overflow".into() });
+        }
+    }
+}
+
+/// A fast rolling checksum (Adler-style) for integrity framing.
+fn checksum(data: &[u8]) -> u32 {
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for &byte in data {
+        a = (a + byte as u32) % 65_521;
+        b = (b + a) % 65_521;
+    }
+    (b << 16) | a
+}
+
+fn hash4(data: &[u8], i: usize) -> usize {
+    let x = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (x.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `data`.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(data).to_le_bytes());
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+    let mut literal_start = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, data: &[u8]| {
+        if to > from {
+            out.push(0x00);
+            put_varint(out, (to - from) as u64);
+            out.extend_from_slice(&data[from..to]);
+        }
+    };
+
+    while i + MIN_MATCH <= data.len() {
+        let h = hash4(data, i);
+        let candidate = head[h];
+        head[h] = i;
+        let mut match_len = 0usize;
+        if candidate != usize::MAX && i - candidate <= WINDOW {
+            let max = (data.len() - i).min(MAX_MATCH);
+            while match_len < max && data[candidate + match_len] == data[i + match_len] {
+                match_len += 1;
+            }
+        }
+        if match_len >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, i, data);
+            out.push(0x01);
+            put_varint(&mut out, (i - candidate) as u64);
+            put_varint(&mut out, match_len as u64);
+            // Index a few positions inside the match so later matches land.
+            let step = (match_len / 8).max(1);
+            let mut j = i + 1;
+            while j + MIN_MATCH <= data.len() && j < i + match_len {
+                head[hash4(data, j)] = j;
+                j += step;
+            }
+            i += match_len;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, data.len(), data);
+    out
+}
+
+/// Decompress a buffer produced by [`compress`], verifying length and
+/// checksum.
+pub fn decompress(data: &[u8]) -> WebResult<Vec<u8>> {
+    if data.len() < 16 || &data[..4] != MAGIC {
+        return Err(WebError::Corrupt { detail: "bad codec magic".into() });
+    }
+    let raw_len =
+        u64::from_le_bytes(data[4..12].try_into().expect("8 bytes")) as usize;
+    let want_sum = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes"));
+    if raw_len > 1 << 34 {
+        return Err(WebError::Corrupt { detail: "implausible raw length".into() });
+    }
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = 16usize;
+    while pos < data.len() {
+        match data[pos] {
+            0x00 => {
+                pos += 1;
+                let len = get_varint(data, &mut pos)? as usize;
+                if pos + len > data.len() {
+                    return Err(WebError::Corrupt { detail: "literal overruns input".into() });
+                }
+                out.extend_from_slice(&data[pos..pos + len]);
+                pos += len;
+            }
+            0x01 => {
+                pos += 1;
+                let distance = get_varint(data, &mut pos)? as usize;
+                let length = get_varint(data, &mut pos)? as usize;
+                if distance == 0 || distance > out.len() {
+                    return Err(WebError::Corrupt { detail: "bad back-reference".into() });
+                }
+                let start = out.len() - distance;
+                for k in 0..length {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            }
+            other => {
+                return Err(WebError::Corrupt { detail: format!("unknown token {other}") })
+            }
+        }
+    }
+    if out.len() != raw_len {
+        return Err(WebError::Corrupt {
+            detail: format!("length mismatch: got {}, header says {raw_len}", out.len()),
+        });
+    }
+    if checksum(&out) != want_sum {
+        return Err(WebError::Corrupt { detail: "checksum mismatch".into() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn html_like(n: usize) -> Vec<u8> {
+        let mut s = String::new();
+        let mut i = 0;
+        while s.len() < n {
+            s.push_str(&format!(
+                "<div class=\"post\"><a href=\"http://site{}.example.org/page{}.html\">link {}</a>\
+                 <p>Lorem ipsum dolor sit amet, consectetur adipiscing elit.</p></div>\n",
+                i % 37,
+                i,
+                i
+            ));
+            i += 1;
+        }
+        s.into_bytes()
+    }
+
+    #[test]
+    fn roundtrip_various_inputs() {
+        for data in [
+            Vec::new(),
+            b"a".to_vec(),
+            b"abcabcabcabcabcabc".to_vec(),
+            html_like(10_000),
+            (0..5000u32).map(|i| (i * 37 % 251) as u8).collect::<Vec<u8>>(),
+        ] {
+            let packed = compress(&data);
+            assert_eq!(decompress(&packed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn markup_compresses_well() {
+        let data = html_like(100_000);
+        let packed = compress(&data);
+        let ratio = data.len() as f64 / packed.len() as f64;
+        assert!(ratio > 3.0, "compression ratio {ratio}");
+    }
+
+    #[test]
+    fn incompressible_data_does_not_explode() {
+        // Pseudo-random bytes: output stays within ~1% of input.
+        let data: Vec<u8> = (0..100_000u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8)
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() < data.len() + data.len() / 64 + 64);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let data = html_like(5_000);
+        let packed = compress(&data);
+        // Flip a payload byte.
+        let mut bad = packed.clone();
+        let idx = packed.len() / 2;
+        bad[idx] ^= 0x01;
+        assert!(decompress(&bad).is_err(), "flipped byte accepted");
+        // Truncate.
+        assert!(decompress(&packed[..packed.len() - 3]).is_err());
+        // Bad magic.
+        let mut wrong = packed.clone();
+        wrong[0] = b'X';
+        assert!(decompress(&wrong).is_err());
+    }
+
+    #[test]
+    fn long_matches_work() {
+        let mut data = vec![b'x'; 200_000];
+        data.extend_from_slice(b"unique tail");
+        let packed = compress(&data);
+        assert!(packed.len() < 1000, "run-length case should be tiny: {}", packed.len());
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_backreference() {
+        // "abcabcabc..." uses distance < length (classic LZ77 overlap).
+        let data = b"abc".repeat(1000);
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+}

@@ -1,0 +1,172 @@
+//! Single large machine vs commodity cluster for Web-graph queries.
+//!
+//! "It is much easier to study the graph if it is loaded into the memory of
+//! a single large computer than distributed across many smaller ones,
+//! because network latency would be a serious concern. For these purposes,
+//! the decision was made to ... store the meta-information in a relational
+//! database on a single high-performance computer" (the 16-processor
+//! ES7000 with 64 GB of shared memory). This module makes that decision
+//! quantitative for one sweep of a graph algorithm (a PageRank iteration or
+//! a BFS level): every edge is traversed once; on a cluster, edges that
+//! cross partitions each cost a message.
+
+/// The single shared-memory machine.
+#[derive(Debug, Clone, Copy)]
+pub struct BigMachine {
+    pub cores: usize,
+    pub memory_bytes: u64,
+    /// Cost of traversing one in-memory edge, seconds.
+    pub per_edge_secs: f64,
+}
+
+impl BigMachine {
+    /// The paper's Unisys ES7000/430: 16 processors, 64 GB shared memory.
+    pub fn es7000() -> Self {
+        BigMachine { cores: 16, memory_bytes: 64 * 1_000_000_000, per_edge_secs: 20e-9 }
+    }
+
+    /// Wall-clock for one full-edge sweep, parallelised over cores. Returns
+    /// `None` if the graph does not fit in memory (then there is no
+    /// in-memory single-machine option at all).
+    pub fn sweep_secs(&self, edges: u64, graph_bytes: u64) -> Option<f64> {
+        if graph_bytes > self.memory_bytes {
+            return None;
+        }
+        Some(edges as f64 * self.per_edge_secs / self.cores as f64)
+    }
+}
+
+/// A commodity cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct Cluster {
+    pub nodes: usize,
+    pub cores_per_node: usize,
+    pub memory_per_node: u64,
+    pub per_edge_secs: f64,
+    /// Effective cost per cross-partition edge message, seconds (network
+    /// latency amortised over batching).
+    pub per_message_secs: f64,
+}
+
+impl Cluster {
+    /// A 2005-era commodity cluster: 1 Gb Ethernet, small nodes.
+    pub fn commodity(nodes: usize) -> Self {
+        Cluster {
+            nodes,
+            cores_per_node: 2,
+            memory_per_node: 4 * 1_000_000_000,
+            per_edge_secs: 20e-9,
+            // Even well-batched RPCs cost microseconds per remote edge.
+            per_message_secs: 2e-6,
+        }
+    }
+
+    pub fn total_memory(&self) -> u64 {
+        self.nodes as u64 * self.memory_per_node
+    }
+
+    /// Fraction of edges crossing partitions under random vertex placement.
+    pub fn cut_fraction(&self) -> f64 {
+        1.0 - 1.0 / self.nodes as f64
+    }
+
+    /// Wall-clock for one full-edge sweep: local work parallelises, but
+    /// every cut edge pays a message.
+    pub fn sweep_secs(&self, edges: u64, graph_bytes: u64) -> Option<f64> {
+        if graph_bytes > self.total_memory() {
+            return None;
+        }
+        let compute = edges as f64 * self.per_edge_secs
+            / (self.nodes * self.cores_per_node) as f64;
+        let messages = edges as f64 * self.cut_fraction() * self.per_message_secs
+            / self.nodes as f64; // messages processed in parallel per node
+        Some(compute + messages)
+    }
+}
+
+/// Verdict of the comparison for one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    pub single_secs: Option<f64>,
+    pub cluster_secs: Option<f64>,
+    /// cluster / single (>1 means the single machine wins).
+    pub cluster_penalty: Option<f64>,
+}
+
+/// Compare one sweep of `edges` edges on a `graph_bytes` graph.
+pub fn compare_sweep(
+    machine: &BigMachine,
+    cluster: &Cluster,
+    edges: u64,
+    graph_bytes: u64,
+) -> Verdict {
+    let single = machine.sweep_secs(edges, graph_bytes);
+    let clustered = cluster.sweep_secs(edges, graph_bytes);
+    let penalty = match (single, clustered) {
+        (Some(s), Some(c)) if s > 0.0 => Some(c / s),
+        _ => None,
+    };
+    Verdict { single_secs: single, cluster_secs: clustered, cluster_penalty: penalty }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1 B-page graph, ~10 edges/page, CSR bytes (48 GB: fits the ES7000).
+    fn web_graph() -> (u64, u64) {
+        let nodes: u64 = 1_000_000_000;
+        let edges: u64 = 10_000_000_000;
+        (edges, nodes * 8 + edges * 4)
+    }
+
+    #[test]
+    fn single_machine_wins_graph_queries() {
+        let (edges, bytes) = web_graph();
+        let verdict = compare_sweep(&BigMachine::es7000(), &Cluster::commodity(64), edges, bytes);
+        let penalty = verdict.cluster_penalty.expect("both fit");
+        assert!(
+            penalty > 5.0,
+            "network latency should dominate on the cluster: penalty {penalty}"
+        );
+    }
+
+    #[test]
+    fn graph_fits_the_es7000() {
+        let (_, bytes) = web_graph();
+        assert!(bytes < BigMachine::es7000().memory_bytes, "{bytes}");
+    }
+
+    #[test]
+    fn oversized_graph_forces_the_cluster() {
+        // 20 B pages × 20 links: beyond 64 GB, only the cluster can hold it.
+        let nodes: u64 = 20_000_000_000;
+        let edges: u64 = 400_000_000_000;
+        let bytes = nodes * 8 + edges * 4;
+        let verdict =
+            compare_sweep(&BigMachine::es7000(), &Cluster::commodity(1024), edges, bytes);
+        assert!(verdict.single_secs.is_none());
+        assert!(verdict.cluster_secs.is_some());
+        assert!(verdict.cluster_penalty.is_none());
+    }
+
+    #[test]
+    fn cut_fraction_grows_with_cluster_size() {
+        assert!(Cluster::commodity(4).cut_fraction() < Cluster::commodity(64).cut_fraction());
+        assert!((Cluster::commodity(64).cut_fraction() - 63.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_cluster_nodes_do_not_rescue_latency() {
+        // Scaling the cluster reduces compute share but the per-node message
+        // load stays roughly constant: penalty persists.
+        let (edges, bytes) = web_graph();
+        let small = compare_sweep(&BigMachine::es7000(), &Cluster::commodity(16), edges, bytes)
+            .cluster_penalty
+            .unwrap();
+        let large = compare_sweep(&BigMachine::es7000(), &Cluster::commodity(256), edges, bytes)
+            .cluster_penalty
+            .unwrap();
+        assert!(large > 1.0 && small > 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Errors for the WebLab stack.
+
+use std::fmt;
+
+use sciflow_metastore::MetaError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum WebError {
+    /// Compressed or structured data failed to parse/verify.
+    Corrupt { detail: String },
+    /// An ARC/DAT record was malformed.
+    BadRecord { detail: String },
+    /// Page or URL lookup failed.
+    NotFound { what: String },
+    /// Underlying metadata-store failure.
+    Meta(MetaError),
+    /// Configuration error (zero workers, empty strata, ...).
+    InvalidConfig { detail: String },
+}
+
+impl fmt::Display for WebError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WebError::Corrupt { detail } => write!(f, "corrupt data: {detail}"),
+            WebError::BadRecord { detail } => write!(f, "bad record: {detail}"),
+            WebError::NotFound { what } => write!(f, "not found: {what}"),
+            WebError::Meta(e) => write!(f, "metadata store: {e}"),
+            WebError::InvalidConfig { detail } => write!(f, "invalid config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WebError {}
+
+impl From<MetaError> for WebError {
+    fn from(e: MetaError) -> Self {
+        WebError::Meta(e)
+    }
+}
+
+pub type WebResult<T> = Result<T, WebError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(WebError::NotFound { what: "url".into() }.to_string().contains("url"));
+        let e: WebError = MetaError::UnknownTable { name: "pages".into() }.into();
+        assert!(e.to_string().contains("pages"));
+    }
+}

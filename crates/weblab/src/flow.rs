@@ -1,0 +1,176 @@
+//! The WebLab ingest flow at paper scale.
+//!
+//! Section 4.1's balance: "an initial target of downloading one complete
+//! crawl of the Web for each year since 1996 at an average speed of
+//! 250 GB/day" over "a dedicated 100 Mb/sec connection", with the preload
+//! and database-load components "each ... tested at sustained rates of
+//! approximately 1 TB per day, when given sole use of the system".
+
+use sciflow_core::graph::{FlowGraph, StageKind};
+use sciflow_core::units::{DataRate, DataVolume, SimDuration, SimTime};
+
+/// Paper-scale parameters.
+#[derive(Debug, Clone)]
+pub struct WeblabFlowParams {
+    /// Days of transfer to simulate.
+    pub days: u64,
+    /// Daily crawl delivery (paper target: 250 GB/day).
+    pub daily_volume: DataVolume,
+    /// The Internet Archive → Cornell link.
+    pub link_rate: DataRate,
+    pub link_latency: SimDuration,
+    /// Sustained preload component rate (paper: ~1 TB/day).
+    pub preload_rate: DataRate,
+    /// Sustained database-load component rate (paper: ~1 TB/day).
+    pub dbload_rate: DataRate,
+    /// Metadata fraction of raw crawl volume (DAT ≈ 15 MB per 100 MB ARC).
+    pub metadata_ratio: f64,
+}
+
+impl Default for WeblabFlowParams {
+    fn default() -> Self {
+        WeblabFlowParams {
+            days: 14,
+            daily_volume: DataVolume::gb(250),
+            link_rate: DataRate::mbit_per_sec(100.0),
+            link_latency: SimDuration::from_secs(1),
+            preload_rate: DataRate::tb_per_day(1.0),
+            dbload_rate: DataRate::tb_per_day(1.0),
+            metadata_ratio: 0.15,
+        }
+    }
+}
+
+/// Pool for the WebLab server's processors (half of the dual ES7000).
+pub const WEBLAB_POOL: &str = "es7000";
+
+/// Build the ingest flow: Internet Archive → Internet2 link → preload →
+/// (database load → relational store, content → page store).
+pub fn weblab_flow_graph(p: &WeblabFlowParams) -> FlowGraph {
+    let mut g = FlowGraph::new();
+    let ia = g.add_stage(
+        "internet-archive",
+        StageKind::Source {
+            block: p.daily_volume,
+            interval: SimDuration::from_days(1),
+            blocks: p.days,
+            start: SimTime::ZERO,
+        },
+    );
+    let link = g.add_stage(
+        "internet2-link",
+        StageKind::Transfer { rate: p.link_rate, latency: p.link_latency },
+    );
+    // Preload: decompress + parse, emitting metadata and content.
+    let preload = g.add_stage(
+        "preload",
+        StageKind::Process {
+            rate_per_cpu: DataRate::from_bytes_per_sec(p.preload_rate.bytes_per_sec() / 8.0),
+            cpus_per_task: 1,
+            chunk: Some(DataVolume::gb(10)), // ARC/DAT files are independent
+            output_ratio: 1.0,
+            pool: WEBLAB_POOL.into(),
+            workspace_ratio: 0.3, // decompressed working set
+            retain_input: false,
+        },
+    );
+    let dbload = g.add_stage(
+        "database-load",
+        StageKind::Process {
+            rate_per_cpu: DataRate::from_bytes_per_sec(p.dbload_rate.bytes_per_sec() / 8.0),
+            cpus_per_task: 1,
+            chunk: Some(DataVolume::gb(10)),
+            output_ratio: p.metadata_ratio,
+            pool: WEBLAB_POOL.into(),
+            workspace_ratio: 0.0,
+            retain_input: false,
+        },
+    );
+    let db = g.add_stage("relational-store", StageKind::Archive);
+    let content = g.add_stage("page-store", StageKind::Archive);
+
+    g.connect(ia, link).expect("stages exist");
+    g.connect(link, preload).expect("stages exist");
+    g.connect(preload, dbload).expect("stages exist");
+    g.connect(dbload, db).expect("stages exist");
+    g.connect(preload, content).expect("stages exist");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciflow_core::sim::{CpuPool, FlowSim};
+
+    fn run(p: &WeblabFlowParams, cpus: u32) -> sciflow_core::SimReport {
+        FlowSim::new(weblab_flow_graph(p), vec![CpuPool::new(WEBLAB_POOL, cpus)])
+            .expect("valid flow")
+            .run()
+            .expect("flow completes")
+    }
+
+    #[test]
+    fn hundred_megabit_link_sustains_250gb_per_day() {
+        let p = WeblabFlowParams::default();
+        let report = run(&p, 16);
+        // Everything arrives: the link is ~23% utilised at 250 GB/day.
+        let delivered = report.stage("internet2-link").unwrap().volume_out;
+        assert_eq!(delivered, DataVolume::gb(250) * 14);
+        let drain = report.drain_duration().unwrap();
+        assert!(drain.as_days_f64() < 1.0, "drain {drain}");
+    }
+
+    #[test]
+    fn the_250gb_target_balances_link_and_components() {
+        // "A good balance between the various parts of the system is
+        // achieved by setting an initial target of ... 250 GB/day": the link
+        // runs at ~23% and the processing components at a comparable,
+        // comfortably sub-saturated level — headroom everywhere, no
+        // bottleneck anywhere.
+        let p = WeblabFlowParams::default();
+        let report = run(&p, 16);
+        let span = report.finished_at.as_secs_f64();
+        let link_busy = report.stage("internet2-link").unwrap().busy.as_secs_f64() / span;
+        assert!((0.15..0.35).contains(&link_busy), "link busy fraction {link_busy}");
+        let pool = report.pool(WEBLAB_POOL).unwrap();
+        assert!(
+            (0.05..0.5).contains(&pool.utilization),
+            "pool utilization {}",
+            pool.utilization
+        );
+    }
+
+    #[test]
+    fn upgrade_to_500mbit_restores_headroom() {
+        let slow = run(
+            &WeblabFlowParams {
+                daily_volume: DataVolume::tb(2),
+                days: 4,
+                ..WeblabFlowParams::default()
+            },
+            16,
+        );
+        let fast = run(
+            &WeblabFlowParams {
+                daily_volume: DataVolume::tb(2),
+                days: 4,
+                link_rate: DataRate::mbit_per_sec(500.0),
+                ..WeblabFlowParams::default()
+            },
+            16,
+        );
+        assert!(fast.finished_at < slow.finished_at);
+    }
+
+    #[test]
+    fn metadata_fraction_reaches_the_relational_store() {
+        let p = WeblabFlowParams::default();
+        let report = run(&p, 16);
+        let raw = DataVolume::gb(250) * 14;
+        let db = report.stage("relational-store").unwrap().volume_in;
+        let ratio = db.bytes() as f64 / raw.bytes() as f64;
+        assert!((ratio - 0.15).abs() < 0.01, "metadata ratio {ratio}");
+        // Content store receives the full decompressed stream.
+        assert_eq!(report.stage("page-store").unwrap().volume_in, raw);
+    }
+}

@@ -1,0 +1,148 @@
+//! The Web link graph in compressed sparse row (CSR) form.
+//!
+//! "The link structure is of great interest because of its relationship to
+//! social networking. ... Researchers studying the Web graph typically study
+//! the links among billions of pages. It is much easier to study the graph
+//! if it is loaded into the memory of a single large computer." CSR is how
+//! you fit it there: two flat arrays, ~12 bytes per edge with the URL table.
+
+use std::collections::HashMap;
+
+use crate::error::{WebError, WebResult};
+
+/// An immutable directed graph over page ids `0..n`.
+#[derive(Debug, Clone)]
+pub struct LinkGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    urls: Vec<String>,
+}
+
+impl LinkGraph {
+    /// Build from a URL universe and (source id, target URL) pairs. Targets
+    /// outside the universe (dangling links to the uncrawled web) are
+    /// dropped, as in any real crawl graph.
+    pub fn build(urls: Vec<String>, pairs: &[(i64, String)]) -> WebResult<LinkGraph> {
+        let n = urls.len();
+        let index: HashMap<&str, u32> =
+            urls.iter().enumerate().map(|(i, u)| (u.as_str(), i as u32)).collect();
+        if index.len() != n {
+            return Err(WebError::BadRecord { detail: "duplicate URLs in universe".into() });
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (src, dst_url) in pairs {
+            let src = *src as usize;
+            if src >= n {
+                return Err(WebError::BadRecord {
+                    detail: format!("source id {src} out of range"),
+                });
+            }
+            if let Some(&dst) = index.get(dst_url.as_str()) {
+                adj[src].push(dst);
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for list in &adj {
+            targets.extend_from_slice(list);
+            offsets.push(targets.len());
+        }
+        Ok(LinkGraph { offsets, targets, urls })
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.urls.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    pub fn out_neighbors(&self, node: usize) -> &[u32] {
+        &self.targets[self.offsets[node]..self.offsets[node + 1]]
+    }
+
+    pub fn out_degree(&self, node: usize) -> usize {
+        self.offsets[node + 1] - self.offsets[node]
+    }
+
+    pub fn url(&self, node: usize) -> &str {
+        &self.urls[node]
+    }
+
+    pub fn node_of(&self, url: &str) -> Option<usize> {
+        self.urls.iter().position(|u| u == url)
+    }
+
+    /// In-degree of every node.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.node_count()];
+        for &t in &self.targets {
+            deg[t as usize] += 1;
+        }
+        deg
+    }
+
+    /// Approximate in-memory footprint — the number the paper's
+    /// single-large-machine argument turns on.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.offsets.len() * 8 + self.targets.len() * 4) as u64
+            + self.urls.iter().map(|u| u.len() as u64 + 24).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> LinkGraph {
+        let urls: Vec<String> = (0..4).map(|i| format!("http://p{i}/")).collect();
+        let pairs = vec![
+            (0i64, "http://p1/".to_string()),
+            (0, "http://p2/".to_string()),
+            (1, "http://p2/".to_string()),
+            (2, "http://p0/".to_string()),
+            (3, "http://elsewhere.example/".to_string()), // dangling: dropped
+        ];
+        LinkGraph::build(urls, &pairs).unwrap()
+    }
+
+    #[test]
+    fn csr_structure() {
+        let g = toy();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degrees(), vec![1, 1, 2, 0]);
+        assert_eq!(g.node_of("http://p2/"), Some(2));
+        assert_eq!(g.url(1), "http://p1/");
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let urls = vec!["http://a/".to_string(), "http://a/".to_string()];
+        assert!(LinkGraph::build(urls, &[]).is_err());
+        let urls = vec!["http://a/".to_string()];
+        assert!(LinkGraph::build(urls, &[(5, "http://a/".into())]).is_err());
+    }
+
+    #[test]
+    fn billion_page_graph_fits_in_large_memory() {
+        // The paper's argument scaled analytically: our CSR costs
+        // 4 bytes/edge + 8 bytes/node (+ URLs, stored separately on disk in
+        // a real deployment). 1 B pages × 10 links = 48 GB < 64 GB.
+        let nodes: u64 = 1_000_000_000;
+        let edges: u64 = 10_000_000_000;
+        let bytes = nodes * 8 + edges * 4;
+        assert!(bytes < 64 * 1_000_000_000, "{} GB", bytes / 1_000_000_000);
+    }
+
+    #[test]
+    fn memory_accounting_is_plausible() {
+        let g = toy();
+        assert!(g.memory_bytes() > 0);
+        assert!(g.memory_bytes() < 10_000);
+    }
+}

@@ -1,0 +1,134 @@
+//! The page content store.
+//!
+//! The WebLab design decision: "separate link information and metadata about
+//! pages from their content, and store the meta-information in a relational
+//! database". Content goes here — an append-only segmented store indexed by
+//! (URL, capture date).
+
+use std::collections::HashMap;
+
+use crate::error::{WebError, WebResult};
+
+/// Location of one stored body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Location {
+    segment: usize,
+    offset: usize,
+    len: usize,
+}
+
+/// Append-only segmented content store.
+#[derive(Debug)]
+pub struct PageStore {
+    segments: Vec<Vec<u8>>,
+    segment_cap: usize,
+    index: HashMap<(String, u64), Location>,
+}
+
+impl PageStore {
+    /// `segment_cap` bounds each segment file's size.
+    pub fn new(segment_cap: usize) -> Self {
+        assert!(segment_cap > 0, "segment capacity must be positive");
+        PageStore { segments: vec![Vec::new()], segment_cap, index: HashMap::new() }
+    }
+
+    pub fn page_count(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Store one capture. Re-storing the same (url, date) is an error —
+    /// captures are immutable facts.
+    pub fn put(&mut self, url: &str, date: u64, body: &[u8]) -> WebResult<()> {
+        let key = (url.to_string(), date);
+        if self.index.contains_key(&key) {
+            return Err(WebError::BadRecord {
+                detail: format!("duplicate capture {url} @ {date}"),
+            });
+        }
+        let need_new = {
+            let current = self.segments.last().expect("always one segment");
+            !current.is_empty() && current.len() + body.len() > self.segment_cap
+        };
+        if need_new {
+            self.segments.push(Vec::new());
+        }
+        let segment = self.segments.len() - 1;
+        let seg = self.segments.last_mut().expect("always one segment");
+        let offset = seg.len();
+        seg.extend_from_slice(body);
+        self.index.insert(key, Location { segment, offset, len: body.len() });
+        Ok(())
+    }
+
+    /// Fetch one capture's body.
+    pub fn get(&self, url: &str, date: u64) -> Option<&[u8]> {
+        let loc = self.index.get(&(url.to_string(), date))?;
+        Some(&self.segments[loc.segment][loc.offset..loc.offset + loc.len])
+    }
+
+    /// All capture dates of a URL, ascending.
+    pub fn dates_of(&self, url: &str) -> Vec<u64> {
+        let mut dates: Vec<u64> = self
+            .index
+            .keys()
+            .filter(|(u, _)| u == url)
+            .map(|&(_, d)| d)
+            .collect();
+        dates.sort_unstable();
+        dates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = PageStore::new(1 << 20);
+        s.put("http://a/", 20_050_101_000_000, b"hello").unwrap();
+        s.put("http://a/", 20_050_301_000_000, b"world").unwrap();
+        assert_eq!(s.get("http://a/", 20_050_101_000_000), Some(b"hello".as_ref()));
+        assert_eq!(s.get("http://a/", 20_050_301_000_000), Some(b"world".as_ref()));
+        assert_eq!(s.get("http://a/", 1), None);
+        assert_eq!(s.page_count(), 2);
+        assert_eq!(s.dates_of("http://a/"), vec![20_050_101_000_000, 20_050_301_000_000]);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut s = PageStore::new(1 << 20);
+        s.put("http://a/", 1, b"x").unwrap();
+        assert!(s.put("http://a/", 1, b"y").is_err());
+        assert_eq!(s.get("http://a/", 1), Some(b"x".as_ref()));
+    }
+
+    #[test]
+    fn segments_roll_over() {
+        let mut s = PageStore::new(100);
+        for i in 0..10u64 {
+            s.put(&format!("http://p{i}/"), i, &[b'z'; 40]).unwrap();
+        }
+        assert!(s.segment_count() >= 4, "segments {}", s.segment_count());
+        assert_eq!(s.total_bytes(), 400);
+        // Everything still readable after rollover.
+        for i in 0..10u64 {
+            assert_eq!(s.get(&format!("http://p{i}/"), i).unwrap().len(), 40);
+        }
+    }
+
+    #[test]
+    fn oversized_body_gets_its_own_segment() {
+        let mut s = PageStore::new(10);
+        s.put("http://big/", 1, &[1u8; 100]).unwrap();
+        assert_eq!(s.get("http://big/", 1).unwrap().len(), 100);
+    }
+}

@@ -1,0 +1,157 @@
+//! The Retro Browser: "browse the Web as it was at a certain date".
+//!
+//! A temporal index over the page store: for each URL, the sorted capture
+//! dates; a browse request for (url, date) returns the most recent capture
+//! at or before the date — the same resolution rule EventStore snapshots use
+//! for physics data.
+
+use std::collections::BTreeMap;
+
+use crate::error::{WebError, WebResult};
+use crate::pagestore::PageStore;
+
+/// A temporal URL index.
+#[derive(Debug, Default)]
+pub struct RetroBrowser {
+    /// url → sorted capture dates.
+    index: BTreeMap<String, Vec<u64>>,
+}
+
+/// A resolved historical view of one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetroPage<'a> {
+    pub url: &'a str,
+    /// The capture actually served.
+    pub capture_date: u64,
+    pub body: &'a [u8],
+}
+
+impl RetroBrowser {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index one capture (call as the preload subsystem loads pages).
+    pub fn index_capture(&mut self, url: &str, date: u64) {
+        let dates = self.index.entry(url.to_string()).or_default();
+        match dates.binary_search(&date) {
+            Ok(_) => {} // duplicate registration is harmless
+            Err(pos) => dates.insert(pos, date),
+        }
+    }
+
+    /// Build the index from everything in a page store.
+    pub fn index_store(store: &PageStore, urls: impl IntoIterator<Item = String>) -> Self {
+        let mut rb = RetroBrowser::new();
+        for url in urls {
+            for date in store.dates_of(&url) {
+                rb.index_capture(&url, date);
+            }
+        }
+        rb
+    }
+
+    pub fn url_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// All capture dates of `url`.
+    pub fn captures(&self, url: &str) -> &[u64] {
+        self.index.get(url).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Resolve (url, as-of date) → the capture to serve.
+    pub fn resolve(&self, url: &str, as_of: u64) -> WebResult<u64> {
+        let dates = self
+            .index
+            .get(url)
+            .ok_or_else(|| WebError::NotFound { what: format!("url {url}") })?;
+        let pos = dates.partition_point(|&d| d <= as_of);
+        if pos == 0 {
+            return Err(WebError::NotFound {
+                what: format!("{url} had no capture at or before {as_of}"),
+            });
+        }
+        Ok(dates[pos - 1])
+    }
+
+    /// Full browse: resolve and fetch the body.
+    pub fn browse<'a>(
+        &self,
+        store: &'a PageStore,
+        url: &'a str,
+        as_of: u64,
+    ) -> WebResult<RetroPage<'a>> {
+        let capture_date = self.resolve(url, as_of)?;
+        let body = store
+            .get(url, capture_date)
+            .ok_or_else(|| WebError::NotFound {
+                what: format!("content of {url} @ {capture_date}"),
+            })?;
+        Ok(RetroPage { url, capture_date, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PageStore, RetroBrowser) {
+        let mut store = PageStore::new(1 << 16);
+        let mut rb = RetroBrowser::new();
+        for (date, body) in [
+            (19_960_801_000_000u64, "v96"),
+            (20_000_401_000_000, "v00"),
+            (20_050_801_000_000, "v05"),
+        ] {
+            store.put("http://a.example.org/", date, body.as_bytes()).unwrap();
+            rb.index_capture("http://a.example.org/", date);
+        }
+        (store, rb)
+    }
+
+    #[test]
+    fn browse_as_of_date_serves_latest_prior_capture() {
+        let (store, rb) = setup();
+        let page = rb.browse(&store, "http://a.example.org/", 20_030_101_000_000).unwrap();
+        assert_eq!(page.capture_date, 20_000_401_000_000);
+        assert_eq!(page.body, b"v00");
+        // Exact capture date serves that capture.
+        let page = rb.browse(&store, "http://a.example.org/", 20_050_801_000_000).unwrap();
+        assert_eq!(page.body, b"v05");
+        // Far future serves the newest.
+        let page = rb.browse(&store, "http://a.example.org/", 20_991_231_000_000).unwrap();
+        assert_eq!(page.body, b"v05");
+    }
+
+    #[test]
+    fn too_early_and_unknown_urls_error() {
+        let (store, rb) = setup();
+        assert!(matches!(
+            rb.browse(&store, "http://a.example.org/", 19_950_101_000_000),
+            Err(WebError::NotFound { .. })
+        ));
+        assert!(matches!(
+            rb.browse(&store, "http://nope.example.org/", 20_050_101_000_000),
+            Err(WebError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn index_store_builds_from_contents() {
+        let (store, _) = setup();
+        let rb = RetroBrowser::index_store(&store, vec!["http://a.example.org/".to_string()]);
+        assert_eq!(rb.url_count(), 1);
+        assert_eq!(rb.captures("http://a.example.org/").len(), 3);
+        assert_eq!(rb.captures("http://other/"), &[] as &[u64]);
+    }
+
+    #[test]
+    fn duplicate_indexing_is_idempotent() {
+        let mut rb = RetroBrowser::new();
+        rb.index_capture("http://a/", 5);
+        rb.index_capture("http://a/", 5);
+        rb.index_capture("http://a/", 3);
+        assert_eq!(rb.captures("http://a/"), &[3, 5]);
+    }
+}

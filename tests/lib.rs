@@ -1,0 +1,1 @@
+// helpers shared by integration tests live here
