@@ -1,0 +1,568 @@
+//! Deterministic fault injection for simulated transfers and stages.
+//!
+//! The paper's transport verdicts (Section 5) — CLEO shipping USB disks,
+//! Arecibo couriering ATA drives, WebLab trusting a dedicated Internet2 link
+//! — only exist because real links drop connections, stall, corrupt payloads
+//! and degrade under load. A [`FaultPlan`] is a *seeded, pre-generated
+//! timeline* of such events: given the same seed and profile it is always the
+//! same plan, so any simulation driven by it is replayable event-for-event.
+//!
+//! [`RetryPolicy`] models the standard remedy — bounded retries with
+//! exponential backoff and seeded jitter plus per-attempt timeouts — and
+//! [`FaultPlan::attempt_outcome`] is the shared kernel that both the
+//! flow simulator ([`crate::sim::FlowSim::with_faults`]) and the
+//! `simnet::reliable` transfer executor use to decide how one attempt fares
+//! against the fault timeline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::units::{SimDuration, SimTime};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The connection is reset at the event time; any attempt in flight
+    /// fails immediately and must retransmit from the start.
+    Drop,
+    /// The channel freezes for `duration`; attempts in flight take that much
+    /// longer (and may then exceed their timeout).
+    Stall { duration: SimDuration },
+    /// Payload corruption: the attempt runs to completion but fails its
+    /// integrity check at the end.
+    Corrupt,
+    /// The sustained rate is multiplied by `factor` (< 1) for `duration`.
+    RateDegrade { factor: f64, duration: SimDuration },
+}
+
+/// A fault keyed by simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    pub at: SimTime,
+    pub kind: FaultKind,
+}
+
+/// Mean event rates used by [`FaultPlan::generate`]. All rates are Poisson
+/// arrivals per simulated day; durations are exponential with the given mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    pub drops_per_day: f64,
+    pub stalls_per_day: f64,
+    pub mean_stall: SimDuration,
+    pub corrupts_per_day: f64,
+    pub degrades_per_day: f64,
+    /// Rate multiplier applied during a degrade window (0 < factor ≤ 1).
+    pub degrade_factor: f64,
+    pub mean_degrade: SimDuration,
+}
+
+impl FaultProfile {
+    /// A quiet link: no faults at all.
+    pub fn clean() -> Self {
+        FaultProfile {
+            drops_per_day: 0.0,
+            stalls_per_day: 0.0,
+            mean_stall: SimDuration::ZERO,
+            corrupts_per_day: 0.0,
+            degrades_per_day: 0.0,
+            degrade_factor: 1.0,
+            mean_degrade: SimDuration::ZERO,
+        }
+    }
+
+    /// A flaky commodity link of the kind the paper's Arecibo uplink was:
+    /// several resets a day, occasional stalls and slowdowns.
+    pub fn flaky() -> Self {
+        FaultProfile {
+            drops_per_day: 6.0,
+            stalls_per_day: 4.0,
+            mean_stall: SimDuration::from_mins(10),
+            corrupts_per_day: 0.5,
+            degrades_per_day: 2.0,
+            degrade_factor: 0.4,
+            mean_degrade: SimDuration::from_hours(1),
+        }
+    }
+
+    /// Only connection drops, at the given daily rate.
+    pub fn drops(per_day: f64) -> Self {
+        FaultProfile { drops_per_day: per_day, ..FaultProfile::clean() }
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::flaky()
+    }
+}
+
+/// A seeded, immutable timeline of fault events.
+///
+/// Replayability contract: `FaultPlan::generate(seed, horizon, profile)`
+/// yields the identical event list every time it is called with the same
+/// arguments, and all queries are pure — two simulations driven by the same
+/// plan (and the same seeded retry jitter) produce byte-identical reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a perfect pipe.
+    pub fn none() -> Self {
+        FaultPlan { seed: 0, events: Vec::new() }
+    }
+
+    /// Build a plan from explicit events (sorted by time internally).
+    pub fn from_events(seed: u64, mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    /// Generate a plan over `[0, horizon)` by drawing Poisson arrivals for
+    /// each fault category from a SplitMix/xoshiro RNG seeded with `seed`.
+    pub fn generate(seed: u64, horizon: SimDuration, profile: &FaultProfile) -> Self {
+        assert!(
+            profile.degrade_factor > 0.0 && profile.degrade_factor <= 1.0,
+            "degrade factor must be in (0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_FA17_1337_0001);
+        let mut events = Vec::new();
+        let horizon_days = horizon.as_days_f64();
+
+        let arrivals = |rate_per_day: f64, rng: &mut StdRng| -> Vec<SimTime> {
+            let mut out = Vec::new();
+            if rate_per_day <= 0.0 {
+                return out;
+            }
+            let mut t_days = 0.0f64;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t_days += -u.ln() / rate_per_day;
+                if t_days >= horizon_days {
+                    return out;
+                }
+                out.push(SimTime::from_micros((t_days * 86_400.0 * 1e6) as u64));
+            }
+        };
+
+        for at in arrivals(profile.drops_per_day, &mut rng) {
+            events.push(FaultEvent { at, kind: FaultKind::Drop });
+        }
+        for at in arrivals(profile.stalls_per_day, &mut rng) {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let duration =
+                SimDuration::from_secs_f64(-u.ln() * profile.mean_stall.as_secs_f64());
+            events.push(FaultEvent { at, kind: FaultKind::Stall { duration } });
+        }
+        for at in arrivals(profile.corrupts_per_day, &mut rng) {
+            events.push(FaultEvent { at, kind: FaultKind::Corrupt });
+        }
+        for at in arrivals(profile.degrades_per_day, &mut rng) {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let duration =
+                SimDuration::from_secs_f64(-u.ln() * profile.mean_degrade.as_secs_f64());
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::RateDegrade { factor: profile.degrade_factor, duration },
+            });
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of events of each kind, for reporting.
+    pub fn count(&self, pred: impl Fn(&FaultKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// The compounded rate multiplier of every degrade window active at `t`.
+    pub fn degrade_factor_at(&self, t: SimTime) -> f64 {
+        let mut factor = 1.0;
+        for e in &self.events {
+            if e.at > t {
+                break;
+            }
+            if let FaultKind::RateDegrade { factor: f, duration } = e.kind {
+                if e.at + duration > t {
+                    factor *= f;
+                }
+            }
+        }
+        factor
+    }
+
+    /// The duration of work spanning `[start, start + base)` once stall
+    /// events inside the window are accounted for, plus the number of stalls
+    /// hit. An extension can pull further stalls into the window, so the
+    /// calculation iterates to a fixed point (finitely many events, so it
+    /// terminates).
+    pub fn stalled_duration(&self, start: SimTime, base: SimDuration) -> (SimDuration, u32) {
+        let mut dur = base;
+        let mut stalls_hit;
+        loop {
+            let end = start + dur;
+            let mut extension = SimDuration::ZERO;
+            stalls_hit = 0u32;
+            for e in &self.events {
+                if e.at < start {
+                    continue;
+                }
+                if e.at >= end {
+                    break;
+                }
+                if let FaultKind::Stall { duration } = e.kind {
+                    extension += duration;
+                    stalls_hit += 1;
+                }
+            }
+            let next = base + extension;
+            if next == dur {
+                break;
+            }
+            dur = next;
+        }
+        (dur, stalls_hit)
+    }
+
+    /// Decide how a single attempt spanning `[start, start + base)` fares.
+    ///
+    /// `base` must already account for any rate degradation (see
+    /// [`FaultPlan::degrade_factor_at`]). Stall events inside the attempt
+    /// window extend it (see [`FaultPlan::stalled_duration`]). The attempt
+    /// then fails at the earliest of: the first [`FaultKind::Drop`] in the
+    /// window, the timeout expiry, or — if a [`FaultKind::Corrupt`] lies in
+    /// the window — the integrity check at the very end.
+    pub fn attempt_outcome(
+        &self,
+        start: SimTime,
+        base: SimDuration,
+        timeout: Option<SimDuration>,
+    ) -> AttemptOutcome {
+        let (dur, stalls_hit) = self.stalled_duration(start, base);
+        let end = start + dur;
+
+        let first_drop = self
+            .events
+            .iter()
+            .find(|e| e.at >= start && e.at < end && e.kind == FaultKind::Drop)
+            .map(|e| e.at);
+        let corrupted = self
+            .events
+            .iter()
+            .any(|e| e.at >= start && e.at < end && e.kind == FaultKind::Corrupt);
+        let timeout_at = match timeout {
+            Some(t) if dur > t => Some(start + t),
+            _ => None,
+        };
+
+        let mut failure: Option<(SimTime, AttemptFailure)> = None;
+        if corrupted {
+            failure = Some((end, AttemptFailure::Corrupted));
+        }
+        if let Some(at) = timeout_at {
+            if failure.is_none_or(|(t, _)| at < t) {
+                failure = Some((at, AttemptFailure::TimedOut));
+            }
+        }
+        if let Some(at) = first_drop {
+            if failure.is_none_or(|(t, _)| at < t) {
+                failure = Some((at, AttemptFailure::Dropped));
+            }
+        }
+
+        match failure {
+            None => AttemptOutcome { ends_at: end, failure: None, stalls_hit, nominal_end: end },
+            Some((at, cause)) => AttemptOutcome {
+                ends_at: at,
+                failure: Some(cause),
+                stalls_hit,
+                nominal_end: end,
+            },
+        }
+    }
+}
+
+/// Why a single attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptFailure {
+    Dropped,
+    Corrupted,
+    TimedOut,
+}
+
+impl std::fmt::Display for AttemptFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttemptFailure::Dropped => write!(f, "connection dropped"),
+            AttemptFailure::Corrupted => write!(f, "payload corrupted"),
+            AttemptFailure::TimedOut => write!(f, "attempt timed out"),
+        }
+    }
+}
+
+/// The verdict of [`FaultPlan::attempt_outcome`] for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptOutcome {
+    /// When the attempt ends: delivery time on success, failure time
+    /// otherwise.
+    pub ends_at: SimTime,
+    pub failure: Option<AttemptFailure>,
+    /// Stall events that extended the attempt window.
+    pub stalls_hit: u32,
+    /// Where the attempt would have completed ignoring the failure (used for
+    /// partial-progress accounting).
+    pub nominal_end: SimTime,
+}
+
+impl AttemptOutcome {
+    pub fn succeeded(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Fault events that influenced this attempt (stalls plus the failure).
+    pub fn faults_hit(&self) -> u64 {
+        self.stalls_hit as u64 + u64::from(self.failure.is_some())
+    }
+}
+
+/// Bounded retries with exponential backoff, seeded jitter and per-attempt
+/// timeout.
+///
+/// Fields are public and tolerant: `multiplier` is clamped to ≥ 1 and
+/// `jitter` to `[0, 1]` at use, so arbitrary (e.g. property-generated)
+/// policies still behave sanely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (total attempts = retries+1).
+    pub max_retries: u32,
+    pub base_backoff: SimDuration,
+    /// Exponential growth factor per retry (≥ 1).
+    pub multiplier: f64,
+    /// Ceiling on any single backoff wait.
+    pub max_backoff: SimDuration,
+    /// Jitter fraction in `[0, 1]`: the wait is scaled by a seeded draw from
+    /// `[1 - jitter, 1 + jitter]`, then clamped to `max_backoff`.
+    pub jitter: f64,
+    /// Per-attempt wall-clock limit; `None` disables timeouts.
+    pub attempt_timeout: Option<SimDuration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 6,
+            base_backoff: SimDuration::from_secs(30),
+            multiplier: 2.0,
+            max_backoff: SimDuration::from_hours(2),
+            jitter: 0.1,
+            attempt_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Give up after the first failure.
+    pub fn no_retries() -> Self {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.attempt_timeout = Some(timeout);
+        self
+    }
+
+    /// The jitter-free backoff before retry `i` (0-based): monotone
+    /// non-decreasing in `i` and bounded by `max_backoff`.
+    pub fn nominal_backoff(&self, retry_index: u32) -> SimDuration {
+        let mult = self.multiplier.max(1.0);
+        let secs = self.base_backoff.as_secs_f64() * mult.powi(retry_index.min(1000) as i32);
+        let capped = secs.min(self.max_backoff.as_secs_f64());
+        SimDuration::from_secs_f64(if capped.is_finite() {
+            capped
+        } else {
+            self.max_backoff.as_secs_f64()
+        })
+    }
+
+    /// The jittered backoff before retry `i`, drawn from `rng`; bounded by
+    /// `max_backoff` regardless of the draw.
+    pub fn backoff<R: Rng + ?Sized>(&self, retry_index: u32, rng: &mut R) -> SimDuration {
+        let nominal = self.nominal_backoff(retry_index).as_secs_f64();
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let scale = 1.0 - jitter + 2.0 * jitter * rng.gen::<f64>();
+        let secs = (nominal * scale).min(self.max_backoff.as_secs_f64());
+        SimDuration::from_secs_f64(secs.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let horizon = SimDuration::from_days(30);
+        let a = FaultPlan::generate(99, horizon, &FaultProfile::flaky());
+        let b = FaultPlan::generate(99, horizon, &FaultProfile::flaky());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = FaultPlan::generate(100, horizon, &FaultProfile::flaky());
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn event_rates_track_profile() {
+        let horizon = SimDuration::from_days(100);
+        let plan = FaultPlan::generate(7, horizon, &FaultProfile::drops(5.0));
+        // Poisson(500): far more than 300, fewer than 700.
+        let drops = plan.count(|k| matches!(k, FaultKind::Drop));
+        assert!((300..700).contains(&drops), "drops {drops}");
+        assert_eq!(plan.len(), drops, "drops-only profile generates only drops");
+    }
+
+    #[test]
+    fn clean_profile_is_empty_and_clean_attempts_succeed() {
+        let plan = FaultPlan::generate(1, SimDuration::from_days(365), &FaultProfile::clean());
+        assert!(plan.is_empty());
+        let out = plan.attempt_outcome(SimTime::ZERO, SimDuration::from_hours(5), None);
+        assert!(out.succeeded());
+        assert_eq!(out.ends_at, SimTime::ZERO + SimDuration::from_hours(5));
+    }
+
+    #[test]
+    fn drop_fails_attempt_at_event_time() {
+        let plan = FaultPlan::from_events(
+            0,
+            vec![FaultEvent {
+                at: SimTime::from_micros(1_000_000),
+                kind: FaultKind::Drop,
+            }],
+        );
+        let out = plan.attempt_outcome(SimTime::ZERO, SimDuration::from_secs(10), None);
+        assert_eq!(out.failure, Some(AttemptFailure::Dropped));
+        assert_eq!(out.ends_at, SimTime::from_micros(1_000_000));
+        // An attempt starting after the drop is unaffected.
+        let later = plan.attempt_outcome(
+            SimTime::from_micros(2_000_000),
+            SimDuration::from_secs(10),
+            None,
+        );
+        assert!(later.succeeded());
+    }
+
+    #[test]
+    fn stalls_extend_and_can_cascade() {
+        let s = |secs: u64| SimTime::from_micros(secs * 1_000_000);
+        let plan = FaultPlan::from_events(
+            0,
+            vec![
+                FaultEvent { at: s(5), kind: FaultKind::Stall { duration: SimDuration::from_secs(10) } },
+                // Outside the base window but inside the stalled one.
+                FaultEvent { at: s(15), kind: FaultKind::Stall { duration: SimDuration::from_secs(10) } },
+            ],
+        );
+        let out = plan.attempt_outcome(SimTime::ZERO, SimDuration::from_secs(10), None);
+        assert!(out.succeeded());
+        assert_eq!(out.stalls_hit, 2);
+        assert_eq!(out.ends_at, s(30));
+    }
+
+    #[test]
+    fn stall_can_trip_timeout() {
+        let plan = FaultPlan::from_events(
+            0,
+            vec![FaultEvent {
+                at: SimTime::from_micros(1_000_000),
+                kind: FaultKind::Stall { duration: SimDuration::from_hours(2) },
+            }],
+        );
+        let out = plan.attempt_outcome(
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+            Some(SimDuration::from_mins(5)),
+        );
+        assert_eq!(out.failure, Some(AttemptFailure::TimedOut));
+        assert_eq!(out.ends_at, SimTime::ZERO + SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn corrupt_fails_at_completion() {
+        let plan = FaultPlan::from_events(
+            0,
+            vec![FaultEvent { at: SimTime::from_micros(3_000_000), kind: FaultKind::Corrupt }],
+        );
+        let out = plan.attempt_outcome(SimTime::ZERO, SimDuration::from_secs(10), None);
+        assert_eq!(out.failure, Some(AttemptFailure::Corrupted));
+        assert_eq!(out.ends_at, SimTime::ZERO + SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn degrade_factor_compounds_inside_window() {
+        let plan = FaultPlan::from_events(
+            0,
+            vec![
+                FaultEvent {
+                    at: SimTime::ZERO,
+                    kind: FaultKind::RateDegrade {
+                        factor: 0.5,
+                        duration: SimDuration::from_secs(100),
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_micros(50_000_000),
+                    kind: FaultKind::RateDegrade {
+                        factor: 0.5,
+                        duration: SimDuration::from_secs(100),
+                    },
+                },
+            ],
+        );
+        assert_eq!(plan.degrade_factor_at(SimTime::from_micros(10_000_000)), 0.5);
+        assert_eq!(plan.degrade_factor_at(SimTime::from_micros(60_000_000)), 0.25);
+        assert_eq!(plan.degrade_factor_at(SimTime::from_micros(300_000_000)), 1.0);
+    }
+
+    #[test]
+    fn nominal_backoff_monotone_and_capped() {
+        let policy = RetryPolicy::default();
+        let mut prev = SimDuration::ZERO;
+        for i in 0..40 {
+            let b = policy.nominal_backoff(i);
+            assert!(b >= prev, "backoff not monotone at retry {i}");
+            assert!(b <= policy.max_backoff);
+            prev = b;
+        }
+        assert_eq!(prev, policy.max_backoff, "backoff should saturate at the cap");
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy { jitter: 0.5, ..RetryPolicy::default() };
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        for i in 0..20 {
+            let x = policy.backoff(i, &mut a);
+            let y = policy.backoff(i, &mut b);
+            assert_eq!(x, y);
+            assert!(x <= policy.max_backoff);
+        }
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`sim`] — a discrete-event simulator that executes a flow graph against
 //!   shared CPU pools and reports throughput, backlog, utilisation and
 //!   instantaneous storage;
+//! * [`fault`] — seeded, replayable fault timelines (drops, stalls,
+//!   corruption, rate degradation) and bounded retry/backoff policies that
+//!   the simulator and `simnet`'s reliable executor share;
 //! * [`version`] and [`provenance`] — CLEO-style version identifiers and
 //!   MD5-hashed provenance records that travel with every derived product;
 //! * [`product`] — versioned, provenance-carrying data products;
@@ -52,6 +55,7 @@
 //! ```
 
 pub mod error;
+pub mod fault;
 pub mod graph;
 pub mod md5;
 pub mod metrics;
@@ -62,6 +66,9 @@ pub mod units;
 pub mod version;
 
 pub use error::{CoreError, CoreResult};
+pub use fault::{
+    AttemptFailure, AttemptOutcome, FaultEvent, FaultKind, FaultPlan, FaultProfile, RetryPolicy,
+};
 pub use graph::{FlowGraph, StageId, StageKind};
 pub use metrics::{PoolMetrics, SimReport, StageMetrics};
 pub use product::{DataProduct, ProductKind};

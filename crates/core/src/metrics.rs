@@ -5,7 +5,7 @@ use std::fmt;
 use crate::units::{DataVolume, SimDuration, SimTime};
 
 /// Per-stage counters accumulated during a simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StageMetrics {
     pub name: String,
     pub blocks_in: u64,
@@ -22,6 +22,16 @@ pub struct StageMetrics {
     pub final_queue_volume: DataVolume,
     /// Simulated time of the stage's last completion.
     pub completed_at: SimTime,
+    /// Transfer attempts re-issued after an injected fault.
+    pub retries: u64,
+    /// Injected fault events that affected this stage's execution.
+    pub faults: u64,
+    /// Blocks abandoned after the retry budget was exhausted.
+    pub blocks_failed: u64,
+    /// Volume re-sent by retries (each retry retransmits the full block).
+    pub volume_retransmitted: DataVolume,
+    /// Volume of abandoned blocks.
+    pub volume_lost: DataVolume,
 }
 
 impl StageMetrics {
@@ -32,7 +42,7 @@ impl StageMetrics {
 }
 
 /// Per-pool utilisation summary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PoolMetrics {
     pub name: String,
     pub cpus: u32,
@@ -43,7 +53,10 @@ pub struct PoolMetrics {
 }
 
 /// The result of a [`crate::sim::FlowSim`] run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so replay determinism can be asserted wholesale: two
+/// runs of the same seeded scenario must produce *equal* reports.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Time of the last event (all work complete).
     pub finished_at: SimTime,
@@ -84,6 +97,31 @@ impl SimReport {
             _ => false,
         }
     }
+
+    /// Total retries issued across all stages.
+    pub fn total_retries(&self) -> u64 {
+        self.stages.iter().map(|s| s.retries).sum()
+    }
+
+    /// Total injected fault events that affected execution.
+    pub fn total_faults(&self) -> u64 {
+        self.stages.iter().map(|s| s.faults).sum()
+    }
+
+    /// Total blocks abandoned after retry exhaustion.
+    pub fn total_blocks_failed(&self) -> u64 {
+        self.stages.iter().map(|s| s.blocks_failed).sum()
+    }
+
+    /// Total volume retransmitted by retries.
+    pub fn total_volume_retransmitted(&self) -> DataVolume {
+        self.stages.iter().map(|s| s.volume_retransmitted).sum()
+    }
+
+    /// Total volume of abandoned blocks.
+    pub fn total_volume_lost(&self) -> DataVolume {
+        self.stages.iter().map(|s| s.volume_lost).sum()
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -93,6 +131,17 @@ impl fmt::Display for SimReport {
             writeln!(f, "  sources ended at {end}, backlog then {backlog}")?;
         }
         writeln!(f, "  peak storage {}  retained {}", self.peak_storage, self.retained_storage)?;
+        if self.total_faults() > 0 || self.total_retries() > 0 {
+            writeln!(
+                f,
+                "  faults {}  retries {}  blocks failed {}  retransmitted {}  lost {}",
+                self.total_faults(),
+                self.total_retries(),
+                self.total_blocks_failed(),
+                self.total_volume_retransmitted(),
+                self.total_volume_lost(),
+            )?;
+        }
         for s in &self.stages {
             writeln!(
                 f,

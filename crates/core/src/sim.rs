@@ -11,7 +11,11 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use crate::error::{CoreError, CoreResult};
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::graph::{FlowGraph, StageId, StageKind};
 use crate::metrics::{PoolMetrics, SimReport, StageMetrics};
 use crate::units::{DataVolume, SimDuration, SimTime};
@@ -39,6 +43,18 @@ enum Event {
     ProcessDone { stage: StageId, input: DataVolume, held: DataVolume, cpus: u32 },
     /// A transfer at `stage` completes delivery of `volume`.
     TransferDone { stage: StageId, volume: DataVolume },
+    /// A retry of a faulted transfer begins (`attempt` is 0-based).
+    TransferAttempt { stage: StageId, volume: DataVolume, attempt: u32 },
+    /// A transfer abandons `volume` after exhausting its retry budget.
+    TransferGaveUp { stage: StageId, volume: DataVolume },
+}
+
+/// Fault-injection state: the seeded timeline, the retry policy, and the
+/// RNG that draws backoff jitter (seeded from the plan, so replays agree).
+struct FaultCtx {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    rng: StdRng,
 }
 
 struct PoolState {
@@ -116,6 +132,7 @@ pub struct FlowSim {
     backlog_at_source_end: Option<DataVolume>,
     source_end: Option<SimTime>,
     max_events: u64,
+    faults: Option<FaultCtx>,
 }
 
 impl FlowSim {
@@ -166,12 +183,28 @@ impl FlowSim {
             backlog_at_source_end: None,
             source_end: None,
             max_events: 50_000_000,
+            faults: None,
         })
     }
 
     /// Override the runaway-event safety cap (default fifty million).
     pub fn with_max_events(mut self, cap: u64) -> Self {
         self.max_events = cap;
+        self
+    }
+
+    /// Inject a seeded fault timeline, with transfer retries governed by
+    /// `policy`. Transfer stages ride out drops, stalls, corruption and rate
+    /// degradation by retrying with exponential backoff; process stages are
+    /// extended by stalls. Blocks whose retry budget runs out are counted as
+    /// failed (see [`StageMetrics::blocks_failed`]) and the flow continues —
+    /// graceful degradation, not a crashed simulation.
+    ///
+    /// The backoff-jitter RNG is seeded from the plan's seed, so running the
+    /// same plan and policy twice yields identical [`SimReport`]s.
+    pub fn with_faults(mut self, plan: FaultPlan, policy: RetryPolicy) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed() ^ 0xBACC_0FF5_EED0_0002);
+        self.faults = Some(FaultCtx { plan, policy, rng });
         self
     }
 
@@ -215,6 +248,10 @@ impl FlowSim {
                 self.on_process_done(stage, input, held, cpus)
             }
             Event::TransferDone { stage, volume } => self.on_transfer_done(stage, volume),
+            Event::TransferAttempt { stage, volume, attempt } => {
+                self.begin_transfer_attempt(stage, volume, attempt)
+            }
+            Event::TransferGaveUp { stage, volume } => self.on_transfer_gave_up(stage, volume),
         }
     }
 
@@ -344,15 +381,23 @@ impl FlowSim {
             pool.free -= cpus_per_task;
             pool.peak_in_use = pool.peak_in_use.max(pool.total - pool.free);
             let aggregate = rate_per_cpu * (cpus_per_task as f64);
-            let dur = input
+            let mut dur = input
                 .time_at(aggregate)
                 .unwrap_or(SimDuration::ZERO);
+            // Injected stalls freeze the task while its cpus stay held.
+            let mut stalls = 0u32;
+            if let Some(ctx) = &self.faults {
+                let (stalled, n) = ctx.plan.stalled_duration(self.now, dur);
+                dur = stalled;
+                stalls = n;
+            }
             pool.busy_cpu_secs += dur.as_secs_f64() * cpus_per_task as f64;
             // Working space held during the task: scratch plus output estimate.
             let held = input.scale(workspace_ratio) + input.scale(output_ratio);
             self.ledger.alloc(held);
             let st = &mut self.stages[head.index()];
             st.metrics.busy += dur;
+            st.metrics.faults += stalls as u64;
             self.schedule(
                 self.now + dur,
                 Event::ProcessDone { stage: head, input, held, cpus: cpus_per_task },
@@ -390,10 +435,6 @@ impl FlowSim {
     }
 
     fn try_start_transfer(&mut self, stage: StageId) {
-        let (rate, latency) = match &self.graph.stage(stage).kind {
-            StageKind::Transfer { rate, latency } => (*rate, *latency),
-            _ => unreachable!("transfer start on non-transfer stage"),
-        };
         let st = &mut self.stages[stage.index()];
         if st.transfer_busy {
             return;
@@ -401,10 +442,61 @@ impl FlowSim {
         let Some(volume) = st.queue.pop_front() else { return };
         st.queued_volume -= volume;
         st.transfer_busy = true;
-        let dur = latency
-            + volume.time_at(rate).unwrap_or(SimDuration::ZERO);
-        st.metrics.busy += dur;
-        self.schedule(self.now + dur, Event::TransferDone { stage, volume });
+        self.begin_transfer_attempt(stage, volume, 0);
+    }
+
+    /// Run one attempt of an in-flight transfer against the fault plan (if
+    /// any): on success schedule delivery, on a fault either back off and
+    /// retry or — once the budget is spent — give the block up.
+    fn begin_transfer_attempt(&mut self, stage: StageId, volume: DataVolume, attempt: u32) {
+        let (rate, latency) = match &self.graph.stage(stage).kind {
+            StageKind::Transfer { rate, latency } => (*rate, *latency),
+            _ => unreachable!("transfer attempt on non-transfer stage"),
+        };
+        let Some(ctx) = &mut self.faults else {
+            let dur = latency + volume.time_at(rate).unwrap_or(SimDuration::ZERO);
+            let st = &mut self.stages[stage.index()];
+            st.metrics.busy += dur;
+            self.schedule(self.now + dur, Event::TransferDone { stage, volume });
+            return;
+        };
+        let effective = rate * ctx.plan.degrade_factor_at(self.now);
+        let degraded = effective.bytes_per_sec() < rate.bytes_per_sec();
+        let base = latency + volume.time_at(effective).unwrap_or(SimDuration::ZERO);
+        let outcome = ctx.plan.attempt_outcome(self.now, base, ctx.policy.attempt_timeout);
+        let backoff = if outcome.failure.is_some() && attempt < ctx.policy.max_retries {
+            Some(ctx.policy.backoff(attempt, &mut ctx.rng))
+        } else {
+            None
+        };
+        let st = &mut self.stages[stage.index()];
+        st.metrics.faults += outcome.faults_hit() + u64::from(degraded);
+        st.metrics.busy += outcome.ends_at.checked_sub(self.now).unwrap_or(SimDuration::ZERO);
+        match (outcome.failure, backoff) {
+            (None, _) => self.schedule(outcome.ends_at, Event::TransferDone { stage, volume }),
+            (Some(_), Some(wait)) => {
+                st.metrics.retries += 1;
+                st.metrics.volume_retransmitted += volume;
+                self.schedule(
+                    outcome.ends_at + wait,
+                    Event::TransferAttempt { stage, volume, attempt: attempt + 1 },
+                );
+            }
+            (Some(_), None) => {
+                self.schedule(outcome.ends_at, Event::TransferGaveUp { stage, volume })
+            }
+        }
+    }
+
+    fn on_transfer_gave_up(&mut self, stage: StageId, volume: DataVolume) {
+        {
+            let st = &mut self.stages[stage.index()];
+            st.transfer_busy = false;
+            st.metrics.blocks_failed += 1;
+            st.metrics.volume_lost += volume;
+        }
+        self.ledger.free(volume); // the abandoned block's buffer is released
+        self.try_start_transfer(stage);
     }
 
     fn on_transfer_done(&mut self, stage: StageId, volume: DataVolume) {
@@ -433,8 +525,10 @@ impl FlowSim {
             stages.push(m);
         }
         let elapsed = self.now;
-        let pools = self
-            .pools
+        let mut pool_list: Vec<(String, PoolState)> = self.pools.into_iter().collect();
+        // HashMap iteration order is arbitrary; sort for replayable reports.
+        pool_list.sort_by(|a, b| a.0.cmp(&b.0));
+        let pools = pool_list
             .into_iter()
             .map(|(name, p)| {
                 let capacity_secs = p.total as f64 * elapsed.as_secs_f64();

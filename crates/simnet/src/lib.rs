@@ -11,12 +11,16 @@
 //! because "a Grid-based approach will only be a viable alternative if it
 //! provides faster data transfer at lower cost". The [`transfer`] module
 //! makes those comparisons quantitative, and [`profiles`] captures the
-//! paper's concrete 2005/2006 infrastructure.
+//! paper's concrete 2005/2006 infrastructure. The [`reliable`] module
+//! replays transfers against seeded fault timelines (drops, stalls,
+//! corruption, degradation) with bounded retry/backoff, so the comparison
+//! can be made against the network as it is, not as advertised.
 
 pub mod federation;
 pub mod integrity;
 pub mod link;
 pub mod profiles;
+pub mod reliable;
 pub mod shipping;
 pub mod transfer;
 
@@ -24,5 +28,12 @@ pub use federation::{paper_scenario, plan_federated_query, FederationPlan, Site}
 pub use integrity::{build_manifest, simulate_verified_shipping, verify_against_manifest,
                     ManifestEntry, VerificationReport};
 pub use link::NetworkLink;
+pub use reliable::{
+    AttemptRecord, AttemptResult, FaultPlan, FaultProfile, ReliableTransfer, RetryPolicy,
+    TransferError, TransferReport,
+};
 pub use shipping::{plan_shipment, MediaSpec, ShipmentPlan, ShippingRoute};
-pub use transfer::{compare, crossover_bandwidth, TransferComparison, TransferMode};
+pub use transfer::{
+    compare, compare_with_faults, crossover_bandwidth, ReliableComparison, TransferComparison,
+    TransferMode,
+};

@@ -9,9 +9,11 @@
 //! [`crossover_bandwidth`] finds the link speed at which the network starts
 //! winning.
 
-use sciflow_core::units::{DataRate, DataVolume, SimDuration};
+use sciflow_core::fault::{FaultPlan, RetryPolicy};
+use sciflow_core::units::{DataRate, DataVolume, SimDuration, SimTime};
 
 use crate::link::NetworkLink;
+use crate::reliable::{ReliableTransfer, TransferError, TransferReport};
 use crate::shipping::{plan_shipment, MediaSpec, ShipmentPlan, ShippingRoute};
 
 /// Which channel wins for a given transfer.
@@ -61,6 +63,55 @@ pub fn compare(
         }
     };
     TransferComparison { volume, network_time, shipping, winner, advantage }
+}
+
+/// A [`TransferComparison`] whose network leg was *executed* against a fault
+/// plan rather than assumed perfect.
+#[derive(Debug, Clone)]
+pub struct ReliableComparison {
+    pub comparison: TransferComparison,
+    /// The network leg's full story: a report with the retransmission bill,
+    /// or the typed error that tipped the verdict toward shipping.
+    pub network: Result<TransferReport, TransferError>,
+}
+
+/// Like [`compare`], but the network time is what a [`ReliableTransfer`]
+/// actually achieves through `plan`'s faults under `policy` — retries,
+/// backoff and all. A link that cannot deliver (down, timed out, retries
+/// exhausted) degrades the verdict gracefully to [`TransferMode::Shipping`]
+/// instead of pretending the network option exists.
+pub fn compare_with_faults(
+    volume: DataVolume,
+    link: &NetworkLink,
+    plan: &FaultPlan,
+    policy: RetryPolicy,
+    media: &MediaSpec,
+    route: &ShippingRoute,
+) -> ReliableComparison {
+    let shipping = plan_shipment(volume, media, route);
+    let network = ReliableTransfer::new(link, plan, policy).execute(volume, SimTime::ZERO);
+    let network_time = network.as_ref().ok().map(|r| r.elapsed());
+    let (winner, advantage) = match network_time {
+        None => (TransferMode::Shipping, None),
+        Some(net) => {
+            let ship = shipping.total_time;
+            if net <= ship {
+                (
+                    TransferMode::Network,
+                    Some(ship.as_secs_f64() / net.as_secs_f64().max(f64::MIN_POSITIVE)),
+                )
+            } else {
+                (
+                    TransferMode::Shipping,
+                    Some(net.as_secs_f64() / ship.as_secs_f64().max(f64::MIN_POSITIVE)),
+                )
+            }
+        }
+    };
+    ReliableComparison {
+        comparison: TransferComparison { volume, network_time, shipping, winner, advantage },
+        network,
+    }
 }
 
 /// The minimum sustained link rate at which the network matches the shipping

@@ -1,0 +1,202 @@
+//! Invariant checkers: the properties a faulty-but-retrying flow must keep.
+//!
+//! Exact-value assertions rot the moment a profile constant moves; these
+//! checkers state what must be true of *any* run — bytes are conserved
+//! across retries, simulated time only moves forward, provenance hashes are
+//! replay-stable — and panic with a diagnostic when violated.
+
+use sciflow_core::metrics::SimReport;
+use sciflow_core::provenance::ProvenanceRecord;
+use sciflow_core::units::SimDuration;
+use sciflow_simnet::reliable::{AttemptResult, TransferReport};
+
+/// Conservation of bytes across retries for a reliable transfer: exactly the
+/// payload is delivered, exactly one attempt (the last) delivers it, every
+/// failed attempt's wire bytes are billed as retransmission, and no attempt
+/// sends more than the payload.
+pub fn assert_transfer_conservation(report: &TransferReport) {
+    let payload = report.volume.bytes();
+    assert_eq!(
+        report.bytes_delivered(),
+        payload,
+        "delivered bytes must equal the payload exactly"
+    );
+    let delivered: Vec<_> = report
+        .attempts
+        .iter()
+        .filter(|a| a.result == AttemptResult::Delivered)
+        .collect();
+    assert_eq!(delivered.len(), 1, "exactly one attempt delivers");
+    assert_eq!(
+        delivered[0].index as usize,
+        report.attempts.len() - 1,
+        "the delivering attempt is the last"
+    );
+    for a in &report.attempts {
+        assert!(
+            a.bytes_sent <= payload,
+            "attempt {} sent {} > payload {payload}",
+            a.index,
+            a.bytes_sent
+        );
+    }
+    assert_eq!(
+        report.bytes_on_wire(),
+        report.bytes_delivered() + report.bytes_retransmitted(),
+        "wire traffic must decompose into payload plus retransmissions"
+    );
+}
+
+/// Monotone simulated time within a reliable transfer: attempts are ordered,
+/// never run backwards, and never overlap.
+pub fn assert_monotone_attempts(report: &TransferReport) {
+    let mut prev_end = report.started_at;
+    for (i, a) in report.attempts.iter().enumerate() {
+        assert_eq!(a.index as usize, i, "attempt indices are dense");
+        assert!(
+            a.started_at >= prev_end,
+            "attempt {i} started at {} before the previous ended at {prev_end}",
+            a.started_at
+        );
+        assert!(
+            a.ended_at >= a.started_at,
+            "attempt {i} ran backwards: {} -> {}",
+            a.started_at,
+            a.ended_at
+        );
+        prev_end = a.ended_at;
+    }
+    assert_eq!(
+        report.completed_at, prev_end,
+        "completion time must equal the last attempt's end"
+    );
+}
+
+/// Monotone simulated time for a flow report: no stage completes after the
+/// simulation ends, and the sources stop before the flow finishes.
+pub fn assert_monotone_sim_time(report: &SimReport) {
+    for s in &report.stages {
+        assert!(
+            s.completed_at <= report.finished_at,
+            "stage `{}` completed at {} after the simulation finished at {}",
+            s.name,
+            s.completed_at,
+            report.finished_at
+        );
+    }
+    if let Some(end) = report.source_end {
+        assert!(
+            end <= report.finished_at,
+            "sources ended at {end} after the simulation finished at {}",
+            report.finished_at
+        );
+    }
+}
+
+/// Conservation of bytes across retries for a transfer *stage* in a flow:
+/// everything that arrived was either delivered, abandoned (counted as
+/// lost), or is still queued — retries may inflate wire traffic but never
+/// create or destroy payload.
+pub fn assert_flow_transfer_conservation(report: &SimReport, stage: &str) {
+    let s = report
+        .stage(stage)
+        .unwrap_or_else(|| panic!("no stage named `{stage}` in report"));
+    let accounted = s.volume_out + s.volume_lost + s.final_queue_volume;
+    assert_eq!(
+        s.volume_in, accounted,
+        "stage `{stage}`: in {} != out {} + lost {} + queued {}",
+        s.volume_in, s.volume_out, s.volume_lost, s.final_queue_volume
+    );
+    assert!(
+        s.blocks_in >= s.blocks_out + s.blocks_failed,
+        "stage `{stage}`: {} blocks in < {} delivered + {} failed",
+        s.blocks_in,
+        s.blocks_out,
+        s.blocks_failed
+    );
+    if s.final_queue_volume.is_zero() {
+        assert_eq!(
+            s.blocks_in,
+            s.blocks_out + s.blocks_failed,
+            "stage `{stage}`: with an empty final queue every block is delivered or failed"
+        );
+    }
+}
+
+/// Provenance-hash stability across replays: building the same record twice
+/// must yield the same MD5 digest (the CLEO reproducibility contract).
+pub fn assert_provenance_stability(build: impl Fn() -> ProvenanceRecord) {
+    let a = build();
+    let b = build();
+    assert_eq!(
+        a.digest().to_hex(),
+        b.digest().to_hex(),
+        "provenance digest changed across replays: {:?}",
+        a.explain_discrepancy(&b)
+    );
+}
+
+/// Relative-tolerance comparison for physical quantities.
+pub fn assert_close(actual: f64, expected: f64, rel_tol: f64) {
+    let scale = expected.abs().max(f64::MIN_POSITIVE);
+    let rel = (actual - expected).abs() / scale;
+    assert!(
+        rel <= rel_tol,
+        "{actual} differs from {expected} by {:.4}% (tolerance {:.4}%)",
+        rel * 100.0,
+        rel_tol * 100.0
+    );
+}
+
+/// `assert_close` in percentage form, for readability at call sites.
+pub fn assert_within_pct(actual: f64, expected: f64, pct: f64) {
+    assert_close(actual, expected, pct / 100.0);
+}
+
+/// Relative-tolerance comparison for durations.
+pub fn assert_duration_close(actual: SimDuration, expected: SimDuration, rel_tol: f64) {
+    assert_close(actual.as_secs_f64(), expected.as_secs_f64(), rel_tol);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciflow_core::provenance::ProvenanceStep;
+    use sciflow_core::version::{CalDate, VersionId};
+
+    #[test]
+    fn tolerance_helpers() {
+        assert_close(100.5, 100.0, 0.01);
+        assert_within_pct(98.0, 100.0, 5.0);
+        assert_duration_close(
+            SimDuration::from_secs(101),
+            SimDuration::from_secs(100),
+            0.02,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from")]
+    fn tolerance_violation_panics() {
+        assert_close(110.0, 100.0, 0.01);
+    }
+
+    #[test]
+    fn provenance_stability_holds_for_pure_builders() {
+        assert_provenance_stability(|| {
+            let mut r = ProvenanceRecord::new();
+            let version = VersionId::new(
+                "Dedisp",
+                "Nov01_05_P1",
+                CalDate::new(2005, 11, 1).unwrap(),
+                "CTC",
+            );
+            r.push(
+                ProvenanceStep::new("Dedisperse", version)
+                    .with_param("dm", "42.0")
+                    .with_input("raw-block-7"),
+            );
+            r
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! # sciflow-testkit
+//!
+//! The workspace test kit: everything the integration suite needs to state
+//! *invariants* instead of brittle exact values.
+//!
+//! The simulators in this workspace are deterministic by construction —
+//! seeded xoshiro RNG streams, tie-broken event heaps, sorted reports — and
+//! this crate is where that contract is enforced:
+//!
+//! * [`rng`] — seeded RNG construction and stable seed derivation, so every
+//!   test names its randomness;
+//! * [`scenarios`] — seeded builders for the recurring test fixtures (a
+//!   lossy link, a faulty end-to-end flow), each replayable from one `u64`;
+//! * [`invariants`] — checkers for the properties that must survive fault
+//!   injection: conservation of bytes across retries, monotone simulated
+//!   time, provenance-hash stability across replays;
+//! * [`determinism`] — [`determinism::assert_deterministic`], which replays
+//!   a seeded scenario and requires byte-identical results.
+
+pub mod determinism;
+pub mod invariants;
+pub mod rng;
+pub mod scenarios;
+
+pub use determinism::{assert_deterministic, report_fingerprint};
+pub use invariants::{
+    assert_close, assert_duration_close, assert_flow_transfer_conservation,
+    assert_monotone_attempts, assert_monotone_sim_time, assert_provenance_stability,
+    assert_transfer_conservation, assert_within_pct,
+};
+pub use rng::{derive_seed, seeded_rng};
+pub use scenarios::{LossyFlowScenario, LossyLinkScenario};

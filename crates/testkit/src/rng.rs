@@ -1,0 +1,46 @@
+//! Seeded RNG construction and seed derivation.
+//!
+//! Every random choice in a test must be traceable to one named `u64` seed;
+//! these helpers make that cheap enough that no test reaches for ambient
+//! entropy.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sciflow_core::md5::md5_strings;
+
+/// A deterministic RNG for `seed`. Same seed, same stream, forever.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a sub-seed from a master seed and a label, so independent parts of
+/// a scenario (fault plan, workload, jitter) get decorrelated but replayable
+/// streams. Stable across runs and platforms: the derivation is an MD5 hash.
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    let digest = md5_strings(&[format!("{master:016x}"), label.to_string()]);
+    let hex = digest.to_hex();
+    u64::from_str_radix(&hex[..16], 16).expect("md5 hex is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_streams_replay() {
+        let mut a = seeded_rng(11);
+        let mut b = seeded_rng(11);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_label_sensitive() {
+        let x = derive_seed(5, "faults");
+        assert_eq!(x, derive_seed(5, "faults"));
+        assert_ne!(x, derive_seed(5, "workload"));
+        assert_ne!(x, derive_seed(6, "faults"));
+    }
+}

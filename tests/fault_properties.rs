@@ -1,0 +1,90 @@
+//! Property tests for the retry policy and fault-plan determinism.
+
+use proptest::prelude::*;
+
+use sciflow_core::fault::{FaultPlan, FaultProfile, RetryPolicy};
+use sciflow_core::units::{SimDuration, SimTime};
+use sciflow_testkit::{
+    assert_monotone_attempts, assert_transfer_conservation, seeded_rng, LossyFlowScenario,
+    LossyLinkScenario,
+};
+
+fn arbitrary_policy() -> impl Strategy<Value = RetryPolicy> {
+    (1u64..600, 1.0f64..4.0, 60u64..7200, 0.0f64..1.0, 0u32..12).prop_map(
+        |(base, multiplier, cap, jitter, max_retries)| RetryPolicy {
+            max_retries,
+            base_backoff: SimDuration::from_secs(base),
+            multiplier,
+            max_backoff: SimDuration::from_secs(cap.max(base)),
+            jitter,
+            attempt_timeout: None,
+        },
+    )
+}
+
+proptest! {
+    fn nominal_backoff_is_monotone_and_bounded(policy in arbitrary_policy()) {
+        let mut prev = SimDuration::ZERO;
+        for i in 0..64u32 {
+            let b = policy.nominal_backoff(i);
+            prop_assert!(b >= prev, "backoff shrank at retry {}: {} < {}", i, b, prev);
+            prop_assert!(
+                b <= policy.max_backoff,
+                "backoff {} exceeds cap {}",
+                b,
+                policy.max_backoff
+            );
+            prev = b;
+        }
+    }
+
+    fn jittered_backoff_is_bounded_and_seed_deterministic(
+        policy in arbitrary_policy(),
+        seed in any::<u64>(),
+    ) {
+        let mut a = seeded_rng(seed);
+        let mut b = seeded_rng(seed);
+        for i in 0..16u32 {
+            let x = policy.backoff(i, &mut a);
+            let y = policy.backoff(i, &mut b);
+            prop_assert_eq!(x, y, "same seed must draw the same jitter");
+            prop_assert!(x <= policy.max_backoff);
+        }
+    }
+
+    fn fault_plans_replay_identically(seed in any::<u64>()) {
+        let horizon = SimDuration::from_days(30);
+        let a = FaultPlan::generate(seed, horizon, &FaultProfile::flaky());
+        let b = FaultPlan::generate(seed, horizon, &FaultProfile::flaky());
+        prop_assert_eq!(a, b);
+    }
+
+    fn attempt_outcome_is_pure(seed in any::<u64>(), start_s in 0u64..86_400, base_s in 1u64..86_400) {
+        let plan = FaultPlan::generate(seed, SimDuration::from_days(3), &FaultProfile::flaky());
+        let start = SimTime::from_micros(start_s * 1_000_000);
+        let base = SimDuration::from_secs(base_s);
+        let timeout = Some(SimDuration::from_hours(2));
+        prop_assert_eq!(
+            plan.attempt_outcome(start, base, timeout),
+            plan.attempt_outcome(start, base, timeout)
+        );
+    }
+
+    fn same_seed_yields_byte_identical_simreports(seed in any::<u64>()) {
+        let scenario = LossyFlowScenario::new(seed);
+        let first = scenario.run();
+        let second = scenario.run();
+        prop_assert_eq!(&first, &second, "replay diverged for seed {}", seed);
+        // The counters participate in the equality; make sure the plan is
+        // not trivially empty for most seeds by checking totals are sane.
+        prop_assert!(first.total_volume_lost() <= first.stage(LossyFlowScenario::LINK).unwrap().volume_in);
+    }
+
+    fn successful_lossy_transfers_conserve_bytes(seed in any::<u64>()) {
+        let scenario = LossyLinkScenario::new(seed);
+        if let Ok(report) = scenario.run() {
+            assert_transfer_conservation(&report);
+            assert_monotone_attempts(&report);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot fetch crates.io, so this provides the small
+//! API slice the bench targets use — `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — with
+//! a simple min-of-N wall-clock measurement instead of statistical analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation; reported alongside the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+pub struct Bencher {
+    /// Best observed time per iteration.
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup, then take the best of a few timed runs — enough to
+        // smoke-test the kernels without criterion's statistics.
+        black_box(f());
+        for _ in 0..10 {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            self.best = Some(self.best.map_or(elapsed, |b| b.min(elapsed)));
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { best: None };
+        f(&mut b);
+        self.report(&id, b.best);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { best: None };
+        f(&mut b, input);
+        self.report(&id, b.best);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, best: Option<Duration>) {
+        let Some(best) = best else {
+            println!("{}/{}: no measurement", self.name, id.label);
+            return;
+        };
+        let secs = best.as_secs_f64().max(1e-12);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => format!("  {:.1} MB/s", n as f64 / secs / 1e6),
+            Some(Throughput::Elements(n)) => format!("  {:.0} elem/s", n as f64 / secs),
+            None => String::new(),
+        };
+        println!("{}/{}: {:?}{rate}", self.name, id.label, best);
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function(BenchmarkId::from(name), f);
+        group.finish();
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(BenchmarkId::new("range", 1000), &1000u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("direct", |b| b.iter(|| black_box(21) * 2));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
