@@ -142,8 +142,7 @@ mod tests {
     #[test]
     fn parseval_theorem() {
         let series: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.37).sin()).collect();
-        let mut buf: Vec<Complex> =
-            series.iter().map(|&x| Complex::new(x as f64, 0.0)).collect();
+        let mut buf: Vec<Complex> = series.iter().map(|&x| Complex::new(x as f64, 0.0)).collect();
         fft_in_place(&mut buf, false);
         let time_energy: f64 = series.iter().map(|&x| (x as f64) * (x as f64)).sum();
         let freq_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / 256.0;
@@ -162,11 +161,7 @@ mod tests {
             .map(|i| (2.0 * std::f64::consts::PI * f_signal * i as f64 * dt).sin() as f32)
             .collect();
         let power = real_power_spectrum(&series);
-        let (imax, _) = power
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap();
+        let (imax, _) = power.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
         let freq = bin_freq_hz(imax, n, dt);
         assert!((freq - f_signal).abs() < 0.5, "peak at {freq}, wanted {f_signal}");
     }

@@ -153,13 +153,10 @@ mod tests {
     fn run(weeks: u64, ctc_cpus: u32) -> sciflow_core::SimReport {
         let params = AreciboFlowParams { weeks, ..AreciboFlowParams::default() };
         let g = arecibo_flow_graph(&params);
-        FlowSim::new(
-            g,
-            vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, ctc_cpus)],
-        )
-        .expect("valid flow")
-        .run()
-        .expect("flow completes")
+        FlowSim::new(g, vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, ctc_cpus)])
+            .expect("valid flow")
+            .run()
+            .expect("flow completes")
     }
 
     #[test]
@@ -184,11 +181,7 @@ mod tests {
     #[test]
     fn instantaneous_storage_exceeds_thirty_tb() {
         let report = run(2, 200);
-        assert!(
-            report.peak_storage >= DataVolume::tb(30),
-            "peak {}",
-            report.peak_storage
-        );
+        assert!(report.peak_storage >= DataVolume::tb(30), "peak {}", report.peak_storage);
     }
 
     #[test]
@@ -199,10 +192,7 @@ mod tests {
         let starved_drain = starved.drain_duration().unwrap();
         // With capacity above the ~100-cpu steady-state demand, the tail is
         // bounded by the last block's own ship+process time.
-        assert!(
-            ample_drain.as_days_f64() < 21.0,
-            "150 cpus should keep up, drain {ample_drain}"
-        );
+        assert!(ample_drain.as_days_f64() < 21.0, "150 cpus should keep up, drain {ample_drain}");
         // At 10 cpus, three weeks of data take months to clear.
         assert!(
             starved_drain.as_days_f64() > 60.0,

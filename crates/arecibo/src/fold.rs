@@ -62,11 +62,8 @@ pub fn fold(series: &[f32], dt: f64, period_s: f64, n_bins: usize) -> FoldedProf
         sums[bin] += x as f64;
         counts[bin] += 1;
     }
-    let bins = sums
-        .iter()
-        .zip(&counts)
-        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
-        .collect();
+    let bins =
+        sums.iter().zip(&counts).map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect();
     FoldedProfile { bins, counts, period_s }
 }
 
@@ -166,10 +163,7 @@ mod tests {
             "refined {refined} strayed outside the search span of the true period"
         );
         let true_snr = fold(&series, dt, 0.2, 32).snr();
-        assert!(
-            snr >= 0.95 * true_snr,
-            "refined snr {snr} well below true-period snr {true_snr}"
-        );
+        assert!(snr >= 0.95 * true_snr, "refined snr {snr} well below true-period snr {true_snr}");
     }
 
     #[test]

@@ -40,9 +40,10 @@ pub fn sky_coincidence_cull(
 ) -> Vec<SkyGroup> {
     let mut groups: Vec<SkyGroup> = Vec::new();
     for pc in candidates {
-        match groups.iter_mut().find(|g| {
-            harmonically_related(g.best.candidate.freq_hz, pc.candidate.freq_hz, tol)
-        }) {
+        match groups
+            .iter_mut()
+            .find(|g| harmonically_related(g.best.candidate.freq_hz, pc.candidate.freq_hz, tol))
+        {
             Some(g) => {
                 if !g.pointings.contains(&pc.pointing) {
                     g.pointings.push(pc.pointing);
@@ -202,14 +203,9 @@ mod tests {
         let mut db = Database::new();
         create_candidate_table(&mut db).unwrap();
         let mut next_id = 0i64;
-        let ids = load_candidates(
-            &mut db,
-            17,
-            3,
-            &[cand(7.81, 12.0), cand(60.0, 8.0)],
-            &mut next_id,
-        )
-        .unwrap();
+        let ids =
+            load_candidates(&mut db, 17, 3, &[cand(7.81, 12.0), cand(60.0, 8.0)], &mut next_id)
+                .unwrap();
         assert_eq!(ids, vec![0, 1]);
         load_candidates(&mut db, 18, 0, &[cand(2.5, 6.5)], &mut next_id).unwrap();
 

@@ -103,8 +103,8 @@ fn attr<'a>(tag: &'a str, name: &str) -> Option<&'a str> {
 /// subset of VOTable).
 pub fn parse_votable(xml: &str) -> Result<VoTable, String> {
     let table_tag_start = xml.find("<TABLE").ok_or("missing <TABLE>")?;
-    let table_tag_end = xml[table_tag_start..].find('>').ok_or("unterminated <TABLE>")?
-        + table_tag_start;
+    let table_tag_end =
+        xml[table_tag_start..].find('>').ok_or("unterminated <TABLE>")? + table_tag_start;
     let table_tag = &xml[table_tag_start..=table_tag_end];
     let table_name = unescape(attr(table_tag, "name").ok_or("TABLE has no name")?);
 
@@ -131,17 +131,12 @@ pub fn parse_votable(xml: &str) -> Result<VoTable, String> {
         let mut cpos = row_start;
         while let Some(td) = xml[cpos..row_end].find("<TD>") {
             let cell_start = cpos + td + 4;
-            let cell_end =
-                xml[cell_start..].find("</TD>").ok_or("unterminated <TD>")? + cell_start;
+            let cell_end = xml[cell_start..].find("</TD>").ok_or("unterminated <TD>")? + cell_start;
             cells.push(unescape(&xml[cell_start..cell_end]));
             cpos = cell_end + 5;
         }
         if cells.len() != fields.len() {
-            return Err(format!(
-                "row has {} cells for {} fields",
-                cells.len(),
-                fields.len()
-            ));
+            return Err(format!("row has {} cells for {} fields", cells.len(), fields.len()));
         }
         rows.push(cells);
         pos = row_end + 5;

@@ -146,14 +146,10 @@ pub fn process_pointing(
     assert!(!beams.is_empty(), "a pointing has at least one beam");
     let raw_bytes: u64 = beams.iter().map(|b| b.config.volume_bytes()).sum();
 
-    let beam_outputs: Vec<BeamOutput> = beams
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| process_beam(i as u32, spec, cfg))
-        .collect();
+    let beam_outputs: Vec<BeamOutput> =
+        beams.iter().enumerate().map(|(i, spec)| process_beam(i as u32, spec, cfg)).collect();
 
-    let per_beam: Vec<Vec<Candidate>> =
-        beam_outputs.iter().map(|b| b.periodic.clone()).collect();
+    let per_beam: Vec<Vec<Candidate>> = beam_outputs.iter().map(|b| b.periodic.clone()).collect();
     let coincidences = multibeam_coincidence(&per_beam, 0.01, cfg.beam_coincidence_min);
 
     // Fold-confirm the celestial survivors against the beam where each
@@ -187,10 +183,7 @@ pub fn process_pointing(
     let n_cands: u64 = beam_outputs.iter().map(|b| b.periodic.len() as u64).sum();
     let n_sp: u64 = beam_outputs.iter().map(|b| b.single_pulses.len() as u64).sum();
     let profiles = confirmed.len() as u64 * cfg.fold_bins as u64 * 8;
-    let masks: u64 = beams
-        .iter()
-        .map(|b| b.config.n_channels as u64)
-        .sum();
+    let masks: u64 = beams.iter().map(|b| b.config.n_channels as u64).sum();
     let diagnostics = beams.len() as u64 * 4 * 1024; // summary stats & plots
     let product_bytes = n_cands * CAND_RECORD + n_sp * SP_RECORD + profiles + masks + diagnostics;
 
@@ -260,11 +253,7 @@ mod tests {
     #[test]
     fn pipeline_finds_the_pulsar_and_flags_the_carrier() {
         let beams = pointing_data(1234);
-        let cfg = PipelineConfig {
-            n_dm_trials: 16,
-            dm_max: 150.0,
-            ..PipelineConfig::default()
-        };
+        let cfg = PipelineConfig { n_dm_trials: 16, dm_max: 150.0, ..PipelineConfig::default() };
         let out = process_pointing(1, &beams, &cfg, version());
 
         // The injected pulsar is confirmed.
@@ -289,10 +278,11 @@ mod tests {
             assert!(carrier.terrestrial, "carrier in {} beams not flagged", carrier.beams);
         }
         // And it is not among the confirmed celestial candidates.
-        assert!(out
-            .confirmed
-            .iter()
-            .all(|c| !harmonically_related(c.candidate.freq_hz, 60.0, 0.005)));
+        assert!(out.confirmed.iter().all(|c| !harmonically_related(
+            c.candidate.freq_hz,
+            60.0,
+            0.005
+        )));
 
         // The narrowband channel was excised in beam 0.
         assert!(out.beams[0].zapped_channels >= 1);
@@ -305,11 +295,7 @@ mod tests {
 
         // Provenance captures the parameters.
         assert_eq!(out.provenance.len(), 1);
-        assert!(out
-            .provenance
-            .canonical_strings()
-            .iter()
-            .any(|s| s.contains("dm_max")));
+        assert!(out.provenance.canonical_strings().iter().any(|s| s.contains("dm_max")));
     }
 
     #[test]

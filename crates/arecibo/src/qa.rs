@@ -78,10 +78,7 @@ pub fn quality_check(spec: &DynamicSpectrum, cfg: &QaConfig) -> QaReport {
     let variance = vars.iter().sum::<f64>() / n;
     let dead = vars.iter().filter(|&&v| v < 1e-9).count();
     let dead_fraction = dead as f64 / n;
-    let flagged = channel_mask(spec, cfg.rfi_sigma)
-        .iter()
-        .filter(|&&b| b)
-        .count();
+    let flagged = channel_mask(spec, cfg.rfi_sigma).iter().filter(|&&b| b).count();
     let rfi_fraction = flagged as f64 / n;
 
     let mut issues = Vec::new();
@@ -152,10 +149,7 @@ mod tests {
                 }
             }
             let report = quality_check(&spec, &QaConfig::default());
-            assert!(
-                report.issues.contains(&QaIssue::GainOutOfRange),
-                "scale {scale}: {report:?}"
-            );
+            assert!(report.issues.contains(&QaIssue::GainOutOfRange), "scale {scale}: {report:?}");
         }
     }
 

@@ -62,8 +62,8 @@ pub fn zero_dm_filter(spec: &DynamicSpectrum) -> DynamicSpectrum {
     let cfg = spec.config;
     let mut out = DynamicSpectrum::zeros(cfg);
     for s in 0..cfg.n_samples {
-        let mean: f32 = (0..cfg.n_channels).map(|ch| spec.at(ch, s)).sum::<f32>()
-            / cfg.n_channels as f32;
+        let mean: f32 =
+            (0..cfg.n_channels).map(|ch| spec.at(ch, s)).sum::<f32>() / cfg.n_channels as f32;
         for ch in 0..cfg.n_channels {
             out.set(ch, s, spec.at(ch, s) - mean);
         }
@@ -103,7 +103,11 @@ pub fn multibeam_coincidence(
                         bc.candidate = cand.clone();
                     }
                 }
-                None => out.push(BeamCoincidence { candidate: cand.clone(), beams: 1, terrestrial: false }),
+                None => out.push(BeamCoincidence {
+                    candidate: cand.clone(),
+                    beams: 1,
+                    terrestrial: false,
+                }),
             }
         }
     }
@@ -209,13 +213,8 @@ mod tests {
 
     #[test]
     fn coincidence_keeps_strongest_exemplar() {
-        let mk = |snr: f64| Candidate {
-            dm: Dm(0.0),
-            freq_hz: 10.0,
-            period_s: 0.1,
-            snr,
-            harmonics: 1,
-        };
+        let mk =
+            |snr: f64| Candidate { dm: Dm(0.0), freq_hz: 10.0, period_s: 0.1, snr, harmonics: 1 };
         let per_beam = vec![vec![mk(5.0)], vec![mk(11.0)], vec![mk(7.0)]];
         let out = multibeam_coincidence(&per_beam, 0.01, 3);
         assert_eq!(out.len(), 1);

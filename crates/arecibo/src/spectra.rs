@@ -36,13 +36,7 @@ pub struct ObsConfig {
 impl ObsConfig {
     /// A small test-scale configuration with ALFA-like band parameters.
     pub fn test_scale() -> Self {
-        ObsConfig {
-            n_channels: 64,
-            n_samples: 4096,
-            dt: 1e-3,
-            f_lo_mhz: 1375.0,
-            f_hi_mhz: 1425.0,
-        }
+        ObsConfig { n_channels: 64, n_samples: 4096, dt: 1e-3, f_lo_mhz: 1375.0, f_hi_mhz: 1425.0 }
     }
 
     /// Centre frequency of channel `i`; channel 0 is the **highest**
@@ -87,9 +81,7 @@ pub struct DynamicSpectrum {
 impl DynamicSpectrum {
     /// Pure radiometer noise: unit-variance Gaussian per sample.
     pub fn noise<R: Rng>(config: ObsConfig, rng: &mut R) -> Self {
-        let data = (0..config.n_channels * config.n_samples)
-            .map(|_| gauss(rng))
-            .collect();
+        let data = (0..config.n_channels * config.n_samples).map(|_| gauss(rng)).collect();
         DynamicSpectrum { config, data }
     }
 
@@ -134,7 +126,8 @@ impl DynamicSpectrum {
                     break;
                 }
                 let c_idx = (centre / cfg.dt).round() as i64;
-                for s in (c_idx - half_window).max(0)..(c_idx + half_window + 1).min(cfg.n_samples as i64)
+                for s in (c_idx - half_window).max(0)
+                    ..(c_idx + half_window + 1).min(cfg.n_samples as i64)
                 {
                     let t = s as f64 * cfg.dt;
                     let x = (t - centre) / p.width_s;
@@ -153,7 +146,8 @@ impl DynamicSpectrum {
         for ch in 0..cfg.n_channels {
             let centre = t0_s + dm.delay_between(cfg.channel_freq_mhz(ch), cfg.f_hi_mhz);
             let c_idx = (centre / cfg.dt).round() as i64;
-            for s in (c_idx - half_window).max(0)..(c_idx + half_window + 1).min(cfg.n_samples as i64)
+            for s in
+                (c_idx - half_window).max(0)..(c_idx + half_window + 1).min(cfg.n_samples as i64)
             {
                 let t = s as f64 * cfg.dt;
                 let x = (t - centre) / width_s;
@@ -254,9 +248,7 @@ mod tests {
         // Peak sample in the top and bottom channels should differ by the
         // dispersion delay across the band.
         let peak = |ch: usize| {
-            (0..cfg.n_samples)
-                .max_by(|&a, &b| spec.at(ch, a).total_cmp(&spec.at(ch, b)))
-                .unwrap()
+            (0..cfg.n_samples).max_by(|&a, &b| spec.at(ch, a).total_cmp(&spec.at(ch, b))).unwrap()
         };
         let top = peak(0);
         let bottom = peak(cfg.n_channels - 1);

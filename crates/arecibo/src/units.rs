@@ -46,9 +46,7 @@ impl Period {
 pub fn dm_trials(dm_max: f64, n: usize) -> Vec<Dm> {
     assert!(n >= 2, "need at least two trials");
     assert!(dm_max > 0.0, "dm_max must be positive");
-    (0..n)
-        .map(|i| Dm(dm_max * i as f64 / (n - 1) as f64))
-        .collect()
+    (0..n).map(|i| Dm(dm_max * i as f64 / (n - 1) as f64)).collect()
 }
 
 #[cfg(test)]

@@ -20,9 +20,7 @@ fn markup(n: usize) -> Vec<u8> {
 }
 
 fn random_bytes(n: usize) -> Vec<u8> {
-    (0..n as u64)
-        .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8)
-        .collect()
+    (0..n as u64).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8).collect()
 }
 
 fn bench_codec(c: &mut Criterion) {

@@ -14,9 +14,7 @@ fn bench_dedisperse(c: &mut Criterion) {
     let mut group = c.benchmark_group("dedisperse");
     let bytes = cfg.volume_bytes();
     group.throughput(criterion::Throughput::Bytes(bytes));
-    group.bench_function("single_dm", |b| {
-        b.iter(|| dedisperse(black_box(&spec), Dm(120.0)))
-    });
+    group.bench_function("single_dm", |b| b.iter(|| dedisperse(black_box(&spec), Dm(120.0))));
     for &trials in &[8usize, 32] {
         let ladder = dm_trials(300.0, trials);
         group.bench_with_input(BenchmarkId::new("ladder", trials), &trials, |b, _| {

@@ -6,9 +6,8 @@ use sciflow_arecibo::fft::{fft_in_place, real_power_spectrum, Complex};
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
     for &n in &[1024usize, 4096, 16384] {
-        let data: Vec<Complex> = (0..n)
-            .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
-            .collect();
+        let data: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0)).collect();
         group.bench_with_input(BenchmarkId::new("complex", n), &n, |b, _| {
             b.iter(|| {
                 let mut buf = data.clone();

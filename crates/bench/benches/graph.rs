@@ -29,12 +29,8 @@ fn bench_graph(c: &mut Criterion) {
     let g = web_graph();
     let mut group = c.benchmark_group("graph");
     group.throughput(criterion::Throughput::Elements(g.edge_count() as u64));
-    group.bench_function("pagerank_30_iters", |b| {
-        b.iter(|| pagerank(black_box(&g), 0.85, 30))
-    });
-    group.bench_function("wcc", |b| {
-        b.iter(|| weakly_connected_components(black_box(&g)).1)
-    });
+    group.bench_function("pagerank_30_iters", |b| b.iter(|| pagerank(black_box(&g), 0.85, 30)));
+    group.bench_function("wcc", |b| b.iter(|| weakly_connected_components(black_box(&g)).1));
     group.finish();
 }
 

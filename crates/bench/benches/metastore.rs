@@ -29,9 +29,7 @@ fn table(n: i64, indexed: bool) -> Table {
 
 fn bench_metastore(c: &mut Criterion) {
     let mut group = c.benchmark_group("metastore");
-    group.bench_function("insert_10k", |b| {
-        b.iter(|| table(black_box(10_000), false).len())
-    });
+    group.bench_function("insert_10k", |b| b.iter(|| table(black_box(10_000), false).len()));
     let indexed = table(20_000, true);
     let unindexed = table(20_000, false);
     let q = Query::filter(Predicate::Eq(1, Value::Text("g7".into())));

@@ -22,11 +22,7 @@ fn events() -> Vec<sciflow_cleo::asu::EventAsus> {
         raws.push(raw);
     }
     let post = compute_post_recon(&recon);
-    raws.iter()
-        .zip(&recon)
-        .zip(&post.per_event)
-        .map(|((raw, r), p)| decompose(raw, r, p))
-        .collect()
+    raws.iter().zip(&recon).zip(&post.per_event).map(|((raw, r), p)| decompose(raw, r, p)).collect()
 }
 
 fn bench_partition(c: &mut Criterion) {

@@ -6,8 +6,9 @@ use rand::SeedableRng;
 use sciflow_metastore::Database;
 use sciflow_weblab::crawlsim::{SyntheticWeb, WebConfig};
 use sciflow_weblab::pagestore::PageStore;
-use sciflow_weblab::preload::{create_pages_table, create_pages_table_unindexed, preload,
-                              PreloadConfig};
+use sciflow_weblab::preload::{
+    create_pages_table, create_pages_table_unindexed, preload, PreloadConfig,
+};
 
 fn bench_preload(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(8);

@@ -13,10 +13,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
     let list = args.iter().any(|a| a == "--list");
-    let ids: Vec<String> = args
-        .into_iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
 
     if list {
         for (id, f) in all_experiments() {

@@ -27,11 +27,7 @@ fn run_flow(weeks: u64, ctc_cpus: u32) -> sciflow_core::SimReport {
 
 /// E1: Figure 1 stage volumes and the 30 TB instantaneous storage floor.
 pub fn e1() -> Report {
-    let mut r = Report::new(
-        "e1",
-        "Arecibo end-to-end data-flow stage volumes",
-        "Fig. 1 + §2.1",
-    );
+    let mut r = Report::new("e1", "Arecibo end-to-end data-flow stage volumes", "Fig. 1 + §2.1");
     let weeks = 2u64;
     let report = run_flow(weeks, 200);
     let raw = report.stage("acquire").expect("stage exists").volume_out;
@@ -64,23 +60,14 @@ pub fn e1() -> Report {
         format!("{:.3}%", 100.0 * candidates.bytes() as f64 / raw.bytes() as f64),
         Verdict::Match,
     );
-    r.row(
-        "instantaneous storage",
-        "≥ 30 TB",
-        format!("{}", report.peak_storage),
-        Verdict::Match,
-    );
+    r.row("instantaneous storage", "≥ 30 TB", format!("{}", report.peak_storage), Verdict::Match);
     r.row("tape archive holds raw", "all raw", format!("{tape}"), Verdict::Match);
     r
 }
 
 /// E2: the processor count needed to keep up with the survey data rate.
 pub fn e2() -> Report {
-    let mut r = Report::new(
-        "e2",
-        "Processors needed to keep up with the flow of data",
-        "§2.1",
-    );
+    let mut r = Report::new("e2", "Processors needed to keep up with the flow of data", "§2.1");
     // Sweep the CTC pool size and find the smallest that keeps up
     // (drains within half a week of the last block's own pipeline time).
     let weeks = 4u64;
@@ -116,11 +103,8 @@ pub fn e2() -> Report {
 
 /// E3: disk shipping vs the Arecibo uplink, and the crossover bandwidth.
 pub fn e3() -> Report {
-    let mut r = Report::new(
-        "e3",
-        "Physical disk transport vs network for Arecibo raw data",
-        "§2.2 + §5",
-    );
+    let mut r =
+        Report::new("e3", "Physical disk transport vs network for Arecibo raw data", "§2.2 + §5");
     let session = DataVolume::tb(10); // "about ten Terabytes of raw data"
     let media = profiles::ata_disk();
     let route = profiles::arecibo_to_ctc();
@@ -201,12 +185,8 @@ pub fn e13() -> Report {
     beams[0].inject_narrowband_rfi(17, 6.0);
 
     let pipe_cfg = PipelineConfig { n_dm_trials: 16, dm_max: 150.0, ..PipelineConfig::default() };
-    let version = VersionId::new(
-        "Dedisp",
-        "E13_06",
-        CalDate::new(2006, 7, 4).expect("valid date"),
-        "CTC",
-    );
+    let version =
+        VersionId::new("Dedisp", "E13_06", CalDate::new(2006, 7, 4).expect("valid date"), "CTC");
     let out = process_pointing(1, &beams, &pipe_cfg, version);
 
     let pulsar = out
@@ -217,10 +197,7 @@ pub fn e13() -> Report {
         "injected pulsar recovered",
         "candidates identified & confirmed",
         match pulsar {
-            Some(p) => format!(
-                "period {:.4} s, fold SNR {:.1}",
-                p.candidate.period_s, p.fold_snr
-            ),
+            Some(p) => format!("period {:.4} s, fold SNR {:.1}", p.candidate.period_s, p.fold_snr),
             None => "NOT FOUND".into(),
         },
         if pulsar.is_some() { Verdict::Match } else { Verdict::Shape },

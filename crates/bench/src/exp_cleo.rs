@@ -121,12 +121,7 @@ pub fn e5() -> Report {
         .collect();
 
     let dozen = AsuKind::post_recon().count();
-    r.row(
-        "post-recon ASUs per event",
-        "typically a dozen",
-        format!("{dozen}"),
-        Verdict::Match,
-    );
+    r.row("post-recon ASUs per event", "typically a dozen", format!("{dozen}"), Verdict::Match);
 
     let mut col = PartitionedStore::load(events.clone(), default_tiering);
     let mut row = RowStore::load(events);
@@ -185,11 +180,7 @@ pub fn e5() -> Report {
 
 /// E6: merge-based ingestion vs long-lived open transactions.
 pub fn e6() -> Report {
-    let mut r = Report::new(
-        "e6",
-        "Merging personal stores vs long open transactions",
-        "§3.2",
-    );
+    let mut r = Report::new("e6", "Merging personal stores vs long open transactions", "§3.2");
     let n_jobs = 8usize;
     let files_per_job = 200usize;
 
@@ -203,9 +194,7 @@ pub fn e6() -> Report {
         let mut personal = EventStore::new(StoreTier::Personal);
         for i in 0..files_per_job {
             let id = (job * files_per_job + i) as u64;
-            personal
-                .register_file(&file_record(id, 100 + id as u32))
-                .expect("fresh ids");
+            personal.register_file(&file_record(id, 100 + id as u32)).expect("fresh ids");
         }
         let shipped = personal.to_bytes();
         let received = EventStore::from_bytes(&shipped).expect("clean bytes");
@@ -286,11 +275,8 @@ fn file_record(id: u64, run: u32) -> FileRecord {
 /// E7: snapshot resolution semantics and provenance-hash discrepancy
 /// detection.
 pub fn e7() -> Report {
-    let mut r = Report::new(
-        "e7",
-        "Grade snapshots, the first-time exception, provenance hashes",
-        "§3.2",
-    );
+    let mut r =
+        Report::new("e7", "Grade snapshots, the first-time exception, provenance hashes", "§3.2");
     let mut es = EventStore::new(StoreTier::Collaboration);
     es.register_file(&FileRecord { version: "Recon Jan04".into(), ..file_record(1, 100) })
         .expect("fresh store");
@@ -387,22 +373,15 @@ pub fn e12() -> Report {
         "CMS real-time filtering against the 200 MB/s tape limit",
         "§3.2 (CMS outlook)",
     );
-    let rejection =
-        cms_filter_required(100_000.0, DataVolume::mb(1), DataRate::mb_per_sec(200.0));
-    r.row(
-        "tape write ceiling",
-        "200 MB/s",
-        "200 MB/s (model input)".to_string(),
-        Verdict::Match,
-    );
+    let rejection = cms_filter_required(100_000.0, DataVolume::mb(1), DataRate::mb_per_sec(200.0));
+    r.row("tape write ceiling", "200 MB/s", "200 MB/s (model input)".to_string(), Verdict::Match);
     r.row(
         "required rejection @ 100 kHz × 1 MB",
         "substantial filtering ... in real time",
         format!("{:.2}% of events dropped before tape", rejection * 100.0),
         Verdict::Match,
     );
-    let cleo_like =
-        cms_filter_required(100.0, DataVolume::kib(100), DataRate::mb_per_sec(200.0));
+    let cleo_like = cms_filter_required(100.0, DataVolume::kib(100), DataRate::mb_per_sec(200.0));
     r.row(
         "CLEO-scale rates for comparison",
         "CLEO's lower raw data rates (no such filtering)",
@@ -428,8 +407,11 @@ pub fn e12() -> Report {
     r.row(
         "offsite MC → USB → merge",
         "stored in a personal EventStore ... shipped ... merged",
-        format!("{} file(s) merged, {} of simulated hits", merged.files_added,
-            DataVolume::from_bytes(sample.raw_bytes())),
+        format!(
+            "{} file(s) merged, {} of simulated hits",
+            merged.files_added,
+            DataVolume::from_bytes(sample.raw_bytes())
+        ),
         Verdict::Match,
     );
     r

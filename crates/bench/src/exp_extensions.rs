@@ -169,9 +169,8 @@ pub fn ex3() -> Report {
             description: "all site2 captures in crawl 0".into(),
         })
         .expect("fresh name");
-    let n = catalog
-        .materialize(&mut db, "site2-slice", "site2_extract")
-        .expect("base table exists");
+    let n =
+        catalog.materialize(&mut db, "site2-slice", "site2_extract").expect("base table exists");
     r.row(
         "subset extraction as a view",
         "extract subsets of the collection and store them as database views",

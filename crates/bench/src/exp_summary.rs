@@ -11,11 +11,7 @@ use crate::report::{Report, Verdict};
 /// E14: raw-volume scale, transfer mode, and processing locus for all three
 /// projects, from the same simulation substrate.
 pub fn e14() -> Report {
-    let mut r = Report::new(
-        "e14",
-        "Cross-project comparison (Summary, Section 5)",
-        "§5",
-    );
+    let mut r = Report::new("e14", "Cross-project comparison (Summary, Section 5)", "§5");
 
     // One representative month of each flow.
     let arecibo = FlowSim::new(
@@ -47,8 +43,7 @@ pub fn e14() -> Report {
     r.row(
         "Arecibo raw / month",
         "Petabyte-scale over the survey",
-        format!("{arecibo_raw} (→ {:.1} PB over 5 y)",
-            arecibo_raw.bytes() as f64 * 60.0 / 1e15),
+        format!("{arecibo_raw} (→ {:.1} PB over 5 y)", arecibo_raw.bytes() as f64 * 60.0 / 1e15),
         Verdict::Match,
     );
     r.row(
@@ -95,10 +90,7 @@ pub fn e14() -> Report {
     r.row(
         "Arecibo processing locus",
         "off-island resources, primarily the CTC",
-        format!(
-            "ctc pool peak {} cpus in use",
-            arecibo.pool(CTC_POOL).expect("pool").peak_in_use
-        ),
+        format!("ctc pool peak {} cpus in use", arecibo.pool(CTC_POOL).expect("pool").peak_in_use),
         Verdict::Match,
     );
     r.row(

@@ -34,11 +34,8 @@ fn synthetic_files(seed: u64, crawls: usize) -> (SyntheticWeb, FilePairs) {
 
 /// E8: preload throughput and its tuning knobs.
 pub fn e8() -> Report {
-    let mut r = Report::new(
-        "e8",
-        "Preload subsystem throughput: batch size and parallelism",
-        "§4.1",
-    );
+    let mut r =
+        Report::new("e8", "Preload subsystem throughput: batch size and parallelism", "§4.1");
     let (_, files) = synthetic_files(8, 1);
     let input: u64 = files.iter().map(|(a, d)| (a.len() + d.len()) as u64).sum();
     r.row(
@@ -54,13 +51,9 @@ pub fn e8() -> Report {
             let mut db = Database::new();
             create_pages_table(&mut db).expect("fresh database");
             let mut store = PageStore::new(1 << 22);
-            let out = preload(
-                &files,
-                &mut db,
-                &mut store,
-                &PreloadConfig { workers, batch_size: batch },
-            )
-            .expect("clean input");
+            let out =
+                preload(&files, &mut db, &mut store, &PreloadConfig { workers, batch_size: batch })
+                    .expect("clean input");
             let rate = out.stats.raw_rate();
             if best.map(|(_, _, b)| rate > b).unwrap_or(true) {
                 best = Some((workers, batch, rate));
@@ -99,18 +92,14 @@ pub fn e8() -> Report {
 
 /// E9: single large machine vs commodity cluster for graph queries.
 pub fn e9() -> Report {
-    let mut r = Report::new(
-        "e9",
-        "Web-graph queries: one large-memory machine vs a cluster",
-        "§4.2 + §5",
-    );
+    let mut r =
+        Report::new("e9", "Web-graph queries: one large-memory machine vs a cluster", "§4.2 + §5");
     // Real measurement at miniature scale: PageRank on the synthetic web.
     let (web, files) = synthetic_files(9, 1);
     let mut db = Database::new();
     create_pages_table(&mut db).expect("fresh database");
     let mut store = PageStore::new(1 << 22);
-    let out = preload(&files, &mut db, &mut store, &PreloadConfig::default())
-        .expect("clean input");
+    let out = preload(&files, &mut db, &mut store, &PreloadConfig::default()).expect("clean input");
     let urls: Vec<String> = web.crawls[0].pages.iter().map(|p| p.url.clone()).collect();
     let graph = LinkGraph::build(urls, &out.link_pairs).expect("consistent ids");
     let stats = graph_stats(&graph);
@@ -160,11 +149,7 @@ pub fn e9() -> Report {
 
 /// E10: the 250 GB/day transfer budget on 100/500 Mb links.
 pub fn e10() -> Report {
-    let mut r = Report::new(
-        "e10",
-        "Crawl transfer budget: 250 GB/day over Internet2",
-        "§4.1",
-    );
+    let mut r = Report::new("e10", "Crawl transfer budget: 250 GB/day over Internet2", "§4.1");
     for (label, rate_mbit) in [("100 Mb/s", 100.0), ("500 Mb/s upgrade", 500.0)] {
         let p = WeblabFlowParams {
             days: 14,
@@ -205,11 +190,8 @@ pub fn e10() -> Report {
 
 /// E11: stratified sampling — relational store vs flat layout.
 pub fn e11() -> Report {
-    let mut r = Report::new(
-        "e11",
-        "Stratified sample extraction: relational store vs flat files",
-        "§4.2",
-    );
+    let mut r =
+        Report::new("e11", "Stratified sample extraction: relational store vs flat files", "§4.2");
     let (_, files) = synthetic_files(11, 1);
     let mut db = Database::new();
     create_pages_table(&mut db).expect("fresh database");
@@ -220,12 +202,7 @@ pub fn e11() -> Report {
     let mut rng = StdRng::seed_from_u64(11);
     let indexed = stratified_sample(table, domain_col, 5, &mut rng).expect("sane parameters");
     let flat = stratified_sample_flat(table, domain_col, 5, &mut rng).expect("sane parameters");
-    r.row(
-        "strata (domains)",
-        "-",
-        format!("{}", indexed.strata.len()),
-        Verdict::Info,
-    );
+    r.row("strata (domains)", "-", format!("{}", indexed.strata.len()), Verdict::Info);
     r.row(
         "sampled pages",
         "-",

@@ -70,10 +70,7 @@ mod tests {
                 let report = f();
                 assert!(!report.rows.is_empty(), "{} produced no rows", $id);
                 assert!(
-                    report
-                        .rows
-                        .iter()
-                        .any(|r| r.verdict == crate::report::Verdict::Match),
+                    report.rows.iter().any(|r| r.verdict == crate::report::Verdict::Match),
                     "{} produced no matching rows",
                     $id
                 );

@@ -66,12 +66,8 @@ pub fn run_analysis(
     }
 
     // Pass 2: warm refinement on survivors only.
-    let warm: Vec<AsuKind> = vec![
-        AsuKind::TrackFit,
-        AsuKind::ParticleId,
-        AsuKind::MomentumScale,
-        AsuKind::VertexInfo,
-    ];
+    let warm: Vec<AsuKind> =
+        vec![AsuKind::TrackFit, AsuKind::ParticleId, AsuKind::MomentumScale, AsuKind::VertexInfo];
     let mut selected = Vec::new();
     for &(i, event_id) in &pass1 {
         store.read(i, &warm);

@@ -55,9 +55,7 @@ impl AsuKind {
 
     /// The post-reconstruction subset.
     pub fn post_recon() -> impl Iterator<Item = AsuKind> {
-        Self::ALL.iter().copied().filter(|k| {
-            !matches!(k, AsuKind::TrackList | AsuKind::HitBank)
-        })
+        Self::ALL.iter().copied().filter(|k| !matches!(k, AsuKind::TrackList | AsuKind::HitBank))
     }
 
     pub fn name(self) -> &'static str {
@@ -105,11 +103,7 @@ impl EventAsus {
     }
 
     pub fn bytes_of(&self, kinds: &[AsuKind]) -> u64 {
-        self.asus
-            .iter()
-            .filter(|a| kinds.contains(&a.kind))
-            .map(|a| a.bytes)
-            .sum()
+        self.asus.iter().filter(|a| kinds.contains(&a.kind)).map(|a| a.bytes).sum()
     }
 }
 

@@ -186,10 +186,9 @@ mod tests {
         let cfg = DetectorConfig { noise_hits: 50.0, ..DetectorConfig::default() };
         let ev = CollisionEvent { id: 0, particles: vec![] };
         let mut rng = StdRng::seed_from_u64(5);
-        let mean: f64 = (0..50)
-            .map(|_| simulate_event(&ev, &cfg, &mut rng).hits.len() as f64)
-            .sum::<f64>()
-            / 50.0;
+        let mean: f64 =
+            (0..50).map(|_| simulate_event(&ev, &cfg, &mut rng).hits.len() as f64).sum::<f64>()
+                / 50.0;
         assert!((mean - 50.0).abs() < 10.0, "noise mean {mean}");
     }
 }

@@ -114,9 +114,7 @@ mod tests {
         let mk = |mins: u32, n: usize| Run {
             number: 1,
             duration_mins: mins,
-            events: (0..n)
-                .map(|i| CollisionEvent { id: i as u64, particles: vec![] })
-                .collect(),
+            events: (0..n).map(|i| CollisionEvent { id: i as u64, particles: vec![] }).collect(),
         };
         assert!(mk(50, 150).within_paper_envelope(0.01)); // 150–3000 window
         assert!(!mk(30, 150).within_paper_envelope(0.01));

@@ -204,9 +204,7 @@ mod tests {
         let calib = store.intern(&prov("Calib", "feb"));
         let recon = store.intern(&prov("Recon", "r1"));
         store.attach(7, AsuKind::HitBank, raw, vec![]).unwrap();
-        store
-            .attach(7, AsuKind::TrackList, recon, vec![raw, calib])
-            .unwrap();
+        store.attach(7, AsuKind::TrackList, recon, vec![raw, calib]).unwrap();
         // TrackList used the calibration; HitBank did not. The header
         // scheme could only say calibration "might have been used".
         assert_eq!(store.inputs_of(7, AsuKind::TrackList).unwrap(), &[raw, calib]);
@@ -244,10 +242,7 @@ mod tests {
         }
         let fine = store.metadata_bytes();
         let header = header_scheme_bytes(4, 300); // 4 files/run, ~300 B of strings
-        assert!(
-            fine > 20 * header,
-            "fine-grained {fine} B should dwarf header scheme {header} B"
-        );
+        assert!(fine > 20 * header, "fine-grained {fine} B should dwarf header scheme {header} B");
         assert_eq!(store.ref_count(), 500 * 12);
         // Dedup kept the record table tiny even so.
         assert_eq!(store.record_count(), 1);

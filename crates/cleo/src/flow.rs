@@ -133,11 +133,7 @@ pub fn cleo_flow_graph(p: &CleoFlowParams) -> FlowGraph {
 /// CMS real-time filtering: given the collision-event rate and size and the
 /// tape ceiling, what fraction of events must the trigger reject before
 /// tape?
-pub fn cms_filter_required(
-    event_rate_hz: f64,
-    event_size: DataVolume,
-    tape_rate: DataRate,
-) -> f64 {
+pub fn cms_filter_required(event_rate_hz: f64, event_size: DataVolume, tape_rate: DataRate) -> f64 {
     assert!(event_rate_hz > 0.0, "event rate must be positive");
     let offered = event_rate_hz * event_size.bytes() as f64;
     let accepted = tape_rate.bytes_per_sec() / offered;
@@ -199,11 +195,8 @@ mod tests {
     fn cms_needs_three_nines_rejection() {
         // LHC-era CMS: O(100 kHz) L1 output of ~1 MB events vs 200 MB/s
         // to tape → ≥ 99.8% of events must be filtered in real time.
-        let rejection = cms_filter_required(
-            100_000.0,
-            DataVolume::mb(1),
-            DataRate::mb_per_sec(200.0),
-        );
+        let rejection =
+            cms_filter_required(100_000.0, DataVolume::mb(1), DataRate::mb_per_sec(200.0));
         assert!(rejection > 0.995, "rejection {rejection}");
         // CLEO-scale rates need no filtering at all.
         let easy = cms_filter_required(100.0, DataVolume::kib(100), DataRate::mb_per_sec(200.0));

@@ -88,9 +88,8 @@ pub fn generate_run<R: Rng>(
     rng: &mut R,
 ) -> Run {
     let duration = rng.gen_range(45..=60);
-    let events = (0..n_events)
-        .map(|i| generate_event((number as u64) << 32 | i as u64, cfg, rng))
-        .collect();
+    let events =
+        (0..n_events).map(|i| generate_event((number as u64) << 32 | i as u64, cfg, rng)).collect();
     Run { number, duration_mins: duration, events }
 }
 

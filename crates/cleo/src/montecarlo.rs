@@ -49,11 +49,7 @@ pub fn produce_mc_run(
 ) -> McSample {
     let mut rng = StdRng::seed_from_u64(0xC1E0_0000_0000 + run_number as u64);
     let run = generate_run(run_number, n_events, gen_cfg, &mut rng);
-    let responses = run
-        .events
-        .iter()
-        .map(|ev| simulate_event(ev, det_cfg, &mut rng))
-        .collect();
+    let responses = run.events.iter().map(|ev| simulate_event(ev, det_cfg, &mut rng)).collect();
     McSample {
         run_number,
         truth: run.events,
@@ -70,16 +66,14 @@ pub fn stage_into_personal_store(
     file_id_base: u64,
 ) -> sciflow_eventstore::EsResult<EventStore> {
     let mut store = EventStore::new(StoreTier::Personal);
-    let digest = md5(
-        format!(
-            "mc-run{}-{}-{}-{}",
-            sample.run_number,
-            sample.version,
-            sample.site,
-            sample.raw_bytes()
-        )
-        .as_bytes(),
-    );
+    let digest = md5(format!(
+        "mc-run{}-{}-{}-{}",
+        sample.run_number,
+        sample.version,
+        sample.site,
+        sample.raw_bytes()
+    )
+    .as_bytes());
     store.register_file(&FileRecord {
         id: file_id_base + sample.run_number as u64,
         runs: RunRange::single(sample.run_number),

@@ -136,11 +136,7 @@ impl PartitionedStore {
 
 /// The hot kinds most analysis selections touch.
 pub fn hot_kinds() -> Vec<AsuKind> {
-    AsuKind::ALL
-        .iter()
-        .copied()
-        .filter(|&k| default_tiering(k) == Tier::Hot)
-        .collect()
+    AsuKind::ALL.iter().copied().filter(|&k| default_tiering(k) == Tier::Hot).collect()
 }
 
 #[cfg(test)]
@@ -198,10 +194,7 @@ mod tests {
         let tiers = col.tier_bytes();
         let hot = tiers[&Tier::Hot];
         let cold = tiers[&Tier::Cold];
-        assert!(
-            hot * 10 < cold,
-            "hot ASUs should be small: hot {hot}, cold {cold}"
-        );
+        assert!(hot * 10 < cold, "hot ASUs should be small: hot {hot}, cold {cold}");
     }
 
     #[test]

@@ -43,10 +43,7 @@ pub struct PostReconRun {
 /// Compute post-reconstruction values. Panics if called with no events —
 /// the pipeline must reconstruct first (which is the point).
 pub fn compute_post_recon(events: &[ReconstructedEvent]) -> PostReconRun {
-    assert!(
-        !events.is_empty(),
-        "post-reconstruction requires the run's reconstructed events"
-    );
+    assert!(!events.is_empty(), "post-reconstruction requires the run's reconstructed events");
     let n = events.len() as f64;
     let all_tracks: Vec<&crate::reconstruction::RecTrack> =
         events.iter().flat_map(|e| e.tracks.iter()).collect();
@@ -140,10 +137,7 @@ mod tests {
         // reason these "cannot be calculated until after reconstruction".
         let partial = compute_post_recon(&[rec(1, &[1.0]), rec(2, &[3.0])]);
         let full = compute_post_recon(&[rec(1, &[1.0]), rec(2, &[3.0]), rec(3, &[8.0])]);
-        assert_ne!(
-            partial.per_event[0].momentum_scale,
-            full.per_event[0].momentum_scale
-        );
+        assert_ne!(partial.per_event[0].momentum_scale, full.per_event[0].momentum_scale);
     }
 
     #[test]

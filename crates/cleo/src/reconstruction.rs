@@ -48,13 +48,7 @@ pub struct ReconConfig {
 
 impl Default for ReconConfig {
     fn default() -> Self {
-        ReconConfig {
-            min_hits: 6,
-            tolerance: 0.02,
-            phi_bins: 256,
-            slope_bins: 41,
-            max_slope: 0.5,
-        }
+        ReconConfig { min_hits: 6, tolerance: 0.02, phi_bins: 256, slope_bins: 41, max_slope: 0.5 }
     }
 }
 
@@ -109,12 +103,9 @@ pub fn reconstruct(
             break;
         }
         // Hough vote over (phi0, slope) from hit pairs.
-        let mut votes =
-            vec![0u32; cfg.phi_bins * cfg.slope_bins];
-        let phis: Vec<(f64, f64)> = remaining
-            .iter()
-            .map(|h| (h.layer as f64 + 1.0, hit_phi(h, det)))
-            .collect();
+        let mut votes = vec![0u32; cfg.phi_bins * cfg.slope_bins];
+        let phis: Vec<(f64, f64)> =
+            remaining.iter().map(|h| (h.layer as f64 + 1.0, hit_phi(h, det))).collect();
         for i in 0..phis.len() {
             for j in (i + 1)..phis.len() {
                 let (x1, p1) = phis[i];
@@ -127,8 +118,8 @@ pub fn reconstruct(
                     continue;
                 }
                 let phi0 = (p1 - slope * x1).rem_euclid(std::f64::consts::TAU);
-                let pb = ((phi0 / std::f64::consts::TAU) * cfg.phi_bins as f64) as usize
-                    % cfg.phi_bins;
+                let pb =
+                    ((phi0 / std::f64::consts::TAU) * cfg.phi_bins as f64) as usize % cfg.phi_bins;
                 let sb = (((slope + cfg.max_slope) / (2.0 * cfg.max_slope))
                     * (cfg.slope_bins - 1) as f64)
                     .round() as usize;
@@ -198,11 +189,7 @@ pub fn reconstruct(
         }
     }
 
-    ReconstructedEvent {
-        event_id: response.event_id,
-        tracks,
-        unassigned_hits: remaining.len(),
-    }
+    ReconstructedEvent { event_id: response.event_id, tracks, unassigned_hits: remaining.len() }
 }
 
 #[cfg(test)]

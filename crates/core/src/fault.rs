@@ -152,8 +152,7 @@ impl FaultPlan {
         }
         for at in arrivals(profile.stalls_per_day, &mut rng) {
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let duration =
-                SimDuration::from_secs_f64(-u.ln() * profile.mean_stall.as_secs_f64());
+            let duration = SimDuration::from_secs_f64(-u.ln() * profile.mean_stall.as_secs_f64());
             events.push(FaultEvent { at, kind: FaultKind::Stall { duration } });
         }
         for at in arrivals(profile.corrupts_per_day, &mut rng) {
@@ -161,8 +160,7 @@ impl FaultPlan {
         }
         for at in arrivals(profile.degrades_per_day, &mut rng) {
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let duration =
-                SimDuration::from_secs_f64(-u.ln() * profile.mean_degrade.as_secs_f64());
+            let duration = SimDuration::from_secs_f64(-u.ln() * profile.mean_degrade.as_secs_f64());
             events.push(FaultEvent {
                 at,
                 kind: FaultKind::RateDegrade { factor: profile.degrade_factor, duration },
@@ -264,10 +262,8 @@ impl FaultPlan {
             .iter()
             .find(|e| e.at >= start && e.at < end && e.kind == FaultKind::Drop)
             .map(|e| e.at);
-        let corrupted = self
-            .events
-            .iter()
-            .any(|e| e.at >= start && e.at < end && e.kind == FaultKind::Corrupt);
+        let corrupted =
+            self.events.iter().any(|e| e.at >= start && e.at < end && e.kind == FaultKind::Corrupt);
         let timeout_at = match timeout {
             Some(t) if dur > t => Some(start + t),
             _ => None,
@@ -290,12 +286,9 @@ impl FaultPlan {
 
         match failure {
             None => AttemptOutcome { ends_at: end, failure: None, stalls_hit, nominal_end: end },
-            Some((at, cause)) => AttemptOutcome {
-                ends_at: at,
-                failure: Some(cause),
-                stalls_hit,
-                nominal_end: end,
-            },
+            Some((at, cause)) => {
+                AttemptOutcome { ends_at: at, failure: Some(cause), stalls_hit, nominal_end: end }
+            }
         }
     }
 }
@@ -451,20 +444,14 @@ mod tests {
     fn drop_fails_attempt_at_event_time() {
         let plan = FaultPlan::from_events(
             0,
-            vec![FaultEvent {
-                at: SimTime::from_micros(1_000_000),
-                kind: FaultKind::Drop,
-            }],
+            vec![FaultEvent { at: SimTime::from_micros(1_000_000), kind: FaultKind::Drop }],
         );
         let out = plan.attempt_outcome(SimTime::ZERO, SimDuration::from_secs(10), None);
         assert_eq!(out.failure, Some(AttemptFailure::Dropped));
         assert_eq!(out.ends_at, SimTime::from_micros(1_000_000));
         // An attempt starting after the drop is unaffected.
-        let later = plan.attempt_outcome(
-            SimTime::from_micros(2_000_000),
-            SimDuration::from_secs(10),
-            None,
-        );
+        let later =
+            plan.attempt_outcome(SimTime::from_micros(2_000_000), SimDuration::from_secs(10), None);
         assert!(later.succeeded());
     }
 
@@ -474,9 +461,15 @@ mod tests {
         let plan = FaultPlan::from_events(
             0,
             vec![
-                FaultEvent { at: s(5), kind: FaultKind::Stall { duration: SimDuration::from_secs(10) } },
+                FaultEvent {
+                    at: s(5),
+                    kind: FaultKind::Stall { duration: SimDuration::from_secs(10) },
+                },
                 // Outside the base window but inside the stalled one.
-                FaultEvent { at: s(15), kind: FaultKind::Stall { duration: SimDuration::from_secs(10) } },
+                FaultEvent {
+                    at: s(15),
+                    kind: FaultKind::Stall { duration: SimDuration::from_secs(10) },
+                },
             ],
         );
         let out = plan.attempt_outcome(SimTime::ZERO, SimDuration::from_secs(10), None);

@@ -26,12 +26,7 @@ pub enum StageKind {
     /// Emits `blocks` blocks of `block` bytes, one every `interval`,
     /// beginning at `start`. Models data acquisition (observing sessions,
     /// runs, crawl deliveries).
-    Source {
-        block: DataVolume,
-        interval: SimDuration,
-        blocks: u64,
-        start: SimTime,
-    },
+    Source { block: DataVolume, interval: SimDuration, blocks: u64, start: SimTime },
     /// Consumes a block using `cpus_per_task` processors from the named pool
     /// at `rate_per_cpu` each, then emits `output_ratio` × input volume.
     ///
@@ -176,10 +171,8 @@ impl FlowGraph {
     /// Kahn's algorithm; error names a stage on a cycle if one exists.
     pub fn topo_order(&self) -> CoreResult<Vec<StageId>> {
         let mut in_deg: Vec<usize> = self.pred.iter().map(|p| p.len()).collect();
-        let mut queue: VecDeque<StageId> = self
-            .stage_ids()
-            .filter(|id| in_deg[id.0] == 0)
-            .collect();
+        let mut queue: VecDeque<StageId> =
+            self.stage_ids().filter(|id| in_deg[id.0] == 0).collect();
         let mut order = Vec::with_capacity(self.stages.len());
         while let Some(id) = queue.pop_front() {
             order.push(id);
@@ -195,9 +188,7 @@ impl FlowGraph {
                 .stage_ids()
                 .find(|id| in_deg[id.0] > 0)
                 .expect("some stage must have positive in-degree on a cycle");
-            return Err(CoreError::CycleDetected {
-                stage: self.stage(stuck).name.clone(),
-            });
+            return Err(CoreError::CycleDetected { stage: self.stage(stuck).name.clone() });
         }
         Ok(order)
     }

@@ -170,11 +170,7 @@ impl Md5 {
             let tmp = d;
             d = c;
             c = b;
-            let rotated = a
-                .wrapping_add(f)
-                .wrapping_add(K[i])
-                .wrapping_add(m[g])
-                .rotate_left(S[i]);
+            let rotated = a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]).rotate_left(S[i]);
             b = b.wrapping_add(rotated);
             a = tmp;
         }

@@ -196,7 +196,10 @@ mod tests {
         assert!(report.stage("x").is_some());
         assert!(report.stage("y").is_none());
         assert!(report.kept_up(SimDuration::from_secs(1)));
-        assert!(!report.kept_up(SimDuration::ZERO) || report.drain_duration().unwrap() == SimDuration::ZERO);
+        assert!(
+            !report.kept_up(SimDuration::ZERO)
+                || report.drain_duration().unwrap() == SimDuration::ZERO
+        );
         let text = report.to_string();
         assert!(text.contains("peak storage"));
     }

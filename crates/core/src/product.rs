@@ -92,7 +92,8 @@ mod tests {
     fn derivation_extends_provenance() {
         let raw = DataProduct::raw("run123", DataVolume::gib(2));
         assert!(raw.provenance.is_empty());
-        let v = VersionId::new("Recon", "Feb13_04_P2", CalDate::new(2004, 3, 12).unwrap(), "Cornell");
+        let v =
+            VersionId::new("Recon", "Feb13_04_P2", CalDate::new(2004, 3, 12).unwrap(), "Cornell");
         let recon = raw.derive(
             "run123-recon",
             ProductKind::Derived,

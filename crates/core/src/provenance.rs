@@ -31,12 +31,7 @@ pub struct ProvenanceStep {
 
 impl ProvenanceStep {
     pub fn new(module: impl Into<String>, version: VersionId) -> Self {
-        ProvenanceStep {
-            module: module.into(),
-            params: Vec::new(),
-            inputs: Vec::new(),
-            version,
-        }
+        ProvenanceStep { module: module.into(), params: Vec::new(), inputs: Vec::new(), version }
     }
 
     pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
@@ -238,17 +233,9 @@ mod tests {
     fn param_order_is_significant() {
         let v = ver("Recon", "R1");
         let mut a = ProvenanceRecord::new();
-        a.push(
-            ProvenanceStep::new("M", v.clone())
-                .with_param("x", "1")
-                .with_param("y", "2"),
-        );
+        a.push(ProvenanceStep::new("M", v.clone()).with_param("x", "1").with_param("y", "2"));
         let mut b = ProvenanceRecord::new();
-        b.push(
-            ProvenanceStep::new("M", v)
-                .with_param("y", "2")
-                .with_param("x", "1"),
-        );
+        b.push(ProvenanceStep::new("M", v).with_param("y", "2").with_param("x", "1"));
         assert_ne!(a.digest(), b.digest());
     }
 }

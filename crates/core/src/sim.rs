@@ -257,7 +257,9 @@ impl FlowSim {
 
     fn on_emit(&mut self, stage: StageId) {
         let (block, interval, blocks, start) = match self.graph.stage(stage).kind {
-            StageKind::Source { block, interval, blocks, start } => (block, interval, blocks, start),
+            StageKind::Source { block, interval, blocks, start } => {
+                (block, interval, blocks, start)
+            }
             _ => unreachable!("Emit scheduled on non-source"),
         };
         let st = &mut self.stages[stage.index()];
@@ -354,9 +356,13 @@ impl FlowSim {
         while let Some(&head) = self.pools[&pool_name].waiters.front().copied().as_ref() {
             let (rate_per_cpu, cpus_per_task, output_ratio, workspace_ratio) =
                 match &self.graph.stage(head).kind {
-                    StageKind::Process { rate_per_cpu, cpus_per_task, output_ratio, workspace_ratio, .. } => {
-                        (*rate_per_cpu, *cpus_per_task, *output_ratio, *workspace_ratio)
-                    }
+                    StageKind::Process {
+                        rate_per_cpu,
+                        cpus_per_task,
+                        output_ratio,
+                        workspace_ratio,
+                        ..
+                    } => (*rate_per_cpu, *cpus_per_task, *output_ratio, *workspace_ratio),
                     _ => unreachable!("only process stages wait on pools"),
                 };
             let pool = self.pools.get_mut(&pool_name).expect("pool exists");
@@ -381,9 +387,7 @@ impl FlowSim {
             pool.free -= cpus_per_task;
             pool.peak_in_use = pool.peak_in_use.max(pool.total - pool.free);
             let aggregate = rate_per_cpu * (cpus_per_task as f64);
-            let mut dur = input
-                .time_at(aggregate)
-                .unwrap_or(SimDuration::ZERO);
+            let mut dur = input.time_at(aggregate).unwrap_or(SimDuration::ZERO);
             // Injected stalls freeze the task while its cpus stay held.
             let mut stalls = 0u32;
             if let Some(ctx) = &self.faults {
@@ -537,7 +541,11 @@ impl FlowSim {
                     cpus: p.total,
                     peak_in_use: p.peak_in_use,
                     busy_cpu_secs: p.busy_cpu_secs,
-                    utilization: if capacity_secs > 0.0 { p.busy_cpu_secs / capacity_secs } else { 0.0 },
+                    utilization: if capacity_secs > 0.0 {
+                        p.busy_cpu_secs / capacity_secs
+                    } else {
+                        0.0
+                    },
                 }
             })
             .collect();
@@ -694,7 +702,7 @@ mod tests {
                 rate_per_cpu: DataRate::mb_per_sec(500.0),
                 cpus_per_task: 1,
                 chunk: None,
-                output_ratio: 1.0,  // time series ≈ raw volume
+                output_ratio: 1.0, // time series ≈ raw volume
                 pool: "ctc".into(),
                 workspace_ratio: 0.2,
                 retain_input: true, // raw data kept for iterative reprocessing

@@ -30,7 +30,8 @@ impl CalDate {
         if !(1..=12).contains(&month) || day == 0 {
             return None;
         }
-        let leap = (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400);
+        let leap =
+            (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400);
         let days_in_month = match month {
             1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
             4 | 6 | 9 | 11 => 30,
@@ -118,12 +119,7 @@ impl VersionId {
         effective: CalDate,
         site: impl Into<String>,
     ) -> Self {
-        VersionId {
-            step: step.into(),
-            release: release.into(),
-            effective,
-            site: site.into(),
-        }
+        VersionId { step: step.into(), release: release.into(), effective, site: site.into() }
     }
 
     /// The canonical label, matching the paper's `Recon Feb13_04_P2` style.

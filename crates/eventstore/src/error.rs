@@ -8,18 +8,37 @@ use sciflow_metastore::MetaError;
 pub enum EsError {
     /// Underlying metadata-store failure.
     Meta(MetaError),
-    UnknownGrade { grade: String },
+    UnknownGrade {
+        grade: String,
+    },
     /// No snapshot of the grade exists at or before the analysis timestamp.
-    NoSnapshotBefore { grade: String, timestamp: String },
+    NoSnapshotBefore {
+        grade: String,
+        timestamp: String,
+    },
     /// A grade snapshot must be declared strictly after existing snapshots.
-    SnapshotOutOfOrder { grade: String, date: String },
-    DuplicateFile { id: u64 },
-    UnknownFile { id: u64 },
+    SnapshotOutOfOrder {
+        grade: String,
+        date: String,
+    },
+    DuplicateFile {
+        id: u64,
+    },
+    UnknownFile {
+        id: u64,
+    },
     /// Merge found records that disagree with the target store.
-    MergeConflict { detail: String },
+    MergeConflict {
+        detail: String,
+    },
     /// The provenance header in a data file is malformed.
-    BadHeader { detail: String },
-    InvalidRunRange { first: u32, last: u32 },
+    BadHeader {
+        detail: String,
+    },
+    InvalidRunRange {
+        first: u32,
+        last: u32,
+    },
 }
 
 impl fmt::Display for EsError {

@@ -87,13 +87,8 @@ pub fn read_file(data: &[u8]) -> EsResult<(EsFileHeader, &[u8])> {
             .map_err(|_| EsError::BadHeader { detail: "non-utf8 provenance string".into() })?;
         strings.push(s.to_string());
     }
-    let digest = Digest(
-        take(&mut pos, 16)?
-            .try_into()
-            .expect("16 bytes"),
-    );
-    let payload_len =
-        u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+    let digest = Digest(take(&mut pos, 16)?.try_into().expect("16 bytes"));
+    let payload_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
     let payload = take(&mut pos, payload_len)?;
     if pos != data.len() {
         return Err(EsError::BadHeader { detail: "trailing bytes".into() });
@@ -116,7 +111,12 @@ mod tests {
         r.push(
             ProvenanceStep::new(
                 "ReconProd",
-                VersionId::new("Recon", "Feb13_04_P2", CalDate::new(2004, 3, 12).unwrap(), "Cornell"),
+                VersionId::new(
+                    "Recon",
+                    "Feb13_04_P2",
+                    CalDate::new(2004, 3, 12).unwrap(),
+                    "Cornell",
+                ),
             )
             .with_param("calibration", "cal-2004-02")
             .with_input("raw/run123456"),

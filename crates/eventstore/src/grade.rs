@@ -130,14 +130,9 @@ impl GradeHistory {
     /// "EventStore finds the most recent snapshot prior to the specified
     /// date, so the date specified is not limited to a set of magic values."
     pub fn resolve(&self, timestamp: CalDate) -> EsResult<&GradeSnapshot> {
-        self.snapshots
-            .iter()
-            .rev()
-            .find(|s| s.date <= timestamp)
-            .ok_or_else(|| EsError::NoSnapshotBefore {
-                grade: self.name.clone(),
-                timestamp: timestamp.to_string(),
-            })
+        self.snapshots.iter().rev().find(|s| s.date <= timestamp).ok_or_else(|| {
+            EsError::NoSnapshotBefore { grade: self.name.clone(), timestamp: timestamp.to_string() }
+        })
     }
 }
 
@@ -191,10 +186,7 @@ mod tests {
     fn no_snapshot_before_errors() {
         let mut g = GradeHistory::new("physics");
         g.declare(snapshot("20040601", "v", 1, 10)).unwrap();
-        assert!(matches!(
-            g.resolve(d("20040101")),
-            Err(EsError::NoSnapshotBefore { .. })
-        ));
+        assert!(matches!(g.resolve(d("20040101")), Err(EsError::NoSnapshotBefore { .. })));
     }
 
     #[test]

@@ -149,11 +149,7 @@ mod tests {
     }
 
     fn entry(run: u32, version: &str) -> GradeEntry {
-        GradeEntry {
-            runs: RunRange::single(run),
-            kind: "mc".into(),
-            version: version.into(),
-        }
+        GradeEntry { runs: RunRange::single(run), kind: "mc".into(), version: version.into() }
     }
 
     #[test]
@@ -163,9 +159,7 @@ mod tests {
         for i in 0..20 {
             personal.register_file(&file(i, 100 + i as u32, "MC Jun05")).unwrap();
         }
-        personal
-            .declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "MC Jun05")])
-            .unwrap();
+        personal.declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "MC Jun05")]).unwrap();
         let report = merge_into(&mut collab, &personal).unwrap();
         assert_eq!(report.files_added, 20);
         assert_eq!(report.grade_entries_added, 1);
@@ -179,9 +173,7 @@ mod tests {
         let mut collab = EventStore::new(StoreTier::Collaboration);
         let mut personal = EventStore::new(StoreTier::Personal);
         personal.register_file(&file(1, 100, "MC Jun05")).unwrap();
-        personal
-            .declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "MC Jun05")])
-            .unwrap();
+        personal.declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "MC Jun05")]).unwrap();
         merge_into(&mut collab, &personal).unwrap();
         let second = merge_into(&mut collab, &personal).unwrap();
         assert_eq!(second.files_added, 0);
@@ -208,17 +200,10 @@ mod tests {
     #[test]
     fn conflicting_grade_snapshot_aborts() {
         let mut collab = EventStore::new(StoreTier::Collaboration);
-        collab
-            .declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "A")])
-            .unwrap();
+        collab.declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "A")]).unwrap();
         let mut personal = EventStore::new(StoreTier::Personal);
-        personal
-            .declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "B")])
-            .unwrap();
-        assert!(matches!(
-            merge_into(&mut collab, &personal),
-            Err(EsError::MergeConflict { .. })
-        ));
+        personal.declare_snapshot("mc-pass1", d("20050610"), vec![entry(100, "B")]).unwrap();
+        assert!(matches!(merge_into(&mut collab, &personal), Err(EsError::MergeConflict { .. })));
     }
 
     #[test]

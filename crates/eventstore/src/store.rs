@@ -220,9 +220,7 @@ impl EventStore {
 
     pub fn file(&self, id: u64) -> EsResult<Option<FileRecord>> {
         let table = self.db.table(FILES)?;
-        Ok(table
-            .get_by_key(&Value::Int(id as i64))?
-            .map(Self::row_file))
+        Ok(table.get_by_key(&Value::Int(id as i64))?.map(Self::row_file))
     }
 
     pub fn file_count(&self) -> usize {
@@ -284,10 +282,7 @@ impl EventStore {
         let mut rows = select(table, &q)?.rows;
         // Order by (date, seq) to rebuild declaration order.
         rows.sort_by_key(|r| {
-            (
-                r[2].as_date().expect("snapshot_date is a date"),
-                r[3].as_int().expect("seq is int"),
-            )
+            (r[2].as_date().expect("snapshot_date is a date"), r[3].as_int().expect("seq is int"))
         });
         let mut history = GradeHistory::new(grade);
         let mut current: Option<GradeSnapshot> = None;
@@ -371,7 +366,12 @@ impl EventStore {
     }
 
     /// The files an analysis under `view` should open for (run, kind).
-    pub fn files_for(&self, view: &ConsistentView, run: u32, kind: &str) -> EsResult<Vec<FileRecord>> {
+    pub fn files_for(
+        &self,
+        view: &ConsistentView,
+        run: u32,
+        kind: &str,
+    ) -> EsResult<Vec<FileRecord>> {
         let Some(version) = view.version_for(run, kind) else {
             return Ok(Vec::new());
         };
@@ -397,9 +397,8 @@ impl EventStore {
                 .ok_or_else(|| MetaError::Corrupt { detail: "missing tier".into() })?;
             row[1].as_text().unwrap_or("").to_string()
         };
-        let tier = StoreTier::parse(&tier_text).ok_or(MetaError::Corrupt {
-            detail: format!("unknown tier `{tier_text}`"),
-        })?;
+        let tier = StoreTier::parse(&tier_text)
+            .ok_or(MetaError::Corrupt { detail: format!("unknown tier `{tier_text}`") })?;
         let next_grade_row = db
             .table(GRADES)?
             .scan()
@@ -445,7 +444,11 @@ mod tests {
     }
 
     fn entry(first: u32, last: u32, kind: &str, version: &str) -> GradeEntry {
-        GradeEntry { runs: RunRange::new(first, last).unwrap(), kind: kind.into(), version: version.into() }
+        GradeEntry {
+            runs: RunRange::new(first, last).unwrap(),
+            kind: kind.into(),
+            version: version.into(),
+        }
     }
 
     #[test]
@@ -524,8 +527,7 @@ mod tests {
     #[test]
     fn first_time_data_respects_analysis_timestamp() {
         let mut es = EventStore::new(StoreTier::Collaboration);
-        es.declare_snapshot("physics", d("20040201"), vec![entry(1, 100, "recon", "v1")])
-            .unwrap();
+        es.declare_snapshot("physics", d("20040201"), vec![entry(1, 100, "recon", "v1")]).unwrap();
         es.register_file(&file(10, 150, "recon", "v2", "20040601")).unwrap();
         // Analysis pinned in March cannot see June data.
         let view = es.resolve("physics", d("20040315")).unwrap();
@@ -535,12 +537,8 @@ mod tests {
     #[test]
     fn unknown_grade_and_early_timestamp_errors() {
         let mut es = EventStore::new(StoreTier::Collaboration);
-        assert!(matches!(
-            es.resolve("physics", d("20040101")),
-            Err(EsError::UnknownGrade { .. })
-        ));
-        es.declare_snapshot("physics", d("20040601"), vec![entry(1, 10, "recon", "v")])
-            .unwrap();
+        assert!(matches!(es.resolve("physics", d("20040101")), Err(EsError::UnknownGrade { .. })));
+        es.declare_snapshot("physics", d("20040601"), vec![entry(1, 10, "recon", "v")]).unwrap();
         assert!(matches!(
             es.resolve("physics", d("20040101")),
             Err(EsError::NoSnapshotBefore { .. })
@@ -550,8 +548,7 @@ mod tests {
     #[test]
     fn snapshot_dates_must_advance() {
         let mut es = EventStore::new(StoreTier::Collaboration);
-        es.declare_snapshot("physics", d("20040601"), vec![entry(1, 10, "recon", "v1")])
-            .unwrap();
+        es.declare_snapshot("physics", d("20040601"), vec![entry(1, 10, "recon", "v1")]).unwrap();
         assert!(matches!(
             es.declare_snapshot("physics", d("20040601"), vec![entry(1, 10, "recon", "v2")]),
             Err(EsError::SnapshotOutOfOrder { .. })

@@ -77,7 +77,11 @@ impl Database {
         Self::default()
     }
 
-    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> MetaResult<&mut Table> {
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+    ) -> MetaResult<&mut Table> {
         let name = name.into();
         if self.tables.contains_key(&name) {
             return Err(MetaError::DuplicateTable { name });
@@ -94,15 +98,11 @@ impl Database {
     }
 
     pub fn table(&self, name: &str) -> MetaResult<&Table> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| MetaError::UnknownTable { name: name.to_string() })
+        self.tables.get(name).ok_or_else(|| MetaError::UnknownTable { name: name.to_string() })
     }
 
     pub fn table_mut(&mut self, name: &str) -> MetaResult<&mut Table> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| MetaError::UnknownTable { name: name.to_string() })
+        self.tables.get_mut(name).ok_or_else(|| MetaError::UnknownTable { name: name.to_string() })
     }
 
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
@@ -154,11 +154,7 @@ impl Database {
                     .primary_key()
                     .ok_or_else(|| MetaError::NoPrimaryKey { table: table.clone() })?;
                 let old = t.update_by_key(key, row.clone())?;
-                undo.push(Undo::RestoreUpdated {
-                    table: table.clone(),
-                    key: row[pk].clone(),
-                    old,
-                });
+                undo.push(Undo::RestoreUpdated { table: table.clone(), key: row[pk].clone(), old });
                 Ok(())
             }
             Op::DeleteByKey { table, key } => {

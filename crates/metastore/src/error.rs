@@ -6,21 +6,50 @@ use crate::value::ValueType;
 
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetaError {
-    InvalidSchema { detail: String },
-    UnknownTable { name: String },
-    DuplicateTable { name: String },
-    UnknownColumn { name: String },
-    ArityMismatch { expected: usize, got: usize },
-    TypeMismatch { column: String, expected: ValueType, got: ValueType },
-    NullViolation { column: String },
-    DuplicateKey { key: String },
-    RowNotFound { key: String },
-    NoPrimaryKey { table: String },
+    InvalidSchema {
+        detail: String,
+    },
+    UnknownTable {
+        name: String,
+    },
+    DuplicateTable {
+        name: String,
+    },
+    UnknownColumn {
+        name: String,
+    },
+    ArityMismatch {
+        expected: usize,
+        got: usize,
+    },
+    TypeMismatch {
+        column: String,
+        expected: ValueType,
+        got: ValueType,
+    },
+    NullViolation {
+        column: String,
+    },
+    DuplicateKey {
+        key: String,
+    },
+    RowNotFound {
+        key: String,
+    },
+    NoPrimaryKey {
+        table: String,
+    },
     /// A transaction was rolled back; carries the underlying cause.
-    TxnAborted { cause: Box<MetaError> },
+    TxnAborted {
+        cause: Box<MetaError>,
+    },
     /// Persistence format errors.
-    Corrupt { detail: String },
-    Io { detail: String },
+    Corrupt {
+        detail: String,
+    },
+    Io {
+        detail: String,
+    },
 }
 
 impl fmt::Display for MetaError {
@@ -68,9 +97,8 @@ mod tests {
     #[test]
     fn display_mentions_names() {
         assert!(MetaError::UnknownTable { name: "runs".into() }.to_string().contains("runs"));
-        let aborted = MetaError::TxnAborted {
-            cause: Box::new(MetaError::DuplicateKey { key: "7".into() }),
-        };
+        let aborted =
+            MetaError::TxnAborted { cause: Box::new(MetaError::DuplicateKey { key: "7".into() }) };
         assert!(aborted.to_string().contains("duplicate"));
     }
 }

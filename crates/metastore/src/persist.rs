@@ -75,9 +75,7 @@ fn type_from_tag(tag: u8) -> MetaResult<ValueType> {
         3 => ValueType::Text,
         4 => ValueType::Blob,
         5 => ValueType::Date,
-        other => {
-            return Err(MetaError::Corrupt { detail: format!("unknown type tag {other}") })
-        }
+        other => return Err(MetaError::Corrupt { detail: format!("unknown type tag {other}") }),
     })
 }
 

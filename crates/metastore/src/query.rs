@@ -21,7 +21,11 @@ pub enum Predicate {
     /// `row[col] == value` (null never equals anything).
     Eq(usize, Value),
     /// `lo <= row[col] <= hi`, either bound optional. Null never matches.
-    Range { col: usize, lo: Option<Value>, hi: Option<Value> },
+    Range {
+        col: usize,
+        lo: Option<Value>,
+        hi: Option<Value>,
+    },
     /// `row[col] IS NULL`.
     IsNull(usize),
     And(Vec<Predicate>),
@@ -145,10 +149,9 @@ pub fn select(table: &Table, query: &Query) -> MetaResult<Selected> {
     let (candidate_ids, path): (Option<Vec<RowId>>, AccessPath) =
         match query.predicate.index_candidates(table) {
             Some(Predicate::Eq(col, v)) => (table.index_eq(*col, v), AccessPath::IndexEq),
-            Some(Predicate::Range { col, lo, hi }) => (
-                table.index_range(*col, lo.as_ref(), hi.as_ref()),
-                AccessPath::IndexRange,
-            ),
+            Some(Predicate::Range { col, lo, hi }) => {
+                (table.index_range(*col, lo.as_ref(), hi.as_ref()), AccessPath::IndexRange)
+            }
             _ => (None, AccessPath::FullScan),
         };
 
@@ -202,8 +205,8 @@ pub fn select(table: &Table, query: &Query) -> MetaResult<Selected> {
 /// Count of live rows per distinct value of `col` — the GROUP BY shape used
 /// by stratified sampling and candidate grouping.
 pub fn group_count(table: &Table, col: usize) -> Vec<(Value, usize)> {
-    use std::collections::BTreeMap;
     use crate::value::OrdValue;
+    use std::collections::BTreeMap;
     let mut counts: BTreeMap<OrdValue, usize> = BTreeMap::new();
     for (_, row) in table.scan() {
         *counts.entry(OrdValue(row[col].clone())).or_default() += 1;
@@ -268,11 +271,7 @@ mod tests {
     #[test]
     fn unindexed_predicate_full_scans() {
         let t = candidates_table();
-        let q = Query::filter(Predicate::Range {
-            col: 1,
-            lo: Some(Value::Real(100.0)),
-            hi: None,
-        });
+        let q = Query::filter(Predicate::Range { col: 1, lo: Some(Value::Real(100.0)), hi: None });
         let r = select(&t, &q).unwrap();
         assert_eq!(r.path, AccessPath::FullScan);
         assert_eq!(r.examined, 100);

@@ -84,10 +84,7 @@ impl Schema {
     /// Check a row against this schema: arity, types, nullability.
     pub fn validate_row(&self, row: &[Value]) -> MetaResult<()> {
         if row.len() != self.columns.len() {
-            return Err(MetaError::ArityMismatch {
-                expected: self.columns.len(),
-                got: row.len(),
-            });
+            return Err(MetaError::ArityMismatch { expected: self.columns.len(), got: row.len() });
         }
         for (col, val) in self.columns.iter().zip(row) {
             match val.type_of() {
@@ -146,8 +143,7 @@ mod tests {
     #[test]
     fn valid_rows_pass() {
         let s = sample();
-        s.validate_row(&[Value::Int(1), Value::Text("physics".into()), Value::Real(0.5)])
-            .unwrap();
+        s.validate_row(&[Value::Int(1), Value::Text("physics".into()), Value::Real(0.5)]).unwrap();
         s.validate_row(&[Value::Int(1), Value::Text("physics".into()), Value::Null]).unwrap();
     }
 
@@ -180,9 +176,8 @@ mod tests {
             .unwrap()
             .with_primary_key("a");
         assert!(nullable_pk.is_err());
-        let missing_pk = Schema::new(vec![ColumnDef::new("a", ValueType::Int)])
-            .unwrap()
-            .with_primary_key("b");
+        let missing_pk =
+            Schema::new(vec![ColumnDef::new("a", ValueType::Int)]).unwrap().with_primary_key("b");
         assert!(missing_pk.is_err());
     }
 

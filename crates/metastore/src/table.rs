@@ -89,8 +89,7 @@ impl Table {
     }
 
     pub fn has_index(&self, col: usize) -> bool {
-        self.indexes.iter().any(|i| i.column == col)
-            || self.schema.primary_key() == Some(col)
+        self.indexes.iter().any(|i| i.column == col) || self.schema.primary_key() == Some(col)
     }
 
     /// Insert a row, enforcing schema and primary-key uniqueness.
@@ -122,10 +121,7 @@ impl Table {
         if self.schema.primary_key().is_none() {
             return Err(MetaError::NoPrimaryKey { table: self.name.clone() });
         }
-        Ok(self
-            .pk_map
-            .get(&OrdValue(key.clone()))
-            .and_then(|&id| self.get(id)))
+        Ok(self.pk_map.get(&OrdValue(key.clone())).and_then(|&id| self.get(id)))
     }
 
     /// Replace the row with primary key `key`. The new row may change the
@@ -176,10 +172,7 @@ impl Table {
 
     /// Iterate over live rows in insertion order.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &[Value])> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter_map(|(id, r)| r.as_deref().map(|row| (id, row)))
+        self.rows.iter().enumerate().filter_map(|(id, r)| r.as_deref().map(|row| (id, row)))
     }
 
     /// Row ids whose indexed `col` equals `key`, if an index (or the primary
@@ -187,10 +180,7 @@ impl Table {
     pub(crate) fn index_eq(&self, col: usize, key: &Value) -> Option<Vec<RowId>> {
         if self.schema.primary_key() == Some(col) {
             return Some(
-                self.pk_map
-                    .get(&OrdValue(key.clone()))
-                    .map(|&id| vec![id])
-                    .unwrap_or_default(),
+                self.pk_map.get(&OrdValue(key.clone())).map(|&id| vec![id]).unwrap_or_default(),
             );
         }
         self.indexes
@@ -213,12 +203,10 @@ impl Table {
         if self.schema.primary_key() == Some(col) {
             return Some(self.pk_map.range((lo_b, hi_b)).map(|(_, &id)| id).collect());
         }
-        self.indexes.iter().find(|i| i.column == col).map(|i| {
-            i.map
-                .range((lo_b, hi_b))
-                .flat_map(|(_, ids)| ids.iter().copied())
-                .collect()
-        })
+        self.indexes
+            .iter()
+            .find(|i| i.column == col)
+            .map(|i| i.map.range((lo_b, hi_b)).flat_map(|(_, ids)| ids.iter().copied()).collect())
     }
 }
 
@@ -250,10 +238,7 @@ mod tests {
         t.insert(row(1, 100_000, "physics")).unwrap();
         t.insert(row(2, 15_000, "raw")).unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(
-            t.get_by_key(&Value::Int(2)).unwrap().unwrap()[1],
-            Value::Int(15_000)
-        );
+        assert_eq!(t.get_by_key(&Value::Int(2)).unwrap().unwrap()[1], Value::Int(15_000));
         let old = t.update_by_key(&Value::Int(2), row(2, 16_000, "physics")).unwrap();
         assert_eq!(old[1], Value::Int(15_000));
         let gone = t.delete_by_key(&Value::Int(1)).unwrap();
@@ -277,10 +262,7 @@ mod tests {
             t.update_by_key(&Value::Int(9), row(9, 1, "raw")),
             Err(MetaError::RowNotFound { .. })
         ));
-        assert!(matches!(
-            t.delete_by_key(&Value::Int(9)),
-            Err(MetaError::RowNotFound { .. })
-        ));
+        assert!(matches!(t.delete_by_key(&Value::Int(9)), Err(MetaError::RowNotFound { .. })));
     }
 
     #[test]
@@ -321,10 +303,7 @@ mod tests {
         t.insert(row(2, 20, "raw")).unwrap();
         t.create_index("events").unwrap();
         let col = t.schema().column_index("events").unwrap();
-        assert_eq!(
-            t.index_range(col, Some(&Value::Int(15)), None).unwrap(),
-            vec![1]
-        );
+        assert_eq!(t.index_range(col, Some(&Value::Int(15)), None).unwrap(), vec![1]);
         // Idempotent.
         t.create_index("events").unwrap();
         assert_eq!(t.indexes.len(), 1);

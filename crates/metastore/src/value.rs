@@ -206,13 +206,15 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_sane() {
-        let mut vals = [Value::Text("b".into()),
+        let mut vals = [
+            Value::Text("b".into()),
             Value::Int(2),
             Value::Null,
             Value::Real(1.5),
             Value::Text("a".into()),
             Value::Int(1),
-            Value::Date(20040312)];
+            Value::Date(20040312),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(1));

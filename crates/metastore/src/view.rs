@@ -54,9 +54,7 @@ impl ViewCatalog {
     }
 
     pub fn view(&self, name: &str) -> MetaResult<&ViewDef> {
-        self.views
-            .get(name)
-            .ok_or_else(|| MetaError::UnknownTable { name: name.to_string() })
+        self.views.get(name).ok_or_else(|| MetaError::UnknownTable { name: name.to_string() })
     }
 
     pub fn names(&self) -> impl Iterator<Item = &str> {
@@ -90,10 +88,7 @@ impl ViewCatalog {
         let schema = match &def.query.projection {
             None => base_schema,
             Some(cols) => {
-                let defs: Vec<_> = cols
-                    .iter()
-                    .map(|&c| base_schema.columns()[c].clone())
-                    .collect();
+                let defs: Vec<_> = cols.iter().map(|&c| base_schema.columns()[c].clone()).collect();
                 // Projections may drop the key column; materialized extracts
                 // are plain row sets with no primary key.
                 Schema::new(defs)?

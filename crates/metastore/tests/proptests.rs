@@ -26,13 +26,11 @@ fn op_strategy() -> impl Strategy<Value = Op1> {
 }
 
 fn fresh_table() -> Table {
-    let schema = Schema::new(vec![
-        ColumnDef::new("k", ValueType::Int),
-        ColumnDef::new("v", ValueType::Int),
-    ])
-    .expect("valid schema")
-    .with_primary_key("k")
-    .expect("k exists");
+    let schema =
+        Schema::new(vec![ColumnDef::new("k", ValueType::Int), ColumnDef::new("v", ValueType::Int)])
+            .expect("valid schema")
+            .with_primary_key("k")
+            .expect("k exists");
     let mut t = Table::new("t", schema);
     t.create_index("v").expect("v exists");
     t

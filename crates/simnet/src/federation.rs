@@ -107,11 +107,7 @@ mod tests {
     #[test]
     fn shipping_queries_beats_shipping_data_for_selective_work() {
         let plan = plan_federated_query(&paper_scenario()).expect("links are live");
-        assert!(
-            plan.speedup > 50.0,
-            "selective subqueries should win big: {:.0}×",
-            plan.speedup
-        );
+        assert!(plan.speedup > 50.0, "selective subqueries should win big: {:.0}×", plan.speedup);
         // The researcher receives a tractable result, not terabytes.
         assert!(plan.result_volume < DataVolume::gb(50));
         assert!(plan.ship_query < SimDuration::from_hours(24));

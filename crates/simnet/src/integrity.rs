@@ -105,9 +105,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn units() -> Vec<(String, Vec<u8>)> {
-        (0..5)
-            .map(|i| (format!("disk-{i}"), vec![i as u8; 1000 + i]))
-            .collect()
+        (0..5).map(|i| (format!("disk-{i}"), vec![i as u8; 1000 + i])).collect()
     }
 
     #[test]

@@ -25,8 +25,10 @@ pub mod shipping;
 pub mod transfer;
 
 pub use federation::{paper_scenario, plan_federated_query, FederationPlan, Site};
-pub use integrity::{build_manifest, simulate_verified_shipping, verify_against_manifest,
-                    ManifestEntry, VerificationReport};
+pub use integrity::{
+    build_manifest, simulate_verified_shipping, verify_against_manifest, ManifestEntry,
+    VerificationReport,
+};
 pub use link::NetworkLink;
 pub use reliable::{
     AttemptRecord, AttemptResult, FaultPlan, FaultProfile, ReliableTransfer, RetryPolicy,

@@ -28,10 +28,7 @@ impl NetworkLink {
 
     /// Derate the link for shared/overheaded use.
     pub fn with_efficiency(mut self, efficiency: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&efficiency),
-            "efficiency must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&efficiency), "efficiency must be in [0, 1]");
         self.efficiency = efficiency;
         self
     }
@@ -99,11 +96,7 @@ mod tests {
 
     #[test]
     fn latency_included_once() {
-        let link = NetworkLink::new(
-            "lan",
-            DataRate::mb_per_sec(100.0),
-            SimDuration::from_secs(1),
-        );
+        let link = NetworkLink::new("lan", DataRate::mb_per_sec(100.0), SimDuration::from_secs(1));
         let t = link.transfer_time(DataVolume::mb(100)).unwrap();
         assert!((t.as_secs_f64() - 2.0).abs() < 1e-6);
     }

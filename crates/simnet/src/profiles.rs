@@ -42,12 +42,8 @@ pub fn internet2_500() -> NetworkLink {
 /// TeraGrid backbone access (the Cornell connection "will move to the
 /// TeraGrid early in 2006"): multi-gigabit.
 pub fn teragrid() -> NetworkLink {
-    NetworkLink::new(
-        "teragrid",
-        DataRate::mbit_per_sec(10_000.0),
-        SimDuration::from_micros(30_000),
-    )
-    .with_efficiency(0.8)
+    NetworkLink::new("teragrid", DataRate::mbit_per_sec(10_000.0), SimDuration::from_micros(30_000))
+        .with_efficiency(0.8)
 }
 
 /// The ATA disks used for Arecibo raw data (2005-era 400 GB drives).

@@ -65,9 +65,7 @@ pub struct TransferReport {
 
 impl TransferReport {
     pub fn elapsed(&self) -> SimDuration {
-        self.completed_at
-            .checked_sub(self.started_at)
-            .expect("completion cannot precede start")
+        self.completed_at.checked_sub(self.started_at).expect("completion cannot precede start")
     }
 
     /// Retries = attempts beyond the first.
@@ -166,8 +164,7 @@ impl<'a> ReliableTransfer<'a> {
             if rate.bytes_per_sec() <= 0.0 {
                 return Err(TransferError::LinkDown { link: self.link.name.clone() });
             }
-            let base = self.link.latency
-                + volume.time_at(rate).unwrap_or(SimDuration::ZERO);
+            let base = self.link.latency + volume.time_at(rate).unwrap_or(SimDuration::ZERO);
             let outcome = self.plan.attempt_outcome(now, base, self.policy.attempt_timeout);
             faults += outcome.faults_hit() + u64::from(degrade < 1.0);
             let record = self.record_attempt(attempt, now, volume, rate, &outcome);
@@ -185,10 +182,8 @@ impl<'a> ReliableTransfer<'a> {
                 }
                 Some(cause) => {
                     if attempt >= self.policy.max_retries {
-                        let elapsed = outcome
-                            .ends_at
-                            .checked_sub(start)
-                            .unwrap_or(SimDuration::ZERO);
+                        let elapsed =
+                            outcome.ends_at.checked_sub(start).unwrap_or(SimDuration::ZERO);
                         let n = attempt + 1;
                         return Err(match cause {
                             AttemptFailure::TimedOut => TransferError::Timeout {
@@ -229,18 +224,14 @@ impl<'a> ReliableTransfer<'a> {
             // Drops and timeouts cut the attempt short: count the bytes that
             // made it onto the wire before the failure instant.
             Some(_) => {
-                let active = outcome
-                    .ends_at
-                    .checked_sub(started_at)
-                    .unwrap_or(SimDuration::ZERO);
-                let payload_time = active
-                    .as_secs_f64()
-                    .min(outcome
+                let active = outcome.ends_at.checked_sub(started_at).unwrap_or(SimDuration::ZERO);
+                let payload_time = active.as_secs_f64().min(
+                    outcome
                         .nominal_end
                         .checked_sub(started_at)
                         .unwrap_or(SimDuration::ZERO)
-                        .as_secs_f64())
-                    - self.link.latency.as_secs_f64();
+                        .as_secs_f64(),
+                ) - self.link.latency.as_secs_f64();
                 let sent = (payload_time.max(0.0) * rate.bytes_per_sec()).round() as u64;
                 (sent.min(volume.bytes()), 0)
             }
@@ -265,11 +256,7 @@ mod tests {
     use sciflow_core::units::DataRate;
 
     fn link() -> NetworkLink {
-        NetworkLink::new(
-            "test-link",
-            DataRate::mb_per_sec(100.0),
-            SimDuration::from_secs(1),
-        )
+        NetworkLink::new("test-link", DataRate::mb_per_sec(100.0), SimDuration::from_secs(1))
     }
 
     #[test]
@@ -343,10 +330,7 @@ mod tests {
     fn exhausted_retries_are_typed() {
         // A drop every ten seconds forever; a 1 GB transfer needs 11 s.
         let events = (0..10_000u64)
-            .map(|i| FaultEvent {
-                at: SimTime::from_micros(i * 10_000_000),
-                kind: FaultKind::Drop,
-            })
+            .map(|i| FaultEvent { at: SimTime::from_micros(i * 10_000_000), kind: FaultKind::Drop })
             .collect();
         let plan = FaultPlan::from_events(3, events);
         let policy = RetryPolicy {
@@ -368,11 +352,7 @@ mod tests {
 
     #[test]
     fn replay_is_byte_identical() {
-        let plan = FaultPlan::generate(
-            42,
-            SimDuration::from_days(7),
-            &FaultProfile::flaky(),
-        );
+        let plan = FaultPlan::generate(42, SimDuration::from_days(7), &FaultProfile::flaky());
         let link = link();
         let t = ReliableTransfer::new(&link, &plan, RetryPolicy::default());
         let a = t.execute(DataVolume::gb(50), SimTime::ZERO);

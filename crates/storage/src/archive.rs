@@ -32,12 +32,7 @@ impl MediaGeneration {
         copy_rate: DataRate,
         annual_failure_rate: f64,
     ) -> Self {
-        MediaGeneration {
-            name: name.into(),
-            cost_per_tb,
-            copy_rate,
-            annual_failure_rate,
-        }
+        MediaGeneration { name: name.into(), cost_per_tb, copy_rate, annual_failure_rate }
     }
 }
 
@@ -98,10 +93,7 @@ impl LongTermArchive {
         let tb = self.volume.bytes() as f64 / 1e12;
         self.ledger.add_media_cost(tb * to.cost_per_tb);
         self.ledger.add_personnel_hours(tb * self.personnel_hours_per_tb);
-        let t = self
-            .volume
-            .time_at(to.copy_rate)
-            .unwrap_or(SimDuration::ZERO);
+        let t = self.volume.time_at(to.copy_rate).unwrap_or(SimDuration::ZERO);
         self.generation = to;
         self.migrations += 1;
         Ok(t)

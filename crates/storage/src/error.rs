@@ -9,13 +9,26 @@ use crate::media::FileId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
     /// Device cannot hold the requested volume.
-    Full { device: String, requested: DataVolume, free: DataVolume },
+    Full {
+        device: String,
+        requested: DataVolume,
+        free: DataVolume,
+    },
     /// A single object exceeds the media unit size.
-    ObjectTooLarge { requested: DataVolume, limit: DataVolume },
-    AlreadyArchived { id: FileId },
-    NotArchived { id: FileId },
+    ObjectTooLarge {
+        requested: DataVolume,
+        limit: DataVolume,
+    },
+    AlreadyArchived {
+        id: FileId,
+    },
+    NotArchived {
+        id: FileId,
+    },
     /// RAID or archive configuration is invalid.
-    InvalidConfig { detail: String },
+    InvalidConfig {
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {

@@ -167,10 +167,7 @@ impl TapeLibrary {
     /// Recall a file: mount its cartridge (if not already mounted) and
     /// stream it off. Returns (volume, time).
     pub fn recall(&mut self, id: FileId) -> StorageResult<(DataVolume, SimDuration)> {
-        let loc = *self
-            .catalog
-            .get(&id)
-            .ok_or(StorageError::NotArchived { id })?;
+        let loc = *self.catalog.get(&id).ok_or(StorageError::NotArchived { id })?;
         let t = self.mount_cost(loc.cartridge)
             + loc.volume.time_at(self.drive_rate).unwrap_or(SimDuration::ZERO);
         Ok((loc.volume, t))

@@ -104,13 +104,9 @@ mod tests {
     #[test]
     fn weblab_sizing() {
         // Approximate the 240 TB WebLab array: 500 GB disks, RAID 5.
-        let array = RaidArray::new(
-            RaidLevel::Raid5,
-            481,
-            DataVolume::gb(500),
-            DataRate::mb_per_sec(60.0),
-        )
-        .unwrap();
+        let array =
+            RaidArray::new(RaidLevel::Raid5, 481, DataVolume::gb(500), DataRate::mb_per_sec(60.0))
+                .unwrap();
         assert_eq!(array.usable_capacity(), DataVolume::tb(240));
         assert!(array.guaranteed_failure_tolerance() >= 1);
     }

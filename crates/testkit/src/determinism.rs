@@ -16,10 +16,7 @@ use sciflow_core::metrics::SimReport;
 /// `scenario` must be a pure function of its seed — any ambient entropy
 /// (wall clock, hash-map iteration order, thread timing) shows up here as a
 /// failure, which is exactly the point.
-pub fn assert_deterministic<T: PartialEq + Debug>(
-    seed: u64,
-    scenario: impl Fn(u64) -> T,
-) -> T {
+pub fn assert_deterministic<T: PartialEq + Debug>(seed: u64, scenario: impl Fn(u64) -> T) -> T {
     let first = scenario(seed);
     let second = scenario(seed);
     assert_eq!(

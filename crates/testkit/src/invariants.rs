@@ -16,16 +16,9 @@ use sciflow_simnet::reliable::{AttemptResult, TransferReport};
 /// sends more than the payload.
 pub fn assert_transfer_conservation(report: &TransferReport) {
     let payload = report.volume.bytes();
-    assert_eq!(
-        report.bytes_delivered(),
-        payload,
-        "delivered bytes must equal the payload exactly"
-    );
-    let delivered: Vec<_> = report
-        .attempts
-        .iter()
-        .filter(|a| a.result == AttemptResult::Delivered)
-        .collect();
+    assert_eq!(report.bytes_delivered(), payload, "delivered bytes must equal the payload exactly");
+    let delivered: Vec<_> =
+        report.attempts.iter().filter(|a| a.result == AttemptResult::Delivered).collect();
     assert_eq!(delivered.len(), 1, "exactly one attempt delivers");
     assert_eq!(
         delivered[0].index as usize,
@@ -66,10 +59,7 @@ pub fn assert_monotone_attempts(report: &TransferReport) {
         );
         prev_end = a.ended_at;
     }
-    assert_eq!(
-        report.completed_at, prev_end,
-        "completion time must equal the last attempt's end"
-    );
+    assert_eq!(report.completed_at, prev_end, "completion time must equal the last attempt's end");
 }
 
 /// Monotone simulated time for a flow report: no stage completes after the
@@ -98,9 +88,7 @@ pub fn assert_monotone_sim_time(report: &SimReport) {
 /// lost), or is still queued — retries may inflate wire traffic but never
 /// create or destroy payload.
 pub fn assert_flow_transfer_conservation(report: &SimReport, stage: &str) {
-    let s = report
-        .stage(stage)
-        .unwrap_or_else(|| panic!("no stage named `{stage}` in report"));
+    let s = report.stage(stage).unwrap_or_else(|| panic!("no stage named `{stage}` in report"));
     let accounted = s.volume_out + s.volume_lost + s.final_queue_volume;
     assert_eq!(
         s.volume_in, accounted,
@@ -168,11 +156,7 @@ mod tests {
     fn tolerance_helpers() {
         assert_close(100.5, 100.0, 0.01);
         assert_within_pct(98.0, 100.0, 5.0);
-        assert_duration_close(
-            SimDuration::from_secs(101),
-            SimDuration::from_secs(100),
-            0.02,
-        );
+        assert_duration_close(SimDuration::from_secs(101), SimDuration::from_secs(100), 0.02);
     }
 
     #[test]
@@ -185,12 +169,8 @@ mod tests {
     fn provenance_stability_holds_for_pure_builders() {
         assert_provenance_stability(|| {
             let mut r = ProvenanceRecord::new();
-            let version = VersionId::new(
-                "Dedisp",
-                "Nov01_05_P1",
-                CalDate::new(2005, 11, 1).unwrap(),
-                "CTC",
-            );
+            let version =
+                VersionId::new("Dedisp", "Nov01_05_P1", CalDate::new(2005, 11, 1).unwrap(), "CTC");
             r.push(
                 ProvenanceStep::new("Dedisperse", version)
                     .with_param("dm", "42.0")

@@ -135,10 +135,8 @@ impl LossyFlowScenario {
                 start: SimTime::ZERO,
             },
         );
-        let t = g.add_stage(
-            Self::LINK,
-            StageKind::Transfer { rate: self.rate, latency: self.latency },
-        );
+        let t =
+            g.add_stage(Self::LINK, StageKind::Transfer { rate: self.rate, latency: self.latency });
         let a = g.add_stage(Self::ARCHIVE, StageKind::Archive);
         g.connect(s, t).expect("fresh graph");
         g.connect(t, a).expect("fresh graph");

@@ -136,8 +136,7 @@ mod tests {
     fn chain_graph() -> LinkGraph {
         // 0 → 1 → 2, and isolated 3.
         let urls: Vec<String> = (0..4).map(|i| format!("http://p{i}/")).collect();
-        let pairs =
-            vec![(0i64, "http://p1/".to_string()), (1, "http://p2/".to_string())];
+        let pairs = vec![(0i64, "http://p1/".to_string()), (1, "http://p2/".to_string())];
         LinkGraph::build(urls, &pairs).unwrap()
     }
 

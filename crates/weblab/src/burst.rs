@@ -71,12 +71,10 @@ pub fn detect_bursts(bins: &[Bin], cfg: &BurstConfig) -> Vec<Burst> {
     for &bin in &bins[1..] {
         let stay0 = cost0;
         let from1to0 = cost1; // leaving a burst is free
-        let (prev_for_0, base0) =
-            if stay0 <= from1to0 { (false, stay0) } else { (true, from1to0) };
+        let (prev_for_0, base0) = if stay0 <= from1to0 { (false, stay0) } else { (true, from1to0) };
         let stay1 = cost1;
         let from0to1 = cost0 + trans;
-        let (prev_for_1, base1) =
-            if stay1 <= from0to1 { (true, stay1) } else { (false, from0to1) };
+        let (prev_for_1, base1) = if stay1 <= from0to1 { (true, stay1) } else { (false, from0to1) };
         back.push((prev_for_0, prev_for_1));
         cost0 = base0 + cost(bin, p0);
         cost1 = base1 + cost(bin, p1);

@@ -34,9 +34,9 @@ fn get_varint(data: &[u8], pos: &mut usize) -> WebResult<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let &byte = data.get(*pos).ok_or_else(|| WebError::Corrupt {
-            detail: "truncated varint".into(),
-        })?;
+        let &byte = data
+            .get(*pos)
+            .ok_or_else(|| WebError::Corrupt { detail: "truncated varint".into() })?;
         *pos += 1;
         v |= ((byte & 0x7f) as u64) << shift;
         if byte & 0x80 == 0 {
@@ -123,8 +123,7 @@ pub fn decompress(data: &[u8]) -> WebResult<Vec<u8>> {
     if data.len() < 16 || &data[..4] != MAGIC {
         return Err(WebError::Corrupt { detail: "bad codec magic".into() });
     }
-    let raw_len =
-        u64::from_le_bytes(data[4..12].try_into().expect("8 bytes")) as usize;
+    let raw_len = u64::from_le_bytes(data[4..12].try_into().expect("8 bytes")) as usize;
     let want_sum = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes"));
     if raw_len > 1 << 34 {
         return Err(WebError::Corrupt { detail: "implausible raw length".into() });
@@ -155,9 +154,7 @@ pub fn decompress(data: &[u8]) -> WebResult<Vec<u8>> {
                     out.push(byte);
                 }
             }
-            other => {
-                return Err(WebError::Corrupt { detail: format!("unknown token {other}") })
-            }
+            other => return Err(WebError::Corrupt { detail: format!("unknown token {other}") }),
         }
     }
     if out.len() != raw_len {
@@ -216,9 +213,8 @@ mod tests {
     #[test]
     fn incompressible_data_does_not_explode() {
         // Pseudo-random bytes: output stays within ~1% of input.
-        let data: Vec<u8> = (0..100_000u64)
-            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8)
-            .collect();
+        let data: Vec<u8> =
+            (0..100_000u64).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8).collect();
         let packed = compress(&data);
         assert!(packed.len() < data.len() + data.len() / 64 + 64);
         assert_eq!(decompress(&packed).unwrap(), data);

@@ -97,10 +97,8 @@ fn make_links<R: Rng>(rng: &mut R, urls: &[String], mean_links: usize) -> Vec<St
 }
 
 fn body_for(page: &PageTruth, body_bytes: usize) -> Vec<u8> {
-    let mut s = format!(
-        "<html><head><title>{} rev {}</title></head><body>\n",
-        page.url, page.revision
-    );
+    let mut s =
+        format!("<html><head><title>{} rev {}</title></head><body>\n", page.url, page.revision);
     for link in &page.links {
         s.push_str(&format!("<a href=\"{link}\">link</a>\n"));
     }
@@ -148,10 +146,8 @@ impl SyntheticWeb {
         for _ in 1..n_crawls {
             date = two_months_later(date);
             // Deaths.
-            let mut survivors: Vec<PageTruth> = pages
-                .into_iter()
-                .filter(|_| rng.gen::<f64>() >= config.death)
-                .collect();
+            let mut survivors: Vec<PageTruth> =
+                pages.into_iter().filter(|_| rng.gen::<f64>() >= config.death).collect();
             // Churn.
             for p in survivors.iter_mut() {
                 if rng.gen::<f64>() < config.churn {

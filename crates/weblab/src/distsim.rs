@@ -76,10 +76,9 @@ impl Cluster {
         if graph_bytes > self.total_memory() {
             return None;
         }
-        let compute = edges as f64 * self.per_edge_secs
-            / (self.nodes * self.cores_per_node) as f64;
-        let messages = edges as f64 * self.cut_fraction() * self.per_message_secs
-            / self.nodes as f64; // messages processed in parallel per node
+        let compute = edges as f64 * self.per_edge_secs / (self.nodes * self.cores_per_node) as f64;
+        let messages =
+            edges as f64 * self.cut_fraction() * self.per_message_secs / self.nodes as f64; // messages processed in parallel per node
         Some(compute + messages)
     }
 }
@@ -125,10 +124,7 @@ mod tests {
         let (edges, bytes) = web_graph();
         let verdict = compare_sweep(&BigMachine::es7000(), &Cluster::commodity(64), edges, bytes);
         let penalty = verdict.cluster_penalty.expect("both fit");
-        assert!(
-            penalty > 5.0,
-            "network latency should dominate on the cluster: penalty {penalty}"
-        );
+        assert!(penalty > 5.0, "network latency should dominate on the cluster: penalty {penalty}");
     }
 
     #[test]
@@ -143,8 +139,7 @@ mod tests {
         let nodes: u64 = 20_000_000_000;
         let edges: u64 = 400_000_000_000;
         let bytes = nodes * 8 + edges * 4;
-        let verdict =
-            compare_sweep(&BigMachine::es7000(), &Cluster::commodity(1024), edges, bytes);
+        let verdict = compare_sweep(&BigMachine::es7000(), &Cluster::commodity(1024), edges, bytes);
         assert!(verdict.single_secs.is_none());
         assert!(verdict.cluster_secs.is_some());
         assert!(verdict.cluster_penalty.is_none());

@@ -133,11 +133,7 @@ mod tests {
         let link_busy = report.stage("internet2-link").unwrap().busy.as_secs_f64() / span;
         assert!((0.15..0.35).contains(&link_busy), "link busy fraction {link_busy}");
         let pool = report.pool(WEBLAB_POOL).unwrap();
-        assert!(
-            (0.05..0.5).contains(&pool.utilization),
-            "pool utilization {}",
-            pool.utilization
-        );
+        assert!((0.05..0.5).contains(&pool.utilization), "pool utilization {}", pool.utilization);
     }
 
     #[test]

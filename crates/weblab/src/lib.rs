@@ -38,8 +38,9 @@ pub mod retro;
 pub mod sample;
 pub mod textindex;
 
-pub use analytics::{graph_stats, in_degree_histogram, pagerank, weakly_connected_components,
-                    GraphStats};
+pub use analytics::{
+    graph_stats, in_degree_histogram, pagerank, weakly_connected_components, GraphStats,
+};
 pub use arc::{read_arc, read_arc_compressed, write_arc, write_arc_compressed, ArcRecord};
 pub use burst::{detect_bursts, Bin, Burst, BurstConfig};
 pub use codec::{compress, decompress};
@@ -50,8 +51,10 @@ pub use error::{WebError, WebResult};
 pub use flow::{weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
 pub use graph::LinkGraph;
 pub use pagestore::PageStore;
-pub use preload::{create_pages_table, create_pages_table_unindexed, preload, PreloadConfig,
-                  PreloadOutput, PreloadStats};
+pub use preload::{
+    create_pages_table, create_pages_table_unindexed, preload, PreloadConfig, PreloadOutput,
+    PreloadStats,
+};
 pub use retro::{RetroBrowser, RetroPage};
 pub use sample::{stratified_sample, stratified_sample_flat, StratifiedSample};
 pub use textindex::{tokenize, DocId, Posting, TextIndex};

@@ -76,12 +76,8 @@ impl PageStore {
 
     /// All capture dates of a URL, ascending.
     pub fn dates_of(&self, url: &str) -> Vec<u64> {
-        let mut dates: Vec<u64> = self
-            .index
-            .keys()
-            .filter(|(u, _)| u == url)
-            .map(|&(_, d)| d)
-            .collect();
+        let mut dates: Vec<u64> =
+            self.index.keys().filter(|(u, _)| u == url).map(|&(_, d)| d).collect();
         dates.sort_unstable();
         dates
     }

@@ -130,11 +130,7 @@ enum Parsed {
 }
 
 fn domain_of(url: &str) -> &str {
-    url.strip_prefix("http://")
-        .unwrap_or(url)
-        .split('/')
-        .next()
-        .unwrap_or(url)
+    url.strip_prefix("http://").unwrap_or(url).split('/').next().unwrap_or(url)
 }
 
 /// Run the preload over compressed (ARC, DAT) file pairs.
@@ -236,11 +232,7 @@ pub fn preload(
     Ok(PreloadOutput { stats, link_pairs })
 }
 
-fn flush(
-    db: &mut Database,
-    rows: &mut Vec<Vec<Value>>,
-    stats: &mut PreloadStats,
-) -> WebResult<()> {
+fn flush(db: &mut Database, rows: &mut Vec<Vec<Value>>, stats: &mut PreloadStats) -> WebResult<()> {
     if rows.is_empty() {
         return Ok(());
     }

@@ -62,10 +62,8 @@ impl RetroBrowser {
 
     /// Resolve (url, as-of date) → the capture to serve.
     pub fn resolve(&self, url: &str, as_of: u64) -> WebResult<u64> {
-        let dates = self
-            .index
-            .get(url)
-            .ok_or_else(|| WebError::NotFound { what: format!("url {url}") })?;
+        let dates =
+            self.index.get(url).ok_or_else(|| WebError::NotFound { what: format!("url {url}") })?;
         let pos = dates.partition_point(|&d| d <= as_of);
         if pos == 0 {
             return Err(WebError::NotFound {
@@ -83,11 +81,9 @@ impl RetroBrowser {
         as_of: u64,
     ) -> WebResult<RetroPage<'a>> {
         let capture_date = self.resolve(url, as_of)?;
-        let body = store
-            .get(url, capture_date)
-            .ok_or_else(|| WebError::NotFound {
-                what: format!("content of {url} @ {capture_date}"),
-            })?;
+        let body = store.get(url, capture_date).ok_or_else(|| WebError::NotFound {
+            what: format!("content of {url} @ {capture_date}"),
+        })?;
         Ok(RetroPage { url, capture_date, body })
     }
 }

@@ -42,10 +42,7 @@ pub fn stratified_sample<R: Rng>(
     let mut strata = Vec::with_capacity(groups.len());
     let mut rows_examined = 0usize;
     for (value, _count) in groups {
-        let selected = select(
-            table,
-            &Query::filter(Predicate::Eq(stratum_col, value.clone())),
-        )?;
+        let selected = select(table, &Query::filter(Predicate::Eq(stratum_col, value.clone())))?;
         rows_examined += selected.examined;
         // Reservoir sample within the stratum.
         let mut reservoir: Vec<Vec<Value>> = Vec::with_capacity(per_stratum);

@@ -92,10 +92,7 @@ impl TextIndex {
 
     /// Documents containing `term` (exact token match).
     pub fn lookup(&self, term: &str) -> &[Posting] {
-        self.postings
-            .get(&term.to_lowercase())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.postings.get(&term.to_lowercase()).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Documents containing *all* query terms, with a tf·idf score, best
@@ -201,9 +198,8 @@ mod tests {
     #[test]
     fn subset_scoped_index_is_smaller_than_full() {
         // The paper's point: index only the subset you study.
-        let corpus: Vec<String> = (0..50)
-            .map(|i| format!("page {i} about topic{} research notes", i % 5))
-            .collect();
+        let corpus: Vec<String> =
+            (0..50).map(|i| format!("page {i} about topic{} research notes", i % 5)).collect();
         let mut full = TextIndex::new();
         for (i, text) in corpus.iter().enumerate() {
             full.add_document(i as u64, text);

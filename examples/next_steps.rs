@@ -55,14 +55,9 @@ fn main() {
     let mut pages_db = Database::new();
     create_pages_table(&mut pages_db).expect("fresh database");
     let mut store = PageStore::new(1 << 22);
-    preload(&files, &mut pages_db, &mut store, &PreloadConfig::default())
-        .expect("clean input");
-    let domain_col = pages_db
-        .table("pages")
-        .expect("exists")
-        .schema()
-        .column_index("domain")
-        .expect("exists");
+    preload(&files, &mut pages_db, &mut store, &PreloadConfig::default()).expect("clean input");
+    let domain_col =
+        pages_db.table("pages").expect("exists").schema().column_index("domain").expect("exists");
     let mut catalog = ViewCatalog::new();
     catalog
         .create_view(ViewDef {

@@ -33,12 +33,7 @@ fn main() {
 
     // --- 1. Take a run and reconstruct it --------------------------------
     let run = generate_run(201_388, 300, &gen, &mut rng);
-    println!(
-        "run {}: {} events over {} minutes",
-        run.number,
-        run.event_count(),
-        run.duration_mins
-    );
+    println!("run {}: {} events over {} minutes", run.number, run.event_count(), run.duration_mins);
     let mut recon = Vec::new();
     let mut raws = Vec::new();
     for ev in &run.events {
@@ -113,8 +108,7 @@ fn main() {
 
     // --- 5. Offsite Monte Carlo → USB disk → merge -----------------------
     let mc = produce_mc_run(run.number, 100, &gen, &det, "MC Jul05", "offsite-farm");
-    let personal =
-        stage_into_personal_store(&mc, d("20050715"), 9_000).expect("staging works");
+    let personal = stage_into_personal_store(&mc, d("20050715"), 9_000).expect("staging works");
     let usb_disk = personal.to_bytes(); // what actually travels
     let received = EventStore::from_bytes(&usb_disk).expect("clean bytes");
     let report = merge_into(&mut es, &received).expect("no conflicts");

@@ -52,10 +52,7 @@ fn main() {
         cfg.n_samples,
         sciflow_core::DataVolume::from_bytes(7 * cfg.volume_bytes()),
     );
-    println!(
-        "hidden pulsar: P = {} s, DM = {} pc/cm³ (beam 3)\n",
-        truth.period_s, truth.dm.0
-    );
+    println!("hidden pulsar: P = {} s, DM = {} pc/cm³ (beam 3)\n", truth.period_s, truth.dm.0);
 
     // --- 1b. Local quality monitoring before the disks ship --------------
     for (i, b) in beams.iter().enumerate() {
@@ -114,8 +111,7 @@ fn main() {
     create_candidate_table(&mut db).expect("fresh database");
     let mut next_id = 0i64;
     for beam in &out.beams {
-        load_candidates(&mut db, 42, beam.beam, &beam.periodic, &mut next_id)
-            .expect("fresh ids");
+        load_candidates(&mut db, 42, beam.beam, &beam.periodic, &mut next_id).expect("fresh ids");
     }
     let rows = candidates_for_pointing(&db, 42, 6.0).expect("table exists");
     println!("\ncandidate database: {} rows above 6σ for pointing 42", rows.len());

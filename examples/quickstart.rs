@@ -53,12 +53,8 @@ fn main() {
 
     // --- 3. Provenance travels with the products ------------------------
     let raw = DataProduct::raw("session-001", DataVolume::gb(36));
-    let version = VersionId::new(
-        "Process",
-        "Jul04_06",
-        CalDate::new(2006, 7, 4).expect("valid date"),
-        "CTC",
-    );
+    let version =
+        VersionId::new("Process", "Jul04_06", CalDate::new(2006, 7, 4).expect("valid date"), "CTC");
     let product = raw.derive(
         "session-001-products",
         ProductKind::Candidate,

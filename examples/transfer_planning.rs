@@ -54,11 +54,7 @@ fn main() {
             "  shipping ({} × {}): {} + {:.0} person-hours",
             c.shipping.units, media.name, c.shipping.total_time, c.shipping.personnel_hours
         );
-        println!(
-            "  verdict: {:?} wins by {:.1}×",
-            c.winner,
-            c.advantage.unwrap_or(f64::NAN)
-        );
+        println!("  verdict: {:?} wins by {:.1}×", c.winner, c.advantage.unwrap_or(f64::NAN));
         if let Some(cross) =
             crossover_bandwidth(volume, &media, &route, SimDuration::from_micros(50_000))
         {

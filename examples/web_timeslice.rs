@@ -26,8 +26,11 @@ fn main() {
         5,
         &mut rng,
     );
-    println!("synthetic web: {} crawls, {} pages in crawl 0", web.crawls.len(),
-        web.crawls[0].pages.len());
+    println!(
+        "synthetic web: {} crawls, {} pages in crawl 0",
+        web.crawls.len(),
+        web.crawls[0].pages.len()
+    );
 
     // --- 1. Preload every crawl (time slices) ----------------------------
     let mut db = Database::new();
@@ -37,8 +40,8 @@ fn main() {
     let mut last_links = Vec::new();
     for (i, crawl) in web.crawls.iter().enumerate() {
         let files = web.crawl_files(i, 64).expect("serialization works");
-        let out = preload(&files, &mut db, &mut store, &PreloadConfig::default())
-            .expect("clean input");
+        let out =
+            preload(&files, &mut db, &mut store, &PreloadConfig::default()).expect("clean input");
         for p in &crawl.pages {
             retro.index_capture(&p.url, crawl.date);
         }
@@ -54,8 +57,11 @@ fn main() {
             last_links = out.link_pairs;
         }
     }
-    println!("page store: {} captures, {}", store.page_count(),
-        sciflow_core::DataVolume::from_bytes(store.total_bytes()));
+    println!(
+        "page store: {} captures, {}",
+        store.page_count(),
+        sciflow_core::DataVolume::from_bytes(store.total_bytes())
+    );
 
     // --- 2. Retro-browse a page through time -----------------------------
     let url = &web.crawls[0].pages[0].url;
@@ -76,10 +82,8 @@ fn main() {
     let last = web.crawls.last().expect("at least one crawl");
     let n_prior: usize = web.crawls[..web.crawls.len() - 1].iter().map(|c| c.pages.len()).sum();
     let urls: Vec<String> = last.pages.iter().map(|p| p.url.clone()).collect();
-    let pairs: Vec<(i64, String)> = last_links
-        .iter()
-        .map(|(id, url)| (*id - n_prior as i64, url.clone()))
-        .collect();
+    let pairs: Vec<(i64, String)> =
+        last_links.iter().map(|(id, url)| (*id - n_prior as i64, url.clone())).collect();
     let graph = LinkGraph::build(urls, &pairs).expect("aligned ids");
     let stats = graph_stats(&graph);
     println!(

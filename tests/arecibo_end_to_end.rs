@@ -39,9 +39,11 @@ fn pointing_products_flow_into_database_and_eventstore() {
     let version = VersionId::new("Dedisp", "IT_06", d("20060704"), "CTC");
     let out = process_pointing(7, &beams, &pipe, version.clone());
     assert!(
-        out.confirmed
-            .iter()
-            .any(|c| harmonically_related(c.candidate.freq_hz, 1.0 / truth_period, 0.02)),
+        out.confirmed.iter().any(|c| harmonically_related(
+            c.candidate.freq_hz,
+            1.0 / truth_period,
+            0.02
+        )),
         "pulsar not confirmed"
     );
 
@@ -107,9 +109,5 @@ fn reprocessing_with_new_parameters_changes_the_digest() {
     // "Data products might be updated in the future, based on then available
     // better ... algorithms": the digests must distinguish the versions.
     assert_ne!(a.provenance.digest(), b.provenance.digest());
-    assert!(a
-        .provenance
-        .explain_discrepancy(&b.provenance)
-        .unwrap()
-        .contains("n_dm_trials"));
+    assert!(a.provenance.explain_discrepancy(&b.provenance).unwrap().contains("n_dm_trials"));
 }

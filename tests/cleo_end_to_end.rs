@@ -92,11 +92,7 @@ fn run_processing_analysis_and_eventstore_agree() {
         result.bytes_read
     );
     // The analysis step is recorded with its cuts.
-    assert!(result
-        .provenance
-        .canonical_strings()
-        .iter()
-        .any(|s| s.contains("min_tracks=3")));
+    assert!(result.provenance.canonical_strings().iter().any(|s| s.contains("min_tracks=3")));
 }
 
 #[test]

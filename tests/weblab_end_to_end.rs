@@ -96,15 +96,12 @@ fn preload_is_deterministic_in_content_across_worker_counts() {
         let mut db = Database::new();
         create_pages_table(&mut db).unwrap();
         let mut store = PageStore::new(1 << 22);
-        preload(&files, &mut db, &mut store, &PreloadConfig { workers, batch_size: 64 })
-            .unwrap();
+        preload(&files, &mut db, &mut store, &PreloadConfig { workers, batch_size: 64 }).unwrap();
         // Canonical view: sorted (url, size) pairs.
         let table = db.table("pages").unwrap();
         let mut rows: Vec<(String, i64)> = table
             .scan()
-            .map(|(_, r)| {
-                (r[1].as_text().unwrap().to_string(), r[5].as_int().unwrap())
-            })
+            .map(|(_, r)| (r[1].as_text().unwrap().to_string(), r[5].as_int().unwrap()))
             .collect();
         rows.sort();
         results.push((rows, store.total_bytes()));
