@@ -71,6 +71,10 @@ pub struct SimReport {
     pub peak_storage: DataVolume,
     /// Bytes permanently retained (archives plus retained inputs).
     pub retained_storage: DataVolume,
+    /// Storage-ledger frees that exceeded the current allocation. Always
+    /// zero for a correct simulation; a non-zero count flags a storage
+    /// accounting bug in whatever produced the report.
+    pub ledger_underflows: u64,
 }
 
 impl SimReport {
@@ -131,6 +135,9 @@ impl fmt::Display for SimReport {
             writeln!(f, "  sources ended at {end}, backlog then {backlog}")?;
         }
         writeln!(f, "  peak storage {}  retained {}", self.peak_storage, self.retained_storage)?;
+        if self.ledger_underflows > 0 {
+            writeln!(f, "  LEDGER UNDERFLOWS {} (storage accounting bug)", self.ledger_underflows)?;
+        }
         if self.total_faults() > 0 || self.total_retries() > 0 {
             writeln!(
                 f,
@@ -192,6 +199,7 @@ mod tests {
             pools: vec![],
             peak_storage: DataVolume::gib(1),
             retained_storage: DataVolume::ZERO,
+            ledger_underflows: 0,
         };
         assert!(report.stage("x").is_some());
         assert!(report.stage("y").is_none());

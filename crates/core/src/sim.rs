@@ -85,20 +85,27 @@ pub struct StorageLedger {
     peak: u64,
     /// Bytes retained permanently (archives, `retain_input` stages).
     retained: u64,
+    /// Frees that exceeded the current allocation. Always zero for a correct
+    /// simulation; counted (identically in debug and release builds) rather
+    /// than asserted so accounting bugs surface in reports instead of only
+    /// tripping `debug_assert!` in some build profiles.
+    underflow_events: u64,
 }
 
 impl StorageLedger {
-    fn alloc(&mut self, v: DataVolume) {
+    pub(crate) fn alloc(&mut self, v: DataVolume) {
         self.current += v.bytes();
         self.peak = self.peak.max(self.current);
     }
 
-    fn free(&mut self, v: DataVolume) {
-        debug_assert!(self.current >= v.bytes(), "ledger underflow");
+    pub(crate) fn free(&mut self, v: DataVolume) {
+        if self.current < v.bytes() {
+            self.underflow_events += 1;
+        }
         self.current = self.current.saturating_sub(v.bytes());
     }
 
-    fn retain(&mut self, v: DataVolume) {
+    pub(crate) fn retain(&mut self, v: DataVolume) {
         self.retained += v.bytes();
     }
 
@@ -112,6 +119,11 @@ impl StorageLedger {
 
     pub fn retained(&self) -> DataVolume {
         DataVolume::from_bytes(self.retained)
+    }
+
+    /// Number of frees that exceeded the allocation they released.
+    pub fn underflow_events(&self) -> u64 {
+        self.underflow_events
     }
 }
 
@@ -161,6 +173,24 @@ impl FlowSim {
         for name in graph.referenced_pools() {
             if !pool_map.contains_key(name) {
                 return Err(CoreError::UnknownPool { name: name.to_string() });
+            }
+        }
+        // A task wider than its whole pool would wait forever and silently
+        // stall the flow; reject it up front.
+        for id in graph.stage_ids() {
+            if let StageKind::Process { cpus_per_task, pool, .. } = &graph.stage(id).kind {
+                let total = pool_map[pool.as_str()].total;
+                if *cpus_per_task > total {
+                    return Err(CoreError::InvalidConfig {
+                        detail: format!(
+                            "stage `{}` needs {} cpus per task but pool `{}` has only {}",
+                            graph.stage(id).name,
+                            cpus_per_task,
+                            pool,
+                            total
+                        ),
+                    });
+                }
             }
         }
         let mut pending_emits = 0u64;
@@ -557,6 +587,7 @@ impl FlowSim {
             pools,
             peak_storage: self.ledger.peak(),
             retained_storage: self.ledger.retained(),
+            ledger_underflows: self.ledger.underflow_events(),
         }
     }
 }
@@ -645,6 +676,61 @@ mod tests {
             Err(other) => panic!("expected UnknownPool, got {other:?}"),
             Ok(_) => panic!("expected UnknownPool, got Ok"),
         }
+    }
+
+    #[test]
+    fn oversized_task_is_rejected_at_build_time() {
+        // A task needing more cpus than its whole pool would wait forever;
+        // the sim used to end "successfully" with the block still queued.
+        let mut g = FlowGraph::new();
+        let s = g.add_stage(
+            "src",
+            StageKind::Source {
+                block: DataVolume::gb(1),
+                interval: SimDuration::from_secs(1),
+                blocks: 1,
+                start: SimTime::ZERO,
+            },
+        );
+        let p = g.add_stage(
+            "wide",
+            StageKind::Process {
+                rate_per_cpu: DataRate::mb_per_sec(10.0),
+                cpus_per_task: 8,
+                chunk: None,
+                output_ratio: 1.0,
+                pool: "pool".into(),
+                workspace_ratio: 0.0,
+                retain_input: false,
+            },
+        );
+        g.connect(s, p).unwrap();
+        match FlowSim::new(g, vec![CpuPool::new("pool", 4)]) {
+            Err(CoreError::InvalidConfig { detail }) => {
+                assert!(detail.contains("wide"), "{detail}");
+                assert!(detail.contains("8"), "{detail}");
+            }
+            Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+            Ok(_) => panic!("expected InvalidConfig, got Ok"),
+        }
+    }
+
+    #[test]
+    fn ledger_underflow_is_counted_not_asserted() {
+        let mut ledger = StorageLedger::default();
+        ledger.alloc(DataVolume::gb(1));
+        ledger.free(DataVolume::gb(2));
+        assert_eq!(ledger.underflow_events(), 1);
+        assert_eq!(ledger.current(), DataVolume::ZERO);
+        ledger.free(DataVolume::gb(1));
+        assert_eq!(ledger.underflow_events(), 2);
+    }
+
+    #[test]
+    fn clean_runs_report_zero_underflows() {
+        let g = simple_graph(100.0, 0.5);
+        let report = FlowSim::new(g, vec![CpuPool::new("pool", 4)]).unwrap().run().unwrap();
+        assert_eq!(report.ledger_underflows, 0);
     }
 
     #[test]

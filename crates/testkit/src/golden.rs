@@ -1,0 +1,149 @@
+//! Golden-report snapshots: exact, committed renderings of [`SimReport`]s.
+//!
+//! A refactor of the flow engine is *behavior-preserving* exactly when every
+//! case-study flow still produces the same report, field for field, fault
+//! plan and all. [`canonical_report`] renders a report into a stable text
+//! form (integer micros and bytes; `{:?}` for `f64`, which is exact), and
+//! [`assert_matches_golden`] compares against a committed snapshot file —
+//! regenerate with `UPDATE_GOLDEN=1 cargo test`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use sciflow_core::metrics::SimReport;
+
+/// Environment variable that switches [`assert_matches_golden`] from
+/// comparing to rewriting the snapshot files.
+pub const UPDATE_GOLDEN_ENV: &str = "UPDATE_GOLDEN";
+
+/// Render a [`SimReport`] into a canonical, line-oriented text form.
+///
+/// Every field of the report appears: times and durations as integer
+/// microseconds, volumes as integer bytes, and `f64` counters through `{:?}`
+/// (the shortest round-tripping decimal, so equal text means equal bits).
+/// Two reports render identically iff they are equal.
+pub fn canonical_report(report: &SimReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "finished_at_us={}", report.finished_at.as_micros()).unwrap();
+    match report.source_end {
+        Some(t) => writeln!(out, "source_end_us={}", t.as_micros()).unwrap(),
+        None => writeln!(out, "source_end_us=none").unwrap(),
+    }
+    match report.backlog_at_source_end {
+        Some(v) => writeln!(out, "backlog_at_source_end_b={}", v.bytes()).unwrap(),
+        None => writeln!(out, "backlog_at_source_end_b=none").unwrap(),
+    }
+    writeln!(out, "peak_storage_b={}", report.peak_storage.bytes()).unwrap();
+    writeln!(out, "retained_storage_b={}", report.retained_storage.bytes()).unwrap();
+    writeln!(out, "ledger_underflows={}", report.ledger_underflows).unwrap();
+    for s in &report.stages {
+        writeln!(
+            out,
+            "stage {} blocks_in={} volume_in_b={} blocks_out={} volume_out_b={} busy_us={} \
+             max_queue_blocks={} max_queue_volume_b={} final_queue_volume_b={} completed_at_us={} \
+             retries={} faults={} blocks_failed={} volume_retransmitted_b={} volume_lost_b={}",
+            s.name,
+            s.blocks_in,
+            s.volume_in.bytes(),
+            s.blocks_out,
+            s.volume_out.bytes(),
+            s.busy.as_micros(),
+            s.max_queue_blocks,
+            s.max_queue_volume.bytes(),
+            s.final_queue_volume.bytes(),
+            s.completed_at.as_micros(),
+            s.retries,
+            s.faults,
+            s.blocks_failed,
+            s.volume_retransmitted.bytes(),
+            s.volume_lost.bytes(),
+        )
+        .unwrap();
+    }
+    for p in &report.pools {
+        writeln!(
+            out,
+            "pool {} cpus={} peak_in_use={} busy_cpu_secs={:?} utilization={:?}",
+            p.name, p.cpus, p.peak_in_use, p.busy_cpu_secs, p.utilization
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Assert that `report` renders exactly to the snapshot at `path`.
+///
+/// With `UPDATE_GOLDEN=1` in the environment the snapshot is (re)written
+/// instead and the assertion passes; commit the resulting file. Without it,
+/// a missing snapshot or any difference is a test failure whose message
+/// names the first divergent line.
+pub fn assert_matches_golden(path: impl AsRef<Path>, report: &SimReport) {
+    let path = path.as_ref();
+    let rendered = canonical_report(report);
+    if std::env::var(UPDATE_GOLDEN_ENV).is_ok_and(|v| !v.is_empty() && v != "0") {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create golden dir");
+        }
+        std::fs::write(path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with {UPDATE_GOLDEN_ENV}=1 to create it",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        let divergence = expected
+            .lines()
+            .zip(rendered.lines())
+            .enumerate()
+            .find(|(_, (e, g))| e != g)
+            .map(|(i, (e, g))| {
+                format!("first divergent line {}:\n  golden: {e}\n  actual: {g}", i + 1)
+            })
+            .unwrap_or_else(|| "reports differ in line count".to_string());
+        panic!(
+            "report does not match golden snapshot {}\n{divergence}\n\
+             (if the change is intentional, regenerate with {UPDATE_GOLDEN_ENV}=1)",
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sciflow_core::metrics::StageMetrics;
+    use sciflow_core::units::{DataVolume, SimTime};
+
+    fn report() -> SimReport {
+        SimReport {
+            finished_at: SimTime::from_micros(5),
+            source_end: None,
+            backlog_at_source_end: Some(DataVolume::ZERO),
+            stages: vec![StageMetrics { name: "x".into(), blocks_in: 2, ..Default::default() }],
+            pools: vec![],
+            peak_storage: DataVolume::gib(1),
+            retained_storage: DataVolume::ZERO,
+            ledger_underflows: 0,
+        }
+    }
+
+    #[test]
+    fn canonical_rendering_is_exact_and_stable() {
+        let a = canonical_report(&report());
+        let b = canonical_report(&report());
+        assert_eq!(a, b);
+        assert!(a.contains("finished_at_us=5"));
+        assert!(a.contains("source_end_us=none"));
+        assert!(a.contains("stage x blocks_in=2"));
+    }
+
+    #[test]
+    fn different_reports_render_differently() {
+        let mut other = report();
+        other.stages[0].blocks_in = 3;
+        assert_ne!(canonical_report(&report()), canonical_report(&other));
+    }
+}

@@ -18,11 +18,13 @@
 //!   a seeded scenario and requires byte-identical results.
 
 pub mod determinism;
+pub mod golden;
 pub mod invariants;
 pub mod rng;
 pub mod scenarios;
 
 pub use determinism::{assert_deterministic, report_fingerprint};
+pub use golden::{assert_matches_golden, canonical_report};
 pub use invariants::{
     assert_close, assert_duration_close, assert_flow_transfer_conservation,
     assert_monotone_attempts, assert_monotone_sim_time, assert_provenance_stability,

@@ -1,0 +1,145 @@
+//! Golden-report regression tests for the three case-study flows.
+//!
+//! Each default flow (and a seeded faulted variant of it) must render to the
+//! exact committed snapshot under `tests/golden/`. The snapshots were
+//! captured from the pre-refactor monolithic `FlowSim`, so these tests are
+//! the proof that the engine / stage-behavior / resource split is
+//! behavior-preserving: same seeds, same fault plans, identical reports.
+//!
+//! Regenerate (only for an *intentional* behavior change) with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_reports`.
+
+use std::path::PathBuf;
+
+use sciflow_arecibo::flow::{arecibo_flow_graph, AreciboFlowParams, CTC_POOL};
+use sciflow_cleo::flow::{cleo_flow_graph, CleoFlowParams, WILSON_POOL};
+use sciflow_core::fault::{FaultPlan, FaultProfile, RetryPolicy};
+use sciflow_core::metrics::SimReport;
+use sciflow_core::sim::{CpuPool, FlowSim};
+use sciflow_core::units::SimDuration;
+use sciflow_testkit::{assert_deterministic, assert_matches_golden};
+use sciflow_weblab::flow::{weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
+
+/// Seed shared by every golden fault plan.
+const GOLDEN_SEED: u64 = 42;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join(format!("{name}.txt"))
+}
+
+/// Disk shipments take days, so the Arecibo plan must be gentle enough that
+/// retries actually recover: about one drop a week against ~6.5-day
+/// shipments, plus stalls that stretch the dedispersion tasks.
+fn arecibo_faults() -> FaultPlan {
+    let profile = FaultProfile {
+        drops_per_day: 0.15,
+        stalls_per_day: 2.0,
+        mean_stall: SimDuration::from_mins(30),
+        corrupts_per_day: 0.05,
+        degrades_per_day: 0.2,
+        degrade_factor: 0.7,
+        mean_degrade: SimDuration::from_hours(2),
+    };
+    FaultPlan::generate(GOLDEN_SEED, SimDuration::from_days(90), &profile)
+}
+
+fn arecibo_report(faults: Option<FaultPlan>) -> SimReport {
+    let graph = arecibo_flow_graph(&AreciboFlowParams::default());
+    let pools = vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 150)];
+    let mut sim = FlowSim::new(graph, pools).expect("valid flow");
+    if let Some(plan) = faults {
+        sim = sim.with_faults(plan, RetryPolicy::default());
+    }
+    sim.run().expect("flow completes")
+}
+
+/// USB shipments are ~2.2 days door to door; drops every few days force
+/// some retransmission without abandoning whole shipments.
+fn cleo_faults() -> FaultPlan {
+    let profile = FaultProfile {
+        drops_per_day: 0.3,
+        stalls_per_day: 3.0,
+        mean_stall: SimDuration::from_mins(10),
+        corrupts_per_day: 0.1,
+        degrades_per_day: 0.5,
+        degrade_factor: 0.6,
+        mean_degrade: SimDuration::from_hours(1),
+    };
+    FaultPlan::generate(GOLDEN_SEED, SimDuration::from_days(30), &profile)
+}
+
+fn cleo_report(faults: Option<FaultPlan>) -> SimReport {
+    let graph = cleo_flow_graph(&CleoFlowParams::default());
+    let mut sim = FlowSim::new(graph, vec![CpuPool::new(WILSON_POOL, 32)]).expect("valid flow");
+    if let Some(plan) = faults {
+        sim = sim.with_faults(plan, RetryPolicy::default());
+    }
+    sim.run().expect("flow completes")
+}
+
+/// The WebLab link is the canonical flaky commodity link.
+fn weblab_faults() -> FaultPlan {
+    FaultPlan::generate(GOLDEN_SEED, SimDuration::from_days(30), &FaultProfile::flaky())
+}
+
+fn weblab_report(faults: Option<FaultPlan>) -> SimReport {
+    let graph = weblab_flow_graph(&WeblabFlowParams::default());
+    let mut sim = FlowSim::new(graph, vec![CpuPool::new(WEBLAB_POOL, 16)]).expect("valid flow");
+    if let Some(plan) = faults {
+        sim = sim.with_faults(plan, RetryPolicy::default());
+    }
+    sim.run().expect("flow completes")
+}
+
+#[test]
+fn arecibo_default_flow_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| arecibo_report(None));
+    assert_matches_golden(golden_path("arecibo_clean"), &report);
+}
+
+#[test]
+fn arecibo_faulted_flow_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| arecibo_report(Some(arecibo_faults())));
+    assert_matches_golden(golden_path("arecibo_faulted"), &report);
+}
+
+#[test]
+fn cleo_default_flow_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| cleo_report(None));
+    assert_matches_golden(golden_path("cleo_clean"), &report);
+}
+
+#[test]
+fn cleo_faulted_flow_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| cleo_report(Some(cleo_faults())));
+    assert_matches_golden(golden_path("cleo_faulted"), &report);
+}
+
+#[test]
+fn weblab_default_flow_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| weblab_report(None));
+    assert_matches_golden(golden_path("weblab_clean"), &report);
+}
+
+#[test]
+fn weblab_faulted_flow_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| weblab_report(Some(weblab_faults())));
+    assert_matches_golden(golden_path("weblab_faulted"), &report);
+}
+
+/// The faulted goldens must not be degenerate: faults and retries actually
+/// fired, and the flows still delivered data downstream.
+#[test]
+fn faulted_scenarios_are_non_degenerate() {
+    let arecibo = arecibo_report(Some(arecibo_faults()));
+    assert!(arecibo.total_faults() > 0, "arecibo plan never fired");
+    assert!(arecibo.stage("tape-archive").unwrap().blocks_in > 0, "nothing shipped");
+
+    let cleo = cleo_report(Some(cleo_faults()));
+    assert!(cleo.total_faults() > 0, "cleo plan never fired");
+    assert!(cleo.stage("collaboration-eventstore").unwrap().blocks_in > 0, "store got nothing");
+
+    let weblab = weblab_report(Some(weblab_faults()));
+    assert!(weblab.total_retries() > 0, "flaky link never retried");
+    assert!(weblab.stage("page-store").unwrap().blocks_in > 0, "no pages landed");
+}
