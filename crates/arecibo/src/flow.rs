@@ -9,8 +9,9 @@
 //! "overall about 50 to 200 processors would be needed to keep up with the
 //! flow of data".
 
-use sciflow_core::graph::{FlowGraph, StageKind};
-use sciflow_core::units::{DataRate, DataVolume, SimDuration, SimTime};
+use sciflow_core::graph::FlowGraph;
+use sciflow_core::spec::{FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
+use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
 /// Paper-scale parameters for the Arecibo flow.
 #[derive(Debug, Clone)]
@@ -23,6 +24,10 @@ pub struct AreciboFlowParams {
     /// latency (derived from `sciflow_simnet` plans).
     pub shipping_rate: DataRate,
     pub shipping_latency: SimDuration,
+    /// Crates of disks that may be in transit at once. One lane reproduces
+    /// the strictly serial historical channel; more lanes overlap shipments
+    /// when the loading dock, not the courier, is the constraint.
+    pub shipping_channels: u32,
     /// Per-CPU processing rates, calibrated so the basic analysis lands in
     /// the paper's 50–200 processor band at the survey data rate.
     pub dedisperse_rate_per_cpu: DataRate,
@@ -43,6 +48,7 @@ impl Default for AreciboFlowParams {
             // per-shipment latency.
             shipping_rate: DataRate::mb_per_sec(50.0),
             shipping_latency: SimDuration::from_hours(80),
+            shipping_channels: 1,
             dedisperse_rate_per_cpu: DataRate::mb_per_sec(0.35),
             search_rate_per_cpu: DataRate::mb_per_sec(0.7),
             product_ratio: 0.02,
@@ -66,83 +72,49 @@ pub const CTC_POOL: &str = "ctc";
 /// monitoring, disk shipping, tape archiving, dedispersion, search,
 /// meta-analysis consolidation, database load, and NVO-facing archive.
 pub fn arecibo_flow_graph(p: &AreciboFlowParams) -> FlowGraph {
-    let mut g = FlowGraph::new();
-    let acquire = g.add_stage(
-        "acquire",
-        StageKind::Source {
-            block: p.weekly_block,
-            interval: SimDuration::from_days(7),
-            blocks: p.weeks,
-            start: SimTime::ZERO,
-        },
-    );
-    // Local quality monitoring passes the data through quickly ("initial
-    // local processing for quality monitoring and for making preliminary
-    // discoveries").
-    let local_qa = g.add_stage(
-        "local-qa",
-        StageKind::Process {
-            rate_per_cpu: DataRate::mb_per_sec(60.0),
-            cpus_per_task: 4,
-            // No chunking: the weekly block ships as one crate of disks.
-            chunk: None,
-            output_ratio: 1.0,
-            pool: "observatory".into(),
-            workspace_ratio: 0.0,
-            retain_input: false,
-        },
-    );
-    let ship = g.add_stage(
-        "ship-disks",
-        StageKind::Transfer { rate: p.shipping_rate, latency: p.shipping_latency },
-    );
-    let tape = g.add_stage("tape-archive", StageKind::Archive);
-    let dedisperse = g.add_stage(
-        "dedisperse",
-        StageKind::Process {
-            rate_per_cpu: p.dedisperse_rate_per_cpu,
-            cpus_per_task: 1,
-            chunk: Some(p.pointing_volume()),
-            output_ratio: 1.0, // time series ≈ raw volume
-            pool: CTC_POOL.into(),
-            workspace_ratio: 0.15, // iterative processing scratch
-            retain_input: true,    // raw kept for reprocessing
-        },
-    );
-    let search = g.add_stage(
-        "search",
-        StageKind::Process {
-            rate_per_cpu: p.search_rate_per_cpu,
-            cpus_per_task: 1,
-            chunk: Some(p.pointing_volume()),
-            output_ratio: p.product_ratio,
-            pool: CTC_POOL.into(),
-            workspace_ratio: 0.0,
-            retain_input: false,
-        },
-    );
-    let meta = g.add_stage(
-        "meta-analysis",
-        StageKind::Process {
-            rate_per_cpu: DataRate::mb_per_sec(20.0),
-            cpus_per_task: 1,
-            chunk: None,
-            output_ratio: p.candidate_ratio,
-            pool: CTC_POOL.into(),
-            workspace_ratio: 0.0,
-            retain_input: true, // products are long-lived
-        },
-    );
-    let db = g.add_stage("ctc-database", StageKind::Archive);
-
-    g.connect(acquire, local_qa).expect("stages exist");
-    g.connect(local_qa, ship).expect("stages exist");
-    g.connect(ship, tape).expect("stages exist");
-    g.connect(ship, dedisperse).expect("stages exist");
-    g.connect(dedisperse, search).expect("stages exist");
-    g.connect(search, meta).expect("stages exist");
-    g.connect(meta, db).expect("stages exist");
-    g
+    FlowSpec::new()
+        .source("acquire", SourceSpec::new(p.weekly_block, SimDuration::from_days(7), p.weeks))
+        // Local quality monitoring passes the data through quickly ("initial
+        // local processing for quality monitoring and for making preliminary
+        // discoveries"). No chunking: the weekly block ships as one crate.
+        .process(
+            "local-qa",
+            ProcessSpec::new(DataRate::mb_per_sec(60.0), "observatory").cpus_per_task(4),
+            &["acquire"],
+        )
+        .transfer(
+            "ship-disks",
+            TransferSpec::new(p.shipping_rate)
+                .latency(p.shipping_latency)
+                .channels(p.shipping_channels),
+            &["local-qa"],
+        )
+        .archive("tape-archive", &["ship-disks"])
+        .process(
+            "dedisperse",
+            ProcessSpec::new(p.dedisperse_rate_per_cpu, CTC_POOL)
+                .chunk(p.pointing_volume())
+                .workspace_ratio(0.15) // iterative processing scratch
+                .retain_input(true), // raw kept for reprocessing; output ≈ raw
+            &["ship-disks"],
+        )
+        .process(
+            "search",
+            ProcessSpec::new(p.search_rate_per_cpu, CTC_POOL)
+                .chunk(p.pointing_volume())
+                .output_ratio(p.product_ratio),
+            &["dedisperse"],
+        )
+        .process(
+            "meta-analysis",
+            ProcessSpec::new(DataRate::mb_per_sec(20.0), CTC_POOL)
+                .output_ratio(p.candidate_ratio)
+                .retain_input(true), // products are long-lived
+            &["search"],
+        )
+        .archive("ctc-database", &["meta-analysis"])
+        .build()
+        .expect("arecibo flow spec is valid")
 }
 
 #[cfg(test)]
@@ -150,13 +122,16 @@ mod tests {
     use super::*;
     use sciflow_core::sim::{CpuPool, FlowSim};
 
-    fn run(weeks: u64, ctc_cpus: u32) -> sciflow_core::SimReport {
-        let params = AreciboFlowParams { weeks, ..AreciboFlowParams::default() };
-        let g = arecibo_flow_graph(&params);
+    fn run_params(params: &AreciboFlowParams, ctc_cpus: u32) -> sciflow_core::SimReport {
+        let g = arecibo_flow_graph(params);
         FlowSim::new(g, vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, ctc_cpus)])
             .expect("valid flow")
             .run()
             .expect("flow completes")
+    }
+
+    fn run(weeks: u64, ctc_cpus: u32) -> sciflow_core::SimReport {
+        run_params(&AreciboFlowParams { weeks, ..AreciboFlowParams::default() }, ctc_cpus)
     }
 
     #[test]
@@ -198,6 +173,34 @@ mod tests {
             starved_drain.as_days_f64() > 60.0,
             "10 cpus should fall far behind, drain {starved_drain}"
         );
+    }
+
+    #[test]
+    fn parallel_shipping_lanes_clear_a_slow_channel() {
+        // Halve the loading rate so one lane can no longer keep up with the
+        // weekly cadence (~9.8 days door to door per 14 TB crate): shipments
+        // queue behind the single channel.
+        let slow_lane = AreciboFlowParams {
+            weeks: 4,
+            shipping_rate: DataRate::mb_per_sec(25.0),
+            ..AreciboFlowParams::default()
+        };
+        let serial = run_params(&slow_lane, 150);
+        let parallel =
+            run_params(&AreciboFlowParams { shipping_channels: 3, ..slow_lane.clone() }, 150);
+        // Same data delivered either way.
+        assert_eq!(
+            serial.stage("tape-archive").unwrap().volume_in,
+            parallel.stage("tape-archive").unwrap().volume_in,
+        );
+        // Three crates in transit at once clear the backlog sooner.
+        let serial_done = serial.stage("ship-disks").unwrap().completed_at;
+        let parallel_done = parallel.stage("ship-disks").unwrap().completed_at;
+        assert!(
+            parallel_done < serial_done,
+            "parallel lanes should finish shipping sooner ({parallel_done} vs {serial_done})"
+        );
+        assert!(parallel.finished_at <= serial.finished_at);
     }
 
     #[test]

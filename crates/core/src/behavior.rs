@@ -1,0 +1,593 @@
+//! The stage-behavior layer: what each kind of stage *does*.
+//!
+//! The engine ([`crate::engine`]) moves events; the resource layer
+//! ([`crate::resource`]) counts capacity; this layer holds the semantics in
+//! between. Each [`StageKind`](crate::graph::StageKind) has one
+//! [`StageBehavior`] implementation owning that stage's private state (its
+//! queue, its transport parameters) and reacting to three hooks:
+//!
+//! * [`StageBehavior::on_arrive`] — a block reached the stage;
+//! * [`StageBehavior::on_complete`] — work the stage scheduled finished
+//!   (a task, a delivery, a retry timer, an inspection);
+//! * [`StageBehavior::try_dispatch`] — the stage may start queued work if
+//!   its resource has capacity.
+//!
+//! Adding a stage kind is adding one `StageBehavior` impl plus a
+//! constructor arm in the simulator — the run loop never matches on kinds.
+//!
+//! Fault injection and retry/backoff live entirely inside the behaviors
+//! that are exposed to faults (`Transfer` rides out drops and stalls with
+//! retries; `Process` tasks are stretched by stalls); the engine and the
+//! orchestrator know nothing about faults.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+
+use crate::engine::Scheduler;
+use crate::fault::{FaultPlan, RetryPolicy};
+use crate::graph::{FlowGraph, StageId};
+use crate::metrics::StageMetrics;
+use crate::resource::{ResourceId, ResourceSet, StorageLedger};
+use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
+
+/// The one event type flowing through the engine. Everything the simulator
+/// does is either a block arriving somewhere or some scheduled work
+/// completing there.
+#[derive(Debug)]
+pub enum FlowEvent {
+    /// A block of `volume` arrives at `stage`.
+    Arrive { stage: StageId, volume: DataVolume },
+    /// Work previously scheduled by `stage` completes.
+    Complete { stage: StageId, done: Completion },
+}
+
+/// What kind of work completed at a stage.
+#[derive(Debug)]
+pub enum Completion {
+    /// A source's next block is due.
+    Produced,
+    /// A processing task finishes: `input` consumed, `held` working space to
+    /// release, `cpus` to return to the pool.
+    Task { input: DataVolume, held: DataVolume, cpus: u32 },
+    /// A transfer delivers `volume` downstream.
+    Delivered { volume: DataVolume },
+    /// A retry of a faulted transfer begins (`attempt` is 0-based).
+    Attempt { volume: DataVolume, attempt: u32 },
+    /// A transfer abandons `volume` after exhausting its retry budget.
+    Abandoned { volume: DataVolume },
+    /// A filter finishes inspecting `volume`.
+    Inspected { volume: DataVolume },
+}
+
+/// Outcome of a [`StageBehavior::try_dispatch`] call, driving the
+/// orchestrator's resource drain loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// A task was started; `more` says whether work is still queued.
+    Started { more: bool },
+    /// Nothing queued to dispatch.
+    Idle,
+    /// Work is queued but the resource lacks capacity; retry after a release.
+    Blocked,
+}
+
+/// Fault-injection state: the seeded timeline, the retry policy, and the
+/// RNG that draws backoff jitter (seeded from the plan, so replays agree).
+pub(crate) struct FaultCtx {
+    pub(crate) plan: FaultPlan,
+    pub(crate) policy: RetryPolicy,
+    pub(crate) rng: StdRng,
+}
+
+/// Deferred effects a hook hands back to the orchestrator: resource drains
+/// must run after the current behavior is back in place (they may dispatch
+/// *other* stages sharing the resource), and source-emission bookkeeping is
+/// flow-global.
+#[derive(Default)]
+pub(crate) struct DeferredFx {
+    pub(crate) drains: Vec<ResourceId>,
+    pub(crate) source_emits: u64,
+}
+
+/// Everything a behavior may touch while handling a hook: the clock and
+/// event queue, its own metrics, the storage ledger, the resource set, and
+/// the fault state. Constructed by the simulator for each hook invocation.
+pub struct StageCtx<'a> {
+    stage: StageId,
+    graph: &'a FlowGraph,
+    sched: &'a mut Scheduler<FlowEvent>,
+    metrics: &'a mut [StageMetrics],
+    ledger: &'a mut StorageLedger,
+    resources: &'a mut ResourceSet,
+    faults: &'a mut Option<FaultCtx>,
+    fx: &'a mut DeferredFx,
+}
+
+impl<'a> StageCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        stage: StageId,
+        graph: &'a FlowGraph,
+        sched: &'a mut Scheduler<FlowEvent>,
+        metrics: &'a mut [StageMetrics],
+        ledger: &'a mut StorageLedger,
+        resources: &'a mut ResourceSet,
+        faults: &'a mut Option<FaultCtx>,
+        fx: &'a mut DeferredFx,
+    ) -> Self {
+        StageCtx { stage, graph, sched, metrics, ledger, resources, faults, fx }
+    }
+
+    /// The stage this context is scoped to.
+    pub fn stage(&self) -> StageId {
+        self.stage
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Metrics of the current stage.
+    pub fn metrics(&mut self) -> &mut StageMetrics {
+        &mut self.metrics[self.stage.index()]
+    }
+
+    /// The flow-wide storage ledger.
+    pub fn ledger(&mut self) -> &mut StorageLedger {
+        self.ledger
+    }
+
+    /// The resource set (pools and channels).
+    pub fn resources(&mut self) -> &mut ResourceSet {
+        self.resources
+    }
+
+    /// Whether a fault plan is active for this run.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    pub(crate) fn faults(&mut self) -> Option<&mut FaultCtx> {
+        self.faults.as_mut()
+    }
+
+    /// Schedule a [`Completion`] for the current stage at `at`.
+    pub fn complete_at(&mut self, at: SimTime, done: Completion) {
+        self.sched.schedule(at, FlowEvent::Complete { stage: self.stage, done });
+    }
+
+    /// Fan a block out to every downstream stage, arriving now (each
+    /// consumer receives the full block, as when raw data go both to archive
+    /// and to processing).
+    pub fn deliver(&mut self, volume: DataVolume) {
+        let now = self.sched.now();
+        for &t in self.graph.downstream(self.stage) {
+            self.sched.schedule(now, FlowEvent::Arrive { stage: t, volume });
+        }
+    }
+
+    /// Ask the orchestrator to drain `rid`'s waiter queue once the current
+    /// hook returns (dispatching may start tasks on *other* stages).
+    pub fn request_drain(&mut self, rid: ResourceId) {
+        self.fx.drains.push(rid);
+    }
+
+    /// Record that a source emitted a block (drives flow-global end-of-input
+    /// bookkeeping in the orchestrator).
+    pub fn note_source_emit(&mut self) {
+        self.fx.source_emits += 1;
+    }
+}
+
+/// Per-kind stage semantics. One implementation per
+/// [`StageKind`](crate::graph::StageKind); instances own all per-stage
+/// mutable state.
+pub trait StageBehavior {
+    /// Schedule any initial events (sources schedule their first block).
+    fn seed(&mut self, _ctx: &mut StageCtx) {}
+
+    /// A block of `volume` arrived. The orchestrator has already allocated
+    /// it in the ledger and counted it in the stage's input metrics.
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume);
+
+    /// Work previously scheduled via [`StageCtx::complete_at`] finished.
+    fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion);
+
+    /// Start queued work if resources allow. Called by the orchestrator's
+    /// drain loop for stages waiting on a shared resource.
+    fn try_dispatch(&mut self, _ctx: &mut StageCtx) -> Dispatch {
+        Dispatch::Idle
+    }
+
+    /// Volume currently queued at this stage (for backlog accounting).
+    fn queued_volume(&self) -> DataVolume {
+        DataVolume::ZERO
+    }
+}
+
+/// Emits `blocks` blocks of `block` bytes, one every `interval`.
+pub struct SourceBehavior {
+    block: DataVolume,
+    interval: SimDuration,
+    blocks: u64,
+    start: SimTime,
+}
+
+impl SourceBehavior {
+    pub(crate) fn new(
+        block: DataVolume,
+        interval: SimDuration,
+        blocks: u64,
+        start: SimTime,
+    ) -> Self {
+        SourceBehavior { block, interval, blocks, start }
+    }
+}
+
+impl StageBehavior for SourceBehavior {
+    fn seed(&mut self, ctx: &mut StageCtx) {
+        if self.blocks > 0 {
+            ctx.complete_at(self.start, Completion::Produced);
+        }
+    }
+
+    fn on_arrive(&mut self, _ctx: &mut StageCtx, _volume: DataVolume) {
+        unreachable!("validated graphs have no edges into sources")
+    }
+
+    fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion) {
+        match done {
+            Completion::Produced => {}
+            other => unreachable!("source completion must be Produced, got {other:?}"),
+        }
+        let m = ctx.metrics();
+        m.blocks_out += 1;
+        m.volume_out += self.block;
+        let emitted = m.blocks_out;
+        ctx.deliver(self.block);
+        ctx.note_source_emit();
+        if emitted < self.blocks {
+            ctx.complete_at(self.start + self.interval * emitted, Completion::Produced);
+        }
+    }
+}
+
+/// Consumes blocks with CPUs from a shared pool, emitting scaled output.
+pub struct ProcessBehavior {
+    rate_per_cpu: DataRate,
+    cpus_per_task: u32,
+    chunk: Option<DataVolume>,
+    output_ratio: f64,
+    workspace_ratio: f64,
+    retain_input: bool,
+    pool: ResourceId,
+    queue: VecDeque<DataVolume>,
+    queued_volume: DataVolume,
+}
+
+impl ProcessBehavior {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rate_per_cpu: DataRate,
+        cpus_per_task: u32,
+        chunk: Option<DataVolume>,
+        output_ratio: f64,
+        workspace_ratio: f64,
+        retain_input: bool,
+        pool: ResourceId,
+    ) -> Self {
+        ProcessBehavior {
+            rate_per_cpu,
+            cpus_per_task,
+            chunk,
+            output_ratio,
+            workspace_ratio,
+            retain_input,
+            pool,
+            queue: VecDeque::new(),
+            queued_volume: DataVolume::ZERO,
+        }
+    }
+}
+
+impl StageBehavior for ProcessBehavior {
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume) {
+        // Data-parallel stages split blocks into independent tasks.
+        match self.chunk {
+            Some(c) if !c.is_zero() && volume > c => {
+                let mut remaining = volume;
+                while remaining > DataVolume::ZERO {
+                    let piece = remaining.min(c);
+                    self.queue.push_back(piece);
+                    remaining -= piece;
+                }
+            }
+            _ => self.queue.push_back(volume),
+        }
+        self.queued_volume += volume;
+        let (blocks, qv) = (self.queue.len(), self.queued_volume);
+        ctx.metrics().note_queue(blocks, qv);
+        let stage = ctx.stage();
+        ctx.resources().enlist(self.pool, stage);
+        ctx.request_drain(self.pool);
+    }
+
+    fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion) {
+        let Completion::Task { input, held, cpus } = done else {
+            unreachable!("process completion must be Task")
+        };
+        ctx.ledger().free(held);
+        if self.retain_input {
+            ctx.ledger().retain(input);
+        } else {
+            ctx.ledger().free(input);
+        }
+        let output = input.scale(self.output_ratio);
+        let now = ctx.now();
+        let m = ctx.metrics();
+        m.blocks_out += 1;
+        m.volume_out += output;
+        m.completed_at = now;
+        if !output.is_zero() {
+            ctx.deliver(output);
+        }
+        ctx.resources().release(self.pool, cpus);
+        if !self.queue.is_empty() {
+            let stage = ctx.stage();
+            ctx.resources().enlist(self.pool, stage);
+        }
+        ctx.request_drain(self.pool);
+    }
+
+    fn try_dispatch(&mut self, ctx: &mut StageCtx) -> Dispatch {
+        if ctx.resources().free(self.pool) < self.cpus_per_task {
+            return Dispatch::Blocked; // head-of-line blocks until cpus free up
+        }
+        let Some(input) = self.queue.pop_front() else { return Dispatch::Idle };
+        self.queued_volume -= input;
+        ctx.resources().acquire(self.pool, self.cpus_per_task);
+        let aggregate = self.rate_per_cpu * (self.cpus_per_task as f64);
+        let mut dur = input.time_at(aggregate).unwrap_or(SimDuration::ZERO);
+        // Injected stalls freeze the task while its cpus stay held.
+        let mut stalls = 0u32;
+        let now = ctx.now();
+        if let Some(f) = ctx.faults() {
+            let (stalled, n) = f.plan.stalled_duration(now, dur);
+            dur = stalled;
+            stalls = n;
+        }
+        ctx.resources().note_busy(self.pool, dur.as_secs_f64() * self.cpus_per_task as f64);
+        // Working space held during the task: scratch plus output estimate.
+        let held = input.scale(self.workspace_ratio) + input.scale(self.output_ratio);
+        ctx.ledger().alloc(held);
+        let m = ctx.metrics();
+        m.busy += dur;
+        m.faults += stalls as u64;
+        ctx.complete_at(now + dur, Completion::Task { input, held, cpus: self.cpus_per_task });
+        Dispatch::Started { more: !self.queue.is_empty() }
+    }
+
+    fn queued_volume(&self) -> DataVolume {
+        self.queued_volume
+    }
+}
+
+/// Moves blocks across a channel resource, riding out injected faults with
+/// bounded retries.
+pub struct TransferBehavior {
+    rate: DataRate,
+    latency: SimDuration,
+    channel: ResourceId,
+    queue: VecDeque<DataVolume>,
+    queued_volume: DataVolume,
+}
+
+impl TransferBehavior {
+    pub(crate) fn new(rate: DataRate, latency: SimDuration, channel: ResourceId) -> Self {
+        TransferBehavior {
+            rate,
+            latency,
+            channel,
+            queue: VecDeque::new(),
+            queued_volume: DataVolume::ZERO,
+        }
+    }
+
+    /// Run one attempt of an in-flight transfer against the fault plan (if
+    /// any): on success schedule delivery, on a fault either back off and
+    /// retry or — once the budget is spent — give the block up.
+    fn begin_attempt(&mut self, ctx: &mut StageCtx, volume: DataVolume, attempt: u32) {
+        let (rate, latency) = (self.rate, self.latency);
+        let now = ctx.now();
+        if !ctx.has_faults() {
+            let dur = latency + volume.time_at(rate).unwrap_or(SimDuration::ZERO);
+            ctx.metrics().busy += dur;
+            ctx.complete_at(now + dur, Completion::Delivered { volume });
+            return;
+        }
+        let f = ctx.faults().expect("fault plan present");
+        let effective = rate * f.plan.degrade_factor_at(now);
+        let degraded = effective.bytes_per_sec() < rate.bytes_per_sec();
+        let base = latency + volume.time_at(effective).unwrap_or(SimDuration::ZERO);
+        let outcome = f.plan.attempt_outcome(now, base, f.policy.attempt_timeout);
+        let backoff = if outcome.failure.is_some() && attempt < f.policy.max_retries {
+            Some(f.policy.backoff(attempt, &mut f.rng))
+        } else {
+            None
+        };
+        let m = ctx.metrics();
+        m.faults += outcome.faults_hit() + u64::from(degraded);
+        m.busy += outcome.ends_at.checked_sub(now).unwrap_or(SimDuration::ZERO);
+        match (outcome.failure, backoff) {
+            (None, _) => ctx.complete_at(outcome.ends_at, Completion::Delivered { volume }),
+            (Some(_), Some(wait)) => {
+                let m = ctx.metrics();
+                m.retries += 1;
+                m.volume_retransmitted += volume;
+                ctx.complete_at(
+                    outcome.ends_at + wait,
+                    Completion::Attempt { volume, attempt: attempt + 1 },
+                );
+            }
+            (Some(_), None) => ctx.complete_at(outcome.ends_at, Completion::Abandoned { volume }),
+        }
+    }
+}
+
+impl StageBehavior for TransferBehavior {
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume) {
+        self.queue.push_back(volume);
+        self.queued_volume += volume;
+        let (blocks, qv) = (self.queue.len(), self.queued_volume);
+        ctx.metrics().note_queue(blocks, qv);
+        self.try_dispatch(ctx);
+    }
+
+    fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion) {
+        match done {
+            Completion::Delivered { volume } => {
+                ctx.resources().release(self.channel, 1);
+                let now = ctx.now();
+                let m = ctx.metrics();
+                m.blocks_out += 1;
+                m.volume_out += volume;
+                m.completed_at = now;
+                ctx.ledger().free(volume); // handed to the consumer, who re-allocates
+                ctx.deliver(volume);
+                self.try_dispatch(ctx);
+            }
+            Completion::Attempt { volume, attempt } => self.begin_attempt(ctx, volume, attempt),
+            Completion::Abandoned { volume } => {
+                ctx.resources().release(self.channel, 1);
+                let m = ctx.metrics();
+                m.blocks_failed += 1;
+                m.volume_lost += volume;
+                ctx.ledger().free(volume); // the abandoned block's buffer is released
+                self.try_dispatch(ctx);
+            }
+            other => unreachable!(
+                "transfer completion must be Delivered/Attempt/Abandoned, got {other:?}"
+            ),
+        }
+    }
+
+    fn try_dispatch(&mut self, ctx: &mut StageCtx) -> Dispatch {
+        let mut started = false;
+        while ctx.resources().free(self.channel) > 0 {
+            let Some(volume) = self.queue.pop_front() else { break };
+            self.queued_volume -= volume;
+            ctx.resources().acquire(self.channel, 1);
+            self.begin_attempt(ctx, volume, 0);
+            started = true;
+        }
+        if started {
+            Dispatch::Started { more: !self.queue.is_empty() }
+        } else if self.queue.is_empty() {
+            Dispatch::Idle
+        } else {
+            Dispatch::Blocked
+        }
+    }
+
+    fn queued_volume(&self) -> DataVolume {
+        self.queued_volume
+    }
+}
+
+/// Inspects blocks in real time and forwards only the accepted fraction
+/// (an online trigger, like the CMS first-level filter).
+pub struct FilterBehavior {
+    rate: DataRate,
+    accept_ratio: f64,
+    channel: ResourceId,
+    queue: VecDeque<DataVolume>,
+    queued_volume: DataVolume,
+}
+
+impl FilterBehavior {
+    pub(crate) fn new(rate: DataRate, accept_ratio: f64, channel: ResourceId) -> Self {
+        FilterBehavior {
+            rate,
+            accept_ratio,
+            channel,
+            queue: VecDeque::new(),
+            queued_volume: DataVolume::ZERO,
+        }
+    }
+}
+
+impl StageBehavior for FilterBehavior {
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume) {
+        self.queue.push_back(volume);
+        self.queued_volume += volume;
+        let (blocks, qv) = (self.queue.len(), self.queued_volume);
+        ctx.metrics().note_queue(blocks, qv);
+        self.try_dispatch(ctx);
+    }
+
+    fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion) {
+        let Completion::Inspected { volume } = done else {
+            unreachable!("filter completion must be Inspected")
+        };
+        ctx.resources().release(self.channel, 1);
+        let accepted = volume.scale(self.accept_ratio);
+        let now = ctx.now();
+        let m = ctx.metrics();
+        m.blocks_out += 1;
+        m.volume_out += accepted;
+        m.completed_at = now;
+        // The whole block's buffer is released; the accepted fraction is
+        // re-allocated by whoever receives it, the rejected rest is gone.
+        ctx.ledger().free(volume);
+        if !accepted.is_zero() {
+            ctx.deliver(accepted);
+        }
+        self.try_dispatch(ctx);
+    }
+
+    fn try_dispatch(&mut self, ctx: &mut StageCtx) -> Dispatch {
+        let mut started = false;
+        while ctx.resources().free(self.channel) > 0 {
+            let Some(volume) = self.queue.pop_front() else { break };
+            self.queued_volume -= volume;
+            ctx.resources().acquire(self.channel, 1);
+            let dur = volume.time_at(self.rate).unwrap_or(SimDuration::ZERO);
+            let now = ctx.now();
+            ctx.metrics().busy += dur;
+            ctx.complete_at(now + dur, Completion::Inspected { volume });
+            started = true;
+        }
+        if started {
+            Dispatch::Started { more: !self.queue.is_empty() }
+        } else if self.queue.is_empty() {
+            Dispatch::Idle
+        } else {
+            Dispatch::Blocked
+        }
+    }
+
+    fn queued_volume(&self) -> DataVolume {
+        self.queued_volume
+    }
+}
+
+/// Terminal stage: accumulates and permanently retains everything.
+pub struct ArchiveBehavior;
+
+impl StageBehavior for ArchiveBehavior {
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume) {
+        let now = ctx.now();
+        let m = ctx.metrics();
+        m.volume_out += volume;
+        m.blocks_out += 1;
+        m.completed_at = now;
+        // Archive holds its contents; allocation is permanent.
+        ctx.ledger().retain(volume);
+    }
+
+    fn on_complete(&mut self, _ctx: &mut StageCtx, done: Completion) {
+        unreachable!("archives schedule no completions, got {done:?}")
+    }
+}

@@ -1,0 +1,174 @@
+//! The execution engine: a deterministic discrete-event core.
+//!
+//! This layer owns exactly three things — the simulated clock, the event
+//! heap, and the run loop — and is generic over *what the events mean*. It
+//! never inspects stage kinds, resources, or payload contents; all of that
+//! lives in the stage-behavior layer ([`crate::behavior`]) behind an
+//! [`EventHandler`]. The split mirrors the workflow-system literature's
+//! separation of execution engine from task model: new stage shapes plug in
+//! as behaviors without touching the loop below.
+//!
+//! Determinism contract: events fire in `(time, sequence)` order, where the
+//! sequence number records scheduling order. Two runs that schedule the same
+//! events in the same order replay identically.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::error::{CoreError, CoreResult};
+use crate::units::SimTime;
+
+/// Handles events popped by [`Engine::run`]. The handler schedules follow-on
+/// events through the [`Scheduler`] it is handed.
+pub trait EventHandler {
+    type Event;
+    fn handle(&mut self, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// The clock plus the pending-event heap. Handlers use it to read the
+/// current time and schedule future events; the engine uses it to advance.
+pub struct Scheduler<E> {
+    /// `(time, sequence, payload index)`; sequence breaks ties in scheduling
+    /// order, which makes the pop order deterministic.
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    payloads: Vec<Option<E>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler { heap: BinaryHeap::new(), payloads: Vec::new(), now: SimTime::ZERO, seq: 0 }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Enqueue `ev` to fire at `at`. Events at equal times fire in the order
+    /// they were scheduled.
+    pub fn schedule(&mut self, at: SimTime, ev: E) {
+        let idx = self.payloads.len();
+        self.payloads.push(Some(ev));
+        self.heap.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((at, _, idx)) = self.heap.pop()?;
+        let ev = self.payloads[idx].take().expect("event consumed twice");
+        Some((at, ev))
+    }
+}
+
+/// The run loop: pops events in deterministic order, advances the clock, and
+/// dispatches to the handler until the heap drains (or the safety cap trips).
+pub struct Engine<E> {
+    sched: Scheduler<E>,
+    max_events: u64,
+}
+
+impl<E> Engine<E> {
+    /// An engine with the default runaway-event cap of fifty million.
+    pub fn new() -> Self {
+        Engine { sched: Scheduler::new(), max_events: 50_000_000 }
+    }
+
+    /// Override the runaway-event safety cap.
+    pub fn with_max_events(mut self, cap: u64) -> Self {
+        self.max_events = cap;
+        self
+    }
+
+    /// Scheduler access for seeding initial events before [`Engine::run`].
+    pub fn scheduler(&mut self) -> &mut Scheduler<E> {
+        &mut self.sched
+    }
+
+    /// Run to quiescence; returns the time of the last event handled.
+    pub fn run<H: EventHandler<Event = E>>(mut self, handler: &mut H) -> CoreResult<SimTime> {
+        let mut handled = 0u64;
+        while let Some((at, ev)) = self.sched.pop() {
+            handled += 1;
+            if handled > self.max_events {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("event cap of {} exceeded; flow is diverging", self.max_events),
+                });
+            }
+            self.sched.now = at;
+            handler.handle(ev, &mut self.sched);
+        }
+        Ok(self.sched.now)
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::SimDuration;
+
+    /// A handler that records firing order and chains follow-up events.
+    struct Recorder {
+        fired: Vec<(u64, u32)>,
+    }
+
+    impl EventHandler for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+            self.fired.push((sched.now().as_micros(), ev));
+            if ev == 1 {
+                // Chain one event at the same timestamp and one later.
+                sched.schedule(sched.now(), 10);
+                sched.schedule(sched.now() + SimDuration::from_secs(1), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_then_schedule_order() {
+        let mut engine = Engine::new();
+        let t = SimTime::from_micros;
+        engine.scheduler().schedule(t(5), 2);
+        engine.scheduler().schedule(t(1), 1);
+        engine.scheduler().schedule(t(5), 3); // same time as `2`, scheduled later
+        let mut h = Recorder { fired: Vec::new() };
+        let end = engine.run(&mut h).unwrap();
+        // `1` fires first, chains `10` (same instant) and `11` (at 1 s).
+        assert_eq!(h.fired, vec![(1, 1), (1, 10), (5, 2), (5, 3), (1_000_001, 11)]);
+        assert_eq!(end, t(1_000_001));
+    }
+
+    #[test]
+    fn event_cap_stops_runaway_chains() {
+        struct Loops;
+        impl EventHandler for Loops {
+            type Event = ();
+            fn handle(&mut self, _ev: (), sched: &mut Scheduler<()>) {
+                sched.schedule(sched.now(), ());
+            }
+        }
+        let mut engine = Engine::new().with_max_events(100);
+        engine.scheduler().schedule(SimTime::ZERO, ());
+        assert!(matches!(engine.run(&mut Loops), Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn empty_engine_finishes_at_time_zero() {
+        let engine: Engine<()> = Engine::default();
+        struct Never;
+        impl EventHandler for Never {
+            type Event = ();
+            fn handle(&mut self, _: (), _: &mut Scheduler<()>) {
+                unreachable!("no events were scheduled")
+            }
+        }
+        assert_eq!(engine.run(&mut Never).unwrap(), SimTime::ZERO);
+    }
+}

@@ -51,9 +51,17 @@ pub enum StageKind {
         workspace_ratio: f64,
         retain_input: bool,
     },
-    /// A serial channel (network link or physical shipment lane): one block
-    /// at a time, `latency + volume / rate` per block.
-    Transfer { rate: DataRate, latency: SimDuration },
+    /// A transport channel (network link or physical shipment lane):
+    /// `latency + volume / rate` per block, with up to `channels` blocks in
+    /// flight at once. `channels: 1` is a strictly serial link; a disk
+    /// shipping lane with several crates in transit uses `channels > 1`.
+    Transfer { rate: DataRate, latency: SimDuration, channels: u32 },
+    /// An online trigger/filter: inspects each block at `rate` (one block at
+    /// a time, in real time) and forwards only `accept_ratio` of its volume;
+    /// the rest is discarded immediately. Models selection stages like the
+    /// CMS first-level trigger, where data streams to tape at 200 MB/s only
+    /// after substantial real-time filtering.
+    Filter { rate: DataRate, accept_ratio: f64 },
     /// Terminal stage that accumulates everything it receives (tape archive,
     /// database load, dissemination store).
     Archive,

@@ -13,11 +13,17 @@
 //! in:
 //!
 //! * [`units`] — data volumes, data rates, and simulated time;
-//! * [`graph`] — typed DAGs of sources, processing stages, transfers and
-//!   archives (the shape of the paper's Figures 1 and 2);
+//! * [`graph`] — typed DAGs of sources, processing stages, transfers,
+//!   filters and archives (the shape of the paper's Figures 1 and 2);
+//! * [`spec`] — a declarative builder ([`spec::FlowSpec`]) that wires those
+//!   DAGs by stage name, used by all three case-study crates;
 //! * [`sim`] — a discrete-event simulator that executes a flow graph against
 //!   shared CPU pools and reports throughput, backlog, utilisation and
-//!   instantaneous storage;
+//!   instantaneous storage; it is a thin orchestrator over three layers:
+//!   [`engine`] (the deterministic event loop), [`behavior`] (per-kind stage
+//!   semantics behind the [`behavior::StageBehavior`] trait), and
+//!   [`resource`] (shared pools and channels with a pluggable
+//!   [`resource::SchedPolicy`]);
 //! * [`fault`] — seeded, replayable fault timelines (drops, stalls,
 //!   corruption, rate degradation) and bounded retry/backoff policies that
 //!   the simulator and `simnet`'s reliable executor share;
@@ -30,30 +36,32 @@
 //! ## Quick example
 //!
 //! ```
-//! use sciflow_core::graph::{FlowGraph, StageKind};
 //! use sciflow_core::sim::{CpuPool, FlowSim};
-//! use sciflow_core::units::{DataRate, DataVolume, SimDuration, SimTime};
+//! use sciflow_core::spec::{FlowSpec, SourceSpec, TransferSpec};
+//! use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 //!
 //! // A one-week Arecibo observing block flowing to the Cornell Theory Center.
-//! let mut g = FlowGraph::new();
-//! let acquire = g.add_stage("acquire", StageKind::Source {
-//!     block: DataVolume::tb(14),
-//!     interval: SimDuration::from_days(7),
-//!     blocks: 4,
-//!     start: SimTime::ZERO,
-//! });
-//! let ship = g.add_stage("ship-disks", StageKind::Transfer {
-//!     rate: DataRate::tb_per_day(14.0 / 3.0), // 14 TB takes ~3 days door to door
-//!     latency: SimDuration::from_days(1),
-//! });
-//! let archive = g.add_stage("tape-archive", StageKind::Archive);
-//! g.connect(acquire, ship).unwrap();
-//! g.connect(ship, archive).unwrap();
+//! let graph = FlowSpec::new()
+//!     .source(
+//!         "acquire",
+//!         SourceSpec::new(DataVolume::tb(14), SimDuration::from_days(7), 4),
+//!     )
+//!     .transfer(
+//!         "ship-disks",
+//!         TransferSpec::new(DataRate::tb_per_day(14.0 / 3.0)) // ~3 days door to door
+//!             .latency(SimDuration::from_days(1)),
+//!         &["acquire"],
+//!     )
+//!     .archive("tape-archive", &["ship-disks"])
+//!     .build()
+//!     .unwrap();
 //!
-//! let report = FlowSim::new(g, vec![CpuPool::new("ctc", 64)]).unwrap().run().unwrap();
+//! let report = FlowSim::new(graph, vec![CpuPool::new("ctc", 64)]).unwrap().run().unwrap();
 //! assert_eq!(report.stage("tape-archive").unwrap().volume_in, DataVolume::tb(56));
 //! ```
 
+pub mod behavior;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod graph;
@@ -61,10 +69,14 @@ pub mod md5;
 pub mod metrics;
 pub mod product;
 pub mod provenance;
+pub mod resource;
 pub mod sim;
+pub mod spec;
 pub mod units;
 pub mod version;
 
+pub use behavior::{Completion, Dispatch, FlowEvent, StageBehavior, StageCtx};
+pub use engine::{Engine, EventHandler, Scheduler};
 pub use error::{CoreError, CoreResult};
 pub use fault::{
     AttemptFailure, AttemptOutcome, FaultEvent, FaultKind, FaultPlan, FaultProfile, RetryPolicy,
@@ -73,6 +85,8 @@ pub use graph::{FlowGraph, StageId, StageKind};
 pub use metrics::{PoolMetrics, SimReport, StageMetrics};
 pub use product::{DataProduct, ProductKind};
 pub use provenance::{ProvenanceRecord, ProvenanceStep};
+pub use resource::{ResourceId, ResourceSet, SchedPolicy, StorageLedger};
 pub use sim::{CpuPool, FlowSim};
+pub use spec::{FilterSpec, FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
 pub use units::{DataRate, DataVolume, SimDuration, SimTime};
 pub use version::{CalDate, VersionId};

@@ -1,0 +1,325 @@
+//! The resource layer: capacity that stages contend for.
+//!
+//! The paper's capacity questions ("about 50 to 200 processors would be
+//! needed", "a minimum of 30 Terabytes of storage is required
+//! instantaneously") are questions about shared resources, not about any one
+//! stage. This layer models them uniformly: a resource is a counted set of
+//! interchangeable units — the CPUs of a shared pool, or the channels of
+//! a transfer link — acquired and released by stage behaviors through a
+//! [`ResourceSet`], with a
+//! [`SchedPolicy`] deciding how queued stages share a contended resource.
+//! [`StorageLedger`] tracks the other capacity dimension, instantaneous
+//! allocated bytes across the whole flow.
+
+use std::collections::VecDeque;
+
+use crate::graph::StageId;
+use crate::metrics::PoolMetrics;
+use crate::units::{DataVolume, SimTime};
+
+/// How stages queued on a shared resource are served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// After a stage starts a task, it rotates to the back of the waiter
+    /// queue so stages sharing the resource interleave fairly. This is the
+    /// historical behavior of the simulator.
+    #[default]
+    FairShare,
+    /// The stage at the head of the waiter queue keeps dispatching until its
+    /// queue drains or the resource blocks; whole batches are served in
+    /// arrival order.
+    Fifo,
+}
+
+/// Handle to a resource within its [`ResourceSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(pub(crate) usize);
+
+/// A counted pool of interchangeable units plus its contention bookkeeping.
+#[derive(Debug)]
+struct Resource {
+    name: String,
+    free: u32,
+    total: u32,
+    peak_in_use: u32,
+    /// Accumulated busy unit-seconds (cpu-seconds for pools).
+    busy_unit_secs: f64,
+    /// Stages with queued work waiting for this resource, FIFO.
+    waiters: VecDeque<StageId>,
+    /// Shared CPU pools appear in the report; private channels do not.
+    pool: bool,
+}
+
+/// All the resources of one simulation: named CPU pools shared across
+/// `Process` stages, plus one private channel resource per `Transfer` /
+/// `Filter` stage. One [`SchedPolicy`] governs every shared resource.
+#[derive(Debug)]
+pub struct ResourceSet {
+    resources: Vec<Resource>,
+    /// `waiting[stage]`: is the stage already enqueued on some resource?
+    waiting: Vec<bool>,
+    policy: SchedPolicy,
+}
+
+impl ResourceSet {
+    pub fn new(n_stages: usize, policy: SchedPolicy) -> Self {
+        ResourceSet { resources: Vec::new(), waiting: vec![false; n_stages], policy }
+    }
+
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    pub fn set_policy(&mut self, policy: SchedPolicy) {
+        self.policy = policy;
+    }
+
+    fn add(&mut self, name: String, units: u32, pool: bool) -> ResourceId {
+        let id = ResourceId(self.resources.len());
+        self.resources.push(Resource {
+            name,
+            free: units,
+            total: units,
+            peak_in_use: 0,
+            busy_unit_secs: 0.0,
+            waiters: VecDeque::new(),
+            pool,
+        });
+        id
+    }
+
+    /// Register a shared CPU pool (reported in [`PoolMetrics`]).
+    pub fn add_pool(&mut self, name: impl Into<String>, cpus: u32) -> ResourceId {
+        self.add(name.into(), cpus, true)
+    }
+
+    /// Register a private channel resource (capacity only; not reported).
+    pub fn add_channel(&mut self, name: impl Into<String>, channels: u32) -> ResourceId {
+        self.add(name.into(), channels, false)
+    }
+
+    /// Look up a resource by name (pools are registered by pool name).
+    pub fn find(&self, name: &str) -> Option<ResourceId> {
+        self.resources.iter().position(|r| r.name == name).map(ResourceId)
+    }
+
+    pub fn free(&self, rid: ResourceId) -> u32 {
+        self.resources[rid.0].free
+    }
+
+    pub fn total(&self, rid: ResourceId) -> u32 {
+        self.resources[rid.0].total
+    }
+
+    /// Take `units` from the resource; the caller must have checked
+    /// [`ResourceSet::free`] first.
+    pub fn acquire(&mut self, rid: ResourceId, units: u32) {
+        let r = &mut self.resources[rid.0];
+        r.free = r.free.checked_sub(units).expect("resource over-acquired");
+        r.peak_in_use = r.peak_in_use.max(r.total - r.free);
+    }
+
+    /// Return `units` to the resource.
+    pub fn release(&mut self, rid: ResourceId, units: u32) {
+        let r = &mut self.resources[rid.0];
+        r.free = (r.free + units).min(r.total);
+    }
+
+    /// Accumulate busy time (unit-seconds) against the resource.
+    pub fn note_busy(&mut self, rid: ResourceId, unit_secs: f64) {
+        self.resources[rid.0].busy_unit_secs += unit_secs;
+    }
+
+    /// Enqueue `stage` as a waiter unless it is already waiting somewhere.
+    pub fn enlist(&mut self, rid: ResourceId, stage: StageId) {
+        if !self.waiting[stage.index()] {
+            self.waiting[stage.index()] = true;
+            self.resources[rid.0].waiters.push_back(stage);
+        }
+    }
+
+    /// The stage currently at the head of the waiter queue, if any.
+    pub fn front_waiter(&self, rid: ResourceId) -> Option<StageId> {
+        self.resources[rid.0].waiters.front().copied()
+    }
+
+    /// Remove the head waiter (its queue is drained or was already empty).
+    pub fn drop_front(&mut self, rid: ResourceId) {
+        if let Some(stage) = self.resources[rid.0].waiters.pop_front() {
+            self.waiting[stage.index()] = false;
+        }
+    }
+
+    /// Reposition the head waiter after it dispatched a task. With more work
+    /// still queued the policy decides: fair-share rotates it to the back,
+    /// FIFO keeps it at the front. With nothing left it is removed.
+    pub fn after_dispatch(&mut self, rid: ResourceId, more_queued: bool) {
+        if !more_queued {
+            self.drop_front(rid);
+            return;
+        }
+        match self.policy {
+            SchedPolicy::FairShare => {
+                let waiters = &mut self.resources[rid.0].waiters;
+                if let Some(stage) = waiters.pop_front() {
+                    waiters.push_back(stage);
+                }
+            }
+            SchedPolicy::Fifo => {}
+        }
+    }
+
+    /// Report metrics for the shared pools (channels are private capacity and
+    /// stay out of the report), sorted by name for replayable output.
+    pub fn pool_report(&self, elapsed: SimTime) -> Vec<PoolMetrics> {
+        let mut pools: Vec<&Resource> = self.resources.iter().filter(|r| r.pool).collect();
+        pools.sort_by(|a, b| a.name.cmp(&b.name));
+        pools
+            .into_iter()
+            .map(|p| {
+                let capacity_secs = p.total as f64 * elapsed.as_secs_f64();
+                PoolMetrics {
+                    name: p.name.clone(),
+                    cpus: p.total,
+                    peak_in_use: p.peak_in_use,
+                    busy_cpu_secs: p.busy_unit_secs,
+                    utilization: if capacity_secs > 0.0 {
+                        p.busy_unit_secs / capacity_secs
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// Tracks instantaneous allocated storage across the whole flow.
+#[derive(Debug, Default, Clone)]
+pub struct StorageLedger {
+    current: u64,
+    peak: u64,
+    /// Bytes retained permanently (archives, `retain_input` stages).
+    retained: u64,
+    /// Frees that exceeded the current allocation. Always zero for a correct
+    /// simulation; counted (identically in debug and release builds) rather
+    /// than asserted so accounting bugs surface in reports instead of only
+    /// tripping `debug_assert!` in some build profiles.
+    underflow_events: u64,
+}
+
+impl StorageLedger {
+    pub(crate) fn alloc(&mut self, v: DataVolume) {
+        self.current += v.bytes();
+        self.peak = self.peak.max(self.current);
+    }
+
+    pub(crate) fn free(&mut self, v: DataVolume) {
+        if self.current < v.bytes() {
+            self.underflow_events += 1;
+        }
+        self.current = self.current.saturating_sub(v.bytes());
+    }
+
+    pub(crate) fn retain(&mut self, v: DataVolume) {
+        self.retained += v.bytes();
+    }
+
+    pub fn peak(&self) -> DataVolume {
+        DataVolume::from_bytes(self.peak)
+    }
+
+    pub fn current(&self) -> DataVolume {
+        DataVolume::from_bytes(self.current)
+    }
+
+    pub fn retained(&self) -> DataVolume {
+        DataVolume::from_bytes(self.retained)
+    }
+
+    /// Number of frees that exceeded the allocation they released.
+    pub fn underflow_events(&self) -> u64 {
+        self.underflow_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(policy: SchedPolicy) -> (ResourceSet, ResourceId) {
+        let mut rs = ResourceSet::new(4, policy);
+        let pool = rs.add_pool("pool", 8);
+        (rs, pool)
+    }
+
+    #[test]
+    fn acquire_release_track_peak() {
+        let (mut rs, pool) = set(SchedPolicy::FairShare);
+        assert_eq!(rs.free(pool), 8);
+        rs.acquire(pool, 5);
+        rs.acquire(pool, 2);
+        assert_eq!(rs.free(pool), 1);
+        rs.release(pool, 5);
+        rs.acquire(pool, 1);
+        let report = rs.pool_report(SimTime::from_micros(1_000_000));
+        assert_eq!(report[0].peak_in_use, 7);
+        assert_eq!(report[0].cpus, 8);
+    }
+
+    #[test]
+    fn enlist_is_idempotent_per_stage() {
+        let (mut rs, pool) = set(SchedPolicy::FairShare);
+        let s = StageId(1);
+        rs.enlist(pool, s);
+        rs.enlist(pool, s);
+        assert_eq!(rs.front_waiter(pool), Some(s));
+        rs.drop_front(pool);
+        assert_eq!(rs.front_waiter(pool), None);
+        // After drop_front the stage may enlist again.
+        rs.enlist(pool, s);
+        assert_eq!(rs.front_waiter(pool), Some(s));
+    }
+
+    #[test]
+    fn fair_share_rotates_and_fifo_does_not() {
+        let (mut rs, pool) = set(SchedPolicy::FairShare);
+        let (a, b) = (StageId(0), StageId(1));
+        rs.enlist(pool, a);
+        rs.enlist(pool, b);
+        rs.after_dispatch(pool, true);
+        assert_eq!(rs.front_waiter(pool), Some(b), "fair share rotates the head to the back");
+
+        let (mut rs, pool) = set(SchedPolicy::Fifo);
+        rs.enlist(pool, a);
+        rs.enlist(pool, b);
+        rs.after_dispatch(pool, true);
+        assert_eq!(rs.front_waiter(pool), Some(a), "fifo keeps the head in place");
+        rs.after_dispatch(pool, false);
+        assert_eq!(rs.front_waiter(pool), Some(b), "drained head is removed");
+    }
+
+    #[test]
+    fn channels_are_excluded_from_pool_report() {
+        let mut rs = ResourceSet::new(2, SchedPolicy::default());
+        rs.add_pool("cpus", 4);
+        rs.add_channel("link#0", 2);
+        let report = rs.pool_report(SimTime::from_micros(10));
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].name, "cpus");
+    }
+
+    #[test]
+    fn ledger_tracks_peak_current_retained_and_underflow() {
+        let mut ledger = StorageLedger::default();
+        ledger.alloc(DataVolume::gb(3));
+        ledger.free(DataVolume::gb(1));
+        ledger.retain(DataVolume::gb(1));
+        assert_eq!(ledger.peak(), DataVolume::gb(3));
+        assert_eq!(ledger.current(), DataVolume::gb(2));
+        assert_eq!(ledger.retained(), DataVolume::gb(1));
+        ledger.free(DataVolume::gb(5));
+        assert_eq!(ledger.underflow_events(), 1);
+        assert_eq!(ledger.current(), DataVolume::ZERO);
+    }
+}

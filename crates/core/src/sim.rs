@@ -7,18 +7,38 @@
 //! resource contention. [`FlowSim`] answers them: it executes a graph in
 //! simulated time against named CPU pools, tracking throughput, queue
 //! backlogs, pool utilisation, and instantaneous storage.
+//!
+//! [`FlowSim`] itself is a thin orchestrator over three layers:
+//!
+//! * the **engine** ([`crate::engine`]) owns the clock, the deterministic
+//!   event heap, and the run loop;
+//! * **stage behaviors** ([`crate::behavior`]) give each
+//!   [`crate::graph::StageKind`] its semantics — queues, task
+//!   dispatch, fault retries — behind the [`StageBehavior`] trait;
+//! * **resources** ([`crate::resource`]) count the contended capacity
+//!   (shared CPU pools, transfer channels) and apply the scheduling policy.
+//!
+//! The orchestrator routes events to behaviors, runs deferred resource
+//! drains, and keeps the flow-global bookkeeping (storage ledger,
+//! end-of-input backlog snapshot). It never matches on stage kinds at run
+//! time.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use crate::behavior::{
+    ArchiveBehavior, Completion, DeferredFx, FaultCtx, FilterBehavior, FlowEvent, ProcessBehavior,
+    SourceBehavior, StageBehavior, StageCtx, TransferBehavior,
+};
+use crate::engine::{Engine, EventHandler, Scheduler};
+use crate::error::{CoreError, CoreResult};
+use crate::fault::{FaultPlan, RetryPolicy};
+use crate::graph::{FlowGraph, StageKind};
+use crate::metrics::{SimReport, StageMetrics};
+use crate::resource::{ResourceId, ResourceSet};
+use crate::units::{DataVolume, SimTime};
+
+pub use crate::resource::{SchedPolicy, StorageLedger};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-use crate::error::{CoreError, CoreResult};
-use crate::fault::{FaultPlan, RetryPolicy};
-use crate::graph::{FlowGraph, StageId, StageKind};
-use crate::metrics::{PoolMetrics, SimReport, StageMetrics};
-use crate::units::{DataVolume, SimDuration, SimTime};
 
 /// A named pool of interchangeable processors shared by `Process` stages.
 #[derive(Debug, Clone)]
@@ -33,112 +53,21 @@ impl CpuPool {
     }
 }
 
-#[derive(Debug)]
-enum Event {
-    /// A source emits its next block.
-    Emit { stage: StageId },
-    /// A block of `volume` arrives at `stage`.
-    Arrive { stage: StageId, volume: DataVolume },
-    /// A processing task at `stage` finishes.
-    ProcessDone { stage: StageId, input: DataVolume, held: DataVolume, cpus: u32 },
-    /// A transfer at `stage` completes delivery of `volume`.
-    TransferDone { stage: StageId, volume: DataVolume },
-    /// A retry of a faulted transfer begins (`attempt` is 0-based).
-    TransferAttempt { stage: StageId, volume: DataVolume, attempt: u32 },
-    /// A transfer abandons `volume` after exhausting its retry budget.
-    TransferGaveUp { stage: StageId, volume: DataVolume },
-}
-
-/// Fault-injection state: the seeded timeline, the retry policy, and the
-/// RNG that draws backoff jitter (seeded from the plan, so replays agree).
-struct FaultCtx {
-    plan: FaultPlan,
-    policy: RetryPolicy,
-    rng: StdRng,
-}
-
-struct PoolState {
-    free: u32,
-    total: u32,
-    peak_in_use: u32,
-    /// Stages with queued work waiting for this pool, FIFO.
-    waiters: VecDeque<StageId>,
-    /// Accumulated busy cpu-seconds.
-    busy_cpu_secs: f64,
-}
-
-#[derive(Default)]
-struct StageState {
-    queue: VecDeque<DataVolume>,
-    queued_volume: DataVolume,
-    /// For Transfer stages: is the channel currently occupied?
-    transfer_busy: bool,
-    /// Is this stage already registered in its pool's waiter list?
-    waiting: bool,
-    metrics: StageMetrics,
-}
-
-/// Tracks instantaneous allocated storage across the whole flow.
-#[derive(Debug, Default, Clone)]
-pub struct StorageLedger {
-    current: u64,
-    peak: u64,
-    /// Bytes retained permanently (archives, `retain_input` stages).
-    retained: u64,
-    /// Frees that exceeded the current allocation. Always zero for a correct
-    /// simulation; counted (identically in debug and release builds) rather
-    /// than asserted so accounting bugs surface in reports instead of only
-    /// tripping `debug_assert!` in some build profiles.
-    underflow_events: u64,
-}
-
-impl StorageLedger {
-    pub(crate) fn alloc(&mut self, v: DataVolume) {
-        self.current += v.bytes();
-        self.peak = self.peak.max(self.current);
-    }
-
-    pub(crate) fn free(&mut self, v: DataVolume) {
-        if self.current < v.bytes() {
-            self.underflow_events += 1;
-        }
-        self.current = self.current.saturating_sub(v.bytes());
-    }
-
-    pub(crate) fn retain(&mut self, v: DataVolume) {
-        self.retained += v.bytes();
-    }
-
-    pub fn peak(&self) -> DataVolume {
-        DataVolume::from_bytes(self.peak)
-    }
-
-    pub fn current(&self) -> DataVolume {
-        DataVolume::from_bytes(self.current)
-    }
-
-    pub fn retained(&self) -> DataVolume {
-        DataVolume::from_bytes(self.retained)
-    }
-
-    /// Number of frees that exceeded the allocation they released.
-    pub fn underflow_events(&self) -> u64 {
-        self.underflow_events
-    }
+/// What the orchestrator asks a behavior to do for one event.
+enum Step {
+    Arrive(DataVolume),
+    Complete(Completion),
 }
 
 /// Discrete-event executor for a validated [`FlowGraph`].
 pub struct FlowSim {
     graph: FlowGraph,
-    pools: HashMap<String, PoolState>,
-    stages: Vec<StageState>,
-    /// (time, sequence, event); sequence breaks ties deterministically.
-    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    events: Vec<Option<Event>>,
-    now: SimTime,
-    seq: u64,
+    /// One behavior per stage; taken out while its hook runs.
+    behaviors: Vec<Option<Box<dyn StageBehavior>>>,
+    metrics: Vec<StageMetrics>,
+    resources: ResourceSet,
     ledger: StorageLedger,
-    /// Number of source Emit events still outstanding.
+    /// Number of source blocks still to be emitted.
     pending_emits: u64,
     /// Snapshot of total queued volume when the last source block was emitted.
     backlog_at_source_end: Option<DataVolume>,
@@ -152,46 +81,103 @@ impl FlowSim {
     /// a `Process` stage must be supplied.
     pub fn new(graph: FlowGraph, pools: Vec<CpuPool>) -> CoreResult<Self> {
         graph.validate()?;
-        let mut pool_map = HashMap::new();
+        let mut resources = ResourceSet::new(graph.len(), SchedPolicy::default());
         for p in pools {
             if p.cpus == 0 {
                 return Err(CoreError::InvalidConfig {
                     detail: format!("pool `{}` has zero cpus", p.name),
                 });
             }
-            pool_map.insert(
-                p.name.clone(),
-                PoolState {
-                    free: p.cpus,
-                    total: p.cpus,
-                    peak_in_use: 0,
-                    waiters: VecDeque::new(),
-                    busy_cpu_secs: 0.0,
-                },
-            );
+            if resources.find(&p.name).is_some() {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("pool `{}` supplied more than once", p.name),
+                });
+            }
+            resources.add_pool(p.name, p.cpus);
         }
         for name in graph.referenced_pools() {
-            if !pool_map.contains_key(name) {
+            if resources.find(name).is_none() {
                 return Err(CoreError::UnknownPool { name: name.to_string() });
             }
         }
         // A task wider than its whole pool would wait forever and silently
-        // stall the flow; reject it up front.
+        // stall the flow; reject it up front. Same for degenerate channel
+        // counts and filter ratios.
         for id in graph.stage_ids() {
-            if let StageKind::Process { cpus_per_task, pool, .. } = &graph.stage(id).kind {
-                let total = pool_map[pool.as_str()].total;
-                if *cpus_per_task > total {
-                    return Err(CoreError::InvalidConfig {
-                        detail: format!(
-                            "stage `{}` needs {} cpus per task but pool `{}` has only {}",
-                            graph.stage(id).name,
-                            cpus_per_task,
-                            pool,
-                            total
-                        ),
-                    });
+            let stage = graph.stage(id);
+            match &stage.kind {
+                StageKind::Process { cpus_per_task, pool, .. } => {
+                    let rid = resources.find(pool).expect("pool checked above");
+                    let total = resources.total(rid);
+                    if *cpus_per_task > total {
+                        return Err(CoreError::InvalidConfig {
+                            detail: format!(
+                                "stage `{}` needs {} cpus per task but pool `{}` has only {}",
+                                stage.name, cpus_per_task, pool, total
+                            ),
+                        });
+                    }
                 }
+                StageKind::Transfer { channels, .. } => {
+                    if *channels == 0 {
+                        return Err(CoreError::InvalidConfig {
+                            detail: format!("stage `{}` has zero transfer channels", stage.name),
+                        });
+                    }
+                }
+                StageKind::Filter { accept_ratio, .. } => {
+                    if !(0.0..=1.0).contains(accept_ratio) {
+                        return Err(CoreError::InvalidConfig {
+                            detail: format!(
+                                "stage `{}` accept_ratio {} is outside [0, 1]",
+                                stage.name, accept_ratio
+                            ),
+                        });
+                    }
+                }
+                StageKind::Source { .. } | StageKind::Archive => {}
             }
+        }
+        // The only kind dispatch in the simulator: constructing each stage's
+        // behavior (and its private channel resource where one is needed).
+        let mut behaviors: Vec<Option<Box<dyn StageBehavior>>> = Vec::with_capacity(graph.len());
+        for id in graph.stage_ids() {
+            let stage = graph.stage(id);
+            let behavior: Box<dyn StageBehavior> = match &stage.kind {
+                StageKind::Source { block, interval, blocks, start } => {
+                    Box::new(SourceBehavior::new(*block, *interval, *blocks, *start))
+                }
+                StageKind::Process {
+                    rate_per_cpu,
+                    cpus_per_task,
+                    chunk,
+                    output_ratio,
+                    pool,
+                    workspace_ratio,
+                    retain_input,
+                } => {
+                    let rid = resources.find(pool).expect("pool checked above");
+                    Box::new(ProcessBehavior::new(
+                        *rate_per_cpu,
+                        *cpus_per_task,
+                        *chunk,
+                        *output_ratio,
+                        *workspace_ratio,
+                        *retain_input,
+                        rid,
+                    ))
+                }
+                StageKind::Transfer { rate, latency, channels } => {
+                    let rid = resources.add_channel(format!("{}#channel", stage.name), *channels);
+                    Box::new(TransferBehavior::new(*rate, *latency, rid))
+                }
+                StageKind::Filter { rate, accept_ratio } => {
+                    let rid = resources.add_channel(format!("{}#channel", stage.name), 1);
+                    Box::new(FilterBehavior::new(*rate, *accept_ratio, rid))
+                }
+                StageKind::Archive => Box::new(ArchiveBehavior),
+            };
+            behaviors.push(Some(behavior));
         }
         let mut pending_emits = 0u64;
         for id in graph.stage_ids() {
@@ -199,15 +185,12 @@ impl FlowSim {
                 pending_emits += blocks;
             }
         }
-        let n = graph.len();
+        let metrics = vec![StageMetrics::default(); graph.len()];
         Ok(FlowSim {
             graph,
-            pools: pool_map,
-            stages: (0..n).map(|_| StageState::default()).collect(),
-            heap: BinaryHeap::new(),
-            events: Vec::new(),
-            now: SimTime::ZERO,
-            seq: 0,
+            behaviors,
+            metrics,
+            resources,
             ledger: StorageLedger::default(),
             pending_emits,
             backlog_at_source_end: None,
@@ -220,6 +203,13 @@ impl FlowSim {
     /// Override the runaway-event safety cap (default fifty million).
     pub fn with_max_events(mut self, cap: u64) -> Self {
         self.max_events = cap;
+        self
+    }
+
+    /// Choose how stages queued on a shared resource are served (default
+    /// [`SchedPolicy::FairShare`]).
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.resources.set_policy(policy);
         self
     }
 
@@ -238,353 +228,82 @@ impl FlowSim {
         self
     }
 
-    fn schedule(&mut self, at: SimTime, ev: Event) {
-        let idx = self.events.len();
-        self.events.push(Some(ev));
-        self.heap.push(Reverse((at, self.seq, idx)));
-        self.seq += 1;
-    }
-
     /// Run to completion and produce a report.
     pub fn run(mut self) -> CoreResult<SimReport> {
-        // Seed the first emit of every source.
+        let mut engine = Engine::new().with_max_events(self.max_events);
+        // Let every behavior seed its initial events, in stage order.
         for id in self.graph.stage_ids() {
-            if let StageKind::Source { start, blocks, .. } = self.graph.stage(id).kind {
-                if blocks > 0 {
-                    self.schedule(start, Event::Emit { stage: id });
-                }
-            }
-        }
-        let mut handled = 0u64;
-        while let Some(Reverse((at, _, idx))) = self.heap.pop() {
-            handled += 1;
-            if handled > self.max_events {
-                return Err(CoreError::InvalidConfig {
-                    detail: format!("event cap of {} exceeded; flow is diverging", self.max_events),
-                });
-            }
-            self.now = at;
-            let ev = self.events[idx].take().expect("event consumed twice");
-            self.handle(ev);
-        }
-        Ok(self.report())
-    }
-
-    fn handle(&mut self, ev: Event) {
-        match ev {
-            Event::Emit { stage } => self.on_emit(stage),
-            Event::Arrive { stage, volume } => self.on_arrive(stage, volume),
-            Event::ProcessDone { stage, input, held, cpus } => {
-                self.on_process_done(stage, input, held, cpus)
-            }
-            Event::TransferDone { stage, volume } => self.on_transfer_done(stage, volume),
-            Event::TransferAttempt { stage, volume, attempt } => {
-                self.begin_transfer_attempt(stage, volume, attempt)
-            }
-            Event::TransferGaveUp { stage, volume } => self.on_transfer_gave_up(stage, volume),
-        }
-    }
-
-    fn on_emit(&mut self, stage: StageId) {
-        let (block, interval, blocks, start) = match self.graph.stage(stage).kind {
-            StageKind::Source { block, interval, blocks, start } => {
-                (block, interval, blocks, start)
-            }
-            _ => unreachable!("Emit scheduled on non-source"),
-        };
-        let st = &mut self.stages[stage.index()];
-        st.metrics.blocks_out += 1;
-        st.metrics.volume_out += block;
-        let emitted = st.metrics.blocks_out;
-        self.deliver(stage, block);
-        self.pending_emits -= 1;
-        if self.pending_emits == 0 {
-            self.backlog_at_source_end = Some(self.total_queued());
-            self.source_end = Some(self.now);
-        }
-        if emitted < blocks {
-            let next = start + interval * emitted;
-            self.schedule(next, Event::Emit { stage });
-        }
-    }
-
-    /// Fan a block out to every downstream stage (each consumer receives the
-    /// full block, as when raw data go both to archive and to processing).
-    fn deliver(&mut self, from: StageId, volume: DataVolume) {
-        let targets: Vec<StageId> = self.graph.downstream(from).to_vec();
-        for t in targets {
-            self.schedule(self.now, Event::Arrive { stage: t, volume });
-        }
-    }
-
-    fn on_arrive(&mut self, stage: StageId, volume: DataVolume) {
-        self.ledger.alloc(volume);
-        let kind = self.graph.stage(stage).kind.clone();
-        {
-            let st = &mut self.stages[stage.index()];
-            st.metrics.blocks_in += 1;
-            st.metrics.volume_in += volume;
-        }
-        match kind {
-            StageKind::Archive => {
-                let st = &mut self.stages[stage.index()];
-                st.metrics.volume_out += volume;
-                st.metrics.blocks_out += 1;
-                st.metrics.completed_at = self.now;
-                self.ledger.retain(volume);
-                // Archive holds its contents; allocation is permanent.
-            }
-            StageKind::Transfer { .. } => {
-                let st = &mut self.stages[stage.index()];
-                st.queue.push_back(volume);
-                st.queued_volume += volume;
-                st.metrics.note_queue(st.queue.len(), st.queued_volume);
-                self.try_start_transfer(stage);
-            }
-            StageKind::Process { chunk, .. } => {
-                let st = &mut self.stages[stage.index()];
-                // Data-parallel stages split blocks into independent tasks.
-                match chunk {
-                    Some(c) if !c.is_zero() && volume > c => {
-                        let mut remaining = volume;
-                        while remaining > DataVolume::ZERO {
-                            let piece = remaining.min(c);
-                            st.queue.push_back(piece);
-                            remaining -= piece;
-                        }
-                    }
-                    _ => st.queue.push_back(volume),
-                }
-                st.queued_volume += volume;
-                st.metrics.note_queue(st.queue.len(), st.queued_volume);
-                self.enlist_waiter(stage);
-                self.drain_pool_waiters(stage);
-            }
-            StageKind::Source { .. } => unreachable!("validated graphs have no edges into sources"),
-        }
-    }
-
-    fn enlist_waiter(&mut self, stage: StageId) {
-        let pool_name = match &self.graph.stage(stage).kind {
-            StageKind::Process { pool, .. } => pool.clone(),
-            _ => return,
-        };
-        let st = &mut self.stages[stage.index()];
-        if !st.waiting && !st.queue.is_empty() {
-            st.waiting = true;
-            self.pools.get_mut(&pool_name).expect("pool checked at build").waiters.push_back(stage);
-        }
-    }
-
-    /// Start as many queued tasks as the stage's pool allows, FIFO across all
-    /// stages sharing the pool.
-    fn drain_pool_waiters(&mut self, hint: StageId) {
-        let pool_name = match &self.graph.stage(hint).kind {
-            StageKind::Process { pool, .. } => pool.clone(),
-            _ => return,
-        };
-        while let Some(&head) = self.pools[&pool_name].waiters.front().copied().as_ref() {
-            let (rate_per_cpu, cpus_per_task, output_ratio, workspace_ratio) =
-                match &self.graph.stage(head).kind {
-                    StageKind::Process {
-                        rate_per_cpu,
-                        cpus_per_task,
-                        output_ratio,
-                        workspace_ratio,
-                        ..
-                    } => (*rate_per_cpu, *cpus_per_task, *output_ratio, *workspace_ratio),
-                    _ => unreachable!("only process stages wait on pools"),
-                };
-            let pool = self.pools.get_mut(&pool_name).expect("pool exists");
-            if pool.free < cpus_per_task {
-                break; // head-of-line blocks until enough cpus free up
-            }
-            let st = &mut self.stages[head.index()];
-            let Some(input) = st.queue.pop_front() else {
-                pool.waiters.pop_front();
-                st.waiting = false;
-                continue;
-            };
-            st.queued_volume -= input;
-            if st.queue.is_empty() {
-                pool.waiters.pop_front();
-                st.waiting = false;
-            } else {
-                // Rotate so stages sharing the pool interleave fairly.
-                pool.waiters.pop_front();
-                pool.waiters.push_back(head);
-            }
-            pool.free -= cpus_per_task;
-            pool.peak_in_use = pool.peak_in_use.max(pool.total - pool.free);
-            let aggregate = rate_per_cpu * (cpus_per_task as f64);
-            let mut dur = input.time_at(aggregate).unwrap_or(SimDuration::ZERO);
-            // Injected stalls freeze the task while its cpus stay held.
-            let mut stalls = 0u32;
-            if let Some(ctx) = &self.faults {
-                let (stalled, n) = ctx.plan.stalled_duration(self.now, dur);
-                dur = stalled;
-                stalls = n;
-            }
-            pool.busy_cpu_secs += dur.as_secs_f64() * cpus_per_task as f64;
-            // Working space held during the task: scratch plus output estimate.
-            let held = input.scale(workspace_ratio) + input.scale(output_ratio);
-            self.ledger.alloc(held);
-            let st = &mut self.stages[head.index()];
-            st.metrics.busy += dur;
-            st.metrics.faults += stalls as u64;
-            self.schedule(
-                self.now + dur,
-                Event::ProcessDone { stage: head, input, held, cpus: cpus_per_task },
-            );
-        }
-    }
-
-    fn on_process_done(&mut self, stage: StageId, input: DataVolume, held: DataVolume, cpus: u32) {
-        let (pool_name, output_ratio, retain_input) = match &self.graph.stage(stage).kind {
-            StageKind::Process { pool, output_ratio, retain_input, .. } => {
-                (pool.clone(), *output_ratio, *retain_input)
-            }
-            _ => unreachable!("ProcessDone on non-process stage"),
-        };
-        self.ledger.free(held);
-        if retain_input {
-            self.ledger.retain(input);
-        } else {
-            self.ledger.free(input);
-        }
-        let output = input.scale(output_ratio);
-        {
-            let st = &mut self.stages[stage.index()];
-            st.metrics.blocks_out += 1;
-            st.metrics.volume_out += output;
-            st.metrics.completed_at = self.now;
-        }
-        if !output.is_zero() && !self.graph.downstream(stage).is_empty() {
-            self.deliver(stage, output);
-        }
-        let pool = self.pools.get_mut(&pool_name).expect("pool exists");
-        pool.free += cpus;
-        self.enlist_waiter(stage);
-        self.drain_pool_waiters(stage);
-    }
-
-    fn try_start_transfer(&mut self, stage: StageId) {
-        let st = &mut self.stages[stage.index()];
-        if st.transfer_busy {
-            return;
-        }
-        let Some(volume) = st.queue.pop_front() else { return };
-        st.queued_volume -= volume;
-        st.transfer_busy = true;
-        self.begin_transfer_attempt(stage, volume, 0);
-    }
-
-    /// Run one attempt of an in-flight transfer against the fault plan (if
-    /// any): on success schedule delivery, on a fault either back off and
-    /// retry or — once the budget is spent — give the block up.
-    fn begin_transfer_attempt(&mut self, stage: StageId, volume: DataVolume, attempt: u32) {
-        let (rate, latency) = match &self.graph.stage(stage).kind {
-            StageKind::Transfer { rate, latency } => (*rate, *latency),
-            _ => unreachable!("transfer attempt on non-transfer stage"),
-        };
-        let Some(ctx) = &mut self.faults else {
-            let dur = latency + volume.time_at(rate).unwrap_or(SimDuration::ZERO);
-            let st = &mut self.stages[stage.index()];
-            st.metrics.busy += dur;
-            self.schedule(self.now + dur, Event::TransferDone { stage, volume });
-            return;
-        };
-        let effective = rate * ctx.plan.degrade_factor_at(self.now);
-        let degraded = effective.bytes_per_sec() < rate.bytes_per_sec();
-        let base = latency + volume.time_at(effective).unwrap_or(SimDuration::ZERO);
-        let outcome = ctx.plan.attempt_outcome(self.now, base, ctx.policy.attempt_timeout);
-        let backoff = if outcome.failure.is_some() && attempt < ctx.policy.max_retries {
-            Some(ctx.policy.backoff(attempt, &mut ctx.rng))
-        } else {
-            None
-        };
-        let st = &mut self.stages[stage.index()];
-        st.metrics.faults += outcome.faults_hit() + u64::from(degraded);
-        st.metrics.busy += outcome.ends_at.checked_sub(self.now).unwrap_or(SimDuration::ZERO);
-        match (outcome.failure, backoff) {
-            (None, _) => self.schedule(outcome.ends_at, Event::TransferDone { stage, volume }),
-            (Some(_), Some(wait)) => {
-                st.metrics.retries += 1;
-                st.metrics.volume_retransmitted += volume;
-                self.schedule(
-                    outcome.ends_at + wait,
-                    Event::TransferAttempt { stage, volume, attempt: attempt + 1 },
+            let mut behavior = self.behaviors[id.index()].take().expect("behavior in place");
+            let mut fx = DeferredFx::default();
+            {
+                let mut ctx = StageCtx::new(
+                    id,
+                    &self.graph,
+                    engine.scheduler(),
+                    &mut self.metrics,
+                    &mut self.ledger,
+                    &mut self.resources,
+                    &mut self.faults,
+                    &mut fx,
                 );
+                behavior.seed(&mut ctx);
             }
-            (Some(_), None) => {
-                self.schedule(outcome.ends_at, Event::TransferGaveUp { stage, volume })
-            }
+            self.behaviors[id.index()] = Some(behavior);
         }
+        let finished_at = engine.run(&mut self)?;
+        Ok(self.report(finished_at))
     }
 
-    fn on_transfer_gave_up(&mut self, stage: StageId, volume: DataVolume) {
-        {
-            let st = &mut self.stages[stage.index()];
-            st.transfer_busy = false;
-            st.metrics.blocks_failed += 1;
-            st.metrics.volume_lost += volume;
+    /// Drain `rid`'s waiter queue: keep asking the head stage to dispatch
+    /// until the resource blocks or no stage has queued work. The scheduling
+    /// policy decides whether a stage that dispatched rotates to the back
+    /// (fair share) or keeps the head slot (FIFO).
+    fn drain(&mut self, rid: ResourceId, sched: &mut Scheduler<FlowEvent>) {
+        use crate::behavior::Dispatch;
+        while let Some(head) = self.resources.front_waiter(rid) {
+            let mut behavior = self.behaviors[head.index()].take().expect("behavior in place");
+            let mut fx = DeferredFx::default();
+            let dispatched = {
+                let mut ctx = StageCtx::new(
+                    head,
+                    &self.graph,
+                    sched,
+                    &mut self.metrics,
+                    &mut self.ledger,
+                    &mut self.resources,
+                    &mut self.faults,
+                    &mut fx,
+                );
+                behavior.try_dispatch(&mut ctx)
+            };
+            self.behaviors[head.index()] = Some(behavior);
+            match dispatched {
+                Dispatch::Blocked => break,
+                Dispatch::Idle => self.resources.drop_front(rid),
+                Dispatch::Started { more } => self.resources.after_dispatch(rid, more),
+            }
         }
-        self.ledger.free(volume); // the abandoned block's buffer is released
-        self.try_start_transfer(stage);
-    }
-
-    fn on_transfer_done(&mut self, stage: StageId, volume: DataVolume) {
-        {
-            let st = &mut self.stages[stage.index()];
-            st.transfer_busy = false;
-            st.metrics.blocks_out += 1;
-            st.metrics.volume_out += volume;
-            st.metrics.completed_at = self.now;
-        }
-        self.ledger.free(volume); // handed to the consumer, who re-allocates
-        self.deliver(stage, volume);
-        self.try_start_transfer(stage);
     }
 
     fn total_queued(&self) -> DataVolume {
-        self.stages.iter().map(|s| s.queued_volume).sum()
+        self.behaviors.iter().map(|b| b.as_ref().expect("behavior in place").queued_volume()).sum()
     }
 
-    fn report(self) -> SimReport {
+    fn report(self, finished_at: SimTime) -> SimReport {
         let mut stages = Vec::with_capacity(self.graph.len());
         for id in self.graph.stage_ids() {
-            let mut m = self.stages[id.index()].metrics.clone();
+            let mut m = self.metrics[id.index()].clone();
             m.name = self.graph.stage(id).name.clone();
-            m.final_queue_volume = self.stages[id.index()].queued_volume;
+            m.final_queue_volume =
+                self.behaviors[id.index()].as_ref().expect("behavior in place").queued_volume();
             stages.push(m);
         }
-        let elapsed = self.now;
-        let mut pool_list: Vec<(String, PoolState)> = self.pools.into_iter().collect();
-        // HashMap iteration order is arbitrary; sort for replayable reports.
-        pool_list.sort_by(|a, b| a.0.cmp(&b.0));
-        let pools = pool_list
-            .into_iter()
-            .map(|(name, p)| {
-                let capacity_secs = p.total as f64 * elapsed.as_secs_f64();
-                PoolMetrics {
-                    name,
-                    cpus: p.total,
-                    peak_in_use: p.peak_in_use,
-                    busy_cpu_secs: p.busy_cpu_secs,
-                    utilization: if capacity_secs > 0.0 {
-                        p.busy_cpu_secs / capacity_secs
-                    } else {
-                        0.0
-                    },
-                }
-            })
-            .collect();
         SimReport {
-            finished_at: elapsed,
+            finished_at,
             source_end: self.source_end,
             backlog_at_source_end: self.backlog_at_source_end,
             stages,
-            pools,
+            pools: self.resources.pool_report(finished_at),
             peak_storage: self.ledger.peak(),
             retained_storage: self.ledger.retained(),
             ledger_underflows: self.ledger.underflow_events(),
@@ -592,10 +311,58 @@ impl FlowSim {
     }
 }
 
+impl EventHandler for FlowSim {
+    type Event = FlowEvent;
+
+    fn handle(&mut self, ev: FlowEvent, sched: &mut Scheduler<FlowEvent>) {
+        let (stage, step) = match ev {
+            FlowEvent::Arrive { stage, volume } => {
+                // Arrival bookkeeping is common to every kind: the block now
+                // occupies storage and counts as stage input.
+                self.ledger.alloc(volume);
+                let m = &mut self.metrics[stage.index()];
+                m.blocks_in += 1;
+                m.volume_in += volume;
+                (stage, Step::Arrive(volume))
+            }
+            FlowEvent::Complete { stage, done } => (stage, Step::Complete(done)),
+        };
+        let mut behavior = self.behaviors[stage.index()].take().expect("behavior in place");
+        let mut fx = DeferredFx::default();
+        {
+            let mut ctx = StageCtx::new(
+                stage,
+                &self.graph,
+                sched,
+                &mut self.metrics,
+                &mut self.ledger,
+                &mut self.resources,
+                &mut self.faults,
+                &mut fx,
+            );
+            match step {
+                Step::Arrive(volume) => behavior.on_arrive(&mut ctx, volume),
+                Step::Complete(done) => behavior.on_complete(&mut ctx, done),
+            }
+        }
+        self.behaviors[stage.index()] = Some(behavior);
+        for _ in 0..fx.source_emits {
+            self.pending_emits -= 1;
+            if self.pending_emits == 0 {
+                self.backlog_at_source_end = Some(self.total_queued());
+                self.source_end = Some(sched.now());
+            }
+        }
+        for rid in fx.drains {
+            self.drain(rid, sched);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::units::DataRate;
+    use crate::units::{DataRate, SimDuration};
 
     fn simple_graph(cpus_rate_mb: f64, output_ratio: f64) -> FlowGraph {
         let mut g = FlowGraph::new();
@@ -743,7 +510,15 @@ mod tests {
     }
 
     #[test]
-    fn transfer_serializes_blocks() {
+    fn duplicate_pool_is_an_error() {
+        let g = simple_graph(10.0, 1.0);
+        assert!(matches!(
+            FlowSim::new(g, vec![CpuPool::new("pool", 2), CpuPool::new("pool", 4)]),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    fn transfer_graph(channels: u32) -> FlowGraph {
         let mut g = FlowGraph::new();
         let s = g.add_stage(
             "src",
@@ -759,15 +534,106 @@ mod tests {
             StageKind::Transfer {
                 rate: DataRate::mb_per_sec(100.0), // 10 s per block
                 latency: SimDuration::from_secs(2),
+                channels,
             },
         );
         let a = g.add_stage("dst", StageKind::Archive);
         g.connect(s, t).unwrap();
         g.connect(t, a).unwrap();
-        let report = FlowSim::new(g, vec![]).unwrap().run().unwrap();
+        g
+    }
+
+    #[test]
+    fn transfer_serializes_blocks() {
+        let report = FlowSim::new(transfer_graph(1), vec![]).unwrap().run().unwrap();
         // Three serialized 12 s transfers: last completes at 36 s.
         assert!((report.finished_at.as_secs_f64() - 36.0).abs() < 1e-6);
         assert_eq!(report.stage("dst").unwrap().volume_in, DataVolume::gb(3));
+    }
+
+    #[test]
+    fn multi_channel_transfer_overlaps_blocks() {
+        // With three channels the blocks ship as they arrive (0 s, 1 s, 2 s)
+        // and overlap: the last 12 s transfer starts at 2 s and ends at 14 s.
+        let report = FlowSim::new(transfer_graph(3), vec![]).unwrap().run().unwrap();
+        assert!((report.finished_at.as_secs_f64() - 14.0).abs() < 1e-6);
+        assert_eq!(report.stage("dst").unwrap().volume_in, DataVolume::gb(3));
+        assert_eq!(report.stage("link").unwrap().blocks_out, 3);
+    }
+
+    #[test]
+    fn zero_channel_transfer_is_rejected() {
+        assert!(matches!(
+            FlowSim::new(transfer_graph(0), vec![]),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    fn filter_graph(accept_ratio: f64) -> FlowGraph {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage(
+            "detector",
+            StageKind::Source {
+                block: DataVolume::gb(10),
+                interval: SimDuration::from_secs(100),
+                blocks: 4,
+                start: SimTime::ZERO,
+            },
+        );
+        let f = g.add_stage(
+            "trigger",
+            StageKind::Filter { rate: DataRate::mb_per_sec(200.0), accept_ratio },
+        );
+        let a = g.add_stage("tape", StageKind::Archive);
+        g.connect(s, f).unwrap();
+        g.connect(f, a).unwrap();
+        g
+    }
+
+    #[test]
+    fn filter_forwards_only_the_accepted_fraction() {
+        let report = FlowSim::new(filter_graph(0.05), vec![]).unwrap().run().unwrap();
+        let trigger = report.stage("trigger").unwrap();
+        let tape = report.stage("tape").unwrap();
+        assert_eq!(trigger.volume_in, DataVolume::gb(40));
+        assert_eq!(trigger.volume_out, DataVolume::gb(2)); // 5% of 40 GB
+        assert_eq!(tape.volume_in, DataVolume::gb(2));
+        assert_eq!(report.retained_storage, DataVolume::gb(2));
+        // Rejected volume is derivable, not stored: in − out.
+        assert_eq!(trigger.volume_in - trigger.volume_out, DataVolume::gb(38));
+        assert_eq!(report.ledger_underflows, 0);
+    }
+
+    #[test]
+    fn filter_inspects_in_real_time() {
+        // 10 GB at 200 MB/s is 50 s per block, against a 100 s cadence: the
+        // trigger keeps up and the flow ends 50 s after the last block.
+        let report = FlowSim::new(filter_graph(0.05), vec![]).unwrap().run().unwrap();
+        assert!((report.finished_at.as_secs_f64() - 350.0).abs() < 1e-6);
+        assert_eq!(report.backlog_at_source_end, Some(DataVolume::ZERO));
+    }
+
+    #[test]
+    fn filter_accept_ratio_must_be_a_fraction() {
+        assert!(matches!(
+            FlowSim::new(filter_graph(1.5), vec![]),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            FlowSim::new(filter_graph(-0.1), vec![]),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn fifo_policy_also_conserves_volume() {
+        let g = simple_graph(100.0, 0.5);
+        let report = FlowSim::new(g, vec![CpuPool::new("pool", 4)])
+            .unwrap()
+            .with_policy(SchedPolicy::Fifo)
+            .run()
+            .unwrap();
+        assert_eq!(report.stage("archive").unwrap().volume_in, DataVolume::gb(54));
     }
 
     #[test]

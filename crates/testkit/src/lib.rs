@@ -31,4 +31,4 @@ pub use invariants::{
     assert_transfer_conservation, assert_within_pct,
 };
 pub use rng::{derive_seed, seeded_rng};
-pub use scenarios::{LossyFlowScenario, LossyLinkScenario};
+pub use scenarios::{LossyFlowScenario, LossyLinkScenario, SharedPoolScenario};

@@ -135,8 +135,10 @@ impl LossyFlowScenario {
                 start: SimTime::ZERO,
             },
         );
-        let t =
-            g.add_stage(Self::LINK, StageKind::Transfer { rate: self.rate, latency: self.latency });
+        let t = g.add_stage(
+            Self::LINK,
+            StageKind::Transfer { rate: self.rate, latency: self.latency, channels: 1 },
+        );
         let a = g.add_stage(Self::ARCHIVE, StageKind::Archive);
         g.connect(s, t).expect("fresh graph");
         g.connect(t, a).expect("fresh graph");
@@ -153,9 +155,111 @@ impl LossyFlowScenario {
     }
 }
 
+/// Two identical `Process` stages contending for one shared CPU pool: the
+/// fixture for scheduler-fairness properties. Both sides get the same work
+/// (same volume, rate and chunking), so a fair policy finishes them close
+/// together while a policy that lets the head-of-queue stage monopolise the
+/// pool finishes one side long before the other.
+#[derive(Debug, Clone)]
+pub struct SharedPoolScenario {
+    pub seed: u64,
+    /// Blocks each source emits (all near time zero, so queues build up).
+    pub blocks: u64,
+    /// Volume of one block.
+    pub block: DataVolume,
+    /// Per-CPU processing rate of both contending stages.
+    pub rate: DataRate,
+}
+
+impl SharedPoolScenario {
+    pub const POOL: &'static str = "shared-farm";
+    pub const LEFT: &'static str = "proc-left";
+    pub const RIGHT: &'static str = "proc-right";
+
+    /// Tasks one block splits into (chunked so contention actually occurs).
+    const CHUNKS_PER_BLOCK: u64 = 8;
+
+    pub fn new(seed: u64) -> Self {
+        use rand::Rng;
+        let mut rng = crate::rng::seeded_rng(derive_seed(seed, "shared-pool"));
+        SharedPoolScenario {
+            seed,
+            blocks: rng.gen_range(2..=4),
+            block: DataVolume::gb(rng.gen_range(1..=8)),
+            rate: DataRate::mb_per_sec(rng.gen_range(20.0..80.0)),
+        }
+    }
+
+    /// Duration of one dispatched task — the natural unit for fairness gaps.
+    pub fn task_duration(&self) -> SimDuration {
+        (self.block / Self::CHUNKS_PER_BLOCK).time_at(self.rate).expect("scenario rate is nonzero")
+    }
+
+    fn graph(&self) -> FlowGraph {
+        use sciflow_core::spec::{FlowSpec, ProcessSpec, SourceSpec};
+        let chunk = self.block / Self::CHUNKS_PER_BLOCK;
+        // Blocks land every second while tasks take minutes: both queues are
+        // deep for essentially the whole run.
+        let mut spec = FlowSpec::new();
+        for side in ["left", "right"] {
+            spec = spec
+                .source(
+                    format!("feed-{side}"),
+                    SourceSpec::new(self.block, SimDuration::from_secs(1), self.blocks),
+                )
+                .process(
+                    format!("proc-{side}"),
+                    ProcessSpec::new(self.rate, Self::POOL).chunk(chunk),
+                    &[&format!("feed-{side}")],
+                )
+                .archive(format!("sink-{side}"), &[&format!("proc-{side}")]);
+        }
+        spec.build().expect("shared-pool scenario graph is valid")
+    }
+
+    /// Run with a single-CPU pool under the given scheduling policy.
+    pub fn run(&self, policy: sciflow_core::resource::SchedPolicy) -> SimReport {
+        use sciflow_core::sim::CpuPool;
+        FlowSim::new(self.graph(), vec![CpuPool::new(Self::POOL, 1)])
+            .expect("scenario graph is valid")
+            .with_policy(policy)
+            .run()
+            .expect("scenario flow converges")
+    }
+
+    /// Gap between the two stages' last completions.
+    pub fn completion_gap(report: &SimReport) -> SimDuration {
+        let left = report.stage(Self::LEFT).expect("left stage in report").completed_at;
+        let right = report.stage(Self::RIGHT).expect("right stage in report").completed_at;
+        left.max(right).checked_sub(left.min(right)).unwrap_or_default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sciflow_core::resource::SchedPolicy;
+
+    #[test]
+    fn rotation_finishes_the_contenders_together_fifo_does_not() {
+        let s = SharedPoolScenario::new(7);
+        let fair = s.run(SchedPolicy::FairShare);
+        let fifo = s.run(SchedPolicy::Fifo);
+        let fair_gap = SharedPoolScenario::completion_gap(&fair);
+        let fifo_gap = SharedPoolScenario::completion_gap(&fifo);
+        // Under rotation the last two tasks belong to different stages;
+        // under FIFO the head stage drains completely first.
+        assert!(fair_gap <= s.task_duration() * 2, "fair gap {fair_gap}");
+        assert!(fifo_gap > fair_gap, "fifo gap {fifo_gap} <= fair gap {fair_gap}");
+        // Either way every byte is processed.
+        for report in [&fair, &fifo] {
+            for stage in [SharedPoolScenario::LEFT, SharedPoolScenario::RIGHT] {
+                let m = report.stage(stage).unwrap();
+                assert_eq!(m.volume_out, m.volume_in);
+                assert!(m.final_queue_volume.is_zero());
+            }
+        }
+    }
 
     #[test]
     fn lossy_link_scenario_is_drop_heavy() {

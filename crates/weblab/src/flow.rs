@@ -6,8 +6,9 @@
 //! and database-load components "each ... tested at sustained rates of
 //! approximately 1 TB per day, when given sole use of the system".
 
-use sciflow_core::graph::{FlowGraph, StageKind};
-use sciflow_core::units::{DataRate, DataVolume, SimDuration, SimTime};
+use sciflow_core::graph::FlowGraph;
+use sciflow_core::spec::{FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
+use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
 /// Paper-scale parameters.
 #[derive(Debug, Clone)]
@@ -47,54 +48,39 @@ pub const WEBLAB_POOL: &str = "es7000";
 /// Build the ingest flow: Internet Archive → Internet2 link → preload →
 /// (database load → relational store, content → page store).
 pub fn weblab_flow_graph(p: &WeblabFlowParams) -> FlowGraph {
-    let mut g = FlowGraph::new();
-    let ia = g.add_stage(
-        "internet-archive",
-        StageKind::Source {
-            block: p.daily_volume,
-            interval: SimDuration::from_days(1),
-            blocks: p.days,
-            start: SimTime::ZERO,
-        },
-    );
-    let link = g.add_stage(
-        "internet2-link",
-        StageKind::Transfer { rate: p.link_rate, latency: p.link_latency },
-    );
-    // Preload: decompress + parse, emitting metadata and content.
-    let preload = g.add_stage(
-        "preload",
-        StageKind::Process {
-            rate_per_cpu: DataRate::from_bytes_per_sec(p.preload_rate.bytes_per_sec() / 8.0),
-            cpus_per_task: 1,
-            chunk: Some(DataVolume::gb(10)), // ARC/DAT files are independent
-            output_ratio: 1.0,
-            pool: WEBLAB_POOL.into(),
-            workspace_ratio: 0.3, // decompressed working set
-            retain_input: false,
-        },
-    );
-    let dbload = g.add_stage(
-        "database-load",
-        StageKind::Process {
-            rate_per_cpu: DataRate::from_bytes_per_sec(p.dbload_rate.bytes_per_sec() / 8.0),
-            cpus_per_task: 1,
-            chunk: Some(DataVolume::gb(10)),
-            output_ratio: p.metadata_ratio,
-            pool: WEBLAB_POOL.into(),
-            workspace_ratio: 0.0,
-            retain_input: false,
-        },
-    );
-    let db = g.add_stage("relational-store", StageKind::Archive);
-    let content = g.add_stage("page-store", StageKind::Archive);
-
-    g.connect(ia, link).expect("stages exist");
-    g.connect(link, preload).expect("stages exist");
-    g.connect(preload, dbload).expect("stages exist");
-    g.connect(dbload, db).expect("stages exist");
-    g.connect(preload, content).expect("stages exist");
-    g
+    // The paper's sustained component rates were measured "given sole use of
+    // the system" (8 processors each): divide by 8 for the per-CPU rate.
+    let preload_per_cpu = DataRate::from_bytes_per_sec(p.preload_rate.bytes_per_sec() / 8.0);
+    let dbload_per_cpu = DataRate::from_bytes_per_sec(p.dbload_rate.bytes_per_sec() / 8.0);
+    FlowSpec::new()
+        .source(
+            "internet-archive",
+            SourceSpec::new(p.daily_volume, SimDuration::from_days(1), p.days),
+        )
+        .transfer(
+            "internet2-link",
+            TransferSpec::new(p.link_rate).latency(p.link_latency),
+            &["internet-archive"],
+        )
+        // Preload: decompress + parse, emitting metadata and content.
+        .process(
+            "preload",
+            ProcessSpec::new(preload_per_cpu, WEBLAB_POOL)
+                .chunk(DataVolume::gb(10)) // ARC/DAT files are independent
+                .workspace_ratio(0.3), // decompressed working set
+            &["internet2-link"],
+        )
+        .process(
+            "database-load",
+            ProcessSpec::new(dbload_per_cpu, WEBLAB_POOL)
+                .chunk(DataVolume::gb(10))
+                .output_ratio(p.metadata_ratio),
+            &["preload"],
+        )
+        .archive("relational-store", &["database-load"])
+        .archive("page-store", &["preload"])
+        .build()
+        .expect("weblab flow spec is valid")
 }
 
 #[cfg(test)]
