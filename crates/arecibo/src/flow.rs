@@ -9,7 +9,8 @@
 //! "overall about 50 to 200 processors would be needed to keep up with the
 //! flow of data".
 
-use sciflow_core::graph::FlowGraph;
+use sciflow_core::fault::FaultProfile;
+use sciflow_core::graph::{CheckpointPolicy, FlowGraph};
 use sciflow_core::spec::{FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
@@ -36,6 +37,10 @@ pub struct AreciboFlowParams {
     pub product_ratio: f64,
     /// Candidate fraction of products (0.1% of raw overall).
     pub candidate_ratio: f64,
+    /// Checkpoint policy of the dedispersion stage. Dedispersing one
+    /// pointing takes hours per CPU, so on a crashing farm this is the
+    /// stage where checkpoint/restart pays for itself.
+    pub dedisperse_checkpoint: CheckpointPolicy,
 }
 
 impl Default for AreciboFlowParams {
@@ -53,6 +58,7 @@ impl Default for AreciboFlowParams {
             search_rate_per_cpu: DataRate::mb_per_sec(0.7),
             product_ratio: 0.02,
             candidate_ratio: 0.05, // 5% of 2% = 0.1% of raw
+            dedisperse_checkpoint: CheckpointPolicy::None,
         }
     }
 }
@@ -63,6 +69,20 @@ impl AreciboFlowParams {
     pub fn pointing_volume(&self) -> DataVolume {
         self.weekly_block / 400
     }
+
+    /// Checkpoint the dedispersion stage every `every` of computed work.
+    pub fn with_dedisperse_checkpoint(mut self, every: SimDuration) -> Self {
+        self.dedisperse_checkpoint = CheckpointPolicy::interval(every);
+        self
+    }
+}
+
+/// A crash profile for the CTC processing farm: `crashes_per_day` single-CPU
+/// failures a day, each repaired in about `mean_repair`. Pair with
+/// [`AreciboFlowParams::with_dedisperse_checkpoint`] to bound the work each
+/// crash destroys.
+pub fn ctc_crash_profile(crashes_per_day: f64, mean_repair: SimDuration) -> FaultProfile {
+    FaultProfile::node_crashes(CTC_POOL, crashes_per_day, 1, mean_repair)
 }
 
 /// Pool name used by the processing stages.
@@ -95,7 +115,8 @@ pub fn arecibo_flow_graph(p: &AreciboFlowParams) -> FlowGraph {
             ProcessSpec::new(p.dedisperse_rate_per_cpu, CTC_POOL)
                 .chunk(p.pointing_volume())
                 .workspace_ratio(0.15) // iterative processing scratch
-                .retain_input(true), // raw kept for reprocessing; output ≈ raw
+                .retain_input(true) // raw kept for reprocessing; output ≈ raw
+                .checkpoint(p.dedisperse_checkpoint),
             &["ship-disks"],
         )
         .process(
@@ -208,5 +229,42 @@ mod tests {
         let g = arecibo_flow_graph(&AreciboFlowParams::default());
         g.validate().unwrap();
         assert_eq!(g.referenced_pools(), vec![CTC_POOL, "observatory"]);
+    }
+
+    #[test]
+    fn checkpointed_dedispersion_survives_a_crashing_farm() {
+        use sciflow_core::fault::{FaultPlan, RetryPolicy};
+
+        // One week of data on a farm small enough to stay saturated, so
+        // crashes land on busy cpus; each pointing is a ~28 h task.
+        let base = AreciboFlowParams { weeks: 1, ..AreciboFlowParams::default() };
+        let profile = ctc_crash_profile(4.0, SimDuration::from_hours(2));
+        let plan = FaultPlan::generate(11, SimDuration::from_days(30), &profile);
+        let run = |params: &AreciboFlowParams| {
+            FlowSim::new(
+                arecibo_flow_graph(params),
+                vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 100)],
+            )
+            .expect("valid flow")
+            .with_faults(plan.clone(), RetryPolicy::default())
+            .run()
+            .expect("flow completes")
+        };
+        let plain = run(&base);
+        let ckpt = run(&base.clone().with_dedisperse_checkpoint(SimDuration::from_hours(2)));
+        let (p, c) =
+            (plain.stage("dedisperse").unwrap().clone(), ckpt.stage("dedisperse").unwrap().clone());
+        assert!(p.crashes > 0, "the crash plan must kill dedispersion tasks");
+        assert!(
+            c.work_lost < p.work_lost,
+            "checkpointing must salvage work: {} vs {}",
+            c.work_lost,
+            p.work_lost
+        );
+        // Crashes destroy compute, never data: the full raw volume is
+        // dedispersed either way.
+        let raw = plain.stage("acquire").unwrap().volume_out;
+        assert_eq!(p.volume_out, raw);
+        assert_eq!(c.volume_out, raw);
     }
 }

@@ -9,7 +9,8 @@
 //! [`cms_filter_required`] and as a runnable flow by
 //! [`cms_trigger_flow_graph`].
 
-use sciflow_core::graph::FlowGraph;
+use sciflow_core::fault::FaultProfile;
+use sciflow_core::graph::{CheckpointPolicy, FlowGraph};
 use sciflow_core::spec::{FilterSpec, FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
@@ -31,6 +32,10 @@ pub struct CleoFlowParams {
     /// USB-disk shipments the MC production is batched into.
     pub mc_shipments: u64,
     pub recon_rate_per_cpu: DataRate,
+    /// Checkpoint policy of the reconstruction stage — the farm's
+    /// long-running compute, and the stage worth restarting from a
+    /// checkpoint when Wilson-lab nodes die mid-run.
+    pub recon_checkpoint: CheckpointPolicy,
 }
 
 impl Default for CleoFlowParams {
@@ -44,12 +49,27 @@ impl Default for CleoFlowParams {
             mc_per_run: DataVolume::gb(30),
             mc_shipments: 2,
             recon_rate_per_cpu: DataRate::mb_per_sec(2.0),
+            recon_checkpoint: CheckpointPolicy::None,
         }
+    }
+}
+
+impl CleoFlowParams {
+    /// Checkpoint reconstruction every `every` of computed work.
+    pub fn with_recon_checkpoint(mut self, every: SimDuration) -> Self {
+        self.recon_checkpoint = CheckpointPolicy::interval(every);
+        self
     }
 }
 
 /// Pool used by the on-site processing farm.
 pub const WILSON_POOL: &str = "wilson-lab";
+
+/// A crash profile for the Wilson-lab farm: `crashes_per_day` single-node
+/// failures a day, each repaired in about `mean_repair`.
+pub fn wilson_crash_profile(crashes_per_day: f64, mean_repair: SimDuration) -> FaultProfile {
+    FaultProfile::node_crashes(WILSON_POOL, crashes_per_day, 1, mean_repair)
+}
 
 /// Build the Figure-2 flow: run acquisition → reconstruction →
 /// post-reconstruction → collaboration EventStore; MC produced in parallel
@@ -67,7 +87,8 @@ pub fn cleo_flow_graph(p: &CleoFlowParams) -> FlowGraph {
                 .chunk(p.run_volume / 16) // events are independent
                 .output_ratio(p.recon_ratio)
                 .workspace_ratio(0.1)
-                .retain_input(true), // raw runs are kept
+                .retain_input(true) // raw runs are kept
+                .checkpoint(p.recon_checkpoint),
             &["acquire-runs"],
         )
         .process(
@@ -257,5 +278,37 @@ mod tests {
     fn graph_validates() {
         cleo_flow_graph(&CleoFlowParams::default()).validate().unwrap();
         cms_trigger_flow_graph(&CmsTriggerParams::default()).validate().unwrap();
+    }
+
+    #[test]
+    fn checkpointed_reconstruction_survives_a_crashing_farm() {
+        use sciflow_core::fault::{FaultPlan, RetryPolicy};
+
+        // A farm small enough to stay busy, crashed hard: two dozen node
+        // failures a day against ~3.5 cpu-hours of reconstruction per run.
+        let base = CleoFlowParams::default();
+        let profile = wilson_crash_profile(24.0, SimDuration::from_mins(20));
+        let plan = FaultPlan::generate(23, SimDuration::from_days(14), &profile);
+        let run = |params: &CleoFlowParams| {
+            FlowSim::new(cleo_flow_graph(params), vec![CpuPool::new(WILSON_POOL, 4)])
+                .expect("valid flow")
+                .with_faults(plan.clone(), RetryPolicy::default())
+                .run()
+                .expect("flow completes")
+        };
+        let plain = run(&base);
+        let ckpt = run(&base.clone().with_recon_checkpoint(SimDuration::from_mins(5)));
+        let p = plain.stage("reconstruction").unwrap();
+        let c = ckpt.stage("reconstruction").unwrap();
+        assert!(p.crashes > 0, "the crash plan must kill reconstruction tasks");
+        assert!(
+            c.work_lost < p.work_lost,
+            "checkpointing must salvage work: {} vs {}",
+            c.work_lost,
+            p.work_lost
+        );
+        // Crashes destroy compute, never data.
+        assert_eq!(p.volume_out, c.volume_out);
+        assert_eq!(p.volume_out, plain.stage("acquire-runs").unwrap().volume_out * 6 / 10);
     }
 }

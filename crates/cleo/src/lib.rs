@@ -42,7 +42,9 @@ pub use asu::{decompose, Asu, AsuKind, EventAsus};
 pub use detector::{simulate_event, DetectorConfig, DetectorResponse, Hit};
 pub use event::{CollisionEvent, Particle, ParticleKind, Run};
 pub use fineprov::{header_scheme_bytes, FineProvenanceStore, ProvRef};
-pub use flow::{cleo_flow_graph, cms_filter_required, CleoFlowParams, WILSON_POOL};
+pub use flow::{
+    cleo_flow_graph, cms_filter_required, wilson_crash_profile, CleoFlowParams, WILSON_POOL,
+};
 pub use generator::{generate_event, generate_run, GeneratorConfig};
 pub use montecarlo::{produce_mc_run, stage_into_personal_store, McSample};
 pub use partition::{default_tiering, hot_kinds, PartitionedStore, ReadStats, RowStore, Tier};

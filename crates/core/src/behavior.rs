@@ -24,9 +24,9 @@ use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 
-use crate::engine::Scheduler;
+use crate::engine::{EventId, Scheduler};
 use crate::fault::{FaultPlan, RetryPolicy};
-use crate::graph::{FlowGraph, StageId};
+use crate::graph::{CheckpointPolicy, FlowGraph, StageId};
 use crate::metrics::StageMetrics;
 use crate::resource::{ResourceId, ResourceSet, StorageLedger};
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
@@ -40,6 +40,11 @@ pub enum FlowEvent {
     Arrive { stage: StageId, volume: DataVolume },
     /// Work previously scheduled by `stage` completes.
     Complete { stage: StageId, done: Completion },
+    /// `units` of `resource` die (`None` takes everything online down).
+    /// Scheduled from the fault plan's crash timeline before the run starts.
+    CrashResource { resource: ResourceId, units: Option<u32>, repair: SimDuration },
+    /// `units` of `resource` come back from repair.
+    RepairResource { resource: ResourceId, units: u32 },
 }
 
 /// What kind of work completed at a stage.
@@ -48,8 +53,9 @@ pub enum Completion {
     /// A source's next block is due.
     Produced,
     /// A processing task finishes: `input` consumed, `held` working space to
-    /// release, `cpus` to return to the pool.
-    Task { input: DataVolume, held: DataVolume, cpus: u32 },
+    /// release, `cpus` to return to the pool. `id` ties the completion to the
+    /// stage's in-flight bookkeeping (crash recovery cancels by id).
+    Task { id: u64, input: DataVolume, held: DataVolume, cpus: u32 },
     /// A transfer delivers `volume` downstream.
     Delivered { volume: DataVolume },
     /// A retry of a faulted transfer begins (`attempt` is 0-based).
@@ -57,7 +63,7 @@ pub enum Completion {
     /// A transfer abandons `volume` after exhausting its retry budget.
     Abandoned { volume: DataVolume },
     /// A filter finishes inspecting `volume`.
-    Inspected { volume: DataVolume },
+    Inspected { id: u64, volume: DataVolume },
 }
 
 /// Outcome of a [`StageBehavior::try_dispatch`] call, driving the
@@ -153,9 +159,16 @@ impl<'a> StageCtx<'a> {
         self.faults.as_mut()
     }
 
-    /// Schedule a [`Completion`] for the current stage at `at`.
-    pub fn complete_at(&mut self, at: SimTime, done: Completion) {
-        self.sched.schedule(at, FlowEvent::Complete { stage: self.stage, done });
+    /// Schedule a [`Completion`] for the current stage at `at`. The returned
+    /// [`EventId`] can cancel it (crash recovery kills in-flight tasks).
+    pub fn complete_at(&mut self, at: SimTime, done: Completion) -> EventId {
+        self.sched.schedule(at, FlowEvent::Complete { stage: self.stage, done })
+    }
+
+    /// Cancel a completion scheduled with [`StageCtx::complete_at`] before it
+    /// fires. Returns `None` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> Option<FlowEvent> {
+        self.sched.cancel(id)
     }
 
     /// Fan a block out to every downstream stage, arriving now (each
@@ -201,10 +214,88 @@ pub trait StageBehavior {
         Dispatch::Idle
     }
 
+    /// A crash on `resource` still needs `needed` units after the idle ones
+    /// died. Kill in-flight tasks (youngest first, so recovery order is
+    /// deterministic) until `needed` units are reclaimed or nothing is left,
+    /// releasing their units back to the resource; return the units freed.
+    /// Stages that hold nothing on `resource` return 0 (the default).
+    fn on_crash(&mut self, _ctx: &mut StageCtx, _resource: ResourceId, _needed: u32) -> u32 {
+        0
+    }
+
     /// Volume currently queued at this stage (for backlog accounting).
     fn queued_volume(&self) -> DataVolume {
         DataVolume::ZERO
     }
+}
+
+/// A queued unit of compute work, carrying checkpoint state across
+/// crash/requeue cycles.
+struct PendingTask {
+    input: DataVolume,
+    /// Work already banked by checkpoints from earlier (crashed) runs.
+    banked: SimDuration,
+    /// Work the last crash destroyed; counted as replayed when the task next
+    /// dispatches and re-does it.
+    replay: SimDuration,
+}
+
+impl PendingTask {
+    fn fresh(input: DataVolume) -> Self {
+        PendingTask { input, banked: SimDuration::ZERO, replay: SimDuration::ZERO }
+    }
+}
+
+/// Bookkeeping for a compute task currently holding resource units.
+struct RunningTask {
+    id: u64,
+    event: EventId,
+    input: DataVolume,
+    held: DataVolume,
+    units: u32,
+    started_at: SimTime,
+    ends_at: SimTime,
+    /// Work banked before this run started.
+    banked: SimDuration,
+    /// Useful work this run must accomplish (total minus `banked`).
+    payload: SimDuration,
+    /// Checkpoint-write time scheduled on top of `payload`.
+    overhead: SimDuration,
+}
+
+/// How much of a killed run survives: checkpoints completed during `raw`
+/// useful work bank `every` of payload each and cost `every + cost` of work
+/// time apiece; everything past the last completed checkpoint is lost.
+/// Returns `(banked, written, lost)`.
+fn salvage(
+    policy: CheckpointPolicy,
+    raw: SimDuration,
+    payload: SimDuration,
+) -> (SimDuration, u32, SimDuration) {
+    match policy {
+        CheckpointPolicy::None => (SimDuration::ZERO, 0, raw),
+        CheckpointPolicy::Interval { every, cost } => {
+            if every.is_zero() {
+                return (SimDuration::ZERO, 0, raw);
+            }
+            let step = every + cost;
+            let scheduled = checkpoints_for(payload, every);
+            let completed = ((raw.as_micros() / step.as_micros()) as u32).min(scheduled);
+            let banked = every * completed as u64;
+            let lost = raw.saturating_sub(step * completed as u64);
+            (banked, completed, lost)
+        }
+    }
+}
+
+/// Checkpoints written for a run of `payload` useful work: one per full
+/// `every`, except that a checkpoint coinciding with task completion is
+/// pointless and skipped.
+fn checkpoints_for(payload: SimDuration, every: SimDuration) -> u32 {
+    if every.is_zero() || payload.is_zero() {
+        return 0;
+    }
+    ((payload.as_micros() - 1) / every.as_micros()) as u32
 }
 
 /// Emits `blocks` blocks of `block` bytes, one every `interval`.
@@ -262,9 +353,12 @@ pub struct ProcessBehavior {
     output_ratio: f64,
     workspace_ratio: f64,
     retain_input: bool,
+    checkpoint: CheckpointPolicy,
     pool: ResourceId,
-    queue: VecDeque<DataVolume>,
+    queue: VecDeque<PendingTask>,
     queued_volume: DataVolume,
+    running: Vec<RunningTask>,
+    next_task: u64,
 }
 
 impl ProcessBehavior {
@@ -276,6 +370,7 @@ impl ProcessBehavior {
         output_ratio: f64,
         workspace_ratio: f64,
         retain_input: bool,
+        checkpoint: CheckpointPolicy,
         pool: ResourceId,
     ) -> Self {
         ProcessBehavior {
@@ -285,9 +380,12 @@ impl ProcessBehavior {
             output_ratio,
             workspace_ratio,
             retain_input,
+            checkpoint,
             pool,
             queue: VecDeque::new(),
             queued_volume: DataVolume::ZERO,
+            running: Vec::new(),
+            next_task: 0,
         }
     }
 }
@@ -300,11 +398,11 @@ impl StageBehavior for ProcessBehavior {
                 let mut remaining = volume;
                 while remaining > DataVolume::ZERO {
                     let piece = remaining.min(c);
-                    self.queue.push_back(piece);
+                    self.queue.push_back(PendingTask::fresh(piece));
                     remaining -= piece;
                 }
             }
-            _ => self.queue.push_back(volume),
+            _ => self.queue.push_back(PendingTask::fresh(volume)),
         }
         self.queued_volume += volume;
         let (blocks, qv) = (self.queue.len(), self.queued_volume);
@@ -315,9 +413,15 @@ impl StageBehavior for ProcessBehavior {
     }
 
     fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion) {
-        let Completion::Task { input, held, cpus } = done else {
+        let Completion::Task { id, input, held, cpus } = done else {
             unreachable!("process completion must be Task")
         };
+        let slot = self
+            .running
+            .iter()
+            .position(|r| r.id == id)
+            .expect("completed task is tracked as running");
+        let run = self.running.swap_remove(slot);
         ctx.ledger().free(held);
         if self.retain_input {
             ctx.ledger().retain(input);
@@ -330,6 +434,7 @@ impl StageBehavior for ProcessBehavior {
         m.blocks_out += 1;
         m.volume_out += output;
         m.completed_at = now;
+        m.checkpoint_overhead += run.overhead;
         if !output.is_zero() {
             ctx.deliver(output);
         }
@@ -345,11 +450,21 @@ impl StageBehavior for ProcessBehavior {
         if ctx.resources().free(self.pool) < self.cpus_per_task {
             return Dispatch::Blocked; // head-of-line blocks until cpus free up
         }
-        let Some(input) = self.queue.pop_front() else { return Dispatch::Idle };
+        let Some(task) = self.queue.pop_front() else { return Dispatch::Idle };
+        let input = task.input;
         self.queued_volume -= input;
         ctx.resources().acquire(self.pool, self.cpus_per_task);
         let aggregate = self.rate_per_cpu * (self.cpus_per_task as f64);
-        let mut dur = input.time_at(aggregate).unwrap_or(SimDuration::ZERO);
+        let total = input.time_at(aggregate).unwrap_or(SimDuration::ZERO);
+        // Checkpointed work banked by earlier (crashed) runs is not re-done.
+        let payload = total.saturating_sub(task.banked);
+        let overhead = match self.checkpoint {
+            CheckpointPolicy::None => SimDuration::ZERO,
+            CheckpointPolicy::Interval { every, cost } => {
+                cost * checkpoints_for(payload, every) as u64
+            }
+        };
+        let mut dur = payload + overhead;
         // Injected stalls freeze the task while its cpus stay held.
         let mut stalls = 0u32;
         let now = ctx.now();
@@ -365,8 +480,73 @@ impl StageBehavior for ProcessBehavior {
         let m = ctx.metrics();
         m.busy += dur;
         m.faults += stalls as u64;
-        ctx.complete_at(now + dur, Completion::Task { input, held, cpus: self.cpus_per_task });
+        m.work_replayed += task.replay;
+        let id = self.next_task;
+        self.next_task += 1;
+        let event = ctx
+            .complete_at(now + dur, Completion::Task { id, input, held, cpus: self.cpus_per_task });
+        self.running.push(RunningTask {
+            id,
+            event,
+            input,
+            held,
+            units: self.cpus_per_task,
+            started_at: now,
+            ends_at: now + dur,
+            banked: task.banked,
+            payload,
+            overhead,
+        });
         Dispatch::Started { more: !self.queue.is_empty() }
+    }
+
+    fn on_crash(&mut self, ctx: &mut StageCtx, resource: ResourceId, needed: u32) -> u32 {
+        if resource != self.pool {
+            return 0;
+        }
+        let mut reclaimed = 0u32;
+        while reclaimed < needed {
+            // Youngest first: the task started last dies first, so the
+            // requeue order (front of the queue) replays deterministically.
+            let Some(run) = self.running.pop() else { break };
+            if ctx.cancel(run.event).is_none() {
+                // Completion already fired this instant; nothing to kill.
+                continue;
+            }
+            let now = ctx.now();
+            // Useful work accomplished so far: wall time minus stall freezes.
+            let raw = match ctx.faults() {
+                Some(f) => f.plan.progress_between(run.started_at, now),
+                None => now.checked_sub(run.started_at).unwrap_or(SimDuration::ZERO),
+            }
+            .min(run.payload + run.overhead);
+            let (banked, written, lost) = salvage(self.checkpoint, raw, run.payload);
+            // Refund the busy time the killed task will never use.
+            let remaining = run.ends_at.checked_sub(now).unwrap_or(SimDuration::ZERO);
+            ctx.resources().note_busy(self.pool, -(remaining.as_secs_f64() * run.units as f64));
+            let m = ctx.metrics();
+            m.busy = m.busy.saturating_sub(remaining);
+            m.crashes += 1;
+            m.work_lost += lost;
+            m.checkpoint_overhead += match self.checkpoint {
+                CheckpointPolicy::Interval { cost, .. } => cost * written as u64,
+                CheckpointPolicy::None => SimDuration::ZERO,
+            };
+            ctx.ledger().free(run.held);
+            ctx.resources().release(self.pool, run.units);
+            reclaimed += run.units;
+            self.queued_volume += run.input;
+            self.queue.push_front(PendingTask {
+                input: run.input,
+                banked: run.banked + banked,
+                replay: lost,
+            });
+        }
+        if !self.queue.is_empty() {
+            let stage = ctx.stage();
+            ctx.resources().enlist(self.pool, stage);
+        }
+        reclaimed
     }
 
     fn queued_volume(&self) -> DataVolume {
@@ -421,7 +601,9 @@ impl TransferBehavior {
         m.faults += outcome.faults_hit() + u64::from(degraded);
         m.busy += outcome.ends_at.checked_sub(now).unwrap_or(SimDuration::ZERO);
         match (outcome.failure, backoff) {
-            (None, _) => ctx.complete_at(outcome.ends_at, Completion::Delivered { volume }),
+            (None, _) => {
+                ctx.complete_at(outcome.ends_at, Completion::Delivered { volume });
+            }
             (Some(_), Some(wait)) => {
                 let m = ctx.metrics();
                 m.retries += 1;
@@ -431,7 +613,9 @@ impl TransferBehavior {
                     Completion::Attempt { volume, attempt: attempt + 1 },
                 );
             }
-            (Some(_), None) => ctx.complete_at(outcome.ends_at, Completion::Abandoned { volume }),
+            (Some(_), None) => {
+                ctx.complete_at(outcome.ends_at, Completion::Abandoned { volume });
+            }
         }
     }
 }
@@ -501,26 +685,37 @@ impl StageBehavior for TransferBehavior {
 pub struct FilterBehavior {
     rate: DataRate,
     accept_ratio: f64,
+    checkpoint: CheckpointPolicy,
     channel: ResourceId,
-    queue: VecDeque<DataVolume>,
+    queue: VecDeque<PendingTask>,
     queued_volume: DataVolume,
+    running: Vec<RunningTask>,
+    next_task: u64,
 }
 
 impl FilterBehavior {
-    pub(crate) fn new(rate: DataRate, accept_ratio: f64, channel: ResourceId) -> Self {
+    pub(crate) fn new(
+        rate: DataRate,
+        accept_ratio: f64,
+        checkpoint: CheckpointPolicy,
+        channel: ResourceId,
+    ) -> Self {
         FilterBehavior {
             rate,
             accept_ratio,
+            checkpoint,
             channel,
             queue: VecDeque::new(),
             queued_volume: DataVolume::ZERO,
+            running: Vec::new(),
+            next_task: 0,
         }
     }
 }
 
 impl StageBehavior for FilterBehavior {
     fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume) {
-        self.queue.push_back(volume);
+        self.queue.push_back(PendingTask::fresh(volume));
         self.queued_volume += volume;
         let (blocks, qv) = (self.queue.len(), self.queued_volume);
         ctx.metrics().note_queue(blocks, qv);
@@ -528,9 +723,15 @@ impl StageBehavior for FilterBehavior {
     }
 
     fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion) {
-        let Completion::Inspected { volume } = done else {
+        let Completion::Inspected { id, volume } = done else {
             unreachable!("filter completion must be Inspected")
         };
+        let slot = self
+            .running
+            .iter()
+            .position(|r| r.id == id)
+            .expect("completed inspection is tracked as running");
+        let run = self.running.swap_remove(slot);
         ctx.resources().release(self.channel, 1);
         let accepted = volume.scale(self.accept_ratio);
         let now = ctx.now();
@@ -538,6 +739,7 @@ impl StageBehavior for FilterBehavior {
         m.blocks_out += 1;
         m.volume_out += accepted;
         m.completed_at = now;
+        m.checkpoint_overhead += run.overhead;
         // The whole block's buffer is released; the accepted fraction is
         // re-allocated by whoever receives it, the rejected rest is gone.
         ctx.ledger().free(volume);
@@ -550,13 +752,38 @@ impl StageBehavior for FilterBehavior {
     fn try_dispatch(&mut self, ctx: &mut StageCtx) -> Dispatch {
         let mut started = false;
         while ctx.resources().free(self.channel) > 0 {
-            let Some(volume) = self.queue.pop_front() else { break };
+            let Some(task) = self.queue.pop_front() else { break };
+            let volume = task.input;
             self.queued_volume -= volume;
             ctx.resources().acquire(self.channel, 1);
-            let dur = volume.time_at(self.rate).unwrap_or(SimDuration::ZERO);
+            let total = volume.time_at(self.rate).unwrap_or(SimDuration::ZERO);
+            let payload = total.saturating_sub(task.banked);
+            let overhead = match self.checkpoint {
+                CheckpointPolicy::None => SimDuration::ZERO,
+                CheckpointPolicy::Interval { every, cost } => {
+                    cost * checkpoints_for(payload, every) as u64
+                }
+            };
+            let dur = payload + overhead;
             let now = ctx.now();
-            ctx.metrics().busy += dur;
-            ctx.complete_at(now + dur, Completion::Inspected { volume });
+            let m = ctx.metrics();
+            m.busy += dur;
+            m.work_replayed += task.replay;
+            let id = self.next_task;
+            self.next_task += 1;
+            let event = ctx.complete_at(now + dur, Completion::Inspected { id, volume });
+            self.running.push(RunningTask {
+                id,
+                event,
+                input: volume,
+                held: DataVolume::ZERO,
+                units: 1,
+                started_at: now,
+                ends_at: now + dur,
+                banked: task.banked,
+                payload,
+                overhead,
+            });
             started = true;
         }
         if started {
@@ -566,6 +793,52 @@ impl StageBehavior for FilterBehavior {
         } else {
             Dispatch::Blocked
         }
+    }
+
+    fn on_crash(&mut self, ctx: &mut StageCtx, resource: ResourceId, needed: u32) -> u32 {
+        if resource != self.channel {
+            return 0;
+        }
+        let mut reclaimed = 0u32;
+        while reclaimed < needed {
+            let Some(run) = self.running.pop() else { break };
+            if ctx.cancel(run.event).is_none() {
+                continue;
+            }
+            let now = ctx.now();
+            // Filters run in real time and are not stall-extended, so wall
+            // clock is useful work.
+            let raw = now
+                .checked_sub(run.started_at)
+                .unwrap_or(SimDuration::ZERO)
+                .min(run.payload + run.overhead);
+            let (banked, written, lost) = salvage(self.checkpoint, raw, run.payload);
+            let remaining = run.ends_at.checked_sub(now).unwrap_or(SimDuration::ZERO);
+            let m = ctx.metrics();
+            m.busy = m.busy.saturating_sub(remaining);
+            m.crashes += 1;
+            m.work_lost += lost;
+            m.checkpoint_overhead += match self.checkpoint {
+                CheckpointPolicy::Interval { cost, .. } => cost * written as u64,
+                CheckpointPolicy::None => SimDuration::ZERO,
+            };
+            ctx.resources().release(self.channel, run.units);
+            reclaimed += run.units;
+            self.queued_volume += run.input;
+            self.queue.push_front(PendingTask {
+                input: run.input,
+                banked: run.banked + banked,
+                replay: lost,
+            });
+        }
+        if !self.queue.is_empty() {
+            // Filters normally self-dispatch, but with the channel down the
+            // requeued work can only restart from the repair-time drain, which
+            // serves enlisted waiters.
+            let stage = ctx.stage();
+            ctx.resources().enlist(self.channel, stage);
+        }
+        reclaimed
     }
 
     fn queued_volume(&self) -> DataVolume {

@@ -25,6 +25,10 @@ pub trait EventHandler {
     fn handle(&mut self, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(usize);
+
 /// The clock plus the pending-event heap. Handlers use it to read the
 /// current time and schedule future events; the engine uses it to advance.
 pub struct Scheduler<E> {
@@ -47,18 +51,31 @@ impl<E> Scheduler<E> {
     }
 
     /// Enqueue `ev` to fire at `at`. Events at equal times fire in the order
-    /// they were scheduled.
-    pub fn schedule(&mut self, at: SimTime, ev: E) {
+    /// they were scheduled. The returned [`EventId`] can cancel the event
+    /// before it fires.
+    pub fn schedule(&mut self, at: SimTime, ev: E) -> EventId {
         let idx = self.payloads.len();
         self.payloads.push(Some(ev));
         self.heap.push(Reverse((at, self.seq, idx)));
         self.seq += 1;
+        EventId(idx)
+    }
+
+    /// Cancel a pending event, returning its payload. A cancelled event never
+    /// fires and never advances the clock. Returns `None` if it already fired
+    /// (or was already cancelled).
+    pub fn cancel(&mut self, id: EventId) -> Option<E> {
+        self.payloads[id.0].take()
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse((at, _, idx)) = self.heap.pop()?;
-        let ev = self.payloads[idx].take().expect("event consumed twice");
-        Some((at, ev))
+        // Skip heap entries whose payload was cancelled.
+        while let Some(Reverse((at, _, idx))) = self.heap.pop() {
+            if let Some(ev) = self.payloads[idx].take() {
+                return Some((at, ev));
+            }
+        }
+        None
     }
 }
 
@@ -143,6 +160,21 @@ mod tests {
         // `1` fires first, chains `10` (same instant) and `11` (at 1 s).
         assert_eq!(h.fired, vec![(1, 1), (1, 10), (5, 2), (5, 3), (1_000_001, 11)]);
         assert_eq!(end, t(1_000_001));
+    }
+
+    #[test]
+    fn cancelled_events_never_fire_nor_advance_the_clock() {
+        let mut engine = Engine::new();
+        let t = SimTime::from_micros;
+        engine.scheduler().schedule(t(1), 1);
+        let doomed = engine.scheduler().schedule(t(50), 2);
+        engine.scheduler().schedule(t(3), 3);
+        assert_eq!(engine.scheduler().cancel(doomed), Some(2));
+        assert_eq!(engine.scheduler().cancel(doomed), None, "double cancel yields nothing");
+        let mut h = Recorder { fired: Vec::new() };
+        let end = engine.run(&mut h).unwrap();
+        assert_eq!(h.fired, vec![(1, 1), (1, 10), (3, 3), (1_000_001, 11)]);
+        assert_eq!(end, t(1_000_001), "clock never reached the cancelled event's time");
     }
 
     #[test]

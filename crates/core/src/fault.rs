@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use crate::units::{SimDuration, SimTime};
 
 /// One kind of injected fault.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FaultKind {
     /// The connection is reset at the event time; any attempt in flight
     /// fails immediately and must retransmit from the start.
@@ -33,10 +33,17 @@ pub enum FaultKind {
     Corrupt,
     /// The sustained rate is multiplied by `factor` (< 1) for `duration`.
     RateDegrade { factor: f64, duration: SimDuration },
+    /// `cpus` processors of `pool` die at the event time and come back
+    /// `repair` later. Tasks running on the dead processors lose their
+    /// in-flight work (bounded by the stage's checkpoint policy) and requeue.
+    NodeCrash { pool: String, cpus: u32, repair: SimDuration },
+    /// The whole `pool` goes dark (power cut, scheduled drain) and returns
+    /// `repair` later. Equivalent to a NodeCrash of every online processor.
+    PoolOutage { pool: String, repair: SimDuration },
 }
 
 /// A fault keyed by simulated time.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
     pub at: SimTime,
     pub kind: FaultKind,
@@ -44,7 +51,7 @@ pub struct FaultEvent {
 
 /// Mean event rates used by [`FaultPlan::generate`]. All rates are Poisson
 /// arrivals per simulated day; durations are exponential with the given mean.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultProfile {
     pub drops_per_day: f64,
     pub stalls_per_day: f64,
@@ -54,6 +61,20 @@ pub struct FaultProfile {
     /// Rate multiplier applied during a degrade window (0 < factor ≤ 1).
     pub degrade_factor: f64,
     pub mean_degrade: SimDuration,
+    /// Node crashes per day against `crash_pool` (ignored when `crash_pool`
+    /// is `None`).
+    pub crashes_per_day: f64,
+    /// Processors taken down by each crash (clamped to ≥ 1 at generation).
+    pub cpus_per_crash: u32,
+    /// Mean time-to-repair of a crashed node (exponential).
+    pub mean_repair: SimDuration,
+    /// Whole-pool outages per day against `crash_pool`.
+    pub outages_per_day: f64,
+    /// Mean time-to-repair of a pool outage (exponential).
+    pub mean_outage_repair: SimDuration,
+    /// The CPU pool that crashes and outages target. `None` disables both
+    /// categories (and keeps plans byte-identical with pre-crash profiles).
+    pub crash_pool: Option<String>,
 }
 
 impl FaultProfile {
@@ -67,6 +88,12 @@ impl FaultProfile {
             degrades_per_day: 0.0,
             degrade_factor: 1.0,
             mean_degrade: SimDuration::ZERO,
+            crashes_per_day: 0.0,
+            cpus_per_crash: 1,
+            mean_repair: SimDuration::ZERO,
+            outages_per_day: 0.0,
+            mean_outage_repair: SimDuration::ZERO,
+            crash_pool: None,
         }
     }
 
@@ -81,12 +108,39 @@ impl FaultProfile {
             degrades_per_day: 2.0,
             degrade_factor: 0.4,
             mean_degrade: SimDuration::from_hours(1),
+            ..FaultProfile::clean()
         }
     }
 
     /// Only connection drops, at the given daily rate.
     pub fn drops(per_day: f64) -> Self {
         FaultProfile { drops_per_day: per_day, ..FaultProfile::clean() }
+    }
+
+    /// Only node crashes against `pool`: `per_day` crashes, each killing
+    /// `cpus_per_crash` processors for an exponential repair time with mean
+    /// `mean_repair`. The shape of a shared farm losing nodes to preemption
+    /// and hardware failure.
+    pub fn node_crashes(
+        pool: impl Into<String>,
+        per_day: f64,
+        cpus_per_crash: u32,
+        mean_repair: SimDuration,
+    ) -> Self {
+        FaultProfile {
+            crashes_per_day: per_day,
+            cpus_per_crash,
+            mean_repair,
+            crash_pool: Some(pool.into()),
+            ..FaultProfile::clean()
+        }
+    }
+
+    /// Add whole-pool outages to this profile (requires `crash_pool` set).
+    pub fn with_outages(mut self, per_day: f64, mean_repair: SimDuration) -> Self {
+        self.outages_per_day = per_day;
+        self.mean_outage_repair = mean_repair;
+        self
     }
 }
 
@@ -166,6 +220,32 @@ impl FaultPlan {
                 kind: FaultKind::RateDegrade { factor: profile.degrade_factor, duration },
             });
         }
+        // Crash categories draw last, so profiles without a crash pool keep
+        // generating byte-identical plans to the pre-crash fault layer.
+        if let Some(pool) = &profile.crash_pool {
+            for at in arrivals(profile.crashes_per_day, &mut rng) {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let repair =
+                    SimDuration::from_secs_f64(-u.ln() * profile.mean_repair.as_secs_f64());
+                events.push(FaultEvent {
+                    at,
+                    kind: FaultKind::NodeCrash {
+                        pool: pool.clone(),
+                        cpus: profile.cpus_per_crash.max(1),
+                        repair,
+                    },
+                });
+            }
+            for at in arrivals(profile.outages_per_day, &mut rng) {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let repair =
+                    SimDuration::from_secs_f64(-u.ln() * profile.mean_outage_repair.as_secs_f64());
+                events.push(FaultEvent {
+                    at,
+                    kind: FaultKind::PoolOutage { pool: pool.clone(), repair },
+                });
+            }
+        }
         events.sort_by_key(|e| e.at);
         FaultPlan { seed, events }
     }
@@ -238,6 +318,36 @@ impl FaultPlan {
             dur = next;
         }
         (dur, stalls_hit)
+    }
+
+    /// Useful work accomplished over the wall-clock window `[start, now)` by
+    /// a task whose progress freezes during stall events — the inverse view
+    /// of [`FaultPlan::stalled_duration`], used to value the partial progress
+    /// of a task killed by a crash. Stall windows are applied sequentially
+    /// (a stall arriving while an earlier freeze is still active extends the
+    /// freeze rather than overlapping it), matching the additive extension
+    /// model of `stalled_duration`.
+    pub fn progress_between(&self, start: SimTime, now: SimTime) -> SimDuration {
+        let Some(wall) = now.checked_sub(start) else {
+            return SimDuration::ZERO;
+        };
+        let mut frozen = 0u64;
+        let mut frozen_until = start.as_micros();
+        for e in &self.events {
+            if e.at >= now {
+                break;
+            }
+            if e.at < start {
+                continue;
+            }
+            if let FaultKind::Stall { duration } = e.kind {
+                let begin = e.at.as_micros().max(frozen_until);
+                let end = begin + duration.as_micros();
+                frozen += end.min(now.as_micros()).saturating_sub(begin);
+                frozen_until = end;
+            }
+        }
+        wall.saturating_sub(SimDuration::from_micros(frozen))
     }
 
     /// Decide how a single attempt spanning `[start, start + base)` fares.
@@ -531,6 +641,69 @@ mod tests {
         assert_eq!(plan.degrade_factor_at(SimTime::from_micros(10_000_000)), 0.5);
         assert_eq!(plan.degrade_factor_at(SimTime::from_micros(60_000_000)), 0.25);
         assert_eq!(plan.degrade_factor_at(SimTime::from_micros(300_000_000)), 1.0);
+    }
+
+    #[test]
+    fn crash_plans_are_seeded_and_gated_on_pool() {
+        let horizon = SimDuration::from_days(30);
+        let profile = FaultProfile::node_crashes("farm", 2.0, 4, SimDuration::from_hours(6))
+            .with_outages(0.1, SimDuration::from_hours(12));
+        let a = FaultPlan::generate(11, horizon, &profile);
+        let b = FaultPlan::generate(11, horizon, &profile);
+        assert_eq!(a, b);
+        let crashes = a.count(|k| matches!(k, FaultKind::NodeCrash { .. }));
+        assert!(crashes > 0, "30 days at 2/day must produce crashes");
+        for e in a.events() {
+            match &e.kind {
+                FaultKind::NodeCrash { pool, cpus, .. } => {
+                    assert_eq!(pool, "farm");
+                    assert_eq!(*cpus, 4);
+                }
+                FaultKind::PoolOutage { pool, .. } => assert_eq!(pool, "farm"),
+                other => panic!("crash-only profile generated {other:?}"),
+            }
+        }
+        // No crash pool: the crash rates are inert and the link-fault part of
+        // the plan is unchanged from a profile without crash fields at all.
+        let inert = FaultProfile { crash_pool: None, ..profile.clone() };
+        assert!(FaultPlan::generate(11, horizon, &inert).is_empty());
+        let flaky = FaultPlan::generate(11, horizon, &FaultProfile::flaky());
+        let flaky_with_pool = FaultPlan::generate(
+            11,
+            horizon,
+            &FaultProfile { crash_pool: Some("farm".into()), ..FaultProfile::flaky() },
+        );
+        assert_eq!(flaky, flaky_with_pool, "zero-rate crash draws must not disturb the RNG");
+    }
+
+    #[test]
+    fn progress_freezes_during_stalls() {
+        let s = |secs: u64| SimTime::from_micros(secs * 1_000_000);
+        let plan = FaultPlan::from_events(
+            0,
+            vec![
+                FaultEvent {
+                    at: s(10),
+                    kind: FaultKind::Stall { duration: SimDuration::from_secs(20) },
+                },
+                // Arrives during the first freeze: extends it sequentially.
+                FaultEvent {
+                    at: s(20),
+                    kind: FaultKind::Stall { duration: SimDuration::from_secs(10) },
+                },
+            ],
+        );
+        // Freeze covers [10, 40): only 10 s of the first 30 s are useful.
+        assert_eq!(plan.progress_between(SimTime::ZERO, s(30)), SimDuration::from_secs(10));
+        // Past the freeze, progress resumes.
+        assert_eq!(plan.progress_between(SimTime::ZERO, s(50)), SimDuration::from_secs(20));
+        // A window fully before the stall is untouched.
+        assert_eq!(plan.progress_between(SimTime::ZERO, s(10)), SimDuration::from_secs(10));
+        // Inverse of stalled_duration: 20 s of payload starting at 0 stalls
+        // to 50 s of wall clock, and 50 s of wall clock yields 20 s of work.
+        let (stalled, _) = plan.stalled_duration(SimTime::ZERO, SimDuration::from_secs(20));
+        assert_eq!(stalled, SimDuration::from_secs(50));
+        assert_eq!(plan.progress_between(SimTime::ZERO, s(50)), SimDuration::from_secs(20));
     }
 
     #[test]

@@ -20,6 +20,36 @@ impl StageId {
     }
 }
 
+/// How a compute stage bounds the work lost when a node crash kills a task
+/// mid-flight.
+///
+/// With [`CheckpointPolicy::None`] a killed task restarts from zero; with
+/// [`CheckpointPolicy::Interval`] it resumes from the last completed
+/// checkpoint, so at most `every + cost` of work is lost per crash. `cost` is
+/// the overhead of writing one checkpoint, added to the task's runtime for
+/// every full interval completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointPolicy {
+    /// No checkpoints: a crashed task loses all of its progress.
+    #[default]
+    None,
+    /// Checkpoint after every `every` of useful work, paying `cost` per
+    /// checkpoint written.
+    Interval { every: SimDuration, cost: SimDuration },
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `every` of work, with free checkpoint writes.
+    pub fn interval(every: SimDuration) -> Self {
+        CheckpointPolicy::Interval { every, cost: SimDuration::ZERO }
+    }
+
+    /// Checkpoint every `every` of work, paying `cost` per checkpoint.
+    pub fn interval_with_cost(every: SimDuration, cost: SimDuration) -> Self {
+        CheckpointPolicy::Interval { every, cost }
+    }
+}
+
 /// What a stage does with the blocks that reach it.
 #[derive(Debug, Clone)]
 pub enum StageKind {
@@ -50,6 +80,8 @@ pub enum StageKind {
         pool: String,
         workspace_ratio: f64,
         retain_input: bool,
+        /// How much work a node crash can destroy (see [`CheckpointPolicy`]).
+        checkpoint: CheckpointPolicy,
     },
     /// A transport channel (network link or physical shipment lane):
     /// `latency + volume / rate` per block, with up to `channels` blocks in
@@ -61,7 +93,7 @@ pub enum StageKind {
     /// the rest is discarded immediately. Models selection stages like the
     /// CMS first-level trigger, where data streams to tape at 200 MB/s only
     /// after substantial real-time filtering.
-    Filter { rate: DataRate, accept_ratio: f64 },
+    Filter { rate: DataRate, accept_ratio: f64, checkpoint: CheckpointPolicy },
     /// Terminal stage that accumulates everything it receives (tape archive,
     /// database load, dissemination store).
     Archive,
@@ -239,6 +271,7 @@ mod tests {
             pool: pool.to_string(),
             workspace_ratio: 0.0,
             retain_input: false,
+            checkpoint: CheckpointPolicy::None,
         }
     }
 

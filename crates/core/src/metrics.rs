@@ -32,6 +32,14 @@ pub struct StageMetrics {
     pub volume_retransmitted: DataVolume,
     /// Volume of abandoned blocks.
     pub volume_lost: DataVolume,
+    /// Tasks of this stage killed mid-flight by a node crash or pool outage.
+    pub crashes: u64,
+    /// Useful work destroyed by crashes (progress past the last checkpoint).
+    pub work_lost: SimDuration,
+    /// Work re-done after requeue to make up for `work_lost`.
+    pub work_replayed: SimDuration,
+    /// Extra runtime spent writing checkpoints.
+    pub checkpoint_overhead: SimDuration,
 }
 
 impl StageMetrics {
@@ -126,6 +134,29 @@ impl SimReport {
     pub fn total_volume_lost(&self) -> DataVolume {
         self.stages.iter().map(|s| s.volume_lost).sum()
     }
+
+    /// Total tasks killed by crashes across all stages.
+    pub fn total_crashes(&self) -> u64 {
+        self.stages.iter().map(|s| s.crashes).sum()
+    }
+
+    /// Total useful work destroyed by crashes.
+    pub fn total_work_lost(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for s in &self.stages {
+            total += s.work_lost;
+        }
+        total
+    }
+
+    /// Total checkpoint-write overhead across all stages.
+    pub fn total_checkpoint_overhead(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for s in &self.stages {
+            total += s.checkpoint_overhead;
+        }
+        total
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -147,6 +178,16 @@ impl fmt::Display for SimReport {
                 self.total_blocks_failed(),
                 self.total_volume_retransmitted(),
                 self.total_volume_lost(),
+            )?;
+        }
+        if self.total_crashes() > 0 {
+            writeln!(
+                f,
+                "  crashes {}  work lost {}  replayed {}  checkpoint overhead {}",
+                self.total_crashes(),
+                self.total_work_lost(),
+                self.stages.iter().fold(SimDuration::ZERO, |acc, s| acc + s.work_replayed),
+                self.total_checkpoint_overhead(),
             )?;
         }
         for s in &self.stages {

@@ -41,6 +41,8 @@ struct Resource {
     name: String,
     free: u32,
     total: u32,
+    /// Units taken down by crash/outage faults, pending repair.
+    offline: u32,
     peak_in_use: u32,
     /// Accumulated busy unit-seconds (cpu-seconds for pools).
     busy_unit_secs: f64,
@@ -80,6 +82,7 @@ impl ResourceSet {
             name,
             free: units,
             total: units,
+            offline: 0,
             peak_in_use: 0,
             busy_unit_secs: 0.0,
             waiters: VecDeque::new(),
@@ -111,18 +114,44 @@ impl ResourceSet {
         self.resources[rid.0].total
     }
 
+    /// Units not currently taken down by a crash (free + in use).
+    pub fn online(&self, rid: ResourceId) -> u32 {
+        let r = &self.resources[rid.0];
+        r.total - r.offline
+    }
+
     /// Take `units` from the resource; the caller must have checked
     /// [`ResourceSet::free`] first.
     pub fn acquire(&mut self, rid: ResourceId, units: u32) {
         let r = &mut self.resources[rid.0];
         r.free = r.free.checked_sub(units).expect("resource over-acquired");
-        r.peak_in_use = r.peak_in_use.max(r.total - r.free);
+        r.peak_in_use = r.peak_in_use.max(r.total - r.free - r.offline);
     }
 
     /// Return `units` to the resource.
     pub fn release(&mut self, rid: ResourceId, units: u32) {
         let r = &mut self.resources[rid.0];
-        r.free = (r.free + units).min(r.total);
+        r.free = (r.free + units).min(r.total - r.offline);
+    }
+
+    /// Take up to `units` idle units offline. Returns the shortfall — units
+    /// the crash still owes, to be reclaimed from in-flight tasks (the
+    /// behavior layer kills tasks and the caller crashes again with the
+    /// freed units).
+    pub fn crash(&mut self, rid: ResourceId, units: u32) -> u32 {
+        let r = &mut self.resources[rid.0];
+        let taken = r.free.min(units);
+        r.free -= taken;
+        r.offline += taken;
+        units - taken
+    }
+
+    /// Bring `units` back online after repair (clamped to what is offline).
+    pub fn repair(&mut self, rid: ResourceId, units: u32) {
+        let r = &mut self.resources[rid.0];
+        let back = r.offline.min(units);
+        r.offline -= back;
+        r.free += back;
     }
 
     /// Accumulate busy time (unit-seconds) against the resource.
@@ -297,6 +326,29 @@ mod tests {
         assert_eq!(rs.front_waiter(pool), Some(a), "fifo keeps the head in place");
         rs.after_dispatch(pool, false);
         assert_eq!(rs.front_waiter(pool), Some(b), "drained head is removed");
+    }
+
+    #[test]
+    fn crash_takes_idle_units_and_repair_restores_them() {
+        let (mut rs, pool) = set(SchedPolicy::FairShare);
+        rs.acquire(pool, 6); // 2 idle
+        let shortfall = rs.crash(pool, 5);
+        assert_eq!(shortfall, 3, "only the 2 idle units could die immediately");
+        assert_eq!(rs.free(pool), 0);
+        assert_eq!(rs.online(pool), 6);
+        // The behavior layer kills a task, freeing 3 cpus; the crash claims them.
+        rs.release(pool, 3);
+        assert_eq!(rs.crash(pool, shortfall), 0);
+        assert_eq!(rs.online(pool), 3);
+        // Releases while units are offline clamp to the online capacity.
+        rs.release(pool, 3);
+        assert_eq!(rs.free(pool), 3);
+        rs.repair(pool, 5);
+        assert_eq!(rs.online(pool), 8);
+        assert_eq!(rs.free(pool), 8);
+        // Peak tracking never counts offline units as in use.
+        let report = rs.pool_report(SimTime::from_micros(1_000_000));
+        assert_eq!(report[0].peak_in_use, 6);
     }
 
     #[test]

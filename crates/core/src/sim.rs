@@ -29,11 +29,11 @@ use crate::behavior::{
 };
 use crate::engine::{Engine, EventHandler, Scheduler};
 use crate::error::{CoreError, CoreResult};
-use crate::fault::{FaultPlan, RetryPolicy};
-use crate::graph::{FlowGraph, StageKind};
+use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
+use crate::graph::{CheckpointPolicy, FlowGraph, StageKind};
 use crate::metrics::{SimReport, StageMetrics};
 use crate::resource::{ResourceId, ResourceSet};
-use crate::units::{DataVolume, SimTime};
+use crate::units::{DataVolume, SimDuration, SimTime};
 
 pub use crate::resource::{SchedPolicy, StorageLedger};
 
@@ -106,7 +106,7 @@ impl FlowSim {
         for id in graph.stage_ids() {
             let stage = graph.stage(id);
             match &stage.kind {
-                StageKind::Process { cpus_per_task, pool, .. } => {
+                StageKind::Process { cpus_per_task, pool, checkpoint, .. } => {
                     let rid = resources.find(pool).expect("pool checked above");
                     let total = resources.total(rid);
                     if *cpus_per_task > total {
@@ -117,6 +117,7 @@ impl FlowSim {
                             ),
                         });
                     }
+                    validate_checkpoint(&stage.name, checkpoint)?;
                 }
                 StageKind::Transfer { channels, .. } => {
                     if *channels == 0 {
@@ -125,7 +126,7 @@ impl FlowSim {
                         });
                     }
                 }
-                StageKind::Filter { accept_ratio, .. } => {
+                StageKind::Filter { accept_ratio, checkpoint, .. } => {
                     if !(0.0..=1.0).contains(accept_ratio) {
                         return Err(CoreError::InvalidConfig {
                             detail: format!(
@@ -134,6 +135,7 @@ impl FlowSim {
                             ),
                         });
                     }
+                    validate_checkpoint(&stage.name, checkpoint)?;
                 }
                 StageKind::Source { .. } | StageKind::Archive => {}
             }
@@ -155,6 +157,7 @@ impl FlowSim {
                     pool,
                     workspace_ratio,
                     retain_input,
+                    checkpoint,
                 } => {
                     let rid = resources.find(pool).expect("pool checked above");
                     Box::new(ProcessBehavior::new(
@@ -164,6 +167,7 @@ impl FlowSim {
                         *output_ratio,
                         *workspace_ratio,
                         *retain_input,
+                        *checkpoint,
                         rid,
                     ))
                 }
@@ -171,9 +175,9 @@ impl FlowSim {
                     let rid = resources.add_channel(format!("{}#channel", stage.name), *channels);
                     Box::new(TransferBehavior::new(*rate, *latency, rid))
                 }
-                StageKind::Filter { rate, accept_ratio } => {
+                StageKind::Filter { rate, accept_ratio, checkpoint } => {
                     let rid = resources.add_channel(format!("{}#channel", stage.name), 1);
-                    Box::new(FilterBehavior::new(*rate, *accept_ratio, rid))
+                    Box::new(FilterBehavior::new(*rate, *accept_ratio, *checkpoint, rid))
                 }
                 StageKind::Archive => Box::new(ArchiveBehavior),
             };
@@ -231,6 +235,32 @@ impl FlowSim {
     /// Run to completion and produce a report.
     pub fn run(mut self) -> CoreResult<SimReport> {
         let mut engine = Engine::new().with_max_events(self.max_events);
+        // Crash timelines are flow-global, not stage-local, so the
+        // orchestrator schedules them up front. Crashes aimed at pools this
+        // flow doesn't use are silently irrelevant — same contract as link
+        // faults on stages that never transfer.
+        if let Some(f) = &self.faults {
+            let crashes: Vec<(SimTime, ResourceId, Option<u32>, SimDuration)> = f
+                .plan
+                .events()
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    FaultKind::NodeCrash { pool, cpus, repair } => self
+                        .resources
+                        .find(pool)
+                        .map(|rid| (e.at, rid, Some((*cpus).max(1)), *repair)),
+                    FaultKind::PoolOutage { pool, repair } => {
+                        self.resources.find(pool).map(|rid| (e.at, rid, None, *repair))
+                    }
+                    _ => None,
+                })
+                .collect();
+            for (at, resource, units, repair) in crashes {
+                engine
+                    .scheduler()
+                    .schedule(at, FlowEvent::CrashResource { resource, units, repair });
+            }
+        }
         // Let every behavior seed its initial events, in stage order.
         for id in self.graph.stage_ids() {
             let mut behavior = self.behaviors[id.index()].take().expect("behavior in place");
@@ -285,6 +315,62 @@ impl FlowSim {
         }
     }
 
+    /// Take `units` of `rid` offline (all of them for a pool outage). Idle
+    /// capacity is confiscated first; any shortfall is covered by killing
+    /// running tasks, youngest first, via each stage's
+    /// [`StageBehavior::on_crash`] hook. The units come back in one
+    /// `RepairResource` event after `repair`.
+    fn crash_resource(
+        &mut self,
+        rid: ResourceId,
+        units: Option<u32>,
+        repair: SimDuration,
+        sched: &mut Scheduler<FlowEvent>,
+    ) {
+        let online = self.resources.online(rid);
+        let take = units.unwrap_or(online).min(online);
+        if take == 0 {
+            return;
+        }
+        let mut shortfall = self.resources.crash(rid, take);
+        if shortfall > 0 {
+            for id in self.graph.stage_ids() {
+                let mut behavior = self.behaviors[id.index()].take().expect("behavior in place");
+                let mut fx = DeferredFx::default();
+                {
+                    let mut ctx = StageCtx::new(
+                        id,
+                        &self.graph,
+                        sched,
+                        &mut self.metrics,
+                        &mut self.ledger,
+                        &mut self.resources,
+                        &mut self.faults,
+                        &mut fx,
+                    );
+                    behavior.on_crash(&mut ctx, rid, shortfall);
+                }
+                self.behaviors[id.index()] = Some(behavior);
+                // Killed tasks released their units back to the free count;
+                // confiscate again until the crash is fully covered.
+                shortfall = self.resources.crash(rid, shortfall);
+                if shortfall == 0 {
+                    break;
+                }
+            }
+        }
+        let taken = take - shortfall;
+        if taken > 0 {
+            sched.schedule(
+                sched.now() + repair,
+                FlowEvent::RepairResource { resource: rid, units: taken },
+            );
+        }
+        // Killing a wide task can free more units than the crash consumed;
+        // let queued work claim the surviving capacity right away.
+        self.drain(rid, sched);
+    }
+
     fn total_queued(&self) -> DataVolume {
         self.behaviors.iter().map(|b| b.as_ref().expect("behavior in place").queued_volume()).sum()
     }
@@ -311,6 +397,20 @@ impl FlowSim {
     }
 }
 
+/// A zero-length checkpoint interval would mean "checkpoint continuously";
+/// nothing would ever be lost and the salvage arithmetic degenerates. Reject
+/// it at build time like the other degenerate stage parameters.
+fn validate_checkpoint(stage: &str, policy: &CheckpointPolicy) -> CoreResult<()> {
+    if let CheckpointPolicy::Interval { every, .. } = policy {
+        if every.is_zero() {
+            return Err(CoreError::InvalidConfig {
+                detail: format!("stage `{stage}` has a zero checkpoint interval"),
+            });
+        }
+    }
+    Ok(())
+}
+
 impl EventHandler for FlowSim {
     type Event = FlowEvent;
 
@@ -326,6 +426,15 @@ impl EventHandler for FlowSim {
                 (stage, Step::Arrive(volume))
             }
             FlowEvent::Complete { stage, done } => (stage, Step::Complete(done)),
+            FlowEvent::CrashResource { resource, units, repair } => {
+                self.crash_resource(resource, units, repair, sched);
+                return;
+            }
+            FlowEvent::RepairResource { resource, units } => {
+                self.resources.repair(resource, units);
+                self.drain(resource, sched);
+                return;
+            }
         };
         let mut behavior = self.behaviors[stage.index()].take().expect("behavior in place");
         let mut fx = DeferredFx::default();
@@ -385,6 +494,7 @@ mod tests {
                 pool: "pool".into(),
                 workspace_ratio: 0.0,
                 retain_input: false,
+                checkpoint: CheckpointPolicy::None,
             },
         );
         let a = g.add_stage("archive", StageKind::Archive);
@@ -469,6 +579,7 @@ mod tests {
                 pool: "pool".into(),
                 workspace_ratio: 0.0,
                 retain_input: false,
+                checkpoint: CheckpointPolicy::None,
             },
         );
         g.connect(s, p).unwrap();
@@ -582,7 +693,11 @@ mod tests {
         );
         let f = g.add_stage(
             "trigger",
-            StageKind::Filter { rate: DataRate::mb_per_sec(200.0), accept_ratio },
+            StageKind::Filter {
+                rate: DataRate::mb_per_sec(200.0),
+                accept_ratio,
+                checkpoint: CheckpointPolicy::None,
+            },
         );
         let a = g.add_stage("tape", StageKind::Archive);
         g.connect(s, f).unwrap();
@@ -658,6 +773,7 @@ mod tests {
                 pool: "ctc".into(),
                 workspace_ratio: 0.2,
                 retain_input: true, // raw data kept for iterative reprocessing
+                checkpoint: CheckpointPolicy::None,
             },
         );
         let a = g.add_stage("archive", StageKind::Archive);

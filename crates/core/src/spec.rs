@@ -38,6 +38,8 @@ use crate::error::{CoreError, CoreResult};
 use crate::graph::{FlowGraph, StageKind};
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
 
+pub use crate::graph::CheckpointPolicy;
+
 /// Spec for a [`StageKind::Source`]: emits `blocks` blocks of `block` bytes,
 /// one every `interval`, starting at time zero unless
 /// [`SourceSpec::starting_at`] says otherwise.
@@ -79,6 +81,7 @@ pub struct ProcessSpec {
     output_ratio: f64,
     workspace_ratio: f64,
     retain_input: bool,
+    checkpoint: CheckpointPolicy,
 }
 
 impl ProcessSpec {
@@ -91,6 +94,7 @@ impl ProcessSpec {
             output_ratio: 1.0,
             workspace_ratio: 0.0,
             retain_input: false,
+            checkpoint: CheckpointPolicy::None,
         }
     }
 
@@ -124,6 +128,12 @@ impl ProcessSpec {
         self.retain_input = retain;
         self
     }
+
+    /// Bound the work a node crash can destroy (see [`CheckpointPolicy`]).
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
 }
 
 impl From<ProcessSpec> for StageKind {
@@ -136,6 +146,7 @@ impl From<ProcessSpec> for StageKind {
             pool: s.pool,
             workspace_ratio: s.workspace_ratio,
             retain_input: s.retain_input,
+            checkpoint: s.checkpoint,
         }
     }
 }
@@ -179,17 +190,24 @@ impl From<TransferSpec> for StageKind {
 pub struct FilterSpec {
     rate: DataRate,
     accept_ratio: f64,
+    checkpoint: CheckpointPolicy,
 }
 
 impl FilterSpec {
     pub fn new(rate: DataRate, accept_ratio: f64) -> Self {
-        FilterSpec { rate, accept_ratio }
+        FilterSpec { rate, accept_ratio, checkpoint: CheckpointPolicy::None }
+    }
+
+    /// Bound the work a node crash can destroy (see [`CheckpointPolicy`]).
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
     }
 }
 
 impl From<FilterSpec> for StageKind {
     fn from(s: FilterSpec) -> StageKind {
-        StageKind::Filter { rate: s.rate, accept_ratio: s.accept_ratio }
+        StageKind::Filter { rate: s.rate, accept_ratio: s.accept_ratio, checkpoint: s.checkpoint }
     }
 }
 

@@ -352,6 +352,18 @@ impl SimDuration {
     pub fn max(self, other: Self) -> Self {
         SimDuration(self.0.max(other.0))
     }
+
+    pub fn min(self, other: Self) -> Self {
+        SimDuration(self.0.min(other.0))
+    }
+
+    pub fn saturating_sub(self, other: Self) -> Self {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
 }
 
 impl Add for SimDuration {

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use sciflow_core::graph::{FlowGraph, StageKind};
+use sciflow_core::graph::{CheckpointPolicy, FlowGraph, StageKind};
 use sciflow_core::md5::{md5, md5_strings, Md5};
 use sciflow_core::provenance::{ProvenanceRecord, ProvenanceStep};
 use sciflow_core::sim::{CpuPool, FlowSim};
@@ -130,6 +130,7 @@ proptest! {
                 pool: "pool".into(),
                 workspace_ratio: 0.0,
                 retain_input: false,
+                checkpoint: CheckpointPolicy::None,
             });
             g.connect(prev, p).expect("stages exist");
             prev = p;

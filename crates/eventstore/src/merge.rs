@@ -77,6 +77,14 @@ pub fn merge_into(target: &mut EventStore, source: &EventStore) -> EsResult<Merg
     {
         let src = source.database().table(GRADES)?;
         let dst = target.database().table(GRADES)?;
+        // Derive the next free rowid from the table as well as the
+        // in-memory counter. A target reloaded from a snapshot (the
+        // re-run-after-interruption path) rebuilds its counter from the
+        // table, and this guard makes a stale counter impossible to turn
+        // into a rowid collision.
+        let table_next =
+            dst.scan().map(|(_, r)| r[0].as_int().expect("rowid is int") + 1).max().unwrap_or(0);
+        next_row = next_row.max(table_next);
         // Content key ignores rowid (column 0).
         let content = |row: &[Value]| -> Vec<Value> { row[1..].to_vec() };
         let existing: Vec<Vec<Value>> = dst.scan().map(|(_, r)| content(r)).collect();
@@ -219,6 +227,85 @@ mod tests {
         let mut collab = EventStore::new(StoreTier::Collaboration);
         let report = merge_into(&mut collab, &received).unwrap();
         assert_eq!(report.files_added, 5);
+    }
+
+    /// The interrupted-merge workflow: the merge commits into the target
+    /// and the target is persisted, but the coordinator dies before
+    /// acknowledging — so the same personal store is merged again into the
+    /// reloaded target. The re-run must change nothing: no duplicate file
+    /// records, no duplicate grade entries, no rowid collisions.
+    #[test]
+    fn rerunning_an_interrupted_merge_through_persistence_is_idempotent() {
+        let dir = std::env::temp_dir().join("sciflow-es-interrupted-merge");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("collab.sfm");
+
+        let mut collab = EventStore::new(StoreTier::Collaboration);
+        collab.register_file(&file(50, 500, "P2 May05")).unwrap();
+        collab.declare_snapshot("physics", d("20050501"), vec![entry(500, "P2 May05")]).unwrap();
+
+        let mut personal = EventStore::new(StoreTier::Personal);
+        for i in 0..8 {
+            personal.register_file(&file(i, 100 + i as u32, "MC Jun05")).unwrap();
+        }
+        personal
+            .declare_snapshot(
+                "mc-pass1",
+                d("20050610"),
+                vec![entry(100, "MC Jun05"), entry(101, "MC Jun05")],
+            )
+            .unwrap();
+
+        let first = merge_into(&mut collab, &personal).unwrap();
+        assert_eq!(first.files_added, 8);
+        assert_eq!(first.grade_entries_added, 2);
+        collab.save(&path).unwrap();
+
+        // Crash: the acknowledgement is lost, so the merge is re-driven
+        // against the store as reloaded from disk.
+        let mut reloaded = EventStore::load(&path).unwrap();
+        let second = merge_into(&mut reloaded, &personal).unwrap();
+        assert_eq!(second.files_added, 0);
+        assert_eq!(second.files_skipped, 8);
+        assert_eq!(second.grade_entries_added, 0);
+        assert_eq!(second.grade_entries_skipped, 2);
+        assert_eq!(reloaded.file_count(), 9);
+
+        // Grade rowids stayed unique, and the store still accepts new
+        // snapshots after the re-run.
+        let rowids: Vec<i64> = reloaded
+            .database()
+            .table(GRADES)
+            .unwrap()
+            .scan()
+            .map(|(_, r)| r[0].as_int().unwrap())
+            .collect();
+        let mut deduped = rowids.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), rowids.len(), "duplicate grade rowids after re-merge");
+        reloaded.declare_snapshot("mc-pass2", d("20050620"), vec![entry(102, "MC Jul05")]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A torn snapshot of the collaboration store is rejected before any
+    /// merge logic runs — the typed error from the sealed format surfaces
+    /// through the eventstore API.
+    #[test]
+    fn torn_store_snapshot_is_rejected_typed() {
+        let dir = std::env::temp_dir().join("sciflow-es-torn-snapshot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("collab.sfm");
+        let mut collab = EventStore::new(StoreTier::Collaboration);
+        collab.register_file(&file(1, 100, "MC Jun05")).unwrap();
+        collab.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        match EventStore::load(&path) {
+            Err(EsError::Meta(MetaError::CorruptSnapshot { .. })) => {}
+            other => panic!("expected CorruptSnapshot, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -389,7 +389,26 @@ impl EventStore {
 
     /// Reload a store serialized with [`EventStore::to_bytes`].
     pub fn from_bytes(data: &[u8]) -> EsResult<EventStore> {
-        let db = sciflow_metastore::persist::from_bytes(data)?;
+        Self::from_db(sciflow_metastore::persist::from_bytes(data)?)
+    }
+
+    /// Write the store to `path` as a sealed, crash-consistent snapshot:
+    /// the bytes go to a temp sibling, are synced, and atomically renamed
+    /// into place, so an interrupted save leaves the previous snapshot
+    /// intact (see [`sciflow_metastore::persist::save`]).
+    pub fn save(&self, path: &std::path::Path) -> EsResult<()> {
+        sciflow_metastore::persist::save(&self.db, path)?;
+        Ok(())
+    }
+
+    /// Load a store from a sealed snapshot written by [`EventStore::save`].
+    /// Torn or damaged files are rejected with a typed error before any
+    /// payload is parsed.
+    pub fn load(path: &std::path::Path) -> EsResult<EventStore> {
+        Self::from_db(sciflow_metastore::persist::load(path)?)
+    }
+
+    fn from_db(db: Database) -> EsResult<EventStore> {
         let tier_text = {
             let meta = db.table(META)?;
             let row = meta

@@ -47,6 +47,13 @@ pub enum MetaError {
     Corrupt {
         detail: String,
     },
+    /// A sealed snapshot file failed verification: torn or truncated write,
+    /// bad magic, bit rot, or trailing garbage. The previous snapshot (if
+    /// any) is still intact — saves are atomic — so the caller can fall
+    /// back rather than trust a half-written database.
+    CorruptSnapshot {
+        detail: String,
+    },
     Io {
         detail: String,
     },
@@ -75,6 +82,9 @@ impl fmt::Display for MetaError {
             }
             MetaError::TxnAborted { cause } => write!(f, "transaction aborted: {cause}"),
             MetaError::Corrupt { detail } => write!(f, "corrupt store: {detail}"),
+            MetaError::CorruptSnapshot { detail } => {
+                write!(f, "corrupt snapshot file: {detail}")
+            }
             MetaError::Io { detail } => write!(f, "io error: {detail}"),
         }
     }

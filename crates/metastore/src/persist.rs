@@ -5,10 +5,18 @@
 //! and later merges it back. That requires the metadata database to round-
 //! trip through a file. The format here is deliberately simple: a magic
 //! header, then length-prefixed tables, schemas, and tagged values.
+//!
+//! On disk the snapshot is **crash-consistent**. [`save`] writes the
+//! payload plus a sealing trailer (magic, payload length, FNV-1a checksum)
+//! to a temporary sibling file, syncs it, and atomically renames it over
+//! the destination — a crash at any byte leaves either the previous
+//! snapshot or the complete new one, never a torn hybrid. [`load`] verifies
+//! the seal before parsing a single byte of payload and rejects anything
+//! torn, truncated, or bit-flipped with [`MetaError::CorruptSnapshot`].
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 
 use crate::db::Database;
 use crate::error::{MetaError, MetaResult};
@@ -17,6 +25,25 @@ use crate::table::Table;
 use crate::value::{Value, ValueType};
 
 const MAGIC: &[u8; 8] = b"SFMETA1\n";
+
+/// Magic of the sealing trailer appended to snapshot *files*.
+const SEAL_MAGIC: &[u8; 8] = b"SFSEAL1\n";
+/// Trailer layout: seal magic, u64 payload length, u64 FNV-1a checksum.
+const SEAL_LEN: usize = 8 + 8 + 8;
+
+/// 64-bit FNV-1a. Dependency-free and good enough for its one job here:
+/// telling a complete snapshot from a torn or bit-rotted one. Any single
+/// bit flip changes the digest (each step is XOR then multiplication by an
+/// odd prime, which is injective mod 2^64), and a truncated payload fails
+/// the length check before the digest is even consulted.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -234,20 +261,88 @@ pub fn from_bytes(data: &[u8]) -> MetaResult<Database> {
     Ok(db)
 }
 
-/// Write a snapshot to `path`.
-pub fn save(db: &Database, path: &Path) -> MetaResult<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&to_bytes(db))?;
-    w.flush()?;
-    Ok(())
+/// Serialize the database and append the sealing trailer: exactly what
+/// [`save`] puts on disk.
+pub fn sealed_bytes(db: &Database) -> Vec<u8> {
+    let mut out = to_bytes(db);
+    let payload_len = out.len() as u64;
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(SEAL_MAGIC);
+    out.extend_from_slice(&payload_len.to_le_bytes());
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
 }
 
-/// Load a snapshot from `path`.
+/// Verify the sealing trailer and reconstruct the database. Every failure
+/// mode of a half-written or damaged file — too short to hold a trailer,
+/// wrong seal magic, payload length that doesn't match the file, checksum
+/// mismatch — is [`MetaError::CorruptSnapshot`].
+pub fn from_sealed_bytes(data: &[u8]) -> MetaResult<Database> {
+    if data.len() < SEAL_LEN {
+        return Err(MetaError::CorruptSnapshot {
+            detail: format!("{} bytes is too short to hold a seal trailer", data.len()),
+        });
+    }
+    let (payload, trailer) = data.split_at(data.len() - SEAL_LEN);
+    if &trailer[..8] != SEAL_MAGIC {
+        return Err(MetaError::CorruptSnapshot { detail: "bad seal magic".into() });
+    }
+    let stated_len = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
+    if stated_len != payload.len() as u64 {
+        return Err(MetaError::CorruptSnapshot {
+            detail: format!("seal says {stated_len} payload bytes, file has {}", payload.len()),
+        });
+    }
+    let stated_sum = u64::from_le_bytes(trailer[16..24].try_into().expect("8 bytes"));
+    let actual_sum = fnv1a(payload);
+    if stated_sum != actual_sum {
+        return Err(MetaError::CorruptSnapshot {
+            detail: format!("checksum mismatch: seal {stated_sum:016x}, payload {actual_sum:016x}"),
+        });
+    }
+    // The seal proves the payload arrived intact; payload-level parse
+    // errors past this point would be a serializer bug, but surface them
+    // as the same typed error rather than trusting the file.
+    from_bytes(payload).map_err(|e| MetaError::CorruptSnapshot {
+        detail: format!("sealed payload failed to parse: {e}"),
+    })
+}
+
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Write a sealed snapshot to `path`, atomically.
+///
+/// The bytes go to a `.tmp` sibling first, are synced to disk, and the
+/// temp file is renamed over `path`. A crash before the rename leaves the
+/// previous snapshot untouched; a crash during the temp write leaves a
+/// torn `.tmp` that [`load`] never looks at.
+pub fn save(db: &Database, path: &Path) -> MetaResult<()> {
+    let tmp = temp_sibling(path);
+    let result = (|| -> MetaResult<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&sealed_bytes(db))?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Load a sealed snapshot from `path`, rejecting torn or damaged files
+/// with [`MetaError::CorruptSnapshot`].
 pub fn load(path: &Path) -> MetaResult<Database> {
-    let mut r = BufReader::new(File::open(path)?);
+    let mut r = File::open(path)?;
     let mut buf = Vec::new();
     r.read_to_end(&mut buf)?;
-    from_bytes(&buf)
+    from_sealed_bytes(&buf)
 }
 
 #[cfg(test)]
@@ -333,5 +428,97 @@ mod tests {
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.table("products").unwrap().len(), 50);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sealed_roundtrip_and_shape() {
+        let db = sample_db();
+        let sealed = sealed_bytes(&db);
+        assert_eq!(sealed.len(), to_bytes(&db).len() + SEAL_LEN);
+        let loaded = from_sealed_bytes(&sealed).unwrap();
+        assert_eq!(loaded.table("products").unwrap().len(), 50);
+    }
+
+    /// A write torn at *any* byte offset must be rejected with the typed
+    /// snapshot error — never parsed, never a panic.
+    #[test]
+    fn truncation_at_every_offset_is_rejected() {
+        let sealed = sealed_bytes(&sample_db());
+        for cut in 0..sealed.len() {
+            match from_sealed_bytes(&sealed[..cut]) {
+                Err(MetaError::CorruptSnapshot { .. }) => {}
+                other => panic!("truncation at {cut}/{} gave {other:?}", sealed.len()),
+            }
+        }
+    }
+
+    /// Any single bit flip — payload or trailer — must be caught by the
+    /// seal. The FNV step is XOR-then-multiply-by-an-odd-prime, so payload
+    /// flips always change the digest; trailer flips break the magic, the
+    /// length, or the stated checksum.
+    #[test]
+    fn single_bit_flips_are_rejected() {
+        let sealed = sealed_bytes(&sample_db());
+        for i in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut flipped = sealed.clone();
+                flipped[i] ^= 1 << bit;
+                match from_sealed_bytes(&flipped) {
+                    Err(MetaError::CorruptSnapshot { .. }) => {}
+                    other => panic!("bit {bit} of byte {i} flipped, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_after_the_seal_is_rejected() {
+        let mut sealed = sealed_bytes(&sample_db());
+        sealed.push(0);
+        assert!(matches!(from_sealed_bytes(&sealed), Err(MetaError::CorruptSnapshot { .. })));
+    }
+
+    /// The atomic-save contract: a crash that leaves a torn temp file (or
+    /// dies before the rename) must leave the previous snapshot loadable.
+    #[test]
+    fn torn_save_leaves_the_previous_snapshot_intact() {
+        let dir = std::env::temp_dir().join("sciflow-metastore-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.sfm");
+        let v1 = sample_db();
+        save(&v1, &path).unwrap();
+
+        // Simulate a crash mid-save of v2: the temp sibling holds a torn
+        // prefix and the rename never happened.
+        let mut v2 = sample_db();
+        v2.table_mut("products")
+            .unwrap()
+            .insert(vec![
+                Value::Int(999),
+                Value::Text("late".into()),
+                Value::Null,
+                Value::Blob(vec![]),
+                Value::Date(20060101),
+            ])
+            .unwrap();
+        let torn = &sealed_bytes(&v2)[..100];
+        std::fs::write(temp_sibling(&path), torn).unwrap();
+
+        let recovered = load(&path).unwrap();
+        assert_eq!(recovered.table("products").unwrap().len(), 50, "v1 must survive");
+        // And a torn file at the *final* path is rejected, typed.
+        std::fs::write(&path, torn).unwrap();
+        assert!(matches!(load(&path), Err(MetaError::CorruptSnapshot { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_cleans_up_its_temp_file() {
+        let dir = std::env::temp_dir().join("sciflow-metastore-noclobber-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.sfm");
+        save(&sample_db(), &path).unwrap();
+        assert!(!temp_sibling(&path).exists(), "temp file must not linger after save");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

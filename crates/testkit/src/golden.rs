@@ -41,7 +41,8 @@ pub fn canonical_report(report: &SimReport) -> String {
             out,
             "stage {} blocks_in={} volume_in_b={} blocks_out={} volume_out_b={} busy_us={} \
              max_queue_blocks={} max_queue_volume_b={} final_queue_volume_b={} completed_at_us={} \
-             retries={} faults={} blocks_failed={} volume_retransmitted_b={} volume_lost_b={}",
+             retries={} faults={} blocks_failed={} volume_retransmitted_b={} volume_lost_b={} \
+             crashes={} work_lost_us={} work_replayed_us={} checkpoint_overhead_us={}",
             s.name,
             s.blocks_in,
             s.volume_in.bytes(),
@@ -57,6 +58,10 @@ pub fn canonical_report(report: &SimReport) -> String {
             s.blocks_failed,
             s.volume_retransmitted.bytes(),
             s.volume_lost.bytes(),
+            s.crashes,
+            s.work_lost.as_micros(),
+            s.work_replayed.as_micros(),
+            s.checkpoint_overhead.as_micros(),
         )
         .unwrap();
     }

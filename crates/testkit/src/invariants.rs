@@ -5,6 +5,7 @@
 //! across retries, simulated time only moves forward, provenance hashes are
 //! replay-stable — and panic with a diagnostic when violated.
 
+use sciflow_core::graph::CheckpointPolicy;
 use sciflow_core::metrics::SimReport;
 use sciflow_core::provenance::ProvenanceRecord;
 use sciflow_core::units::SimDuration;
@@ -107,6 +108,49 @@ pub fn assert_flow_transfer_conservation(report: &SimReport, stage: &str) {
             s.blocks_in,
             s.blocks_out + s.blocks_failed,
             "stage `{stage}`: with an empty final queue every block is delivered or failed"
+        );
+    }
+}
+
+/// Crash-recovery conservation for a compute stage: crashes kill running
+/// tasks but never destroy payload. On a flow that ran to completion the
+/// stage's queue is empty, every microsecond of work a crash destroyed was
+/// replayed after requeue, and a crash-free stage reports no lost work.
+pub fn assert_crash_recovery(report: &SimReport, stage: &str) {
+    let s = report.stage(stage).unwrap_or_else(|| panic!("no stage named `{stage}` in report"));
+    assert!(
+        s.final_queue_volume.is_zero(),
+        "stage `{stage}`: {} still queued after the flow finished",
+        s.final_queue_volume
+    );
+    assert_eq!(
+        s.work_replayed, s.work_lost,
+        "stage `{stage}`: lost {} but replayed {} — destroyed work must be exactly redone",
+        s.work_lost, s.work_replayed
+    );
+    if s.crashes == 0 {
+        assert!(
+            s.work_lost.is_zero(),
+            "stage `{stage}`: {} work lost without any crash",
+            s.work_lost
+        );
+    }
+}
+
+/// The checkpoint guarantee: one crash can destroy at most one checkpoint
+/// interval of useful work plus the checkpoint write that was in progress,
+/// so total lost work is bounded by `(every + cost) × crashes`. With no
+/// checkpointing there is no bound to check.
+pub fn assert_checkpoint_bound(report: &SimReport, stage: &str, policy: CheckpointPolicy) {
+    let s = report.stage(stage).unwrap_or_else(|| panic!("no stage named `{stage}` in report"));
+    if let CheckpointPolicy::Interval { every, cost } = policy {
+        let bound = (every + cost) * s.crashes;
+        assert!(
+            s.work_lost <= bound,
+            "stage `{stage}`: lost {} over {} crashes, above the checkpoint bound {}",
+            s.work_lost,
+            s.crashes,
+            bound
         );
     }
 }

@@ -22,6 +22,24 @@ pub fn derive_seed(master: u64, label: &str) -> u64 {
     u64::from_str_radix(&hex[..16], 16).expect("md5 hex is valid")
 }
 
+/// Environment variable the CI fault matrix sets to sweep the fault and
+/// crash suites across several fixed seeds.
+pub const FAULT_MATRIX_SEED_ENV: &str = "FAULT_MATRIX_SEED";
+
+/// The seed the fault-injection and crash-recovery suites run under:
+/// `FAULT_MATRIX_SEED` when set (CI runs the same tests once per seed),
+/// otherwise `default`. An unparsable value is an error, not a silent
+/// fallback — a typo in the matrix must not quietly retest one seed.
+pub fn matrix_seed(default: u64) -> u64 {
+    match std::env::var(FAULT_MATRIX_SEED_ENV) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("{FAULT_MATRIX_SEED_ENV}={v:?} is not a u64: {e}")),
+        Err(_) => default,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

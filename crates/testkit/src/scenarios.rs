@@ -2,9 +2,9 @@
 //! suite, each fully determined by a single `u64` seed.
 
 use sciflow_core::fault::{FaultKind, FaultPlan, FaultProfile, RetryPolicy};
-use sciflow_core::graph::{FlowGraph, StageKind};
+use sciflow_core::graph::{CheckpointPolicy, FlowGraph, StageKind};
 use sciflow_core::metrics::SimReport;
-use sciflow_core::sim::FlowSim;
+use sciflow_core::sim::{CpuPool, FlowSim};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration, SimTime};
 use sciflow_simnet::link::NetworkLink;
 use sciflow_simnet::reliable::{ReliableTransfer, TransferError, TransferReport};
@@ -39,6 +39,7 @@ impl LossyLinkScenario {
                 degrades_per_day: 1.0,
                 degrade_factor: 0.5,
                 mean_degrade: SimDuration::from_mins(30),
+                ..FaultProfile::clean()
             },
             policy: RetryPolicy::default(),
         }
@@ -112,6 +113,7 @@ impl LossyFlowScenario {
                 degrades_per_day: 2.0,
                 degrade_factor: 0.5,
                 mean_degrade: SimDuration::from_hours(1),
+                ..FaultProfile::clean()
             },
             policy: RetryPolicy::default(),
         }
@@ -148,6 +150,106 @@ impl LossyFlowScenario {
     /// Build and run the flow under the seeded fault plan.
     pub fn run(&self) -> SimReport {
         FlowSim::new(self.graph(), vec![])
+            .expect("scenario graph is valid")
+            .with_faults(self.plan(), self.policy)
+            .run()
+            .expect("scenario flow converges")
+    }
+}
+
+/// A compute-bound flow (source → `Process` on a crashing pool → archive):
+/// the fixture for crash-recovery and checkpoint/restart properties. The
+/// crash timeline repeatedly kills CPUs out of [`CrashFlowScenario::POOL`]
+/// mid-task; the stage requeues the lost work and, when `checkpoint` is an
+/// interval policy, restarts from the last checkpoint instead of scratch.
+#[derive(Debug, Clone)]
+pub struct CrashFlowScenario {
+    pub seed: u64,
+    pub block: DataVolume,
+    pub interval: SimDuration,
+    pub blocks: u64,
+    /// Per-CPU processing rate (chosen so one block takes hours — long
+    /// enough that the crash timeline reliably lands mid-task).
+    pub rate: DataRate,
+    pub cpus: u32,
+    pub checkpoint: CheckpointPolicy,
+    pub profile: FaultProfile,
+    pub policy: RetryPolicy,
+}
+
+impl CrashFlowScenario {
+    pub const SOURCE: &'static str = "acquire";
+    pub const PROCESS: &'static str = "reduce";
+    pub const ARCHIVE: &'static str = "archive";
+    pub const POOL: &'static str = "farm";
+
+    pub fn new(seed: u64) -> Self {
+        CrashFlowScenario {
+            seed,
+            block: DataVolume::gb(72),
+            interval: SimDuration::from_hours(2),
+            blocks: 6,
+            rate: DataRate::mb_per_sec(5.0), // 72 GB / 5 MB/s = 4 h per block
+            // Two cpus against one 4-hour task every 2 hours: the pool runs
+            // saturated, so a crash always lands on a busy cpu.
+            cpus: 2,
+            checkpoint: CheckpointPolicy::None,
+            // Several crashes a day against 4-hour tasks: most crashes land
+            // while a task is running.
+            profile: FaultProfile::node_crashes(Self::POOL, 6.0, 1, SimDuration::from_mins(30)),
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Same scenario with per-stage checkpointing every `every` of work.
+    pub fn checkpointed(mut self, every: SimDuration) -> Self {
+        self.checkpoint = CheckpointPolicy::interval(every);
+        self
+    }
+
+    /// Total volume the sources emit.
+    pub fn total_volume(&self) -> DataVolume {
+        self.block * self.blocks
+    }
+
+    pub fn plan(&self) -> FaultPlan {
+        let horizon = self.interval * (self.blocks + 16);
+        FaultPlan::generate(derive_seed(self.seed, "crash-flow"), horizon, &self.profile)
+    }
+
+    fn graph(&self) -> FlowGraph {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage(
+            Self::SOURCE,
+            StageKind::Source {
+                block: self.block,
+                interval: self.interval,
+                blocks: self.blocks,
+                start: SimTime::ZERO,
+            },
+        );
+        let p = g.add_stage(
+            Self::PROCESS,
+            StageKind::Process {
+                rate_per_cpu: self.rate,
+                cpus_per_task: 1,
+                chunk: None,
+                output_ratio: 1.0,
+                pool: Self::POOL.into(),
+                workspace_ratio: 0.0,
+                retain_input: false,
+                checkpoint: self.checkpoint,
+            },
+        );
+        let a = g.add_stage(Self::ARCHIVE, StageKind::Archive);
+        g.connect(s, p).expect("fresh graph");
+        g.connect(p, a).expect("fresh graph");
+        g
+    }
+
+    /// Build and run the flow under the seeded crash plan.
+    pub fn run(&self) -> SimReport {
+        FlowSim::new(self.graph(), vec![CpuPool::new(Self::POOL, self.cpus)])
             .expect("scenario graph is valid")
             .with_faults(self.plan(), self.policy)
             .run()
@@ -278,5 +380,34 @@ mod tests {
         assert_eq!(s.run(), s.run());
         let t = LossyLinkScenario::new(3);
         assert_eq!(t.run(), t.run());
+    }
+
+    #[test]
+    fn crash_scenario_kills_tasks_and_still_delivers_everything() {
+        let s = CrashFlowScenario::new(42);
+        let report = s.run();
+        let m = report.stage(CrashFlowScenario::PROCESS).unwrap();
+        assert!(m.crashes > 0, "the crash plan must land on running tasks");
+        assert!(m.work_lost > SimDuration::ZERO);
+        crate::invariants::assert_crash_recovery(&report, CrashFlowScenario::PROCESS);
+        assert_eq!(report.stage(CrashFlowScenario::ARCHIVE).unwrap().volume_in, s.total_volume());
+    }
+
+    #[test]
+    fn checkpointing_salvages_work_lost_to_crashes() {
+        let s = CrashFlowScenario::new(42);
+        let every = SimDuration::from_mins(30);
+        let c = s.clone().checkpointed(every);
+        let (plain, ckpt) = (s.run(), c.run());
+        let lost_plain = plain.stage(CrashFlowScenario::PROCESS).unwrap().work_lost;
+        let m = ckpt.stage(CrashFlowScenario::PROCESS).unwrap();
+        assert!(
+            m.work_lost < lost_plain,
+            "checkpointed loss {} must beat uncheckpointed {}",
+            m.work_lost,
+            lost_plain
+        );
+        crate::invariants::assert_checkpoint_bound(&ckpt, CrashFlowScenario::PROCESS, c.checkpoint);
+        assert_eq!(ckpt.stage(CrashFlowScenario::ARCHIVE).unwrap().volume_in, s.total_volume());
     }
 }

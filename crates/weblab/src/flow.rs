@@ -6,7 +6,8 @@
 //! and database-load components "each ... tested at sustained rates of
 //! approximately 1 TB per day, when given sole use of the system".
 
-use sciflow_core::graph::FlowGraph;
+use sciflow_core::fault::FaultProfile;
+use sciflow_core::graph::{CheckpointPolicy, FlowGraph};
 use sciflow_core::spec::{FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
@@ -26,6 +27,10 @@ pub struct WeblabFlowParams {
     pub dbload_rate: DataRate,
     /// Metadata fraction of raw crawl volume (DAT ≈ 15 MB per 100 MB ARC).
     pub metadata_ratio: f64,
+    /// Checkpoint policy shared by the preload and database-load
+    /// components — both are restartable batch loaders in the paper, so a
+    /// single policy covers them.
+    pub load_checkpoint: CheckpointPolicy,
 }
 
 impl Default for WeblabFlowParams {
@@ -38,12 +43,29 @@ impl Default for WeblabFlowParams {
             preload_rate: DataRate::tb_per_day(1.0),
             dbload_rate: DataRate::tb_per_day(1.0),
             metadata_ratio: 0.15,
+            load_checkpoint: CheckpointPolicy::None,
         }
+    }
+}
+
+impl WeblabFlowParams {
+    /// Checkpoint both load components every `every` of computed work.
+    pub fn with_load_checkpoint(mut self, every: SimDuration) -> Self {
+        self.load_checkpoint = CheckpointPolicy::interval(every);
+        self
     }
 }
 
 /// Pool for the WebLab server's processors (half of the dual ES7000).
 pub const WEBLAB_POOL: &str = "es7000";
+
+/// A crash profile for the ES7000 partition: `outages_per_day` whole-server
+/// outages a day (the paper's single shared machine fails as a unit), each
+/// repaired in about `mean_repair`.
+pub fn es7000_outage_profile(outages_per_day: f64, mean_repair: SimDuration) -> FaultProfile {
+    FaultProfile::node_crashes(WEBLAB_POOL, 0.0, 1, mean_repair)
+        .with_outages(outages_per_day, mean_repair)
+}
 
 /// Build the ingest flow: Internet Archive → Internet2 link → preload →
 /// (database load → relational store, content → page store).
@@ -67,14 +89,16 @@ pub fn weblab_flow_graph(p: &WeblabFlowParams) -> FlowGraph {
             "preload",
             ProcessSpec::new(preload_per_cpu, WEBLAB_POOL)
                 .chunk(DataVolume::gb(10)) // ARC/DAT files are independent
-                .workspace_ratio(0.3), // decompressed working set
+                .workspace_ratio(0.3) // decompressed working set
+                .checkpoint(p.load_checkpoint),
             &["internet2-link"],
         )
         .process(
             "database-load",
             ProcessSpec::new(dbload_per_cpu, WEBLAB_POOL)
                 .chunk(DataVolume::gb(10))
-                .output_ratio(p.metadata_ratio),
+                .output_ratio(p.metadata_ratio)
+                .checkpoint(p.load_checkpoint),
             &["preload"],
         )
         .archive("relational-store", &["database-load"])
@@ -142,6 +166,31 @@ mod tests {
             16,
         );
         assert!(fast.finished_at < slow.finished_at);
+    }
+
+    #[test]
+    fn whole_server_outages_requeue_work_and_the_flow_still_completes() {
+        use sciflow_core::fault::{FaultPlan, RetryPolicy};
+
+        let p = WeblabFlowParams { days: 7, ..WeblabFlowParams::default() }
+            .with_load_checkpoint(SimDuration::from_mins(30));
+        let profile = es7000_outage_profile(1.0, SimDuration::from_hours(1));
+        let plan = FaultPlan::generate(5, SimDuration::from_days(10), &profile);
+        let report = FlowSim::new(weblab_flow_graph(&p), vec![CpuPool::new(WEBLAB_POOL, 16)])
+            .expect("valid flow")
+            .with_faults(plan, RetryPolicy::default())
+            .run()
+            .expect("flow completes");
+        // An outage fells the whole machine, so unlike single-node crashes
+        // it kills tasks even on an underutilised pool.
+        let crashed: u64 = report.stages.iter().map(|s| s.crashes).sum();
+        assert!(crashed > 0, "outages must kill running load tasks");
+        // Every byte still lands: content store gets the full stream.
+        assert_eq!(report.stage("page-store").unwrap().volume_in, DataVolume::gb(250) * 7);
+        for stage in ["preload", "database-load"] {
+            let m = report.stage(stage).unwrap();
+            assert_eq!(m.work_replayed, m.work_lost, "stage {stage} replays what it lost");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! archive), runs it under the discrete-event simulator, and shows the
 //! version/provenance machinery every product carries.
 
-use sciflow_core::graph::{FlowGraph, StageKind};
+use sciflow_core::graph::{CheckpointPolicy, FlowGraph, StageKind};
 use sciflow_core::product::{DataProduct, ProductKind};
 use sciflow_core::provenance::ProvenanceStep;
 use sciflow_core::sim::{CpuPool, FlowSim};
@@ -37,6 +37,7 @@ fn main() {
             pool: "farm".into(),
             workspace_ratio: 0.1,
             retain_input: true,
+            checkpoint: CheckpointPolicy::None,
         },
     );
     let archive = g.add_stage("archive", StageKind::Archive);

@@ -1,0 +1,147 @@
+//! Crash-recovery integration suite: compute-node crashes, pool outages,
+//! and checkpoint/restart, driven end to end through the public APIs.
+//!
+//! The paper's flows run for weeks on shared farms; nodes die. These tests
+//! pin the recovery contract: a seeded crash timeline kills in-flight
+//! tasks, the work is requeued and completes, checkpointing bounds the
+//! loss, and every run replays byte-identically from its seed.
+//!
+//! The whole suite honours `FAULT_MATRIX_SEED` (see
+//! [`sciflow_testkit::matrix_seed`]): CI sweeps it across fixed seeds.
+
+use sciflow_arecibo::flow::{arecibo_flow_graph, ctc_crash_profile, AreciboFlowParams, CTC_POOL};
+use sciflow_core::fault::{FaultKind, FaultPlan, RetryPolicy};
+use sciflow_core::metrics::SimReport;
+use sciflow_core::sim::{CpuPool, FlowSim};
+use sciflow_core::units::{DataVolume, SimDuration};
+use sciflow_testkit::{
+    assert_checkpoint_bound, assert_crash_recovery, assert_deterministic, assert_monotone_sim_time,
+    derive_seed, matrix_seed, CrashFlowScenario,
+};
+
+#[test]
+fn crash_plans_replay_from_their_seed() {
+    let seed = matrix_seed(42);
+    let s = CrashFlowScenario::new(seed);
+    let (a, b) = (s.plan(), s.plan());
+    assert_eq!(a.events().len(), b.events().len());
+    assert!(a.count(|k| matches!(k, FaultKind::NodeCrash { .. })) > 0, "plan must carry crashes");
+    // A different seed yields a different timeline.
+    let other = CrashFlowScenario::new(seed ^ 0xFFFF).plan();
+    assert_ne!(
+        a.events().iter().map(|e| e.at).collect::<Vec<_>>(),
+        other.events().iter().map(|e| e.at).collect::<Vec<_>>(),
+    );
+}
+
+/// The acceptance-bar scenario: a `Process` stage under a seeded NodeCrash
+/// timeline loses in-flight work, requeues it, and still completes.
+#[test]
+fn process_stage_requeues_crashed_work_and_completes() {
+    let seed = matrix_seed(42);
+    let s = CrashFlowScenario::new(seed);
+    let report = assert_deterministic(seed, |sd| CrashFlowScenario::new(sd).run());
+    let m = report.stage(CrashFlowScenario::PROCESS).unwrap();
+    assert!(m.crashes > 0, "seed {seed}: crashes must land on running tasks");
+    assert!(m.work_lost > SimDuration::ZERO);
+    assert_crash_recovery(&report, CrashFlowScenario::PROCESS);
+    assert_monotone_sim_time(&report);
+    assert_eq!(report.stage(CrashFlowScenario::ARCHIVE).unwrap().volume_in, s.total_volume());
+}
+
+/// With `CheckpointPolicy::interval(t)` the reported `work_lost` obeys the
+/// per-crash salvage bound, is strictly below the uncheckpointed run
+/// whenever that run lost more than the bound allows, both replay
+/// byte-identically, and delivered bytes never decrease.
+#[test]
+fn checkpointing_strictly_reduces_work_lost_on_the_same_plan() {
+    let seed = matrix_seed(42);
+    let every = SimDuration::from_mins(30);
+    let plain = assert_deterministic(seed, |sd| CrashFlowScenario::new(sd).run());
+    let ckpt =
+        assert_deterministic(seed, |sd| CrashFlowScenario::new(sd).checkpointed(every).run());
+    let (p, c) = (
+        plain.stage(CrashFlowScenario::PROCESS).unwrap(),
+        ckpt.stage(CrashFlowScenario::PROCESS).unwrap(),
+    );
+    assert!(p.crashes > 0);
+    assert_checkpoint_bound(&ckpt, CrashFlowScenario::PROCESS, c_policy(every));
+    // Each crash can destroy at most one checkpoint interval; if the
+    // uncheckpointed run lost more than that bound, checkpointing must
+    // come out strictly ahead. (Seeds whose crashes all land inside the
+    // first interval salvage nothing, so only `<=` holds there.)
+    if p.work_lost > every * c.crashes {
+        assert!(
+            c.work_lost < p.work_lost,
+            "seed {seed}: checkpointed loss {} must be strictly below uncheckpointed {}",
+            c.work_lost,
+            p.work_lost
+        );
+    }
+    // Delivered bytes with checkpointing >= without, under the same plan.
+    let delivered = |r: &SimReport| r.stage(CrashFlowScenario::ARCHIVE).unwrap().volume_in;
+    assert!(delivered(&ckpt) >= delivered(&plain));
+    assert_eq!(delivered(&ckpt), CrashFlowScenario::new(seed).total_volume());
+}
+
+fn c_policy(every: SimDuration) -> sciflow_core::graph::CheckpointPolicy {
+    sciflow_core::graph::CheckpointPolicy::interval(every)
+}
+
+/// A whole-pool outage is survivable too: everything running dies at once,
+/// is requeued, and the flow completes when the pool comes back.
+#[test]
+fn pool_outage_kills_everything_and_the_flow_recovers() {
+    let seed = matrix_seed(42);
+    let run = |sd: u64| {
+        let mut s = CrashFlowScenario::new(sd);
+        s.profile = s.profile.clone().with_outages(2.0, SimDuration::from_hours(1));
+        s.checkpoint = c_policy(SimDuration::from_mins(30));
+        (s.total_volume(), s.run())
+    };
+    let (total, report) = assert_deterministic(seed, run);
+    let m = report.stage(CrashFlowScenario::PROCESS).unwrap();
+    assert!(m.crashes > 0);
+    assert_crash_recovery(&report, CrashFlowScenario::PROCESS);
+    assert_eq!(report.stage(CrashFlowScenario::ARCHIVE).unwrap().volume_in, total);
+}
+
+/// The paper-scale version: Arecibo dedispersion on a crashing CTC farm,
+/// checkpointed, replays byte-identically and delivers every byte the
+/// uncheckpointed run does.
+#[test]
+fn arecibo_checkpointed_dedispersion_replays_byte_identically() {
+    let seed = matrix_seed(42);
+    let run = |sd: u64, checkpointed: bool| {
+        let mut params = AreciboFlowParams { weeks: 1, ..AreciboFlowParams::default() };
+        if checkpointed {
+            params = params.with_dedisperse_checkpoint(SimDuration::from_hours(2));
+        }
+        let profile = ctc_crash_profile(4.0, SimDuration::from_hours(2));
+        let plan = FaultPlan::generate(
+            derive_seed(sd, "arecibo-crash"),
+            SimDuration::from_days(30),
+            &profile,
+        );
+        FlowSim::new(
+            arecibo_flow_graph(&params),
+            vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 100)],
+        )
+        .expect("valid flow")
+        .with_faults(plan, RetryPolicy::default())
+        .run()
+        .expect("flow completes")
+    };
+    let ckpt = assert_deterministic(seed, |sd| run(sd, true));
+    let plain = assert_deterministic(seed, |sd| run(sd, false));
+    let dedisp = ckpt.stage("dedisperse").unwrap();
+    assert!(dedisp.crashes > 0, "seed {seed}: crashes must hit dedispersion");
+    assert!(dedisp.work_lost < plain.stage("dedisperse").unwrap().work_lost);
+    assert_crash_recovery(&ckpt, "dedisperse");
+    assert_checkpoint_bound(&ckpt, "dedisperse", c_policy(SimDuration::from_hours(2)));
+    // Same plan, same data: checkpointing changes when work finishes, not
+    // what is delivered.
+    let delivered = |r: &SimReport| r.stage("ctc-database").unwrap().volume_in;
+    assert!(delivered(&ckpt) >= delivered(&plain));
+    assert_eq!(ckpt.stage("acquire").unwrap().volume_out, DataVolume::tb(14));
+}

@@ -140,6 +140,7 @@ fn persistent_stalls_are_a_typed_timeout_not_a_hang() {
             degrades_per_day: 0.0,
             degrade_factor: 1.0,
             mean_degrade: SimDuration::ZERO,
+            ..FaultProfile::clean()
         },
     );
     let link = NetworkLink::new(

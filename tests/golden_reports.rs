@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 
 use sciflow_arecibo::flow::{arecibo_flow_graph, AreciboFlowParams, CTC_POOL};
-use sciflow_cleo::flow::{cleo_flow_graph, CleoFlowParams, WILSON_POOL};
+use sciflow_cleo::flow::{cleo_flow_graph, wilson_crash_profile, CleoFlowParams, WILSON_POOL};
 use sciflow_core::fault::{FaultPlan, FaultProfile, RetryPolicy};
 use sciflow_core::metrics::SimReport;
 use sciflow_core::sim::{CpuPool, FlowSim};
@@ -39,6 +39,7 @@ fn arecibo_faults() -> FaultPlan {
         degrades_per_day: 0.2,
         degrade_factor: 0.7,
         mean_degrade: SimDuration::from_hours(2),
+        ..FaultProfile::clean()
     };
     FaultPlan::generate(GOLDEN_SEED, SimDuration::from_days(90), &profile)
 }
@@ -64,6 +65,7 @@ fn cleo_faults() -> FaultPlan {
         degrades_per_day: 0.5,
         degrade_factor: 0.6,
         mean_degrade: SimDuration::from_hours(1),
+        ..FaultProfile::clean()
     };
     FaultPlan::generate(GOLDEN_SEED, SimDuration::from_days(30), &profile)
 }
@@ -75,6 +77,27 @@ fn cleo_report(faults: Option<FaultPlan>) -> SimReport {
         sim = sim.with_faults(plan, RetryPolicy::default());
     }
     sim.run().expect("flow completes")
+}
+
+/// CLEO reconstruction on a crashing Wilson-lab farm: the pool is squeezed
+/// to 4 CPUs so it runs saturated and the ~daily crash draws land on busy
+/// ones. The checkpointed variant reruns the *same* plan with 5-minute
+/// checkpoints on the reconstruction stage.
+fn cleo_crash_faults() -> FaultPlan {
+    let profile = wilson_crash_profile(24.0, SimDuration::from_mins(20));
+    FaultPlan::generate(GOLDEN_SEED, SimDuration::from_days(14), &profile)
+}
+
+fn cleo_crash_report(checkpointed: bool) -> SimReport {
+    let mut params = CleoFlowParams::default();
+    if checkpointed {
+        params = params.with_recon_checkpoint(SimDuration::from_mins(5));
+    }
+    FlowSim::new(cleo_flow_graph(&params), vec![CpuPool::new(WILSON_POOL, 4)])
+        .expect("valid flow")
+        .with_faults(cleo_crash_faults(), RetryPolicy::default())
+        .run()
+        .expect("flow completes")
 }
 
 /// The WebLab link is the canonical flaky commodity link.
@@ -116,6 +139,18 @@ fn cleo_faulted_flow_matches_golden() {
 }
 
 #[test]
+fn cleo_crashed_flow_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| cleo_crash_report(false));
+    assert_matches_golden(golden_path("cleo_crashed"), &report);
+}
+
+#[test]
+fn cleo_crashed_checkpointed_flow_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| cleo_crash_report(true));
+    assert_matches_golden(golden_path("cleo_crashed_checkpointed"), &report);
+}
+
+#[test]
 fn weblab_default_flow_matches_golden() {
     let report = assert_deterministic(GOLDEN_SEED, |_| weblab_report(None));
     assert_matches_golden(golden_path("weblab_clean"), &report);
@@ -142,4 +177,29 @@ fn faulted_scenarios_are_non_degenerate() {
     let weblab = weblab_report(Some(weblab_faults()));
     assert!(weblab.total_retries() > 0, "flaky link never retried");
     assert!(weblab.stage("page-store").unwrap().blocks_in > 0, "no pages landed");
+}
+
+/// Nor may the crash goldens be: the plan must actually kill reconstruction
+/// tasks, and checkpointing must salvage work relative to the plain run of
+/// the very same plan.
+#[test]
+fn crash_goldens_are_non_degenerate() {
+    let plain = cleo_crash_report(false);
+    let ckpt = cleo_crash_report(true);
+    let (p, c) = (
+        plain.stage("reconstruction").unwrap().clone(),
+        ckpt.stage("reconstruction").unwrap().clone(),
+    );
+    assert!(p.crashes > 0, "crash plan never killed a reconstruction task");
+    assert!(
+        c.work_lost < p.work_lost,
+        "5-minute checkpoints must salvage work: {} vs {}",
+        c.work_lost,
+        p.work_lost
+    );
+    // Crashes cost time, never data.
+    assert_eq!(
+        plain.stage("collaboration-eventstore").unwrap().volume_in,
+        ckpt.stage("collaboration-eventstore").unwrap().volume_in
+    );
 }
