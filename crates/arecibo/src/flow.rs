@@ -10,7 +10,7 @@
 //! flow of data".
 
 use sciflow_core::fault::FaultProfile;
-use sciflow_core::graph::{CheckpointPolicy, FlowGraph};
+use sciflow_core::graph::{CheckpointPolicy, FlowGraph, VerifyPolicy};
 use sciflow_core::spec::{FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
@@ -41,6 +41,9 @@ pub struct AreciboFlowParams {
     /// pointing takes hours per CPU, so on a crashing farm this is the
     /// stage where checkpoint/restart pays for itself.
     pub dedisperse_checkpoint: CheckpointPolicy,
+    /// Integrity check applied as crates of disks are read onto tape at
+    /// CTC — the checksum-manifest pass that catches transit damage.
+    pub tape_verify: VerifyPolicy,
 }
 
 impl Default for AreciboFlowParams {
@@ -59,6 +62,7 @@ impl Default for AreciboFlowParams {
             product_ratio: 0.02,
             candidate_ratio: 0.05, // 5% of 2% = 0.1% of raw
             dedisperse_checkpoint: CheckpointPolicy::None,
+            tape_verify: VerifyPolicy::None,
         }
     }
 }
@@ -75,6 +79,15 @@ impl AreciboFlowParams {
         self.dedisperse_checkpoint = CheckpointPolicy::interval(every);
         self
     }
+
+    /// Digest-verify every crate as it is read onto tape at `rate`.
+    /// Damaged crates are quarantined instead of archived and replayed
+    /// through quality monitoring and shipping from the telescope's raw
+    /// copy.
+    pub fn with_tape_verification(mut self, rate: DataRate) -> Self {
+        self.tape_verify = VerifyPolicy::digest(rate);
+        self
+    }
 }
 
 /// A crash profile for the CTC processing farm: `crashes_per_day` single-CPU
@@ -83,6 +96,14 @@ impl AreciboFlowParams {
 /// crash destroys.
 pub fn ctc_crash_profile(crashes_per_day: f64, mean_repair: SimDuration) -> FaultProfile {
     FaultProfile::node_crashes(CTC_POOL, crashes_per_day, 1, mean_repair)
+}
+
+/// Silent bit rot on the disk-shipping channel: crates ride commercial
+/// couriers for days, arrive "successfully", and only a checksum pass at
+/// the tape library (see [`AreciboFlowParams::with_tape_verification`])
+/// can tell a damaged platter from a good one.
+pub fn tape_bitrot_profile(silent_corrupts_per_day: f64) -> FaultProfile {
+    FaultProfile::silent_corruption(silent_corrupts_per_day)
 }
 
 /// Pool name used by the processing stages.
@@ -110,6 +131,7 @@ pub fn arecibo_flow_graph(p: &AreciboFlowParams) -> FlowGraph {
             &["local-qa"],
         )
         .archive("tape-archive", &["ship-disks"])
+        .verify("tape-archive", p.tape_verify)
         .process(
             "dedisperse",
             ProcessSpec::new(p.dedisperse_rate_per_cpu, CTC_POOL)
@@ -229,6 +251,49 @@ mod tests {
         let g = arecibo_flow_graph(&AreciboFlowParams::default());
         g.validate().unwrap();
         assert_eq!(g.referenced_pools(), vec![CTC_POOL, "observatory"]);
+    }
+
+    #[test]
+    fn tape_verification_catches_transit_bitrot_and_reships() {
+        use sciflow_core::fault::{FaultPlan, RetryPolicy};
+        use sciflow_testkit::assert_integrity_audit;
+
+        // Each 14 TB crate spends ~6.6 days door to door, so a modest
+        // bit-rot rate taints most shipments.
+        let base = AreciboFlowParams { weeks: 2, ..AreciboFlowParams::default() };
+        let plan = FaultPlan::generate(31, SimDuration::from_days(45), &tape_bitrot_profile(0.5));
+        let run = |params: &AreciboFlowParams| {
+            FlowSim::new(
+                arecibo_flow_graph(params),
+                vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 150)],
+            )
+            .expect("valid flow")
+            .with_faults(plan.clone(), RetryPolicy::default())
+            .run()
+            .expect("flow completes")
+        };
+        let unverified = run(&base);
+        let verified = run(&base.clone().with_tape_verification(DataRate::mb_per_sec(300.0)));
+        assert_integrity_audit(&unverified);
+        assert_integrity_audit(&verified);
+
+        // Without the checksum pass, rotten crates land on tape unnoticed.
+        assert!(unverified.total_corrupt_injected() > 0, "the plan must taint a crate");
+        assert_eq!(unverified.total_corrupt_escaped(), unverified.total_corrupt_injected());
+
+        // With it, nothing rotten is archived: the crate is quarantined and
+        // re-shipped from the telescope's raw copy via quality monitoring.
+        assert_eq!(verified.total_corrupt_escaped(), 0);
+        let tape = verified.stage("tape-archive").unwrap();
+        assert!(tape.corrupt_detected > 0);
+        assert!(tape.quarantined > 0);
+        assert!(tape.verify_overhead > SimDuration::ZERO);
+        assert!(
+            verified.stage("local-qa").unwrap().reprocessed_blocks > 0,
+            "lineage walk must restart from the durable acquisition stage"
+        );
+        // Tape ends up holding at least the full survey raw volume.
+        assert!(tape.volume_in >= unverified.stage("acquire").unwrap().volume_out);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! [`cms_trigger_flow_graph`].
 
 use sciflow_core::fault::FaultProfile;
-use sciflow_core::graph::{CheckpointPolicy, FlowGraph};
+use sciflow_core::graph::{CheckpointPolicy, FlowGraph, VerifyPolicy};
 use sciflow_core::spec::{FilterSpec, FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
@@ -36,6 +36,10 @@ pub struct CleoFlowParams {
     /// long-running compute, and the stage worth restarting from a
     /// checkpoint when Wilson-lab nodes die mid-run.
     pub recon_checkpoint: CheckpointPolicy,
+    /// Integrity check applied where data enters the collaboration
+    /// EventStore — the model of the store recomputing each file's MD5
+    /// provenance digest at registration time.
+    pub eventstore_verify: VerifyPolicy,
 }
 
 impl Default for CleoFlowParams {
@@ -50,6 +54,7 @@ impl Default for CleoFlowParams {
             mc_shipments: 2,
             recon_rate_per_cpu: DataRate::mb_per_sec(2.0),
             recon_checkpoint: CheckpointPolicy::None,
+            eventstore_verify: VerifyPolicy::None,
         }
     }
 }
@@ -58,6 +63,15 @@ impl CleoFlowParams {
     /// Checkpoint reconstruction every `every` of computed work.
     pub fn with_recon_checkpoint(mut self, every: SimDuration) -> Self {
         self.recon_checkpoint = CheckpointPolicy::interval(every);
+        self
+    }
+
+    /// Digest-verify everything entering the collaboration EventStore at
+    /// `rate` (MD5 recomputation over each registered file). Corrupted USB
+    /// shipments are then quarantined at the store's door and replayed from
+    /// the offsite Monte-Carlo masters instead of entering the archive.
+    pub fn with_eventstore_verification(mut self, rate: DataRate) -> Self {
+        self.eventstore_verify = VerifyPolicy::digest(rate);
         self
     }
 }
@@ -69,6 +83,17 @@ pub const WILSON_POOL: &str = "wilson-lab";
 /// failures a day, each repaired in about `mean_repair`.
 pub fn wilson_crash_profile(crashes_per_day: f64, mean_repair: SimDuration) -> FaultProfile {
     FaultProfile::node_crashes(WILSON_POOL, crashes_per_day, 1, mean_repair)
+}
+
+/// The fault profile behind a CLEO reprocess pass: USB disks couriered from
+/// the offsite MC farms arrive "successfully" but carry latent, silently
+/// corrupted blocks at `silent_corrupts_per_day`. Nothing notices in
+/// transit — the damage only surfaces if the EventStore recomputes
+/// provenance digests at registration (see
+/// [`CleoFlowParams::with_eventstore_verification`]), which quarantines the
+/// shipment and triggers a reprocessing pass from the retained MC masters.
+pub fn reprocess_pass_profile(silent_corrupts_per_day: f64) -> FaultProfile {
+    FaultProfile::silent_corruption(silent_corrupts_per_day)
 }
 
 /// Build the Figure-2 flow: run acquisition → reconstruction →
@@ -121,6 +146,7 @@ pub fn cleo_flow_graph(p: &CleoFlowParams) -> FlowGraph {
         // The EventStore is declared before mc-merge, so this edge is wired
         // by name after the fact.
         .feed("mc-merge", "collaboration-eventstore")
+        .verify("collaboration-eventstore", p.eventstore_verify)
         .build()
         .expect("cleo flow spec is valid")
 }
@@ -278,6 +304,55 @@ mod tests {
     fn graph_validates() {
         cleo_flow_graph(&CleoFlowParams::default()).validate().unwrap();
         cms_trigger_flow_graph(&CmsTriggerParams::default()).validate().unwrap();
+    }
+
+    #[test]
+    fn verified_eventstore_quarantines_bad_shipments_and_reprocesses() {
+        use sciflow_core::fault::{FaultPlan, RetryPolicy};
+        use sciflow_testkit::assert_integrity_audit;
+
+        // Silent corruption on the courier path: multi-day USB shipment
+        // windows see a few latent bit flips each.
+        let plan =
+            FaultPlan::generate(29, SimDuration::from_days(21), &reprocess_pass_profile(1.5));
+        let run = |params: &CleoFlowParams| {
+            FlowSim::new(cleo_flow_graph(params), vec![CpuPool::new(WILSON_POOL, 64)])
+                .expect("valid flow")
+                .with_faults(plan.clone(), RetryPolicy::default())
+                .run()
+                .expect("flow completes")
+        };
+        let base = CleoFlowParams::default();
+        let unverified = run(&base);
+        let verified_params =
+            base.clone().with_eventstore_verification(DataRate::mb_per_sec(200.0));
+        let verified = run(&verified_params);
+        assert_integrity_audit(&unverified);
+        assert_integrity_audit(&verified);
+
+        // Without verification the corrupt shipments are archived as-is.
+        assert!(unverified.total_corrupt_injected() > 0, "the plan must taint a shipment");
+        assert_eq!(unverified.total_corrupt_escaped(), unverified.total_corrupt_injected());
+
+        // With digest checks at the store's door nothing corrupt gets in:
+        // the bad shipment is quarantined and replayed from the MC masters.
+        assert_eq!(verified.total_corrupt_escaped(), 0);
+        assert!(verified.total_corrupt_detected() > 0);
+        let store = verified.stage("collaboration-eventstore").unwrap();
+        assert!(store.quarantined > 0);
+        assert!(store.verify_overhead > SimDuration::ZERO);
+        assert!(
+            verified.stage("usb-shipping").unwrap().reprocessed_blocks > 0,
+            "lineage walk must replay the shipment from the durable MC source"
+        );
+
+        // Reprocessing restores exactly the fault-free archive contents.
+        let clean =
+            FlowSim::new(cleo_flow_graph(&verified_params), vec![CpuPool::new(WILSON_POOL, 64)])
+                .expect("valid flow")
+                .run()
+                .expect("flow completes");
+        assert_eq!(verified.retained_storage, clean.retained_storage);
     }
 
     #[test]

@@ -36,8 +36,16 @@ use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
 /// completing there.
 #[derive(Debug)]
 pub enum FlowEvent {
-    /// A block of `volume` arrives at `stage`.
-    Arrive { stage: StageId, volume: DataVolume },
+    /// A block of `volume` arrives at `stage`, carrying `taint` units of
+    /// silent corruption (0 for a clean block). `from` names the stage that
+    /// delivered it — the first hop of the block's lineage, which quarantine
+    /// walks to find a durable ancestor.
+    Arrive { stage: StageId, volume: DataVolume, taint: u32, from: Option<StageId> },
+    /// A block cleared (or skipped) its arrival integrity check and is
+    /// admitted to the stage proper, `verify`-cost later than its arrival.
+    /// Scheduled only by the orchestrator for stages with a
+    /// [`VerifyPolicy`](crate::graph::VerifyPolicy) other than `None`.
+    Admit { stage: StageId, volume: DataVolume, taint: u32 },
     /// Work previously scheduled by `stage` completes.
     Complete { stage: StageId, done: Completion },
     /// `units` of `resource` die (`None` takes everything online down).
@@ -56,12 +64,15 @@ pub enum Completion {
     /// release, `cpus` to return to the pool. `id` ties the completion to the
     /// stage's in-flight bookkeeping (crash recovery cancels by id).
     Task { id: u64, input: DataVolume, held: DataVolume, cpus: u32 },
-    /// A transfer delivers `volume` downstream.
-    Delivered { volume: DataVolume },
-    /// A retry of a faulted transfer begins (`attempt` is 0-based).
-    Attempt { volume: DataVolume, attempt: u32 },
+    /// A transfer delivers `volume` downstream carrying `taint` units of
+    /// silent corruption (incoming taint plus any injected in transit).
+    Delivered { volume: DataVolume, taint: u32 },
+    /// A retry of a faulted transfer begins (`attempt` is 0-based); `taint`
+    /// is the taint the block arrived with (in-transit taint of failed
+    /// attempts is moot — the payload is retransmitted).
+    Attempt { volume: DataVolume, attempt: u32, taint: u32 },
     /// A transfer abandons `volume` after exhausting its retry budget.
-    Abandoned { volume: DataVolume },
+    Abandoned { volume: DataVolume, taint: u32 },
     /// A filter finishes inspecting `volume`.
     Inspected { id: u64, volume: DataVolume },
 }
@@ -175,9 +186,19 @@ impl<'a> StageCtx<'a> {
     /// consumer receives the full block, as when raw data go both to archive
     /// and to processing).
     pub fn deliver(&mut self, volume: DataVolume) {
+        self.deliver_tainted(volume, 0);
+    }
+
+    /// [`StageCtx::deliver`], carrying `taint` units of silent corruption.
+    /// On fan-out the taint travels with the *first* downstream copy only —
+    /// taint units are conserved flow-wide, never duplicated, so the
+    /// integrity audit (injected = detected + escaped) stays exact.
+    pub fn deliver_tainted(&mut self, volume: DataVolume, taint: u32) {
         let now = self.sched.now();
-        for &t in self.graph.downstream(self.stage) {
-            self.sched.schedule(now, FlowEvent::Arrive { stage: t, volume });
+        let from = Some(self.stage);
+        for (i, &t) in self.graph.downstream(self.stage).iter().enumerate() {
+            let carried = if i == 0 { taint } else { 0 };
+            self.sched.schedule(now, FlowEvent::Arrive { stage: t, volume, taint: carried, from });
         }
     }
 
@@ -201,9 +222,11 @@ pub trait StageBehavior {
     /// Schedule any initial events (sources schedule their first block).
     fn seed(&mut self, _ctx: &mut StageCtx) {}
 
-    /// A block of `volume` arrived. The orchestrator has already allocated
-    /// it in the ledger and counted it in the stage's input metrics.
-    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume);
+    /// A block of `volume` arrived carrying `taint` units of silent
+    /// corruption (0 for a clean block — any arrival integrity check already
+    /// ran). The orchestrator has already allocated it in the ledger and
+    /// counted it in the stage's input metrics.
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32);
 
     /// Work previously scheduled via [`StageCtx::complete_at`] finished.
     fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion);
@@ -233,6 +256,8 @@ pub trait StageBehavior {
 /// crash/requeue cycles.
 struct PendingTask {
     input: DataVolume,
+    /// Silent-corruption taint the input block carried on arrival.
+    taint: u32,
     /// Work already banked by checkpoints from earlier (crashed) runs.
     banked: SimDuration,
     /// Work the last crash destroyed; counted as replayed when the task next
@@ -241,8 +266,8 @@ struct PendingTask {
 }
 
 impl PendingTask {
-    fn fresh(input: DataVolume) -> Self {
-        PendingTask { input, banked: SimDuration::ZERO, replay: SimDuration::ZERO }
+    fn fresh(input: DataVolume, taint: u32) -> Self {
+        PendingTask { input, taint, banked: SimDuration::ZERO, replay: SimDuration::ZERO }
     }
 }
 
@@ -251,6 +276,9 @@ struct RunningTask {
     id: u64,
     event: EventId,
     input: DataVolume,
+    /// Taint the input carried; outputs inherit it (processing a corrupted
+    /// block yields a corrupted product).
+    taint: u32,
     held: DataVolume,
     units: u32,
     started_at: SimTime,
@@ -324,7 +352,7 @@ impl StageBehavior for SourceBehavior {
         }
     }
 
-    fn on_arrive(&mut self, _ctx: &mut StageCtx, _volume: DataVolume) {
+    fn on_arrive(&mut self, _ctx: &mut StageCtx, _volume: DataVolume, _taint: u32) {
         unreachable!("validated graphs have no edges into sources")
     }
 
@@ -391,18 +419,22 @@ impl ProcessBehavior {
 }
 
 impl StageBehavior for ProcessBehavior {
-    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume) {
-        // Data-parallel stages split blocks into independent tasks.
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32) {
+        // Data-parallel stages split blocks into independent tasks. A tainted
+        // block's taint rides with the first chunk only, keeping the
+        // flow-wide taint count conserved.
         match self.chunk {
             Some(c) if !c.is_zero() && volume > c => {
                 let mut remaining = volume;
+                let mut first = true;
                 while remaining > DataVolume::ZERO {
                     let piece = remaining.min(c);
-                    self.queue.push_back(PendingTask::fresh(piece));
+                    self.queue.push_back(PendingTask::fresh(piece, if first { taint } else { 0 }));
+                    first = false;
                     remaining -= piece;
                 }
             }
-            _ => self.queue.push_back(PendingTask::fresh(volume)),
+            _ => self.queue.push_back(PendingTask::fresh(volume, taint)),
         }
         self.queued_volume += volume;
         let (blocks, qv) = (self.queue.len(), self.queued_volume);
@@ -429,6 +461,7 @@ impl StageBehavior for ProcessBehavior {
             ctx.ledger().free(input);
         }
         let output = input.scale(self.output_ratio);
+        let taint = run.taint;
         let now = ctx.now();
         let m = ctx.metrics();
         m.blocks_out += 1;
@@ -436,7 +469,13 @@ impl StageBehavior for ProcessBehavior {
         m.completed_at = now;
         m.checkpoint_overhead += run.overhead;
         if !output.is_zero() {
-            ctx.deliver(output);
+            ctx.deliver_tainted(output, taint);
+        } else if taint > 0 {
+            // A tainted block reduced to nothing is contained here: the
+            // corruption dies with the data, quarantined by loss.
+            let m = ctx.metrics();
+            m.corrupt_detected += taint as u64;
+            m.quarantined += 1;
         }
         ctx.resources().release(self.pool, cpus);
         if !self.queue.is_empty() {
@@ -489,6 +528,7 @@ impl StageBehavior for ProcessBehavior {
             id,
             event,
             input,
+            taint: task.taint,
             held,
             units: self.cpus_per_task,
             started_at: now,
@@ -538,6 +578,7 @@ impl StageBehavior for ProcessBehavior {
             self.queued_volume += run.input;
             self.queue.push_front(PendingTask {
                 input: run.input,
+                taint: run.taint,
                 banked: run.banked + banked,
                 replay: lost,
             });
@@ -560,7 +601,8 @@ pub struct TransferBehavior {
     rate: DataRate,
     latency: SimDuration,
     channel: ResourceId,
-    queue: VecDeque<DataVolume>,
+    /// Queued blocks with the taint each arrived carrying.
+    queue: VecDeque<(DataVolume, u32)>,
     queued_volume: DataVolume,
 }
 
@@ -577,14 +619,17 @@ impl TransferBehavior {
 
     /// Run one attempt of an in-flight transfer against the fault plan (if
     /// any): on success schedule delivery, on a fault either back off and
-    /// retry or — once the budget is spent — give the block up.
-    fn begin_attempt(&mut self, ctx: &mut StageCtx, volume: DataVolume, attempt: u32) {
+    /// retry or — once the budget is spent — give the block up. `taint` is
+    /// the taint the block arrived with; silent-corruption events overlapping
+    /// a *successful* attempt add to it (the transfer "works" but delivers a
+    /// bad block).
+    fn begin_attempt(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32, attempt: u32) {
         let (rate, latency) = (self.rate, self.latency);
         let now = ctx.now();
         if !ctx.has_faults() {
             let dur = latency + volume.time_at(rate).unwrap_or(SimDuration::ZERO);
             ctx.metrics().busy += dur;
-            ctx.complete_at(now + dur, Completion::Delivered { volume });
+            ctx.complete_at(now + dur, Completion::Delivered { volume, taint });
             return;
         }
         let f = ctx.faults().expect("fault plan present");
@@ -602,7 +647,13 @@ impl TransferBehavior {
         m.busy += outcome.ends_at.checked_sub(now).unwrap_or(SimDuration::ZERO);
         match (outcome.failure, backoff) {
             (None, _) => {
-                ctx.complete_at(outcome.ends_at, Completion::Delivered { volume });
+                if outcome.silent_corrupts > 0 {
+                    ctx.metrics().corrupt_injected += outcome.silent_corrupts as u64;
+                }
+                ctx.complete_at(
+                    outcome.ends_at,
+                    Completion::Delivered { volume, taint: taint + outcome.silent_corrupts },
+                );
             }
             (Some(_), Some(wait)) => {
                 let m = ctx.metrics();
@@ -610,19 +661,25 @@ impl TransferBehavior {
                 m.volume_retransmitted += volume;
                 ctx.complete_at(
                     outcome.ends_at + wait,
-                    Completion::Attempt { volume, attempt: attempt + 1 },
+                    Completion::Attempt { volume, attempt: attempt + 1, taint },
                 );
             }
-            (Some(_), None) => {
-                ctx.complete_at(outcome.ends_at, Completion::Abandoned { volume });
+            (Some(failure), None) => {
+                if failure == crate::fault::AttemptFailure::Corrupted {
+                    // A corrupted final attempt still pushed the whole payload
+                    // across the wire before the check failed — those bytes
+                    // were (re)transmitted exactly once more.
+                    ctx.metrics().volume_retransmitted += volume;
+                }
+                ctx.complete_at(outcome.ends_at, Completion::Abandoned { volume, taint });
             }
         }
     }
 }
 
 impl StageBehavior for TransferBehavior {
-    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume) {
-        self.queue.push_back(volume);
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32) {
+        self.queue.push_back((volume, taint));
         self.queued_volume += volume;
         let (blocks, qv) = (self.queue.len(), self.queued_volume);
         ctx.metrics().note_queue(blocks, qv);
@@ -631,7 +688,7 @@ impl StageBehavior for TransferBehavior {
 
     fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion) {
         match done {
-            Completion::Delivered { volume } => {
+            Completion::Delivered { volume, taint } => {
                 ctx.resources().release(self.channel, 1);
                 let now = ctx.now();
                 let m = ctx.metrics();
@@ -639,15 +696,23 @@ impl StageBehavior for TransferBehavior {
                 m.volume_out += volume;
                 m.completed_at = now;
                 ctx.ledger().free(volume); // handed to the consumer, who re-allocates
-                ctx.deliver(volume);
+                ctx.deliver_tainted(volume, taint);
                 self.try_dispatch(ctx);
             }
-            Completion::Attempt { volume, attempt } => self.begin_attempt(ctx, volume, attempt),
-            Completion::Abandoned { volume } => {
+            Completion::Attempt { volume, attempt, taint } => {
+                self.begin_attempt(ctx, volume, taint, attempt)
+            }
+            Completion::Abandoned { volume, taint } => {
                 ctx.resources().release(self.channel, 1);
                 let m = ctx.metrics();
                 m.blocks_failed += 1;
                 m.volume_lost += volume;
+                if taint > 0 {
+                    // A tainted block abandoned in transit is quarantined by
+                    // loss: the corruption never reaches a consumer.
+                    m.corrupt_detected += taint as u64;
+                    m.quarantined += 1;
+                }
                 ctx.ledger().free(volume); // the abandoned block's buffer is released
                 self.try_dispatch(ctx);
             }
@@ -660,10 +725,10 @@ impl StageBehavior for TransferBehavior {
     fn try_dispatch(&mut self, ctx: &mut StageCtx) -> Dispatch {
         let mut started = false;
         while ctx.resources().free(self.channel) > 0 {
-            let Some(volume) = self.queue.pop_front() else { break };
+            let Some((volume, taint)) = self.queue.pop_front() else { break };
             self.queued_volume -= volume;
             ctx.resources().acquire(self.channel, 1);
-            self.begin_attempt(ctx, volume, 0);
+            self.begin_attempt(ctx, volume, taint, 0);
             started = true;
         }
         if started {
@@ -714,8 +779,8 @@ impl FilterBehavior {
 }
 
 impl StageBehavior for FilterBehavior {
-    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume) {
-        self.queue.push_back(PendingTask::fresh(volume));
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32) {
+        self.queue.push_back(PendingTask::fresh(volume, taint));
         self.queued_volume += volume;
         let (blocks, qv) = (self.queue.len(), self.queued_volume);
         ctx.metrics().note_queue(blocks, qv);
@@ -743,8 +808,14 @@ impl StageBehavior for FilterBehavior {
         // The whole block's buffer is released; the accepted fraction is
         // re-allocated by whoever receives it, the rejected rest is gone.
         ctx.ledger().free(volume);
+        let taint = run.taint;
         if !accepted.is_zero() {
-            ctx.deliver(accepted);
+            ctx.deliver_tainted(accepted, taint);
+        } else if taint > 0 {
+            // A tainted block the filter rejects wholesale is contained here.
+            let m = ctx.metrics();
+            m.corrupt_detected += taint as u64;
+            m.quarantined += 1;
         }
         self.try_dispatch(ctx);
     }
@@ -776,6 +847,7 @@ impl StageBehavior for FilterBehavior {
                 id,
                 event,
                 input: volume,
+                taint: task.taint,
                 held: DataVolume::ZERO,
                 units: 1,
                 started_at: now,
@@ -827,6 +899,7 @@ impl StageBehavior for FilterBehavior {
             self.queued_volume += run.input;
             self.queue.push_front(PendingTask {
                 input: run.input,
+                taint: run.taint,
                 banked: run.banked + banked,
                 replay: lost,
             });
@@ -850,7 +923,9 @@ impl StageBehavior for FilterBehavior {
 pub struct ArchiveBehavior;
 
 impl StageBehavior for ArchiveBehavior {
-    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume) {
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, _taint: u32) {
+        // Escaped taint is counted by the orchestrator before this hook; an
+        // archive stores whatever it is handed.
         let now = ctx.now();
         let m = ctx.metrics();
         m.volume_out += volume;

@@ -31,6 +31,11 @@ pub enum FaultKind {
     /// Payload corruption: the attempt runs to completion but fails its
     /// integrity check at the end.
     Corrupt,
+    /// Undetected payload corruption: the attempt *succeeds* and the
+    /// delivered block is silently tainted. Nothing in the transport layer
+    /// notices — only a downstream integrity check (the paper's MD5
+    /// provenance digests) can catch the taint before it reaches a sink.
+    SilentCorrupt,
     /// The sustained rate is multiplied by `factor` (< 1) for `duration`.
     RateDegrade { factor: f64, duration: SimDuration },
     /// `cpus` processors of `pool` die at the event time and come back
@@ -75,6 +80,10 @@ pub struct FaultProfile {
     /// The CPU pool that crashes and outages target. `None` disables both
     /// categories (and keeps plans byte-identical with pre-crash profiles).
     pub crash_pool: Option<String>,
+    /// Silent corruptions per day: each event taints (without failing) any
+    /// transfer attempt whose window covers it. Zero disables the category
+    /// and keeps plans byte-identical with pre-integrity profiles.
+    pub silent_corrupts_per_day: f64,
 }
 
 impl FaultProfile {
@@ -94,6 +103,7 @@ impl FaultProfile {
             outages_per_day: 0.0,
             mean_outage_repair: SimDuration::ZERO,
             crash_pool: None,
+            silent_corrupts_per_day: 0.0,
         }
     }
 
@@ -140,6 +150,19 @@ impl FaultProfile {
     pub fn with_outages(mut self, per_day: f64, mean_repair: SimDuration) -> Self {
         self.outages_per_day = per_day;
         self.mean_outage_repair = mean_repair;
+        self
+    }
+
+    /// Only silent corruption, at the given daily rate: transfers deliver,
+    /// but delivered blocks are tainted — the tape-bitrot / bad-media shape
+    /// of the paper's shipping lanes.
+    pub fn silent_corruption(per_day: f64) -> Self {
+        FaultProfile { silent_corrupts_per_day: per_day, ..FaultProfile::clean() }
+    }
+
+    /// Add silent corruption to this profile.
+    pub fn with_silent_corruption(mut self, per_day: f64) -> Self {
+        self.silent_corrupts_per_day = per_day;
         self
     }
 }
@@ -245,6 +268,12 @@ impl FaultPlan {
                     kind: FaultKind::PoolOutage { pool: pool.clone(), repair },
                 });
             }
+        }
+        // Silent corruption draws after every other category, so zero-rate
+        // profiles keep generating byte-identical plans to the pre-integrity
+        // fault layer (a zero rate consumes no RNG).
+        for at in arrivals(profile.silent_corrupts_per_day, &mut rng) {
+            events.push(FaultEvent { at, kind: FaultKind::SilentCorrupt });
         }
         events.sort_by_key(|e| e.at);
         FaultPlan { seed, events }
@@ -374,6 +403,11 @@ impl FaultPlan {
             .map(|e| e.at);
         let corrupted =
             self.events.iter().any(|e| e.at >= start && e.at < end && e.kind == FaultKind::Corrupt);
+        let silent_corrupts = self
+            .events
+            .iter()
+            .filter(|e| e.at >= start && e.at < end && e.kind == FaultKind::SilentCorrupt)
+            .count() as u32;
         let timeout_at = match timeout {
             Some(t) if dur > t => Some(start + t),
             _ => None,
@@ -395,10 +429,20 @@ impl FaultPlan {
         }
 
         match failure {
-            None => AttemptOutcome { ends_at: end, failure: None, stalls_hit, nominal_end: end },
-            Some((at, cause)) => {
-                AttemptOutcome { ends_at: at, failure: Some(cause), stalls_hit, nominal_end: end }
-            }
+            None => AttemptOutcome {
+                ends_at: end,
+                failure: None,
+                stalls_hit,
+                nominal_end: end,
+                silent_corrupts,
+            },
+            Some((at, cause)) => AttemptOutcome {
+                ends_at: at,
+                failure: Some(cause),
+                stalls_hit,
+                nominal_end: end,
+                silent_corrupts,
+            },
         }
     }
 }
@@ -433,6 +477,10 @@ pub struct AttemptOutcome {
     /// Where the attempt would have completed ignoring the failure (used for
     /// partial-progress accounting).
     pub nominal_end: SimTime,
+    /// [`FaultKind::SilentCorrupt`] events inside the attempt window. They
+    /// never fail the attempt; a delivered attempt carries this many taint
+    /// units downstream (failed attempts retransmit, so their taint is moot).
+    pub silent_corrupts: u32,
 }
 
 impl AttemptOutcome {
@@ -440,9 +488,10 @@ impl AttemptOutcome {
         self.failure.is_none()
     }
 
-    /// Fault events that influenced this attempt (stalls plus the failure).
+    /// Fault events that influenced this attempt (stalls, silent corruption,
+    /// plus the failure).
     pub fn faults_hit(&self) -> u64 {
-        self.stalls_hit as u64 + u64::from(self.failure.is_some())
+        self.stalls_hit as u64 + self.silent_corrupts as u64 + u64::from(self.failure.is_some())
     }
 }
 
@@ -674,6 +723,51 @@ mod tests {
             &FaultProfile { crash_pool: Some("farm".into()), ..FaultProfile::flaky() },
         );
         assert_eq!(flaky, flaky_with_pool, "zero-rate crash draws must not disturb the RNG");
+    }
+
+    #[test]
+    fn silent_corrupt_taints_without_failing() {
+        let plan = FaultPlan::from_events(
+            0,
+            vec![
+                FaultEvent { at: SimTime::from_micros(2_000_000), kind: FaultKind::SilentCorrupt },
+                FaultEvent { at: SimTime::from_micros(4_000_000), kind: FaultKind::SilentCorrupt },
+            ],
+        );
+        let out = plan.attempt_outcome(SimTime::ZERO, SimDuration::from_secs(10), None);
+        assert!(out.succeeded(), "silent corruption must not fail the attempt");
+        assert_eq!(out.ends_at, SimTime::ZERO + SimDuration::from_secs(10));
+        assert_eq!(out.silent_corrupts, 2);
+        assert_eq!(out.faults_hit(), 2);
+        // An attempt that misses both events is untainted.
+        let later =
+            plan.attempt_outcome(SimTime::from_micros(5_000_000), SimDuration::from_secs(10), None);
+        assert_eq!(later.silent_corrupts, 0);
+    }
+
+    #[test]
+    fn silent_corrupt_plans_are_seeded_and_rng_stable() {
+        let horizon = SimDuration::from_days(30);
+        let profile = FaultProfile::silent_corruption(1.5);
+        let a = FaultPlan::generate(13, horizon, &profile);
+        let b = FaultPlan::generate(13, horizon, &profile);
+        assert_eq!(a, b);
+        let n = a.count(|k| matches!(k, FaultKind::SilentCorrupt));
+        assert!(n > 0, "30 days at 1.5/day must produce silent corruptions");
+        assert_eq!(a.len(), n, "silent-corruption-only profile generates only taint events");
+        // Silent corruption draws after every other category, so enabling it
+        // leaves the rest of the plan untouched: stripping the taint events
+        // from a flaky+taint plan recovers the plain flaky plan exactly.
+        let flaky = FaultPlan::generate(13, horizon, &FaultProfile::flaky());
+        let tainted =
+            FaultPlan::generate(13, horizon, &FaultProfile::flaky().with_silent_corruption(1.5));
+        let stripped: Vec<FaultEvent> = tainted
+            .events()
+            .iter()
+            .filter(|e| e.kind != FaultKind::SilentCorrupt)
+            .cloned()
+            .collect();
+        assert_eq!(stripped, flaky.events(), "taint draws must not disturb the other categories");
     }
 
     #[test]

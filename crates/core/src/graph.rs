@@ -50,6 +50,44 @@ impl CheckpointPolicy {
     }
 }
 
+/// How a stage checks arriving blocks for silent corruption.
+///
+/// The paper's CLEO pipeline stores MD5 digests over canonical provenance
+/// strings "in the output stream of each file" precisely so bad data can be
+/// caught after the fact. [`VerifyPolicy`] models that defence in the flow
+/// simulator: checking costs compute time (`volume / rate` per checked
+/// block), catches the taint left by
+/// [`FaultKind::SilentCorrupt`](crate::fault::FaultKind) events, and
+/// quarantines the block instead of letting it flow on.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum VerifyPolicy {
+    /// No integrity check: tainted blocks flow through undetected.
+    #[default]
+    None,
+    /// Check every arriving block at `rate` (full digest recomputation);
+    /// every tainted block is caught on arrival.
+    Digest { rate: DataRate },
+    /// Check a seeded `fraction` of arriving blocks at `rate`; only sampled
+    /// tainted blocks are caught.
+    Sample { fraction: f64, rate: DataRate },
+}
+
+impl VerifyPolicy {
+    /// Digest-check every arriving block at `rate`.
+    pub fn digest(rate: DataRate) -> Self {
+        VerifyPolicy::Digest { rate }
+    }
+
+    /// Digest-check a seeded `fraction` of arriving blocks at `rate`.
+    pub fn sample(fraction: f64, rate: DataRate) -> Self {
+        VerifyPolicy::Sample { fraction, rate }
+    }
+
+    pub fn is_none(&self) -> bool {
+        matches!(self, VerifyPolicy::None)
+    }
+}
+
 /// What a stage does with the blocks that reach it.
 #[derive(Debug, Clone)]
 pub enum StageKind {
@@ -104,6 +142,9 @@ pub enum StageKind {
 pub struct Stage {
     pub name: String,
     pub kind: StageKind,
+    /// Integrity check applied to every block arriving at this stage
+    /// (default: none).
+    pub verify: VerifyPolicy,
 }
 
 /// A directed acyclic graph of stages. Build with [`FlowGraph::add_stage`] /
@@ -124,10 +165,15 @@ impl FlowGraph {
 
     pub fn add_stage(&mut self, name: impl Into<String>, kind: StageKind) -> StageId {
         let id = StageId(self.stages.len());
-        self.stages.push(Stage { name: name.into(), kind });
+        self.stages.push(Stage { name: name.into(), kind, verify: VerifyPolicy::None });
         self.succ.push(Vec::new());
         self.pred.push(Vec::new());
         id
+    }
+
+    /// Set the integrity-check policy of an existing stage.
+    pub fn set_verify(&mut self, id: StageId, policy: VerifyPolicy) {
+        self.stages[id.0].verify = policy;
     }
 
     /// Route the output of `from` into `to`.
@@ -289,6 +335,15 @@ mod tests {
         assert_eq!(g.referenced_pools(), vec!["ctc"]);
         assert_eq!(g.find("process"), Some(p));
         assert_eq!(g.find("nope"), None);
+    }
+
+    #[test]
+    fn verify_policy_defaults_to_none_and_is_settable() {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage("acquire", source());
+        assert!(g.stage(s).verify.is_none());
+        g.set_verify(s, VerifyPolicy::digest(DataRate::mb_per_sec(200.0)));
+        assert_eq!(g.stage(s).verify, VerifyPolicy::Digest { rate: DataRate::mb_per_sec(200.0) });
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub use error::{CoreError, CoreResult};
 pub use fault::{
     AttemptFailure, AttemptOutcome, FaultEvent, FaultKind, FaultPlan, FaultProfile, RetryPolicy,
 };
-pub use graph::{FlowGraph, StageId, StageKind};
+pub use graph::{FlowGraph, StageId, StageKind, VerifyPolicy};
 pub use metrics::{PoolMetrics, SimReport, StageMetrics};
 pub use product::{DataProduct, ProductKind};
 pub use provenance::{ProvenanceRecord, ProvenanceStep};

@@ -40,6 +40,21 @@ pub struct StageMetrics {
     pub work_replayed: SimDuration,
     /// Extra runtime spent writing checkpoints.
     pub checkpoint_overhead: SimDuration,
+    /// Taint units injected here by silent corruption (transfers that
+    /// delivered a tainted block).
+    pub corrupt_injected: u64,
+    /// Taint units caught by this stage — by an arrival integrity check, or
+    /// contained when a tainted block was destroyed in transit.
+    pub corrupt_detected: u64,
+    /// Taint units that arrived at this stage unchecked — at a sink this is
+    /// corrupted data served to consumers.
+    pub corrupt_escaped: u64,
+    /// Blocks quarantined at this stage instead of flowing on.
+    pub quarantined: u64,
+    /// Blocks re-enqueued at this stage by lineage-driven reprocessing.
+    pub reprocessed_blocks: u64,
+    /// Compute time spent on arrival integrity checks.
+    pub verify_overhead: SimDuration,
 }
 
 impl StageMetrics {
@@ -157,6 +172,40 @@ impl SimReport {
         }
         total
     }
+
+    /// Total taint units injected by silent corruption.
+    pub fn total_corrupt_injected(&self) -> u64 {
+        self.stages.iter().map(|s| s.corrupt_injected).sum()
+    }
+
+    /// Total taint units caught (verified or contained) across all stages.
+    pub fn total_corrupt_detected(&self) -> u64 {
+        self.stages.iter().map(|s| s.corrupt_detected).sum()
+    }
+
+    /// Total taint units that reached a stage unchecked.
+    pub fn total_corrupt_escaped(&self) -> u64 {
+        self.stages.iter().map(|s| s.corrupt_escaped).sum()
+    }
+
+    /// Total blocks quarantined across all stages.
+    pub fn total_quarantined(&self) -> u64 {
+        self.stages.iter().map(|s| s.quarantined).sum()
+    }
+
+    /// Total blocks re-enqueued by lineage-driven reprocessing.
+    pub fn total_reprocessed_blocks(&self) -> u64 {
+        self.stages.iter().map(|s| s.reprocessed_blocks).sum()
+    }
+
+    /// Total compute time spent on arrival integrity checks.
+    pub fn total_verify_overhead(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for s in &self.stages {
+            total += s.verify_overhead;
+        }
+        total
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -188,6 +237,18 @@ impl fmt::Display for SimReport {
                 self.total_work_lost(),
                 self.stages.iter().fold(SimDuration::ZERO, |acc, s| acc + s.work_replayed),
                 self.total_checkpoint_overhead(),
+            )?;
+        }
+        if self.total_corrupt_injected() > 0 || self.total_verify_overhead() > SimDuration::ZERO {
+            writeln!(
+                f,
+                "  corruption injected {}  detected {}  escaped {}  quarantined {}  reprocessed {}  verify overhead {}",
+                self.total_corrupt_injected(),
+                self.total_corrupt_detected(),
+                self.total_corrupt_escaped(),
+                self.total_quarantined(),
+                self.total_reprocessed_blocks(),
+                self.total_verify_overhead(),
             )?;
         }
         for s in &self.stages {

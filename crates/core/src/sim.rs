@@ -30,7 +30,7 @@ use crate::behavior::{
 use crate::engine::{Engine, EventHandler, Scheduler};
 use crate::error::{CoreError, CoreResult};
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
-use crate::graph::{CheckpointPolicy, FlowGraph, StageKind};
+use crate::graph::{CheckpointPolicy, FlowGraph, StageId, StageKind, VerifyPolicy};
 use crate::metrics::{SimReport, StageMetrics};
 use crate::resource::{ResourceId, ResourceSet};
 use crate::units::{DataVolume, SimDuration, SimTime};
@@ -38,7 +38,12 @@ use crate::units::{DataVolume, SimDuration, SimTime};
 pub use crate::resource::{SchedPolicy, StorageLedger};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed mixed into the verification-sampling RNG so sampled checks replay
+/// identically for a given fault seed without correlating with backoff
+/// jitter.
+const VERIFY_RNG_SALT: u64 = 0x5EED_C8EC_D16E_0004;
 
 /// A named pool of interchangeable processors shared by `Process` stages.
 #[derive(Debug, Clone)]
@@ -55,7 +60,7 @@ impl CpuPool {
 
 /// What the orchestrator asks a behavior to do for one event.
 enum Step {
-    Arrive(DataVolume),
+    Arrive(DataVolume, u32),
     Complete(Completion),
 }
 
@@ -74,6 +79,24 @@ pub struct FlowSim {
     source_end: Option<SimTime>,
     max_events: u64,
     faults: Option<FaultCtx>,
+    /// Per-stage: can lineage reprocessing restart from here? (Sources and
+    /// archives hold their data; process/filter stages only if they retain
+    /// input or checkpoint.) Computed once at build time so the run loop
+    /// stays kind-free.
+    durable: Vec<bool>,
+    /// Per-stage output/input volume ratio, used to invert a stage's
+    /// transformation when walking lineage upstream.
+    ratio: Vec<f64>,
+    /// Per-stage: is this a terminal stage (no downstream)? Taint arriving
+    /// unchecked at a sink has escaped to consumers.
+    sink: Vec<bool>,
+    /// Draws which arrivals a [`VerifyPolicy::Sample`] stage actually checks.
+    /// Untouched by runs without sampled stages, so adding the field changes
+    /// no existing replay.
+    verify_rng: StdRng,
+    /// How many lineage hops [`FlowSim`] walks looking for a durable ancestor
+    /// before giving a quarantined block up as unrecoverable.
+    max_reprocess_depth: usize,
 }
 
 impl FlowSim {
@@ -139,6 +162,7 @@ impl FlowSim {
                 }
                 StageKind::Source { .. } | StageKind::Archive => {}
             }
+            validate_verify(&stage.name, &stage.kind, &stage.verify)?;
         }
         // The only kind dispatch in the simulator: constructing each stage's
         // behavior (and its private channel resource where one is needed).
@@ -189,6 +213,27 @@ impl FlowSim {
                 pending_emits += blocks;
             }
         }
+        // Lineage tables, computed here so the run loop never matches kinds:
+        // where reprocessing can restart, how to invert each stage's volume
+        // transformation, and which stages are sinks.
+        let mut durable = Vec::with_capacity(graph.len());
+        let mut ratio = Vec::with_capacity(graph.len());
+        let mut sink = Vec::with_capacity(graph.len());
+        for id in graph.stage_ids() {
+            let (d, r) = match &graph.stage(id).kind {
+                StageKind::Source { .. } | StageKind::Archive => (true, 1.0),
+                StageKind::Process { retain_input, checkpoint, output_ratio, .. } => {
+                    (*retain_input || *checkpoint != CheckpointPolicy::None, *output_ratio)
+                }
+                StageKind::Filter { accept_ratio, checkpoint, .. } => {
+                    (*checkpoint != CheckpointPolicy::None, *accept_ratio)
+                }
+                StageKind::Transfer { .. } => (false, 1.0),
+            };
+            durable.push(d);
+            ratio.push(r);
+            sink.push(graph.downstream(id).is_empty());
+        }
         let metrics = vec![StageMetrics::default(); graph.len()];
         Ok(FlowSim {
             graph,
@@ -201,6 +246,11 @@ impl FlowSim {
             source_end: None,
             max_events: 50_000_000,
             faults: None,
+            durable,
+            ratio,
+            sink,
+            verify_rng: StdRng::seed_from_u64(VERIFY_RNG_SALT),
+            max_reprocess_depth: 8,
         })
     }
 
@@ -228,7 +278,16 @@ impl FlowSim {
     /// same plan and policy twice yields identical [`SimReport`]s.
     pub fn with_faults(mut self, plan: FaultPlan, policy: RetryPolicy) -> Self {
         let rng = StdRng::seed_from_u64(plan.seed() ^ 0xBACC_0FF5_EED0_0002);
+        self.verify_rng = StdRng::seed_from_u64(plan.seed() ^ VERIFY_RNG_SALT);
         self.faults = Some(FaultCtx { plan, policy, rng });
+        self
+    }
+
+    /// Bound how far lineage-driven reprocessing walks upstream looking for a
+    /// durable ancestor (default 8 hops). A quarantined block whose nearest
+    /// durable ancestor is farther than this is given up as unrecoverable.
+    pub fn with_max_reprocess_depth(mut self, depth: usize) -> Self {
+        self.max_reprocess_depth = depth;
         self
     }
 
@@ -371,6 +430,46 @@ impl FlowSim {
         self.drain(rid, sched);
     }
 
+    /// Walk the lineage of a quarantined block upstream from the stage that
+    /// detected it, looking for the nearest durable ancestor, and re-enqueue
+    /// the work the quarantined copy came from. `from` is the stage that
+    /// delivered the bad block (the first hop); beyond it the walk follows
+    /// each stage's first upstream edge, inverting volume transformations as
+    /// it goes. Gives up — leaving the block quarantined with no replacement
+    /// — when lineage runs out, a stage's transformation is not invertible
+    /// (zero ratio), or the walk exceeds `max_reprocess_depth` hops.
+    fn reprocess(
+        &mut self,
+        stage: StageId,
+        from: Option<StageId>,
+        volume: DataVolume,
+        sched: &mut Scheduler<FlowEvent>,
+    ) {
+        let mut vol = volume;
+        let mut cur = stage;
+        let mut prev = from;
+        for _ in 0..self.max_reprocess_depth {
+            let Some(u) = prev else { return };
+            if self.durable[u.index()] {
+                // `u` still holds (or can regenerate) a clean copy of what it
+                // delivered to `cur`: replay that delivery.
+                self.metrics[cur.index()].reprocessed_blocks += 1;
+                sched.schedule(
+                    sched.now(),
+                    FlowEvent::Arrive { stage: cur, volume: vol, taint: 0, from: Some(u) },
+                );
+                return;
+            }
+            let r = self.ratio[u.index()];
+            if r <= 0.0 {
+                return;
+            }
+            vol = vol.scale(1.0 / r);
+            cur = u;
+            prev = self.graph.upstream(u).first().copied();
+        }
+    }
+
     fn total_queued(&self) -> DataVolume {
         self.behaviors.iter().map(|b| b.as_ref().expect("behavior in place").queued_volume()).sum()
     }
@@ -397,6 +496,43 @@ impl FlowSim {
     }
 }
 
+/// Reject degenerate verification parameters at build time: a zero digest
+/// rate would make every check instantaneous-or-undefined, a sampling
+/// fraction outside [0, 1] is meaningless, and a policy on a source can
+/// never run (sources receive no arrivals).
+fn validate_verify(stage: &str, kind: &StageKind, policy: &VerifyPolicy) -> CoreResult<()> {
+    if matches!(kind, StageKind::Source { .. }) && !policy.is_none() {
+        return Err(CoreError::InvalidConfig {
+            detail: format!("stage `{stage}` is a source; a verify policy there can never run"),
+        });
+    }
+    match policy {
+        VerifyPolicy::None => {}
+        VerifyPolicy::Digest { rate } => {
+            if rate.bytes_per_sec() <= 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("stage `{stage}` has a zero digest-verification rate"),
+                });
+            }
+        }
+        VerifyPolicy::Sample { fraction, rate } => {
+            if !(0.0..=1.0).contains(fraction) {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!(
+                        "stage `{stage}` sampling fraction {fraction} is outside [0, 1]"
+                    ),
+                });
+            }
+            if rate.bytes_per_sec() <= 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("stage `{stage}` has a zero digest-verification rate"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A zero-length checkpoint interval would mean "checkpoint continuously";
 /// nothing would ever be lost and the salvage arithmetic degenerates. Reject
 /// it at build time like the other degenerate stage parameters.
@@ -416,14 +552,61 @@ impl EventHandler for FlowSim {
 
     fn handle(&mut self, ev: FlowEvent, sched: &mut Scheduler<FlowEvent>) {
         let (stage, step) = match ev {
-            FlowEvent::Arrive { stage, volume } => {
+            FlowEvent::Arrive { stage, volume, taint, from } => {
                 // Arrival bookkeeping is common to every kind: the block now
                 // occupies storage and counts as stage input.
                 self.ledger.alloc(volume);
                 let m = &mut self.metrics[stage.index()];
                 m.blocks_in += 1;
                 m.volume_in += volume;
-                (stage, Step::Arrive(volume))
+                // Arrival integrity check, per the stage's verify policy.
+                // Digest checks every block; Sample draws a seeded fraction;
+                // both spend `volume / rate` of compute before admission.
+                let cost = match self.graph.stage(stage).verify {
+                    VerifyPolicy::None => None,
+                    VerifyPolicy::Digest { rate } => {
+                        Some(volume.time_at(rate).unwrap_or(SimDuration::ZERO))
+                    }
+                    VerifyPolicy::Sample { fraction, rate } => {
+                        if self.verify_rng.gen::<f64>() < fraction {
+                            Some(volume.time_at(rate).unwrap_or(SimDuration::ZERO))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(cost) = cost {
+                    let m = &mut self.metrics[stage.index()];
+                    m.verify_overhead += cost;
+                    m.busy += cost;
+                    if taint > 0 {
+                        // Caught: quarantine the block (its buffer is
+                        // released, it never reaches the stage proper) and
+                        // try to replay it from a durable ancestor.
+                        m.corrupt_detected += taint as u64;
+                        m.quarantined += 1;
+                        self.ledger.free(volume);
+                        self.reprocess(stage, from, volume, sched);
+                        return;
+                    }
+                    sched.schedule(sched.now() + cost, FlowEvent::Admit { stage, volume, taint });
+                    return;
+                }
+                // Unchecked: taint reaching a terminal stage has escaped to
+                // consumers; count it once here and hand the behavior a
+                // clean block so it cannot be double-counted downstream.
+                let taint = if taint > 0 && self.sink[stage.index()] {
+                    self.metrics[stage.index()].corrupt_escaped += taint as u64;
+                    0
+                } else {
+                    taint
+                };
+                (stage, Step::Arrive(volume, taint))
+            }
+            FlowEvent::Admit { stage, volume, taint } => {
+                // Post-verification admission: ledger and input counters were
+                // charged at arrival; the block is clean by construction.
+                (stage, Step::Arrive(volume, taint))
             }
             FlowEvent::Complete { stage, done } => (stage, Step::Complete(done)),
             FlowEvent::CrashResource { resource, units, repair } => {
@@ -450,7 +633,7 @@ impl EventHandler for FlowSim {
                 &mut fx,
             );
             match step {
-                Step::Arrive(volume) => behavior.on_arrive(&mut ctx, volume),
+                Step::Arrive(volume, taint) => behavior.on_arrive(&mut ctx, volume, taint),
                 Step::Complete(done) => behavior.on_complete(&mut ctx, done),
             }
         }
@@ -789,5 +972,175 @@ mod tests {
         let g = simple_graph(10.0, 1.0);
         let sim = FlowSim::new(g, vec![CpuPool::new("pool", 1)]).unwrap().with_max_events(2);
         assert!(matches!(sim.run(), Err(CoreError::InvalidConfig { .. })));
+    }
+
+    use crate::fault::{FaultEvent, FaultPlan, FaultProfile, RetryPolicy};
+    use crate::graph::VerifyPolicy;
+
+    /// src → link → dst, with one silent-corruption event timed to taint the
+    /// first block's transfer attempt (blocks take 12 s on the link).
+    fn corrupting_setup(verify: VerifyPolicy) -> (FlowGraph, FaultPlan) {
+        let mut g = transfer_graph(1);
+        let dst = g.find("dst").unwrap();
+        g.set_verify(dst, verify);
+        let plan = FaultPlan::from_events(
+            7,
+            vec![FaultEvent {
+                at: SimTime::from_micros(5_000_000),
+                kind: FaultKind::SilentCorrupt,
+            }],
+        );
+        (g, plan)
+    }
+
+    #[test]
+    fn digest_verification_quarantines_and_reprocesses() {
+        let (g, plan) = corrupting_setup(VerifyPolicy::digest(DataRate::mb_per_sec(500.0)));
+        let report = FlowSim::new(g, vec![])
+            .unwrap()
+            .with_faults(plan, RetryPolicy::default())
+            .run()
+            .unwrap();
+        let link = report.stage("link").unwrap();
+        let dst = report.stage("dst").unwrap();
+        assert_eq!(link.corrupt_injected, 1);
+        assert_eq!(dst.corrupt_detected, 1);
+        assert_eq!(dst.quarantined, 1);
+        assert_eq!(report.total_corrupt_escaped(), 0);
+        // Lineage walk: dst ← link (not durable) ← src (source, durable), so
+        // the block re-enters at the link and ships again, clean this time.
+        assert_eq!(link.reprocessed_blocks, 1);
+        assert_eq!(dst.volume_in, DataVolume::gb(4)); // 3 blocks + 1 replay
+        assert_eq!(report.retained_storage, DataVolume::gb(3)); // quarantined copy not kept
+        assert!(dst.verify_overhead > SimDuration::ZERO);
+        assert_eq!(report.ledger_underflows, 0);
+    }
+
+    #[test]
+    fn unverified_taint_escapes_at_the_sink() {
+        let (g, plan) = corrupting_setup(VerifyPolicy::None);
+        let report = FlowSim::new(g, vec![])
+            .unwrap()
+            .with_faults(plan, RetryPolicy::default())
+            .run()
+            .unwrap();
+        let dst = report.stage("dst").unwrap();
+        assert_eq!(report.total_corrupt_injected(), 1);
+        assert_eq!(dst.corrupt_escaped, 1);
+        assert_eq!(report.total_corrupt_detected(), 0);
+        assert_eq!(report.total_reprocessed_blocks(), 0);
+        assert_eq!(dst.verify_overhead, SimDuration::ZERO);
+        // The corrupted block is archived like any other: same volume, bad data.
+        assert_eq!(dst.volume_in, DataVolume::gb(3));
+    }
+
+    #[test]
+    fn abandoned_corrupted_blocks_bill_their_final_attempt_once() {
+        // A Corrupt event sits in every attempt window, so each block burns
+        // its retry and is abandoned with Corrupted as the last failure.
+        // Every attempt pushed the full payload across the wire before the
+        // end-to-end check failed, so with max_retries = 1 each 1 GB block
+        // bills exactly 2 GB of retransmission — the abandoned final attempt
+        // counts once, not zero times and not twice.
+        let events = (0..10_000u64)
+            .map(|i| FaultEvent {
+                at: SimTime::from_micros(i * 5_000_000),
+                kind: FaultKind::Corrupt,
+            })
+            .collect();
+        let plan = FaultPlan::from_events(13, events);
+        let policy = RetryPolicy { max_retries: 1, ..RetryPolicy::default() };
+        let report = FlowSim::new(transfer_graph(1), vec![])
+            .unwrap()
+            .with_faults(plan, policy)
+            .run()
+            .unwrap();
+        let link = report.stage("link").unwrap();
+        assert_eq!(link.blocks_failed, 3);
+        assert_eq!(link.blocks_out, 0);
+        assert_eq!(link.volume_lost, DataVolume::gb(3));
+        assert_eq!(link.volume_retransmitted, DataVolume::gb(6));
+        assert_eq!(link.retries, 3);
+    }
+
+    #[test]
+    fn sampling_extremes_match_digest_and_none() {
+        let (g, plan) = corrupting_setup(VerifyPolicy::sample(1.0, DataRate::mb_per_sec(500.0)));
+        let all = FlowSim::new(g, vec![])
+            .unwrap()
+            .with_faults(plan, RetryPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(all.total_corrupt_detected(), 1);
+        assert_eq!(all.total_corrupt_escaped(), 0);
+
+        let (g, plan) = corrupting_setup(VerifyPolicy::sample(0.0, DataRate::mb_per_sec(500.0)));
+        let none = FlowSim::new(g, vec![])
+            .unwrap()
+            .with_faults(plan, RetryPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(none.total_corrupt_escaped(), 1);
+        assert_eq!(none.stage("dst").unwrap().verify_overhead, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sampled_runs_conserve_taint_and_replay_identically() {
+        // Dense enough that several transfer attempts overlap a corruption
+        // event; a 36 s flow sees an event roughly every 4 s.
+        let profile = FaultProfile::silent_corruption(20_000.0);
+        let run = || {
+            let mut g = transfer_graph(1);
+            let dst = g.find("dst").unwrap();
+            g.set_verify(dst, VerifyPolicy::sample(0.5, DataRate::mb_per_sec(500.0)));
+            let plan = FaultPlan::generate(11, SimDuration::from_days(1), &profile);
+            FlowSim::new(g, vec![])
+                .unwrap()
+                .with_faults(plan, RetryPolicy::default())
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "sampled verification must replay deterministically");
+        assert!(a.total_corrupt_injected() > 0);
+        assert_eq!(
+            a.total_corrupt_injected(),
+            a.total_corrupt_detected() + a.total_corrupt_escaped(),
+            "taint is conserved"
+        );
+    }
+
+    #[test]
+    fn zero_reprocess_depth_gives_quarantined_blocks_up() {
+        let (g, plan) = corrupting_setup(VerifyPolicy::digest(DataRate::mb_per_sec(500.0)));
+        let report = FlowSim::new(g, vec![])
+            .unwrap()
+            .with_faults(plan, RetryPolicy::default())
+            .with_max_reprocess_depth(0)
+            .run()
+            .unwrap();
+        let dst = report.stage("dst").unwrap();
+        assert_eq!(dst.quarantined, 1);
+        assert_eq!(report.total_reprocessed_blocks(), 0);
+        assert_eq!(dst.volume_in, DataVolume::gb(3)); // the bad block is simply gone
+        assert_eq!(report.retained_storage, DataVolume::gb(2));
+    }
+
+    #[test]
+    fn degenerate_verify_policies_are_rejected() {
+        let mut g = transfer_graph(1);
+        let dst = g.find("dst").unwrap();
+        g.set_verify(dst, VerifyPolicy::digest(DataRate::mb_per_sec(0.0)));
+        assert!(matches!(FlowSim::new(g, vec![]), Err(CoreError::InvalidConfig { .. })));
+
+        let mut g = transfer_graph(1);
+        let dst = g.find("dst").unwrap();
+        g.set_verify(dst, VerifyPolicy::sample(1.5, DataRate::mb_per_sec(100.0)));
+        assert!(matches!(FlowSim::new(g, vec![]), Err(CoreError::InvalidConfig { .. })));
+
+        let mut g = transfer_graph(1);
+        let src = g.find("src").unwrap();
+        g.set_verify(src, VerifyPolicy::digest(DataRate::mb_per_sec(100.0)));
+        assert!(matches!(FlowSim::new(g, vec![]), Err(CoreError::InvalidConfig { .. })));
     }
 }

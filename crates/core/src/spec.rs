@@ -38,7 +38,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::graph::{FlowGraph, StageKind};
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
 
-pub use crate::graph::CheckpointPolicy;
+pub use crate::graph::{CheckpointPolicy, VerifyPolicy};
 
 /// Spec for a [`StageKind::Source`]: emits `blocks` blocks of `block` bytes,
 /// one every `interval`, starting at time zero unless
@@ -217,6 +217,7 @@ impl From<FilterSpec> for StageKind {
 pub struct FlowSpec {
     stages: Vec<(String, StageKind, Vec<String>)>,
     feeds: Vec<(String, String)>,
+    verifies: Vec<(String, VerifyPolicy)>,
 }
 
 impl FlowSpec {
@@ -271,6 +272,14 @@ impl FlowSpec {
         self
     }
 
+    /// Check the integrity of blocks arriving at the named stage (declared
+    /// anywhere before [`FlowSpec::build`] is called). See
+    /// [`VerifyPolicy`] for what each policy catches and costs.
+    pub fn verify(mut self, name: impl Into<String>, policy: VerifyPolicy) -> Self {
+        self.verifies.push((name.into(), policy));
+        self
+    }
+
     /// Resolve names, wire edges, and validate the resulting graph.
     pub fn build(self) -> CoreResult<FlowGraph> {
         let mut g = FlowGraph::new();
@@ -294,6 +303,12 @@ impl FlowSpec {
                 detail: format!("feed names undeclared stage `{to}`"),
             })?;
             g.connect(fid, tid)?;
+        }
+        for (name, policy) in self.verifies {
+            let id = g.find(&name).ok_or_else(|| CoreError::InvalidTopology {
+                detail: format!("verify names undeclared stage `{name}`"),
+            })?;
+            g.set_verify(id, policy);
         }
         g.validate()?;
         Ok(g)
@@ -372,6 +387,32 @@ mod tests {
             .source("src", gb_source())
             .archive("store", &["src"])
             .feed("ghost", "store")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidTopology { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn verify_policies_are_resolved_by_name() {
+        let g = FlowSpec::new()
+            .source("src", gb_source())
+            .transfer("link", TransferSpec::new(DataRate::mb_per_sec(1.0)), &["src"])
+            .archive("store", &["link"])
+            .verify("store", VerifyPolicy::digest(DataRate::mb_per_sec(300.0)))
+            .build()
+            .unwrap();
+        let store = g.find("store").unwrap();
+        assert_eq!(g.stage(store).verify, VerifyPolicy::digest(DataRate::mb_per_sec(300.0)));
+        let link = g.find("link").unwrap();
+        assert!(g.stage(link).verify.is_none());
+    }
+
+    #[test]
+    fn verify_on_undeclared_stage_is_an_error() {
+        let err = FlowSpec::new()
+            .source("src", gb_source())
+            .archive("store", &["src"])
+            .verify("ghost", VerifyPolicy::digest(DataRate::mb_per_sec(300.0)))
             .build()
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidTopology { .. }), "{err:?}");

@@ -35,6 +35,15 @@ pub enum EsError {
     BadHeader {
         detail: String,
     },
+    /// A structurally sound provenance header whose digest does not cover
+    /// its strings: the file's content and its claimed lineage diverge
+    /// (tampering, bit rot, or a mis-merged store). `diverged` names the
+    /// first canonical string the digest disagrees on, when one can be
+    /// identified.
+    ProvenanceMismatch {
+        detail: String,
+        diverged: Option<String>,
+    },
     InvalidRunRange {
         first: u32,
         last: u32,
@@ -56,6 +65,13 @@ impl fmt::Display for EsError {
             EsError::UnknownFile { id } => write!(f, "no file {id}"),
             EsError::MergeConflict { detail } => write!(f, "merge conflict: {detail}"),
             EsError::BadHeader { detail } => write!(f, "bad provenance header: {detail}"),
+            EsError::ProvenanceMismatch { detail, diverged } => {
+                write!(f, "provenance mismatch: {detail}")?;
+                if let Some(s) = diverged {
+                    write!(f, " (first divergent string: `{s}`)")?;
+                }
+                Ok(())
+            }
             EsError::InvalidRunRange { first, last } => {
                 write!(f, "invalid run range [{first}, {last}]")
             }

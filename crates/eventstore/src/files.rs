@@ -38,10 +38,58 @@ impl EsFileHeader {
         md5_strings(&self.strings) == self.digest
     }
 
+    /// Full integrity check against the provenance record this file is
+    /// *supposed* to carry: the header's digest must cover its own strings,
+    /// and the strings must equal the record's canonical strings. On failure
+    /// the returned [`EsError::ProvenanceMismatch`] names the first canonical
+    /// string the two sides disagree on — the physicist-readable "what
+    /// changed" the paper's version strings exist for.
+    pub fn verify_detailed(&self, expected: &ProvenanceRecord) -> EsResult<()> {
+        let expected_strings = expected.canonical_strings();
+        if let Some(diverged) = first_divergence(&self.strings, &expected_strings) {
+            return Err(EsError::ProvenanceMismatch {
+                detail: "header strings disagree with the expected provenance".into(),
+                diverged: Some(diverged),
+            });
+        }
+        if !self.verify() {
+            // Strings agree but the stored digest covers something else:
+            // the digest itself was corrupted or tampered with.
+            return Err(EsError::ProvenanceMismatch {
+                detail: "header digest does not cover its strings".into(),
+                diverged: None,
+            });
+        }
+        Ok(())
+    }
+
     /// "We can detect the majority of usage discrepancies by comparing the
     /// hashes."
     pub fn consistent_with(&self, other: &EsFileHeader) -> bool {
         self.digest == other.digest
+    }
+}
+
+/// First canonical string where `found` and `expected` disagree, rendered
+/// `expected ... found ...`; `None` when they match exactly.
+fn first_divergence(found: &[String], expected: &[String]) -> Option<String> {
+    for (i, (f, e)) in found.iter().zip(expected.iter()).enumerate() {
+        if f != e {
+            return Some(format!("line {i}: expected `{e}`, found `{f}`"));
+        }
+    }
+    match found.len().cmp(&expected.len()) {
+        std::cmp::Ordering::Less => Some(format!(
+            "line {}: expected `{}`, found end of header",
+            found.len(),
+            expected[found.len()]
+        )),
+        std::cmp::Ordering::Greater => Some(format!(
+            "line {}: unexpected trailing `{}`",
+            expected.len(),
+            found[expected.len()]
+        )),
+        std::cmp::Ordering::Equal => None,
     }
 }
 
@@ -95,7 +143,12 @@ pub fn read_file(data: &[u8]) -> EsResult<(EsFileHeader, &[u8])> {
     }
     let header = EsFileHeader { strings, digest };
     if !header.verify() {
-        return Err(EsError::BadHeader { detail: "digest does not match strings".into() });
+        // The header parsed, so this is not a framing problem: the file's
+        // claimed lineage and its digest genuinely diverge.
+        return Err(EsError::ProvenanceMismatch {
+            detail: "digest does not match strings".into(),
+            diverged: None,
+        });
     }
     Ok((header, payload))
 }
@@ -160,11 +213,74 @@ mod tests {
         let mut extended = bytes.clone();
         extended.push(7);
         assert!(read_file(&extended).is_err());
-        // Tampered digest.
+        // Tampered digest: structurally sound, semantically divergent.
         let mut tampered = bytes.clone();
         let digest_pos = bytes.len() - b"payload".len() - 8 - 16;
         tampered[digest_pos] ^= 0xff;
-        assert!(matches!(read_file(&tampered), Err(EsError::BadHeader { .. })));
+        assert!(matches!(read_file(&tampered), Err(EsError::ProvenanceMismatch { .. })));
+    }
+
+    #[test]
+    fn verify_detailed_names_the_divergent_string() {
+        let trusted = record();
+        // Tamper each field of the step in turn; the reported divergence
+        // must name the canonical string carrying that field.
+        type Tamper = fn() -> ProvenanceRecord;
+        let cases: Vec<(&str, Tamper)> = vec![
+            ("module=", || {
+                let mut r = ProvenanceRecord::new();
+                let mut step = record().steps()[0].clone();
+                step.module = "SkimProd".into();
+                r.push(step);
+                r
+            }),
+            ("version=", || {
+                let mut r = ProvenanceRecord::new();
+                let mut step = record().steps()[0].clone();
+                step.version = VersionId::new(
+                    "Recon",
+                    "Mar01_04_P3",
+                    CalDate::new(2004, 3, 12).unwrap(),
+                    "Cornell",
+                );
+                r.push(step);
+                r
+            }),
+            ("calibration", || {
+                let mut r = ProvenanceRecord::new();
+                let mut step = record().steps()[0].clone();
+                step.params[0].1 = "cal-2004-03".into();
+                r.push(step);
+                r
+            }),
+            ("raw/run", || {
+                let mut r = ProvenanceRecord::new();
+                let mut step = record().steps()[0].clone();
+                step.inputs[0] = "raw/run999999".into();
+                r.push(step);
+                r
+            }),
+        ];
+        for (marker, tamper) in cases {
+            let header = EsFileHeader::from_provenance(&tamper());
+            let err = header.verify_detailed(&trusted).unwrap_err();
+            match err {
+                EsError::ProvenanceMismatch { diverged: Some(d), .. } => {
+                    assert!(d.contains(marker), "tampered `{marker}` but divergence was: {d}");
+                }
+                other => panic!("expected a localized ProvenanceMismatch, got {other:?}"),
+            }
+        }
+        // An untampered header passes the detailed check.
+        EsFileHeader::from_provenance(&trusted).verify_detailed(&trusted).unwrap();
+        // A corrupted digest with intact strings is flagged without a
+        // divergent string to name.
+        let mut bad_digest = EsFileHeader::from_provenance(&trusted);
+        bad_digest.digest.0[0] ^= 0xff;
+        match bad_digest.verify_detailed(&trusted).unwrap_err() {
+            EsError::ProvenanceMismatch { diverged: None, .. } => {}
+            other => panic!("expected an unlocalized ProvenanceMismatch, got {other:?}"),
+        }
     }
 
     #[test]

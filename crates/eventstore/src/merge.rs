@@ -27,6 +27,10 @@ pub struct MergeReport {
     /// Files skipped because an identical record already exists
     /// (re-merging a store is idempotent).
     pub files_skipped: usize,
+    /// Files held back because they are quarantined — flagged in the source
+    /// or the target after a failed integrity check — and must be repaired
+    /// and released before they may propagate.
+    pub files_quarantined: usize,
     /// Grade-entry rows newly added.
     pub grade_entries_added: usize,
     pub grade_entries_skipped: usize,
@@ -41,6 +45,9 @@ const GRADES: &str = "es_grade_entries";
 /// * a file id present in both stores with **identical** metadata is skipped;
 /// * a file id present in both with **different** metadata aborts the merge
 ///   (nothing is applied);
+/// * a file id quarantined in either store is **skipped and reported** in
+///   [`MergeReport::files_quarantined`] — never propagated, and never a
+///   conflict either, so one bad file cannot block the rest of a shipment;
 /// * grade entries are deduplicated on their full content; a grade snapshot
 ///   date that exists in both with different entries aborts.
 pub fn merge_into(target: &mut EventStore, source: &EventStore) -> EsResult<MergeReport> {
@@ -52,6 +59,11 @@ pub fn merge_into(target: &mut EventStore, source: &EventStore) -> EsResult<Merg
         let src = source.database().table(FILES)?;
         let dst = target.database().table(FILES)?;
         for (_, row) in src.scan() {
+            let id = row[0].as_int().expect("id is int") as u64;
+            if source.is_quarantined(id) || target.is_quarantined(id) {
+                report.files_quarantined += 1;
+                continue;
+            }
             match dst.get_by_key(&row[0])? {
                 Some(existing) if existing == row => {
                     report.files_skipped += 1;
@@ -189,6 +201,56 @@ mod tests {
         assert_eq!(second.grade_entries_added, 0);
         assert_eq!(second.grade_entries_skipped, 1);
         assert_eq!(collab.file_count(), 1);
+    }
+
+    #[test]
+    fn quarantined_files_are_skipped_and_reported() {
+        let mut collab = EventStore::new(StoreTier::Collaboration);
+        let mut personal = EventStore::new(StoreTier::Personal);
+        for i in 0..4 {
+            personal.register_file(&file(i, 100 + i as u32, "MC Jun05")).unwrap();
+        }
+        // The shipping site's verification pass found a bad header; the
+        // typed error's rendering becomes the recorded reason.
+        let why = EsError::ProvenanceMismatch {
+            detail: "digest does not match strings".into(),
+            diverged: None,
+        };
+        personal.quarantine_file(2, &why.to_string()).unwrap();
+
+        let report = merge_into(&mut collab, &personal).unwrap();
+        assert_eq!(report.files_added, 3);
+        assert_eq!(report.files_quarantined, 1);
+        assert!(collab.file(2).unwrap().is_none(), "quarantined file must not propagate");
+        assert!(!collab.is_quarantined(2), "the flag stays with the source evidence");
+
+        // After the payload is repaired offsite, release and re-merge ships
+        // exactly the held-back file.
+        personal.release_file(2).unwrap();
+        let second = merge_into(&mut collab, &personal).unwrap();
+        assert_eq!(second.files_added, 1);
+        assert_eq!(second.files_skipped, 3);
+        assert_eq!(second.files_quarantined, 0);
+        assert_eq!(collab.file_count(), 4);
+    }
+
+    #[test]
+    fn target_quarantine_holds_conflicting_repair_without_aborting() {
+        let mut collab = EventStore::new(StoreTier::Collaboration);
+        collab.register_file(&file(7, 107, "MC Jun05")).unwrap();
+        collab.quarantine_file(7, "bit rot on tape").unwrap();
+        let mut personal = EventStore::new(StoreTier::Personal);
+        personal.register_file(&file(6, 106, "MC Jun05")).unwrap();
+        personal.register_file(&file(7, 107, "MC REPAIRED")).unwrap();
+        // Divergent metadata for file 7 would normally abort the whole
+        // merge; the quarantine holds it back instead so file 6 lands.
+        let report = merge_into(&mut collab, &personal).unwrap();
+        assert_eq!(report.files_added, 1);
+        assert_eq!(report.files_quarantined, 1);
+        assert_eq!(collab.file(7).unwrap().unwrap().version, "MC Jun05");
+        // The operator must release the target's copy before a repaired
+        // record can be reconciled.
+        assert!(collab.is_quarantined(7));
     }
 
     #[test]

@@ -99,6 +99,10 @@ impl ConsistentView {
 const FILES: &str = "es_files";
 const GRADES: &str = "es_grade_entries";
 const META: &str = "es_meta";
+/// Meta-table key prefix under which quarantine flags are stored, one row
+/// per flagged file id. Living in the meta table means the flags ride along
+/// through [`EventStore::to_bytes`] / [`EventStore::save`] for free.
+const QUARANTINE_PREFIX: &str = "quarantine:";
 
 /// An EventStore instance of a given tier.
 #[derive(Debug, Clone)]
@@ -230,6 +234,77 @@ impl EventStore {
     pub fn files(&self) -> EsResult<Vec<FileRecord>> {
         let table = self.db.table(FILES)?;
         Ok(table.scan().map(|(_, r)| Self::row_file(r)).collect())
+    }
+
+    fn quarantine_key(id: u64) -> Value {
+        Value::Text(format!("{QUARANTINE_PREFIX}{id}"))
+    }
+
+    /// Flag a registered file as quarantined: its payload failed an
+    /// integrity check (typically an [`EsError::ProvenanceMismatch`] from
+    /// [`crate::files::EsFileHeader::verify_detailed`]). The record stays in
+    /// the registry — it is the evidence trail — but
+    /// [`crate::merge::merge_into`] refuses to propagate it until
+    /// [`EventStore::release_file`] lifts the flag. Idempotent; a repeated
+    /// call updates the recorded reason.
+    pub fn quarantine_file(&mut self, id: u64, reason: &str) -> EsResult<()> {
+        if self.file(id)?.is_none() {
+            return Err(EsError::UnknownFile { id });
+        }
+        let table = self.db.table_mut(META)?;
+        let key = Self::quarantine_key(id);
+        let row = vec![key.clone(), Value::Text(reason.to_string())];
+        match table.insert(row.clone()) {
+            Ok(_) => Ok(()),
+            Err(MetaError::DuplicateKey { .. }) => {
+                table.update_by_key(&key, row)?;
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lift a quarantine after the payload has been re-fetched or
+    /// reprocessed and re-verified. Releasing a file that is not quarantined
+    /// is harmless; releasing an unregistered id errors.
+    pub fn release_file(&mut self, id: u64) -> EsResult<()> {
+        if self.file(id)?.is_none() {
+            return Err(EsError::UnknownFile { id });
+        }
+        let table = self.db.table_mut(META)?;
+        match table.delete_by_key(&Self::quarantine_key(id)) {
+            Ok(_) | Err(MetaError::RowNotFound { .. }) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Whether `id` is currently quarantined.
+    pub fn is_quarantined(&self, id: u64) -> bool {
+        self.db
+            .table(META)
+            .ok()
+            .and_then(|t| t.get_by_key(&Self::quarantine_key(id)).ok().flatten())
+            .is_some()
+    }
+
+    /// The recorded reason for a file's quarantine, if it is quarantined.
+    pub fn quarantine_reason(&self, id: u64) -> Option<String> {
+        let table = self.db.table(META).ok()?;
+        let row = table.get_by_key(&Self::quarantine_key(id)).ok()??;
+        row[1].as_text().map(str::to_string)
+    }
+
+    /// Ids of all quarantined files, ascending.
+    pub fn quarantined_files(&self) -> Vec<u64> {
+        let Ok(table) = self.db.table(META) else { return Vec::new() };
+        let mut ids: Vec<u64> = table
+            .scan()
+            .filter_map(|(_, r)| r[0].as_text())
+            .filter_map(|k| k.strip_prefix(QUARANTINE_PREFIX))
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Declare a grade snapshot (the administrative procedure performed by
@@ -575,6 +650,35 @@ mod tests {
         // Other grades are independent.
         es.declare_snapshot("raw", d("20040101"), vec![entry(1, 10, "raw", "v0")]).unwrap();
         assert_eq!(es.grade_names().unwrap(), vec!["physics", "raw"]);
+    }
+
+    #[test]
+    fn quarantine_flags_survive_byte_roundtrip() {
+        let mut es = EventStore::new(StoreTier::Personal);
+        es.register_file(&file(1, 100, "recon", "v1", "20040110")).unwrap();
+        es.register_file(&file(2, 101, "recon", "v1", "20040110")).unwrap();
+        assert!(matches!(es.quarantine_file(9, "x"), Err(EsError::UnknownFile { id: 9 })));
+        es.quarantine_file(2, "header digest does not cover its strings").unwrap();
+        assert!(es.is_quarantined(2));
+        assert!(!es.is_quarantined(1));
+        assert_eq!(es.quarantined_files(), vec![2]);
+        assert_eq!(
+            es.quarantine_reason(2).as_deref(),
+            Some("header digest does not cover its strings")
+        );
+        // Re-quarantining updates the reason rather than failing.
+        es.quarantine_file(2, "bit rot on tape").unwrap();
+        assert_eq!(es.quarantine_reason(2).as_deref(), Some("bit rot on tape"));
+
+        // The flag is part of the store's bytes: a shipped copy stays held.
+        let mut restored = EventStore::from_bytes(&es.to_bytes()).unwrap();
+        assert!(restored.is_quarantined(2));
+        restored.release_file(2).unwrap();
+        assert!(!restored.is_quarantined(2));
+        assert!(restored.quarantined_files().is_empty());
+        // Releasing an unquarantined file is harmless; unknown ids error.
+        restored.release_file(2).unwrap();
+        assert!(matches!(restored.release_file(9), Err(EsError::UnknownFile { id: 9 })));
     }
 
     #[test]

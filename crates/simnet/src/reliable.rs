@@ -293,6 +293,58 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_attempt_bills_full_payload_exactly_once() {
+        // Corruption 5 s into an 11 s transfer: the integrity check only
+        // catches it at the end, so the whole payload crossed the wire and
+        // must appear in the retransmission bill exactly once.
+        let plan = FaultPlan::from_events(
+            7,
+            vec![FaultEvent { at: SimTime::from_micros(5_000_000), kind: FaultKind::Corrupt }],
+        );
+        let link = link();
+        let t = ReliableTransfer::new(&link, &plan, RetryPolicy::default());
+        let payload = DataVolume::gb(1);
+        let report = t.execute(payload, SimTime::ZERO).unwrap();
+        assert_eq!(report.attempts.len(), 2);
+        assert_eq!(report.attempts[0].result, AttemptResult::Failed(AttemptFailure::Corrupted));
+        assert_eq!(report.attempts[0].bytes_sent, payload.bytes());
+        assert_eq!(report.attempts[0].bytes_delivered, 0);
+        assert_eq!(report.bytes_retransmitted(), payload.bytes());
+        assert_eq!(report.bytes_on_wire(), 2 * payload.bytes());
+        assert_eq!(report.bytes_on_wire(), report.bytes_delivered() + report.bytes_retransmitted());
+    }
+
+    #[test]
+    fn corruption_on_the_final_attempt_still_counts_in_the_bill() {
+        // Every attempt window holds a Corrupt event, so the retry budget
+        // runs out with Corrupted as the last failure — the abandoned final
+        // attempt's bytes are part of the wire story, not dropped on the
+        // floor. Regression test for the abandonment accounting path.
+        let events = (0..10_000u64)
+            .map(|i| FaultEvent {
+                at: SimTime::from_micros(i * 5_000_000),
+                kind: FaultKind::Corrupt,
+            })
+            .collect();
+        let plan = FaultPlan::from_events(11, events);
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff: SimDuration::from_secs(1),
+            max_backoff: SimDuration::from_secs(2),
+            ..RetryPolicy::default()
+        };
+        let link = link();
+        let t = ReliableTransfer::new(&link, &plan, policy);
+        match t.execute(DataVolume::gb(1), SimTime::ZERO) {
+            Err(TransferError::RetriesExhausted { attempts, last_failure, .. }) => {
+                assert_eq!(attempts, 3);
+                assert_eq!(last_failure, AttemptFailure::Corrupted);
+            }
+            other => panic!("expected RetriesExhausted on corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn dead_link_is_typed_not_a_hang() {
         let down = NetworkLink::new("down", DataRate::ZERO, SimDuration::ZERO);
         let plan = FaultPlan::none();

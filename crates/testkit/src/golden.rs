@@ -37,7 +37,7 @@ pub fn canonical_report(report: &SimReport) -> String {
     writeln!(out, "retained_storage_b={}", report.retained_storage.bytes()).unwrap();
     writeln!(out, "ledger_underflows={}", report.ledger_underflows).unwrap();
     for s in &report.stages {
-        writeln!(
+        write!(
             out,
             "stage {} blocks_in={} volume_in_b={} blocks_out={} volume_out_b={} busy_us={} \
              max_queue_blocks={} max_queue_volume_b={} final_queue_volume_b={} completed_at_us={} \
@@ -64,6 +64,30 @@ pub fn canonical_report(report: &SimReport) -> String {
             s.checkpoint_overhead.as_micros(),
         )
         .unwrap();
+        // Integrity counters appear only when the stage saw any, so goldens
+        // of corruption-free flows are byte-identical to the pre-integrity
+        // rendering.
+        if s.corrupt_injected > 0
+            || s.corrupt_detected > 0
+            || s.corrupt_escaped > 0
+            || s.quarantined > 0
+            || s.reprocessed_blocks > 0
+            || !s.verify_overhead.is_zero()
+        {
+            write!(
+                out,
+                " corrupt_injected={} corrupt_detected={} corrupt_escaped={} quarantined={} \
+                 reprocessed_blocks={} verify_overhead_us={}",
+                s.corrupt_injected,
+                s.corrupt_detected,
+                s.corrupt_escaped,
+                s.quarantined,
+                s.reprocessed_blocks,
+                s.verify_overhead.as_micros(),
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
     }
     for p in &report.pools {
         writeln!(
@@ -150,5 +174,20 @@ mod tests {
         let mut other = report();
         other.stages[0].blocks_in = 3;
         assert_ne!(canonical_report(&report()), canonical_report(&other));
+    }
+
+    #[test]
+    fn integrity_counters_render_only_when_present() {
+        let clean = canonical_report(&report());
+        assert!(
+            !clean.contains("corrupt_injected"),
+            "corruption-free reports must render exactly as before the integrity layer"
+        );
+        let mut tainted = report();
+        tainted.stages[0].corrupt_injected = 2;
+        tainted.stages[0].corrupt_detected = 1;
+        tainted.stages[0].corrupt_escaped = 1;
+        let rendered = canonical_report(&tainted);
+        assert!(rendered.contains("corrupt_injected=2 corrupt_detected=1 corrupt_escaped=1"));
     }
 }

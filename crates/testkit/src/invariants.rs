@@ -155,6 +155,32 @@ pub fn assert_checkpoint_bound(report: &SimReport, stage: &str, policy: Checkpoi
     }
 }
 
+/// The end-to-end integrity audit: silent corruption is conserved. Every
+/// taint unit injected somewhere in the flow is either detected (caught by a
+/// verification check, or contained when its block was destroyed in transit)
+/// or escaped (reached a stage unchecked) — never both, never lost track of.
+/// Per stage, quarantining requires detecting: a stage cannot pull more
+/// blocks from the flow than checks (or losses) justified.
+pub fn assert_integrity_audit(report: &SimReport) {
+    assert_eq!(
+        report.total_corrupt_injected(),
+        report.total_corrupt_detected() + report.total_corrupt_escaped(),
+        "taint audit broken: injected {} != detected {} + escaped {}",
+        report.total_corrupt_injected(),
+        report.total_corrupt_detected(),
+        report.total_corrupt_escaped()
+    );
+    for s in &report.stages {
+        assert!(
+            s.quarantined <= s.corrupt_detected,
+            "stage `{}` quarantined {} blocks but detected only {} taint units",
+            s.name,
+            s.quarantined,
+            s.corrupt_detected
+        );
+    }
+}
+
 /// Provenance-hash stability across replays: building the same record twice
 /// must yield the same MD5 digest (the CLEO reproducibility contract).
 pub fn assert_provenance_stability(build: impl Fn() -> ProvenanceRecord) {

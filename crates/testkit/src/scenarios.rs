@@ -257,6 +257,123 @@ impl CrashFlowScenario {
     }
 }
 
+/// A flow whose transfer link silently corrupts blocks (the attempts
+/// *succeed*, the delivered data is bad): the fixture for integrity
+/// verification, quarantine and lineage reprocessing. The layout is
+/// source → transfer → process → archive, so detection at the sink has a
+/// multi-hop lineage to walk back to the durable source. Run it
+/// [`CorruptFlowScenario::unverified`] to measure escapes, or
+/// [`CorruptFlowScenario::verified`] with digest checks at the process and
+/// archive stages to catch everything.
+#[derive(Debug, Clone)]
+pub struct CorruptFlowScenario {
+    pub seed: u64,
+    pub block: DataVolume,
+    pub interval: SimDuration,
+    pub blocks: u64,
+    pub rate: DataRate,
+    /// MD5 throughput of the verification checks.
+    pub verify_rate: DataRate,
+    pub profile: FaultProfile,
+    pub policy: RetryPolicy,
+}
+
+impl CorruptFlowScenario {
+    pub const SOURCE: &'static str = "acquire";
+    pub const LINK: &'static str = "uplink";
+    pub const PROCESS: &'static str = "reduce";
+    pub const ARCHIVE: &'static str = "archive";
+    pub const POOL: &'static str = "farm";
+
+    pub fn new(seed: u64) -> Self {
+        CorruptFlowScenario {
+            seed,
+            block: DataVolume::gb(36),
+            interval: SimDuration::from_hours(3),
+            blocks: 8,
+            rate: DataRate::mbit_per_sec(200.0),
+            verify_rate: DataRate::mb_per_sec(300.0),
+            // Corruption-dominated: transfers take ~40 min, so a taint event
+            // every few hours reliably lands inside several attempts. A few
+            // drops keep the retry path exercised alongside.
+            profile: FaultProfile {
+                drops_per_day: 2.0,
+                silent_corrupts_per_day: 10.0,
+                ..FaultProfile::clean()
+            },
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    pub fn plan(&self) -> FaultPlan {
+        let horizon = self.interval * (self.blocks + 8);
+        FaultPlan::generate(derive_seed(self.seed, "corrupt-flow"), horizon, &self.profile)
+    }
+
+    fn graph(&self, verify: Option<sciflow_core::graph::VerifyPolicy>) -> FlowGraph {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage(
+            Self::SOURCE,
+            StageKind::Source {
+                block: self.block,
+                interval: self.interval,
+                blocks: self.blocks,
+                start: SimTime::ZERO,
+            },
+        );
+        let t = g.add_stage(
+            Self::LINK,
+            StageKind::Transfer {
+                rate: self.rate,
+                latency: SimDuration::from_secs(5),
+                channels: 1,
+            },
+        );
+        let p = g.add_stage(
+            Self::PROCESS,
+            StageKind::Process {
+                rate_per_cpu: DataRate::mb_per_sec(50.0),
+                cpus_per_task: 1,
+                chunk: None,
+                output_ratio: 0.5,
+                pool: Self::POOL.into(),
+                workspace_ratio: 0.0,
+                retain_input: false,
+                checkpoint: CheckpointPolicy::None,
+            },
+        );
+        let a = g.add_stage(Self::ARCHIVE, StageKind::Archive);
+        g.connect(s, t).expect("fresh graph");
+        g.connect(t, p).expect("fresh graph");
+        g.connect(p, a).expect("fresh graph");
+        if let Some(policy) = verify {
+            g.set_verify(p, policy);
+            g.set_verify(a, policy);
+        }
+        g
+    }
+
+    fn run_graph(&self, g: FlowGraph) -> SimReport {
+        FlowSim::new(g, vec![CpuPool::new(Self::POOL, 4)])
+            .expect("scenario graph is valid")
+            .with_faults(self.plan(), self.policy)
+            .run()
+            .expect("scenario flow converges")
+    }
+
+    /// Run with no verification anywhere: taint flows to the archive.
+    pub fn unverified(&self) -> SimReport {
+        self.run_graph(self.graph(None))
+    }
+
+    /// Run with digest verification at every stage downstream of the link.
+    pub fn verified(&self) -> SimReport {
+        self.run_graph(
+            self.graph(Some(sciflow_core::graph::VerifyPolicy::digest(self.verify_rate))),
+        )
+    }
+}
+
 /// Two identical `Process` stages contending for one shared CPU pool: the
 /// fixture for scheduler-fairness properties. Both sides get the same work
 /// (same volume, rate and chunking), so a fair policy finishes them close
@@ -380,6 +497,21 @@ mod tests {
         assert_eq!(s.run(), s.run());
         let t = LossyLinkScenario::new(3);
         assert_eq!(t.run(), t.run());
+    }
+
+    #[test]
+    fn corrupt_scenario_escapes_unverified_and_is_caught_verified() {
+        let s = CorruptFlowScenario::new(9);
+        let unverified = s.unverified();
+        let verified = s.verified();
+        assert!(unverified.total_corrupt_injected() > 0, "the plan must actually taint blocks");
+        assert!(unverified.total_corrupt_escaped() > 0);
+        assert_eq!(verified.total_corrupt_escaped(), 0, "digest checks catch every taint");
+        assert!(verified.total_reprocessed_blocks() > 0, "quarantine triggers reprocessing");
+        crate::invariants::assert_integrity_audit(&unverified);
+        crate::invariants::assert_integrity_audit(&verified);
+        // Replays are byte-identical, sampling RNG and all.
+        assert_eq!(s.verified(), verified);
     }
 
     #[test]

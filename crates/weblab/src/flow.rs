@@ -7,7 +7,7 @@
 //! approximately 1 TB per day, when given sole use of the system".
 
 use sciflow_core::fault::FaultProfile;
-use sciflow_core::graph::{CheckpointPolicy, FlowGraph};
+use sciflow_core::graph::{CheckpointPolicy, FlowGraph, VerifyPolicy};
 use sciflow_core::spec::{FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
@@ -31,6 +31,10 @@ pub struct WeblabFlowParams {
     /// components — both are restartable batch loaders in the paper, so a
     /// single policy covers them.
     pub load_checkpoint: CheckpointPolicy,
+    /// Integrity check the preload component applies to arriving crawl
+    /// data — the ARC-file checksum pass that separates a damaged transfer
+    /// from a good one before anything is parsed into the stores.
+    pub preload_verify: VerifyPolicy,
 }
 
 impl Default for WeblabFlowParams {
@@ -44,6 +48,7 @@ impl Default for WeblabFlowParams {
             dbload_rate: DataRate::tb_per_day(1.0),
             metadata_ratio: 0.15,
             load_checkpoint: CheckpointPolicy::None,
+            preload_verify: VerifyPolicy::None,
         }
     }
 }
@@ -52,6 +57,15 @@ impl WeblabFlowParams {
     /// Checkpoint both load components every `every` of computed work.
     pub fn with_load_checkpoint(mut self, every: SimDuration) -> Self {
         self.load_checkpoint = CheckpointPolicy::interval(every);
+        self
+    }
+
+    /// Checksum every arriving crawl batch in the preload component at
+    /// `rate`. Batches damaged on the long-haul link are quarantined before
+    /// parsing and re-fetched from the Internet Archive, which keeps every
+    /// crawl master.
+    pub fn with_preload_verification(mut self, rate: DataRate) -> Self {
+        self.preload_verify = VerifyPolicy::digest(rate);
         self
     }
 }
@@ -65,6 +79,14 @@ pub const WEBLAB_POOL: &str = "es7000";
 pub fn es7000_outage_profile(outages_per_day: f64, mean_repair: SimDuration) -> FaultProfile {
     FaultProfile::node_crashes(WEBLAB_POOL, 0.0, 1, mean_repair)
         .with_outages(outages_per_day, mean_repair)
+}
+
+/// Silent corruption on the crawl delivery path: a long-haul transfer that
+/// "succeeds" but delivers damaged ARC files, caught only if the preload
+/// component checksums its input (see
+/// [`WeblabFlowParams::with_preload_verification`]).
+pub fn crawl_corruption_profile(silent_corrupts_per_day: f64) -> FaultProfile {
+    FaultProfile::silent_corruption(silent_corrupts_per_day)
 }
 
 /// Build the ingest flow: Internet Archive → Internet2 link → preload →
@@ -93,6 +115,7 @@ pub fn weblab_flow_graph(p: &WeblabFlowParams) -> FlowGraph {
                 .checkpoint(p.load_checkpoint),
             &["internet2-link"],
         )
+        .verify("preload", p.preload_verify)
         .process(
             "database-load",
             ProcessSpec::new(dbload_per_cpu, WEBLAB_POOL)
@@ -191,6 +214,50 @@ mod tests {
             let m = report.stage(stage).unwrap();
             assert_eq!(m.work_replayed, m.work_lost, "stage {stage} replays what it lost");
         }
+    }
+
+    #[test]
+    fn preload_checksums_catch_crawl_corruption_and_refetch() {
+        use sciflow_core::fault::{FaultPlan, RetryPolicy};
+        use sciflow_testkit::assert_integrity_audit;
+
+        let base = WeblabFlowParams::default();
+        let plan =
+            FaultPlan::generate(17, SimDuration::from_days(21), &crawl_corruption_profile(3.0));
+        let run = |params: &WeblabFlowParams| {
+            FlowSim::new(weblab_flow_graph(params), vec![CpuPool::new(WEBLAB_POOL, 16)])
+                .expect("valid flow")
+                .with_faults(plan.clone(), RetryPolicy::default())
+                .run()
+                .expect("flow completes")
+        };
+        let unverified = run(&base);
+        let verified = run(&base.clone().with_preload_verification(DataRate::mb_per_sec(200.0)));
+        assert_integrity_audit(&unverified);
+        assert_integrity_audit(&verified);
+
+        // Without checksums, damaged batches are parsed into the stores.
+        assert!(unverified.total_corrupt_injected() > 0, "the plan must taint a delivery");
+        assert_eq!(unverified.total_corrupt_escaped(), unverified.total_corrupt_injected());
+
+        // With them, nothing damaged is parsed: the batch is quarantined
+        // before preload touches it and re-fetched over the link from the
+        // Archive's crawl masters.
+        assert_eq!(verified.total_corrupt_escaped(), 0);
+        let preload = verified.stage("preload").unwrap();
+        assert!(preload.corrupt_detected > 0);
+        assert!(preload.quarantined > 0);
+        assert!(preload.verify_overhead > SimDuration::ZERO);
+        assert!(
+            verified.stage("internet2-link").unwrap().reprocessed_blocks > 0,
+            "damaged batches must be re-fetched over the link"
+        );
+        // The page store still ends up with exactly one clean copy of every
+        // crawl byte — re-fetches replace, never duplicate.
+        assert_eq!(
+            verified.stage("page-store").unwrap().volume_in,
+            DataVolume::gb(250) * base.days
+        );
     }
 
     #[test]

@@ -12,12 +12,14 @@
 use std::path::PathBuf;
 
 use sciflow_arecibo::flow::{arecibo_flow_graph, AreciboFlowParams, CTC_POOL};
-use sciflow_cleo::flow::{cleo_flow_graph, wilson_crash_profile, CleoFlowParams, WILSON_POOL};
+use sciflow_cleo::flow::{
+    cleo_flow_graph, reprocess_pass_profile, wilson_crash_profile, CleoFlowParams, WILSON_POOL,
+};
 use sciflow_core::fault::{FaultPlan, FaultProfile, RetryPolicy};
 use sciflow_core::metrics::SimReport;
 use sciflow_core::sim::{CpuPool, FlowSim};
-use sciflow_core::units::SimDuration;
-use sciflow_testkit::{assert_deterministic, assert_matches_golden};
+use sciflow_core::units::{DataRate, SimDuration};
+use sciflow_testkit::{assert_deterministic, assert_integrity_audit, assert_matches_golden};
 use sciflow_weblab::flow::{weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
 
 /// Seed shared by every golden fault plan.
@@ -100,6 +102,25 @@ fn cleo_crash_report(checkpointed: bool) -> SimReport {
         .expect("flow completes")
 }
 
+/// Silent corruption only, on the USB couriers: multi-day shipment windows
+/// each see a few latent bit flips, and nothing else goes wrong — so the
+/// pair of goldens below isolates what verification changes.
+fn cleo_corrupt_faults() -> FaultPlan {
+    FaultPlan::generate(GOLDEN_SEED, SimDuration::from_days(21), &reprocess_pass_profile(1.5))
+}
+
+fn cleo_corrupt_report(verified: bool) -> SimReport {
+    let mut params = CleoFlowParams::default();
+    if verified {
+        params = params.with_eventstore_verification(DataRate::mb_per_sec(200.0));
+    }
+    FlowSim::new(cleo_flow_graph(&params), vec![CpuPool::new(WILSON_POOL, 32)])
+        .expect("valid flow")
+        .with_faults(cleo_corrupt_faults(), RetryPolicy::default())
+        .run()
+        .expect("flow completes")
+}
+
 /// The WebLab link is the canonical flaky commodity link.
 fn weblab_faults() -> FaultPlan {
     FaultPlan::generate(GOLDEN_SEED, SimDuration::from_days(30), &FaultProfile::flaky())
@@ -151,6 +172,18 @@ fn cleo_crashed_checkpointed_flow_matches_golden() {
 }
 
 #[test]
+fn cleo_silent_corrupt_flow_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| cleo_corrupt_report(false));
+    assert_matches_golden(golden_path("cleo_silent_corrupt"), &report);
+}
+
+#[test]
+fn cleo_silent_corrupt_verified_flow_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| cleo_corrupt_report(true));
+    assert_matches_golden(golden_path("cleo_silent_corrupt_verified"), &report);
+}
+
+#[test]
 fn weblab_default_flow_matches_golden() {
     let report = assert_deterministic(GOLDEN_SEED, |_| weblab_report(None));
     assert_matches_golden(golden_path("weblab_clean"), &report);
@@ -177,6 +210,24 @@ fn faulted_scenarios_are_non_degenerate() {
     let weblab = weblab_report(Some(weblab_faults()));
     assert!(weblab.total_retries() > 0, "flaky link never retried");
     assert!(weblab.stage("page-store").unwrap().blocks_in > 0, "no pages landed");
+}
+
+/// The corruption golden pair must show verification *working*: under the
+/// identical plan, the unverified run lets taint into the archive and the
+/// verified run strictly reduces that to zero, with quarantine and a
+/// lineage-driven reprocess pass visible in the report.
+#[test]
+fn corruption_goldens_are_non_degenerate() {
+    let unverified = cleo_corrupt_report(false);
+    let verified = cleo_corrupt_report(true);
+    assert_integrity_audit(&unverified);
+    assert_integrity_audit(&verified);
+    assert!(unverified.total_corrupt_injected() > 0, "corruption plan never fired");
+    assert!(unverified.total_corrupt_escaped() > 0, "unverified taint must reach the store");
+    assert_eq!(verified.total_corrupt_escaped(), 0, "verification must catch everything");
+    assert!(verified.total_corrupt_escaped() < unverified.total_corrupt_escaped());
+    assert!(verified.stage("collaboration-eventstore").unwrap().quarantined > 0);
+    assert!(verified.stage("usb-shipping").unwrap().reprocessed_blocks > 0);
 }
 
 /// Nor may the crash goldens be: the plan must actually kill reconstruction

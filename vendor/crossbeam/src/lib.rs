@@ -94,12 +94,7 @@ pub mod channel {
         }
 
         pub fn try_recv(&self) -> Result<T, RecvError> {
-            self.shared
-                .queue
-                .lock()
-                .expect("channel poisoned")
-                .pop_front()
-                .ok_or(RecvError)
+            self.shared.queue.lock().expect("channel poisoned").pop_front().ok_or(RecvError)
         }
 
         /// Blocking iterator: yields until the channel is empty and

@@ -555,8 +555,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "property `always_fails` failed")]
     fn failures_panic_with_inputs() {
-        crate::run_cases("always_fails", |_rng| {
-            Err(crate::TestCaseError::fail("nope"))
-        });
+        crate::run_cases("always_fails", |_rng| Err(crate::TestCaseError::fail("nope")));
     }
 }

@@ -102,8 +102,7 @@ impl StandardSample for f32 {
 
 /// Types with a uniform sampler over `[lo, hi)` / `[lo, hi]` bounds.
 pub trait SampleUniform: Sized {
-    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
 }
 
 macro_rules! uniform_int {
