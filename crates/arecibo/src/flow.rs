@@ -11,7 +11,7 @@
 
 use sciflow_core::fault::FaultProfile;
 use sciflow_core::graph::{CheckpointPolicy, FlowGraph, VerifyPolicy};
-use sciflow_core::spec::{FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
+use sciflow_core::spec::{FlowSpec, ObserveConfig, ProcessSpec, SourceSpec, TransferSpec};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
 /// Paper-scale parameters for the Arecibo flow.
@@ -109,10 +109,32 @@ pub fn tape_bitrot_profile(silent_corrupts_per_day: f64) -> FaultProfile {
 /// Pool name used by the processing stages.
 pub const CTC_POOL: &str = "ctc";
 
+/// Telemetry preset for the survey flow: the weekly cadence and multi-day
+/// shipping legs resolve cleanly at one sample every six hours, keeping a
+/// month-long run to a few hundred samples.
+pub fn arecibo_observe_preset() -> ObserveConfig {
+    ObserveConfig::every(SimDuration::from_hours(6))
+}
+
 /// Build the Figure-1 flow: acquisition at the telescope, local quality
 /// monitoring, disk shipping, tape archiving, dedispersion, search,
 /// meta-analysis consolidation, database load, and NVO-facing archive.
 pub fn arecibo_flow_graph(p: &AreciboFlowParams) -> FlowGraph {
+    arecibo_flow_spec(p).build().expect("arecibo flow spec is valid")
+}
+
+/// [`arecibo_flow_graph`] with the [`arecibo_observe_preset`] telemetry
+/// applied: same flow, same replay, plus time-series and engine sections in
+/// the report.
+pub fn arecibo_flow_graph_observed(p: &AreciboFlowParams) -> FlowGraph {
+    arecibo_flow_spec(p)
+        .observe(arecibo_observe_preset())
+        .build()
+        .expect("arecibo flow spec is valid")
+}
+
+/// The shared [`FlowSpec`] behind both graph builders.
+fn arecibo_flow_spec(p: &AreciboFlowParams) -> FlowSpec {
     FlowSpec::new()
         .source("acquire", SourceSpec::new(p.weekly_block, SimDuration::from_days(7), p.weeks))
         // Local quality monitoring passes the data through quickly ("initial
@@ -156,8 +178,6 @@ pub fn arecibo_flow_graph(p: &AreciboFlowParams) -> FlowGraph {
             &["search"],
         )
         .archive("ctc-database", &["meta-analysis"])
-        .build()
-        .expect("arecibo flow spec is valid")
 }
 
 #[cfg(test)]
@@ -251,6 +271,27 @@ mod tests {
         let g = arecibo_flow_graph(&AreciboFlowParams::default());
         g.validate().unwrap();
         assert_eq!(g.referenced_pools(), vec![CTC_POOL, "observatory"]);
+    }
+
+    #[test]
+    fn observed_flow_replays_identically_and_carries_telemetry() {
+        let params = AreciboFlowParams { weeks: 2, ..AreciboFlowParams::default() };
+        let plain = run_params(&params, 150);
+        let observed = FlowSim::new(
+            arecibo_flow_graph_observed(&params),
+            vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 150)],
+        )
+        .expect("valid flow")
+        .run()
+        .expect("flow completes");
+        // Observation adds sections; it never changes the simulated physics.
+        assert_eq!(plain.finished_at, observed.finished_at);
+        assert_eq!(plain.stages, observed.stages);
+        let ts = observed.timeseries.as_ref().expect("preset enables telemetry");
+        assert_eq!(ts.tick, arecibo_observe_preset().tick);
+        assert!(ts.samples.len() > 10);
+        assert_eq!(ts.samples.last().unwrap().at, observed.finished_at);
+        assert!(observed.engine.unwrap().events_handled > 0);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use sciflow_core::fault::FaultProfile;
 use sciflow_core::graph::{CheckpointPolicy, FlowGraph, VerifyPolicy};
-use sciflow_core::spec::{FilterSpec, FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
+use sciflow_core::spec::{
+    FilterSpec, FlowSpec, ObserveConfig, ProcessSpec, SourceSpec, TransferSpec,
+};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
 /// Paper-scale parameters for the CLEO flow.
@@ -96,10 +98,29 @@ pub fn reprocess_pass_profile(silent_corrupts_per_day: f64) -> FaultProfile {
     FaultProfile::silent_corruption(silent_corrupts_per_day)
 }
 
+/// Telemetry preset for the CLEO flow: runs arrive hourly and reconstruction
+/// tasks span tens of minutes, so half-hour samples resolve the farm's
+/// occupancy over the day-scale run.
+pub fn cleo_observe_preset() -> ObserveConfig {
+    ObserveConfig::every(SimDuration::from_mins(30))
+}
+
 /// Build the Figure-2 flow: run acquisition → reconstruction →
 /// post-reconstruction → collaboration EventStore; MC produced in parallel
 /// (offsite) and shipped in; analysis reads the store.
 pub fn cleo_flow_graph(p: &CleoFlowParams) -> FlowGraph {
+    cleo_flow_spec(p).build().expect("cleo flow spec is valid")
+}
+
+/// [`cleo_flow_graph`] with the [`cleo_observe_preset`] telemetry applied:
+/// same flow, same replay, plus time-series and engine sections in the
+/// report.
+pub fn cleo_flow_graph_observed(p: &CleoFlowParams) -> FlowGraph {
+    cleo_flow_spec(p).observe(cleo_observe_preset()).build().expect("cleo flow spec is valid")
+}
+
+/// The shared [`FlowSpec`] behind both graph builders.
+fn cleo_flow_spec(p: &CleoFlowParams) -> FlowSpec {
     // Offsite Monte-Carlo production, accumulated into a few batched USB
     // shipments (a courier box per run would be absurd — and, in the model,
     // would serialize the two-day transit per run).
@@ -147,8 +168,6 @@ pub fn cleo_flow_graph(p: &CleoFlowParams) -> FlowGraph {
         // by name after the fact.
         .feed("mc-merge", "collaboration-eventstore")
         .verify("collaboration-eventstore", p.eventstore_verify)
-        .build()
-        .expect("cleo flow spec is valid")
 }
 
 /// CMS real-time filtering: given the collision-event rate and size and the
@@ -304,6 +323,26 @@ mod tests {
     fn graph_validates() {
         cleo_flow_graph(&CleoFlowParams::default()).validate().unwrap();
         cms_trigger_flow_graph(&CmsTriggerParams::default()).validate().unwrap();
+    }
+
+    #[test]
+    fn observed_flow_replays_identically_and_carries_telemetry() {
+        let p = CleoFlowParams { runs: 10, ..CleoFlowParams::default() };
+        let plain = FlowSim::new(cleo_flow_graph(&p), vec![CpuPool::new(WILSON_POOL, 64)])
+            .expect("valid flow")
+            .run()
+            .expect("flow completes");
+        let observed =
+            FlowSim::new(cleo_flow_graph_observed(&p), vec![CpuPool::new(WILSON_POOL, 64)])
+                .expect("valid flow")
+                .run()
+                .expect("flow completes");
+        assert_eq!(plain.finished_at, observed.finished_at);
+        assert_eq!(plain.stages, observed.stages);
+        let ts = observed.timeseries.as_ref().expect("preset enables telemetry");
+        assert_eq!(ts.tick, cleo_observe_preset().tick);
+        assert_eq!(ts.pools, vec![WILSON_POOL.to_string()]);
+        assert!(ts.samples.iter().any(|s| s.pool_in_use[0] > 0), "farm occupancy is sampled");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::fault::{FaultPlan, RetryPolicy};
 use crate::graph::{CheckpointPolicy, FlowGraph, StageId};
 use crate::metrics::StageMetrics;
 use crate::resource::{ResourceId, ResourceSet, StorageLedger};
+use crate::trace::{TraceCtx, TraceEvent};
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
 
 /// The one event type flowing through the engine. Everything the simulator
@@ -39,13 +40,14 @@ pub enum FlowEvent {
     /// A block of `volume` arrives at `stage`, carrying `taint` units of
     /// silent corruption (0 for a clean block). `from` names the stage that
     /// delivered it — the first hop of the block's lineage, which quarantine
-    /// walks to find a durable ancestor.
-    Arrive { stage: StageId, volume: DataVolume, taint: u32, from: Option<StageId> },
+    /// walks to find a durable ancestor. `lineage` is the trace lineage id of
+    /// the source emission the block descends from.
+    Arrive { stage: StageId, volume: DataVolume, taint: u32, from: Option<StageId>, lineage: u64 },
     /// A block cleared (or skipped) its arrival integrity check and is
     /// admitted to the stage proper, `verify`-cost later than its arrival.
     /// Scheduled only by the orchestrator for stages with a
     /// [`VerifyPolicy`](crate::graph::VerifyPolicy) other than `None`.
-    Admit { stage: StageId, volume: DataVolume, taint: u32 },
+    Admit { stage: StageId, volume: DataVolume, taint: u32, lineage: u64 },
     /// Work previously scheduled by `stage` completes.
     Complete { stage: StageId, done: Completion },
     /// `units` of `resource` die (`None` takes everything online down).
@@ -66,13 +68,13 @@ pub enum Completion {
     Task { id: u64, input: DataVolume, held: DataVolume, cpus: u32 },
     /// A transfer delivers `volume` downstream carrying `taint` units of
     /// silent corruption (incoming taint plus any injected in transit).
-    Delivered { volume: DataVolume, taint: u32 },
+    Delivered { volume: DataVolume, taint: u32, lineage: u64 },
     /// A retry of a faulted transfer begins (`attempt` is 0-based); `taint`
     /// is the taint the block arrived with (in-transit taint of failed
     /// attempts is moot — the payload is retransmitted).
-    Attempt { volume: DataVolume, attempt: u32, taint: u32 },
+    Attempt { volume: DataVolume, attempt: u32, taint: u32, lineage: u64 },
     /// A transfer abandons `volume` after exhausting its retry budget.
-    Abandoned { volume: DataVolume, taint: u32 },
+    Abandoned { volume: DataVolume, taint: u32, lineage: u64 },
     /// A filter finishes inspecting `volume`.
     Inspected { id: u64, volume: DataVolume },
 }
@@ -119,6 +121,7 @@ pub struct StageCtx<'a> {
     resources: &'a mut ResourceSet,
     faults: &'a mut Option<FaultCtx>,
     fx: &'a mut DeferredFx,
+    trace: &'a mut TraceCtx,
 }
 
 impl<'a> StageCtx<'a> {
@@ -132,8 +135,9 @@ impl<'a> StageCtx<'a> {
         resources: &'a mut ResourceSet,
         faults: &'a mut Option<FaultCtx>,
         fx: &'a mut DeferredFx,
+        trace: &'a mut TraceCtx,
     ) -> Self {
-        StageCtx { stage, graph, sched, metrics, ledger, resources, faults, fx }
+        StageCtx { stage, graph, sched, metrics, ledger, resources, faults, fx, trace }
     }
 
     /// The stage this context is scoped to.
@@ -182,23 +186,39 @@ impl<'a> StageCtx<'a> {
         self.sched.cancel(id)
     }
 
-    /// Fan a block out to every downstream stage, arriving now (each
-    /// consumer receives the full block, as when raw data go both to archive
-    /// and to processing).
-    pub fn deliver(&mut self, volume: DataVolume) {
-        self.deliver_tainted(volume, 0);
+    /// Emit a trace event at the current time, if an observer is attached.
+    /// The closure runs only when someone listens — capture the values it
+    /// needs beforehand (it cannot borrow the context).
+    #[inline]
+    pub fn emit(&mut self, ev: impl FnOnce() -> TraceEvent) {
+        self.trace.emit(self.sched.now(), ev);
     }
 
-    /// [`StageCtx::deliver`], carrying `taint` units of silent corruption.
+    /// Fan a freshly produced block out to every downstream stage, arriving
+    /// now (each consumer receives the full block, as when raw data go both
+    /// to archive and to processing). Allocates and returns a new lineage id
+    /// rooted at this emission; the id is allocated whether or not anyone
+    /// observes, so traced and untraced runs are identical.
+    pub fn deliver(&mut self, volume: DataVolume) -> u64 {
+        let lineage = self.trace.alloc_lineage();
+        self.deliver_tainted(volume, 0, lineage);
+        lineage
+    }
+
+    /// [`StageCtx::deliver`] for derived data: propagates the block's
+    /// existing `lineage` and carries `taint` units of silent corruption.
     /// On fan-out the taint travels with the *first* downstream copy only —
     /// taint units are conserved flow-wide, never duplicated, so the
     /// integrity audit (injected = detected + escaped) stays exact.
-    pub fn deliver_tainted(&mut self, volume: DataVolume, taint: u32) {
+    pub fn deliver_tainted(&mut self, volume: DataVolume, taint: u32, lineage: u64) {
         let now = self.sched.now();
         let from = Some(self.stage);
         for (i, &t) in self.graph.downstream(self.stage).iter().enumerate() {
             let carried = if i == 0 { taint } else { 0 };
-            self.sched.schedule(now, FlowEvent::Arrive { stage: t, volume, taint: carried, from });
+            self.sched.schedule(
+                now,
+                FlowEvent::Arrive { stage: t, volume, taint: carried, from, lineage },
+            );
         }
     }
 
@@ -224,9 +244,10 @@ pub trait StageBehavior {
 
     /// A block of `volume` arrived carrying `taint` units of silent
     /// corruption (0 for a clean block — any arrival integrity check already
-    /// ran). The orchestrator has already allocated it in the ledger and
-    /// counted it in the stage's input metrics.
-    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32);
+    /// ran) and descending from source emission `lineage`. The orchestrator
+    /// has already allocated it in the ledger and counted it in the stage's
+    /// input metrics.
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32, lineage: u64);
 
     /// Work previously scheduled via [`StageCtx::complete_at`] finished.
     fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion);
@@ -258,6 +279,8 @@ struct PendingTask {
     input: DataVolume,
     /// Silent-corruption taint the input block carried on arrival.
     taint: u32,
+    /// Trace lineage id of the source emission the input descends from.
+    lineage: u64,
     /// Work already banked by checkpoints from earlier (crashed) runs.
     banked: SimDuration,
     /// Work the last crash destroyed; counted as replayed when the task next
@@ -266,8 +289,8 @@ struct PendingTask {
 }
 
 impl PendingTask {
-    fn fresh(input: DataVolume, taint: u32) -> Self {
-        PendingTask { input, taint, banked: SimDuration::ZERO, replay: SimDuration::ZERO }
+    fn fresh(input: DataVolume, taint: u32, lineage: u64) -> Self {
+        PendingTask { input, taint, lineage, banked: SimDuration::ZERO, replay: SimDuration::ZERO }
     }
 }
 
@@ -279,6 +302,8 @@ struct RunningTask {
     /// Taint the input carried; outputs inherit it (processing a corrupted
     /// block yields a corrupted product).
     taint: u32,
+    /// Lineage id the input carried; outputs inherit it.
+    lineage: u64,
     held: DataVolume,
     units: u32,
     started_at: SimTime,
@@ -352,7 +377,7 @@ impl StageBehavior for SourceBehavior {
         }
     }
 
-    fn on_arrive(&mut self, _ctx: &mut StageCtx, _volume: DataVolume, _taint: u32) {
+    fn on_arrive(&mut self, _ctx: &mut StageCtx, _volume: DataVolume, _taint: u32, _lineage: u64) {
         unreachable!("validated graphs have no edges into sources")
     }
 
@@ -419,27 +444,33 @@ impl ProcessBehavior {
 }
 
 impl StageBehavior for ProcessBehavior {
-    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32) {
-        // Data-parallel stages split blocks into independent tasks. A tainted
-        // block's taint rides with the first chunk only, keeping the
-        // flow-wide taint count conserved.
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32, lineage: u64) {
+        // Data-parallel stages split blocks into independent tasks (all
+        // chunks keep the parent block's lineage). A tainted block's taint
+        // rides with the first chunk only, keeping the flow-wide taint count
+        // conserved.
         match self.chunk {
             Some(c) if !c.is_zero() && volume > c => {
                 let mut remaining = volume;
                 let mut first = true;
                 while remaining > DataVolume::ZERO {
                     let piece = remaining.min(c);
-                    self.queue.push_back(PendingTask::fresh(piece, if first { taint } else { 0 }));
+                    self.queue.push_back(PendingTask::fresh(
+                        piece,
+                        if first { taint } else { 0 },
+                        lineage,
+                    ));
                     first = false;
                     remaining -= piece;
                 }
             }
-            _ => self.queue.push_back(PendingTask::fresh(volume, taint)),
+            _ => self.queue.push_back(PendingTask::fresh(volume, taint, lineage)),
         }
         self.queued_volume += volume;
         let (blocks, qv) = (self.queue.len(), self.queued_volume);
         ctx.metrics().note_queue(blocks, qv);
         let stage = ctx.stage();
+        ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
         ctx.resources().enlist(self.pool, stage);
         ctx.request_drain(self.pool);
     }
@@ -462,20 +493,33 @@ impl StageBehavior for ProcessBehavior {
         }
         let output = input.scale(self.output_ratio);
         let taint = run.taint;
+        let lineage = run.lineage;
         let now = ctx.now();
         let m = ctx.metrics();
         m.blocks_out += 1;
         m.volume_out += output;
         m.completed_at = now;
         m.checkpoint_overhead += run.overhead;
+        let stage = ctx.stage();
+        ctx.emit(|| TraceEvent::TaskEnd { stage, task: id, lineage, volume: output });
+        if !run.overhead.is_zero() {
+            let (count, cost) = match self.checkpoint {
+                CheckpointPolicy::Interval { every, .. } => {
+                    (checkpoints_for(run.payload, every), run.overhead)
+                }
+                CheckpointPolicy::None => (0, SimDuration::ZERO),
+            };
+            ctx.emit(|| TraceEvent::CheckpointWritten { stage, task: id, count, cost });
+        }
         if !output.is_zero() {
-            ctx.deliver_tainted(output, taint);
+            ctx.deliver_tainted(output, taint, lineage);
         } else if taint > 0 {
             // A tainted block reduced to nothing is contained here: the
             // corruption dies with the data, quarantined by loss.
             let m = ctx.metrics();
             m.corrupt_detected += taint as u64;
             m.quarantined += 1;
+            ctx.emit(|| TraceEvent::BlockQuarantined { stage, lineage, volume: output, taint });
         }
         ctx.resources().release(self.pool, cpus);
         if !self.queue.is_empty() {
@@ -522,6 +566,18 @@ impl StageBehavior for ProcessBehavior {
         m.work_replayed += task.replay;
         let id = self.next_task;
         self.next_task += 1;
+        let (stage, lineage, units) = (ctx.stage(), task.lineage, self.cpus_per_task);
+        ctx.emit(|| TraceEvent::TaskStart { stage, task: id, lineage, volume: input, units });
+        if stalls > 0 {
+            ctx.emit(|| TraceEvent::FaultInjected {
+                stage: Some(stage),
+                resource: None,
+                kind: "stall",
+                count: stalls as u64,
+            });
+        }
+        let (blocks, qv) = (self.queue.len(), self.queued_volume);
+        ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
         let event = ctx
             .complete_at(now + dur, Completion::Task { id, input, held, cpus: self.cpus_per_task });
         self.running.push(RunningTask {
@@ -529,6 +585,7 @@ impl StageBehavior for ProcessBehavior {
             event,
             input,
             taint: task.taint,
+            lineage,
             held,
             units: self.cpus_per_task,
             started_at: now,
@@ -568,10 +625,22 @@ impl StageBehavior for ProcessBehavior {
             m.busy = m.busy.saturating_sub(remaining);
             m.crashes += 1;
             m.work_lost += lost;
-            m.checkpoint_overhead += match self.checkpoint {
+            let ckpt_cost = match self.checkpoint {
                 CheckpointPolicy::Interval { cost, .. } => cost * written as u64,
                 CheckpointPolicy::None => SimDuration::ZERO,
             };
+            m.checkpoint_overhead += ckpt_cost;
+            let stage = ctx.stage();
+            let (id, lineage) = (run.id, run.lineage);
+            ctx.emit(|| TraceEvent::CrashKill { stage, task: id, lineage, lost });
+            if written > 0 {
+                ctx.emit(|| TraceEvent::CheckpointWritten {
+                    stage,
+                    task: id,
+                    count: written,
+                    cost: ckpt_cost,
+                });
+            }
             ctx.ledger().free(run.held);
             ctx.resources().release(self.pool, run.units);
             reclaimed += run.units;
@@ -579,6 +648,7 @@ impl StageBehavior for ProcessBehavior {
             self.queue.push_front(PendingTask {
                 input: run.input,
                 taint: run.taint,
+                lineage: run.lineage,
                 banked: run.banked + banked,
                 replay: lost,
             });
@@ -586,6 +656,8 @@ impl StageBehavior for ProcessBehavior {
         if !self.queue.is_empty() {
             let stage = ctx.stage();
             ctx.resources().enlist(self.pool, stage);
+            let (blocks, qv) = (self.queue.len(), self.queued_volume);
+            ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
         }
         reclaimed
     }
@@ -601,8 +673,8 @@ pub struct TransferBehavior {
     rate: DataRate,
     latency: SimDuration,
     channel: ResourceId,
-    /// Queued blocks with the taint each arrived carrying.
-    queue: VecDeque<(DataVolume, u32)>,
+    /// Queued blocks with the taint and lineage each arrived carrying.
+    queue: VecDeque<(DataVolume, u32, u64)>,
     queued_volume: DataVolume,
 }
 
@@ -623,13 +695,28 @@ impl TransferBehavior {
     /// the taint the block arrived with; silent-corruption events overlapping
     /// a *successful* attempt add to it (the transfer "works" but delivers a
     /// bad block).
-    fn begin_attempt(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32, attempt: u32) {
+    fn begin_attempt(
+        &mut self,
+        ctx: &mut StageCtx,
+        volume: DataVolume,
+        taint: u32,
+        lineage: u64,
+        attempt: u32,
+    ) {
         let (rate, latency) = (self.rate, self.latency);
         let now = ctx.now();
+        let stage = ctx.stage();
         if !ctx.has_faults() {
             let dur = latency + volume.time_at(rate).unwrap_or(SimDuration::ZERO);
             ctx.metrics().busy += dur;
-            ctx.complete_at(now + dur, Completion::Delivered { volume, taint });
+            ctx.emit(|| TraceEvent::TransferAttempt {
+                stage,
+                lineage,
+                volume,
+                attempt,
+                duration: dur,
+            });
+            ctx.complete_at(now + dur, Completion::Delivered { volume, taint, lineage });
             return;
         }
         let f = ctx.faults().expect("fault plan present");
@@ -643,25 +730,60 @@ impl TransferBehavior {
             None
         };
         let m = ctx.metrics();
-        m.faults += outcome.faults_hit() + u64::from(degraded);
-        m.busy += outcome.ends_at.checked_sub(now).unwrap_or(SimDuration::ZERO);
+        let link_faults = outcome.faults_hit() + u64::from(degraded);
+        m.faults += link_faults;
+        let spent = outcome.ends_at.checked_sub(now).unwrap_or(SimDuration::ZERO);
+        m.busy += spent;
+        ctx.emit(|| TraceEvent::TransferAttempt {
+            stage,
+            lineage,
+            volume,
+            attempt,
+            duration: spent,
+        });
+        if link_faults > 0 {
+            ctx.emit(|| TraceEvent::FaultInjected {
+                stage: Some(stage),
+                resource: None,
+                kind: "link",
+                count: link_faults,
+            });
+        }
         match (outcome.failure, backoff) {
             (None, _) => {
                 if outcome.silent_corrupts > 0 {
                     ctx.metrics().corrupt_injected += outcome.silent_corrupts as u64;
+                    let count = outcome.silent_corrupts as u64;
+                    ctx.emit(|| TraceEvent::FaultInjected {
+                        stage: Some(stage),
+                        resource: None,
+                        kind: "silent-corrupt",
+                        count,
+                    });
                 }
                 ctx.complete_at(
                     outcome.ends_at,
-                    Completion::Delivered { volume, taint: taint + outcome.silent_corrupts },
+                    Completion::Delivered {
+                        volume,
+                        taint: taint + outcome.silent_corrupts,
+                        lineage,
+                    },
                 );
             }
             (Some(_), Some(wait)) => {
                 let m = ctx.metrics();
                 m.retries += 1;
                 m.volume_retransmitted += volume;
+                ctx.emit(|| TraceEvent::TransferRetry {
+                    stage,
+                    lineage,
+                    volume,
+                    attempt: attempt + 1,
+                    backoff: wait,
+                });
                 ctx.complete_at(
                     outcome.ends_at + wait,
-                    Completion::Attempt { volume, attempt: attempt + 1, taint },
+                    Completion::Attempt { volume, attempt: attempt + 1, taint, lineage },
                 );
             }
             (Some(failure), None) => {
@@ -671,24 +793,26 @@ impl TransferBehavior {
                     // were (re)transmitted exactly once more.
                     ctx.metrics().volume_retransmitted += volume;
                 }
-                ctx.complete_at(outcome.ends_at, Completion::Abandoned { volume, taint });
+                ctx.complete_at(outcome.ends_at, Completion::Abandoned { volume, taint, lineage });
             }
         }
     }
 }
 
 impl StageBehavior for TransferBehavior {
-    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32) {
-        self.queue.push_back((volume, taint));
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32, lineage: u64) {
+        self.queue.push_back((volume, taint, lineage));
         self.queued_volume += volume;
         let (blocks, qv) = (self.queue.len(), self.queued_volume);
         ctx.metrics().note_queue(blocks, qv);
+        let stage = ctx.stage();
+        ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
         self.try_dispatch(ctx);
     }
 
     fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion) {
         match done {
-            Completion::Delivered { volume, taint } => {
+            Completion::Delivered { volume, taint, lineage } => {
                 ctx.resources().release(self.channel, 1);
                 let now = ctx.now();
                 let m = ctx.metrics();
@@ -696,22 +820,26 @@ impl StageBehavior for TransferBehavior {
                 m.volume_out += volume;
                 m.completed_at = now;
                 ctx.ledger().free(volume); // handed to the consumer, who re-allocates
-                ctx.deliver_tainted(volume, taint);
+                ctx.deliver_tainted(volume, taint, lineage);
                 self.try_dispatch(ctx);
             }
-            Completion::Attempt { volume, attempt, taint } => {
-                self.begin_attempt(ctx, volume, taint, attempt)
+            Completion::Attempt { volume, attempt, taint, lineage } => {
+                self.begin_attempt(ctx, volume, taint, lineage, attempt)
             }
-            Completion::Abandoned { volume, taint } => {
+            Completion::Abandoned { volume, taint, lineage } => {
                 ctx.resources().release(self.channel, 1);
                 let m = ctx.metrics();
                 m.blocks_failed += 1;
                 m.volume_lost += volume;
+                let stage = ctx.stage();
+                ctx.emit(|| TraceEvent::TransferAbandon { stage, lineage, volume });
                 if taint > 0 {
                     // A tainted block abandoned in transit is quarantined by
                     // loss: the corruption never reaches a consumer.
+                    let m = ctx.metrics();
                     m.corrupt_detected += taint as u64;
                     m.quarantined += 1;
+                    ctx.emit(|| TraceEvent::BlockQuarantined { stage, lineage, volume, taint });
                 }
                 ctx.ledger().free(volume); // the abandoned block's buffer is released
                 self.try_dispatch(ctx);
@@ -725,13 +853,16 @@ impl StageBehavior for TransferBehavior {
     fn try_dispatch(&mut self, ctx: &mut StageCtx) -> Dispatch {
         let mut started = false;
         while ctx.resources().free(self.channel) > 0 {
-            let Some((volume, taint)) = self.queue.pop_front() else { break };
+            let Some((volume, taint, lineage)) = self.queue.pop_front() else { break };
             self.queued_volume -= volume;
             ctx.resources().acquire(self.channel, 1);
-            self.begin_attempt(ctx, volume, taint, 0);
+            self.begin_attempt(ctx, volume, taint, lineage, 0);
             started = true;
         }
         if started {
+            let stage = ctx.stage();
+            let (blocks, qv) = (self.queue.len(), self.queued_volume);
+            ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
             Dispatch::Started { more: !self.queue.is_empty() }
         } else if self.queue.is_empty() {
             Dispatch::Idle
@@ -779,11 +910,13 @@ impl FilterBehavior {
 }
 
 impl StageBehavior for FilterBehavior {
-    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32) {
-        self.queue.push_back(PendingTask::fresh(volume, taint));
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32, lineage: u64) {
+        self.queue.push_back(PendingTask::fresh(volume, taint, lineage));
         self.queued_volume += volume;
         let (blocks, qv) = (self.queue.len(), self.queued_volume);
         ctx.metrics().note_queue(blocks, qv);
+        let stage = ctx.stage();
+        ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
         self.try_dispatch(ctx);
     }
 
@@ -809,13 +942,26 @@ impl StageBehavior for FilterBehavior {
         // re-allocated by whoever receives it, the rejected rest is gone.
         ctx.ledger().free(volume);
         let taint = run.taint;
+        let lineage = run.lineage;
+        let stage = ctx.stage();
+        ctx.emit(|| TraceEvent::TaskEnd { stage, task: id, lineage, volume: accepted });
+        if !run.overhead.is_zero() {
+            let (count, cost) = match self.checkpoint {
+                CheckpointPolicy::Interval { every, .. } => {
+                    (checkpoints_for(run.payload, every), run.overhead)
+                }
+                CheckpointPolicy::None => (0, SimDuration::ZERO),
+            };
+            ctx.emit(|| TraceEvent::CheckpointWritten { stage, task: id, count, cost });
+        }
         if !accepted.is_zero() {
-            ctx.deliver_tainted(accepted, taint);
+            ctx.deliver_tainted(accepted, taint, lineage);
         } else if taint > 0 {
             // A tainted block the filter rejects wholesale is contained here.
             let m = ctx.metrics();
             m.corrupt_detected += taint as u64;
             m.quarantined += 1;
+            ctx.emit(|| TraceEvent::BlockQuarantined { stage, lineage, volume: accepted, taint });
         }
         self.try_dispatch(ctx);
     }
@@ -842,12 +988,15 @@ impl StageBehavior for FilterBehavior {
             m.work_replayed += task.replay;
             let id = self.next_task;
             self.next_task += 1;
+            let (stage, lineage) = (ctx.stage(), task.lineage);
+            ctx.emit(|| TraceEvent::TaskStart { stage, task: id, lineage, volume, units: 1 });
             let event = ctx.complete_at(now + dur, Completion::Inspected { id, volume });
             self.running.push(RunningTask {
                 id,
                 event,
                 input: volume,
                 taint: task.taint,
+                lineage,
                 held: DataVolume::ZERO,
                 units: 1,
                 started_at: now,
@@ -859,6 +1008,9 @@ impl StageBehavior for FilterBehavior {
             started = true;
         }
         if started {
+            let stage = ctx.stage();
+            let (blocks, qv) = (self.queue.len(), self.queued_volume);
+            ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
             Dispatch::Started { more: !self.queue.is_empty() }
         } else if self.queue.is_empty() {
             Dispatch::Idle
@@ -890,16 +1042,29 @@ impl StageBehavior for FilterBehavior {
             m.busy = m.busy.saturating_sub(remaining);
             m.crashes += 1;
             m.work_lost += lost;
-            m.checkpoint_overhead += match self.checkpoint {
+            let ckpt_cost = match self.checkpoint {
                 CheckpointPolicy::Interval { cost, .. } => cost * written as u64,
                 CheckpointPolicy::None => SimDuration::ZERO,
             };
+            m.checkpoint_overhead += ckpt_cost;
+            let stage = ctx.stage();
+            let (id, lineage) = (run.id, run.lineage);
+            ctx.emit(|| TraceEvent::CrashKill { stage, task: id, lineage, lost });
+            if written > 0 {
+                ctx.emit(|| TraceEvent::CheckpointWritten {
+                    stage,
+                    task: id,
+                    count: written,
+                    cost: ckpt_cost,
+                });
+            }
             ctx.resources().release(self.channel, run.units);
             reclaimed += run.units;
             self.queued_volume += run.input;
             self.queue.push_front(PendingTask {
                 input: run.input,
                 taint: run.taint,
+                lineage: run.lineage,
                 banked: run.banked + banked,
                 replay: lost,
             });
@@ -910,6 +1075,8 @@ impl StageBehavior for FilterBehavior {
             // serves enlisted waiters.
             let stage = ctx.stage();
             ctx.resources().enlist(self.channel, stage);
+            let (blocks, qv) = (self.queue.len(), self.queued_volume);
+            ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
         }
         reclaimed
     }
@@ -923,7 +1090,7 @@ impl StageBehavior for FilterBehavior {
 pub struct ArchiveBehavior;
 
 impl StageBehavior for ArchiveBehavior {
-    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, _taint: u32) {
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, _taint: u32, _lineage: u64) {
         // Escaped taint is counted by the orchestrator before this hook; an
         // archive stores whatever it is handed.
         let now = ctx.now();

@@ -79,6 +79,20 @@ impl<E> Scheduler<E> {
     }
 }
 
+/// Counters from one [`Engine::run_counted`] execution: where the clock
+/// stopped plus how much work the loop did getting there. Feeds the
+/// `engine` block of [`crate::metrics::SimReport`] when observation is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Time of the last event handled (quiescence).
+    pub finished_at: SimTime,
+    /// Total events dispatched to the handler (cancelled events excluded).
+    pub events_handled: u64,
+    /// High-water mark of the pending-event heap, cancelled entries
+    /// included — an upper bound on live pending events.
+    pub peak_pending: usize,
+}
+
 /// The run loop: pops events in deterministic order, advances the clock, and
 /// dispatches to the handler until the heap drains (or the safety cap trips).
 pub struct Engine<E> {
@@ -104,8 +118,19 @@ impl<E> Engine<E> {
     }
 
     /// Run to quiescence; returns the time of the last event handled.
-    pub fn run<H: EventHandler<Event = E>>(mut self, handler: &mut H) -> CoreResult<SimTime> {
+    pub fn run<H: EventHandler<Event = E>>(self, handler: &mut H) -> CoreResult<SimTime> {
+        Ok(self.run_counted(handler)?.finished_at)
+    }
+
+    /// Run to quiescence, also counting events handled and the peak size of
+    /// the pending heap. Identical execution to [`Engine::run`] — the
+    /// counters are pure bookkeeping.
+    pub fn run_counted<H: EventHandler<Event = E>>(
+        mut self,
+        handler: &mut H,
+    ) -> CoreResult<RunStats> {
         let mut handled = 0u64;
+        let mut peak_pending = self.sched.heap.len();
         while let Some((at, ev)) = self.sched.pop() {
             handled += 1;
             if handled > self.max_events {
@@ -115,8 +140,9 @@ impl<E> Engine<E> {
             }
             self.sched.now = at;
             handler.handle(ev, &mut self.sched);
+            peak_pending = peak_pending.max(self.sched.heap.len());
         }
-        Ok(self.sched.now)
+        Ok(RunStats { finished_at: self.sched.now, events_handled: handled, peak_pending })
     }
 }
 
@@ -189,6 +215,22 @@ mod tests {
         let mut engine = Engine::new().with_max_events(100);
         engine.scheduler().schedule(SimTime::ZERO, ());
         assert!(matches!(engine.run(&mut Loops), Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn run_counted_reports_handled_and_peak_pending() {
+        let mut engine = Engine::new();
+        let t = SimTime::from_micros;
+        engine.scheduler().schedule(t(5), 2);
+        engine.scheduler().schedule(t(1), 1);
+        engine.scheduler().schedule(t(5), 3);
+        let mut h = Recorder { fired: Vec::new() };
+        let stats = engine.run_counted(&mut h).unwrap();
+        // 3 seeded + 2 chained by event `1`.
+        assert_eq!(stats.events_handled, 5);
+        assert_eq!(stats.finished_at, t(1_000_001));
+        // After `1` fires, events 2, 3, 10, 11 are all pending at once.
+        assert_eq!(stats.peak_pending, 4);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::collections::VecDeque;
 
 use crate::error::{CoreError, CoreResult};
+use crate::trace::ObserveConfig;
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
 
 /// Index of a stage within its graph.
@@ -156,6 +157,9 @@ pub struct FlowGraph {
     succ: Vec<Vec<StageId>>,
     /// Upstream adjacency, kept in sync with `succ`.
     pred: Vec<Vec<StageId>>,
+    /// Time-series sampling configuration; `None` (the default) leaves the
+    /// report exactly as an unobserved run would produce it.
+    observe: Option<ObserveConfig>,
 }
 
 impl FlowGraph {
@@ -174,6 +178,17 @@ impl FlowGraph {
     /// Set the integrity-check policy of an existing stage.
     pub fn set_verify(&mut self, id: StageId, policy: VerifyPolicy) {
         self.stages[id.0].verify = policy;
+    }
+
+    /// Turn on report telemetry ([`crate::metrics::TimeSeries`] and engine
+    /// counters), sampled per `config.tick`.
+    pub fn set_observe(&mut self, config: ObserveConfig) {
+        self.observe = Some(config);
+    }
+
+    /// The telemetry configuration, if one was set.
+    pub fn observe_config(&self) -> Option<ObserveConfig> {
+        self.observe
     }
 
     /// Route the output of `from` into `to`.

@@ -61,6 +61,7 @@
 //! ```
 
 pub mod behavior;
+pub mod critical;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -72,21 +73,27 @@ pub mod provenance;
 pub mod resource;
 pub mod sim;
 pub mod spec;
+pub mod trace;
 pub mod units;
 pub mod version;
 
 pub use behavior::{Completion, Dispatch, FlowEvent, StageBehavior, StageCtx};
-pub use engine::{Engine, EventHandler, Scheduler};
+pub use critical::{critical_path, CriticalPathReport, PathSegment, StageBreakdown};
+pub use engine::{Engine, EventHandler, RunStats, Scheduler};
 pub use error::{CoreError, CoreResult};
 pub use fault::{
     AttemptFailure, AttemptOutcome, FaultEvent, FaultKind, FaultPlan, FaultProfile, RetryPolicy,
 };
 pub use graph::{FlowGraph, StageId, StageKind, VerifyPolicy};
-pub use metrics::{PoolMetrics, SimReport, StageMetrics};
+pub use metrics::{EngineStats, PoolMetrics, SimReport, StageMetrics, TimeSeries, TsSample};
 pub use product::{DataProduct, ProductKind};
 pub use provenance::{ProvenanceRecord, ProvenanceStep};
 pub use resource::{ResourceId, ResourceSet, SchedPolicy, StorageLedger};
 pub use sim::{CpuPool, FlowSim};
 pub use spec::{FilterSpec, FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
+pub use trace::{
+    NoopObserver, ObserveConfig, Observer, Span, TraceEvent, TraceMeta, TraceRecorder,
+    TraceSnapshot,
+};
 pub use units::{DataRate, DataVolume, SimDuration, SimTime};
 pub use version::{CalDate, VersionId};

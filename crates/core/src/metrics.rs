@@ -75,6 +75,44 @@ pub struct PoolMetrics {
     pub utilization: f64,
 }
 
+/// One time-series sample of the flow's instantaneous state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsSample {
+    /// Sample time. Samples land on tick boundaries, plus one final sample
+    /// at `finished_at`.
+    pub at: SimTime,
+    /// Queued volume per stage, in stage order (parallel to
+    /// [`SimReport::stages`]).
+    pub queued: Vec<DataVolume>,
+    /// Units in use per shared pool, parallel to [`TimeSeries::pools`].
+    pub pool_in_use: Vec<u32>,
+    /// Cumulative volume arrived at sink stages (stages with no downstream).
+    pub sink_volume: DataVolume,
+}
+
+/// Time-resolved telemetry sampled during the run, recorded when the flow
+/// was built with [`crate::spec::FlowSpec::observe`]. Samples reflect the
+/// state after all events at or before the sample time; sampling schedules
+/// no events of its own, so the run is identical with or without it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeSeries {
+    /// Interval between samples.
+    pub tick: SimDuration,
+    /// Names of the shared pools, in [`SimReport::pools`] order.
+    pub pools: Vec<String>,
+    pub samples: Vec<TsSample>,
+}
+
+/// Event-loop counters from [`crate::engine::Engine::run_counted`],
+/// populated alongside [`TimeSeries`] when observation is configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total events dispatched by the run loop.
+    pub events_handled: u64,
+    /// High-water mark of the pending-event heap.
+    pub peak_pending: usize,
+}
+
 /// The result of a [`crate::sim::FlowSim`] run.
 ///
 /// Derives `PartialEq` so replay determinism can be asserted wholesale: two
@@ -98,6 +136,12 @@ pub struct SimReport {
     /// zero for a correct simulation; a non-zero count flags a storage
     /// accounting bug in whatever produced the report.
     pub ledger_underflows: u64,
+    /// Time-resolved telemetry; `Some` only when the flow was built with
+    /// [`crate::spec::FlowSpec::observe`]. Unobserved flows carry `None`, so
+    /// their reports stay identical to the pre-observability simulator.
+    pub timeseries: Option<TimeSeries>,
+    /// Event-loop counters; populated together with `timeseries`.
+    pub engine: Option<EngineStats>,
 }
 
 impl SimReport {
@@ -112,12 +156,24 @@ impl SimReport {
     /// How long after the sources stopped did the flow take to finish. A
     /// small drain duration means the system "keeps up with the flow of
     /// data"; a large one means processing is the bottleneck.
+    ///
+    /// Returns `None` when the run had no source emissions at all (an empty
+    /// flow, or every source configured with zero blocks): with no
+    /// `source_end` there is no drain to measure. It never panics — for any
+    /// run that did emit, `finished_at >= source_end` holds and the
+    /// subtraction is well-defined.
     pub fn drain_duration(&self) -> Option<SimDuration> {
         self.source_end.and_then(|s| self.finished_at.checked_sub(s))
     }
 
     /// True when the flow kept pace: bounded backlog at source end and a
     /// drain time within `slack`.
+    ///
+    /// A run with zero source emissions returns `false`, not `true`: with
+    /// nothing produced there is no evidence the system keeps up, so the
+    /// claim is refused rather than vacuously granted. (Before this was
+    /// documented, callers had to read the `match` to learn that the
+    /// `None`/`None` case falls through to `false`.)
     pub fn kept_up(&self, slack: SimDuration) -> bool {
         match (self.backlog_at_source_end, self.drain_duration()) {
             (Some(_), Some(drain)) => drain <= slack,
@@ -206,6 +262,130 @@ impl SimReport {
         }
         total
     }
+
+    /// Machine-readable export: a JSON document with a fixed key order and
+    /// deterministic number formatting (times and durations as integer
+    /// microseconds, volumes as integer bytes, floats via Rust's
+    /// shortest-roundtrip `{:?}`). Two equal reports render byte-identically,
+    /// so downstream tooling can diff or golden-test this instead of parsing
+    /// the human text render.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let esc = crate::trace::esc;
+        let opt = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+        let mut out = String::new();
+        let w = &mut out;
+        writeln!(w, "{{").unwrap();
+        writeln!(w, "  \"finished_at\": {},", self.finished_at.as_micros()).unwrap();
+        writeln!(w, "  \"source_end\": {},", opt(self.source_end.map(|t| t.as_micros()))).unwrap();
+        writeln!(
+            w,
+            "  \"backlog_at_source_end\": {},",
+            opt(self.backlog_at_source_end.map(|v| v.bytes()))
+        )
+        .unwrap();
+        writeln!(w, "  \"peak_storage\": {},", self.peak_storage.bytes()).unwrap();
+        writeln!(w, "  \"retained_storage\": {},", self.retained_storage.bytes()).unwrap();
+        writeln!(w, "  \"ledger_underflows\": {},", self.ledger_underflows).unwrap();
+        writeln!(w, "  \"stages\": [").unwrap();
+        for (i, s) in self.stages.iter().enumerate() {
+            let comma = if i + 1 < self.stages.len() { "," } else { "" };
+            writeln!(
+                w,
+                "    {{\"name\": \"{}\", \"blocks_in\": {}, \"volume_in\": {}, \"blocks_out\": {}, \
+                 \"volume_out\": {}, \"busy\": {}, \"max_queue_blocks\": {}, \"max_queue_volume\": {}, \
+                 \"final_queue_volume\": {}, \"completed_at\": {}, \"retries\": {}, \"faults\": {}, \
+                 \"blocks_failed\": {}, \"volume_retransmitted\": {}, \"volume_lost\": {}, \
+                 \"crashes\": {}, \"work_lost\": {}, \"work_replayed\": {}, \
+                 \"checkpoint_overhead\": {}, \"corrupt_injected\": {}, \"corrupt_detected\": {}, \
+                 \"corrupt_escaped\": {}, \"quarantined\": {}, \"reprocessed_blocks\": {}, \
+                 \"verify_overhead\": {}}}{comma}",
+                esc(&s.name),
+                s.blocks_in,
+                s.volume_in.bytes(),
+                s.blocks_out,
+                s.volume_out.bytes(),
+                s.busy.as_micros(),
+                s.max_queue_blocks,
+                s.max_queue_volume.bytes(),
+                s.final_queue_volume.bytes(),
+                s.completed_at.as_micros(),
+                s.retries,
+                s.faults,
+                s.blocks_failed,
+                s.volume_retransmitted.bytes(),
+                s.volume_lost.bytes(),
+                s.crashes,
+                s.work_lost.as_micros(),
+                s.work_replayed.as_micros(),
+                s.checkpoint_overhead.as_micros(),
+                s.corrupt_injected,
+                s.corrupt_detected,
+                s.corrupt_escaped,
+                s.quarantined,
+                s.reprocessed_blocks,
+                s.verify_overhead.as_micros(),
+            )
+            .unwrap();
+        }
+        writeln!(w, "  ],").unwrap();
+        writeln!(w, "  \"pools\": [").unwrap();
+        for (i, p) in self.pools.iter().enumerate() {
+            let comma = if i + 1 < self.pools.len() { "," } else { "" };
+            writeln!(
+                w,
+                "    {{\"name\": \"{}\", \"cpus\": {}, \"peak_in_use\": {}, \
+                 \"busy_cpu_secs\": {:?}, \"utilization\": {:?}}}{comma}",
+                esc(&p.name),
+                p.cpus,
+                p.peak_in_use,
+                p.busy_cpu_secs,
+                p.utilization,
+            )
+            .unwrap();
+        }
+        writeln!(w, "  ],").unwrap();
+        match &self.timeseries {
+            None => writeln!(w, "  \"timeseries\": null,").unwrap(),
+            Some(ts) => {
+                writeln!(w, "  \"timeseries\": {{").unwrap();
+                writeln!(w, "    \"tick\": {},", ts.tick.as_micros()).unwrap();
+                let pools: Vec<String> =
+                    ts.pools.iter().map(|p| format!("\"{}\"", esc(p))).collect();
+                writeln!(w, "    \"pools\": [{}],", pools.join(", ")).unwrap();
+                writeln!(w, "    \"samples\": [").unwrap();
+                for (i, s) in ts.samples.iter().enumerate() {
+                    let comma = if i + 1 < ts.samples.len() { "," } else { "" };
+                    let queued: Vec<String> =
+                        s.queued.iter().map(|v| v.bytes().to_string()).collect();
+                    let in_use: Vec<String> = s.pool_in_use.iter().map(|u| u.to_string()).collect();
+                    writeln!(
+                        w,
+                        "      {{\"at\": {}, \"queued\": [{}], \"pool_in_use\": [{}], \
+                         \"sink_volume\": {}}}{comma}",
+                        s.at.as_micros(),
+                        queued.join(", "),
+                        in_use.join(", "),
+                        s.sink_volume.bytes(),
+                    )
+                    .unwrap();
+                }
+                writeln!(w, "    ]").unwrap();
+                writeln!(w, "  }},").unwrap();
+            }
+        }
+        match self.engine {
+            None => writeln!(w, "  \"engine\": null").unwrap(),
+            Some(e) => writeln!(
+                w,
+                "  \"engine\": {{\"events_handled\": {}, \"peak_pending\": {}}}",
+                e.events_handled, e.peak_pending
+            )
+            .unwrap(),
+        }
+        writeln!(w, "}}").unwrap();
+        out
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -274,6 +454,16 @@ impl fmt::Display for SimReport {
                 p.utilization * 100.0
             )?;
         }
+        if let Some(ts) = &self.timeseries {
+            writeln!(f, "  telemetry {} samples every {}", ts.samples.len(), ts.tick)?;
+        }
+        if let Some(e) = &self.engine {
+            writeln!(
+                f,
+                "  engine {} events handled, peak {} pending",
+                e.events_handled, e.peak_pending
+            )?;
+        }
         Ok(())
     }
 }
@@ -291,9 +481,8 @@ mod tests {
         assert_eq!(m.max_queue_volume, DataVolume::gib(3));
     }
 
-    #[test]
-    fn report_lookup_and_display() {
-        let report = SimReport {
+    fn sample_report() -> SimReport {
+        SimReport {
             finished_at: SimTime::from_micros(1_000_000),
             source_end: Some(SimTime::from_micros(500_000)),
             backlog_at_source_end: Some(DataVolume::ZERO),
@@ -302,7 +491,14 @@ mod tests {
             peak_storage: DataVolume::gib(1),
             retained_storage: DataVolume::ZERO,
             ledger_underflows: 0,
-        };
+            timeseries: None,
+            engine: None,
+        }
+    }
+
+    #[test]
+    fn report_lookup_and_display() {
+        let report = sample_report();
         assert!(report.stage("x").is_some());
         assert!(report.stage("y").is_none());
         assert!(report.kept_up(SimDuration::from_secs(1)));
@@ -312,5 +508,47 @@ mod tests {
         );
         let text = report.to_string();
         assert!(text.contains("peak storage"));
+    }
+
+    #[test]
+    fn zero_completion_flow_has_no_drain_and_never_kept_up() {
+        // A flow whose sources emitted nothing: `source_end` is None, so
+        // there is no drain duration to measure and `kept_up` refuses the
+        // claim for any slack (documented contract, not an accident of the
+        // match arms).
+        let report = SimReport { source_end: None, backlog_at_source_end: None, ..sample_report() };
+        assert_eq!(report.drain_duration(), None);
+        assert!(!report.kept_up(SimDuration::ZERO));
+        assert!(!report.kept_up(SimDuration::from_days(365)));
+    }
+
+    #[test]
+    fn to_json_is_stable_and_renders_optionals() {
+        let mut report = sample_report();
+        let json = report.to_json();
+        assert_eq!(json, report.to_json(), "same report renders byte-identically");
+        assert!(json.contains("\"finished_at\": 1000000"));
+        assert!(json.contains("\"source_end\": 500000"));
+        assert!(json.contains("\"timeseries\": null"));
+        assert!(json.contains("\"engine\": null"));
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+
+        report.timeseries = Some(TimeSeries {
+            tick: SimDuration::from_secs(1),
+            pools: vec!["farm".into()],
+            samples: vec![TsSample {
+                at: SimTime::from_micros(7),
+                queued: vec![DataVolume::from_bytes(3)],
+                pool_in_use: vec![2],
+                sink_volume: DataVolume::from_bytes(9),
+            }],
+        });
+        report.engine = Some(EngineStats { events_handled: 11, peak_pending: 4 });
+        let json = report.to_json();
+        assert!(json.contains("\"tick\": 1000000"));
+        assert!(json.contains("\"pool_in_use\": [2]"));
+        assert!(json.contains("\"events_handled\": 11"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

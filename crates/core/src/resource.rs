@@ -120,6 +120,27 @@ impl ResourceSet {
         r.total - r.offline
     }
 
+    /// Units currently held by running work (total minus free minus
+    /// offline). This is what the time-series sampler records per pool.
+    pub fn in_use(&self, rid: ResourceId) -> u32 {
+        let r = &self.resources[rid.0];
+        r.total - r.free - r.offline
+    }
+
+    /// Resource names in registration (id) order — the trace name table.
+    pub fn names(&self) -> Vec<String> {
+        self.resources.iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// Ids of the shared pools, sorted by name to match
+    /// [`ResourceSet::pool_report`] order.
+    pub fn pool_ids(&self) -> Vec<ResourceId> {
+        let mut ids: Vec<ResourceId> =
+            (0..self.resources.len()).filter(|&i| self.resources[i].pool).map(ResourceId).collect();
+        ids.sort_by(|a, b| self.resources[a.0].name.cmp(&self.resources[b.0].name));
+        ids
+    }
+
     /// Take `units` from the resource; the caller must have checked
     /// [`ResourceSet::free`] first.
     pub fn acquire(&mut self, rid: ResourceId, units: u32) {
@@ -359,6 +380,21 @@ mod tests {
         let report = rs.pool_report(SimTime::from_micros(10));
         assert_eq!(report.len(), 1);
         assert_eq!(report[0].name, "cpus");
+    }
+
+    #[test]
+    fn in_use_and_pool_ids_track_sampling_views() {
+        let mut rs = ResourceSet::new(2, SchedPolicy::default());
+        let b = rs.add_pool("beta", 4);
+        let a = rs.add_pool("alpha", 8);
+        rs.add_channel("link#0", 2);
+        rs.acquire(b, 3);
+        rs.crash(b, 1);
+        assert_eq!(rs.in_use(b), 3);
+        assert_eq!(rs.in_use(a), 0);
+        // Sorted by name, matching pool_report; channels excluded.
+        assert_eq!(rs.pool_ids(), vec![a, b]);
+        assert_eq!(rs.names(), vec!["beta", "alpha", "link#0"]);
     }
 
     #[test]

@@ -27,12 +27,13 @@ use crate::behavior::{
     ArchiveBehavior, Completion, DeferredFx, FaultCtx, FilterBehavior, FlowEvent, ProcessBehavior,
     SourceBehavior, StageBehavior, StageCtx, TransferBehavior,
 };
-use crate::engine::{Engine, EventHandler, Scheduler};
+use crate::engine::{Engine, EventHandler, RunStats, Scheduler};
 use crate::error::{CoreError, CoreResult};
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::graph::{CheckpointPolicy, FlowGraph, StageId, StageKind, VerifyPolicy};
-use crate::metrics::{SimReport, StageMetrics};
+use crate::metrics::{EngineStats, SimReport, StageMetrics, TimeSeries, TsSample};
 use crate::resource::{ResourceId, ResourceSet};
+use crate::trace::{Observer, TraceCtx, TraceEvent, TraceMeta};
 use crate::units::{DataVolume, SimDuration, SimTime};
 
 pub use crate::resource::{SchedPolicy, StorageLedger};
@@ -60,8 +61,19 @@ impl CpuPool {
 
 /// What the orchestrator asks a behavior to do for one event.
 enum Step {
-    Arrive(DataVolume, u32),
+    Arrive(DataVolume, u32, u64),
     Complete(Completion),
+}
+
+/// Time-series sampling state: ticks are consumed opportunistically as
+/// events advance the clock (sampling never schedules events of its own, so
+/// an observed run replays exactly like an unobserved one).
+struct TsSampler {
+    tick: SimDuration,
+    /// The next tick still to be sampled.
+    next: SimTime,
+    pool_names: Vec<String>,
+    samples: Vec<TsSample>,
 }
 
 /// Discrete-event executor for a validated [`FlowGraph`].
@@ -97,6 +109,14 @@ pub struct FlowSim {
     /// How many lineage hops [`FlowSim`] walks looking for a durable ancestor
     /// before giving a quarantined block up as unrecoverable.
     max_reprocess_depth: usize,
+    /// Observer hookup and the lineage-id allocator. The allocator advances
+    /// on every delivery whether or not an observer is attached, so attaching
+    /// one can never perturb the flow being observed.
+    trace: TraceCtx,
+    /// Present iff the graph was built with [`crate::spec::FlowSpec::observe`].
+    sampler: Option<TsSampler>,
+    /// Pools sampled by the time series, in [`SimReport::pools`] order.
+    sample_pools: Vec<ResourceId>,
 }
 
 impl FlowSim {
@@ -235,6 +255,27 @@ impl FlowSim {
             sink.push(graph.downstream(id).is_empty());
         }
         let metrics = vec![StageMetrics::default(); graph.len()];
+        let (sampler, sample_pools) = match graph.observe_config() {
+            Some(cfg) => {
+                if cfg.tick.is_zero() {
+                    return Err(CoreError::InvalidConfig {
+                        detail: "observation tick must be non-zero".to_string(),
+                    });
+                }
+                let pool_ids = resources.pool_ids();
+                let pool_names = pool_ids.iter().map(|&r| resources.names()[r.0].clone()).collect();
+                (
+                    Some(TsSampler {
+                        tick: cfg.tick,
+                        next: SimTime::ZERO,
+                        pool_names,
+                        samples: Vec::new(),
+                    }),
+                    pool_ids,
+                )
+            }
+            None => (None, Vec::new()),
+        };
         Ok(FlowSim {
             graph,
             behaviors,
@@ -251,6 +292,9 @@ impl FlowSim {
             sink,
             verify_rng: StdRng::seed_from_u64(VERIFY_RNG_SALT),
             max_reprocess_depth: 8,
+            trace: TraceCtx::new(),
+            sampler,
+            sample_pools,
         })
     }
 
@@ -291,6 +335,16 @@ impl FlowSim {
         self
     }
 
+    /// Attach an [`Observer`] that receives every typed trace event the run
+    /// emits (task spans, transfer attempts, queue depths, faults,
+    /// checkpoints, verification verdicts). Observation is strictly
+    /// read-only: the same seed and graph produce byte-identical
+    /// [`SimReport`]s with or without an observer attached.
+    pub fn with_observer(mut self, observer: impl Observer + 'static) -> Self {
+        self.trace.attach(Box::new(observer));
+        self
+    }
+
     /// Run to completion and produce a report.
     pub fn run(mut self) -> CoreResult<SimReport> {
         let mut engine = Engine::new().with_max_events(self.max_events);
@@ -320,6 +374,18 @@ impl FlowSim {
                     .schedule(at, FlowEvent::CrashResource { resource, units, repair });
             }
         }
+        // Hand the observer its name tables before the first event fires.
+        if self.trace.enabled() {
+            let meta = TraceMeta {
+                stages: self
+                    .graph
+                    .stage_ids()
+                    .map(|id| self.graph.stage(id).name.clone())
+                    .collect(),
+                resources: self.resources.names(),
+            };
+            self.trace.begin(&meta);
+        }
         // Let every behavior seed its initial events, in stage order.
         for id in self.graph.stage_ids() {
             let mut behavior = self.behaviors[id.index()].take().expect("behavior in place");
@@ -334,13 +400,14 @@ impl FlowSim {
                     &mut self.resources,
                     &mut self.faults,
                     &mut fx,
+                    &mut self.trace,
                 );
                 behavior.seed(&mut ctx);
             }
             self.behaviors[id.index()] = Some(behavior);
         }
-        let finished_at = engine.run(&mut self)?;
-        Ok(self.report(finished_at))
+        let stats = engine.run_counted(&mut self)?;
+        Ok(self.report(stats))
     }
 
     /// Drain `rid`'s waiter queue: keep asking the head stage to dispatch
@@ -362,6 +429,7 @@ impl FlowSim {
                     &mut self.resources,
                     &mut self.faults,
                     &mut fx,
+                    &mut self.trace,
                 );
                 behavior.try_dispatch(&mut ctx)
             };
@@ -391,6 +459,12 @@ impl FlowSim {
         if take == 0 {
             return;
         }
+        self.trace.emit(sched.now(), || TraceEvent::FaultInjected {
+            stage: None,
+            resource: Some(rid.0),
+            kind: "crash",
+            count: take as u64,
+        });
         let mut shortfall = self.resources.crash(rid, take);
         if shortfall > 0 {
             for id in self.graph.stage_ids() {
@@ -406,6 +480,7 @@ impl FlowSim {
                         &mut self.resources,
                         &mut self.faults,
                         &mut fx,
+                        &mut self.trace,
                     );
                     behavior.on_crash(&mut ctx, rid, shortfall);
                 }
@@ -443,6 +518,7 @@ impl FlowSim {
         stage: StageId,
         from: Option<StageId>,
         volume: DataVolume,
+        lineage: u64,
         sched: &mut Scheduler<FlowEvent>,
     ) {
         let mut vol = volume;
@@ -452,11 +528,13 @@ impl FlowSim {
             let Some(u) = prev else { return };
             if self.durable[u.index()] {
                 // `u` still holds (or can regenerate) a clean copy of what it
-                // delivered to `cur`: replay that delivery.
+                // delivered to `cur`: replay that delivery. The replacement
+                // keeps the quarantined block's lineage id — it is the same
+                // logical block, re-materialised.
                 self.metrics[cur.index()].reprocessed_blocks += 1;
                 sched.schedule(
                     sched.now(),
-                    FlowEvent::Arrive { stage: cur, volume: vol, taint: 0, from: Some(u) },
+                    FlowEvent::Arrive { stage: cur, volume: vol, taint: 0, from: Some(u), lineage },
                 );
                 return;
             }
@@ -474,7 +552,50 @@ impl FlowSim {
         self.behaviors.iter().map(|b| b.as_ref().expect("behavior in place").queued_volume()).sum()
     }
 
-    fn report(self, finished_at: SimTime) -> SimReport {
+    /// One time-series sample of the current state, recorded as of `at`.
+    fn take_sample(&mut self, at: SimTime) {
+        let queued: Vec<DataVolume> = self
+            .behaviors
+            .iter()
+            .map(|b| b.as_ref().expect("behavior in place").queued_volume())
+            .collect();
+        let pool_in_use: Vec<u32> =
+            self.sample_pools.iter().map(|&r| self.resources.in_use(r)).collect();
+        let sink_volume = self
+            .graph
+            .stage_ids()
+            .filter(|id| self.sink[id.index()])
+            .map(|id| self.metrics[id.index()].volume_in)
+            .sum();
+        if let Some(s) = self.sampler.as_mut() {
+            s.samples.push(TsSample { at, queued, pool_in_use, sink_volume });
+        }
+    }
+
+    /// Record every pending tick strictly before `at`. Called at the top of
+    /// each event, this sees the state after all events up to the previous
+    /// event time — which is exactly the state at any tick in between, since
+    /// no event fired there. Sampling schedules nothing, so the event heap
+    /// (and therefore `finished_at`) is identical with observation off.
+    fn sample_up_to(&mut self, at: SimTime) {
+        loop {
+            let Some(next) = self.sampler.as_ref().map(|s| s.next) else { return };
+            if next >= at {
+                return;
+            }
+            self.take_sample(next);
+            let s = self.sampler.as_mut().expect("sampler checked above");
+            s.next = next + s.tick;
+        }
+    }
+
+    fn report(mut self, stats: RunStats) -> SimReport {
+        let finished_at = stats.finished_at;
+        // Close the time series with one final sample at the end of the run.
+        if self.sampler.is_some() {
+            self.sample_up_to(finished_at);
+            self.take_sample(finished_at);
+        }
         let mut stages = Vec::with_capacity(self.graph.len());
         for id in self.graph.stage_ids() {
             let mut m = self.metrics[id.index()].clone();
@@ -483,6 +604,16 @@ impl FlowSim {
                 self.behaviors[id.index()].as_ref().expect("behavior in place").queued_volume();
             stages.push(m);
         }
+        let (timeseries, engine) = match self.sampler {
+            Some(s) => (
+                Some(TimeSeries { tick: s.tick, pools: s.pool_names, samples: s.samples }),
+                Some(EngineStats {
+                    events_handled: stats.events_handled,
+                    peak_pending: stats.peak_pending,
+                }),
+            ),
+            None => (None, None),
+        };
         SimReport {
             finished_at,
             source_end: self.source_end,
@@ -492,6 +623,8 @@ impl FlowSim {
             peak_storage: self.ledger.peak(),
             retained_storage: self.ledger.retained(),
             ledger_underflows: self.ledger.underflow_events(),
+            timeseries,
+            engine,
         }
     }
 }
@@ -551,8 +684,9 @@ impl EventHandler for FlowSim {
     type Event = FlowEvent;
 
     fn handle(&mut self, ev: FlowEvent, sched: &mut Scheduler<FlowEvent>) {
+        self.sample_up_to(sched.now());
         let (stage, step) = match ev {
-            FlowEvent::Arrive { stage, volume, taint, from } => {
+            FlowEvent::Arrive { stage, volume, taint, from, lineage } => {
                 // Arrival bookkeeping is common to every kind: the block now
                 // occupies storage and counts as stage input.
                 self.ledger.alloc(volume);
@@ -579,17 +713,35 @@ impl EventHandler for FlowSim {
                     let m = &mut self.metrics[stage.index()];
                     m.verify_overhead += cost;
                     m.busy += cost;
+                    let tainted = taint > 0;
+                    self.trace.emit(sched.now(), || TraceEvent::VerifyCheck {
+                        stage,
+                        lineage,
+                        volume,
+                        cost,
+                        tainted,
+                    });
                     if taint > 0 {
                         // Caught: quarantine the block (its buffer is
                         // released, it never reaches the stage proper) and
                         // try to replay it from a durable ancestor.
+                        let m = &mut self.metrics[stage.index()];
                         m.corrupt_detected += taint as u64;
                         m.quarantined += 1;
+                        self.trace.emit(sched.now(), || TraceEvent::BlockQuarantined {
+                            stage,
+                            lineage,
+                            volume,
+                            taint,
+                        });
                         self.ledger.free(volume);
-                        self.reprocess(stage, from, volume, sched);
+                        self.reprocess(stage, from, volume, lineage, sched);
                         return;
                     }
-                    sched.schedule(sched.now() + cost, FlowEvent::Admit { stage, volume, taint });
+                    sched.schedule(
+                        sched.now() + cost,
+                        FlowEvent::Admit { stage, volume, taint, lineage },
+                    );
                     return;
                 }
                 // Unchecked: taint reaching a terminal stage has escaped to
@@ -601,12 +753,12 @@ impl EventHandler for FlowSim {
                 } else {
                     taint
                 };
-                (stage, Step::Arrive(volume, taint))
+                (stage, Step::Arrive(volume, taint, lineage))
             }
-            FlowEvent::Admit { stage, volume, taint } => {
+            FlowEvent::Admit { stage, volume, taint, lineage } => {
                 // Post-verification admission: ledger and input counters were
                 // charged at arrival; the block is clean by construction.
-                (stage, Step::Arrive(volume, taint))
+                (stage, Step::Arrive(volume, taint, lineage))
             }
             FlowEvent::Complete { stage, done } => (stage, Step::Complete(done)),
             FlowEvent::CrashResource { resource, units, repair } => {
@@ -614,6 +766,12 @@ impl EventHandler for FlowSim {
                 return;
             }
             FlowEvent::RepairResource { resource, units } => {
+                self.trace.emit(sched.now(), || TraceEvent::FaultInjected {
+                    stage: None,
+                    resource: Some(resource.0),
+                    kind: "repair",
+                    count: units as u64,
+                });
                 self.resources.repair(resource, units);
                 self.drain(resource, sched);
                 return;
@@ -631,9 +789,12 @@ impl EventHandler for FlowSim {
                 &mut self.resources,
                 &mut self.faults,
                 &mut fx,
+                &mut self.trace,
             );
             match step {
-                Step::Arrive(volume, taint) => behavior.on_arrive(&mut ctx, volume, taint),
+                Step::Arrive(volume, taint, lineage) => {
+                    behavior.on_arrive(&mut ctx, volume, taint, lineage)
+                }
                 Step::Complete(done) => behavior.on_complete(&mut ctx, done),
             }
         }

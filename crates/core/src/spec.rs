@@ -39,6 +39,7 @@ use crate::graph::{FlowGraph, StageKind};
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
 
 pub use crate::graph::{CheckpointPolicy, VerifyPolicy};
+pub use crate::trace::ObserveConfig;
 
 /// Spec for a [`StageKind::Source`]: emits `blocks` blocks of `block` bytes,
 /// one every `interval`, starting at time zero unless
@@ -218,6 +219,7 @@ pub struct FlowSpec {
     stages: Vec<(String, StageKind, Vec<String>)>,
     feeds: Vec<(String, String)>,
     verifies: Vec<(String, VerifyPolicy)>,
+    observe: Option<ObserveConfig>,
 }
 
 impl FlowSpec {
@@ -280,6 +282,16 @@ impl FlowSpec {
         self
     }
 
+    /// Turn on run telemetry: the simulator samples queue depths, pool
+    /// occupancy and delivered volume on the configured tick, and the report
+    /// gains [`crate::metrics::SimReport::timeseries`] and
+    /// [`crate::metrics::SimReport::engine`] sections. Flows built without
+    /// this knob produce byte-identical reports to older builds.
+    pub fn observe(mut self, config: ObserveConfig) -> Self {
+        self.observe = Some(config);
+        self
+    }
+
     /// Resolve names, wire edges, and validate the resulting graph.
     pub fn build(self) -> CoreResult<FlowGraph> {
         let mut g = FlowGraph::new();
@@ -309,6 +321,9 @@ impl FlowSpec {
                 detail: format!("verify names undeclared stage `{name}`"),
             })?;
             g.set_verify(id, policy);
+        }
+        if let Some(cfg) = self.observe {
+            g.set_observe(cfg);
         }
         g.validate()?;
         Ok(g)

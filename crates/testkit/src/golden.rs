@@ -107,13 +107,22 @@ pub fn canonical_report(report: &SimReport) -> String {
 /// a missing snapshot or any difference is a test failure whose message
 /// names the first divergent line.
 pub fn assert_matches_golden(path: impl AsRef<Path>, report: &SimReport) {
+    assert_matches_golden_text(path, &canonical_report(report));
+}
+
+/// Assert that `rendered` matches the snapshot at `path` byte for byte.
+///
+/// The text-level primitive behind [`assert_matches_golden`], for snapshots
+/// that are not canonical report renderings: JSON exports
+/// ([`SimReport::to_json`]), JSONL trace logs, anything already stringly.
+/// Honors [`UPDATE_GOLDEN_ENV`] the same way.
+pub fn assert_matches_golden_text(path: impl AsRef<Path>, rendered: &str) {
     let path = path.as_ref();
-    let rendered = canonical_report(report);
     if std::env::var(UPDATE_GOLDEN_ENV).is_ok_and(|v| !v.is_empty() && v != "0") {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).expect("create golden dir");
         }
-        std::fs::write(path, &rendered).expect("write golden snapshot");
+        std::fs::write(path, rendered).expect("write golden snapshot");
         return;
     }
     let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -156,6 +165,8 @@ mod tests {
             peak_storage: DataVolume::gib(1),
             retained_storage: DataVolume::ZERO,
             ledger_underflows: 0,
+            timeseries: None,
+            engine: None,
         }
     }
 

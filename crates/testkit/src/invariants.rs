@@ -8,6 +8,7 @@
 use sciflow_core::graph::CheckpointPolicy;
 use sciflow_core::metrics::SimReport;
 use sciflow_core::provenance::ProvenanceRecord;
+use sciflow_core::trace::{TraceEvent, TraceSnapshot};
 use sciflow_core::units::SimDuration;
 use sciflow_simnet::reliable::{AttemptResult, TransferReport};
 
@@ -177,6 +178,40 @@ pub fn assert_integrity_audit(report: &SimReport) {
             s.name,
             s.quarantined,
             s.corrupt_detected
+        );
+    }
+}
+
+/// Trace/report conservation: the recorded trace and the aggregate report
+/// are two views of the same run and must agree exactly. Every `TaskStart`
+/// is closed by a `TaskEnd` or `CrashKill` (no span leaks past quiescence),
+/// and per stage the wall-clock spans — tasks, killed tasks, transfer
+/// attempts — plus the verification costs sum to precisely
+/// [`sciflow_core::metrics::StageMetrics::busy`].
+pub fn assert_trace_conservation(report: &SimReport, snapshot: &TraceSnapshot) {
+    assert_eq!(
+        snapshot.open_tasks(),
+        0,
+        "every TaskStart must be closed by a TaskEnd or CrashKill after quiescence"
+    );
+    let n = snapshot.meta.stages.len();
+    let mut activity = vec![SimDuration::ZERO; n];
+    for span in snapshot.spans() {
+        activity[span.stage.index()] += span.duration();
+    }
+    for (_, ev) in &snapshot.events {
+        if let TraceEvent::VerifyCheck { stage, cost, .. } = ev {
+            activity[stage.index()] += *cost;
+        }
+    }
+    for (i, name) in snapshot.meta.stages.iter().enumerate() {
+        let m = report.stage(name).unwrap_or_else(|| {
+            panic!("trace names stage `{name}` but the report has no such stage")
+        });
+        assert_eq!(
+            activity[i], m.busy,
+            "stage `{name}`: trace spans + verify costs sum to {} but the report says busy {}",
+            activity[i], m.busy
         );
     }
 }

@@ -24,15 +24,15 @@ pub mod rng;
 pub mod scenarios;
 
 pub use determinism::{assert_deterministic, report_fingerprint};
-pub use golden::{assert_matches_golden, canonical_report};
+pub use golden::{assert_matches_golden, assert_matches_golden_text, canonical_report};
 pub use invariants::{
     assert_checkpoint_bound, assert_close, assert_crash_recovery, assert_duration_close,
     assert_flow_transfer_conservation, assert_integrity_audit, assert_monotone_attempts,
-    assert_monotone_sim_time, assert_provenance_stability, assert_transfer_conservation,
-    assert_within_pct,
+    assert_monotone_sim_time, assert_provenance_stability, assert_trace_conservation,
+    assert_transfer_conservation, assert_within_pct,
 };
 pub use rng::{derive_seed, matrix_seed, seeded_rng};
 pub use scenarios::{
     CorruptFlowScenario, CrashFlowScenario, LossyFlowScenario, LossyLinkScenario,
-    SharedPoolScenario,
+    SharedPoolScenario, TracedFlowScenario,
 };

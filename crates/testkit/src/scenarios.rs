@@ -5,6 +5,7 @@ use sciflow_core::fault::{FaultKind, FaultPlan, FaultProfile, RetryPolicy};
 use sciflow_core::graph::{CheckpointPolicy, FlowGraph, StageKind};
 use sciflow_core::metrics::SimReport;
 use sciflow_core::sim::{CpuPool, FlowSim};
+use sciflow_core::trace::{TraceRecorder, TraceSnapshot};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration, SimTime};
 use sciflow_simnet::link::NetworkLink;
 use sciflow_simnet::reliable::{ReliableTransfer, TransferError, TransferReport};
@@ -374,6 +375,95 @@ impl CorruptFlowScenario {
     }
 }
 
+/// A fault-rich flow run with a [`TraceRecorder`] attached: the fixture for
+/// trace determinism and conservation. The layout is source → transfer →
+/// process → verified archive, and the seeded plan mixes link drops, stalls,
+/// silent corruption and node crashes, so one run emits every span-producing
+/// event kind — task starts/ends, crash kills, transfer attempts and
+/// retries, verification checks, quarantines — for
+/// [`crate::invariants::assert_trace_conservation`] to audit.
+#[derive(Debug, Clone)]
+pub struct TracedFlowScenario {
+    pub seed: u64,
+    pub block: DataVolume,
+    pub interval: SimDuration,
+    pub blocks: u64,
+    pub link_rate: DataRate,
+    /// Per-CPU processing rate (slow enough that crashes land mid-task).
+    pub process_rate: DataRate,
+    pub cpus: u32,
+    /// Digest throughput of the archive's verification pass.
+    pub verify_rate: DataRate,
+    pub profile: FaultProfile,
+    pub policy: RetryPolicy,
+}
+
+impl TracedFlowScenario {
+    pub const SOURCE: &'static str = "acquire";
+    pub const LINK: &'static str = "uplink";
+    pub const PROCESS: &'static str = "reduce";
+    pub const ARCHIVE: &'static str = "archive";
+    pub const POOL: &'static str = "farm";
+
+    pub fn new(seed: u64) -> Self {
+        TracedFlowScenario {
+            seed,
+            block: DataVolume::gb(36),
+            interval: SimDuration::from_hours(2),
+            blocks: 6,
+            link_rate: DataRate::mbit_per_sec(200.0),
+            process_rate: DataRate::mb_per_sec(5.0), // ~2 h per block per cpu
+            cpus: 2,
+            verify_rate: DataRate::mb_per_sec(300.0),
+            // Every fault family at once: transfers drop and silently
+            // corrupt, tasks stall, and the pool loses cpus mid-task.
+            profile: FaultProfile {
+                drops_per_day: 4.0,
+                stalls_per_day: 2.0,
+                mean_stall: SimDuration::from_mins(10),
+                silent_corrupts_per_day: 2.0,
+                ..FaultProfile::node_crashes(Self::POOL, 6.0, 1, SimDuration::from_mins(30))
+            },
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    pub fn plan(&self) -> FaultPlan {
+        let horizon = self.interval * (self.blocks + 16);
+        FaultPlan::generate(derive_seed(self.seed, "traced-flow"), horizon, &self.profile)
+    }
+
+    fn graph(&self) -> FlowGraph {
+        use sciflow_core::graph::VerifyPolicy;
+        use sciflow_core::spec::{FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
+        FlowSpec::new()
+            .source(Self::SOURCE, SourceSpec::new(self.block, self.interval, self.blocks))
+            .transfer(
+                Self::LINK,
+                TransferSpec::new(self.link_rate).latency(SimDuration::from_secs(5)),
+                &[Self::SOURCE],
+            )
+            .process(Self::PROCESS, ProcessSpec::new(self.process_rate, Self::POOL), &[Self::LINK])
+            .archive(Self::ARCHIVE, &[Self::PROCESS])
+            .verify(Self::ARCHIVE, VerifyPolicy::digest(self.verify_rate))
+            .build()
+            .expect("traced scenario graph is valid")
+    }
+
+    /// Run the flow with a recorder attached; returns the report and the
+    /// recorded trace.
+    pub fn run(&self) -> (SimReport, TraceSnapshot) {
+        let trace = TraceRecorder::new();
+        let report = FlowSim::new(self.graph(), vec![CpuPool::new(Self::POOL, self.cpus)])
+            .expect("scenario graph is valid")
+            .with_faults(self.plan(), self.policy)
+            .with_observer(trace.clone())
+            .run()
+            .expect("scenario flow converges");
+        (report, trace.snapshot())
+    }
+}
+
 /// Two identical `Process` stages contending for one shared CPU pool: the
 /// fixture for scheduler-fairness properties. Both sides get the same work
 /// (same volume, rate and chunking), so a fair policy finishes them close
@@ -523,6 +613,22 @@ mod tests {
         assert!(m.work_lost > SimDuration::ZERO);
         crate::invariants::assert_crash_recovery(&report, CrashFlowScenario::PROCESS);
         assert_eq!(report.stage(CrashFlowScenario::ARCHIVE).unwrap().volume_in, s.total_volume());
+    }
+
+    #[test]
+    fn traced_scenario_emits_every_span_kind_and_conserves() {
+        let s = TracedFlowScenario::new(42);
+        let (report, snapshot) = s.run();
+        assert!(!snapshot.events.is_empty(), "the recorder must see the run");
+        let spans = snapshot.spans();
+        assert!(spans.iter().any(|sp| sp.kind == "task"), "no task spans recorded");
+        assert!(spans.iter().any(|sp| sp.kind == "attempt"), "no transfer attempts recorded");
+        assert!(spans.iter().any(|sp| sp.killed), "the crash plan must kill a traced task");
+        crate::invariants::assert_trace_conservation(&report, &snapshot);
+        // The trace is as replay-stable as the report.
+        let (report2, snapshot2) = s.run();
+        assert_eq!(report, report2);
+        assert_eq!(snapshot.jsonl(), snapshot2.jsonl());
     }
 
     #[test]

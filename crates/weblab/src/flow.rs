@@ -8,7 +8,7 @@
 
 use sciflow_core::fault::FaultProfile;
 use sciflow_core::graph::{CheckpointPolicy, FlowGraph, VerifyPolicy};
-use sciflow_core::spec::{FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
+use sciflow_core::spec::{FlowSpec, ObserveConfig, ProcessSpec, SourceSpec, TransferSpec};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
 /// Paper-scale parameters.
@@ -89,9 +89,27 @@ pub fn crawl_corruption_profile(silent_corrupts_per_day: f64) -> FaultProfile {
     FaultProfile::silent_corruption(silent_corrupts_per_day)
 }
 
+/// Telemetry preset for the ingest flow: daily crawl deliveries against
+/// ~1 TB/day loaders resolve at six-hour samples over the multi-week run.
+pub fn weblab_observe_preset() -> ObserveConfig {
+    ObserveConfig::every(SimDuration::from_hours(6))
+}
+
+/// [`weblab_flow_graph`] with the [`weblab_observe_preset`] telemetry
+/// applied: same flow, same replay, plus time-series and engine sections in
+/// the report.
+pub fn weblab_flow_graph_observed(p: &WeblabFlowParams) -> FlowGraph {
+    weblab_flow_spec(p).observe(weblab_observe_preset()).build().expect("weblab flow spec is valid")
+}
+
 /// Build the ingest flow: Internet Archive → Internet2 link → preload →
 /// (database load → relational store, content → page store).
 pub fn weblab_flow_graph(p: &WeblabFlowParams) -> FlowGraph {
+    weblab_flow_spec(p).build().expect("weblab flow spec is valid")
+}
+
+/// The shared [`FlowSpec`] behind both graph builders.
+fn weblab_flow_spec(p: &WeblabFlowParams) -> FlowSpec {
     // The paper's sustained component rates were measured "given sole use of
     // the system" (8 processors each): divide by 8 for the per-CPU rate.
     let preload_per_cpu = DataRate::from_bytes_per_sec(p.preload_rate.bytes_per_sec() / 8.0);
@@ -126,8 +144,6 @@ pub fn weblab_flow_graph(p: &WeblabFlowParams) -> FlowGraph {
         )
         .archive("relational-store", &["database-load"])
         .archive("page-store", &["preload"])
-        .build()
-        .expect("weblab flow spec is valid")
 }
 
 #[cfg(test)]
@@ -140,6 +156,29 @@ mod tests {
             .expect("valid flow")
             .run()
             .expect("flow completes")
+    }
+
+    #[test]
+    fn observed_flow_replays_identically_and_carries_telemetry() {
+        let p = WeblabFlowParams::default();
+        let plain = run(&p, 16);
+        let observed =
+            FlowSim::new(weblab_flow_graph_observed(&p), vec![CpuPool::new(WEBLAB_POOL, 16)])
+                .expect("valid flow")
+                .run()
+                .expect("flow completes");
+        // Observation must not perturb the replay.
+        assert_eq!(plain.finished_at, observed.finished_at);
+        assert_eq!(plain.stages, observed.stages);
+        // ... but the observed report carries the telemetry sections.
+        let ts = observed.timeseries.as_ref().expect("timeseries present");
+        assert_eq!(ts.tick, weblab_observe_preset().tick);
+        assert_eq!(ts.pools, vec![WEBLAB_POOL.to_string()]);
+        assert!(ts.samples.len() > 10, "expected many samples, got {}", ts.samples.len());
+        assert_eq!(ts.samples.last().unwrap().at, observed.finished_at);
+        let engine = observed.engine.as_ref().expect("engine stats present");
+        assert!(engine.events_handled > 0);
+        assert!(plain.timeseries.is_none() && plain.engine.is_none());
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub use crawlsim::{CrawlSnapshot, PageTruth, SyntheticWeb, WebConfig};
 pub use dat::{read_dat, read_dat_compressed, write_dat, write_dat_compressed, DatRecord};
 pub use distsim::{compare_sweep, BigMachine, Cluster, Verdict};
 pub use error::{WebError, WebResult};
-pub use flow::{es7000_outage_profile, weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
+pub use flow::{
+    es7000_outage_profile, weblab_flow_graph, weblab_flow_graph_observed, weblab_observe_preset,
+    WeblabFlowParams, WEBLAB_POOL,
+};
 pub use graph::LinkGraph;
 pub use pagestore::PageStore;
 pub use preload::{

@@ -19,7 +19,9 @@ use sciflow_core::fault::{FaultPlan, FaultProfile, RetryPolicy};
 use sciflow_core::metrics::SimReport;
 use sciflow_core::sim::{CpuPool, FlowSim};
 use sciflow_core::units::{DataRate, SimDuration};
-use sciflow_testkit::{assert_deterministic, assert_integrity_audit, assert_matches_golden};
+use sciflow_testkit::{
+    assert_deterministic, assert_integrity_audit, assert_matches_golden, assert_matches_golden_text,
+};
 use sciflow_weblab::flow::{weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
 
 /// Seed shared by every golden fault plan.
@@ -151,6 +153,16 @@ fn arecibo_faulted_flow_matches_golden() {
 fn cleo_default_flow_matches_golden() {
     let report = assert_deterministic(GOLDEN_SEED, |_| cleo_report(None));
     assert_matches_golden(golden_path("cleo_clean"), &report);
+}
+
+/// The machine-readable export is held to the same standard as the text
+/// rendering: the default CLEO flow's [`SimReport::to_json`] must match a
+/// committed snapshot byte for byte, pinning the JSON schema and key order.
+#[test]
+fn cleo_default_flow_json_matches_golden() {
+    let report = assert_deterministic(GOLDEN_SEED, |_| cleo_report(None));
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join("cleo_baseline.json");
+    assert_matches_golden_text(path, &report.to_json());
 }
 
 #[test]

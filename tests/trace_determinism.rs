@@ -1,0 +1,133 @@
+//! Determinism and conservation contracts of the tracing layer.
+//!
+//! Two halves of one promise:
+//!
+//! * **Observation changes nothing.** A flow run with a no-op observer must
+//!   match the committed golden snapshots byte for byte — the exact files
+//!   captured before the observability layer existed.
+//! * **Observation misses nothing.** The trace a [`TraceRecorder`] collects
+//!   is itself deterministic (same seed, byte-identical JSONL) and agrees
+//!   exactly with the aggregate report
+//!   ([`sciflow_testkit::assert_trace_conservation`]).
+//!
+//! The default seed follows `FAULT_MATRIX_SEED`, so CI sweeps these tests
+//! across the fault matrix; one test also pins the sweep seeds explicitly.
+
+use std::path::PathBuf;
+
+use sciflow_arecibo::flow::{arecibo_flow_graph, AreciboFlowParams, CTC_POOL};
+use sciflow_cleo::flow::{cleo_flow_graph, CleoFlowParams, WILSON_POOL};
+use sciflow_core::critical_path;
+use sciflow_core::sim::{CpuPool, FlowSim};
+use sciflow_core::trace::{NoopObserver, TraceRecorder};
+use sciflow_testkit::{
+    assert_matches_golden, assert_trace_conservation, matrix_seed, TracedFlowScenario,
+};
+use sciflow_weblab::flow::{weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join(format!("{name}.txt"))
+}
+
+/// Attaching an observer that discards everything must leave each case-study
+/// flow's report byte-identical to the committed pre-observability goldens.
+#[test]
+fn noop_observer_leaves_every_golden_byte_identical() {
+    let arecibo = FlowSim::new(
+        arecibo_flow_graph(&AreciboFlowParams::default()),
+        vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 150)],
+    )
+    .expect("valid flow")
+    .with_observer(NoopObserver)
+    .run()
+    .expect("flow completes");
+    assert_matches_golden(golden_path("arecibo_clean"), &arecibo);
+
+    let cleo = FlowSim::new(
+        cleo_flow_graph(&CleoFlowParams::default()),
+        vec![CpuPool::new(WILSON_POOL, 32)],
+    )
+    .expect("valid flow")
+    .with_observer(NoopObserver)
+    .run()
+    .expect("flow completes");
+    assert_matches_golden(golden_path("cleo_clean"), &cleo);
+
+    let weblab = FlowSim::new(
+        weblab_flow_graph(&WeblabFlowParams::default()),
+        vec![CpuPool::new(WEBLAB_POOL, 16)],
+    )
+    .expect("valid flow")
+    .with_observer(NoopObserver)
+    .run()
+    .expect("flow completes");
+    assert_matches_golden(golden_path("weblab_clean"), &weblab);
+}
+
+/// Same seed, same flow: the recorded trace must replay byte-identically —
+/// JSONL and Chrome export both — and the reports must be equal.
+#[test]
+fn traced_runs_replay_byte_identically() {
+    let s = TracedFlowScenario::new(matrix_seed(42));
+    let (report_a, trace_a) = s.run();
+    let (report_b, trace_b) = s.run();
+    assert_eq!(report_a, report_b, "reports must replay identically under tracing");
+    assert_eq!(trace_a.jsonl(), trace_b.jsonl(), "JSONL trace must be byte-identical");
+    assert_eq!(trace_a.chrome_trace(), trace_b.chrome_trace());
+    assert!(!trace_a.events.is_empty());
+}
+
+/// The trace and the report agree exactly under the matrix seed: every task
+/// span closes, and per-stage span time sums to the reported busy time.
+#[test]
+fn traced_run_conserves_under_matrix_seed() {
+    let (report, trace) = TracedFlowScenario::new(matrix_seed(42)).run();
+    assert_trace_conservation(&report, &trace);
+}
+
+/// The full sweep, pinned: every fault-matrix seed replays byte-identically
+/// and conserves, whatever `FAULT_MATRIX_SEED` the environment has.
+#[test]
+fn every_matrix_seed_is_deterministic_and_conserves() {
+    for seed in [42u64, 7, 1234, 9001] {
+        let s = TracedFlowScenario::new(seed);
+        let (report, trace) = s.run();
+        let (_, again) = s.run();
+        assert_eq!(trace.jsonl(), again.jsonl(), "seed {seed}: trace not replay-stable");
+        assert_trace_conservation(&report, &trace);
+    }
+}
+
+/// The paper's capacity-planning answer, pinned as a regression: on the
+/// default Arecibo survey flow the serial disk-shipping channel — not the
+/// CPU farm — owns the makespan.
+#[test]
+fn arecibo_critical_path_names_ship_disks_dominant() {
+    use sciflow_arecibo::flow::arecibo_flow_graph_observed;
+    let trace = TraceRecorder::new();
+    let report = FlowSim::new(
+        arecibo_flow_graph_observed(&AreciboFlowParams::default()),
+        vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 150)],
+    )
+    .expect("valid flow")
+    .with_observer(trace.clone())
+    .run()
+    .expect("flow completes");
+    let snapshot = trace.snapshot();
+    assert_trace_conservation(&report, &snapshot);
+    let cp = critical_path(&snapshot, report.finished_at);
+    let dominant = cp.dominant().expect("a non-empty run has a dominant stage");
+    assert_eq!(dominant.name, "ship-disks", "shipping must dominate: {cp}");
+    assert!(
+        dominant.share > 0.5,
+        "shipping should own most of the makespan, got {}",
+        dominant.share
+    );
+    // The chain plus waiting tiles the makespan exactly.
+    let attributed: sciflow_core::units::SimDuration = cp.stages.iter().map(|b| b.attributed).sum();
+    assert_eq!(
+        (attributed + cp.unattributed).as_micros(),
+        report.finished_at.as_micros(),
+        "critical chain must tile the makespan"
+    );
+}
