@@ -1,0 +1,49 @@
+//! Zoo stress flow: generate a seeded graph and simulate it end to end.
+//!
+//! Two costs matter for the property suites: how long `genflow::generate`
+//! takes to build a graph (paid hundreds of times per test run) and how
+//! long the engine takes to drain a generated flow, clean and faulted.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sciflow_core::fault::{FaultPlan, RetryPolicy};
+use sciflow_core::genflow::{generate, Archetype};
+use sciflow_core::sim::FlowSim;
+
+/// Fixed pin for the stress graph; any pair works, this one is committed.
+const STRESS_SEED: u64 = 0xBEEF;
+
+fn bench_zoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zoo");
+
+    group.bench_function("generate_streaming_ingest", |b| {
+        b.iter(|| generate(black_box(Archetype::StreamingIngest), black_box(STRESS_SEED)))
+    });
+
+    let flow = generate(Archetype::StreamingIngest, STRESS_SEED);
+    group.throughput(criterion::Throughput::Elements(flow.graph.stage_ids().count() as u64));
+    group.bench_function("simulate_clean", |b| {
+        b.iter(|| {
+            FlowSim::new(flow.graph.clone(), flow.pools.clone())
+                .expect("generated graph is valid")
+                .run()
+                .expect("generated flow converges")
+        })
+    });
+
+    let profile = flow.corrupt_profile();
+    let plan = FaultPlan::generate(STRESS_SEED, flow.horizon, &profile);
+    group.bench_function("simulate_corrupt", |b| {
+        b.iter(|| {
+            FlowSim::new(flow.graph.clone(), flow.pools.clone())
+                .expect("generated graph is valid")
+                .with_faults(plan.clone(), RetryPolicy::default())
+                .run()
+                .expect("generated flow converges")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_zoo);
+criterion_main!(benches);

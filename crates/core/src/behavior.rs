@@ -77,6 +77,8 @@ pub enum Completion {
     Abandoned { volume: DataVolume, taint: u32, lineage: u64 },
     /// A filter finishes inspecting `volume`.
     Inspected { id: u64, volume: DataVolume },
+    /// A batcher's linger timer fires: flush the partial batch.
+    FlushDue,
 }
 
 /// Outcome of a [`StageBehavior::try_dispatch`] call, driving the
@@ -209,11 +211,19 @@ impl<'a> StageCtx<'a> {
     /// existing `lineage` and carries `taint` units of silent corruption.
     /// On fan-out the taint travels with the *first* downstream copy only —
     /// taint units are conserved flow-wide, never duplicated, so the
-    /// integrity audit (injected = detected + escaped) stays exact.
+    /// integrity audit (injected = detected + escaped) stays exact. A
+    /// terminal stage (no consumers) emitting taint counts it as escaped on
+    /// the spot: the data left the modeled flow unchecked, and no Arrive
+    /// will ever run the sink-side audit for it.
     pub fn deliver_tainted(&mut self, volume: DataVolume, taint: u32, lineage: u64) {
         let now = self.sched.now();
         let from = Some(self.stage);
-        for (i, &t) in self.graph.downstream(self.stage).iter().enumerate() {
+        let downstream = self.graph.downstream(self.stage);
+        if downstream.is_empty() {
+            self.metrics[self.stage.index()].corrupt_escaped += taint as u64;
+            return;
+        }
+        for (i, &t) in downstream.iter().enumerate() {
             let carried = if i == 0 { taint } else { 0 };
             self.sched.schedule(
                 now,
@@ -1073,6 +1083,272 @@ impl StageBehavior for FilterBehavior {
             // Filters normally self-dispatch, but with the channel down the
             // requeued work can only restart from the repair-time drain, which
             // serves enlisted waiters.
+            let stage = ctx.stage();
+            ctx.resources().enlist(self.channel, stage);
+            let (blocks, qv) = (self.queue.len(), self.queued_volume);
+            ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
+        }
+        reclaimed
+    }
+
+    fn queued_volume(&self) -> DataVolume {
+        self.queued_volume
+    }
+}
+
+/// Coalesces arriving blocks into one merged block (see
+/// [`StageKind::Batcher`](crate::graph::StageKind)). A flush happens when
+/// `batch` blocks have gathered or `linger` after the first buffered block,
+/// whichever comes first; filling the batch cancels the pending linger
+/// timer. The merge is instantaneous — a batcher holds storage, not
+/// compute — so the stage reports no busy time and emits no task spans.
+pub struct BatcherBehavior {
+    batch: u64,
+    linger: SimDuration,
+    /// Buffered blocks with the taint and lineage each arrived carrying.
+    buffer: Vec<(DataVolume, u32, u64)>,
+    buffered_volume: DataVolume,
+    /// The linger flush scheduled for the current buffer, if any.
+    flush: Option<EventId>,
+}
+
+impl BatcherBehavior {
+    pub(crate) fn new(batch: u64, linger: SimDuration) -> Self {
+        BatcherBehavior {
+            batch,
+            linger,
+            buffer: Vec::new(),
+            buffered_volume: DataVolume::ZERO,
+            flush: None,
+        }
+    }
+
+    /// Emit the buffered blocks as one merged block. Taints sum (corruption
+    /// merged in stays in); the merged block keeps the lineage of the first
+    /// buffered block — the batch is one logical unit downstream, and one
+    /// root is enough for quarantine to walk.
+    fn flush_now(&mut self, ctx: &mut StageCtx) {
+        if let Some(ev) = self.flush.take() {
+            ctx.cancel(ev);
+        }
+        if self.buffer.is_empty() {
+            return;
+        }
+        let merged: DataVolume = self.buffer.iter().map(|&(v, _, _)| v).sum();
+        let taint: u32 = self.buffer.iter().map(|&(_, t, _)| t).sum();
+        let lineage = self.buffer[0].2;
+        self.buffer.clear();
+        self.buffered_volume = DataVolume::ZERO;
+        let now = ctx.now();
+        let m = ctx.metrics();
+        m.blocks_out += 1;
+        m.volume_out += merged;
+        m.completed_at = now;
+        let stage = ctx.stage();
+        ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks: 0, volume: DataVolume::ZERO });
+        // The inputs' buffers become the merged block, which the consumer
+        // re-allocates on arrival.
+        ctx.ledger().free(merged);
+        ctx.deliver_tainted(merged, taint, lineage);
+    }
+}
+
+impl StageBehavior for BatcherBehavior {
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32, lineage: u64) {
+        self.buffer.push((volume, taint, lineage));
+        self.buffered_volume += volume;
+        let (blocks, qv) = (self.buffer.len(), self.buffered_volume);
+        ctx.metrics().note_queue(blocks, qv);
+        let stage = ctx.stage();
+        ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
+        if self.buffer.len() as u64 >= self.batch {
+            self.flush_now(ctx);
+        } else if self.flush.is_none() {
+            let at = ctx.now() + self.linger;
+            self.flush = Some(ctx.complete_at(at, Completion::FlushDue));
+        }
+    }
+
+    fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion) {
+        match done {
+            Completion::FlushDue => {
+                self.flush = None;
+                self.flush_now(ctx);
+            }
+            other => unreachable!("batcher completion must be FlushDue, got {other:?}"),
+        }
+    }
+
+    fn queued_volume(&self) -> DataVolume {
+        self.buffered_volume
+    }
+}
+
+/// Eliminates duplicate content (see
+/// [`StageKind::Dedup`](crate::graph::StageKind)): inspects blocks serially
+/// at `rate` like a filter, forwarding each block's full volume while the
+/// index is still warming up (the first `window` completed inspections) and
+/// `unique_ratio` of it afterwards.
+pub struct DedupBehavior {
+    rate: DataRate,
+    unique_ratio: f64,
+    window: u64,
+    channel: ResourceId,
+    queue: VecDeque<PendingTask>,
+    queued_volume: DataVolume,
+    running: Vec<RunningTask>,
+    next_task: u64,
+    /// Blocks fully inspected so far — the size of the dedup index. Counted
+    /// at completion, so a crashed inspection does not warm the index.
+    seen: u64,
+}
+
+impl DedupBehavior {
+    pub(crate) fn new(rate: DataRate, unique_ratio: f64, window: u64, channel: ResourceId) -> Self {
+        DedupBehavior {
+            rate,
+            unique_ratio,
+            window,
+            channel,
+            queue: VecDeque::new(),
+            queued_volume: DataVolume::ZERO,
+            running: Vec::new(),
+            next_task: 0,
+            seen: 0,
+        }
+    }
+}
+
+impl StageBehavior for DedupBehavior {
+    fn on_arrive(&mut self, ctx: &mut StageCtx, volume: DataVolume, taint: u32, lineage: u64) {
+        self.queue.push_back(PendingTask::fresh(volume, taint, lineage));
+        self.queued_volume += volume;
+        let (blocks, qv) = (self.queue.len(), self.queued_volume);
+        ctx.metrics().note_queue(blocks, qv);
+        let stage = ctx.stage();
+        ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
+        self.try_dispatch(ctx);
+    }
+
+    fn on_complete(&mut self, ctx: &mut StageCtx, done: Completion) {
+        let Completion::Inspected { id, volume } = done else {
+            unreachable!("dedup completion must be Inspected")
+        };
+        let slot = self
+            .running
+            .iter()
+            .position(|r| r.id == id)
+            .expect("completed inspection is tracked as running");
+        let run = self.running.swap_remove(slot);
+        ctx.resources().release(self.channel, 1);
+        let forwarded =
+            if self.seen < self.window { volume } else { volume.scale(self.unique_ratio) };
+        self.seen += 1;
+        let now = ctx.now();
+        let m = ctx.metrics();
+        m.blocks_out += 1;
+        m.volume_out += forwarded;
+        m.completed_at = now;
+        // The whole block's buffer is released; the unique fraction is
+        // re-allocated by whoever receives it, the duplicate rest is gone.
+        ctx.ledger().free(volume);
+        let taint = run.taint;
+        let lineage = run.lineage;
+        let stage = ctx.stage();
+        ctx.emit(|| TraceEvent::TaskEnd { stage, task: id, lineage, volume: forwarded });
+        if !forwarded.is_zero() {
+            ctx.deliver_tainted(forwarded, taint, lineage);
+        } else if taint > 0 {
+            // A tainted block that collapses entirely against the index is
+            // contained here, quarantined by loss.
+            let m = ctx.metrics();
+            m.corrupt_detected += taint as u64;
+            m.quarantined += 1;
+            ctx.emit(|| TraceEvent::BlockQuarantined { stage, lineage, volume: forwarded, taint });
+        }
+        self.try_dispatch(ctx);
+    }
+
+    fn try_dispatch(&mut self, ctx: &mut StageCtx) -> Dispatch {
+        let mut started = false;
+        while ctx.resources().free(self.channel) > 0 {
+            let Some(task) = self.queue.pop_front() else { break };
+            let volume = task.input;
+            self.queued_volume -= volume;
+            ctx.resources().acquire(self.channel, 1);
+            let dur = volume.time_at(self.rate).unwrap_or(SimDuration::ZERO);
+            let now = ctx.now();
+            let m = ctx.metrics();
+            m.busy += dur;
+            m.work_replayed += task.replay;
+            let id = self.next_task;
+            self.next_task += 1;
+            let (stage, lineage) = (ctx.stage(), task.lineage);
+            ctx.emit(|| TraceEvent::TaskStart { stage, task: id, lineage, volume, units: 1 });
+            let event = ctx.complete_at(now + dur, Completion::Inspected { id, volume });
+            self.running.push(RunningTask {
+                id,
+                event,
+                input: volume,
+                taint: task.taint,
+                lineage,
+                held: DataVolume::ZERO,
+                units: 1,
+                started_at: now,
+                ends_at: now + dur,
+                banked: SimDuration::ZERO,
+                payload: dur,
+                overhead: SimDuration::ZERO,
+            });
+            started = true;
+        }
+        if started {
+            let stage = ctx.stage();
+            let (blocks, qv) = (self.queue.len(), self.queued_volume);
+            ctx.emit(|| TraceEvent::QueueDepthChange { stage, blocks, volume: qv });
+            Dispatch::Started { more: !self.queue.is_empty() }
+        } else if self.queue.is_empty() {
+            Dispatch::Idle
+        } else {
+            Dispatch::Blocked
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut StageCtx, resource: ResourceId, needed: u32) -> u32 {
+        if resource != self.channel {
+            return 0;
+        }
+        let mut reclaimed = 0u32;
+        while reclaimed < needed {
+            let Some(run) = self.running.pop() else { break };
+            if ctx.cancel(run.event).is_none() {
+                continue;
+            }
+            let now = ctx.now();
+            // Like filters, dedup inspections run in real time and are not
+            // stall-extended, so wall clock is useful work. No checkpoints:
+            // a killed inspection restarts from zero.
+            let raw = now.checked_sub(run.started_at).unwrap_or(SimDuration::ZERO).min(run.payload);
+            let remaining = run.ends_at.checked_sub(now).unwrap_or(SimDuration::ZERO);
+            let m = ctx.metrics();
+            m.busy = m.busy.saturating_sub(remaining);
+            m.crashes += 1;
+            m.work_lost += raw;
+            let stage = ctx.stage();
+            let (id, lineage) = (run.id, run.lineage);
+            ctx.emit(|| TraceEvent::CrashKill { stage, task: id, lineage, lost: raw });
+            ctx.resources().release(self.channel, run.units);
+            reclaimed += run.units;
+            self.queued_volume += run.input;
+            self.queue.push_front(PendingTask {
+                input: run.input,
+                taint: run.taint,
+                lineage: run.lineage,
+                banked: SimDuration::ZERO,
+                replay: raw,
+            });
+        }
+        if !self.queue.is_empty() {
             let stage = ctx.stage();
             ctx.resources().enlist(self.channel, stage);
             let (blocks, qv) = (self.queue.len(), self.queued_volume);

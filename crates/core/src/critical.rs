@@ -442,4 +442,111 @@ mod tests {
         assert_eq!(subtract(&a, &b), vec![(t(0), t(2)), (t(4), t(6)), (t(7), t(10))]);
         assert_eq!(measure(&subtract(&a, &b)), d(7));
     }
+
+    // --- degenerate graphs and traces: trivial flows must yield
+    //     well-formed reports, not panics or mis-tiled chains. ---
+
+    #[test]
+    fn lone_source_graph_is_pure_waiting() {
+        use crate::graph::{FlowGraph, StageKind};
+        use crate::sim::{CpuPool, FlowSim};
+        use crate::trace::TraceRecorder;
+
+        let mut g = FlowGraph::new();
+        g.add_stage(
+            "pulse",
+            StageKind::Source {
+                block: DataVolume::gib(1),
+                interval: SimDuration::from_secs(10),
+                blocks: 3,
+                start: SimTime::ZERO,
+            },
+        );
+        let trace = TraceRecorder::new();
+        let pools: Vec<CpuPool> = vec![];
+        let report = FlowSim::new(g, pools).unwrap().with_observer(trace.clone()).run().unwrap();
+        assert!(report.finished_at > SimTime::ZERO);
+
+        let cp = critical_path(&trace.snapshot(), report.finished_at);
+        // Emission alone opens no activity span: the entire makespan is the
+        // flow waiting on source cadence.
+        let makespan = SimDuration::from_micros(report.finished_at.as_micros());
+        assert_eq!(cp.unattributed, makespan);
+        assert_eq!(cp.segments.len(), 1);
+        assert_eq!(cp.segments[0].stage, None);
+        assert_eq!(cp.stages.len(), 1);
+        assert_eq!(cp.stages[0].attributed, SimDuration::ZERO);
+        assert_eq!(cp.stages[0].idle, makespan);
+        assert_eq!(cp.stages[0].share, 0.0);
+    }
+
+    #[test]
+    fn zero_volume_flow_yields_zero_length_spans_not_a_hang() {
+        use crate::graph::{FlowGraph, StageKind};
+        use crate::sim::{CpuPool, FlowSim};
+        use crate::trace::TraceRecorder;
+        use crate::units::DataRate;
+
+        let mut g = FlowGraph::new();
+        let s = g.add_stage(
+            "empty-src",
+            StageKind::Source {
+                block: DataVolume::ZERO,
+                interval: SimDuration::from_secs(10),
+                blocks: 3,
+                start: SimTime::ZERO,
+            },
+        );
+        let x = g.add_stage(
+            "wire",
+            StageKind::Transfer {
+                rate: DataRate::mb_per_sec(100.0),
+                latency: SimDuration::ZERO,
+                channels: 1,
+            },
+        );
+        let a = g.add_stage("sink", StageKind::Archive);
+        g.connect(s, x).unwrap();
+        g.connect(x, a).unwrap();
+
+        let trace = TraceRecorder::new();
+        let pools: Vec<CpuPool> = vec![];
+        let report = FlowSim::new(g, pools).unwrap().with_observer(trace.clone()).run().unwrap();
+
+        // Zero-byte blocks over a zero-latency wire make every span
+        // zero-length; the backward walk must still terminate and tile.
+        let cp = critical_path(&trace.snapshot(), report.finished_at);
+        let tiled: SimDuration = cp.segments.iter().map(|s| s.duration()).sum();
+        assert_eq!(tiled, SimDuration::from_micros(report.finished_at.as_micros()));
+        let attributed: SimDuration = cp.stages.iter().map(|b| b.attributed).sum();
+        assert_eq!(attributed + cp.unattributed, tiled);
+        for b in &cp.stages {
+            assert_eq!(b.busy, SimDuration::ZERO, "zero-length spans are not occupancy");
+        }
+    }
+
+    #[test]
+    fn zero_makespan_report_is_empty_and_share_free() {
+        let report = critical_path(&snap(vec![]), t(0));
+        assert_eq!(report.makespan, SimTime::ZERO);
+        assert!(report.segments.is_empty());
+        assert_eq!(report.unattributed, SimDuration::ZERO);
+        for b in &report.stages {
+            assert_eq!(b.attributed, SimDuration::ZERO);
+            assert_eq!(b.share, 0.0, "zero makespan must not divide by zero");
+        }
+        assert_eq!(report.dominant().unwrap().attributed, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn all_idle_makespan_is_one_unattributed_segment() {
+        let report = critical_path(&snap(vec![]), t(50));
+        assert_eq!(report.segments, vec![PathSegment { stage: None, start: t(0), end: t(50) }]);
+        assert_eq!(report.unattributed, d(50));
+        for b in &report.stages {
+            assert_eq!(b.busy + b.blocked, SimDuration::ZERO);
+            assert_eq!(b.idle, d(50));
+        }
+        assert!(report.to_string().contains("(waiting)"));
+    }
 }

@@ -20,6 +20,10 @@ pub enum CoreError {
     InvalidConfig { detail: String },
     /// A resource pool referenced by a stage does not exist.
     UnknownPool { name: String },
+    /// A producing stage in a multi-stage graph has no consumers: everything
+    /// it emits vanishes. Generated near-miss specs hit this; hand-built
+    /// flows should never mean it.
+    OrphanStage { stage: String },
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +39,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidTopology { detail } => write!(f, "invalid topology: {detail}"),
             CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
             CoreError::UnknownPool { name } => write!(f, "unknown resource pool `{name}`"),
+            CoreError::OrphanStage { stage } => {
+                write!(f, "orphan stage `{stage}`: it produces data but nothing consumes it")
+            }
         }
     }
 }

@@ -133,6 +133,19 @@ pub enum StageKind {
     /// CMS first-level trigger, where data streams to tape at 200 MB/s only
     /// after substantial real-time filtering.
     Filter { rate: DataRate, accept_ratio: f64, checkpoint: CheckpointPolicy },
+    /// An accumulation point: buffers arriving blocks and emits one merged
+    /// block of their combined volume once `batch` blocks have gathered, or
+    /// `linger` after the first buffered block — whichever comes first.
+    /// Models aggregation ahead of an expensive hop (tar-before-tape, small
+    /// crawl deliveries coalesced before a WAN transfer). The merge itself
+    /// is instantaneous: a batcher holds storage, not compute.
+    Batcher { batch: u64, linger: SimDuration },
+    /// Duplicate elimination: inspects each block serially at `rate` (like a
+    /// filter) and forwards `unique_ratio` of its volume — except that the
+    /// first `window` blocks pass in full, since an empty dedup index has
+    /// nothing to match against. Models crawl ingest, where re-fetched pages
+    /// collapse against the page store only once the store is warm.
+    Dedup { rate: DataRate, unique_ratio: f64, window: u64 },
     /// Terminal stage that accumulates everything it receives (tape archive,
     /// database load, dissemination store).
     Archive,
@@ -232,7 +245,13 @@ impl FlowGraph {
     }
 
     /// Validate the graph: unique names, sources have no inputs, non-source
-    /// stages have at least one input, and the graph is acyclic.
+    /// stages have at least one input, sources in multi-stage graphs have at
+    /// least one consumer, the graph is acyclic, and every stage's
+    /// parameters are sane (ratios are fractions, channel/batch counts are
+    /// non-zero, checkpoint intervals and verify policies are
+    /// non-degenerate). Catching all of this here means a
+    /// [`crate::spec::FlowSpec`] near-miss fails `build()` with a typed
+    /// error instead of hanging or panicking deep inside the engine.
     pub fn validate(&self) -> CoreResult<()> {
         for (i, a) in self.stages.iter().enumerate() {
             for b in &self.stages[..i] {
@@ -264,6 +283,22 @@ impl FlowGraph {
                         detail: format!("archive `{}` has outgoing edges", stage.name),
                     });
                 }
+            }
+            validate_stage_params(stage)?;
+            validate_verify(&stage.name, &stage.kind, &stage.verify)?;
+        }
+        // Second pass, after every stage-local defect had its chance to
+        // surface with a more specific error: a source no one consumes emits
+        // into the void. A graph that is nothing but one source is still
+        // legal — a pure generator with nowhere for data to go by
+        // construction.
+        for id in self.stage_ids() {
+            let stage = self.stage(id);
+            if matches!(stage.kind, StageKind::Source { .. })
+                && self.downstream(id).is_empty()
+                && self.stages.len() > 1
+            {
+                return Err(CoreError::OrphanStage { stage: stage.name.clone() });
             }
         }
         self.topo_order().map(|_| ())
@@ -308,6 +343,111 @@ impl FlowGraph {
         pools.dedup();
         pools
     }
+}
+
+/// Per-kind parameter validation. Every check here guards a failure mode
+/// that used to surface only at simulation time (or worse, as a hang or a
+/// panic inside [`DataVolume::scale`]): zero transfer channels stall
+/// forever, a negative output ratio panics mid-run, a zero batch can never
+/// fill.
+fn validate_stage_params(stage: &Stage) -> CoreResult<()> {
+    let name = &stage.name;
+    let ratio_in_unit = |what: &str, r: f64| {
+        if !(0.0..=1.0).contains(&r) {
+            return Err(CoreError::InvalidConfig {
+                detail: format!("stage `{name}` {what} {r} is outside [0, 1]"),
+            });
+        }
+        Ok(())
+    };
+    match &stage.kind {
+        StageKind::Source { .. } | StageKind::Archive => {}
+        StageKind::Process { output_ratio, workspace_ratio, checkpoint, .. } => {
+            for (what, r) in
+                [("output_ratio", *output_ratio), ("workspace_ratio", *workspace_ratio)]
+            {
+                if !r.is_finite() || r < 0.0 {
+                    return Err(CoreError::InvalidConfig {
+                        detail: format!("stage `{name}` {what} {r} must be finite and >= 0"),
+                    });
+                }
+            }
+            validate_checkpoint(name, checkpoint)?;
+        }
+        StageKind::Transfer { channels, .. } => {
+            if *channels == 0 {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("stage `{name}` has zero transfer channels"),
+                });
+            }
+        }
+        StageKind::Filter { accept_ratio, checkpoint, .. } => {
+            ratio_in_unit("accept_ratio", *accept_ratio)?;
+            validate_checkpoint(name, checkpoint)?;
+        }
+        StageKind::Batcher { batch, .. } => {
+            if *batch == 0 {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("stage `{name}` has a zero batch size; it could never fill"),
+                });
+            }
+        }
+        StageKind::Dedup { unique_ratio, .. } => {
+            ratio_in_unit("unique_ratio", *unique_ratio)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reject degenerate verification parameters at build time: a zero digest
+/// rate would make every check instantaneous-or-undefined, a sampling
+/// fraction outside [0, 1] is meaningless, and a policy on a source can
+/// never run (sources receive no arrivals).
+fn validate_verify(stage: &str, kind: &StageKind, policy: &VerifyPolicy) -> CoreResult<()> {
+    if matches!(kind, StageKind::Source { .. }) && !policy.is_none() {
+        return Err(CoreError::InvalidConfig {
+            detail: format!("stage `{stage}` is a source; a verify policy there can never run"),
+        });
+    }
+    match policy {
+        VerifyPolicy::None => {}
+        VerifyPolicy::Digest { rate } => {
+            if rate.bytes_per_sec() <= 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("stage `{stage}` has a zero digest-verification rate"),
+                });
+            }
+        }
+        VerifyPolicy::Sample { fraction, rate } => {
+            if !(0.0..=1.0).contains(fraction) {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!(
+                        "stage `{stage}` sampling fraction {fraction} is outside [0, 1]"
+                    ),
+                });
+            }
+            if rate.bytes_per_sec() <= 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    detail: format!("stage `{stage}` has a zero digest-verification rate"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A zero-length checkpoint interval would mean "checkpoint continuously";
+/// nothing would ever be lost and the salvage arithmetic degenerates. Reject
+/// it at build time like the other degenerate stage parameters.
+fn validate_checkpoint(stage: &str, policy: &CheckpointPolicy) -> CoreResult<()> {
+    if let CheckpointPolicy::Interval { every, .. } = policy {
+        if every.is_zero() {
+            return Err(CoreError::InvalidConfig {
+                detail: format!("stage `{stage}` has a zero checkpoint interval"),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -417,5 +557,73 @@ mod tests {
         g.connect(s, a).unwrap();
         g.connect(a, p).unwrap();
         assert!(matches!(g.validate(), Err(CoreError::InvalidTopology { .. })));
+    }
+
+    #[test]
+    fn orphan_source_is_rejected_with_a_typed_error() {
+        let mut g = FlowGraph::new();
+        let s1 = g.add_stage("s1", source());
+        let a = g.add_stage("a", StageKind::Archive);
+        let _s2 = g.add_stage("s2", source());
+        g.connect(s1, a).unwrap();
+        match g.validate() {
+            Err(CoreError::OrphanStage { stage }) => assert_eq!(stage, "s2"),
+            other => panic!("expected OrphanStage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lone_source_graph_is_legal() {
+        let mut g = FlowGraph::new();
+        g.add_stage("s", source());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_stage_parameters_are_rejected_at_build_time() {
+        // Negative output ratio used to panic inside DataVolume::scale at
+        // the first task completion; now it is a typed build-time error.
+        let mut bad = process("x");
+        if let StageKind::Process { output_ratio, .. } = &mut bad {
+            *output_ratio = -0.5;
+        }
+        let mut g = FlowGraph::new();
+        let s = g.add_stage("s", source());
+        let p = g.add_stage("p", bad);
+        g.connect(s, p).unwrap();
+        assert!(matches!(g.validate(), Err(CoreError::InvalidConfig { .. })));
+
+        let mut g = FlowGraph::new();
+        let s = g.add_stage("s", source());
+        let b =
+            g.add_stage("b", StageKind::Batcher { batch: 0, linger: SimDuration::from_secs(60) });
+        g.connect(s, b).unwrap();
+        assert!(matches!(g.validate(), Err(CoreError::InvalidConfig { .. })));
+
+        let mut g = FlowGraph::new();
+        let s = g.add_stage("s", source());
+        let d = g.add_stage(
+            "d",
+            StageKind::Dedup { rate: DataRate::mb_per_sec(100.0), unique_ratio: 1.5, window: 2 },
+        );
+        g.connect(s, d).unwrap();
+        assert!(matches!(g.validate(), Err(CoreError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn batcher_and_dedup_validate_in_a_pipeline() {
+        let mut g = FlowGraph::new();
+        let s = g.add_stage("s", source());
+        let b =
+            g.add_stage("b", StageKind::Batcher { batch: 3, linger: SimDuration::from_mins(10) });
+        let d = g.add_stage(
+            "d",
+            StageKind::Dedup { rate: DataRate::mb_per_sec(100.0), unique_ratio: 0.4, window: 1 },
+        );
+        let a = g.add_stage("a", StageKind::Archive);
+        g.connect(s, b).unwrap();
+        g.connect(b, d).unwrap();
+        g.connect(d, a).unwrap();
+        g.validate().unwrap();
     }
 }

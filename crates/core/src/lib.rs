@@ -27,6 +27,9 @@
 //! * [`fault`] — seeded, replayable fault timelines (drops, stalls,
 //!   corruption, rate degradation) and bounded retry/backoff policies that
 //!   the simulator and `simnet`'s reliable executor share;
+//! * [`genflow`] — a seeded random flow-graph generator with six named
+//!   archetypes (the "workload zoo"); the property-test suite runs the flow
+//!   invariants against hundreds of generated graphs per seed;
 //! * [`version`] and [`provenance`] — CLEO-style version identifiers and
 //!   MD5-hashed provenance records that travel with every derived product;
 //! * [`product`] — versioned, provenance-carrying data products;
@@ -65,6 +68,7 @@ pub mod critical;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod genflow;
 pub mod graph;
 pub mod md5;
 pub mod metrics;
@@ -84,13 +88,16 @@ pub use error::{CoreError, CoreResult};
 pub use fault::{
     AttemptFailure, AttemptOutcome, FaultEvent, FaultKind, FaultPlan, FaultProfile, RetryPolicy,
 };
+pub use genflow::{generate, Archetype, GenFlow};
 pub use graph::{FlowGraph, StageId, StageKind, VerifyPolicy};
 pub use metrics::{EngineStats, PoolMetrics, SimReport, StageMetrics, TimeSeries, TsSample};
 pub use product::{DataProduct, ProductKind};
 pub use provenance::{ProvenanceRecord, ProvenanceStep};
 pub use resource::{ResourceId, ResourceSet, SchedPolicy, StorageLedger};
 pub use sim::{CpuPool, FlowSim};
-pub use spec::{FilterSpec, FlowSpec, ProcessSpec, SourceSpec, TransferSpec};
+pub use spec::{
+    BatcherSpec, DedupSpec, FilterSpec, FlowSpec, ProcessSpec, SourceSpec, TransferSpec,
+};
 pub use trace::{
     NoopObserver, ObserveConfig, Observer, Span, TraceEvent, TraceMeta, TraceRecorder,
     TraceSnapshot,

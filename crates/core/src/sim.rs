@@ -24,8 +24,9 @@
 //! time.
 
 use crate::behavior::{
-    ArchiveBehavior, Completion, DeferredFx, FaultCtx, FilterBehavior, FlowEvent, ProcessBehavior,
-    SourceBehavior, StageBehavior, StageCtx, TransferBehavior,
+    ArchiveBehavior, BatcherBehavior, Completion, DedupBehavior, DeferredFx, FaultCtx,
+    FilterBehavior, FlowEvent, ProcessBehavior, SourceBehavior, StageBehavior, StageCtx,
+    TransferBehavior,
 };
 use crate::engine::{Engine, EventHandler, RunStats, Scheduler};
 use crate::error::{CoreError, CoreResult};
@@ -143,46 +144,24 @@ impl FlowSim {
                 return Err(CoreError::UnknownPool { name: name.to_string() });
             }
         }
-        // A task wider than its whole pool would wait forever and silently
-        // stall the flow; reject it up front. Same for degenerate channel
-        // counts and filter ratios.
+        // Stage-local parameter validation (ratios, channels, checkpoint and
+        // verify policies) ran inside `graph.validate()` above. The one check
+        // that needs the pools stays here: a task wider than its whole pool
+        // would wait forever and silently stall the flow.
         for id in graph.stage_ids() {
             let stage = graph.stage(id);
-            match &stage.kind {
-                StageKind::Process { cpus_per_task, pool, checkpoint, .. } => {
-                    let rid = resources.find(pool).expect("pool checked above");
-                    let total = resources.total(rid);
-                    if *cpus_per_task > total {
-                        return Err(CoreError::InvalidConfig {
-                            detail: format!(
-                                "stage `{}` needs {} cpus per task but pool `{}` has only {}",
-                                stage.name, cpus_per_task, pool, total
-                            ),
-                        });
-                    }
-                    validate_checkpoint(&stage.name, checkpoint)?;
+            if let StageKind::Process { cpus_per_task, pool, .. } = &stage.kind {
+                let rid = resources.find(pool).expect("pool checked above");
+                let total = resources.total(rid);
+                if *cpus_per_task > total {
+                    return Err(CoreError::InvalidConfig {
+                        detail: format!(
+                            "stage `{}` needs {} cpus per task but pool `{}` has only {}",
+                            stage.name, cpus_per_task, pool, total
+                        ),
+                    });
                 }
-                StageKind::Transfer { channels, .. } => {
-                    if *channels == 0 {
-                        return Err(CoreError::InvalidConfig {
-                            detail: format!("stage `{}` has zero transfer channels", stage.name),
-                        });
-                    }
-                }
-                StageKind::Filter { accept_ratio, checkpoint, .. } => {
-                    if !(0.0..=1.0).contains(accept_ratio) {
-                        return Err(CoreError::InvalidConfig {
-                            detail: format!(
-                                "stage `{}` accept_ratio {} is outside [0, 1]",
-                                stage.name, accept_ratio
-                            ),
-                        });
-                    }
-                    validate_checkpoint(&stage.name, checkpoint)?;
-                }
-                StageKind::Source { .. } | StageKind::Archive => {}
             }
-            validate_verify(&stage.name, &stage.kind, &stage.verify)?;
         }
         // The only kind dispatch in the simulator: constructing each stage's
         // behavior (and its private channel resource where one is needed).
@@ -223,6 +202,13 @@ impl FlowSim {
                     let rid = resources.add_channel(format!("{}#channel", stage.name), 1);
                     Box::new(FilterBehavior::new(*rate, *accept_ratio, *checkpoint, rid))
                 }
+                StageKind::Batcher { batch, linger } => {
+                    Box::new(BatcherBehavior::new(*batch, *linger))
+                }
+                StageKind::Dedup { rate, unique_ratio, window } => {
+                    let rid = resources.add_channel(format!("{}#channel", stage.name), 1);
+                    Box::new(DedupBehavior::new(*rate, *unique_ratio, *window, rid))
+                }
                 StageKind::Archive => Box::new(ArchiveBehavior),
             };
             behaviors.push(Some(behavior));
@@ -249,6 +235,11 @@ impl FlowSim {
                     (*checkpoint != CheckpointPolicy::None, *accept_ratio)
                 }
                 StageKind::Transfer { .. } => (false, 1.0),
+                // A batcher merges rather than transforms (volume in ==
+                // volume out); dedup forwards its steady-state ratio. Neither
+                // holds a replayable copy.
+                StageKind::Batcher { .. } => (false, 1.0),
+                StageKind::Dedup { unique_ratio, .. } => (false, *unique_ratio),
             };
             durable.push(d);
             ratio.push(r);
@@ -627,57 +618,6 @@ impl FlowSim {
             engine,
         }
     }
-}
-
-/// Reject degenerate verification parameters at build time: a zero digest
-/// rate would make every check instantaneous-or-undefined, a sampling
-/// fraction outside [0, 1] is meaningless, and a policy on a source can
-/// never run (sources receive no arrivals).
-fn validate_verify(stage: &str, kind: &StageKind, policy: &VerifyPolicy) -> CoreResult<()> {
-    if matches!(kind, StageKind::Source { .. }) && !policy.is_none() {
-        return Err(CoreError::InvalidConfig {
-            detail: format!("stage `{stage}` is a source; a verify policy there can never run"),
-        });
-    }
-    match policy {
-        VerifyPolicy::None => {}
-        VerifyPolicy::Digest { rate } => {
-            if rate.bytes_per_sec() <= 0.0 {
-                return Err(CoreError::InvalidConfig {
-                    detail: format!("stage `{stage}` has a zero digest-verification rate"),
-                });
-            }
-        }
-        VerifyPolicy::Sample { fraction, rate } => {
-            if !(0.0..=1.0).contains(fraction) {
-                return Err(CoreError::InvalidConfig {
-                    detail: format!(
-                        "stage `{stage}` sampling fraction {fraction} is outside [0, 1]"
-                    ),
-                });
-            }
-            if rate.bytes_per_sec() <= 0.0 {
-                return Err(CoreError::InvalidConfig {
-                    detail: format!("stage `{stage}` has a zero digest-verification rate"),
-                });
-            }
-        }
-    }
-    Ok(())
-}
-
-/// A zero-length checkpoint interval would mean "checkpoint continuously";
-/// nothing would ever be lost and the salvage arithmetic degenerates. Reject
-/// it at build time like the other degenerate stage parameters.
-fn validate_checkpoint(stage: &str, policy: &CheckpointPolicy) -> CoreResult<()> {
-    if let CheckpointPolicy::Interval { every, .. } = policy {
-        if every.is_zero() {
-            return Err(CoreError::InvalidConfig {
-                detail: format!("stage `{stage}` has a zero checkpoint interval"),
-            });
-        }
-    }
-    Ok(())
 }
 
 impl EventHandler for FlowSim {

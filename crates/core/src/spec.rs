@@ -212,6 +212,57 @@ impl From<FilterSpec> for StageKind {
     }
 }
 
+/// Spec for a [`StageKind::Batcher`]: buffers arriving blocks and emits one
+/// merged block when `batch` blocks have gathered, or `linger` after the
+/// first buffered block — whichever comes first.
+#[derive(Debug, Clone)]
+pub struct BatcherSpec {
+    batch: u64,
+    linger: SimDuration,
+}
+
+impl BatcherSpec {
+    pub fn new(batch: u64, linger: SimDuration) -> Self {
+        BatcherSpec { batch, linger }
+    }
+}
+
+impl From<BatcherSpec> for StageKind {
+    fn from(s: BatcherSpec) -> StageKind {
+        StageKind::Batcher { batch: s.batch, linger: s.linger }
+    }
+}
+
+/// Spec for a [`StageKind::Dedup`]: inspects at `rate` and forwards
+/// `unique_ratio` of each block's volume once the index has warmed up (see
+/// [`DedupSpec::window`]; blocks inspected before then pass in full).
+#[derive(Debug, Clone)]
+pub struct DedupSpec {
+    rate: DataRate,
+    unique_ratio: f64,
+    window: u64,
+}
+
+impl DedupSpec {
+    pub fn new(rate: DataRate, unique_ratio: f64) -> Self {
+        DedupSpec { rate, unique_ratio, window: 0 }
+    }
+
+    /// The first `window` inspected blocks pass in full — a cold dedup index
+    /// has nothing to collapse against (default 0: steady state from the
+    /// first block).
+    pub fn window(mut self, window: u64) -> Self {
+        self.window = window;
+        self
+    }
+}
+
+impl From<DedupSpec> for StageKind {
+    fn from(s: DedupSpec) -> StageKind {
+        StageKind::Dedup { rate: s.rate, unique_ratio: s.unique_ratio, window: s.window }
+    }
+}
+
 /// Declarative builder for a [`FlowGraph`]. Stages are declared in order,
 /// wired by upstream *names*; [`FlowSpec::build`] resolves and validates.
 #[derive(Debug, Clone, Default)]
@@ -258,6 +309,16 @@ impl FlowSpec {
 
     /// Declare a filter stage fed by the named upstream stages.
     pub fn filter(self, name: impl Into<String>, spec: FilterSpec, upstream: &[&str]) -> Self {
+        self.stage(name, spec, upstream)
+    }
+
+    /// Declare a batcher stage fed by the named upstream stages.
+    pub fn batcher(self, name: impl Into<String>, spec: BatcherSpec, upstream: &[&str]) -> Self {
+        self.stage(name, spec, upstream)
+    }
+
+    /// Declare a dedup stage fed by the named upstream stages.
+    pub fn dedup(self, name: impl Into<String>, spec: DedupSpec, upstream: &[&str]) -> Self {
         self.stage(name, spec, upstream)
     }
 
@@ -431,6 +492,37 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidTopology { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn batcher_and_dedup_specs_build() {
+        let g = FlowSpec::new()
+            .source("src", gb_source())
+            .batcher("bundle", BatcherSpec::new(4, SimDuration::from_mins(30)), &["src"])
+            .dedup(
+                "collapse",
+                DedupSpec::new(DataRate::mb_per_sec(80.0), 0.3).window(2),
+                &["bundle"],
+            )
+            .archive("store", &["collapse"])
+            .build()
+            .unwrap();
+        let bundle = g.find("bundle").unwrap();
+        assert!(matches!(g.stage(bundle).kind, StageKind::Batcher { batch: 4, .. }));
+        let collapse = g.find("collapse").unwrap();
+        assert!(matches!(g.stage(collapse).kind, StageKind::Dedup { window: 2, .. }));
+    }
+
+    #[test]
+    fn orphan_source_fails_build_with_a_typed_error() {
+        // The generator's near-miss class: a declared source nothing reads.
+        let err = FlowSpec::new()
+            .source("src", gb_source())
+            .source("stray", gb_source())
+            .archive("store", &["src"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::OrphanStage { .. }), "{err:?}");
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! across retries, simulated time only moves forward, provenance hashes are
 //! replay-stable — and panic with a diagnostic when violated.
 
-use sciflow_core::graph::CheckpointPolicy;
+use sciflow_core::graph::{CheckpointPolicy, FlowGraph, StageKind};
 use sciflow_core::metrics::SimReport;
 use sciflow_core::provenance::ProvenanceRecord;
 use sciflow_core::trace::{TraceEvent, TraceSnapshot};
-use sciflow_core::units::SimDuration;
+use sciflow_core::units::{DataVolume, SimDuration};
 use sciflow_simnet::reliable::{AttemptResult, TransferReport};
 
 /// Conservation of bytes across retries for a reliable transfer: exactly the
@@ -212,6 +212,119 @@ pub fn assert_trace_conservation(report: &SimReport, snapshot: &TraceSnapshot) {
             activity[i], m.busy,
             "stage `{name}`: trace spans + verify costs sum to {} but the report says busy {}",
             activity[i], m.busy
+        );
+    }
+}
+
+/// Conservation of bytes over an *arbitrary* flow graph — the workload-zoo
+/// law. Two families of checks, each applied where its preconditions hold:
+///
+/// 1. **Edge sums.** Fan-out copies: a stage delivers its full output along
+///    every outgoing edge, so each consumer's arrivals equal the sum of its
+///    producers' emissions, exactly. Only meaningful while no block was
+///    quarantined or lineage-reprocessed anywhere (reprocessing re-enqueues
+///    blocks outside the edge relation), so the whole family is gated on
+///    the report's totals.
+/// 2. **Per-kind throughput.** Whatever a stage settled (arrived, not still
+///    queued, not abandoned) relates to what it emitted by the stage kind's
+///    own ratio: transfers and batchers conserve exactly, processes and
+///    filters scale by their configured ratio (to within one byte of
+///    rounding per block), dedup stages land between `unique_ratio` and
+///    full volume (the warm-up window forwards in full). Checked per stage,
+///    skipped for stages that quarantined blocks.
+///
+/// `ledger_underflows` must always be zero, whatever the run regime.
+pub fn assert_generated_conservation(graph: &FlowGraph, report: &SimReport) {
+    assert_eq!(
+        report.ledger_underflows, 0,
+        "storage ledger underflowed {} time(s)",
+        report.ledger_underflows
+    );
+    let edge_sums_apply = report.total_quarantined() == 0 && report.total_reprocessed_blocks() == 0;
+    for id in graph.stage_ids() {
+        let stage = graph.stage(id);
+        let m = report
+            .stage(&stage.name)
+            .unwrap_or_else(|| panic!("graph stage `{}` missing from report", stage.name));
+        if edge_sums_apply && !matches!(stage.kind, StageKind::Source { .. }) {
+            let fed: DataVolume = graph
+                .upstream(id)
+                .iter()
+                .map(|&u| {
+                    report.stage(&graph.stage(u).name).expect("upstream in report").volume_out
+                })
+                .sum();
+            assert_eq!(
+                m.volume_in, fed,
+                "stage `{}`: arrived {} but its producers emitted {}",
+                stage.name, m.volume_in, fed
+            );
+        }
+        if m.quarantined > 0 {
+            continue; // quarantined blocks leave the flow outside the ratio laws
+        }
+        let settled = m
+            .volume_in
+            .bytes()
+            .checked_sub(m.final_queue_volume.bytes() + m.volume_lost.bytes())
+            .unwrap_or_else(|| {
+                panic!(
+                    "stage `{}`: queued {} + lost {} exceed arrivals {}",
+                    stage.name, m.final_queue_volume, m.volume_lost, m.volume_in
+                )
+            });
+        // One byte of rounding slack per emission and per arrival.
+        let tol = m.blocks_in + m.blocks_out + 1;
+        let out = m.volume_out.bytes();
+        match stage.kind {
+            StageKind::Transfer { .. } | StageKind::Batcher { .. } => {
+                assert_eq!(
+                    out, settled,
+                    "stage `{}`: emitted {} of the {} settled bytes (must conserve exactly)",
+                    stage.name, m.volume_out, settled
+                );
+            }
+            StageKind::Process { output_ratio, .. } => {
+                assert_ratio_law(&stage.name, out, settled, output_ratio, tol);
+            }
+            StageKind::Filter { accept_ratio, .. } => {
+                assert_ratio_law(&stage.name, out, settled, accept_ratio, tol);
+            }
+            StageKind::Dedup { unique_ratio, .. } => {
+                let floor = DataVolume::from_bytes(settled).scale(unique_ratio).bytes();
+                assert!(
+                    out + tol >= floor && out <= settled + tol,
+                    "stage `{}`: emitted {} outside the dedup envelope [{}, {}]",
+                    stage.name,
+                    out,
+                    floor,
+                    settled
+                );
+            }
+            StageKind::Source { .. } | StageKind::Archive => {}
+        }
+    }
+}
+
+fn assert_ratio_law(name: &str, out: u64, settled: u64, ratio: f64, tol: u64) {
+    let expected = DataVolume::from_bytes(settled).scale(ratio).bytes();
+    assert!(
+        out.abs_diff(expected) <= tol,
+        "stage `{name}`: emitted {out} bytes but ratio {ratio} of {settled} settled bytes \
+         predicts {expected} (±{tol})"
+    );
+}
+
+/// A finished run left nothing behind: every stage's input queue is empty.
+/// Holds for any clean (fault-free) run of a generated graph, and for any
+/// faulty run whose retry policy never abandons into a stuck state.
+pub fn assert_generated_drained(report: &SimReport) {
+    for s in &report.stages {
+        assert!(
+            s.final_queue_volume.is_zero(),
+            "stage `{}`: {} still queued after the flow finished",
+            s.name,
+            s.final_queue_volume
         );
     }
 }

@@ -11,6 +11,10 @@
 //!   test names its randomness;
 //! * [`scenarios`] — seeded builders for the recurring test fixtures (a
 //!   lossy link, a faulty end-to-end flow), each replayable from one `u64`;
+//! * [`generated`] — the workload-zoo harness: run modes over
+//!   [`sciflow_core::genflow`] graphs and [`generated::check_generated`],
+//!   the shrinking property runner that reports failures as a reproducible
+//!   `(archetype, seed)` pair;
 //! * [`invariants`] — checkers for the properties that must survive fault
 //!   injection: conservation of bytes across retries, monotone simulated
 //!   time, provenance-hash stability across replays;
@@ -18,18 +22,21 @@
 //!   a seeded scenario and requires byte-identical results.
 
 pub mod determinism;
+pub mod generated;
 pub mod golden;
 pub mod invariants;
 pub mod rng;
 pub mod scenarios;
 
 pub use determinism::{assert_deterministic, report_fingerprint};
+pub use generated::{check_generated, GeneratedScenario};
 pub use golden::{assert_matches_golden, assert_matches_golden_text, canonical_report};
 pub use invariants::{
     assert_checkpoint_bound, assert_close, assert_crash_recovery, assert_duration_close,
-    assert_flow_transfer_conservation, assert_integrity_audit, assert_monotone_attempts,
-    assert_monotone_sim_time, assert_provenance_stability, assert_trace_conservation,
-    assert_transfer_conservation, assert_within_pct,
+    assert_flow_transfer_conservation, assert_generated_conservation, assert_generated_drained,
+    assert_integrity_audit, assert_monotone_attempts, assert_monotone_sim_time,
+    assert_provenance_stability, assert_trace_conservation, assert_transfer_conservation,
+    assert_within_pct,
 };
 pub use rng::{derive_seed, matrix_seed, seeded_rng};
 pub use scenarios::{

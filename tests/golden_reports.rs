@@ -16,9 +16,11 @@ use sciflow_cleo::flow::{
     cleo_flow_graph, reprocess_pass_profile, wilson_crash_profile, CleoFlowParams, WILSON_POOL,
 };
 use sciflow_core::fault::{FaultPlan, FaultProfile, RetryPolicy};
+use sciflow_core::genflow::Archetype;
 use sciflow_core::metrics::SimReport;
 use sciflow_core::sim::{CpuPool, FlowSim};
 use sciflow_core::units::{DataRate, SimDuration};
+use sciflow_testkit::GeneratedScenario;
 use sciflow_testkit::{
     assert_deterministic, assert_integrity_audit, assert_matches_golden, assert_matches_golden_text,
 };
@@ -26,6 +28,11 @@ use sciflow_weblab::flow::{weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
 
 /// Seed shared by every golden fault plan.
 const GOLDEN_SEED: u64 = 42;
+
+/// The committed zoo archetype pin: one generated graph frozen forever. The
+/// seed is arbitrary but fixed — deliberately *not* derived from
+/// `FAULT_MATRIX_SEED`, so every CI matrix entry checks the same snapshot.
+const ZOO_GOLDEN_SEED: u64 = 0xA11CE;
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join(format!("{name}.txt"))
@@ -240,6 +247,34 @@ fn corruption_goldens_are_non_degenerate() {
     assert!(verified.total_corrupt_escaped() < unverified.total_corrupt_escaped());
     assert!(verified.stage("collaboration-eventstore").unwrap().quarantined > 0);
     assert!(verified.stage("usb-shipping").unwrap().reprocessed_blocks > 0);
+}
+
+/// The workload zoo's committed archetype: a `reduction-chain` graph at a
+/// fixed seed must render to the exact committed snapshot. Unlike the
+/// case-study goldens this pins the *generator* too — any drift in
+/// `genflow`'s draw order, archetype parameter tables, or seeding scheme
+/// changes the graph and shows up here as a diff, not as a silent reshuffle
+/// of every property-test battery.
+#[test]
+fn zoo_reduction_chain_matches_golden() {
+    let report = assert_deterministic(ZOO_GOLDEN_SEED, |seed| {
+        GeneratedScenario::new(Archetype::ReductionChain, seed).run_clean()
+    });
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join("zoo_reduction_chain.golden");
+    assert_matches_golden(path, &report);
+}
+
+/// Replay identity for the committed pair, in every run mode: rebuilding the
+/// scenario from `(archetype, seed)` twice must reproduce byte-identical
+/// reports under clean, corrupt, and crashy regimes alike.
+#[test]
+fn zoo_reduction_chain_replays_identically() {
+    let a = GeneratedScenario::new(Archetype::ReductionChain, ZOO_GOLDEN_SEED);
+    let b = GeneratedScenario::new(Archetype::ReductionChain, ZOO_GOLDEN_SEED);
+    assert_eq!(a.run_clean(), b.run_clean(), "clean replay diverged");
+    assert_eq!(a.run_corrupt(), b.run_corrupt(), "corrupt replay diverged");
+    assert_eq!(a.run_crashy(), b.run_crashy(), "crashy replay diverged");
 }
 
 /// Nor may the crash goldens be: the plan must actually kill reconstruction
