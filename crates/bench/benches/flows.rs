@@ -1,0 +1,20 @@
+//! The standard flow suite (the BENCH_7 workloads) under criterion: the
+//! three case-study flows at paper scale plus a reduced stress point (the
+//! full million-hop stress flow lives in the `flows` binary, whose wall
+//! clocks are what `BENCH_7.json` commits).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sciflow_bench::flows::{quick_stress, run_flow, standard_suite};
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flows");
+    for flow in standard_suite().into_iter().take(3) {
+        group.bench_function(flow.name, |b| b.iter(|| run_flow(&flow)));
+    }
+    let stress = quick_stress();
+    group.bench_function(stress.name, |b| b.iter(|| run_flow(&stress)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Wall-clock measurement of the standard flow suite — the numbers behind
+//! `BENCH_7.json`.
+//!
+//! ```text
+//! flows [--quick] [--iters N] [--out FILE] [--baseline FILE]
+//! ```
+//!
+//! Runs every suite flow `N` times (default 5; `--quick` forces 1, for CI
+//! smoke) and reports the best wall clock per flow. With `--out` the result
+//! is written as JSON; with `--baseline` (a previous `--out` file) each
+//! entry also carries the baseline time and the improvement percentage —
+//! that merged form is what `BENCH_7.json` commits.
+
+use std::time::Instant;
+
+use sciflow_bench::flows::{run_flow, standard_suite, SuiteFlow};
+
+struct Measurement {
+    name: &'static str,
+    best_ms: f64,
+    finished_at_us: u64,
+}
+
+fn measure(flow: &SuiteFlow, iters: u32) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut finished_at_us = 0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let report = run_flow(flow);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(elapsed);
+        finished_at_us = report.finished_at.as_micros();
+    }
+    Measurement { name: flow.name, best_ms: best, finished_at_us }
+}
+
+/// Pull `(name, wall_ms)` pairs out of a previous `--out` JSON without a
+/// JSON dependency: entries are scanned in order of appearance.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("\"name\":\"") {
+        rest = &rest[at + 8..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(w) = rest.find("\"wall_ms\":") else { break };
+        rest = &rest[w + 10..];
+        let num: String =
+            rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        if let Ok(ms) = num.parse::<f64>() {
+            out.push((name, ms));
+        }
+    }
+    out
+}
+
+fn render_json(iters: u32, rows: &[Measurement], baseline: &[(String, f64)]) -> String {
+    let mut flows = Vec::new();
+    for m in rows {
+        let mut entry = format!(
+            "    {{\"name\":\"{}\",\"wall_ms\":{:.3},\"finished_at_us\":{}",
+            m.name, m.best_ms, m.finished_at_us
+        );
+        if let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) {
+            let pct = (base - m.best_ms) / base * 100.0;
+            entry.push_str(&format!(",\"baseline_ms\":{base:.3},\"improvement_pct\":{pct:.1}"));
+        }
+        entry.push('}');
+        flows.push(entry);
+    }
+    format!(
+        "{{\n  \"bench\": \"BENCH_7\",\n  \"suite\": \"flows\",\n  \"iters\": {},\n  \"flows\": [\n{}\n  ]\n}}\n",
+        iters,
+        flows.join(",\n")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iters: u32 = 5;
+    let mut out: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => iters = 1,
+            "--iters" => {
+                i += 1;
+                iters = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--iters needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: flows [--quick] [--iters N] [--out FILE] [--baseline FILE]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let baseline = baseline_path
+        .map(|p| {
+            let text = std::fs::read_to_string(&p)
+                .unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"));
+            parse_baseline(&text)
+        })
+        .unwrap_or_default();
+
+    let mut rows = Vec::new();
+    for flow in standard_suite() {
+        let m = measure(&flow, iters);
+        match baseline.iter().find(|(n, _)| *n == m.name) {
+            Some((_, base)) => {
+                let pct = (base - m.best_ms) / base * 100.0;
+                println!(
+                    "{:<10} {:>10.3} ms  (baseline {:>10.3} ms, {:+.1}%)",
+                    m.name, m.best_ms, base, pct
+                );
+            }
+            None => println!("{:<10} {:>10.3} ms", m.name, m.best_ms),
+        }
+        rows.push(m);
+    }
+
+    let json = render_json(iters, &rows, &baseline);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -10,6 +10,7 @@ pub mod exp_cleo;
 pub mod exp_extensions;
 pub mod exp_summary;
 pub mod exp_weblab;
+pub mod flows;
 pub mod report;
 
 use report::Report;

@@ -24,9 +24,10 @@ use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 
+use crate::compiled::CompiledFlow;
 use crate::engine::{EventId, Scheduler};
 use crate::fault::{FaultPlan, RetryPolicy};
-use crate::graph::{CheckpointPolicy, FlowGraph, StageId};
+use crate::graph::{CheckpointPolicy, StageId};
 use crate::metrics::StageMetrics;
 use crate::resource::{ResourceId, ResourceSet, StorageLedger};
 use crate::trace::{TraceCtx, TraceEvent};
@@ -116,7 +117,7 @@ pub(crate) struct DeferredFx {
 /// the fault state. Constructed by the simulator for each hook invocation.
 pub struct StageCtx<'a> {
     stage: StageId,
-    graph: &'a FlowGraph,
+    flow: &'a CompiledFlow,
     sched: &'a mut Scheduler<FlowEvent>,
     metrics: &'a mut [StageMetrics],
     ledger: &'a mut StorageLedger,
@@ -130,7 +131,7 @@ impl<'a> StageCtx<'a> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         stage: StageId,
-        graph: &'a FlowGraph,
+        flow: &'a CompiledFlow,
         sched: &'a mut Scheduler<FlowEvent>,
         metrics: &'a mut [StageMetrics],
         ledger: &'a mut StorageLedger,
@@ -139,7 +140,7 @@ impl<'a> StageCtx<'a> {
         fx: &'a mut DeferredFx,
         trace: &'a mut TraceCtx,
     ) -> Self {
-        StageCtx { stage, graph, sched, metrics, ledger, resources, faults, fx, trace }
+        StageCtx { stage, flow, sched, metrics, ledger, resources, faults, fx, trace }
     }
 
     /// The stage this context is scoped to.
@@ -218,7 +219,7 @@ impl<'a> StageCtx<'a> {
     pub fn deliver_tainted(&mut self, volume: DataVolume, taint: u32, lineage: u64) {
         let now = self.sched.now();
         let from = Some(self.stage);
-        let downstream = self.graph.downstream(self.stage);
+        let downstream = self.flow.downstream(self.stage);
         if downstream.is_empty() {
             self.metrics[self.stage.index()].corrupt_escaped += taint as u64;
             return;

@@ -16,6 +16,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::error::{CoreError, CoreResult};
+use crate::slab::{Slab, SlabKey};
 use crate::units::SimTime;
 
 /// Handles events popped by [`Engine::run`]. The handler schedules follow-on
@@ -25,24 +26,37 @@ pub trait EventHandler {
     fn handle(&mut self, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
-/// Handle to a scheduled event, usable to cancel it before it fires.
+/// Handle to a scheduled event, usable to cancel it before it fires. The
+/// handle is generation-tagged: payload slots are recycled after an event
+/// fires, and the generation lets a stale handle to a reused slot cancel
+/// nothing instead of killing the slot's new occupant (no ABA).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(usize);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
 /// The clock plus the pending-event heap. Handlers use it to read the
 /// current time and schedule future events; the engine uses it to advance.
+///
+/// Payloads live in a free-list [`Slab`]: a slot is claimed at
+/// [`Scheduler::schedule`] and recycled when its heap entry pops (fired or
+/// found cancelled), so slab residency is bounded by the *peak pending*
+/// event count — not by the total number of events ever scheduled, which on
+/// million-event runs is orders of magnitude larger.
 pub struct Scheduler<E> {
-    /// `(time, sequence, payload index)`; sequence breaks ties in scheduling
-    /// order, which makes the pop order deterministic.
-    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    payloads: Vec<Option<E>>,
+    /// `(time, sequence, payload slot)`; sequence breaks ties in scheduling
+    /// order, which makes the pop order deterministic (and keeps slot reuse
+    /// invisible to ordering).
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    slots: Slab<E>,
     now: SimTime,
     seq: u64,
 }
 
 impl<E> Scheduler<E> {
     fn new() -> Self {
-        Scheduler { heap: BinaryHeap::new(), payloads: Vec::new(), now: SimTime::ZERO, seq: 0 }
+        Scheduler { heap: BinaryHeap::new(), slots: Slab::new(), now: SimTime::ZERO, seq: 0 }
     }
 
     /// The current simulated time.
@@ -54,24 +68,34 @@ impl<E> Scheduler<E> {
     /// they were scheduled. The returned [`EventId`] can cancel the event
     /// before it fires.
     pub fn schedule(&mut self, at: SimTime, ev: E) -> EventId {
-        let idx = self.payloads.len();
-        self.payloads.push(Some(ev));
-        self.heap.push(Reverse((at, self.seq, idx)));
+        let key = self.slots.insert(ev);
+        self.heap.push(Reverse((at, self.seq, key.slot())));
         self.seq += 1;
-        EventId(idx)
+        EventId { slot: key.slot(), gen: key.gen() }
     }
 
     /// Cancel a pending event, returning its payload. A cancelled event never
     /// fires and never advances the clock. Returns `None` if it already fired
-    /// (or was already cancelled).
+    /// (or was already cancelled): the generation tag makes a stale cancel of
+    /// a recycled slot a no-op, never a hit on the slot's new occupant.
     pub fn cancel(&mut self, id: EventId) -> Option<E> {
-        self.payloads[id.0].take()
+        // The slot stays claimed even on a hit: the heap entry still
+        // references it by index, so it can only be recycled at pop time.
+        self.slots.take(SlabKey { slot: id.slot, gen: id.gen })
+    }
+
+    /// High-water mark of the payload slab — the residency bound. Stays at
+    /// the peak number of simultaneously pending events while the heap's
+    /// total traffic grows without bound.
+    pub fn slab_high_water(&self) -> usize {
+        self.slots.high_water()
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
-        // Skip heap entries whose payload was cancelled.
+        // Every popped heap entry retires its slot — fired or cancelled —
+        // bumping the generation so stale handles can't touch the reuse.
         while let Some(Reverse((at, _, idx))) = self.heap.pop() {
-            if let Some(ev) = self.payloads[idx].take() {
+            if let Some(ev) = self.slots.retire(idx) {
                 return Some((at, ev));
             }
         }
@@ -91,6 +115,10 @@ pub struct RunStats {
     /// High-water mark of the pending-event heap, cancelled entries
     /// included — an upper bound on live pending events.
     pub peak_pending: usize,
+    /// High-water mark of the payload slab ([`Scheduler::slab_high_water`]):
+    /// actual memory residency, bounded by `peak_pending` — never by the
+    /// total number of events scheduled.
+    pub slab_high_water: usize,
 }
 
 /// The run loop: pops events in deterministic order, advances the clock, and
@@ -142,7 +170,12 @@ impl<E> Engine<E> {
             handler.handle(ev, &mut self.sched);
             peak_pending = peak_pending.max(self.sched.heap.len());
         }
-        Ok(RunStats { finished_at: self.sched.now, events_handled: handled, peak_pending })
+        Ok(RunStats {
+            finished_at: self.sched.now,
+            events_handled: handled,
+            peak_pending,
+            slab_high_water: self.sched.slab_high_water(),
+        })
     }
 }
 
@@ -231,6 +264,105 @@ mod tests {
         assert_eq!(stats.finished_at, t(1_000_001));
         // After `1` fires, events 2, 3, 10, 11 are all pending at once.
         assert_eq!(stats.peak_pending, 4);
+        assert!(stats.slab_high_water <= stats.peak_pending);
+    }
+
+    #[test]
+    fn slab_high_water_tracks_peak_pending_not_total_scheduled() {
+        // A long strictly-chained run: every event schedules exactly one
+        // follow-up, so at most two slots are ever live while tens of
+        // thousands of events flow through the scheduler. The slab must
+        // stay at the peak-pending bound — the payload-leak regression.
+        struct Chain {
+            left: u64,
+        }
+        impl EventHandler for Chain {
+            type Event = u64;
+            fn handle(&mut self, ev: u64, sched: &mut Scheduler<u64>) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    sched.schedule(sched.now() + SimDuration::from_secs(1), ev + 1);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.scheduler().schedule(SimTime::ZERO, 0);
+        let stats = engine.run_counted(&mut Chain { left: 49_999 }).unwrap();
+        assert_eq!(stats.events_handled, 50_000);
+        assert!(
+            stats.slab_high_water <= stats.peak_pending,
+            "slab residency {} exceeds peak pending {}",
+            stats.slab_high_water,
+            stats.peak_pending
+        );
+        assert!(
+            stats.slab_high_water <= 2,
+            "chained run must recycle slots, not leak one per event (high water {})",
+            stats.slab_high_water
+        );
+    }
+
+    #[test]
+    fn stale_cancel_of_a_reused_slot_is_inert() {
+        // Event 1 schedules event 2 and keeps its id. When 2 fires its slot
+        // is recycled; event 2 schedules event 3 into that same slot. The
+        // stale handle to 2 must cancel nothing — 3 still fires.
+        struct Reuse {
+            stale: Option<EventId>,
+            fired: Vec<u32>,
+        }
+        impl EventHandler for Reuse {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+                self.fired.push(ev);
+                match ev {
+                    1 => {
+                        self.stale =
+                            Some(sched.schedule(sched.now() + SimDuration::from_secs(1), 2));
+                    }
+                    2 => {
+                        let fresh = sched.schedule(sched.now() + SimDuration::from_secs(1), 3);
+                        let stale = self.stale.take().expect("event 1 stored its handle");
+                        assert_eq!(
+                            stale.slot, fresh.slot,
+                            "the freed slot is recycled immediately (LIFO free list)"
+                        );
+                        assert_ne!(stale.gen, fresh.gen, "recycling bumps the generation");
+                        assert_eq!(sched.cancel(stale), None, "stale cancel is a no-op");
+                        assert_eq!(sched.cancel(stale), None, "double stale cancel too");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.scheduler().schedule(SimTime::ZERO, 1);
+        let mut h = Reuse { stale: None, fired: Vec::new() };
+        engine.run(&mut h).unwrap();
+        assert_eq!(h.fired, vec![1, 2, 3], "the reused slot's occupant must survive");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_inert() {
+        // An id whose event already fired (slot recycled, maybe re-occupied
+        // later) must never cancel anything.
+        struct Tail {
+            first: Option<EventId>,
+        }
+        impl EventHandler for Tail {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+                if ev == 9 {
+                    let first = self.first.take().expect("seeded before run");
+                    assert_eq!(sched.cancel(first), None, "cancel after fire yields nothing");
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        let t = SimTime::from_micros;
+        let first = engine.scheduler().schedule(t(1), 5);
+        engine.scheduler().schedule(t(2), 9);
+        engine.run(&mut Tail { first: Some(first) }).unwrap();
     }
 
     #[test]

@@ -424,6 +424,117 @@ pub fn generate(archetype: Archetype, seed: u64) -> GenFlow {
     GenFlow { archetype, seed, graph: g, pools, crash_pool, checkpointed, horizon }
 }
 
+/// Size parameters for [`stress_flow`]: a deterministic chain-parallel
+/// stress graph for the perf suite (no randomness — the graph is fully
+/// specified by these numbers).
+#[derive(Debug, Clone, Copy)]
+pub struct StressParams {
+    /// Independent serial chains fanning out from the single source.
+    pub chains: usize,
+    /// Stages per chain.
+    pub depth: usize,
+    /// Blocks the source emits.
+    pub blocks: u64,
+}
+
+impl Default for StressParams {
+    /// The committed BENCH suite point: ~1000 stages, one million
+    /// block-hops (`blocks * chains * depth`), a few million engine events.
+    fn default() -> Self {
+        StressParams { chains: 8, depth: 125, blocks: 1000 }
+    }
+}
+
+impl StressParams {
+    /// Total stage count of the generated graph (source + chains + sink).
+    pub fn stages(&self) -> usize {
+        1 + self.chains * self.depth + 1
+    }
+
+    /// Block-hops the flow performs: every block visits every stage of
+    /// every chain (the source copy fans out once per chain).
+    pub fn block_hops(&self) -> u64 {
+        self.blocks * self.chains as u64 * self.depth as u64
+    }
+}
+
+/// Build the synthetic stress workload for the standard perf suite: one
+/// fast source fanning out to `chains` independent serial chains of `depth`
+/// stages each (cycling process / transfer / filter / dedup kinds), all
+/// draining into a single archive. Unlike [`generate`] this takes no seed:
+/// the graph is a fixed function of [`StressParams`], so benchmark numbers
+/// are comparable across machines and commits.
+pub fn stress_flow(p: &StressParams) -> (FlowGraph, Vec<CpuPool>) {
+    let pool_name = "stress-pool";
+    // Plenty of CPUs: the stress flow measures engine throughput, not
+    // contention, so process stages should never starve.
+    let pools = vec![CpuPool::new(pool_name, (p.chains * 4).max(4) as u32)];
+
+    let mut g = FlowGraph::new();
+    let src = g.add_stage(
+        "src",
+        StageKind::Source {
+            block: DataVolume::mib(64),
+            interval: SimDuration::from_secs(30),
+            blocks: p.blocks,
+            start: SimTime::ZERO,
+        },
+    );
+    let sink = g.add_stage("sink", StageKind::Archive);
+    for c in 0..p.chains {
+        let mut prev = src;
+        for d in 0..p.depth {
+            // Deterministic kind cycle; rates are fast so simulated task
+            // durations stay short and the event count dominates runtime.
+            let (tag, kind) = match d % 4 {
+                0 => (
+                    "proc",
+                    StageKind::Process {
+                        rate_per_cpu: DataRate::mb_per_sec(800.0),
+                        cpus_per_task: 1,
+                        chunk: None,
+                        output_ratio: 1.0,
+                        pool: pool_name.to_string(),
+                        workspace_ratio: 0.0,
+                        retain_input: false,
+                        checkpoint: CheckpointPolicy::None,
+                    },
+                ),
+                1 => (
+                    "link",
+                    StageKind::Transfer {
+                        rate: DataRate::mb_per_sec(1200.0),
+                        latency: SimDuration::from_secs(1),
+                        channels: 4,
+                    },
+                ),
+                2 => (
+                    "trig",
+                    StageKind::Filter {
+                        rate: DataRate::mb_per_sec(1500.0),
+                        accept_ratio: 0.97,
+                        checkpoint: CheckpointPolicy::None,
+                    },
+                ),
+                _ => (
+                    "dedup",
+                    StageKind::Dedup {
+                        rate: DataRate::mb_per_sec(1500.0),
+                        unique_ratio: 0.95,
+                        window: 2,
+                    },
+                ),
+            };
+            let id = g.add_stage(format!("c{c}-{tag}{d}"), kind);
+            g.connect(prev, id).expect("stress stage ids are in range");
+            prev = id;
+        }
+        g.connect(prev, sink).expect("stress stage ids are in range");
+    }
+    g.validate().expect("stress graph is valid by construction");
+    (g, pools)
+}
+
 /// Seed the generator RNG from the archetype name and the seed's payload
 /// bits (the shrink byte scales ranges but keeps the draw stream, so a
 /// shrunk graph resembles its parent).
@@ -610,6 +721,33 @@ mod tests {
         assert_eq!(shrink_level(s2), 2);
         assert_eq!(s2 & SEED_PAYLOAD_MASK, seed & SEED_PAYLOAD_MASK);
         assert_eq!(shrink_level(u64::MAX), MAX_SHRINK_LEVEL);
+    }
+
+    #[test]
+    fn stress_flow_is_deterministic_valid_and_runs() {
+        use crate::sim::FlowSim;
+
+        let p = StressParams { chains: 2, depth: 8, blocks: 4 };
+        let (g, pools) = stress_flow(&p);
+        assert_eq!(g.len(), p.stages());
+        assert_eq!(p.block_hops(), 64);
+        let (g2, pools2) = stress_flow(&p);
+        for (a, b) in g.stage_ids().zip(g2.stage_ids()) {
+            assert_eq!(g.stage(a).name, g2.stage(b).name);
+            assert_eq!(g.downstream(a), g2.downstream(b));
+        }
+        assert_eq!(pools.len(), pools2.len());
+        let report = FlowSim::new(g, pools).unwrap().run().unwrap();
+        let r2 = FlowSim::new(g2, pools2).unwrap().run().unwrap();
+        assert!(report.finished_at > SimTime::ZERO);
+        assert_eq!(report, r2, "stress flow replays byte-identically");
+    }
+
+    #[test]
+    fn default_stress_params_hit_the_bench_scale() {
+        let p = StressParams::default();
+        assert_eq!(p.stages(), 1002);
+        assert_eq!(p.block_hops(), 1_000_000);
     }
 
     #[test]

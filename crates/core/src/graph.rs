@@ -253,11 +253,10 @@ impl FlowGraph {
     /// [`crate::spec::FlowSpec`] near-miss fails `build()` with a typed
     /// error instead of hanging or panicking deep inside the engine.
     pub fn validate(&self) -> CoreResult<()> {
-        for (i, a) in self.stages.iter().enumerate() {
-            for b in &self.stages[..i] {
-                if a.name == b.name {
-                    return Err(CoreError::DuplicateStage { name: a.name.clone() });
-                }
+        let mut seen = std::collections::HashSet::with_capacity(self.stages.len());
+        for a in &self.stages {
+            if !seen.insert(a.name.as_str()) {
+                return Err(CoreError::DuplicateStage { name: a.name.clone() });
             }
         }
         for id in self.stage_ids() {

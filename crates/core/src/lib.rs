@@ -17,13 +17,19 @@
 //!   filters and archives (the shape of the paper's Figures 1 and 2);
 //! * [`spec`] — a declarative builder ([`spec::FlowSpec`]) that wires those
 //!   DAGs by stage name, used by all three case-study crates;
-//! * [`sim`] — a discrete-event simulator that executes a flow graph against
-//!   shared CPU pools and reports throughput, backlog, utilisation and
-//!   instantaneous storage; it is a thin orchestrator over three layers:
-//!   [`engine`] (the deterministic event loop), [`behavior`] (per-kind stage
-//!   semantics behind the [`behavior::StageBehavior`] trait), and
-//!   [`resource`] (shared pools and channels with a pluggable
-//!   [`resource::SchedPolicy`]);
+//! * [`compiled`] — the typed, id-indexed IR between authoring and
+//!   execution: [`compiled::compile`] interns every stage, pool and channel
+//!   name into dense integer ids (CSR adjacency, per-stage policy tables),
+//!   so the run loop never touches a `String`; names survive in side tables
+//!   resolved at report/trace render time;
+//! * [`sim`] — a discrete-event simulator that executes a compiled flow
+//!   against shared CPU pools and reports throughput, backlog, utilisation
+//!   and instantaneous storage; it is a thin orchestrator over three layers:
+//!   [`engine`] (the deterministic event loop, with event payloads in a
+//!   generation-tagged [`slab::Slab`] whose residency is bounded by peak
+//!   pending events), [`behavior`] (per-kind stage semantics behind the
+//!   [`behavior::StageBehavior`] trait), and [`resource`] (shared pools and
+//!   channels with a pluggable [`resource::SchedPolicy`]);
 //! * [`fault`] — seeded, replayable fault timelines (drops, stalls,
 //!   corruption, rate degradation) and bounded retry/backoff policies that
 //!   the simulator and `simnet`'s reliable executor share;
@@ -64,6 +70,7 @@
 //! ```
 
 pub mod behavior;
+pub mod compiled;
 pub mod critical;
 pub mod engine;
 pub mod error;
@@ -76,12 +83,14 @@ pub mod product;
 pub mod provenance;
 pub mod resource;
 pub mod sim;
+pub mod slab;
 pub mod spec;
 pub mod trace;
 pub mod units;
 pub mod version;
 
 pub use behavior::{Completion, Dispatch, FlowEvent, StageBehavior, StageCtx};
+pub use compiled::{compile, CompiledFlow, CompiledKind, PoolIdx};
 pub use critical::{critical_path, CriticalPathReport, PathSegment, StageBreakdown};
 pub use engine::{Engine, EventHandler, RunStats, Scheduler};
 pub use error::{CoreError, CoreResult};
@@ -95,6 +104,7 @@ pub use product::{DataProduct, ProductKind};
 pub use provenance::{ProvenanceRecord, ProvenanceStep};
 pub use resource::{ResourceId, ResourceSet, SchedPolicy, StorageLedger};
 pub use sim::{CpuPool, FlowSim};
+pub use slab::{Slab, SlabKey};
 pub use spec::{
     BatcherSpec, DedupSpec, FilterSpec, FlowSpec, ProcessSpec, SourceSpec, TransferSpec,
 };

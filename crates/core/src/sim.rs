@@ -28,10 +28,11 @@ use crate::behavior::{
     FilterBehavior, FlowEvent, ProcessBehavior, SourceBehavior, StageBehavior, StageCtx,
     TransferBehavior,
 };
+use crate::compiled::{compile, CompiledFlow, CompiledKind};
 use crate::engine::{Engine, EventHandler, RunStats, Scheduler};
 use crate::error::{CoreError, CoreResult};
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
-use crate::graph::{CheckpointPolicy, FlowGraph, StageId, StageKind, VerifyPolicy};
+use crate::graph::{FlowGraph, StageId, VerifyPolicy};
 use crate::metrics::{EngineStats, SimReport, StageMetrics, TimeSeries, TsSample};
 use crate::resource::{ResourceId, ResourceSet};
 use crate::trace::{Observer, TraceCtx, TraceEvent, TraceMeta};
@@ -73,13 +74,14 @@ struct TsSampler {
     tick: SimDuration,
     /// The next tick still to be sampled.
     next: SimTime,
-    pool_names: Vec<String>,
     samples: Vec<TsSample>,
 }
 
-/// Discrete-event executor for a validated [`FlowGraph`].
+/// Discrete-event executor for a compiled flow ([`CompiledFlow`]).
 pub struct FlowSim {
-    graph: FlowGraph,
+    /// The compiled IR: id-indexed stage/policy tables plus the name side
+    /// tables resolved only when rendering reports and traces.
+    flow: CompiledFlow,
     /// One behavior per stage; taken out while its hook runs.
     behaviors: Vec<Option<Box<dyn StageBehavior>>>,
     metrics: Vec<StageMetrics>,
@@ -92,17 +94,6 @@ pub struct FlowSim {
     source_end: Option<SimTime>,
     max_events: u64,
     faults: Option<FaultCtx>,
-    /// Per-stage: can lineage reprocessing restart from here? (Sources and
-    /// archives hold their data; process/filter stages only if they retain
-    /// input or checkpoint.) Computed once at build time so the run loop
-    /// stays kind-free.
-    durable: Vec<bool>,
-    /// Per-stage output/input volume ratio, used to invert a stage's
-    /// transformation when walking lineage upstream.
-    ratio: Vec<f64>,
-    /// Per-stage: is this a terminal stage (no downstream)? Taint arriving
-    /// unchecked at a sink has escaped to consumers.
-    sink: Vec<bool>,
     /// Draws which arrivals a [`VerifyPolicy::Sample`] stage actually checks.
     /// Untouched by runs without sampled stages, so adding the field changes
     /// no existing replay.
@@ -118,14 +109,22 @@ pub struct FlowSim {
     sampler: Option<TsSampler>,
     /// Pools sampled by the time series, in [`SimReport::pools`] order.
     sample_pools: Vec<ResourceId>,
+    /// Recycled [`DeferredFx`] buffers: every hook invocation needs one, and
+    /// reusing them keeps the per-event path allocation-free.
+    fx_pool: Vec<DeferredFx>,
 }
 
 impl FlowSim {
-    /// Build a simulator. The graph is validated and every pool referenced by
-    /// a `Process` stage must be supplied.
+    /// Build a simulator from an authoring-form graph: compiles it (which
+    /// validates) and hands the IR to [`FlowSim::from_compiled`].
     pub fn new(graph: FlowGraph, pools: Vec<CpuPool>) -> CoreResult<Self> {
-        graph.validate()?;
-        let mut resources = ResourceSet::new(graph.len(), SchedPolicy::default());
+        Self::from_compiled(compile(&graph)?, pools)
+    }
+
+    /// Build a simulator from an already-compiled flow. Every pool the flow
+    /// references must be supplied.
+    pub fn from_compiled(flow: CompiledFlow, pools: Vec<CpuPool>) -> CoreResult<Self> {
+        let mut resources = ResourceSet::new(flow.len(), SchedPolicy::default());
         for p in pools {
             if p.cpus == 0 {
                 return Err(CoreError::InvalidConfig {
@@ -139,25 +138,32 @@ impl FlowSim {
             }
             resources.add_pool(p.name, p.cpus);
         }
-        for name in graph.referenced_pools() {
+        for name in flow.pool_names() {
             if resources.find(name).is_none() {
                 return Err(CoreError::UnknownPool { name: name.to_string() });
             }
         }
+        // Resolve the flow's interned pool indices to resource ids, once.
+        let pool_rids: Vec<ResourceId> = flow
+            .pool_names()
+            .iter()
+            .map(|name| resources.find(name).expect("pool checked above"))
+            .collect();
         // Stage-local parameter validation (ratios, channels, checkpoint and
-        // verify policies) ran inside `graph.validate()` above. The one check
-        // that needs the pools stays here: a task wider than its whole pool
-        // would wait forever and silently stall the flow.
-        for id in graph.stage_ids() {
-            let stage = graph.stage(id);
-            if let StageKind::Process { cpus_per_task, pool, .. } = &stage.kind {
-                let rid = resources.find(pool).expect("pool checked above");
-                let total = resources.total(rid);
-                if *cpus_per_task > total {
+        // verify policies) ran when the flow was compiled. The one check that
+        // needs the pools stays here: a task wider than its whole pool would
+        // wait forever and silently stall the flow.
+        for id in flow.stage_ids() {
+            if let CompiledKind::Process { cpus_per_task, pool, .. } = *flow.kind(id) {
+                let total = resources.total(pool_rids[pool.index()]);
+                if cpus_per_task > total {
                     return Err(CoreError::InvalidConfig {
                         detail: format!(
                             "stage `{}` needs {} cpus per task but pool `{}` has only {}",
-                            stage.name, cpus_per_task, pool, total
+                            flow.name(id),
+                            cpus_per_task,
+                            flow.pool_name(pool),
+                            total
                         ),
                     });
                 }
@@ -165,14 +171,13 @@ impl FlowSim {
         }
         // The only kind dispatch in the simulator: constructing each stage's
         // behavior (and its private channel resource where one is needed).
-        let mut behaviors: Vec<Option<Box<dyn StageBehavior>>> = Vec::with_capacity(graph.len());
-        for id in graph.stage_ids() {
-            let stage = graph.stage(id);
-            let behavior: Box<dyn StageBehavior> = match &stage.kind {
-                StageKind::Source { block, interval, blocks, start } => {
-                    Box::new(SourceBehavior::new(*block, *interval, *blocks, *start))
+        let mut behaviors: Vec<Option<Box<dyn StageBehavior>>> = Vec::with_capacity(flow.len());
+        for id in flow.stage_ids() {
+            let behavior: Box<dyn StageBehavior> = match *flow.kind(id) {
+                CompiledKind::Source { block, interval, blocks, start } => {
+                    Box::new(SourceBehavior::new(block, interval, blocks, start))
                 }
-                StageKind::Process {
+                CompiledKind::Process {
                     rate_per_cpu,
                     cpus_per_task,
                     chunk,
@@ -181,94 +186,53 @@ impl FlowSim {
                     workspace_ratio,
                     retain_input,
                     checkpoint,
-                } => {
-                    let rid = resources.find(pool).expect("pool checked above");
-                    Box::new(ProcessBehavior::new(
-                        *rate_per_cpu,
-                        *cpus_per_task,
-                        *chunk,
-                        *output_ratio,
-                        *workspace_ratio,
-                        *retain_input,
-                        *checkpoint,
-                        rid,
-                    ))
+                } => Box::new(ProcessBehavior::new(
+                    rate_per_cpu,
+                    cpus_per_task,
+                    chunk,
+                    output_ratio,
+                    workspace_ratio,
+                    retain_input,
+                    checkpoint,
+                    pool_rids[pool.index()],
+                )),
+                CompiledKind::Transfer { rate, latency, channels } => {
+                    let rid = resources.add_channel(format!("{}#channel", flow.name(id)), channels);
+                    Box::new(TransferBehavior::new(rate, latency, rid))
                 }
-                StageKind::Transfer { rate, latency, channels } => {
-                    let rid = resources.add_channel(format!("{}#channel", stage.name), *channels);
-                    Box::new(TransferBehavior::new(*rate, *latency, rid))
+                CompiledKind::Filter { rate, accept_ratio, checkpoint } => {
+                    let rid = resources.add_channel(format!("{}#channel", flow.name(id)), 1);
+                    Box::new(FilterBehavior::new(rate, accept_ratio, checkpoint, rid))
                 }
-                StageKind::Filter { rate, accept_ratio, checkpoint } => {
-                    let rid = resources.add_channel(format!("{}#channel", stage.name), 1);
-                    Box::new(FilterBehavior::new(*rate, *accept_ratio, *checkpoint, rid))
+                CompiledKind::Batcher { batch, linger } => {
+                    Box::new(BatcherBehavior::new(batch, linger))
                 }
-                StageKind::Batcher { batch, linger } => {
-                    Box::new(BatcherBehavior::new(*batch, *linger))
+                CompiledKind::Dedup { rate, unique_ratio, window } => {
+                    let rid = resources.add_channel(format!("{}#channel", flow.name(id)), 1);
+                    Box::new(DedupBehavior::new(rate, unique_ratio, window, rid))
                 }
-                StageKind::Dedup { rate, unique_ratio, window } => {
-                    let rid = resources.add_channel(format!("{}#channel", stage.name), 1);
-                    Box::new(DedupBehavior::new(*rate, *unique_ratio, *window, rid))
-                }
-                StageKind::Archive => Box::new(ArchiveBehavior),
+                CompiledKind::Archive => Box::new(ArchiveBehavior),
             };
             behaviors.push(Some(behavior));
         }
-        let mut pending_emits = 0u64;
-        for id in graph.stage_ids() {
-            if let StageKind::Source { blocks, .. } = graph.stage(id).kind {
-                pending_emits += blocks;
-            }
-        }
-        // Lineage tables, computed here so the run loop never matches kinds:
-        // where reprocessing can restart, how to invert each stage's volume
-        // transformation, and which stages are sinks.
-        let mut durable = Vec::with_capacity(graph.len());
-        let mut ratio = Vec::with_capacity(graph.len());
-        let mut sink = Vec::with_capacity(graph.len());
-        for id in graph.stage_ids() {
-            let (d, r) = match &graph.stage(id).kind {
-                StageKind::Source { .. } | StageKind::Archive => (true, 1.0),
-                StageKind::Process { retain_input, checkpoint, output_ratio, .. } => {
-                    (*retain_input || *checkpoint != CheckpointPolicy::None, *output_ratio)
-                }
-                StageKind::Filter { accept_ratio, checkpoint, .. } => {
-                    (*checkpoint != CheckpointPolicy::None, *accept_ratio)
-                }
-                StageKind::Transfer { .. } => (false, 1.0),
-                // A batcher merges rather than transforms (volume in ==
-                // volume out); dedup forwards its steady-state ratio. Neither
-                // holds a replayable copy.
-                StageKind::Batcher { .. } => (false, 1.0),
-                StageKind::Dedup { unique_ratio, .. } => (false, *unique_ratio),
-            };
-            durable.push(d);
-            ratio.push(r);
-            sink.push(graph.downstream(id).is_empty());
-        }
-        let metrics = vec![StageMetrics::default(); graph.len()];
-        let (sampler, sample_pools) = match graph.observe_config() {
+        let metrics = vec![StageMetrics::default(); flow.len()];
+        let (sampler, sample_pools) = match flow.observe_config() {
             Some(cfg) => {
                 if cfg.tick.is_zero() {
                     return Err(CoreError::InvalidConfig {
                         detail: "observation tick must be non-zero".to_string(),
                     });
                 }
-                let pool_ids = resources.pool_ids();
-                let pool_names = pool_ids.iter().map(|&r| resources.names()[r.0].clone()).collect();
                 (
-                    Some(TsSampler {
-                        tick: cfg.tick,
-                        next: SimTime::ZERO,
-                        pool_names,
-                        samples: Vec::new(),
-                    }),
-                    pool_ids,
+                    Some(TsSampler { tick: cfg.tick, next: SimTime::ZERO, samples: Vec::new() }),
+                    resources.pool_ids(),
                 )
             }
             None => (None, Vec::new()),
         };
+        let pending_emits = flow.pending_emits();
         Ok(FlowSim {
-            graph,
+            flow,
             behaviors,
             metrics,
             resources,
@@ -278,14 +242,12 @@ impl FlowSim {
             source_end: None,
             max_events: 50_000_000,
             faults: None,
-            durable,
-            ratio,
-            sink,
             verify_rng: StdRng::seed_from_u64(VERIFY_RNG_SALT),
             max_reprocess_depth: 8,
             trace: TraceCtx::new(),
             sampler,
             sample_pools,
+            fx_pool: Vec::new(),
         })
     }
 
@@ -367,24 +329,18 @@ impl FlowSim {
         }
         // Hand the observer its name tables before the first event fires.
         if self.trace.enabled() {
-            let meta = TraceMeta {
-                stages: self
-                    .graph
-                    .stage_ids()
-                    .map(|id| self.graph.stage(id).name.clone())
-                    .collect(),
-                resources: self.resources.names(),
-            };
+            let meta =
+                TraceMeta { stages: self.flow.names().to_vec(), resources: self.resources.names() };
             self.trace.begin(&meta);
         }
         // Let every behavior seed its initial events, in stage order.
-        for id in self.graph.stage_ids() {
+        for id in self.flow.stage_ids() {
             let mut behavior = self.behaviors[id.index()].take().expect("behavior in place");
-            let mut fx = DeferredFx::default();
+            let mut fx = self.take_fx();
             {
                 let mut ctx = StageCtx::new(
                     id,
-                    &self.graph,
+                    &self.flow,
                     engine.scheduler(),
                     &mut self.metrics,
                     &mut self.ledger,
@@ -396,6 +352,7 @@ impl FlowSim {
                 behavior.seed(&mut ctx);
             }
             self.behaviors[id.index()] = Some(behavior);
+            self.recycle_fx(fx);
         }
         let stats = engine.run_counted(&mut self)?;
         Ok(self.report(stats))
@@ -409,11 +366,11 @@ impl FlowSim {
         use crate::behavior::Dispatch;
         while let Some(head) = self.resources.front_waiter(rid) {
             let mut behavior = self.behaviors[head.index()].take().expect("behavior in place");
-            let mut fx = DeferredFx::default();
+            let mut fx = self.take_fx();
             let dispatched = {
                 let mut ctx = StageCtx::new(
                     head,
-                    &self.graph,
+                    &self.flow,
                     sched,
                     &mut self.metrics,
                     &mut self.ledger,
@@ -425,6 +382,7 @@ impl FlowSim {
                 behavior.try_dispatch(&mut ctx)
             };
             self.behaviors[head.index()] = Some(behavior);
+            self.recycle_fx(fx);
             match dispatched {
                 Dispatch::Blocked => break,
                 Dispatch::Idle => self.resources.drop_front(rid),
@@ -458,13 +416,13 @@ impl FlowSim {
         });
         let mut shortfall = self.resources.crash(rid, take);
         if shortfall > 0 {
-            for id in self.graph.stage_ids() {
+            for id in self.flow.stage_ids() {
                 let mut behavior = self.behaviors[id.index()].take().expect("behavior in place");
-                let mut fx = DeferredFx::default();
+                let mut fx = self.take_fx();
                 {
                     let mut ctx = StageCtx::new(
                         id,
-                        &self.graph,
+                        &self.flow,
                         sched,
                         &mut self.metrics,
                         &mut self.ledger,
@@ -476,6 +434,7 @@ impl FlowSim {
                     behavior.on_crash(&mut ctx, rid, shortfall);
                 }
                 self.behaviors[id.index()] = Some(behavior);
+                self.recycle_fx(fx);
                 // Killed tasks released their units back to the free count;
                 // confiscate again until the crash is fully covered.
                 shortfall = self.resources.crash(rid, shortfall);
@@ -517,7 +476,7 @@ impl FlowSim {
         let mut prev = from;
         for _ in 0..self.max_reprocess_depth {
             let Some(u) = prev else { return };
-            if self.durable[u.index()] {
+            if self.flow.durable(u) {
                 // `u` still holds (or can regenerate) a clean copy of what it
                 // delivered to `cur`: replay that delivery. The replacement
                 // keeps the quarantined block's lineage id — it is the same
@@ -529,14 +488,28 @@ impl FlowSim {
                 );
                 return;
             }
-            let r = self.ratio[u.index()];
+            let r = self.flow.ratio(u);
             if r <= 0.0 {
                 return;
             }
             vol = vol.scale(1.0 / r);
             cur = u;
-            prev = self.graph.upstream(u).first().copied();
+            prev = self.flow.upstream(u).first().copied();
         }
+    }
+
+    /// Grab a cleared [`DeferredFx`] buffer, reusing a recycled one when
+    /// available so steady-state event handling allocates nothing.
+    fn take_fx(&mut self) -> DeferredFx {
+        self.fx_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a [`DeferredFx`] buffer to the pool once its effects have been
+    /// applied (or deliberately ignored, as in seeding and crash recovery).
+    fn recycle_fx(&mut self, mut fx: DeferredFx) {
+        fx.drains.clear();
+        fx.source_emits = 0;
+        self.fx_pool.push(fx);
     }
 
     fn total_queued(&self) -> DataVolume {
@@ -553,9 +526,9 @@ impl FlowSim {
         let pool_in_use: Vec<u32> =
             self.sample_pools.iter().map(|&r| self.resources.in_use(r)).collect();
         let sink_volume = self
-            .graph
+            .flow
             .stage_ids()
-            .filter(|id| self.sink[id.index()])
+            .filter(|&id| self.flow.sink(id))
             .map(|id| self.metrics[id.index()].volume_in)
             .sum();
         if let Some(s) = self.sampler.as_mut() {
@@ -587,22 +560,28 @@ impl FlowSim {
             self.sample_up_to(finished_at);
             self.take_sample(finished_at);
         }
-        let mut stages = Vec::with_capacity(self.graph.len());
-        for id in self.graph.stage_ids() {
+        let mut stages = Vec::with_capacity(self.flow.len());
+        for id in self.flow.stage_ids() {
             let mut m = self.metrics[id.index()].clone();
-            m.name = self.graph.stage(id).name.clone();
+            m.name = self.flow.name(id).to_string();
             m.final_queue_volume =
                 self.behaviors[id.index()].as_ref().expect("behavior in place").queued_volume();
             stages.push(m);
         }
         let (timeseries, engine) = match self.sampler {
-            Some(s) => (
-                Some(TimeSeries { tick: s.tick, pools: s.pool_names, samples: s.samples }),
-                Some(EngineStats {
-                    events_handled: stats.events_handled,
-                    peak_pending: stats.peak_pending,
-                }),
-            ),
+            Some(s) => {
+                // Pool names are resolved only here, at the render edge: the
+                // per-run sampler records ids and counts, never strings.
+                let names = self.resources.names();
+                let pools = self.sample_pools.iter().map(|&r| names[r.0].clone()).collect();
+                (
+                    Some(TimeSeries { tick: s.tick, pools, samples: s.samples }),
+                    Some(EngineStats {
+                        events_handled: stats.events_handled,
+                        peak_pending: stats.peak_pending,
+                    }),
+                )
+            }
             None => (None, None),
         };
         SimReport {
@@ -636,7 +615,7 @@ impl EventHandler for FlowSim {
                 // Arrival integrity check, per the stage's verify policy.
                 // Digest checks every block; Sample draws a seeded fraction;
                 // both spend `volume / rate` of compute before admission.
-                let cost = match self.graph.stage(stage).verify {
+                let cost = match self.flow.verify(stage) {
                     VerifyPolicy::None => None,
                     VerifyPolicy::Digest { rate } => {
                         Some(volume.time_at(rate).unwrap_or(SimDuration::ZERO))
@@ -687,7 +666,7 @@ impl EventHandler for FlowSim {
                 // Unchecked: taint reaching a terminal stage has escaped to
                 // consumers; count it once here and hand the behavior a
                 // clean block so it cannot be double-counted downstream.
-                let taint = if taint > 0 && self.sink[stage.index()] {
+                let taint = if taint > 0 && self.flow.sink(stage) {
                     self.metrics[stage.index()].corrupt_escaped += taint as u64;
                     0
                 } else {
@@ -718,11 +697,11 @@ impl EventHandler for FlowSim {
             }
         };
         let mut behavior = self.behaviors[stage.index()].take().expect("behavior in place");
-        let mut fx = DeferredFx::default();
+        let mut fx = self.take_fx();
         {
             let mut ctx = StageCtx::new(
                 stage,
-                &self.graph,
+                &self.flow,
                 sched,
                 &mut self.metrics,
                 &mut self.ledger,
@@ -746,15 +725,18 @@ impl EventHandler for FlowSim {
                 self.source_end = Some(sched.now());
             }
         }
-        for rid in fx.drains {
+        for i in 0..fx.drains.len() {
+            let rid = fx.drains[i];
             self.drain(rid, sched);
         }
+        self.recycle_fx(fx);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{CheckpointPolicy, StageKind};
     use crate::units::{DataRate, SimDuration};
 
     fn simple_graph(cpus_rate_mb: f64, output_ratio: f64) -> FlowGraph {

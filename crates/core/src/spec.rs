@@ -35,8 +35,9 @@
 //! wire-for-wire identical.
 
 use crate::error::{CoreError, CoreResult};
-use crate::graph::{FlowGraph, StageKind};
+use crate::graph::{FlowGraph, StageId, StageKind};
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
+use std::collections::HashMap;
 
 pub use crate::graph::{CheckpointPolicy, VerifyPolicy};
 pub use crate::trace::ObserveConfig;
@@ -356,10 +357,18 @@ impl FlowSpec {
     /// Resolve names, wire edges, and validate the resulting graph.
     pub fn build(self) -> CoreResult<FlowGraph> {
         let mut g = FlowGraph::new();
+        // Name resolution through `FlowGraph::find` is a linear scan, which
+        // makes wiring O(stages × edges) on large specs. Intern names into a
+        // map as stages are declared instead. Duplicate names keep the first
+        // id — `find`'s first-match behavior — so the (invalid) graph that
+        // reaches `validate()` is identical either way.
+        let mut index: HashMap<String, StageId> = HashMap::with_capacity(self.stages.len());
         for (name, kind, upstream) in self.stages {
+            let key = name.clone();
             let id = g.add_stage(name, kind);
+            index.entry(key).or_insert(id);
             for up in upstream {
-                let uid = g.find(&up).ok_or_else(|| CoreError::InvalidTopology {
+                let uid = *index.get(&up).ok_or_else(|| CoreError::InvalidTopology {
                     detail: format!(
                         "stage `{}` feeds from `{up}`, which is not declared before it",
                         g.stage(id).name
@@ -369,16 +378,16 @@ impl FlowSpec {
             }
         }
         for (from, to) in self.feeds {
-            let fid = g.find(&from).ok_or_else(|| CoreError::InvalidTopology {
+            let fid = *index.get(&from).ok_or_else(|| CoreError::InvalidTopology {
                 detail: format!("feed names undeclared stage `{from}`"),
             })?;
-            let tid = g.find(&to).ok_or_else(|| CoreError::InvalidTopology {
+            let tid = *index.get(&to).ok_or_else(|| CoreError::InvalidTopology {
                 detail: format!("feed names undeclared stage `{to}`"),
             })?;
             g.connect(fid, tid)?;
         }
         for (name, policy) in self.verifies {
-            let id = g.find(&name).ok_or_else(|| CoreError::InvalidTopology {
+            let id = *index.get(&name).ok_or_else(|| CoreError::InvalidTopology {
                 detail: format!("verify names undeclared stage `{name}`"),
             })?;
             g.set_verify(id, policy);

@@ -1,0 +1,128 @@
+//! Property: compiling a flow changes nothing observable.
+//!
+//! [`sciflow_core::compile`] lowers a validated [`FlowGraph`] into the
+//! id-indexed [`sciflow_core::CompiledFlow`] IR the simulator executes.
+//! `FlowSim::new` is now a thin wrapper over `compile` +
+//! `FlowSim::from_compiled`, so this suite pins the contract from both ends:
+//! for workload-zoo graphs across every archetype, the two construction
+//! paths must produce **byte-identical** output — `SimReport` equality plus
+//! identical JSON and text renderings, and identical trace JSONL — in every
+//! run mode (clean, link-faulted + corrupt, corrupt with digests everywhere,
+//! node-crashy, and traced).
+//!
+//! Seeds derive from the `FAULT_MATRIX_SEED` matrix entry, so each CI matrix
+//! row checks the equivalence over a disjoint slice of graph space.
+
+use sciflow_core::compile;
+use sciflow_core::fault::{FaultPlan, RetryPolicy};
+use sciflow_core::genflow::{Archetype, SEED_PAYLOAD_MASK};
+use sciflow_core::graph::FlowGraph;
+use sciflow_core::metrics::SimReport;
+use sciflow_core::sim::{CpuPool, FlowSim};
+use sciflow_core::trace::TraceRecorder;
+use sciflow_testkit::{check_generated, derive_seed, matrix_seed, GeneratedScenario};
+
+/// Graphs per archetype; each one runs all five modes through both
+/// construction paths (ten simulations per graph).
+const SEEDS_PER_ARCHETYPE: u64 = 8;
+
+fn zoo_seeds(archetype: Archetype) -> Vec<u64> {
+    let master = matrix_seed(42);
+    (0..SEEDS_PER_ARCHETYPE)
+        .map(|i| {
+            derive_seed(master, &format!("compiled-equiv-{}-{i}", archetype.name()))
+                & SEED_PAYLOAD_MASK
+        })
+        .collect()
+}
+
+/// The same graph built both ways: through the authoring-form constructor
+/// and through an explicit compile step.
+fn both_paths(graph: &FlowGraph, pools: &[CpuPool]) -> (FlowSim, FlowSim) {
+    let interpreted =
+        FlowSim::new(graph.clone(), pools.to_vec()).expect("generated graph is valid");
+    let flow = compile(graph).expect("generated graph compiles");
+    let compiled = FlowSim::from_compiled(flow, pools.to_vec()).expect("compiled flow is valid");
+    (interpreted, compiled)
+}
+
+/// Byte-identity, not just structural equality: the report must also render
+/// to the same JSON and the same text table.
+fn assert_identical(a: SimReport, b: SimReport, mode: &str) {
+    assert_eq!(a, b, "{mode}: compiled and interpreted reports diverged");
+    assert_eq!(a.to_json(), b.to_json(), "{mode}: JSON renderings diverged");
+    assert_eq!(a.to_string(), b.to_string(), "{mode}: text renderings diverged");
+}
+
+/// The seeded fault timeline a [`GeneratedScenario`] would use for `label`.
+fn plan_for(s: &GeneratedScenario, label: &str, profile: &sciflow_core::FaultProfile) -> FaultPlan {
+    FaultPlan::generate(derive_seed(s.flow.seed, label), s.flow.horizon, profile)
+}
+
+#[test]
+fn compiled_flows_match_interpreted_flows_in_every_mode() {
+    for archetype in Archetype::ALL {
+        check_generated(archetype, zoo_seeds(archetype), |s| {
+            let pools = &s.flow.pools;
+            let policy = RetryPolicy::default();
+
+            // Clean.
+            let (i, c) = both_paths(&s.flow.graph, pools);
+            assert_identical(
+                i.run().expect("interpreted clean run converges"),
+                c.run().expect("compiled clean run converges"),
+                "clean",
+            );
+
+            // Link faults + dense silent corruption, generator-chosen verify.
+            let corrupt = s.flow.corrupt_profile();
+            let plan = plan_for(s, "zoo-corrupt", &corrupt);
+            let (i, c) = both_paths(&s.flow.graph, pools);
+            assert_identical(
+                i.with_faults(plan.clone(), policy).run().expect("converges"),
+                c.with_faults(plan.clone(), policy).run().expect("converges"),
+                "corrupt",
+            );
+
+            // Same corrupt timeline against the digest-everywhere variant.
+            let verified = s.flow.digest_everywhere();
+            let (i, c) = both_paths(&verified, pools);
+            assert_identical(
+                i.with_faults(plan.clone(), policy).run().expect("converges"),
+                c.with_faults(plan.clone(), policy).run().expect("converges"),
+                "corrupt-verified",
+            );
+
+            // Node crashes, where the graph has a process stage to crash.
+            if let Some(crash) = s.flow.crash_profile() {
+                let crash_plan = plan_for(s, "zoo-crash", &crash);
+                let (i, c) = both_paths(&s.flow.graph, pools);
+                assert_identical(
+                    i.with_faults(crash_plan.clone(), policy).run().expect("converges"),
+                    c.with_faults(crash_plan, policy).run().expect("converges"),
+                    "crashy",
+                );
+            }
+
+            // Traced: reports and the rendered trace JSONL must both agree.
+            let (i, c) = both_paths(&s.flow.graph, pools);
+            let (trace_i, trace_c) = (TraceRecorder::new(), TraceRecorder::new());
+            let report_i = i
+                .with_faults(plan.clone(), policy)
+                .with_observer(trace_i.clone())
+                .run()
+                .expect("converges");
+            let report_c = c
+                .with_faults(plan, policy)
+                .with_observer(trace_c.clone())
+                .run()
+                .expect("converges");
+            assert_identical(report_i, report_c, "traced");
+            assert_eq!(
+                trace_i.snapshot().jsonl(),
+                trace_c.snapshot().jsonl(),
+                "traced: trace JSONL diverged between construction paths"
+            );
+        });
+    }
+}
