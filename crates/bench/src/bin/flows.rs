@@ -1,19 +1,21 @@
 //! Wall-clock measurement of the standard flow suite — the numbers behind
-//! `BENCH_7.json`.
+//! the committed bench record (`sciflow_bench::flows::BENCH_RECORD`, e.g.
+//! `BENCH_8.json`).
 //!
 //! ```text
-//! flows [--quick] [--iters N] [--out FILE] [--baseline FILE]
+//! flows [--quick] [--iters N] [--out FILE] [--baseline FILE] [--label NAME]
 //! ```
 //!
 //! Runs every suite flow `N` times (default 5; `--quick` forces 1, for CI
 //! smoke) and reports the best wall clock per flow. With `--out` the result
 //! is written as JSON; with `--baseline` (a previous `--out` file) each
 //! entry also carries the baseline time and the improvement percentage —
-//! that merged form is what `BENCH_7.json` commits.
+//! that merged form is what the committed record holds. `--label` overrides
+//! the record name stamped into the JSON (default: `BENCH_RECORD`).
 
 use std::time::Instant;
 
-use sciflow_bench::flows::{run_flow, standard_suite, SuiteFlow};
+use sciflow_bench::flows::{run_flow, standard_suite, SuiteFlow, BENCH_RECORD};
 
 struct Measurement {
     name: &'static str,
@@ -54,7 +56,12 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     out
 }
 
-fn render_json(iters: u32, rows: &[Measurement], baseline: &[(String, f64)]) -> String {
+fn render_json(
+    label: &str,
+    iters: u32,
+    rows: &[Measurement],
+    baseline: &[(String, f64)],
+) -> String {
     let mut flows = Vec::new();
     for m in rows {
         let mut entry = format!(
@@ -69,7 +76,8 @@ fn render_json(iters: u32, rows: &[Measurement], baseline: &[(String, f64)]) -> 
         flows.push(entry);
     }
     format!(
-        "{{\n  \"bench\": \"BENCH_7\",\n  \"suite\": \"flows\",\n  \"iters\": {},\n  \"flows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{}\",\n  \"suite\": \"flows\",\n  \"iters\": {},\n  \"flows\": [\n{}\n  ]\n}}\n",
+        label,
         iters,
         flows.join(",\n")
     )
@@ -80,6 +88,7 @@ fn main() {
     let mut iters: u32 = 5;
     let mut out: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut label = BENCH_RECORD.to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -99,9 +108,18 @@ fn main() {
                 i += 1;
                 baseline_path = args.get(i).cloned();
             }
+            "--label" => {
+                i += 1;
+                label = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--label needs a name");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: flows [--quick] [--iters N] [--out FILE] [--baseline FILE]");
+                eprintln!(
+                    "usage: flows [--quick] [--iters N] [--out FILE] [--baseline FILE] [--label NAME]"
+                );
                 std::process::exit(2);
             }
         }
@@ -132,7 +150,7 @@ fn main() {
         rows.push(m);
     }
 
-    let json = render_json(iters, &rows, &baseline);
+    let json = render_json(&label, iters, &rows, &baseline);
     match out {
         Some(path) => {
             std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));

@@ -25,7 +25,9 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 
 use crate::compiled::CompiledFlow;
+use crate::durable::{self, wire};
 use crate::engine::{EventId, Scheduler};
+use crate::error::{CoreError, CoreResult};
 use crate::fault::{FaultPlan, RetryPolicy};
 use crate::graph::{CheckpointPolicy, StageId};
 use crate::metrics::StageMetrics;
@@ -282,6 +284,26 @@ pub trait StageBehavior {
     fn queued_volume(&self) -> DataVolume {
         DataVolume::ZERO
     }
+
+    /// Serialize this stage's mutable state into `out` for a snapshot.
+    /// Configuration (rates, pools, policies) is *not* written — the
+    /// resuming simulator rebuilds it from the same compiled flow, and the
+    /// journal's spec hash proves it is the same. Stages whose only state
+    /// lives in their metrics (sources, archives) write nothing.
+    fn save_state(&self, _out: &mut Vec<u8>) {}
+
+    /// Restore the state written by [`StageBehavior::save_state`]. The
+    /// default accepts only an empty blob: handing a stateless stage bytes
+    /// means the snapshot and the flow disagree about stage kinds.
+    fn load_state(&mut self, bytes: &[u8]) -> CoreResult<()> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::CorruptJournal {
+                detail: format!("{} bytes of state for a stateless stage", bytes.len()),
+            })
+        }
+    }
 }
 
 /// A queued unit of compute work, carrying checkpoint state across
@@ -325,6 +347,117 @@ struct RunningTask {
     payload: SimDuration,
     /// Checkpoint-write time scheduled on top of `payload`.
     overhead: SimDuration,
+}
+
+fn put_pending(out: &mut Vec<u8>, t: &PendingTask) {
+    durable::put_vol(out, t.input);
+    wire::put_u32(out, t.taint);
+    wire::put_u64(out, t.lineage);
+    durable::put_dur(out, t.banked);
+    durable::put_dur(out, t.replay);
+}
+
+fn get_pending(r: &mut wire::Reader) -> CoreResult<PendingTask> {
+    Ok(PendingTask {
+        input: durable::get_vol(r)?,
+        taint: r.u32()?,
+        lineage: r.u64()?,
+        banked: durable::get_dur(r)?,
+        replay: durable::get_dur(r)?,
+    })
+}
+
+fn put_running(out: &mut Vec<u8>, t: &RunningTask) {
+    wire::put_u64(out, t.id);
+    durable::put_event_id(out, t.event);
+    durable::put_vol(out, t.input);
+    wire::put_u32(out, t.taint);
+    wire::put_u64(out, t.lineage);
+    durable::put_vol(out, t.held);
+    wire::put_u32(out, t.units);
+    durable::put_time(out, t.started_at);
+    durable::put_time(out, t.ends_at);
+    durable::put_dur(out, t.banked);
+    durable::put_dur(out, t.payload);
+    durable::put_dur(out, t.overhead);
+}
+
+fn get_running(r: &mut wire::Reader) -> CoreResult<RunningTask> {
+    Ok(RunningTask {
+        id: r.u64()?,
+        event: durable::get_event_id(r)?,
+        input: durable::get_vol(r)?,
+        taint: r.u32()?,
+        lineage: r.u64()?,
+        held: durable::get_vol(r)?,
+        units: r.u32()?,
+        started_at: durable::get_time(r)?,
+        ends_at: durable::get_time(r)?,
+        banked: durable::get_dur(r)?,
+        payload: durable::get_dur(r)?,
+        overhead: durable::get_dur(r)?,
+    })
+}
+
+/// The common mutable core of the task-running behaviors (process, filter,
+/// dedup): a pending queue, its volume, the in-flight task table, and the
+/// task-id counter.
+fn put_task_state(
+    out: &mut Vec<u8>,
+    queue: &VecDeque<PendingTask>,
+    queued_volume: DataVolume,
+    running: &[RunningTask],
+    next_task: u64,
+) {
+    wire::put_u64(out, queue.len() as u64);
+    for t in queue {
+        put_pending(out, t);
+    }
+    durable::put_vol(out, queued_volume);
+    wire::put_u64(out, running.len() as u64);
+    for t in running {
+        put_running(out, t);
+    }
+    wire::put_u64(out, next_task);
+}
+
+#[allow(clippy::type_complexity)]
+fn get_task_state(
+    r: &mut wire::Reader,
+) -> CoreResult<(VecDeque<PendingTask>, DataVolume, Vec<RunningTask>, u64)> {
+    let n = r.len()?;
+    let mut queue = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        queue.push_back(get_pending(r)?);
+    }
+    let queued_volume = durable::get_vol(r)?;
+    let n = r.len()?;
+    let mut running = Vec::with_capacity(n);
+    for _ in 0..n {
+        running.push(get_running(r)?);
+    }
+    let next_task = r.u64()?;
+    Ok((queue, queued_volume, running, next_task))
+}
+
+/// Queued `(volume, taint, lineage)` triples (transfer queues, batcher
+/// buffers).
+fn put_triples(out: &mut Vec<u8>, triples: impl ExactSizeIterator<Item = (DataVolume, u32, u64)>) {
+    wire::put_u64(out, triples.len() as u64);
+    for (v, t, l) in triples {
+        durable::put_vol(out, v);
+        wire::put_u32(out, t);
+        wire::put_u64(out, l);
+    }
+}
+
+fn get_triples(r: &mut wire::Reader) -> CoreResult<Vec<(DataVolume, u32, u64)>> {
+    let n = r.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((durable::get_vol(r)?, r.u32()?, r.u64()?));
+    }
+    Ok(out)
 }
 
 /// How much of a killed run survives: checkpoints completed during `raw`
@@ -676,6 +809,21 @@ impl StageBehavior for ProcessBehavior {
     fn queued_volume(&self) -> DataVolume {
         self.queued_volume
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        put_task_state(out, &self.queue, self.queued_volume, &self.running, self.next_task);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> CoreResult<()> {
+        let mut r = wire::Reader::new(bytes);
+        let (queue, queued_volume, running, next_task) = get_task_state(&mut r)?;
+        r.done()?;
+        self.queue = queue;
+        self.queued_volume = queued_volume;
+        self.running = running;
+        self.next_task = next_task;
+        Ok(())
+    }
 }
 
 /// Moves blocks across a channel resource, riding out injected faults with
@@ -884,6 +1032,21 @@ impl StageBehavior for TransferBehavior {
 
     fn queued_volume(&self) -> DataVolume {
         self.queued_volume
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        put_triples(out, self.queue.iter().copied());
+        durable::put_vol(out, self.queued_volume);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> CoreResult<()> {
+        let mut r = wire::Reader::new(bytes);
+        let queue = get_triples(&mut r)?;
+        let queued_volume = durable::get_vol(&mut r)?;
+        r.done()?;
+        self.queue = queue.into();
+        self.queued_volume = queued_volume;
+        Ok(())
     }
 }
 
@@ -1095,6 +1258,21 @@ impl StageBehavior for FilterBehavior {
     fn queued_volume(&self) -> DataVolume {
         self.queued_volume
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        put_task_state(out, &self.queue, self.queued_volume, &self.running, self.next_task);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> CoreResult<()> {
+        let mut r = wire::Reader::new(bytes);
+        let (queue, queued_volume, running, next_task) = get_task_state(&mut r)?;
+        r.done()?;
+        self.queue = queue;
+        self.queued_volume = queued_volume;
+        self.running = running;
+        self.next_task = next_task;
+        Ok(())
+    }
 }
 
 /// Coalesces arriving blocks into one merged block (see
@@ -1182,6 +1360,38 @@ impl StageBehavior for BatcherBehavior {
 
     fn queued_volume(&self) -> DataVolume {
         self.buffered_volume
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        put_triples(out, self.buffer.iter().copied());
+        durable::put_vol(out, self.buffered_volume);
+        match self.flush {
+            Some(ev) => {
+                wire::put_u8(out, 1);
+                durable::put_event_id(out, ev);
+            }
+            None => wire::put_u8(out, 0),
+        }
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> CoreResult<()> {
+        let mut r = wire::Reader::new(bytes);
+        let buffer = get_triples(&mut r)?;
+        let buffered_volume = durable::get_vol(&mut r)?;
+        let flush = match r.u8()? {
+            0 => None,
+            1 => Some(durable::get_event_id(&mut r)?),
+            other => {
+                return Err(CoreError::CorruptJournal {
+                    detail: format!("bad flush tag {other} in batcher state"),
+                })
+            }
+        };
+        r.done()?;
+        self.buffer = buffer;
+        self.buffered_volume = buffered_volume;
+        self.flush = flush;
+        Ok(())
     }
 }
 
@@ -1360,6 +1570,24 @@ impl StageBehavior for DedupBehavior {
 
     fn queued_volume(&self) -> DataVolume {
         self.queued_volume
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        put_task_state(out, &self.queue, self.queued_volume, &self.running, self.next_task);
+        wire::put_u64(out, self.seen);
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> CoreResult<()> {
+        let mut r = wire::Reader::new(bytes);
+        let (queue, queued_volume, running, next_task) = get_task_state(&mut r)?;
+        let seen = r.u64()?;
+        r.done()?;
+        self.queue = queue;
+        self.queued_volume = queued_volume;
+        self.running = running;
+        self.next_task = next_task;
+        self.seen = seen;
+        Ok(())
     }
 }
 

@@ -29,6 +29,7 @@
 //! through this module itself — the equivalence is enforced by the
 //! `compiled_equivalence` property suite across the workload zoo).
 
+use crate::durable::SnapshotPolicy;
 use crate::error::CoreResult;
 use crate::graph::{CheckpointPolicy, FlowGraph, StageId, StageKind, VerifyPolicy};
 use crate::trace::ObserveConfig;
@@ -126,6 +127,8 @@ pub struct CompiledFlow {
     pending_emits: u64,
     /// Telemetry configuration carried over from the graph.
     observe: Option<ObserveConfig>,
+    /// Snapshot cadence for journaled runs, carried over from the graph.
+    snapshot: SnapshotPolicy,
 }
 
 /// Lower a flow graph into its executable form. Validates the graph first,
@@ -233,6 +236,7 @@ pub fn compile(graph: &FlowGraph) -> CoreResult<CompiledFlow> {
         sink,
         pending_emits,
         observe: graph.observe_config(),
+        snapshot: graph.snapshot_policy(),
     })
 }
 
@@ -336,6 +340,11 @@ impl CompiledFlow {
     /// Telemetry configuration, if the graph enabled observation.
     pub fn observe_config(&self) -> Option<ObserveConfig> {
         self.observe
+    }
+
+    /// The snapshot cadence for journaled runs of this flow.
+    pub fn snapshot_policy(&self) -> SnapshotPolicy {
+        self.snapshot
     }
 }
 

@@ -1,0 +1,827 @@
+//! Durable runs: crash-consistent snapshots and the append-only run journal.
+//!
+//! A simulation that takes hours (or runs inside a batch harness that may be
+//! preempted) needs to survive being killed at an arbitrary event. This
+//! module provides the storage layer for that:
+//!
+//! * a **versioned, deterministic wire format** ([`wire`]) for the full
+//!   mid-run engine state — event heap, slab payloads and generations,
+//!   per-stage behavior state, resource occupancy, RNG streams, metrics;
+//! * an **append-only run journal**: a magic-prefixed sequence of sealed
+//!   frames, each `[kind u8][len u64 LE][payload][FNV-1a u64 LE]`, holding
+//!   one run-header frame followed by periodic snapshot frames;
+//! * **recovery** ([`recover`]): walk the journal, stop at the first frame
+//!   whose seal does not verify (torn tail, bit flip, truncation), truncate
+//!   the file back to the last sealed frame, and hand back the newest valid
+//!   snapshot. Damaged state is *never* silently replayed — it is either
+//!   dropped with a recorded reason or surfaced as a typed
+//!   [`CoreError::CorruptJournal`] / [`CoreError::ResumeMismatch`].
+//!
+//! The same framing serves both persistence shapes: a live journal appended
+//! to as the run progresses (`FlowSim::with_journal`), and a one-shot sealed
+//! snapshot file written atomically via a fsynced temp sibling plus rename
+//! (`FlowSim::snapshot_to`), exactly the idiom the metastore uses for its
+//! catalog snapshots.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::behavior::{Completion, FlowEvent};
+use crate::engine::EventId;
+use crate::error::{CoreError, CoreResult};
+use crate::graph::StageId;
+use crate::resource::ResourceId;
+use crate::units::{DataVolume, SimDuration, SimTime};
+
+/// When the simulator commits a snapshot frame to its run journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotPolicy {
+    /// Never snapshot (the default): journaled runs write only the header.
+    #[default]
+    None,
+    /// Snapshot every `n` handled events.
+    EveryEvents(u64),
+    /// Snapshot every `d` of simulated time.
+    EverySimTime(SimDuration),
+}
+
+/// First eight bytes of every journal and snapshot file.
+pub(crate) const JOURNAL_MAGIC: [u8; 8] = *b"SFJRNL1\n";
+/// Frame kind: the run header (format version, build, spec hash, seed).
+pub(crate) const FRAME_HEADER: u8 = 1;
+/// Frame kind: one full engine snapshot.
+pub(crate) const FRAME_SNAPSHOT: u8 = 2;
+/// Version stamped into every header frame; bumped on incompatible layout
+/// changes so old journals fail with [`CoreError::ResumeMismatch`], never a
+/// garbled decode.
+pub const SNAPSHOT_FORMAT: u32 = 1;
+
+/// FNV-1a 64-bit offset basis — the hash of the empty input.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into a running FNV-1a hash. FNV is a pure byte-stream
+/// fold, so hashing a frame in parts (header, then payload) produces the
+/// same seal as hashing the concatenation — the hot append path relies on
+/// this to checksum a frame without materializing it.
+pub(crate) fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a 64-bit, the seal primitive shared with the metastore format.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// Little-endian primitive codec shared by every snapshot producer and
+/// consumer. Writers push onto a `Vec<u8>`; the [`Reader`] checks bounds on
+/// every read and reports overruns as [`CoreError::CorruptJournal`] — a
+/// snapshot payload that decodes past its end is damaged by definition.
+pub(crate) mod wire {
+    use super::*;
+
+    pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+        out.push(v);
+    }
+
+    pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub(crate) fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+        put_u64(out, v.len() as u64);
+        out.extend_from_slice(v);
+    }
+
+    pub(crate) struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub(crate) fn new(buf: &'a [u8]) -> Self {
+            Reader { buf, pos: 0 }
+        }
+
+        fn take(&mut self, n: usize) -> CoreResult<&'a [u8]> {
+            if self.buf.len() - self.pos < n {
+                return Err(CoreError::CorruptJournal {
+                    detail: format!(
+                        "snapshot payload truncated: wanted {n} bytes at offset {}",
+                        self.pos
+                    ),
+                });
+            }
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        pub(crate) fn u8(&mut self) -> CoreResult<u8> {
+            Ok(self.take(1)?[0])
+        }
+
+        pub(crate) fn u32(&mut self) -> CoreResult<u32> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        }
+
+        pub(crate) fn u64(&mut self) -> CoreResult<u64> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        }
+
+        pub(crate) fn f64(&mut self) -> CoreResult<f64> {
+            Ok(f64::from_bits(self.u64()?))
+        }
+
+        pub(crate) fn bytes(&mut self) -> CoreResult<&'a [u8]> {
+            let len = self.u64()? as usize;
+            self.take(len)
+        }
+
+        /// A length prefix about to drive a loop or allocation. Bounded by
+        /// the bytes actually remaining so a flipped length bit cannot ask
+        /// for a multi-gigabyte `Vec` before the overrun is noticed.
+        pub(crate) fn len(&mut self) -> CoreResult<usize> {
+            let n = self.u64()? as usize;
+            if n > self.buf.len() - self.pos {
+                return Err(CoreError::CorruptJournal {
+                    detail: format!("snapshot length {n} exceeds remaining payload"),
+                });
+            }
+            Ok(n)
+        }
+
+        /// Assert the payload was consumed exactly — trailing garbage means
+        /// the producer and consumer disagree about the format.
+        pub(crate) fn done(&self) -> CoreResult<()> {
+            if self.pos != self.buf.len() {
+                return Err(CoreError::CorruptJournal {
+                    detail: format!(
+                        "snapshot payload has {} trailing bytes",
+                        self.buf.len() - self.pos
+                    ),
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+use wire::{put_bytes, put_u32, put_u64, put_u8, Reader};
+
+/// The identity frame at the head of every journal: enough to refuse a
+/// resume against the wrong spec, seed, or an incompatible format — before
+/// any snapshot byte is interpreted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RunHeader {
+    /// Snapshot layout version ([`SNAPSHOT_FORMAT`]); mismatches refuse.
+    pub(crate) format: u32,
+    /// Producing crate version. Informational: compatibility is governed by
+    /// `format` and `spec_hash`, not the build string.
+    pub(crate) build: String,
+    /// FNV-1a over the deterministic rendering of the compiled flow, pools,
+    /// fault plan and policies. A resume against a sim whose hash differs is
+    /// a different run and is refused.
+    pub(crate) spec_hash: u64,
+    /// The fault plan's seed, when the run injects faults.
+    pub(crate) fault_seed: Option<u64>,
+}
+
+impl RunHeader {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.format);
+        put_bytes(&mut out, self.build.as_bytes());
+        put_u64(&mut out, self.spec_hash);
+        match self.fault_seed {
+            Some(seed) => {
+                put_u8(&mut out, 1);
+                put_u64(&mut out, seed);
+            }
+            None => put_u8(&mut out, 0),
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> CoreResult<Self> {
+        let mut r = Reader::new(payload);
+        let format = r.u32()?;
+        let build = String::from_utf8_lossy(r.bytes()?).into_owned();
+        let spec_hash = r.u64()?;
+        let fault_seed = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            other => {
+                return Err(CoreError::CorruptJournal {
+                    detail: format!("bad fault-seed tag {other} in header frame"),
+                })
+            }
+        };
+        r.done()?;
+        Ok(RunHeader { format, build, spec_hash, fault_seed })
+    }
+}
+
+/// Render one sealed frame: `[kind][len][payload][fnv1a(kind+len+payload)]`.
+/// The checksum covers the kind and length bytes too, so a flipped length
+/// cannot masquerade as a shorter-but-valid frame.
+fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 8 + payload.len() + 8);
+    put_u8(&mut out, kind);
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    let sum = fnv1a(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+fn io_err(action: &str, path: &Path, e: std::io::Error) -> CoreError {
+    CoreError::CorruptJournal { detail: format!("{action} {}: {e}", path.display()) }
+}
+
+/// The temp sibling a sealed write goes through before the atomic rename.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Write a complete sealed journal (header + one snapshot frame) through a
+/// fsynced temp sibling and an atomic rename: a crash mid-write leaves
+/// either the previous file or none, never a torn one.
+pub(crate) fn write_sealed_journal(
+    path: &Path,
+    header: &RunHeader,
+    snapshot: &[u8],
+) -> CoreResult<()> {
+    let mut bytes = Vec::with_capacity(snapshot.len() + 128);
+    bytes.extend_from_slice(&JOURNAL_MAGIC);
+    bytes.extend_from_slice(&frame(FRAME_HEADER, &header.encode()));
+    bytes.extend_from_slice(&frame(FRAME_SNAPSHOT, snapshot));
+    let tmp = temp_sibling(path);
+    let write = || -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    write().map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_err("writing snapshot", path, e)
+    })
+}
+
+/// A live run journal: header written at creation, snapshot frames appended
+/// as the run's [`SnapshotPolicy`] fires. Appends are flushed per frame but
+/// not fsynced — a crash can tear the final frame, and [`recover`] truncates
+/// the tear away rather than trusting it.
+pub struct RunJournal {
+    file: File,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for RunJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunJournal").field("path", &self.path).finish()
+    }
+}
+
+impl RunJournal {
+    /// Create (truncating any previous file) and write the header frame.
+    pub(crate) fn create(path: &Path, header: &RunHeader) -> CoreResult<Self> {
+        let mut file = File::create(path).map_err(|e| io_err("creating journal", path, e))?;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&JOURNAL_MAGIC);
+        bytes.extend_from_slice(&frame(FRAME_HEADER, &header.encode()));
+        file.write_all(&bytes)
+            .and_then(|_| file.sync_all())
+            .map_err(|e| io_err("writing journal header", path, e))?;
+        Ok(RunJournal { file, path: path.to_path_buf() })
+    }
+
+    /// Append one sealed snapshot frame. The frame is never materialized:
+    /// the seal streams over the 9-byte head and the payload (identical to
+    /// hashing their concatenation), and three buffered writes put the
+    /// frame on disk without copying the payload.
+    pub(crate) fn append_snapshot(&mut self, payload: &[u8]) -> CoreResult<()> {
+        let mut head = [0u8; 9];
+        head[0] = FRAME_SNAPSHOT;
+        head[1..9].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        let sum = fnv1a_update(fnv1a_update(FNV_OFFSET, &head), payload);
+        self.file
+            .write_all(&head)
+            .and_then(|_| self.file.write_all(payload))
+            .and_then(|_| self.file.write_all(&sum.to_le_bytes()))
+            .and_then(|_| self.file.flush())
+            .map_err(|e| io_err("appending to journal", &self.path, e))
+    }
+}
+
+/// What [`recover`] salvaged from a journal file.
+#[derive(Debug)]
+pub(crate) struct Recovered {
+    pub(crate) header: RunHeader,
+    /// Payload of the newest sealed snapshot frame, if any survived.
+    pub(crate) snapshot: Option<Vec<u8>>,
+    /// Why the tail was truncated, when it was. `None` means every byte of
+    /// the file was part of a sealed frame. Diagnostic only — resume
+    /// proceeds either way — so only the tests read it today.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) truncated: Option<String>,
+}
+
+/// Walk `path`'s frames, verify every seal, truncate the file back to the
+/// end of the last sealed frame, and return the newest valid snapshot. A
+/// file whose magic or header frame is damaged cannot identify its run and
+/// is rejected outright with [`CoreError::CorruptJournal`].
+pub(crate) fn recover(path: &Path) -> CoreResult<Recovered> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err("opening journal", path, e))?;
+    if bytes.len() < JOURNAL_MAGIC.len() || bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+        return Err(CoreError::CorruptJournal {
+            detail: format!("{}: bad or missing journal magic", path.display()),
+        });
+    }
+    let mut pos = JOURNAL_MAGIC.len();
+    let mut header: Option<RunHeader> = None;
+    let mut snapshot: Option<Vec<u8>> = None;
+    let mut truncated: Option<String> = None;
+    while pos < bytes.len() {
+        match read_frame(&bytes, pos) {
+            Ok((kind, payload, next)) => {
+                match (kind, header.is_some()) {
+                    (FRAME_HEADER, false) => header = Some(RunHeader::decode(payload)?),
+                    (FRAME_SNAPSHOT, true) => snapshot = Some(payload.to_vec()),
+                    (FRAME_HEADER, true) => {
+                        return Err(CoreError::CorruptJournal {
+                            detail: "second header frame in journal".to_string(),
+                        })
+                    }
+                    (FRAME_SNAPSHOT, false) => {
+                        return Err(CoreError::CorruptJournal {
+                            detail: "journal does not start with a header frame".to_string(),
+                        })
+                    }
+                    (other, _) => {
+                        return Err(CoreError::CorruptJournal {
+                            detail: format!("unknown frame kind {other}"),
+                        })
+                    }
+                }
+                pos = next;
+            }
+            Err(why) => {
+                // Torn or corrupted tail: drop it. Nothing after the first
+                // bad frame can be trusted — framing itself is gone.
+                truncated = Some(format!("dropped unsealed tail at offset {pos}: {why}"));
+                OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .and_then(|f| f.set_len(pos as u64))
+                    .map_err(|e| io_err("truncating torn journal", path, e))?;
+                break;
+            }
+        }
+    }
+    let Some(header) = header else {
+        return Err(CoreError::CorruptJournal {
+            detail: format!(
+                "{}: no sealed header frame{}",
+                path.display(),
+                truncated.map(|t| format!(" ({t})")).unwrap_or_default()
+            ),
+        });
+    };
+    Ok(Recovered { header, snapshot, truncated })
+}
+
+/// Parse one frame at `pos`. Returns `(kind, payload, next_offset)` or a
+/// reason string when the frame is torn or its seal does not verify.
+fn read_frame(bytes: &[u8], pos: usize) -> Result<(u8, &[u8], usize), String> {
+    let rest = &bytes[pos..];
+    if rest.len() < 1 + 8 {
+        return Err(format!("{} bytes is too short for a frame head", rest.len()));
+    }
+    let kind = rest[0];
+    let len = u64::from_le_bytes(rest[1..9].try_into().expect("8 bytes")) as usize;
+    let total = match 1usize.checked_add(8).and_then(|n| n.checked_add(len)) {
+        Some(n) if rest.len() >= n + 8 => n,
+        _ => return Err(format!("frame claims {len} payload bytes but the file ends first")),
+    };
+    let sealed = &rest[..total];
+    let stored = u64::from_le_bytes(rest[total..total + 8].try_into().expect("8 bytes"));
+    if fnv1a(sealed) != stored {
+        return Err("frame checksum mismatch".to_string());
+    }
+    Ok((kind, &rest[9..total], pos + total + 8))
+}
+
+// ---------------------------------------------------------------------------
+// Event codec: the engine slab holds `FlowEvent` payloads, and every one of
+// them must survive a snapshot byte-exactly (including the event ids that
+// in-flight tasks hold for cancellation).
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_event_id(out: &mut Vec<u8>, id: EventId) {
+    put_u32(out, id.slot);
+    put_u32(out, id.gen);
+}
+
+pub(crate) fn get_event_id(r: &mut Reader) -> CoreResult<EventId> {
+    Ok(EventId { slot: r.u32()?, gen: r.u32()? })
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            put_u8(out, 1);
+            put_u64(out, x);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+fn get_opt_u64(r: &mut Reader) -> CoreResult<Option<u64>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64()?)),
+        other => Err(CoreError::CorruptJournal { detail: format!("bad option tag {other}") }),
+    }
+}
+
+pub(crate) fn put_event(out: &mut Vec<u8>, ev: &FlowEvent) {
+    match ev {
+        FlowEvent::Arrive { stage, volume, taint, from, lineage } => {
+            put_u8(out, 1);
+            put_u64(out, stage.index() as u64);
+            put_u64(out, volume.bytes());
+            put_u32(out, *taint);
+            put_opt_u64(out, from.map(|s| s.index() as u64));
+            put_u64(out, *lineage);
+        }
+        FlowEvent::Admit { stage, volume, taint, lineage } => {
+            put_u8(out, 2);
+            put_u64(out, stage.index() as u64);
+            put_u64(out, volume.bytes());
+            put_u32(out, *taint);
+            put_u64(out, *lineage);
+        }
+        FlowEvent::Complete { stage, done } => {
+            put_u8(out, 3);
+            put_u64(out, stage.index() as u64);
+            put_completion(out, done);
+        }
+        FlowEvent::CrashResource { resource, units, repair } => {
+            put_u8(out, 4);
+            put_u64(out, resource.0 as u64);
+            put_opt_u64(out, units.map(u64::from));
+            put_u64(out, repair.as_micros());
+        }
+        FlowEvent::RepairResource { resource, units } => {
+            put_u8(out, 5);
+            put_u64(out, resource.0 as u64);
+            put_u32(out, *units);
+        }
+    }
+}
+
+pub(crate) fn get_event(r: &mut Reader) -> CoreResult<FlowEvent> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        1 => FlowEvent::Arrive {
+            stage: StageId(r.u64()? as usize),
+            volume: DataVolume::from_bytes(r.u64()?),
+            taint: r.u32()?,
+            from: get_opt_u64(r)?.map(|s| StageId(s as usize)),
+            lineage: r.u64()?,
+        },
+        2 => FlowEvent::Admit {
+            stage: StageId(r.u64()? as usize),
+            volume: DataVolume::from_bytes(r.u64()?),
+            taint: r.u32()?,
+            lineage: r.u64()?,
+        },
+        3 => FlowEvent::Complete { stage: StageId(r.u64()? as usize), done: get_completion(r)? },
+        4 => FlowEvent::CrashResource {
+            resource: ResourceId(r.u64()? as usize),
+            units: get_opt_u64(r)?.map(|u| u as u32),
+            repair: SimDuration::from_micros(r.u64()?),
+        },
+        5 => FlowEvent::RepairResource { resource: ResourceId(r.u64()? as usize), units: r.u32()? },
+        other => {
+            return Err(CoreError::CorruptJournal { detail: format!("unknown event tag {other}") })
+        }
+    })
+}
+
+fn put_completion(out: &mut Vec<u8>, done: &Completion) {
+    match done {
+        Completion::Produced => put_u8(out, 1),
+        Completion::Task { id, input, held, cpus } => {
+            put_u8(out, 2);
+            put_u64(out, *id);
+            put_u64(out, input.bytes());
+            put_u64(out, held.bytes());
+            put_u32(out, *cpus);
+        }
+        Completion::Delivered { volume, taint, lineage } => {
+            put_u8(out, 3);
+            put_u64(out, volume.bytes());
+            put_u32(out, *taint);
+            put_u64(out, *lineage);
+        }
+        Completion::Attempt { volume, attempt, taint, lineage } => {
+            put_u8(out, 4);
+            put_u64(out, volume.bytes());
+            put_u32(out, *attempt);
+            put_u32(out, *taint);
+            put_u64(out, *lineage);
+        }
+        Completion::Abandoned { volume, taint, lineage } => {
+            put_u8(out, 5);
+            put_u64(out, volume.bytes());
+            put_u32(out, *taint);
+            put_u64(out, *lineage);
+        }
+        Completion::Inspected { id, volume } => {
+            put_u8(out, 6);
+            put_u64(out, *id);
+            put_u64(out, volume.bytes());
+        }
+        Completion::FlushDue => put_u8(out, 7),
+    }
+}
+
+fn get_completion(r: &mut Reader) -> CoreResult<Completion> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        1 => Completion::Produced,
+        2 => Completion::Task {
+            id: r.u64()?,
+            input: DataVolume::from_bytes(r.u64()?),
+            held: DataVolume::from_bytes(r.u64()?),
+            cpus: r.u32()?,
+        },
+        3 => Completion::Delivered {
+            volume: DataVolume::from_bytes(r.u64()?),
+            taint: r.u32()?,
+            lineage: r.u64()?,
+        },
+        4 => Completion::Attempt {
+            volume: DataVolume::from_bytes(r.u64()?),
+            attempt: r.u32()?,
+            taint: r.u32()?,
+            lineage: r.u64()?,
+        },
+        5 => Completion::Abandoned {
+            volume: DataVolume::from_bytes(r.u64()?),
+            taint: r.u32()?,
+            lineage: r.u64()?,
+        },
+        6 => Completion::Inspected { id: r.u64()?, volume: DataVolume::from_bytes(r.u64()?) },
+        7 => Completion::FlushDue,
+        other => {
+            return Err(CoreError::CorruptJournal {
+                detail: format!("unknown completion tag {other}"),
+            })
+        }
+    })
+}
+
+// Small helpers shared by the snapshot encoders in `sim` and `behavior`.
+
+pub(crate) fn put_time(out: &mut Vec<u8>, t: SimTime) {
+    put_u64(out, t.as_micros());
+}
+
+pub(crate) fn get_time(r: &mut Reader) -> CoreResult<SimTime> {
+    Ok(SimTime::from_micros(r.u64()?))
+}
+
+pub(crate) fn put_dur(out: &mut Vec<u8>, d: SimDuration) {
+    put_u64(out, d.as_micros());
+}
+
+pub(crate) fn get_dur(r: &mut Reader) -> CoreResult<SimDuration> {
+    Ok(SimDuration::from_micros(r.u64()?))
+}
+
+pub(crate) fn put_vol(out: &mut Vec<u8>, v: DataVolume) {
+    put_u64(out, v.bytes());
+}
+
+pub(crate) fn get_vol(r: &mut Reader) -> CoreResult<DataVolume> {
+    Ok(DataVolume::from_bytes(r.u64()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sciflow-durable-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn header() -> RunHeader {
+        RunHeader {
+            format: SNAPSHOT_FORMAT,
+            build: "test".to_string(),
+            spec_hash: 0xDEAD_BEEF,
+            fault_seed: Some(42),
+        }
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = header();
+        assert_eq!(RunHeader::decode(&h.encode()).unwrap(), h);
+        let h = RunHeader { fault_seed: None, ..h };
+        assert_eq!(RunHeader::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn journal_appends_and_recovers_latest_snapshot() {
+        let path = tmp("journal");
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append_snapshot(b"first").unwrap();
+        j.append_snapshot(b"second").unwrap();
+        drop(j);
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.header, header());
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"second"[..]));
+        assert!(rec.truncated.is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_back_to_the_last_sealed_frame() {
+        let path = tmp("torn");
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append_snapshot(b"good").unwrap();
+        drop(j);
+        let sealed_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a crash mid-append: half a frame of garbage at the tail.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[FRAME_SNAPSHOT, 9, 9, 9]).unwrap();
+        drop(f);
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"good"[..]));
+        assert!(rec.truncated.is_some(), "tear must be reported");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            sealed_len,
+            "file is truncated back to the sealed prefix"
+        );
+        // A second recovery sees a clean journal.
+        assert!(recover(&path).unwrap().truncated.is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_drop_the_damaged_frame_not_the_journal() {
+        let path = tmp("flip");
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append_snapshot(b"first").unwrap();
+        let before_second = std::fs::metadata(&path).unwrap().len();
+        j.append_snapshot(b"second").unwrap();
+        drop(j);
+        // Flip one bit inside the second snapshot frame's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = before_second as usize + 9;
+        bytes[idx] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"first"[..]), "falls back to the last seal");
+        assert!(rec.truncated.is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn damaged_magic_or_header_is_rejected_outright() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTJRNL\n garbage").unwrap();
+        assert!(matches!(recover(&path), Err(CoreError::CorruptJournal { .. })));
+        // A sealed file whose header frame is bit-flipped cannot identify
+        // its run: typed error, not a silent resume.
+        write_sealed_journal(&path, &header(), b"snap").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[JOURNAL_MAGIC.len() + 10] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(recover(&path), Err(CoreError::CorruptJournal { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sealed_write_is_atomic_and_leaves_no_temp() {
+        let path = tmp("sealed");
+        write_sealed_journal(&path, &header(), b"one").unwrap();
+        write_sealed_journal(&path, &header(), b"two").unwrap();
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"two"[..]));
+        assert!(!temp_sibling(&path).exists(), "temp sibling cleaned up");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn event_codec_roundtrips_every_variant() {
+        let events = vec![
+            FlowEvent::Arrive {
+                stage: StageId(3),
+                volume: DataVolume::gb(2),
+                taint: 1,
+                from: Some(StageId(1)),
+                lineage: 77,
+            },
+            FlowEvent::Arrive {
+                stage: StageId(0),
+                volume: DataVolume::ZERO,
+                taint: 0,
+                from: None,
+                lineage: 1,
+            },
+            FlowEvent::Admit { stage: StageId(2), volume: DataVolume::mb(5), taint: 0, lineage: 9 },
+            FlowEvent::Complete { stage: StageId(1), done: Completion::Produced },
+            FlowEvent::Complete {
+                stage: StageId(4),
+                done: Completion::Task {
+                    id: 11,
+                    input: DataVolume::gb(1),
+                    held: DataVolume::mb(200),
+                    cpus: 4,
+                },
+            },
+            FlowEvent::Complete {
+                stage: StageId(5),
+                done: Completion::Delivered { volume: DataVolume::gb(3), taint: 2, lineage: 8 },
+            },
+            FlowEvent::Complete {
+                stage: StageId(5),
+                done: Completion::Attempt {
+                    volume: DataVolume::gb(3),
+                    attempt: 2,
+                    taint: 0,
+                    lineage: 8,
+                },
+            },
+            FlowEvent::Complete {
+                stage: StageId(5),
+                done: Completion::Abandoned { volume: DataVolume::gb(3), taint: 1, lineage: 8 },
+            },
+            FlowEvent::Complete {
+                stage: StageId(6),
+                done: Completion::Inspected { id: 4, volume: DataVolume::mb(10) },
+            },
+            FlowEvent::Complete { stage: StageId(7), done: Completion::FlushDue },
+            FlowEvent::CrashResource {
+                resource: ResourceId(2),
+                units: Some(3),
+                repair: SimDuration::from_secs(60),
+            },
+            FlowEvent::CrashResource {
+                resource: ResourceId(0),
+                units: None,
+                repair: SimDuration::from_mins(5),
+            },
+            FlowEvent::RepairResource { resource: ResourceId(2), units: 3 },
+        ];
+        let mut out = Vec::new();
+        for ev in &events {
+            put_event(&mut out, ev);
+        }
+        let mut r = Reader::new(&out);
+        for ev in &events {
+            let back = get_event(&mut r).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{ev:?}"));
+        }
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_overruns_and_oversized_lengths() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 7);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert!(r.u64().is_err(), "reading past the end is an error");
+        let mut out = Vec::new();
+        put_u64(&mut out, u64::MAX); // absurd length prefix
+        let mut r = Reader::new(&out);
+        assert!(matches!(r.len(), Err(CoreError::CorruptJournal { .. })));
+    }
+}

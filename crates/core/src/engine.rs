@@ -32,8 +32,8 @@ pub trait EventHandler {
 /// nothing instead of killing the slot's new occupant (no ABA).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId {
-    slot: u32,
-    gen: u32,
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
 }
 
 /// The clock plus the pending-event heap. Handlers use it to read the
@@ -101,6 +101,39 @@ impl<E> Scheduler<E> {
         }
         None
     }
+
+    /// Pending heap entries as `(time, sequence, slot)` triples in canonical
+    /// ascending order — the serialized form a snapshot commits to. The
+    /// internal heap layout depends on push/pop history, but pop order is a
+    /// pure function of this sorted set, so rebuilding from it replays
+    /// identically.
+    pub(crate) fn heap_entries(&self) -> Vec<(SimTime, u64, u32)> {
+        let mut entries: Vec<(SimTime, u64, u32)> = self.heap.iter().map(|Reverse(t)| *t).collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// The next sequence number to assign (total events ever scheduled).
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The payload slab, for snapshot export of slot occupancy.
+    pub(crate) fn slots(&self) -> &Slab<E> {
+        &self.slots
+    }
+
+    /// Rebuild a scheduler from snapshot parts: the sorted heap triples from
+    /// [`Scheduler::heap_entries`], the payload slab, the clock, and the
+    /// sequence counter.
+    pub(crate) fn from_parts(
+        heap: Vec<(SimTime, u64, u32)>,
+        slots: Slab<E>,
+        now: SimTime,
+        seq: u64,
+    ) -> Self {
+        Scheduler { heap: heap.into_iter().map(Reverse).collect(), slots, now, seq }
+    }
 }
 
 /// Counters from one [`Engine::run_counted`] execution: where the clock
@@ -123,15 +156,25 @@ pub struct RunStats {
 
 /// The run loop: pops events in deterministic order, advances the clock, and
 /// dispatches to the handler until the heap drains (or the safety cap trips).
+///
+/// The loop can also be driven one event at a time through [`Engine::step`],
+/// which is how the simulator interleaves snapshot-policy checks with
+/// execution; a stepped run and a [`Engine::run_counted`] run of the same
+/// schedule are identical, counters included.
 pub struct Engine<E> {
     sched: Scheduler<E>,
     max_events: u64,
+    /// Events dispatched so far (survives snapshot/resume so the final
+    /// [`RunStats`] of a resumed run match the uninterrupted one).
+    handled: u64,
+    /// High-water mark of the pending heap so far, ditto.
+    peak_pending: usize,
 }
 
 impl<E> Engine<E> {
     /// An engine with the default runaway-event cap of fifty million.
     pub fn new() -> Self {
-        Engine { sched: Scheduler::new(), max_events: 50_000_000 }
+        Engine { sched: Scheduler::new(), max_events: 50_000_000, handled: 0, peak_pending: 0 }
     }
 
     /// Override the runaway-event safety cap.
@@ -143,6 +186,62 @@ impl<E> Engine<E> {
     /// Scheduler access for seeding initial events before [`Engine::run`].
     pub fn scheduler(&mut self) -> &mut Scheduler<E> {
         &mut self.sched
+    }
+
+    /// Read-only scheduler access (snapshot export between steps).
+    pub(crate) fn sched(&self) -> &Scheduler<E> {
+        &self.sched
+    }
+
+    /// Rebuild a mid-run engine from snapshot parts: a restored scheduler
+    /// plus the cumulative run counters at snapshot time.
+    pub(crate) fn from_snapshot(
+        sched: Scheduler<E>,
+        max_events: u64,
+        handled: u64,
+        peak_pending: usize,
+    ) -> Self {
+        Engine { sched, max_events, handled, peak_pending }
+    }
+
+    /// Cumulative events dispatched so far.
+    pub(crate) fn events_handled(&self) -> u64 {
+        self.handled
+    }
+
+    /// Cumulative heap high-water mark so far.
+    pub(crate) fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Dispatch the next pending event. Returns `Ok(false)` at quiescence
+    /// (nothing left to pop), `Ok(true)` after handling one event.
+    pub fn step<H: EventHandler<Event = E>>(&mut self, handler: &mut H) -> CoreResult<bool> {
+        self.peak_pending = self.peak_pending.max(self.sched.heap.len());
+        let Some((at, ev)) = self.sched.pop() else {
+            return Ok(false);
+        };
+        self.handled += 1;
+        if self.handled > self.max_events {
+            return Err(CoreError::InvalidConfig {
+                detail: format!("event cap of {} exceeded; flow is diverging", self.max_events),
+            });
+        }
+        self.sched.now = at;
+        handler.handle(ev, &mut self.sched);
+        self.peak_pending = self.peak_pending.max(self.sched.heap.len());
+        Ok(true)
+    }
+
+    /// The counters accumulated so far, as a [`RunStats`]. Meaningful once
+    /// the loop has drained (or at any stepping pause).
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            finished_at: self.sched.now,
+            events_handled: self.handled,
+            peak_pending: self.peak_pending,
+            slab_high_water: self.sched.slab_high_water(),
+        }
     }
 
     /// Run to quiescence; returns the time of the last event handled.
@@ -157,25 +256,8 @@ impl<E> Engine<E> {
         mut self,
         handler: &mut H,
     ) -> CoreResult<RunStats> {
-        let mut handled = 0u64;
-        let mut peak_pending = self.sched.heap.len();
-        while let Some((at, ev)) = self.sched.pop() {
-            handled += 1;
-            if handled > self.max_events {
-                return Err(CoreError::InvalidConfig {
-                    detail: format!("event cap of {} exceeded; flow is diverging", self.max_events),
-                });
-            }
-            self.sched.now = at;
-            handler.handle(ev, &mut self.sched);
-            peak_pending = peak_pending.max(self.sched.heap.len());
-        }
-        Ok(RunStats {
-            finished_at: self.sched.now,
-            events_handled: handled,
-            peak_pending,
-            slab_high_water: self.sched.slab_high_water(),
-        })
+        while self.step(handler)? {}
+        Ok(self.stats())
     }
 }
 
@@ -363,6 +445,55 @@ mod tests {
         let first = engine.scheduler().schedule(t(1), 5);
         engine.scheduler().schedule(t(2), 9);
         engine.run(&mut Tail { first: Some(first) }).unwrap();
+    }
+
+    #[test]
+    fn stepped_run_equals_run_counted_with_a_mid_run_scheduler_roundtrip() {
+        let build = || {
+            let mut engine = Engine::new();
+            let t = SimTime::from_micros;
+            engine.scheduler().schedule(t(5), 2);
+            engine.scheduler().schedule(t(1), 1);
+            engine.scheduler().schedule(t(5), 3);
+            engine
+        };
+        let mut h_whole = Recorder { fired: Vec::new() };
+        let whole = build().run_counted(&mut h_whole).unwrap();
+
+        let mut engine = build();
+        let mut h_step = Recorder { fired: Vec::new() };
+        let mut steps = 0;
+        loop {
+            if steps == 2 {
+                // Export the scheduler mid-run and rebuild the engine from
+                // the parts, as a resume would.
+                let entries: Vec<(u32, Option<u32>)> =
+                    engine.sched().slots().entries().map(|(g, v)| (g, v.copied())).collect();
+                let slab = Slab::from_parts(
+                    entries,
+                    engine.sched().slots().free_list().to_vec(),
+                    engine.sched().slots().high_water(),
+                );
+                let sched = Scheduler::from_parts(
+                    engine.sched().heap_entries(),
+                    slab,
+                    engine.sched().now(),
+                    engine.sched().seq(),
+                );
+                engine = Engine::from_snapshot(
+                    sched,
+                    50_000_000,
+                    engine.events_handled(),
+                    engine.peak_pending(),
+                );
+            }
+            if !engine.step(&mut h_step).unwrap() {
+                break;
+            }
+            steps += 1;
+        }
+        assert_eq!(h_step.fired, h_whole.fired, "stepped run diverged");
+        assert_eq!(engine.stats(), whole, "counters diverged across the roundtrip");
     }
 
     #[test]

@@ -24,6 +24,18 @@ pub enum CoreError {
     /// it emits vanishes. Generated near-miss specs hit this; hand-built
     /// flows should never mean it.
     OrphanStage { stage: String },
+    /// A run journal or snapshot file is damaged: torn tail, bit flip, bad
+    /// magic, or an unparsable sealed frame. Corrupt state is never
+    /// silently resumed.
+    CorruptJournal { detail: String },
+    /// A journal or snapshot is intact but does not match the run being
+    /// resumed: wrong spec hash, unsupported format version, or no snapshot
+    /// frame to resume from.
+    ResumeMismatch { detail: String },
+    /// The run was deliberately aborted by a kill hook after handling the
+    /// stated number of events — the crash-simulation primitive behind the
+    /// resume-identity tests. Never produced by a normal run.
+    Killed { events: u64 },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +53,15 @@ impl fmt::Display for CoreError {
             CoreError::UnknownPool { name } => write!(f, "unknown resource pool `{name}`"),
             CoreError::OrphanStage { stage } => {
                 write!(f, "orphan stage `{stage}`: it produces data but nothing consumes it")
+            }
+            CoreError::CorruptJournal { detail } => {
+                write!(f, "corrupt run journal: {detail}")
+            }
+            CoreError::ResumeMismatch { detail } => {
+                write!(f, "cannot resume from journal: {detail}")
+            }
+            CoreError::Killed { events } => {
+                write!(f, "run killed by test hook after {events} events")
             }
         }
     }

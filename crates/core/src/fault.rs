@@ -544,14 +544,24 @@ impl RetryPolicy {
     /// The jitter-free backoff before retry `i` (0-based): monotone
     /// non-decreasing in `i` and bounded by `max_backoff`.
     pub fn nominal_backoff(&self, retry_index: u32) -> SimDuration {
+        let base = self.base_backoff.as_secs_f64();
+        // A zero base stays zero under any multiplier. Short-circuit it
+        // before the product: with an extreme multiplier `powi` overflows to
+        // `inf`, and `0.0 × inf` is NaN — which both `f64::min` and an
+        // is_finite fallback would then resolve to `max_backoff` instead of
+        // zero.
+        if base == 0.0 {
+            return SimDuration::ZERO;
+        }
+        let cap = self.max_backoff.as_secs_f64();
         let mult = self.multiplier.max(1.0);
-        let secs = self.base_backoff.as_secs_f64() * mult.powi(retry_index.min(1000) as i32);
-        let capped = secs.min(self.max_backoff.as_secs_f64());
-        SimDuration::from_secs_f64(if capped.is_finite() {
-            capped
-        } else {
-            self.max_backoff.as_secs_f64()
-        })
+        let pow = mult.powi(retry_index.min(1000) as i32);
+        // With a positive base the product saturates cleanly: an infinite
+        // factor (or an infinite product of finite factors) clamps to the
+        // cap, and no NaN can arise.
+        let secs = if pow.is_finite() { base * pow } else { f64::INFINITY };
+        let capped = secs.min(cap);
+        SimDuration::from_secs_f64(if capped.is_finite() { capped } else { cap })
     }
 
     /// The jittered backoff before retry `i`, drawn from `rng`; bounded by
@@ -811,6 +821,39 @@ mod tests {
             prev = b;
         }
         assert_eq!(prev, policy.max_backoff, "backoff should saturate at the cap");
+    }
+
+    #[test]
+    fn nominal_backoff_saturates_under_extreme_multipliers() {
+        // `powi` overflows to `inf` long before retry 1000 with multipliers
+        // like these; the backoff must clamp to the cap, not wander through
+        // inf/NaN arithmetic.
+        let policy = RetryPolicy {
+            max_retries: 2000,
+            base_backoff: SimDuration::from_secs(30),
+            multiplier: f64::MAX,
+            max_backoff: SimDuration::from_hours(2),
+            jitter: 0.0,
+            attempt_timeout: None,
+        };
+        assert_eq!(policy.nominal_backoff(0), SimDuration::from_secs(30));
+        assert_eq!(policy.nominal_backoff(1000), policy.max_backoff);
+        assert_eq!(policy.nominal_backoff(u32::MAX), policy.max_backoff);
+
+        // A large-but-finite multiplier whose power still overflows.
+        let big = RetryPolicy { multiplier: 1e300, ..policy };
+        assert_eq!(big.nominal_backoff(0), SimDuration::from_secs(30));
+        assert_eq!(big.nominal_backoff(2), policy.max_backoff);
+        assert_eq!(big.nominal_backoff(1000), policy.max_backoff);
+
+        // The regression proper: zero base × overflowed multiplier used to
+        // produce 0.0 × inf = NaN, which the old min/fallback chain resolved
+        // to `max_backoff`. Zero base must stay zero forever.
+        let zero_base = RetryPolicy { base_backoff: SimDuration::ZERO, ..policy };
+        assert_eq!(zero_base.nominal_backoff(0), SimDuration::ZERO);
+        assert_eq!(zero_base.nominal_backoff(1000), SimDuration::ZERO);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(zero_base.backoff(1000, &mut rng), SimDuration::ZERO);
     }
 
     #[test]

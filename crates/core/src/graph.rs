@@ -7,6 +7,7 @@
 
 use std::collections::VecDeque;
 
+use crate::durable::SnapshotPolicy;
 use crate::error::{CoreError, CoreResult};
 use crate::trace::ObserveConfig;
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
@@ -173,6 +174,8 @@ pub struct FlowGraph {
     /// Time-series sampling configuration; `None` (the default) leaves the
     /// report exactly as an unobserved run would produce it.
     observe: Option<ObserveConfig>,
+    /// When journaled runs commit snapshot frames (default: never).
+    snapshot: SnapshotPolicy,
 }
 
 impl FlowGraph {
@@ -202,6 +205,19 @@ impl FlowGraph {
     /// The telemetry configuration, if one was set.
     pub fn observe_config(&self) -> Option<ObserveConfig> {
         self.observe
+    }
+
+    /// Set when journaled runs of this flow commit snapshot frames. Has no
+    /// effect unless the run attaches a journal
+    /// (`FlowSim::with_journal`); the schedule itself never perturbs the
+    /// simulation, only when its state is persisted.
+    pub fn set_snapshot_policy(&mut self, policy: SnapshotPolicy) {
+        self.snapshot = policy;
+    }
+
+    /// The snapshot cadence for journaled runs.
+    pub fn snapshot_policy(&self) -> SnapshotPolicy {
+        self.snapshot
     }
 
     /// Route the output of `from` into `to`.

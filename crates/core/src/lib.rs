@@ -72,6 +72,7 @@
 pub mod behavior;
 pub mod compiled;
 pub mod critical;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -92,6 +93,7 @@ pub mod version;
 pub use behavior::{Completion, Dispatch, FlowEvent, StageBehavior, StageCtx};
 pub use compiled::{compile, CompiledFlow, CompiledKind, PoolIdx};
 pub use critical::{critical_path, CriticalPathReport, PathSegment, StageBreakdown};
+pub use durable::{RunJournal, SnapshotPolicy, SNAPSHOT_FORMAT};
 pub use engine::{Engine, EventHandler, RunStats, Scheduler};
 pub use error::{CoreError, CoreResult};
 pub use fault::{

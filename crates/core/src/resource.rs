@@ -219,6 +219,42 @@ impl ResourceSet {
         }
     }
 
+    /// Export the mutable per-resource state for a snapshot. The static
+    /// shape (names, totals, pool flags, policy) is rebuilt from the
+    /// compiled flow on resume, so only the dynamics travel.
+    pub(crate) fn export_dyn(&self) -> Vec<ResourceDyn> {
+        self.resources
+            .iter()
+            .map(|r| ResourceDyn {
+                free: r.free,
+                offline: r.offline,
+                peak_in_use: r.peak_in_use,
+                busy_unit_secs: r.busy_unit_secs,
+                waiters: r.waiters.iter().copied().collect(),
+            })
+            .collect()
+    }
+
+    /// Restore dynamics exported by [`ResourceSet::export_dyn`] onto a
+    /// freshly-built set with the same shape. The `waiting` flags are
+    /// derived from the waiter queues rather than stored.
+    pub(crate) fn restore_dyn(&mut self, dyns: Vec<ResourceDyn>) {
+        assert_eq!(dyns.len(), self.resources.len(), "snapshot resource count mismatch");
+        for flag in &mut self.waiting {
+            *flag = false;
+        }
+        for (r, d) in self.resources.iter_mut().zip(dyns) {
+            r.free = d.free;
+            r.offline = d.offline;
+            r.peak_in_use = d.peak_in_use;
+            r.busy_unit_secs = d.busy_unit_secs;
+            r.waiters = d.waiters.into_iter().collect();
+            for stage in &r.waiters {
+                self.waiting[stage.index()] = true;
+            }
+        }
+    }
+
     /// Report metrics for the shared pools (channels are private capacity and
     /// stay out of the report), sorted by name for replayable output.
     pub fn pool_report(&self, elapsed: SimTime) -> Vec<PoolMetrics> {
@@ -242,6 +278,17 @@ impl ResourceSet {
             })
             .collect()
     }
+}
+
+/// The mutable slice of one [`Resource`], as captured by a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ResourceDyn {
+    pub(crate) free: u32,
+    pub(crate) offline: u32,
+    pub(crate) peak_in_use: u32,
+    pub(crate) busy_unit_secs: f64,
+    /// Waiter queue front-to-back.
+    pub(crate) waiters: Vec<StageId>,
 }
 
 /// Tracks instantaneous allocated storage across the whole flow.
@@ -290,6 +337,22 @@ impl StorageLedger {
     /// Number of frees that exceeded the allocation they released.
     pub fn underflow_events(&self) -> u64 {
         self.underflow_events
+    }
+
+    /// The raw counters as a snapshot quadruple:
+    /// `(current, peak, retained, underflow_events)`.
+    pub(crate) fn export(&self) -> (u64, u64, u64, u64) {
+        (self.current, self.peak, self.retained, self.underflow_events)
+    }
+
+    /// Rebuild a ledger from [`StorageLedger::export`] output.
+    pub(crate) fn from_parts(
+        current: u64,
+        peak: u64,
+        retained: u64,
+        underflow_events: u64,
+    ) -> Self {
+        StorageLedger { current, peak, retained, underflow_events }
     }
 }
 
@@ -395,6 +458,48 @@ mod tests {
         // Sorted by name, matching pool_report; channels excluded.
         assert_eq!(rs.pool_ids(), vec![a, b]);
         assert_eq!(rs.names(), vec!["beta", "alpha", "link#0"]);
+    }
+
+    #[test]
+    fn dynamics_roundtrip_onto_a_fresh_set() {
+        let (mut rs, pool) = set(SchedPolicy::FairShare);
+        rs.acquire(pool, 6);
+        rs.crash(pool, 3);
+        rs.note_busy(pool, 12.5);
+        rs.enlist(pool, StageId(2));
+        rs.enlist(pool, StageId(0));
+        let dynamics = rs.export_dyn();
+
+        let (mut fresh, fresh_pool) = set(SchedPolicy::FairShare);
+        fresh.restore_dyn(dynamics);
+        assert_eq!(fresh.free(fresh_pool), rs.free(pool));
+        assert_eq!(fresh.online(fresh_pool), rs.online(pool));
+        assert_eq!(fresh.in_use(fresh_pool), rs.in_use(pool));
+        assert_eq!(fresh.front_waiter(fresh_pool), Some(StageId(2)));
+        // Waiting flags were rebuilt: re-enlisting a restored waiter is a no-op.
+        fresh.enlist(fresh_pool, StageId(0));
+        fresh.drop_front(fresh_pool);
+        assert_eq!(fresh.front_waiter(fresh_pool), Some(StageId(0)));
+        fresh.drop_front(fresh_pool);
+        assert_eq!(fresh.front_waiter(fresh_pool), None);
+        let report = fresh.pool_report(SimTime::from_micros(2_000_000));
+        assert_eq!(report[0].peak_in_use, 6);
+        assert!((report[0].busy_cpu_secs - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_export_roundtrips() {
+        let mut ledger = StorageLedger::default();
+        ledger.alloc(DataVolume::gb(3));
+        ledger.free(DataVolume::gb(1));
+        ledger.retain(DataVolume::gb(2));
+        ledger.free(DataVolume::gb(9));
+        let (cur, peak, ret, under) = ledger.export();
+        let copy = StorageLedger::from_parts(cur, peak, ret, under);
+        assert_eq!(copy.current(), ledger.current());
+        assert_eq!(copy.peak(), ledger.peak());
+        assert_eq!(copy.retained(), ledger.retained());
+        assert_eq!(copy.underflow_events(), 1);
     }
 
     #[test]

@@ -29,14 +29,19 @@ use crate::behavior::{
     TransferBehavior,
 };
 use crate::compiled::{compile, CompiledFlow, CompiledKind};
+use crate::durable::{self, wire, RunJournal, SnapshotPolicy};
 use crate::engine::{Engine, EventHandler, RunStats, Scheduler};
 use crate::error::{CoreError, CoreResult};
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::graph::{FlowGraph, StageId, VerifyPolicy};
 use crate::metrics::{EngineStats, SimReport, StageMetrics, TimeSeries, TsSample};
-use crate::resource::{ResourceId, ResourceSet};
+use crate::resource::{ResourceDyn, ResourceId, ResourceSet};
+use crate::slab::Slab;
 use crate::trace::{Observer, TraceCtx, TraceEvent, TraceMeta};
 use crate::units::{DataVolume, SimDuration, SimTime};
+
+use std::fmt::Write as _;
+use std::path::Path;
 
 pub use crate::resource::{SchedPolicy, StorageLedger};
 
@@ -112,6 +117,25 @@ pub struct FlowSim {
     /// Recycled [`DeferredFx`] buffers: every hook invocation needs one, and
     /// reusing them keeps the per-event path allocation-free.
     fx_pool: Vec<DeferredFx>,
+    /// The live engine once the run has started (via [`FlowSim::run`],
+    /// [`FlowSim::run_for`], or [`FlowSim::resume_from`]); `None` before.
+    engine: Option<Engine<FlowEvent>>,
+    /// When journaled runs commit snapshot frames; from the compiled flow,
+    /// overridable with [`FlowSim::with_snapshot_policy`].
+    snapshot_policy: SnapshotPolicy,
+    /// Events-handled count at which the next `EveryEvents` snapshot is due.
+    next_snap_events: u64,
+    /// Sim time at which the next `EverySimTime` snapshot is due.
+    next_snap_time: SimTime,
+    /// Attached run journal, if any ([`FlowSim::with_journal`]).
+    journal: Option<RunJournal>,
+    /// Reused snapshot encode buffer: journaled runs seal hundreds of
+    /// frames, and retaining the capacity keeps the snapshot path from
+    /// regrowing a multi-kilobyte buffer per frame.
+    snap_buf: Vec<u8>,
+    /// Crash-test hook: abort with [`CoreError::Killed`] once this many
+    /// events have been handled ([`FlowSim::with_kill_after`]).
+    kill_after: Option<u64>,
 }
 
 impl FlowSim {
@@ -231,6 +255,7 @@ impl FlowSim {
             None => (None, Vec::new()),
         };
         let pending_emits = flow.pending_emits();
+        let snapshot_policy = flow.snapshot_policy();
         Ok(FlowSim {
             flow,
             behaviors,
@@ -248,6 +273,13 @@ impl FlowSim {
             sampler,
             sample_pools,
             fx_pool: Vec::new(),
+            engine: None,
+            snapshot_policy,
+            next_snap_events: 0,
+            next_snap_time: SimTime::ZERO,
+            journal: None,
+            snap_buf: Vec::new(),
+            kill_after: None,
         })
     }
 
@@ -298,8 +330,67 @@ impl FlowSim {
         self
     }
 
+    /// Override the snapshot cadence the flow was compiled with. Inert
+    /// unless a journal is attached; never perturbs the simulation itself.
+    pub fn with_snapshot_policy(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshot_policy = policy;
+        self
+    }
+
+    /// Attach an append-only run journal at `path` (created, truncating any
+    /// previous file). The header frame — format version, build, spec hash,
+    /// fault seed — is written immediately; snapshot frames follow per the
+    /// [`SnapshotPolicy`]. After a crash, rebuild the simulator with the
+    /// same configuration and hand the journal to [`FlowSim::resume_from`].
+    pub fn with_journal(mut self, path: impl AsRef<Path>) -> CoreResult<Self> {
+        let journal = RunJournal::create(path.as_ref(), &self.run_header())?;
+        self.journal = Some(journal);
+        Ok(self)
+    }
+
+    /// Crash-test hook: the run aborts with [`CoreError::Killed`] once this
+    /// many events have been handled — mid-flight state is dropped on the
+    /// floor exactly as `kill -9` would drop it, leaving only what the
+    /// journal already sealed. The resume-identity tests are built on this.
+    pub fn with_kill_after(mut self, events: u64) -> Self {
+        self.kill_after = Some(events);
+        self
+    }
+
     /// Run to completion and produce a report.
     pub fn run(mut self) -> CoreResult<SimReport> {
+        if self.engine.is_none() {
+            self.start()?;
+        }
+        self.pump(None)?;
+        let stats = self.engine.as_ref().expect("engine in place").stats();
+        Ok(self.report(stats))
+    }
+
+    /// Advance the run by at most `events` further events (starting it on
+    /// the first call). Returns `Ok(true)` while events may remain and
+    /// `Ok(false)` at quiescence. Pausing a run this way is how a live
+    /// simulator is snapshotted mid-flight with [`FlowSim::snapshot_to`];
+    /// calling [`FlowSim::run`] afterwards finishes the run normally.
+    pub fn run_for(&mut self, events: u64) -> CoreResult<bool> {
+        if self.engine.is_none() {
+            self.start()?;
+        }
+        self.pump(Some(events))
+    }
+
+    /// Events dispatched so far — zero before the run starts, the run's
+    /// total once [`FlowSim::run_for`] has returned `Ok(false)`. The
+    /// resume-identity suites use this to aim kill points mid-run.
+    pub fn events_handled(&self) -> u64 {
+        self.engine.as_ref().map_or(0, |e| e.events_handled())
+    }
+
+    /// Start the run: create the engine, schedule the fault plan's crash
+    /// timeline, hand the observer its name tables, and let every behavior
+    /// seed its initial events. Exactly once per run — a resumed simulator
+    /// restores all of this from the snapshot instead.
+    fn start(&mut self) -> CoreResult<()> {
         let mut engine = Engine::new().with_max_events(self.max_events);
         // Crash timelines are flow-global, not stage-local, so the
         // orchestrator schedules them up front. Crashes aimed at pools this
@@ -354,8 +445,483 @@ impl FlowSim {
             self.behaviors[id.index()] = Some(behavior);
             self.recycle_fx(fx);
         }
-        let stats = engine.run_counted(&mut self)?;
-        Ok(self.report(stats))
+        match self.snapshot_policy {
+            SnapshotPolicy::None => {}
+            SnapshotPolicy::EveryEvents(n) => self.next_snap_events = n,
+            SnapshotPolicy::EverySimTime(d) => self.next_snap_time = SimTime::ZERO + d,
+        }
+        self.engine = Some(engine);
+        Ok(())
+    }
+
+    /// The inner loop: commit any due snapshot, honor the kill hook, then
+    /// dispatch one event — at most `budget` times (`None` = until
+    /// quiescence). Returns `Ok(true)` while events may remain. A stepped
+    /// run is identical to the old single-call run loop, counters included.
+    ///
+    /// The engine steps out of its slot once, for the whole loop —
+    /// `Engine::step` needs the simulator as the event handler, and
+    /// shuffling the `Option` per event is measurable at stress scale.
+    fn pump(&mut self, budget: Option<u64>) -> CoreResult<bool> {
+        let mut engine = self.engine.take().expect("engine in place");
+        let result = self.pump_engine(&mut engine, budget);
+        self.engine = Some(engine);
+        result
+    }
+
+    fn pump_engine(
+        &mut self,
+        engine: &mut Engine<FlowEvent>,
+        mut budget: Option<u64>,
+    ) -> CoreResult<bool> {
+        // The common case — no journal, no kill hook, no budget — is the
+        // bare dispatch loop, with none of the per-event bookkeeping below.
+        if self.journal.is_none() && self.kill_after.is_none() && budget.is_none() {
+            while engine.step(self)? {}
+            return Ok(false);
+        }
+        loop {
+            if budget == Some(0) {
+                return Ok(true);
+            }
+            self.maybe_snapshot(engine)?;
+            if let Some(k) = self.kill_after {
+                let handled = engine.events_handled();
+                if handled >= k {
+                    return Err(CoreError::Killed { events: handled });
+                }
+            }
+            if !engine.step(self)? {
+                return Ok(false);
+            }
+            if let Some(b) = budget.as_mut() {
+                *b -= 1;
+            }
+        }
+    }
+
+    /// Commit a snapshot frame to the journal if the policy says one is due.
+    fn maybe_snapshot(&mut self, engine: &Engine<FlowEvent>) -> CoreResult<()> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let handled = engine.events_handled();
+        let now = engine.sched().now();
+        let due = match self.snapshot_policy {
+            SnapshotPolicy::None => false,
+            SnapshotPolicy::EveryEvents(n) => n > 0 && handled >= self.next_snap_events,
+            SnapshotPolicy::EverySimTime(d) => d.as_micros() > 0 && now >= self.next_snap_time,
+        };
+        if !due {
+            return Ok(());
+        }
+        // The encode buffer swaps out of its field for the borrow's
+        // duration and keeps its capacity across frames.
+        let mut buf = std::mem::take(&mut self.snap_buf);
+        buf.clear();
+        self.encode_snapshot(engine, &mut buf);
+        let sealed = self.journal.as_mut().expect("journal attached").append_snapshot(&buf);
+        self.snap_buf = buf;
+        sealed?;
+        match self.snapshot_policy {
+            SnapshotPolicy::None => {}
+            SnapshotPolicy::EveryEvents(n) => self.next_snap_events = handled + n,
+            SnapshotPolicy::EverySimTime(d) => {
+                while self.next_snap_time <= now {
+                    self.next_snap_time = self.next_snap_time + d;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Write the current mid-run state as a sealed single-snapshot journal
+    /// at `path` — through a fsynced temp sibling and an atomic rename, so a
+    /// crash during the write can never leave a torn file under the final
+    /// name. The run must have started (advance it with [`FlowSim::run_for`]
+    /// first); finishing it afterwards is unaffected.
+    pub fn snapshot_to(&self, path: impl AsRef<Path>) -> CoreResult<()> {
+        let engine = self.engine.as_ref().ok_or_else(|| CoreError::InvalidConfig {
+            detail: "snapshot_to before the run started; advance with run_for first".to_string(),
+        })?;
+        let mut payload = Vec::with_capacity(4096);
+        self.encode_snapshot(engine, &mut payload);
+        durable::write_sealed_journal(path.as_ref(), &self.run_header(), &payload)
+    }
+
+    /// Resume this (not-yet-started) simulator from a journal or snapshot
+    /// file. The simulator must be configured exactly as the journaled run
+    /// was — same flow, pools, policies, fault plan, observer on or off —
+    /// which the journal's spec hash proves; any divergence is a
+    /// [`CoreError::ResumeMismatch`]. Damaged journals recover to their
+    /// last sealed frame ([`crate::durable`]); a journal with no intact
+    /// snapshot frame cannot be resumed. Running the resumed simulator to
+    /// completion yields a report byte-identical to the uninterrupted run's.
+    pub fn resume_from(mut self, path: impl AsRef<Path>) -> CoreResult<Self> {
+        if self.engine.is_some() {
+            return Err(CoreError::InvalidConfig {
+                detail: "resume_from on an already-started simulator".to_string(),
+            });
+        }
+        let rec = durable::recover(path.as_ref())?;
+        if rec.header.format != durable::SNAPSHOT_FORMAT {
+            return Err(CoreError::ResumeMismatch {
+                detail: format!(
+                    "journal snapshot format v{} is not the supported v{}",
+                    rec.header.format,
+                    durable::SNAPSHOT_FORMAT
+                ),
+            });
+        }
+        let expect = self.spec_hash();
+        if rec.header.spec_hash != expect {
+            return Err(CoreError::ResumeMismatch {
+                detail: format!(
+                    "journal spec hash {:016x} does not match this simulator's {expect:016x}",
+                    rec.header.spec_hash
+                ),
+            });
+        }
+        let snap = rec.snapshot.ok_or_else(|| CoreError::ResumeMismatch {
+            detail: "journal holds no intact snapshot frame to resume from".to_string(),
+        })?;
+        // Hand the observer its name tables, as `start` would have; the
+        // trace counters themselves are restored from the snapshot.
+        if self.trace.enabled() {
+            let meta =
+                TraceMeta { stages: self.flow.names().to_vec(), resources: self.resources.names() };
+            self.trace.begin(&meta);
+        }
+        self.apply_snapshot(&snap)?;
+        Ok(self)
+    }
+
+    /// FNV-1a over a deterministic rendering of everything that shapes this
+    /// run: the compiled stage tables, pools and resources, scheduling
+    /// policy, the full fault timeline and retry policy, observation config,
+    /// and the run caps. Two simulators with equal hashes replay the same
+    /// event sequence from any common state, which is exactly the identity a
+    /// resume needs — so this is what the journal header records.
+    fn spec_hash(&self) -> u64 {
+        let mut s = String::with_capacity(1024);
+        for id in self.flow.stage_ids() {
+            let _ = write!(
+                s,
+                "stage {}|{:?}|{:?}|{}|{:?}|{}|down",
+                self.flow.name(id),
+                self.flow.kind(id),
+                self.flow.verify(id),
+                self.flow.durable(id),
+                self.flow.ratio(id),
+                self.flow.sink(id),
+            );
+            for d in self.flow.downstream(id) {
+                let _ = write!(s, " {}", d.index());
+            }
+            s.push(';');
+        }
+        let _ = write!(s, "emits {};", self.flow.pending_emits());
+        let _ = write!(s, "observe {:?};", self.flow.observe_config());
+        let _ = write!(s, "policy {:?};", self.resources.policy());
+        for (i, name) in self.resources.names().iter().enumerate() {
+            let _ = write!(s, "res {name} {};", self.resources.total(ResourceId(i)));
+        }
+        match &self.faults {
+            Some(f) => {
+                let _ = write!(s, "faults {} {:?}", f.plan.seed(), f.policy);
+                for e in f.plan.events() {
+                    let _ = write!(s, " {e:?}");
+                }
+                s.push(';');
+            }
+            None => s.push_str("faults none;"),
+        }
+        let _ = write!(s, "caps {} {}", self.max_events, self.max_reprocess_depth);
+        durable::fnv1a(s.as_bytes())
+    }
+
+    fn run_header(&self) -> durable::RunHeader {
+        durable::RunHeader {
+            format: durable::SNAPSHOT_FORMAT,
+            build: env!("CARGO_PKG_VERSION").to_string(),
+            spec_hash: self.spec_hash(),
+            fault_seed: self.faults.as_ref().map(|f| f.plan.seed()),
+        }
+    }
+
+    /// Serialize the full mid-run state: engine clock, heap and slab (with
+    /// generations and free list), per-stage behavior state and metrics, the
+    /// storage ledger, resource occupancy and waiter queues, every RNG
+    /// stream, the trace lineage allocator, the time-series sampler, and the
+    /// flow-global end-of-input bookkeeping. Static configuration is *not*
+    /// written — the resuming simulator rebuilds it, and the spec hash in
+    /// the journal header proves it rebuilt the same one.
+    ///
+    /// Appends to `out` (cleared by the caller), so the journaling hot
+    /// path can reuse one buffer across hundreds of frames.
+    fn encode_snapshot(&self, engine: &Engine<FlowEvent>, out: &mut Vec<u8>) {
+        let sched = engine.sched();
+        // Engine: clock, counters, then the heap as sorted (time, seq, slot)
+        // triples — pop order is a pure function of the triple set, so heap
+        // layout need not survive.
+        durable::put_time(out, sched.now());
+        wire::put_u64(out, sched.seq());
+        wire::put_u64(out, engine.events_handled());
+        wire::put_u64(out, engine.peak_pending() as u64);
+        let heap = sched.heap_entries();
+        wire::put_u64(out, heap.len() as u64);
+        for (at, seq, slot) in heap {
+            durable::put_time(out, at);
+            wire::put_u64(out, seq);
+            wire::put_u32(out, slot);
+        }
+        // Slab: per-slot generation plus the payload event when occupied,
+        // then the free list (order matters: reuse is LIFO).
+        let slots = sched.slots();
+        wire::put_u64(out, slots.slot_count() as u64);
+        for (gen, ev) in slots.entries() {
+            wire::put_u32(out, gen);
+            match ev {
+                Some(e) => {
+                    wire::put_u8(out, 1);
+                    durable::put_event(out, e);
+                }
+                None => wire::put_u8(out, 0),
+            }
+        }
+        let free = slots.free_list();
+        wire::put_u64(out, free.len() as u64);
+        for &slot in free {
+            wire::put_u32(out, slot);
+        }
+        wire::put_u64(out, sched.slab_high_water() as u64);
+        // Per-stage behavior state, as opaque length-prefixed blobs. Each
+        // blob is written in place: a length placeholder, the state bytes,
+        // then the length patched in — the layout `wire::put_bytes` writes,
+        // without a temporary per-stage buffer.
+        for b in &self.behaviors {
+            let at = out.len();
+            wire::put_u64(out, 0);
+            let start = out.len();
+            b.as_ref().expect("behavior in place").save_state(out);
+            let len = (out.len() - start) as u64;
+            out[at..at + 8].copy_from_slice(&len.to_le_bytes());
+        }
+        // Per-stage metrics, bitmap-compressed (most counters are zero for
+        // most of a run, and snapshots are on the journaling hot path).
+        for m in &self.metrics {
+            put_metrics(out, m);
+        }
+        let (current, peak, retained, underflows) = self.ledger.export();
+        wire::put_u64(out, current);
+        wire::put_u64(out, peak);
+        wire::put_u64(out, retained);
+        wire::put_u64(out, underflows);
+        // Resource dynamics: occupancy, outages, contention counters, and
+        // each waiter queue front-to-back.
+        let dyns = self.resources.export_dyn();
+        wire::put_u64(out, dyns.len() as u64);
+        for d in dyns {
+            wire::put_u32(out, d.free);
+            wire::put_u32(out, d.offline);
+            wire::put_u32(out, d.peak_in_use);
+            wire::put_f64(out, d.busy_unit_secs);
+            wire::put_u64(out, d.waiters.len() as u64);
+            for w in d.waiters {
+                wire::put_u64(out, w.index() as u64);
+            }
+        }
+        // RNG streams. The fault plan itself is rebuilt by the resuming
+        // caller (and proven identical by the spec hash); only the stream
+        // positions are state.
+        match &self.faults {
+            Some(f) => {
+                wire::put_u8(out, 1);
+                for word in f.rng.state() {
+                    wire::put_u64(out, word);
+                }
+            }
+            None => wire::put_u8(out, 0),
+        }
+        for word in self.verify_rng.state() {
+            wire::put_u64(out, word);
+        }
+        // Trace lineage allocator and emission counter.
+        wire::put_u64(out, self.trace.next_lineage());
+        wire::put_u64(out, self.trace.emitted());
+        // Time-series sampler: next due tick plus every sample taken so far.
+        match &self.sampler {
+            Some(s) => {
+                wire::put_u8(out, 1);
+                durable::put_time(out, s.next);
+                wire::put_u64(out, s.samples.len() as u64);
+                for sample in &s.samples {
+                    durable::put_time(out, sample.at);
+                    wire::put_u64(out, sample.queued.len() as u64);
+                    for &v in &sample.queued {
+                        durable::put_vol(out, v);
+                    }
+                    wire::put_u64(out, sample.pool_in_use.len() as u64);
+                    for &u in &sample.pool_in_use {
+                        wire::put_u32(out, u);
+                    }
+                    durable::put_vol(out, sample.sink_volume);
+                }
+            }
+            None => wire::put_u8(out, 0),
+        }
+        // Flow-global end-of-input bookkeeping.
+        wire::put_u64(out, self.pending_emits);
+        match self.backlog_at_source_end {
+            Some(v) => {
+                wire::put_u8(out, 1);
+                durable::put_vol(out, v);
+            }
+            None => wire::put_u8(out, 0),
+        }
+        match self.source_end {
+            Some(t) => {
+                wire::put_u8(out, 1);
+                durable::put_time(out, t);
+            }
+            None => wire::put_u8(out, 0),
+        }
+    }
+
+    /// Restore the state written by [`FlowSim::encode_snapshot`] onto this
+    /// freshly configured simulator and install the rebuilt engine.
+    fn apply_snapshot(&mut self, bytes: &[u8]) -> CoreResult<()> {
+        let corrupt = |detail: String| CoreError::CorruptJournal { detail };
+        let mut r = wire::Reader::new(bytes);
+        let now = durable::get_time(&mut r)?;
+        let seq = r.u64()?;
+        let handled = r.u64()?;
+        let peak_pending = r.u64()? as usize;
+        let n = r.len()?;
+        let mut heap = Vec::with_capacity(n);
+        for _ in 0..n {
+            heap.push((durable::get_time(&mut r)?, r.u64()?, r.u32()?));
+        }
+        let n = r.len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let gen = r.u32()?;
+            let ev = match r.u8()? {
+                0 => None,
+                1 => Some(durable::get_event(&mut r)?),
+                other => return Err(corrupt(format!("bad slab occupancy tag {other}"))),
+            };
+            entries.push((gen, ev));
+        }
+        let n = r.len()?;
+        let mut free = Vec::with_capacity(n);
+        for _ in 0..n {
+            free.push(r.u32()?);
+        }
+        let high_water = r.u64()? as usize;
+        let slab = Slab::from_parts(entries, free, high_water);
+        let sched = Scheduler::from_parts(heap, slab, now, seq);
+        for id in self.flow.stage_ids() {
+            let blob = r.bytes()?;
+            self.behaviors[id.index()]
+                .as_mut()
+                .expect("behavior in place")
+                .load_state(blob)
+                .map_err(|e| corrupt(format!("stage `{}`: {e}", self.flow.name(id))))?;
+        }
+        for id in self.flow.stage_ids() {
+            self.metrics[id.index()] = get_metrics(&mut r)?;
+        }
+        self.ledger = StorageLedger::from_parts(r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+        let n = r.len()?;
+        if n != self.resources.names().len() {
+            return Err(corrupt(format!(
+                "snapshot has {n} resources, simulator has {}",
+                self.resources.names().len()
+            )));
+        }
+        let mut dyns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let free = r.u32()?;
+            let offline = r.u32()?;
+            let peak_in_use = r.u32()?;
+            let busy_unit_secs = r.f64()?;
+            let w = r.len()?;
+            let mut waiters = Vec::with_capacity(w);
+            for _ in 0..w {
+                waiters.push(StageId(r.u64()? as usize));
+            }
+            dyns.push(ResourceDyn { free, offline, peak_in_use, busy_unit_secs, waiters });
+        }
+        self.resources.restore_dyn(dyns);
+        match (r.u8()?, self.faults.as_mut()) {
+            (1, Some(f)) => {
+                let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+                f.rng = StdRng::from_state(state);
+            }
+            (0, None) => {}
+            (0 | 1, _) => {
+                return Err(CoreError::ResumeMismatch {
+                    detail: "snapshot and simulator disagree about fault injection".to_string(),
+                })
+            }
+            (other, _) => return Err(corrupt(format!("bad fault tag {other}"))),
+        }
+        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        self.verify_rng = StdRng::from_state(state);
+        let next_lineage = r.u64()?;
+        let emitted = r.u64()?;
+        self.trace.restore(next_lineage, emitted);
+        match (r.u8()?, self.sampler.as_mut()) {
+            (1, Some(s)) => {
+                s.next = durable::get_time(&mut r)?;
+                let n = r.len()?;
+                let mut samples = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let at = durable::get_time(&mut r)?;
+                    let q = r.len()?;
+                    let mut queued = Vec::with_capacity(q);
+                    for _ in 0..q {
+                        queued.push(durable::get_vol(&mut r)?);
+                    }
+                    let p = r.len()?;
+                    let mut pool_in_use = Vec::with_capacity(p);
+                    for _ in 0..p {
+                        pool_in_use.push(r.u32()?);
+                    }
+                    let sink_volume = durable::get_vol(&mut r)?;
+                    samples.push(TsSample { at, queued, pool_in_use, sink_volume });
+                }
+                s.samples = samples;
+            }
+            (0, None) => {}
+            (0 | 1, _) => {
+                return Err(CoreError::ResumeMismatch {
+                    detail: "snapshot and simulator disagree about observation".to_string(),
+                })
+            }
+            (other, _) => return Err(corrupt(format!("bad sampler tag {other}"))),
+        }
+        self.pending_emits = r.u64()?;
+        self.backlog_at_source_end = match r.u8()? {
+            0 => None,
+            1 => Some(durable::get_vol(&mut r)?),
+            other => return Err(corrupt(format!("bad backlog tag {other}"))),
+        };
+        self.source_end = match r.u8()? {
+            0 => None,
+            1 => Some(durable::get_time(&mut r)?),
+            other => return Err(corrupt(format!("bad source-end tag {other}"))),
+        };
+        r.done()?;
+        self.engine = Some(Engine::from_snapshot(sched, self.max_events, handled, peak_pending));
+        // Re-anchor the snapshot cadence at the restored position.
+        match self.snapshot_policy {
+            SnapshotPolicy::None => {}
+            SnapshotPolicy::EveryEvents(n) => self.next_snap_events = handled + n,
+            SnapshotPolicy::EverySimTime(d) => self.next_snap_time = now + d,
+        }
+        Ok(())
     }
 
     /// Drain `rid`'s waiter queue: keep asking the head stage to dispatch
@@ -597,6 +1163,103 @@ impl FlowSim {
             engine,
         }
     }
+}
+
+/// The numeric [`StageMetrics`] fields, in declaration order. Snapshots
+/// write a nonzero bitmap plus only the nonzero values — most counters stay
+/// zero for most of a run, and snapshot size is journaling hot-path cost.
+/// (`name` is resolved at report time and is not run state.)
+const METRIC_FIELDS: usize = 24;
+
+fn metric_values(m: &StageMetrics) -> [u64; METRIC_FIELDS] {
+    [
+        m.blocks_in,
+        m.volume_in.bytes(),
+        m.blocks_out,
+        m.volume_out.bytes(),
+        m.busy.as_micros(),
+        m.max_queue_blocks as u64,
+        m.max_queue_volume.bytes(),
+        m.final_queue_volume.bytes(),
+        m.completed_at.as_micros(),
+        m.retries,
+        m.faults,
+        m.blocks_failed,
+        m.volume_retransmitted.bytes(),
+        m.volume_lost.bytes(),
+        m.crashes,
+        m.work_lost.as_micros(),
+        m.work_replayed.as_micros(),
+        m.checkpoint_overhead.as_micros(),
+        m.corrupt_injected,
+        m.corrupt_detected,
+        m.corrupt_escaped,
+        m.quarantined,
+        m.reprocessed_blocks,
+        m.verify_overhead.as_micros(),
+    ]
+}
+
+fn metrics_from_values(v: [u64; METRIC_FIELDS]) -> StageMetrics {
+    StageMetrics {
+        name: String::new(),
+        blocks_in: v[0],
+        volume_in: DataVolume::from_bytes(v[1]),
+        blocks_out: v[2],
+        volume_out: DataVolume::from_bytes(v[3]),
+        busy: SimDuration::from_micros(v[4]),
+        max_queue_blocks: v[5] as usize,
+        max_queue_volume: DataVolume::from_bytes(v[6]),
+        final_queue_volume: DataVolume::from_bytes(v[7]),
+        completed_at: SimTime::from_micros(v[8]),
+        retries: v[9],
+        faults: v[10],
+        blocks_failed: v[11],
+        volume_retransmitted: DataVolume::from_bytes(v[12]),
+        volume_lost: DataVolume::from_bytes(v[13]),
+        crashes: v[14],
+        work_lost: SimDuration::from_micros(v[15]),
+        work_replayed: SimDuration::from_micros(v[16]),
+        checkpoint_overhead: SimDuration::from_micros(v[17]),
+        corrupt_injected: v[18],
+        corrupt_detected: v[19],
+        corrupt_escaped: v[20],
+        quarantined: v[21],
+        reprocessed_blocks: v[22],
+        verify_overhead: SimDuration::from_micros(v[23]),
+    }
+}
+
+fn put_metrics(out: &mut Vec<u8>, m: &StageMetrics) {
+    let vals = metric_values(m);
+    let mut mask = 0u32;
+    for (i, &v) in vals.iter().enumerate() {
+        if v != 0 {
+            mask |= 1 << i;
+        }
+    }
+    wire::put_u32(out, mask);
+    for &v in &vals {
+        if v != 0 {
+            wire::put_u64(out, v);
+        }
+    }
+}
+
+fn get_metrics(r: &mut wire::Reader) -> CoreResult<StageMetrics> {
+    let mask = r.u32()?;
+    if mask >> METRIC_FIELDS != 0 {
+        return Err(CoreError::CorruptJournal {
+            detail: format!("metrics bitmap {mask:#x} has unknown fields set"),
+        });
+    }
+    let mut vals = [0u64; METRIC_FIELDS];
+    for (i, v) in vals.iter_mut().enumerate() {
+        if mask & (1 << i) != 0 {
+            *v = r.u64()?;
+        }
+    }
+    Ok(metrics_from_values(vals))
 }
 
 impl EventHandler for FlowSim {
@@ -1225,5 +1888,183 @@ mod tests {
         let src = g.find("src").unwrap();
         g.set_verify(src, VerifyPolicy::digest(DataRate::mb_per_sec(100.0)));
         assert!(matches!(FlowSim::new(g, vec![]), Err(CoreError::InvalidConfig { .. })));
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sciflow-sim-{}-{name}", std::process::id()));
+        p
+    }
+
+    /// A faulted, verified transfer flow: drops drive the retry/jitter RNG,
+    /// silent corruption drives the verify RNG and quarantine machinery —
+    /// the state a snapshot most needs to get right.
+    fn durable_setup() -> (FlowGraph, FaultPlan) {
+        let (g, _) = corrupting_setup(VerifyPolicy::digest(DataRate::mb_per_sec(500.0)));
+        let plan = FaultPlan::from_events(
+            11,
+            vec![
+                FaultEvent { at: SimTime::from_micros(1_000_000), kind: FaultKind::Drop },
+                FaultEvent { at: SimTime::from_micros(5_000_000), kind: FaultKind::SilentCorrupt },
+                FaultEvent {
+                    at: SimTime::from_micros(12_000_000),
+                    kind: FaultKind::Stall { duration: SimDuration::from_secs(3) },
+                },
+            ],
+        );
+        (g, plan)
+    }
+
+    fn durable_sim(g: &FlowGraph, plan: &FaultPlan) -> FlowSim {
+        FlowSim::new(g.clone(), vec![]).unwrap().with_faults(plan.clone(), RetryPolicy::default())
+    }
+
+    #[test]
+    fn snapshot_resume_reproduces_the_uninterrupted_report() {
+        let (g, plan) = durable_setup();
+        let golden = durable_sim(&g, &plan).run().unwrap().to_json();
+        let path = tmp("mid");
+        let mut paused = durable_sim(&g, &plan);
+        assert!(paused.run_for(7).unwrap(), "flow should not be quiescent after 7 events");
+        paused.snapshot_to(&path).unwrap();
+        let resumed = durable_sim(&g, &plan).resume_from(&path).unwrap().run().unwrap().to_json();
+        assert_eq!(resumed, golden, "resumed report must be byte-identical");
+        // The paused original also finishes identically: pausing is inert.
+        let continued = paused.run().unwrap().to_json();
+        assert_eq!(continued, golden);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_pause_point_resumes_identically() {
+        let (g, plan) = durable_setup();
+        let golden = durable_sim(&g, &plan).run().unwrap().to_json();
+        let total = {
+            let mut sim = durable_sim(&g, &plan);
+            let mut n = 0u64;
+            while sim.run_for(1).unwrap() {
+                n += 1;
+            }
+            n
+        };
+        let path = tmp("sweep");
+        for k in 1..total {
+            let mut paused = durable_sim(&g, &plan);
+            paused.run_for(k).unwrap();
+            paused.snapshot_to(&path).unwrap();
+            let resumed =
+                durable_sim(&g, &plan).resume_from(&path).unwrap().run().unwrap().to_json();
+            assert_eq!(resumed, golden, "divergence resuming from event {k}/{total}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn killed_journaled_run_resumes_from_the_last_sealed_snapshot() {
+        let (g, plan) = durable_setup();
+        let golden = durable_sim(&g, &plan).run().unwrap().to_json();
+        let path = tmp("journal");
+        let err = durable_sim(&g, &plan)
+            .with_snapshot_policy(SnapshotPolicy::EveryEvents(5))
+            .with_journal(&path)
+            .unwrap()
+            .with_kill_after(13)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Killed { events: 13 }), "got {err:?}");
+        let resumed = durable_sim(&g, &plan).resume_from(&path).unwrap().run().unwrap().to_json();
+        assert_eq!(resumed, golden);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn time_based_snapshots_also_resume_identically() {
+        let (g, plan) = durable_setup();
+        let golden = durable_sim(&g, &plan).run().unwrap().to_json();
+        let path = tmp("timed");
+        let err = durable_sim(&g, &plan)
+            .with_snapshot_policy(SnapshotPolicy::EverySimTime(SimDuration::from_secs(4)))
+            .with_journal(&path)
+            .unwrap()
+            .with_kill_after(13)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Killed { .. }));
+        let resumed = durable_sim(&g, &plan).resume_from(&path).unwrap().run().unwrap().to_json();
+        assert_eq!(resumed, golden);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn observed_runs_snapshot_their_time_series_too() {
+        let mut g = simple_graph(10.0, 0.5);
+        g.set_observe(crate::trace::ObserveConfig::every(SimDuration::from_mins(30)));
+        let pools = || vec![CpuPool::new("pool", 4)];
+        let golden = FlowSim::new(g.clone(), pools()).unwrap().run().unwrap().to_json();
+        let path = tmp("observed");
+        let mut paused = FlowSim::new(g.clone(), pools()).unwrap();
+        assert!(paused.run_for(5).unwrap());
+        paused.snapshot_to(&path).unwrap();
+        let resumed = FlowSim::new(g.clone(), pools())
+            .unwrap()
+            .resume_from(&path)
+            .unwrap()
+            .run()
+            .unwrap()
+            .to_json();
+        assert_eq!(resumed, golden, "time series must survive the snapshot");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_against_a_different_run_is_refused() {
+        let (g, plan) = durable_setup();
+        let path = tmp("mismatch");
+        let mut sim = durable_sim(&g, &plan);
+        sim.run_for(5).unwrap();
+        sim.snapshot_to(&path).unwrap();
+        // Same flow, different fault seed: a different run.
+        let reseeded = FaultPlan::from_events(99, plan.events().to_vec());
+        let err = FlowSim::new(g.clone(), vec![])
+            .unwrap()
+            .with_faults(reseeded, RetryPolicy::default())
+            .resume_from(&path)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ResumeMismatch { .. }), "got {err:?}");
+        // No fault plan at all: also a different run.
+        let err =
+            FlowSim::new(g.clone(), vec![]).unwrap().resume_from(&path).map(|_| ()).unwrap_err();
+        assert!(matches!(err, CoreError::ResumeMismatch { .. }), "got {err:?}");
+        // A different graph entirely.
+        let err = FlowSim::new(simple_graph(10.0, 0.5), vec![CpuPool::new("pool", 4)])
+            .unwrap()
+            .resume_from(&path)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ResumeMismatch { .. }), "got {err:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_files_are_typed_errors_never_resumed() {
+        let (g, plan) = durable_setup();
+        let path = tmp("corrupt");
+        let mut sim = durable_sim(&g, &plan);
+        sim.run_for(5).unwrap();
+        sim.snapshot_to(&path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Truncate at every offset: never a silent resume.
+        for cut in 0..clean.len() {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            let err = durable_sim(&g, &plan).resume_from(&path).map(|_| ()).unwrap_err();
+            assert!(
+                matches!(err, CoreError::CorruptJournal { .. } | CoreError::ResumeMismatch { .. }),
+                "truncation at {cut} gave {err:?}"
+            );
+        }
+        std::fs::write(&path, &clean).unwrap();
+        durable_sim(&g, &plan).resume_from(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -111,6 +111,42 @@ impl<T> Slab<T> {
     pub fn high_water(&self) -> usize {
         self.high_water
     }
+
+    /// Number of slots ever claimed — the length of the walk that
+    /// [`Slab::entries`] performs.
+    pub(crate) fn slot_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Walk every slot in index order as `(generation, value)` pairs —
+    /// the raw occupancy a snapshot must capture. Claimed-but-taken slots
+    /// (a cancelled event awaiting [`Slab::retire`]) show up as `None`
+    /// values, exactly as they must be restored.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (u32, Option<&T>)> {
+        self.entries.iter().map(|e| (e.gen, e.value.as_ref()))
+    }
+
+    /// The free list in stack order (last element is claimed next). Slot
+    /// reuse is deterministic only if this order survives a round-trip.
+    pub(crate) fn free_list(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Rebuild a slab from snapshot parts: per-slot `(generation, value)`
+    /// pairs in index order, the free list in stack order, and the
+    /// high-water mark. The inverse of [`Slab::entries`] /
+    /// [`Slab::free_list`] / [`Slab::high_water`].
+    pub(crate) fn from_parts(
+        entries: Vec<(u32, Option<T>)>,
+        free: Vec<u32>,
+        high_water: usize,
+    ) -> Self {
+        Slab {
+            entries: entries.into_iter().map(|(gen, value)| Entry { gen, value }).collect(),
+            free,
+            high_water,
+        }
+    }
 }
 
 impl<T> Default for Slab<T> {
@@ -163,6 +199,24 @@ mod tests {
             slab.retire(k.slot());
         }
         assert_eq!(slab.high_water(), 5, "high water follows the widest burst");
+    }
+
+    #[test]
+    fn from_parts_restores_occupancy_free_order_and_staleness() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        let b = slab.insert(20);
+        let c = slab.insert(30);
+        slab.take(b); // claimed but empty: a cancelled event's slot
+        slab.retire(c.slot());
+        let parts: Vec<(u32, Option<i32>)> = slab.entries().map(|(g, v)| (g, v.copied())).collect();
+        let mut copy = Slab::from_parts(parts, slab.free_list().to_vec(), slab.high_water());
+        assert_eq!(copy.take(a), Some(10));
+        assert_eq!(copy.take(b), None, "taken slot stays claimed and empty");
+        assert_eq!(copy.take(c), None, "retired slot's old key stays stale");
+        let d = copy.insert(40);
+        assert_eq!(d.slot(), c.slot(), "free list order survives the round-trip");
+        assert_eq!(copy.high_water(), 3);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::graph::{FlowGraph, StageId, StageKind};
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
 use std::collections::HashMap;
 
+pub use crate::durable::SnapshotPolicy;
 pub use crate::graph::{CheckpointPolicy, VerifyPolicy};
 pub use crate::trace::ObserveConfig;
 
@@ -272,6 +273,7 @@ pub struct FlowSpec {
     feeds: Vec<(String, String)>,
     verifies: Vec<(String, VerifyPolicy)>,
     observe: Option<ObserveConfig>,
+    snapshot: SnapshotPolicy,
 }
 
 impl FlowSpec {
@@ -354,6 +356,14 @@ impl FlowSpec {
         self
     }
 
+    /// Set when journaled runs of this flow commit snapshot frames (see
+    /// [`SnapshotPolicy`]). Inert unless the run attaches a journal; the
+    /// cadence never perturbs the simulation itself.
+    pub fn snapshot(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshot = policy;
+        self
+    }
+
     /// Resolve names, wire edges, and validate the resulting graph.
     pub fn build(self) -> CoreResult<FlowGraph> {
         let mut g = FlowGraph::new();
@@ -395,6 +405,7 @@ impl FlowSpec {
         if let Some(cfg) = self.observe {
             g.set_observe(cfg);
         }
+        g.set_snapshot_policy(self.snapshot);
         g.validate()?;
         Ok(g)
     }

@@ -166,11 +166,15 @@ impl Observer for NoopObserver {
 pub(crate) struct TraceCtx {
     observer: Option<Box<dyn Observer>>,
     next_lineage: u64,
+    /// Events handed to the observer so far. Snapshots record this so a
+    /// resumed run's trace can be spliced onto the killed run's prefix at
+    /// exactly the right event boundary.
+    emitted: u64,
 }
 
 impl TraceCtx {
     pub(crate) fn new() -> Self {
-        TraceCtx { observer: None, next_lineage: 0 }
+        TraceCtx { observer: None, next_lineage: 0, emitted: 0 }
     }
 
     pub(crate) fn attach(&mut self, observer: Box<dyn Observer>) {
@@ -186,6 +190,22 @@ impl TraceCtx {
         self.next_lineage
     }
 
+    /// The lineage-allocator position, for snapshots.
+    pub(crate) fn next_lineage(&self) -> u64 {
+        self.next_lineage
+    }
+
+    /// Count of events emitted to the observer so far, for snapshots.
+    pub(crate) fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Restore allocator + emit-counter state from a snapshot.
+    pub(crate) fn restore(&mut self, next_lineage: u64, emitted: u64) {
+        self.next_lineage = next_lineage;
+        self.emitted = emitted;
+    }
+
     pub(crate) fn begin(&mut self, meta: &TraceMeta) {
         if let Some(o) = self.observer.as_mut() {
             o.begin(meta);
@@ -194,10 +214,13 @@ impl TraceCtx {
 
     /// Emit an event if an observer is attached. The closure runs only when
     /// someone listens, so disabled tracing never constructs event values.
+    /// The emit counter advances only on observed runs — it measures the
+    /// observer's stream, which is empty when no one listens.
     #[inline]
     pub(crate) fn emit(&mut self, at: SimTime, ev: impl FnOnce() -> TraceEvent) {
         if let Some(o) = self.observer.as_mut() {
             o.record(at, &ev());
+            self.emitted += 1;
         }
     }
 }

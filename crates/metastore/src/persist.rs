@@ -442,40 +442,18 @@ mod tests {
     /// A write torn at *any* byte offset must be rejected with the typed
     /// snapshot error — never parsed, never a panic.
     #[test]
-    fn truncation_at_every_offset_is_rejected() {
-        let sealed = sealed_bytes(&sample_db());
-        for cut in 0..sealed.len() {
-            match from_sealed_bytes(&sealed[..cut]) {
-                Err(MetaError::CorruptSnapshot { .. }) => {}
-                other => panic!("truncation at {cut}/{} gave {other:?}", sealed.len()),
-            }
-        }
-    }
-
-    /// Any single bit flip — payload or trailer — must be caught by the
-    /// seal. The FNV step is XOR-then-multiply-by-an-odd-prime, so payload
-    /// flips always change the digest; trailer flips break the magic, the
-    /// length, or the stated checksum.
-    #[test]
-    fn single_bit_flips_are_rejected() {
-        let sealed = sealed_bytes(&sample_db());
-        for i in 0..sealed.len() {
-            for bit in 0..8 {
-                let mut flipped = sealed.clone();
-                flipped[i] ^= 1 << bit;
-                match from_sealed_bytes(&flipped) {
-                    Err(MetaError::CorruptSnapshot { .. }) => {}
-                    other => panic!("bit {bit} of byte {i} flipped, got {other:?}"),
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn trailing_garbage_after_the_seal_is_rejected() {
-        let mut sealed = sealed_bytes(&sample_db());
-        sealed.push(0);
-        assert!(matches!(from_sealed_bytes(&sealed), Err(MetaError::CorruptSnapshot { .. })));
+    fn every_byte_level_corruption_is_rejected() {
+        // The full sweep — truncation at every offset, every single-bit
+        // flip (the FNV step is XOR-then-multiply-by-an-odd-prime, so
+        // payload flips always change the digest; trailer flips break the
+        // magic, the length, or the stated checksum), and trailing garbage
+        // after the seal — now lives in the shared test kit and also runs
+        // against the engine-snapshot and run-journal formats.
+        sciflow_testkit::assert_sealed_roundtrip(
+            &sealed_bytes(&sample_db()),
+            from_sealed_bytes,
+            sciflow_testkit::TailPolicy::Reject,
+        );
     }
 
     /// The atomic-save contract: a crash that leaves a torn temp file (or

@@ -45,54 +45,75 @@ impl GeneratedScenario {
         FlowSim::new(graph, self.flow.pools.clone()).expect("generated graph is valid")
     }
 
+    /// The not-yet-started simulator behind [`GeneratedScenario::run_clean`].
+    /// Rebuilding it from the same pair is how the resume-identity suite
+    /// reconstructs a crashed run's exact configuration.
+    pub fn sim_clean(&self) -> FlowSim {
+        self.sim(self.flow.graph.clone())
+    }
+
+    /// The simulator behind [`GeneratedScenario::run_corrupt`].
+    pub fn sim_corrupt(&self) -> FlowSim {
+        let profile = self.flow.corrupt_profile();
+        self.sim(self.flow.graph.clone())
+            .with_faults(self.plan("zoo-corrupt", &profile), self.policy)
+    }
+
+    /// The simulator behind [`GeneratedScenario::run_corrupt_verified`].
+    pub fn sim_corrupt_verified(&self) -> FlowSim {
+        let profile = self.flow.corrupt_profile();
+        self.sim(self.flow.digest_everywhere())
+            .with_faults(self.plan("zoo-corrupt", &profile), self.policy)
+    }
+
+    /// The simulator behind [`GeneratedScenario::run_crashy`]; `None` when
+    /// the graph has no process stage (nothing to crash).
+    pub fn sim_crashy(&self) -> Option<FlowSim> {
+        let profile = self.flow.crash_profile()?;
+        Some(
+            self.sim(self.flow.graph.clone())
+                .with_faults(self.plan("zoo-crash", &profile), self.policy),
+        )
+    }
+
+    /// The simulator behind [`GeneratedScenario::run_traced`], reporting to
+    /// the caller's recorder so killed / resumed runs can each keep their
+    /// own trace.
+    pub fn sim_traced(&self, trace: TraceRecorder) -> FlowSim {
+        let profile = self.flow.corrupt_profile();
+        self.sim(self.flow.graph.clone())
+            .with_faults(self.plan("zoo-corrupt", &profile), self.policy)
+            .with_observer(trace)
+    }
+
     /// Fault-free run: the strictest conservation laws apply.
     pub fn run_clean(&self) -> SimReport {
-        self.sim(self.flow.graph.clone()).run().expect("generated flow converges")
+        self.sim_clean().run().expect("generated flow converges")
     }
 
     /// Run under link faults and dense silent corruption, with whatever
     /// verification the generator decorated (possibly none).
     pub fn run_corrupt(&self) -> SimReport {
-        let profile = self.flow.corrupt_profile();
-        self.sim(self.flow.graph.clone())
-            .with_faults(self.plan("zoo-corrupt", &profile), self.policy)
-            .run()
-            .expect("generated flow converges")
+        self.sim_corrupt().run().expect("generated flow converges")
     }
 
     /// The same corrupt timeline against the digest-everywhere variant of
     /// the graph: no taint can escape.
     pub fn run_corrupt_verified(&self) -> SimReport {
-        let profile = self.flow.corrupt_profile();
-        self.sim(self.flow.digest_everywhere())
-            .with_faults(self.plan("zoo-corrupt", &profile), self.policy)
-            .run()
-            .expect("generated flow converges")
+        self.sim_corrupt_verified().run().expect("generated flow converges")
     }
 
     /// Run under node crashes against the graph's first referenced pool;
     /// `None` when the graph has no process stage (nothing to crash).
     pub fn run_crashy(&self) -> Option<SimReport> {
-        let profile = self.flow.crash_profile()?;
-        Some(
-            self.sim(self.flow.graph.clone())
-                .with_faults(self.plan("zoo-crash", &profile), self.policy)
-                .run()
-                .expect("generated flow converges"),
-        )
+        Some(self.sim_crashy()?.run().expect("generated flow converges"))
     }
 
     /// The corrupt run with a trace recorder attached, for trace/report
     /// conservation checks.
     pub fn run_traced(&self) -> (SimReport, TraceSnapshot) {
         let trace = TraceRecorder::new();
-        let profile = self.flow.corrupt_profile();
-        let report = self
-            .sim(self.flow.graph.clone())
-            .with_faults(self.plan("zoo-corrupt", &profile), self.policy)
-            .with_observer(trace.clone())
-            .run()
-            .expect("generated flow converges");
+        let report = self.sim_traced(trace.clone()).run().expect("generated flow converges");
         (report, trace.snapshot())
     }
 }

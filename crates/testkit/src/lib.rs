@@ -27,6 +27,7 @@ pub mod golden;
 pub mod invariants;
 pub mod rng;
 pub mod scenarios;
+pub mod sealed;
 
 pub use determinism::{assert_deterministic, report_fingerprint};
 pub use generated::{check_generated, GeneratedScenario};
@@ -43,3 +44,4 @@ pub use scenarios::{
     CorruptFlowScenario, CrashFlowScenario, LossyFlowScenario, LossyLinkScenario,
     SharedPoolScenario, TracedFlowScenario,
 };
+pub use sealed::{assert_sealed_roundtrip, TailPolicy};

@@ -1,0 +1,394 @@
+//! The durable-run acceptance suite: kill a journaled run at an arbitrary
+//! event, resume it in a rebuilt simulator, and require the result to be
+//! *byte-identical* to the run that was never interrupted.
+//!
+//! Identity is checked at three strengths, over the workload zoo and the
+//! three case-study flows:
+//!
+//! * **Report identity** — the resumed run's [`SimReport`] compares equal
+//!   and its `to_json()` rendering matches byte for byte, in every run mode
+//!   (clean, corrupt, corrupt-verified, crashy, traced).
+//! * **Trace identity** — the killed run's JSONL trace is a strict prefix
+//!   of the uninterrupted golden trace, and the resumed run's JSONL equals
+//!   the golden's tail exactly: between the two recorders every line of the
+//!   golden trace is accounted for, none twice.
+//! * **Format robustness** — the sealed snapshot file survives the shared
+//!   [`assert_sealed_roundtrip`] sweep (every truncation and bit flip is a
+//!   typed error, a torn tail recovers), a journal whose *last* frame is
+//!   damaged falls back to the previous sealed snapshot, and a torn journal
+//!   tail is truncated and resumed past — never trusted.
+//!
+//! The zoo batteries honour `FAULT_MATRIX_SEED` like the rest of the suite,
+//! so each CI matrix entry kills a disjoint slice of graph space at
+//! different events.
+
+use std::fs;
+use std::path::PathBuf;
+
+use sciflow_arecibo::flow::{arecibo_flow_graph, AreciboFlowParams, CTC_POOL};
+use sciflow_cleo::flow::{cleo_flow_graph, wilson_crash_profile, CleoFlowParams, WILSON_POOL};
+use sciflow_core::fault::{FaultPlan, FaultProfile, RetryPolicy};
+use sciflow_core::genflow::{Archetype, SEED_PAYLOAD_MASK};
+use sciflow_core::graph::{FlowGraph, StageKind};
+use sciflow_core::sim::{CpuPool, FlowSim};
+use sciflow_core::trace::TraceRecorder;
+use sciflow_core::units::{DataRate, DataVolume, SimDuration, SimTime};
+use sciflow_core::{CoreError, SnapshotPolicy};
+use sciflow_testkit::{
+    assert_matches_golden, assert_sealed_roundtrip, check_generated, derive_seed, matrix_seed,
+    TailPolicy,
+};
+use sciflow_weblab::flow::{weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
+
+/// Zoo graphs per archetype. Each graph is run ~4× per mode (golden, probe,
+/// killed, resumed), so the batch is smaller than the invariant families'.
+const SEEDS_PER_ARCHETYPE: u64 = 3;
+
+fn zoo_seeds(family: &str, archetype: Archetype) -> Vec<u64> {
+    let master = matrix_seed(42);
+    (0..SEEDS_PER_ARCHETYPE)
+        .map(|i| {
+            derive_seed(master, &format!("zoo-{family}-{}-{i}", archetype.name()))
+                & SEED_PAYLOAD_MASK
+        })
+        .collect()
+}
+
+/// Scratch path under the system temp dir, unique per test process.
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sciflow-resume-{}-{name}.journal", std::process::id()))
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join(format!("{name}.txt"))
+}
+
+/// Run a fresh copy of the simulator to quiescence and count its events.
+fn total_events(mut sim: FlowSim) -> u64 {
+    let more = sim.run_for(u64::MAX).expect("probe run converges");
+    assert!(!more, "probe must reach quiescence");
+    sim.events_handled()
+}
+
+/// The core identity check: golden run, then a journaled run killed at a
+/// seed-derived mid-run event, then a resumed run — whose report must equal
+/// the golden's both structurally and as JSON bytes.
+fn assert_resume_identity(label: &str, seed: u64, build: &dyn Fn() -> FlowSim) {
+    let golden = build().run().expect("golden run converges");
+    let total = total_events(build());
+    if total < 2 {
+        return; // nothing mid-run to kill
+    }
+    let kill = 1 + derive_seed(seed, &format!("kill-{label}")) % (total - 1);
+    let cadence = 1 + derive_seed(seed, &format!("cadence-{label}")) % kill.min(16);
+    let path = tmp(&format!("{label}-{seed:x}"));
+    let err = build()
+        .with_snapshot_policy(SnapshotPolicy::EveryEvents(cadence))
+        .with_journal(&path)
+        .expect("journal created")
+        .with_kill_after(kill)
+        .run()
+        .map(|_| ())
+        .expect_err("the kill hook must fire mid-run");
+    assert!(matches!(err, CoreError::Killed { .. }), "{label} seed {seed:#x}: {err:?}");
+    let resumed = build()
+        .resume_from(&path)
+        .expect("journal accepted for resume")
+        .run()
+        .expect("resumed run converges");
+    assert_eq!(resumed, golden, "{label} seed {seed:#x}: resumed report diverged");
+    assert_eq!(
+        resumed.to_json(),
+        golden.to_json(),
+        "{label} seed {seed:#x}: resumed report JSON bytes diverged"
+    );
+    let _ = fs::remove_file(&path);
+}
+
+/// Headline property: over zoo graphs in every run mode, a run killed at an
+/// arbitrary event and resumed from its journal finishes byte-identically
+/// to the run that was never interrupted.
+#[test]
+fn killed_zoo_runs_resume_byte_identically_in_every_mode() {
+    for archetype in Archetype::ALL {
+        check_generated(archetype, zoo_seeds("resume", archetype), |s| {
+            let seed = s.flow.seed;
+            assert_resume_identity("clean", seed, &|| s.sim_clean());
+            assert_resume_identity("corrupt", seed, &|| s.sim_corrupt());
+            assert_resume_identity("corrupt-verified", seed, &|| s.sim_corrupt_verified());
+            if s.sim_crashy().is_some() {
+                assert_resume_identity("crashy", seed, &|| {
+                    s.sim_crashy().expect("crash profile exists")
+                });
+            }
+        });
+    }
+}
+
+/// Trace identity across the kill: the killed recorder saw a strict prefix
+/// of the golden JSONL, the resumed recorder's JSONL equals the golden's
+/// tail byte for byte, and the resumed report still matches.
+#[test]
+fn traced_zoo_runs_resume_with_byte_identical_trace_suffixes() {
+    for archetype in Archetype::ALL {
+        check_generated(archetype, zoo_seeds("resume-trace", archetype), |s| {
+            let seed = s.flow.seed;
+            let golden_trace = TraceRecorder::new();
+            let golden = s.sim_traced(golden_trace.clone()).run().expect("golden run converges");
+            let golden_jsonl = golden_trace.snapshot().jsonl();
+            let total = total_events(s.sim_traced(TraceRecorder::new()));
+            if total < 2 {
+                return;
+            }
+            let kill = 1 + derive_seed(seed, "kill-traced") % (total - 1);
+            let cadence = 1 + derive_seed(seed, "cadence-traced") % kill.min(16);
+            let path = tmp(&format!("traced-{seed:x}"));
+            let killed_trace = TraceRecorder::new();
+            let err = s
+                .sim_traced(killed_trace.clone())
+                .with_snapshot_policy(SnapshotPolicy::EveryEvents(cadence))
+                .with_journal(&path)
+                .expect("journal created")
+                .with_kill_after(kill)
+                .run()
+                .map(|_| ())
+                .expect_err("the kill hook must fire mid-run");
+            assert!(matches!(err, CoreError::Killed { .. }), "seed {seed:#x}: {err:?}");
+            let killed_jsonl = killed_trace.snapshot().jsonl();
+            assert!(
+                golden_jsonl.starts_with(&killed_jsonl),
+                "seed {seed:#x}: the killed trace must be a prefix of the golden trace"
+            );
+            let resumed_trace = TraceRecorder::new();
+            let resumed = s
+                .sim_traced(resumed_trace.clone())
+                .resume_from(&path)
+                .expect("journal accepted for resume")
+                .run()
+                .expect("resumed run converges");
+            assert_eq!(resumed, golden, "seed {seed:#x}: resumed traced report diverged");
+            let resumed_jsonl = resumed_trace.snapshot().jsonl();
+            let golden_lines: Vec<&str> = golden_jsonl.lines().collect();
+            let resumed_lines: Vec<&str> = resumed_jsonl.lines().collect();
+            assert!(
+                resumed_lines.len() <= golden_lines.len(),
+                "seed {seed:#x}: resumed trace longer than the golden trace"
+            );
+            assert_eq!(
+                &golden_lines[golden_lines.len() - resumed_lines.len()..],
+                &resumed_lines[..],
+                "seed {seed:#x}: resumed trace is not the golden trace's tail"
+            );
+            let _ = fs::remove_file(&path);
+        });
+    }
+}
+
+// --- Case-study flows vs their committed goldens ---------------------------
+
+/// The same gentle Arecibo plan the golden suite uses (see
+/// `golden_reports.rs`): drops about weekly against ~6.5-day shipments.
+fn arecibo_faulted_sim() -> FlowSim {
+    let profile = FaultProfile {
+        drops_per_day: 0.15,
+        stalls_per_day: 2.0,
+        mean_stall: SimDuration::from_mins(30),
+        corrupts_per_day: 0.05,
+        degrades_per_day: 0.2,
+        degrade_factor: 0.7,
+        mean_degrade: SimDuration::from_hours(2),
+        ..FaultProfile::clean()
+    };
+    let plan = FaultPlan::generate(42, SimDuration::from_days(90), &profile);
+    let graph = arecibo_flow_graph(&AreciboFlowParams::default());
+    let pools = vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 150)];
+    FlowSim::new(graph, pools).expect("valid flow").with_faults(plan, RetryPolicy::default())
+}
+
+/// The checkpointed CLEO crash run from the golden suite: a squeezed Wilson
+/// farm under ~daily crashes, 5-minute checkpoints on reconstruction.
+fn cleo_crashed_checkpointed_sim() -> FlowSim {
+    let profile = wilson_crash_profile(24.0, SimDuration::from_mins(20));
+    let plan = FaultPlan::generate(42, SimDuration::from_days(14), &profile);
+    let params = CleoFlowParams::default().with_recon_checkpoint(SimDuration::from_mins(5));
+    FlowSim::new(cleo_flow_graph(&params), vec![CpuPool::new(WILSON_POOL, 4)])
+        .expect("valid flow")
+        .with_faults(plan, RetryPolicy::default())
+}
+
+/// The faulted WebLab run from the golden suite: the canonical flaky link.
+fn weblab_faulted_sim() -> FlowSim {
+    let plan = FaultPlan::generate(42, SimDuration::from_days(30), &FaultProfile::flaky());
+    FlowSim::new(
+        weblab_flow_graph(&WeblabFlowParams::default()),
+        vec![CpuPool::new(WEBLAB_POOL, 16)],
+    )
+    .expect("valid flow")
+    .with_faults(plan, RetryPolicy::default())
+}
+
+/// Pause a case-study run mid-makespan, snapshot it, and finish both the
+/// paused original and a resumed rebuild — each must render to the exact
+/// committed golden snapshot.
+fn assert_case_study_resumes(name: &str, golden: &str, build: &dyn Fn() -> FlowSim) {
+    let total = total_events(build());
+    let mut paused = build();
+    let more = paused.run_for(total / 2).expect("first half runs");
+    assert!(more, "{name}: the pause point must be mid-run");
+    let path = tmp(name);
+    paused.snapshot_to(&path).expect("snapshot written");
+    let finished = paused.run().expect("paused run finishes");
+    assert_matches_golden(golden_path(golden), &finished);
+    let resumed = build()
+        .resume_from(&path)
+        .expect("snapshot accepted for resume")
+        .run()
+        .expect("resumed run finishes");
+    assert_matches_golden(golden_path(golden), &resumed);
+    assert_eq!(finished.to_json(), resumed.to_json(), "{name}: resumed JSON bytes diverged");
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn arecibo_resumes_mid_makespan_to_the_committed_golden() {
+    assert_case_study_resumes("arecibo", "arecibo_faulted", &arecibo_faulted_sim);
+}
+
+#[test]
+fn cleo_crashed_checkpointed_resumes_mid_makespan_to_the_committed_golden() {
+    assert_case_study_resumes("cleo", "cleo_crashed_checkpointed", &cleo_crashed_checkpointed_sim);
+}
+
+#[test]
+fn weblab_resumes_mid_makespan_to_the_committed_golden() {
+    assert_case_study_resumes("weblab", "weblab_faulted", &weblab_faulted_sim);
+}
+
+// --- Sealed-format robustness ---------------------------------------------
+
+/// A deliberately small faulted flow, so the byte-level sweeps (one resume
+/// attempt per truncation offset and per bit) stay fast.
+fn tiny_sim() -> FlowSim {
+    let mut g = FlowGraph::new();
+    let src = g.add_stage(
+        "acquire",
+        StageKind::Source {
+            block: DataVolume::gb(2),
+            interval: SimDuration::from_hours(1),
+            blocks: 4,
+            start: SimTime::ZERO,
+        },
+    );
+    let link = g.add_stage(
+        "link",
+        StageKind::Transfer {
+            rate: DataRate::mb_per_sec(50.0),
+            latency: SimDuration::from_secs(1),
+            channels: 1,
+        },
+    );
+    let sink = g.add_stage("archive", StageKind::Archive);
+    g.connect(src, link).expect("stages exist");
+    g.connect(link, sink).expect("stages exist");
+    let plan = FaultPlan::generate(7, SimDuration::from_hours(8), &FaultProfile::flaky());
+    FlowSim::new(g, vec![]).expect("valid flow").with_faults(plan, RetryPolicy::default())
+}
+
+/// The mid-run snapshot file holds the sealed contract the whole design
+/// rests on: every truncation and every single-bit flip is a typed error —
+/// never a silent resume — while a torn tail (bytes past the last sealed
+/// frame) recovers by truncation, because that is exactly what a crash
+/// mid-append leaves behind.
+#[test]
+fn snapshot_files_survive_the_sealed_corruption_sweep() {
+    let mut sim = tiny_sim();
+    let more = sim.run_for(6).expect("first events run");
+    assert!(more, "the pause point must be mid-run");
+    let path = tmp("sealed-sweep-src");
+    sim.snapshot_to(&path).expect("snapshot written");
+    let clean = fs::read(&path).expect("snapshot readable");
+    let scratch = tmp("sealed-sweep-scratch");
+    assert_sealed_roundtrip(
+        &clean,
+        |bytes| {
+            fs::write(&scratch, bytes).expect("scratch writable");
+            tiny_sim().resume_from(&scratch).map(|_| ())
+        },
+        TailPolicy::Recover,
+    );
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&scratch);
+}
+
+/// Walk a journal's frames: `(kind, payload_offset, payload_len)` per
+/// frame, after the 8-byte magic. Mirrors `sciflow_core::durable`'s layout:
+/// `[kind u8][len u64 LE][payload][fnv u64 LE]`.
+fn journal_frames(bytes: &[u8]) -> Vec<(u8, usize, usize)> {
+    let mut frames = Vec::new();
+    let mut pos = 8;
+    while pos + 9 <= bytes.len() {
+        let kind = bytes[pos];
+        let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+        frames.push((kind, pos + 9, len));
+        pos += 9 + len + 8;
+    }
+    frames
+}
+
+/// Produce a killed journaled run of the tiny flow with at least two sealed
+/// snapshot frames, returning the journal path and the uninterrupted golden.
+fn killed_tiny_journal(name: &str) -> (PathBuf, sciflow_core::metrics::SimReport) {
+    let golden = tiny_sim().run().expect("golden run converges");
+    let total = total_events(tiny_sim());
+    let cadence = (total / 4).max(1);
+    let path = tmp(name);
+    let err = tiny_sim()
+        .with_snapshot_policy(SnapshotPolicy::EveryEvents(cadence))
+        .with_journal(&path)
+        .expect("journal created")
+        .with_kill_after(total - 1)
+        .run()
+        .map(|_| ())
+        .expect_err("the kill hook must fire mid-run");
+    assert!(matches!(err, CoreError::Killed { .. }), "{err:?}");
+    (path, golden)
+}
+
+/// A bit flip inside the *last* snapshot frame must not kill the journal:
+/// recovery drops the damaged frame, falls back to the previous sealed
+/// snapshot, and the resumed run still finishes identical to the golden.
+#[test]
+fn a_damaged_last_frame_falls_back_to_the_previous_sealed_snapshot() {
+    let (path, golden) = killed_tiny_journal("frame-fallback");
+    let mut bytes = fs::read(&path).expect("journal readable");
+    let snaps: Vec<_> =
+        journal_frames(&bytes).into_iter().filter(|&(kind, _, _)| kind == 2).collect();
+    assert!(snaps.len() >= 2, "need at least two sealed snapshots, got {}", snaps.len());
+    let (_, off, len) = *snaps.last().expect("snapshot frame exists");
+    bytes[off + len / 2] ^= 0x40;
+    fs::write(&path, &bytes).expect("journal writable");
+    let resumed = tiny_sim()
+        .resume_from(&path)
+        .expect("fallback snapshot accepted")
+        .run()
+        .expect("resumed run converges");
+    assert_eq!(resumed, golden, "fallback resume diverged from the golden");
+    let _ = fs::remove_file(&path);
+}
+
+/// A torn tail — a partial frame a crash left mid-append — is truncated
+/// back to the last sealed frame and the resume proceeds from there.
+#[test]
+fn a_torn_journal_tail_is_truncated_and_resumed_past() {
+    let (path, golden) = killed_tiny_journal("torn-tail");
+    let mut bytes = fs::read(&path).expect("journal readable");
+    bytes.extend_from_slice(&[0x02, 0xFF, 0xFF, 0x00, 0x13, 0x37]); // half a frame header
+    fs::write(&path, &bytes).expect("journal writable");
+    let resumed = tiny_sim()
+        .resume_from(&path)
+        .expect("torn tail recovered")
+        .run()
+        .expect("resumed run converges");
+    assert_eq!(resumed, golden, "torn-tail resume diverged from the golden");
+    let _ = fs::remove_file(&path);
+}
