@@ -1,6 +1,6 @@
 //! Wall-clock measurement of the standard flow suite — the numbers behind
 //! the committed bench record (`sciflow_bench::flows::BENCH_RECORD`, e.g.
-//! `BENCH_8.json`).
+//! `BENCH_9.json`).
 //!
 //! ```text
 //! flows [--quick] [--iters N] [--out FILE] [--baseline FILE] [--label NAME]
@@ -28,10 +28,10 @@ fn measure(flow: &SuiteFlow, iters: u32) -> Measurement {
     let mut finished_at_us = 0;
     for _ in 0..iters {
         let start = Instant::now();
-        let report = run_flow(flow);
+        let outcome = run_flow(flow);
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         best = best.min(elapsed);
-        finished_at_us = report.finished_at.as_micros();
+        finished_at_us = outcome.finished_at_us;
     }
     Measurement { name: flow.name, best_ms: best, finished_at_us }
 }

@@ -1,8 +1,9 @@
 //! The standard perf suite behind the committed bench record (currently
-//! `BENCH_8.json`): the three case-study flows at paper scale, the
-//! synthetic million-block-hop stress flow from `genflow`, and the same
+//! `BENCH_9.json`): the three case-study flows at paper scale, the
+//! synthetic million-block-hop stress flow from `genflow`, the same
 //! stress flow re-run with a journal sealing a snapshot every 10k events —
-//! the durable-runs overhead row. The `flows` criterion bench and the
+//! the durable-runs overhead row — and two EventStore rows, local ingest
+//! and anti-entropy replication. The `flows` criterion bench and the
 //! `flows` binary both run exactly this list, so committed numbers and
 //! ad-hoc runs measure the same work.
 
@@ -10,31 +11,63 @@ use sciflow_arecibo::flow::{arecibo_flow_graph, AreciboFlowParams, CTC_POOL};
 use sciflow_cleo::flow::{cleo_flow_graph, CleoFlowParams, WILSON_POOL};
 use sciflow_core::genflow::{stress_flow, StressParams};
 use sciflow_core::graph::FlowGraph;
+use sciflow_core::md5::md5;
 use sciflow_core::sim::{CpuPool, FlowSim};
+use sciflow_core::version::CalDate;
 use sciflow_core::{SimReport, SnapshotPolicy};
+use sciflow_eventstore::grade::GradeEntry;
+use sciflow_eventstore::replica::{Replica, SyncLink};
+use sciflow_eventstore::{sync_once, FileRecord, RunRange, StoreTier};
 use sciflow_weblab::flow::{weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
 
 /// Identity of the committed bench record at the repo root. Bump this when
 /// a PR commits a new record; the `flows` binary stamps it into its JSON.
-pub const BENCH_RECORD: &str = "BENCH_8";
+pub const BENCH_RECORD: &str = "BENCH_9";
 
 /// Snapshot cadence of the `stress+snapshot` row: one sealed journal frame
 /// per this many events (~300 frames over the ~3M-event stress flow).
 pub const SNAPSHOT_EVERY: u64 = 10_000;
 
+/// Records registered by the `es-ingest` row.
+pub const ES_INGEST_FILES: u64 = 5_000;
+
+/// Records registered on *each* side of the `es-sync` row before the
+/// anti-entropy session that ships all of them both ways.
+pub const ES_SYNC_FILES_PER_SIDE: u64 = 2_000;
+
 /// Names of the standard suite, in run order. CI checks that the committed
 /// record covers every one of these.
-pub const SUITE_NAMES: [&str; 5] = ["arecibo", "cleo", "weblab", "stress", "stress+snapshot"];
+pub const SUITE_NAMES: [&str; 7] =
+    ["arecibo", "cleo", "weblab", "stress", "stress+snapshot", "es-ingest", "es-sync"];
 
-/// One flow of the standard suite: a validated graph plus its pools, and
-/// the snapshot cadence when the row measures journaled execution.
+/// The workload behind one suite row.
+pub enum SuiteWork {
+    /// A flow simulation run to quiescence.
+    Sim {
+        graph: FlowGraph,
+        pools: Vec<CpuPool>,
+        /// `Some(n)` runs with an attached journal sealing a snapshot every
+        /// `n` events; `None` runs bare.
+        snapshot_every: Option<u64>,
+    },
+    /// EventStore local-operation throughput: registrations with a steady
+    /// sprinkle of revisions, quarantines and grade declarations.
+    EsIngest { files: u64 },
+    /// Anti-entropy throughput: two fully diverged replicas exchange every
+    /// record over a clean link, then confirm in-sync on digests alone.
+    EsSync { files_per_side: u64 },
+}
+
+/// What a suite row reports besides wall clock: the simulated finish time
+/// for sim rows (`0` for store rows, which have no simulated clock).
+pub struct SuiteOutcome {
+    pub finished_at_us: u64,
+}
+
+/// One flow of the standard suite: a name and the workload it measures.
 pub struct SuiteFlow {
     pub name: &'static str,
-    pub graph: FlowGraph,
-    pub pools: Vec<CpuPool>,
-    /// `Some(n)` runs with an attached journal sealing a snapshot every
-    /// `n` events; `None` runs bare.
-    pub snapshot_every: Option<u64>,
+    pub work: SuiteWork,
 }
 
 /// Build the standard suite. Paper scale for the case studies (the same
@@ -44,49 +77,152 @@ pub struct SuiteFlow {
 pub fn standard_suite() -> Vec<SuiteFlow> {
     let arecibo = SuiteFlow {
         name: "arecibo",
-        graph: arecibo_flow_graph(&AreciboFlowParams::default()),
-        pools: vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 150)],
-        snapshot_every: None,
+        work: SuiteWork::Sim {
+            graph: arecibo_flow_graph(&AreciboFlowParams::default()),
+            pools: vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 150)],
+            snapshot_every: None,
+        },
     };
     let cleo = SuiteFlow {
         name: "cleo",
-        graph: cleo_flow_graph(&CleoFlowParams::default()),
-        pools: vec![CpuPool::new(WILSON_POOL, 64)],
-        snapshot_every: None,
+        work: SuiteWork::Sim {
+            graph: cleo_flow_graph(&CleoFlowParams::default()),
+            pools: vec![CpuPool::new(WILSON_POOL, 64)],
+            snapshot_every: None,
+        },
     };
     let weblab = SuiteFlow {
         name: "weblab",
-        graph: weblab_flow_graph(&WeblabFlowParams::default()),
-        pools: vec![CpuPool::new(WEBLAB_POOL, 16)],
-        snapshot_every: None,
+        work: SuiteWork::Sim {
+            graph: weblab_flow_graph(&WeblabFlowParams::default()),
+            pools: vec![CpuPool::new(WEBLAB_POOL, 16)],
+            snapshot_every: None,
+        },
     };
     let (graph, pools) = stress_flow(&StressParams::default());
-    let stress = SuiteFlow { name: "stress", graph, pools, snapshot_every: None };
+    let stress =
+        SuiteFlow { name: "stress", work: SuiteWork::Sim { graph, pools, snapshot_every: None } };
     let (graph, pools) = stress_flow(&StressParams::default());
-    let snapshotted =
-        SuiteFlow { name: "stress+snapshot", graph, pools, snapshot_every: Some(SNAPSHOT_EVERY) };
-    vec![arecibo, cleo, weblab, stress, snapshotted]
+    let snapshotted = SuiteFlow {
+        name: "stress+snapshot",
+        work: SuiteWork::Sim { graph, pools, snapshot_every: Some(SNAPSHOT_EVERY) },
+    };
+    let ingest =
+        SuiteFlow { name: "es-ingest", work: SuiteWork::EsIngest { files: ES_INGEST_FILES } };
+    let sync = SuiteFlow {
+        name: "es-sync",
+        work: SuiteWork::EsSync { files_per_side: ES_SYNC_FILES_PER_SIDE },
+    };
+    vec![arecibo, cleo, weblab, stress, snapshotted, ingest, sync]
 }
 
 /// A reduced stress point for smoke runs (CI, criterion): same shape, two
 /// orders of magnitude fewer block-hops.
 pub fn quick_stress() -> SuiteFlow {
     let (graph, pools) = stress_flow(&StressParams { chains: 4, depth: 25, blocks: 100 });
-    SuiteFlow { name: "stress-quick", graph, pools, snapshot_every: None }
+    SuiteFlow { name: "stress-quick", work: SuiteWork::Sim { graph, pools, snapshot_every: None } }
 }
 
-/// Run one suite flow to quiescence, clean (no faults, no observer). Rows
-/// with a snapshot cadence run with a journal attached to a temp file —
-/// full durable-write cost included — which is removed afterwards.
-pub fn run_flow(flow: &SuiteFlow) -> SimReport {
-    let sim = FlowSim::new(flow.graph.clone(), flow.pools.clone()).expect("suite flows are valid");
-    match flow.snapshot_every {
+/// The deterministic record behind the EventStore rows: all metadata a
+/// pure function of `(id, generation)`.
+fn bench_record(id: u64, generation: u32) -> FileRecord {
+    FileRecord {
+        id,
+        runs: RunRange::single(10_000 + (id % 40_000) as u32),
+        kind: "recon".into(),
+        version: format!("v{generation}"),
+        site: "Cornell".into(),
+        registered: CalDate::new(2005, 1 + (id % 12) as u8, 1 + (id % 28) as u8).unwrap(),
+        location: format!("/bench/recon/{id}"),
+        prov_digest: md5(format!("{id}:{generation}").as_bytes()),
+    }
+}
+
+/// Local ingest: `files` registrations with a revision every 5th record, a
+/// quarantine every 64th, a release every 128th, and a grade snapshot
+/// every 500th — the steady-state write mix of a group store.
+fn run_es_ingest(files: u64) {
+    let mut replica = Replica::new(1, StoreTier::Group);
+    for id in 0..files {
+        replica.register(&bench_record(id, 0)).expect("register");
+        if id % 5 == 0 {
+            replica.revise(&bench_record(id, 1)).expect("revise");
+        }
+        if id % 64 == 0 {
+            replica.quarantine(id, "bench integrity flag").expect("quarantine");
+        }
+        if id % 128 == 0 {
+            replica.release(id).expect("release");
+        }
+        if id % 500 == 499 {
+            let entry = GradeEntry {
+                runs: RunRange::new(1, 1 + id as u32).unwrap(),
+                kind: "recon".into(),
+                version: format!("g{id}"),
+            };
+            replica
+                .declare_snapshot(
+                    "physics",
+                    CalDate::new(2005, 1 + (id / 500 % 12) as u8, 1).unwrap(),
+                    vec![entry],
+                )
+                .expect("snapshot");
+        }
+    }
+    assert_eq!(replica.store().files().expect("scan").len() as u64, files);
+}
+
+/// Anti-entropy: two fully diverged replicas (disjoint id spaces) exchange
+/// every record in one session over a clean link, then a second session
+/// confirms in-sync on the fixed-size digest summary alone.
+fn run_es_sync(files_per_side: u64) {
+    let mut root = Replica::new(1, StoreTier::Collaboration);
+    let mut leaf = Replica::new(2, StoreTier::Personal);
+    for id in 0..files_per_side {
+        root.register(&bench_record(id, 0)).expect("register");
+        leaf.register(&bench_record(files_per_side + id, 0)).expect("register");
+    }
+    let mut link = SyncLink::clean();
+    let report = sync_once(&mut leaf, &mut root, &mut link).expect("sync");
+    assert_eq!(report.units_added as u64, 2 * files_per_side, "full exchange");
+    let confirm = sync_once(&mut leaf, &mut root, &mut link).expect("confirm");
+    assert!(confirm.in_sync, "second pass is digest-only");
+}
+
+/// Run one suite row, clean (no faults, no observer). Sim rows with a
+/// snapshot cadence run with a journal attached to a temp file — full
+/// durable-write cost included — which is removed afterwards.
+pub fn run_flow(flow: &SuiteFlow) -> SuiteOutcome {
+    match &flow.work {
+        SuiteWork::Sim { graph, pools, snapshot_every } => {
+            let report = run_sim(flow.name, graph, pools, *snapshot_every);
+            SuiteOutcome { finished_at_us: report.finished_at.as_micros() }
+        }
+        SuiteWork::EsIngest { files } => {
+            run_es_ingest(*files);
+            SuiteOutcome { finished_at_us: 0 }
+        }
+        SuiteWork::EsSync { files_per_side } => {
+            run_es_sync(*files_per_side);
+            SuiteOutcome { finished_at_us: 0 }
+        }
+    }
+}
+
+fn run_sim(
+    name: &str,
+    graph: &FlowGraph,
+    pools: &[CpuPool],
+    snapshot_every: Option<u64>,
+) -> SimReport {
+    let sim = FlowSim::new(graph.clone(), pools.to_vec()).expect("suite flows are valid");
+    match snapshot_every {
         None => sim.run().expect("suite flows converge"),
         Some(every) => {
             let path = std::env::temp_dir().join(format!(
                 "sciflow-bench-{}-{}.journal",
                 std::process::id(),
-                flow.name
+                name
             ));
             let report = sim
                 .with_snapshot_policy(SnapshotPolicy::EveryEvents(every))
@@ -113,14 +249,14 @@ mod tests {
 
     /// The committed perf record must stay well-formed: parseable, naming
     /// every suite flow, keeping the stress flow within noise of the
-    /// BENCH_7 baseline it was measured against, and holding the journaled
+    /// BENCH_8 baseline it was measured against, and holding the journaled
     /// stress row inside the accepted durability-overhead budget.
     /// Validates the committed file only — CI machines re-measure with the
     /// `flows` binary, not here.
     #[test]
     fn committed_bench_record_covers_the_standard_suite() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
-        let text = std::fs::read_to_string(path).expect("BENCH_8.json is committed at repo root");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+        let text = std::fs::read_to_string(path).expect("BENCH_9.json is committed at repo root");
         assert!(
             text.contains(&format!("\"bench\": \"{BENCH_RECORD}\"")),
             "record must identify itself as {BENCH_RECORD}"
@@ -130,7 +266,7 @@ mod tests {
             let row = text
                 .lines()
                 .find(|l| l.contains(&format!("\"name\":\"{name}\"")))
-                .unwrap_or_else(|| panic!("BENCH_8.json is missing a `{name}` row"));
+                .unwrap_or_else(|| panic!("BENCH_9.json is missing a `{name}` row"));
             row.split("\"wall_ms\":")
                 .nth(1)
                 .and_then(|s| {
@@ -162,15 +298,15 @@ mod tests {
             "snapshot overhead {overhead:.1}% ({journaled} ms vs {bare} ms) exceeds the 65% budget"
         );
         // And the bare stress flow must not have regressed against the
-        // BENCH_7 baseline recorded alongside it (±5% noise allowance).
+        // BENCH_8 baseline recorded alongside it (±5% noise allowance).
         let stress =
             text.lines().find(|l| l.contains("\"name\":\"stress\"")).expect("stress row exists");
         let pct: f64 = stress
             .split("\"improvement_pct\":")
             .nth(1)
             .and_then(|s| s.trim_end_matches(['}', ',', ']', ' ']).parse().ok())
-            .expect("stress row records improvement_pct vs the BENCH_7 baseline");
-        assert!(pct >= -5.0, "stress flow regressed {pct}% against the BENCH_7 baseline");
+            .expect("stress row records improvement_pct vs the BENCH_8 baseline");
+        assert!(pct >= -5.0, "stress flow regressed {pct}% against the BENCH_8 baseline");
     }
 
     #[test]
@@ -178,12 +314,25 @@ mod tests {
         // The stress flow is exercised by the bench targets; running the
         // case studies here keeps the suite builder itself under test.
         for flow in standard_suite().into_iter().take(3) {
-            let report = run_flow(&flow);
-            assert!(report.finished_at.as_micros() > 0, "{} never finished", flow.name);
+            let outcome = run_flow(&flow);
+            assert!(outcome.finished_at_us > 0, "{} never finished", flow.name);
         }
         let quick = quick_stress();
-        let report = run_flow(&quick);
-        assert!(report.finished_at.as_micros() > 0);
+        let outcome = run_flow(&quick);
+        assert!(outcome.finished_at_us > 0);
+    }
+
+    /// The EventStore rows run clean at reduced scale: the row workloads
+    /// carry their own correctness assertions (record counts, the full
+    /// exchange, the digest-only confirmation), so running them is the
+    /// test.
+    #[test]
+    fn eventstore_rows_run_clean_at_reduced_scale() {
+        run_flow(&SuiteFlow { name: "es-ingest-quick", work: SuiteWork::EsIngest { files: 600 } });
+        run_flow(&SuiteFlow {
+            name: "es-sync-quick",
+            work: SuiteWork::EsSync { files_per_side: 300 },
+        });
     }
 
     /// A journaled suite row must produce the same report as the bare run
@@ -191,11 +340,9 @@ mod tests {
     /// result.
     #[test]
     fn journaled_rows_report_identically_to_bare_rows() {
-        let mut quick = quick_stress();
-        let bare = run_flow(&quick);
-        quick.snapshot_every = Some(500);
-        quick.name = "stress-quick-snapshot";
-        let journaled = run_flow(&quick);
+        let (graph, pools) = stress_flow(&StressParams { chains: 4, depth: 25, blocks: 100 });
+        let bare = run_sim("stress-quick", &graph, &pools, None);
+        let journaled = run_sim("stress-quick-snapshot", &graph, &pools, Some(500));
         assert_eq!(bare, journaled);
     }
 }

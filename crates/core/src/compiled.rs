@@ -1,6 +1,6 @@
 //! The compiled flow IR: what the simulator actually executes.
 //!
-//! A [`FlowGraph`](crate::graph::FlowGraph) is the *authoring* form — stages
+//! A [`FlowGraph`] is the *authoring* form — stages
 //! carry their names, `Process` stages reference their pool by `String`, and
 //! adjacency is a `Vec<Vec<StageId>>` of heap-allocated edge lists. None of
 //! that belongs on the simulator's hot path: every name survives only to be
@@ -14,7 +14,7 @@
 //!   rendering resolves ids back to names at the very edge;
 //! * every referenced **pool name** is interned into a second table; a
 //!   `Process` stage's pool becomes a [`PoolIdx`] into it;
-//! * the per-stage [`StageKind`](crate::graph::StageKind) is lowered to a
+//! * the per-stage [`StageKind`] is lowered to a
 //!   [`CompiledKind`] — a `Copy` mirror with ids in place of strings;
 //! * adjacency is flattened into two id arrays with per-stage ranges
 //!   (CSR form), so a stage's successors are one contiguous slice;
@@ -49,7 +49,7 @@ impl PoolIdx {
     }
 }
 
-/// A [`StageKind`](crate::graph::StageKind) lowered to ids: the one
+/// A [`StageKind`] lowered to ids: the one
 /// difference is `Process`, whose pool is a [`PoolIdx`] instead of a
 /// `String`. Everything is `Copy`, so the simulator's build loop reads
 /// parameters without cloning.

@@ -4,13 +4,15 @@
 //! preempted) needs to survive being killed at an arbitrary event. This
 //! module provides the storage layer for that:
 //!
-//! * a **versioned, deterministic wire format** ([`wire`]) for the full
-//!   mid-run engine state — event heap, slab payloads and generations,
-//!   per-stage behavior state, resource occupancy, RNG streams, metrics;
+//! * a **versioned, deterministic wire format** (the `wire` submodule) for
+//!   the full mid-run engine state — event heap, slab payloads and
+//!   generations, per-stage behavior state, resource occupancy, RNG
+//!   streams, metrics;
 //! * an **append-only run journal**: a magic-prefixed sequence of sealed
 //!   frames, each `[kind u8][len u64 LE][payload][FNV-1a u64 LE]`, holding
 //!   one run-header frame followed by periodic snapshot frames;
-//! * **recovery** ([`recover`]): walk the journal, stop at the first frame
+//! * **recovery** (the crate-internal `recover` routine): walk the journal,
+//!   stop at the first frame
 //!   whose seal does not verify (torn tail, bit flip, truncation), truncate
 //!   the file back to the last sealed frame, and hand back the newest valid
 //!   snapshot. Damaged state is *never* silently replayed — it is either
@@ -57,25 +59,10 @@ pub(crate) const FRAME_SNAPSHOT: u8 = 2;
 /// garbled decode.
 pub const SNAPSHOT_FORMAT: u32 = 1;
 
-/// FNV-1a 64-bit offset basis — the hash of the empty input.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-
-/// Fold `bytes` into a running FNV-1a hash. FNV is a pure byte-stream
-/// fold, so hashing a frame in parts (header, then payload) produces the
-/// same seal as hashing the concatenation — the hot append path relies on
-/// this to checksum a frame without materializing it.
-pub(crate) fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// FNV-1a 64-bit, the seal primitive shared with the metastore format.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    fnv1a_update(FNV_OFFSET, bytes)
-}
+// The frame seal hashes through the one shared FNV-1a definition in
+// [`crate::fnv`]; the streaming append path leans on its byte-stream-fold
+// property to checksum a frame without materializing it.
+pub(crate) use crate::fnv::{fnv1a, fnv1a_update, FNV_OFFSET};
 
 /// Little-endian primitive codec shared by every snapshot producer and
 /// consumer. Writers push onto a `Vec<u8>`; the [`Reader`] checks bounds on
@@ -285,7 +272,7 @@ pub(crate) fn write_sealed_journal(
 
 /// A live run journal: header written at creation, snapshot frames appended
 /// as the run's [`SnapshotPolicy`] fires. Appends are flushed per frame but
-/// not fsynced — a crash can tear the final frame, and [`recover`] truncates
+/// not fsynced — a crash can tear the final frame, and recovery truncates
 /// the tear away rather than trusting it.
 pub struct RunJournal {
     file: File,

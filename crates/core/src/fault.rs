@@ -45,6 +45,18 @@ pub enum FaultKind {
     /// The whole `pool` goes dark (power cut, scheduled drain) and returns
     /// `repair` later. Equivalent to a NodeCrash of every online processor.
     PoolOutage { pool: String, repair: SimDuration },
+    /// A message in flight at the event time is delivered **twice** (retry
+    /// storms, at-least-once transports). Consumers must be idempotent; the
+    /// EventStore replication layer's anti-entropy apply is the canonical
+    /// client.
+    Duplicate,
+    /// Two adjacent messages in flight at the event time swap delivery
+    /// order (multi-path routing, retransmission racing the original).
+    Reorder,
+    /// The link is severed at the event time and heals `heal` later: every
+    /// send inside the window fails immediately. The replication layer's
+    /// partition/heal schedules are made of these.
+    Partition { heal: SimDuration },
 }
 
 /// A fault keyed by simulated time.
@@ -84,6 +96,17 @@ pub struct FaultProfile {
     /// transfer attempt whose window covers it. Zero disables the category
     /// and keeps plans byte-identical with pre-integrity profiles.
     pub silent_corrupts_per_day: f64,
+    /// Duplicate-delivery events per day (messaging links only). Zero
+    /// disables the category and keeps plans byte-identical with
+    /// pre-replication profiles.
+    pub duplicates_per_day: f64,
+    /// Reorder events per day (messaging links only).
+    pub reorders_per_day: f64,
+    /// Link partitions per day; each lasts an exponential time with mean
+    /// [`FaultProfile::mean_partition_heal`].
+    pub partitions_per_day: f64,
+    /// Mean time until a partition heals (exponential).
+    pub mean_partition_heal: SimDuration,
 }
 
 impl FaultProfile {
@@ -104,6 +127,10 @@ impl FaultProfile {
             mean_outage_repair: SimDuration::ZERO,
             crash_pool: None,
             silent_corrupts_per_day: 0.0,
+            duplicates_per_day: 0.0,
+            reorders_per_day: 0.0,
+            partitions_per_day: 0.0,
+            mean_partition_heal: SimDuration::ZERO,
         }
     }
 
@@ -164,6 +191,31 @@ impl FaultProfile {
     pub fn with_silent_corruption(mut self, per_day: f64) -> Self {
         self.silent_corrupts_per_day = per_day;
         self
+    }
+
+    /// Add link partitions to this profile: `per_day` severances, each
+    /// healing after an exponential time with mean `mean_heal`.
+    pub fn with_partitions(mut self, per_day: f64, mean_heal: SimDuration) -> Self {
+        self.partitions_per_day = per_day;
+        self.mean_partition_heal = mean_heal;
+        self
+    }
+
+    /// The full gauntlet a replication link faces: drops, stalls, detected
+    /// corruption, duplicate delivery, reordering, and partition/heal
+    /// cycles. The anti-entropy chaos suites run over exactly this shape.
+    pub fn replica_chaos() -> Self {
+        FaultProfile {
+            drops_per_day: 4.0,
+            stalls_per_day: 2.0,
+            mean_stall: SimDuration::from_mins(15),
+            corrupts_per_day: 2.0,
+            duplicates_per_day: 3.0,
+            reorders_per_day: 3.0,
+            partitions_per_day: 1.0,
+            mean_partition_heal: SimDuration::from_hours(4),
+            ..FaultProfile::clean()
+        }
     }
 }
 
@@ -275,6 +327,22 @@ impl FaultPlan {
         for at in arrivals(profile.silent_corrupts_per_day, &mut rng) {
             events.push(FaultEvent { at, kind: FaultKind::SilentCorrupt });
         }
+        // Messaging-link categories (duplicate, reorder, partition) draw
+        // last of all, in this fixed order, so zero-rate profiles keep
+        // generating byte-identical plans to the pre-replication layers (a
+        // zero rate consumes no RNG).
+        for at in arrivals(profile.duplicates_per_day, &mut rng) {
+            events.push(FaultEvent { at, kind: FaultKind::Duplicate });
+        }
+        for at in arrivals(profile.reorders_per_day, &mut rng) {
+            events.push(FaultEvent { at, kind: FaultKind::Reorder });
+        }
+        for at in arrivals(profile.partitions_per_day, &mut rng) {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let heal =
+                SimDuration::from_secs_f64(-u.ln() * profile.mean_partition_heal.as_secs_f64());
+            events.push(FaultEvent { at, kind: FaultKind::Partition { heal } });
+        }
         events.sort_by_key(|e| e.at);
         FaultPlan { seed, events }
     }
@@ -314,6 +382,39 @@ impl FaultPlan {
             }
         }
         factor
+    }
+
+    /// Whether any [`FaultKind::Partition`] window covers `t`: the link is
+    /// severed and every send fails until the partition heals.
+    pub fn partitioned_at(&self, t: SimTime) -> bool {
+        self.events.iter().take_while(|e| e.at <= t).any(|e| match e.kind {
+            FaultKind::Partition { heal } => e.at + heal > t,
+            _ => false,
+        })
+    }
+
+    /// When the partition covering `t` (if any) heals: the earliest time at
+    /// or after `t` at which the link carries messages again, accounting for
+    /// overlapping partition windows.
+    pub fn partition_heals_at(&self, t: SimTime) -> SimTime {
+        let mut healed = t;
+        loop {
+            let mut advanced = false;
+            for e in &self.events {
+                if e.at > healed {
+                    break;
+                }
+                if let FaultKind::Partition { heal } = e.kind {
+                    if e.at + heal > healed {
+                        healed = e.at + heal;
+                        advanced = true;
+                    }
+                }
+            }
+            if !advanced {
+                return healed;
+            }
+        }
     }
 
     /// The duration of work spanning `[start, start + base)` once stall
@@ -778,6 +879,84 @@ mod tests {
             .cloned()
             .collect();
         assert_eq!(stripped, flaky.events(), "taint draws must not disturb the other categories");
+    }
+
+    #[test]
+    fn messaging_fault_plans_are_seeded_and_rng_stable() {
+        let horizon = SimDuration::from_days(30);
+        let profile = FaultProfile::replica_chaos();
+        let a = FaultPlan::generate(21, horizon, &profile);
+        let b = FaultPlan::generate(21, horizon, &profile);
+        assert_eq!(a, b);
+        for kind in [
+            FaultKind::Duplicate,
+            FaultKind::Reorder,
+            FaultKind::Partition { heal: SimDuration::ZERO },
+        ] {
+            let n = a.count(|k| std::mem::discriminant(k) == std::mem::discriminant(&kind));
+            assert!(n > 0, "30 chaos days must produce {kind:?} events");
+        }
+        // The messaging categories draw after every older category, so
+        // enabling them leaves the rest of the plan untouched: stripping
+        // them from a flaky+messaging plan recovers the flaky plan exactly.
+        let flaky = FaultPlan::generate(21, horizon, &FaultProfile::flaky());
+        let messaging = FaultPlan::generate(
+            21,
+            horizon,
+            &FaultProfile {
+                duplicates_per_day: 3.0,
+                reorders_per_day: 3.0,
+                partitions_per_day: 1.0,
+                mean_partition_heal: SimDuration::from_hours(4),
+                ..FaultProfile::flaky()
+            },
+        );
+        let stripped: Vec<FaultEvent> = messaging
+            .events()
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    FaultKind::Duplicate | FaultKind::Reorder | FaultKind::Partition { .. }
+                )
+            })
+            .cloned()
+            .collect();
+        assert_eq!(
+            stripped,
+            flaky.events(),
+            "messaging draws must not disturb the other categories"
+        );
+    }
+
+    #[test]
+    fn partition_windows_sever_and_heal() {
+        let s = |secs: u64| SimTime::from_micros(secs * 1_000_000);
+        let plan = FaultPlan::from_events(
+            0,
+            vec![
+                FaultEvent {
+                    at: s(10),
+                    kind: FaultKind::Partition { heal: SimDuration::from_secs(20) },
+                },
+                // Overlapping partition arriving mid-window extends the
+                // outage past the first heal.
+                FaultEvent {
+                    at: s(25),
+                    kind: FaultKind::Partition { heal: SimDuration::from_secs(20) },
+                },
+            ],
+        );
+        assert!(!plan.partitioned_at(s(5)));
+        assert!(plan.partitioned_at(s(10)));
+        assert!(plan.partitioned_at(s(29)));
+        assert!(plan.partitioned_at(s(40)));
+        assert!(!plan.partitioned_at(s(45)));
+        assert_eq!(plan.partition_heals_at(s(12)), s(45));
+        assert_eq!(plan.partition_heals_at(s(44)), s(45));
+        // Outside any window the link is already up.
+        assert_eq!(plan.partition_heals_at(s(45)), s(45));
+        assert_eq!(plan.partition_heals_at(s(5)), s(5));
     }
 
     #[test]

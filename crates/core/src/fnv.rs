@@ -1,0 +1,82 @@
+//! FNV-1a 64-bit: the one seal primitive behind every sealed byte format
+//! in the workspace.
+//!
+//! Three durable formats check their bytes with the same hash — the
+//! metastore catalog snapshot trailer, the `core::durable` run-journal
+//! frame seal, and the EventStore replication layer's per-range
+//! anti-entropy digests. They used to carry three near-identical private
+//! copies; this module is the single shared definition, with the constants
+//! exposed so a format can stream a hash over parts (FNV is a pure
+//! byte-stream fold, so hashing `[a, b]` equals hashing `a` then folding
+//! `b` — the hot journal-append path relies on this to seal a frame
+//! without materializing it).
+//!
+//! FNV-1a is not cryptographic and is not meant to be: its job is telling
+//! a complete artifact from a torn or bit-rotted one. Any single bit flip
+//! changes the digest (each step is XOR then multiplication by an odd
+//! prime, which is injective mod 2^64).
+
+/// FNV-1a 64-bit offset basis — the hash of the empty input.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime (odd, so each round is injective mod 2^64).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into a running FNV-1a hash.
+#[inline]
+pub fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a 64-bit of `bytes` in one shot.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The published FNV-1a 64 test vectors. These pins are what make the
+    /// extraction safe: all three sealed formats (metastore snapshots, run
+    /// journals, replica digests) hash through this one function, so a
+    /// drifted constant would silently invalidate every sealed file ever
+    /// written. If this test fails, the function changed — do not update
+    /// the expected values; fix the function.
+    #[test]
+    fn pinned_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"b"), 0xaf63_df4c_8601_f1a5);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(fnv1a(b"chongo was here!\n"), 0x46810940eff5f915);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let streamed = fnv1a_update(fnv1a(&data[..split]), &data[split..]);
+            assert_eq!(streamed, fnv1a(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_always_change_the_digest() {
+        let data = b"sealed frame payload";
+        let clean = fnv1a(data);
+        let mut buf = data.to_vec();
+        for i in 0..buf.len() {
+            for bit in 0..8 {
+                buf[i] ^= 1 << bit;
+                assert_ne!(fnv1a(&buf), clean, "flip of bit {bit} in byte {i} undetected");
+                buf[i] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -76,6 +76,7 @@ pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod fnv;
 pub mod genflow;
 pub mod graph;
 pub mod md5;

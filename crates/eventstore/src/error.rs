@@ -79,7 +79,14 @@ impl fmt::Display for EsError {
     }
 }
 
-impl std::error::Error for EsError {}
+impl std::error::Error for EsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EsError::Meta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<MetaError> for EsError {
     fn from(e: MetaError) -> Self {
@@ -99,5 +106,30 @@ mod tests {
         assert!(e.to_string().contains("physics"));
         let e: EsError = MetaError::UnknownTable { name: "files".into() }.into();
         assert!(e.to_string().contains("files"));
+    }
+
+    /// The error chain is walkable through `std::error::Error::source`, so
+    /// `?` into a `Box<dyn Error>` (the examples' main signature) loses
+    /// nothing: EsError → MetaError → the aborted transaction's cause.
+    #[test]
+    fn source_chain_reaches_the_underlying_meta_error() {
+        use std::error::Error as _;
+        let root = MetaError::DuplicateKey { key: "7".into() };
+        let es: EsError = MetaError::TxnAborted { cause: Box::new(root.clone()) }.into();
+        let meta = es.source().expect("Meta variant has a source");
+        assert_eq!(meta.to_string(), format!("transaction aborted: {root}"));
+        let cause = meta.source().expect("TxnAborted has a cause");
+        assert_eq!(cause.to_string(), root.to_string());
+        assert!(cause.source().is_none());
+        assert!(EsError::UnknownFile { id: 1 }.source().is_none());
+    }
+
+    #[test]
+    fn errors_box_through_question_mark() {
+        fn fails() -> Result<(), Box<dyn std::error::Error>> {
+            Err(EsError::UnknownFile { id: 9 })?;
+            Ok(())
+        }
+        assert_eq!(fails().unwrap_err().to_string(), "no file 9");
     }
 }

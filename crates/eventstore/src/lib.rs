@@ -17,7 +17,13 @@
 //! * [`merge`] — "merging became the fundamental operation": atomic
 //!   folding of a personal store into the collaboration store;
 //! * [`files`] — the data-file header extension carrying version strings and
-//!   their MD5 provenance hash.
+//!   their MD5 provenance hash;
+//! * [`replica`] — fault-tolerant multi-store synchronization: N stores
+//!   exchange digest-first anti-entropy sessions over seeded faulty links
+//!   (drop, stall, corrupt, duplicate, reorder, partition) and provably
+//!   converge to byte-identical content, with quarantine flags propagating
+//!   everywhere and a sealed apply journal making kill -9 mid-sync
+//!   recoverable.
 //!
 //! Metadata lives in [`sciflow_metastore`] tables ("all but the lowest
 //! layers of the database interface code are independent of the database
@@ -28,10 +34,16 @@ pub mod error;
 pub mod files;
 pub mod grade;
 pub mod merge;
+pub mod replica;
 pub mod store;
 
 pub use error::{EsError, EsResult};
 pub use files::{read_file, write_file, EsFileHeader};
 pub use grade::{GradeEntry, GradeHistory, GradeSnapshot, RunRange};
 pub use merge::{merge_into, MergeReport};
+pub use replica::{
+    canonical_content, cmp_units, sync_once, ApplyEffect, FileUnit, GradeRow, LinkStats, QState,
+    Replica, ReplicaError, ReplicaResult, StoreId, Summary, SyncFabric, SyncLink, SyncReport,
+    VersionVector,
+};
 pub use store::{ConsistentView, EventStore, FileRecord, StoreTier};

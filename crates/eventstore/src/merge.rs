@@ -36,6 +36,22 @@ pub struct MergeReport {
     pub grade_entries_skipped: usize,
 }
 
+impl std::fmt::Display for MergeReport {
+    /// One operator-facing summary line, e.g.
+    /// `merged 8 files (+1 skipped, 1 quarantined), 2 grade entries (+0 skipped)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "merged {} files (+{} skipped, {} quarantined), {} grade entries (+{} skipped)",
+            self.files_added,
+            self.files_skipped,
+            self.files_quarantined,
+            self.grade_entries_added,
+            self.grade_entries_skipped
+        )
+    }
+}
+
 const FILES: &str = "es_files";
 const GRADES: &str = "es_grade_entries";
 
@@ -170,6 +186,21 @@ mod tests {
 
     fn entry(run: u32, version: &str) -> GradeEntry {
         GradeEntry { runs: RunRange::single(run), kind: "mc".into(), version: version.into() }
+    }
+
+    #[test]
+    fn merge_report_displays_a_summary_line() {
+        let report = MergeReport {
+            files_added: 8,
+            files_skipped: 1,
+            files_quarantined: 1,
+            grade_entries_added: 2,
+            grade_entries_skipped: 0,
+        };
+        assert_eq!(
+            report.to_string(),
+            "merged 8 files (+1 skipped, 1 quarantined), 2 grade entries (+0 skipped)"
+        );
     }
 
     #[test]

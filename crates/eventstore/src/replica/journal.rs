@@ -1,0 +1,134 @@
+//! The replica's append-only apply journal.
+//!
+//! Every mutation — a local register/revise/quarantine/declare *or* a unit
+//! received from a peer during anti-entropy — is appended to the journal as
+//! a sealed frame **before** it touches the in-memory store. A replica that
+//! dies mid-apply (kill -9) therefore recovers by reloading its last sealed
+//! snapshot and replaying the journal: every replayed frame goes through the
+//! same deterministic resolution functions, and resolution is idempotent, so
+//! a frame that was half-applied (or applied and then journaled again by a
+//! confused peer) lands on the identical state. The file format mirrors
+//! [`sciflow_core::durable`]'s run journal: a magic line, then sealed
+//! frames; a torn tail is detected by its broken seal and truncated, never
+//! parsed.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use sciflow_core::fnv::fnv1a;
+
+use super::{ReplicaError, ReplicaResult};
+
+/// One replayed journal frame: `(kind, payload)`.
+pub(crate) type JournalFrame = (u8, Vec<u8>);
+
+/// First bytes of every replica journal file.
+pub(crate) const JOURNAL_MAGIC: &[u8] = b"ESRJNL1\n";
+
+fn io_err(context: &str, e: std::io::Error) -> ReplicaError {
+    ReplicaError::Io { detail: format!("{context}: {e}") }
+}
+
+/// Append-only journal of sealed apply frames.
+#[derive(Debug)]
+pub(crate) struct ApplyJournal {
+    path: PathBuf,
+    file: File,
+}
+
+impl ApplyJournal {
+    /// Create a fresh journal at `path` (truncating any existing file) and
+    /// durably write the magic header.
+    pub(crate) fn create(path: &Path) -> ReplicaResult<ApplyJournal> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err("create journal", e))?;
+        file.write_all(JOURNAL_MAGIC).map_err(|e| io_err("write magic", e))?;
+        file.sync_data().map_err(|e| io_err("sync magic", e))?;
+        Ok(ApplyJournal { path: path.to_path_buf(), file })
+    }
+
+    /// Open an existing journal for appending (used after recovery; the
+    /// replay itself goes through [`ApplyJournal::replay`]).
+    pub(crate) fn open(path: &Path) -> ReplicaResult<ApplyJournal> {
+        let file =
+            OpenOptions::new().append(true).open(path).map_err(|e| io_err("open journal", e))?;
+        Ok(ApplyJournal { path: path.to_path_buf(), file })
+    }
+
+    /// Append one sealed frame and force it to stable storage before
+    /// returning — the journal entry must survive a crash that interrupts
+    /// the in-memory apply that follows it.
+    pub(crate) fn append(&mut self, kind: u8, payload: &[u8]) -> ReplicaResult<()> {
+        let frame = super::wire::seal(kind, payload);
+        self.file.write_all(&frame).map_err(|e| io_err("append frame", e))?;
+        self.file.sync_data().map_err(|e| io_err("sync frame", e))?;
+        Ok(())
+    }
+
+    /// Truncate the journal back to its magic header after the store has
+    /// been checkpointed — the snapshot now carries everything the journal
+    /// recorded.
+    pub(crate) fn reset(&mut self) -> ReplicaResult<()> {
+        self.file = OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .open(&self.path)
+            .map_err(|e| io_err("reset journal", e))?;
+        self.file.write_all(JOURNAL_MAGIC).map_err(|e| io_err("write magic", e))?;
+        self.file.sync_data().map_err(|e| io_err("sync magic", e))?;
+        Ok(())
+    }
+
+    /// Read every intact frame from the journal at `path`.
+    ///
+    /// Returns the `(kind, payload)` frames plus a flag reporting whether a
+    /// torn tail was discarded.
+    ///
+    /// The tail is allowed to be torn — a final frame with a short body or
+    /// a broken seal is the signature of a crash mid-append and is
+    /// discarded (reported via the returned `truncated` flag). A bad magic
+    /// line, by contrast, means the file is not a journal at all and is a
+    /// typed error.
+    pub(crate) fn replay(path: &Path) -> ReplicaResult<(Vec<JournalFrame>, bool)> {
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err("read journal", e))?;
+        if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(ReplicaError::CorruptJournal { detail: "missing ESRJNL1 magic".into() });
+        }
+        let mut frames = Vec::new();
+        let mut pos = JOURNAL_MAGIC.len();
+        let mut truncated = false;
+        while pos < bytes.len() {
+            // Header: kind + declared length.
+            if pos + 1 + 8 > bytes.len() {
+                truncated = true;
+                break;
+            }
+            let len =
+                u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().expect("8 bytes")) as usize;
+            let end = pos + 1 + 8 + len + 8;
+            if end > bytes.len() {
+                truncated = true;
+                break;
+            }
+            let body = &bytes[pos..pos + 1 + 8 + len];
+            let want = u64::from_le_bytes(bytes[end - 8..end].try_into().expect("8 bytes"));
+            if fnv1a(body) != want {
+                // A broken seal anywhere is treated as the start of a torn
+                // tail: nothing after it can be trusted to be aligned.
+                truncated = true;
+                break;
+            }
+            frames.push((bytes[pos], bytes[pos + 1 + 8..pos + 1 + 8 + len].to_vec()));
+            pos = end;
+        }
+        Ok((frames, truncated))
+    }
+}

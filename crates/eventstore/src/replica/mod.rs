@@ -1,0 +1,1250 @@
+//! Replicated EventStore: fault-tolerant multi-store synchronization with
+//! deterministic convergence.
+//!
+//! The paper's EventStore comes in three sizes — personal, group,
+//! collaboration — and its fundamental operation is *merging* stores upward.
+//! [`crate::merge::merge_into`] models the blessed one-shot path; this
+//! module models the messy steady state around it: N stores that register,
+//! revise and quarantine files independently, connected by links that drop,
+//! stall, corrupt, duplicate, reorder and partition (all drawn from a
+//! seeded [`sciflow_core::fault::FaultPlan`], so every failure replays
+//! exactly from its seed).
+//!
+//! Convergence is not hoped for, it is constructed:
+//!
+//! * every file record travels as an immutable [`FileUnit`] — content plus
+//!   its origin's tier, store id and [`VersionVector`] — and conflict
+//!   resolution is `max` over a **total order** on units (tier precedence,
+//!   then version-vector weight, then store-id, then canonical bytes).
+//!   `max` over a total order is associative, commutative and idempotent,
+//!   so any delivery order, any duplication and any sync topology reach the
+//!   same winner;
+//! * quarantine flags are a separate epoch-versioned register merged by the
+//!   same `max` discipline: *quarantined anywhere ⇒ quarantined
+//!   everywhere*, and a deliberate release (epoch bump) wins over stale
+//!   flags;
+//! * grade snapshots merge as order-insensitive set union per
+//!   `(grade, date)`, renumbered canonically on conflict;
+//! * an anti-entropy session opens with a fixed-size per-range digest
+//!   [`Summary`] (64 FNV-1a range digests), so two in-sync stores
+//!   exchange O(1) bytes regardless of file count and a divergent pair
+//!   transfers only the differing ranges;
+//! * every apply — local or received — is journaled to a sealed-frame
+//!   apply journal *before* it touches the store, so a replica
+//!   killed mid-apply recovers by snapshot + replay into the identical
+//!   state, and re-applying any frame is a no-op by construction.
+//!
+//! The executable form of the convergence argument lives in the
+//! `replica_convergence` integration suite: arbitrary generated operation
+//! histories, arbitrary partition/heal schedules, and a replica killed
+//! mid-sync all end, after quiescence, with byte-identical
+//! [`Replica::sealed_content`] on every store.
+
+mod journal;
+mod link;
+pub(crate) mod wire;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use sciflow_core::fnv::{fnv1a, fnv1a_update, FNV_OFFSET};
+use sciflow_core::md5::Digest;
+use sciflow_core::units::SimTime;
+use sciflow_core::version::CalDate;
+use sciflow_metastore::prelude::*;
+
+use crate::error::EsError;
+use crate::grade::RunRange;
+use crate::store::{EventStore, FileRecord, StoreTier};
+
+pub use link::{LinkStats, SyncLink};
+pub use wire::{GradeRow, Summary};
+
+/// Identity of one replica in a sync fabric.
+pub type StoreId = u16;
+
+/// Number of digest ranges in an anti-entropy summary. File ids hash into
+/// ranges, so a summary is ~0.5 KiB however many files the store holds.
+pub const NUM_RANGES: usize = 64;
+
+const FILES: &str = "es_files";
+const GRADES: &str = "es_grade_entries";
+const META: &str = "es_meta";
+const ID_KEY: &str = "replica.id";
+const VER_PREFIX: &str = "replica.v:";
+const QUAR_PREFIX: &str = "replica.q:";
+const STORE_FILE: &str = "store.sfm";
+const JOURNAL_FILE: &str = "journal.esr";
+
+// ---------------------------------------------------------------------------
+// Errors
+
+/// Typed failures of the replication layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaError {
+    /// The link is inside a partition window; no frame can cross until
+    /// `heals_at`.
+    Partitioned { heals_at: SimTime },
+    /// The session's opening summary never arrived; nothing was exchanged.
+    SessionDropped,
+    /// A sealed frame failed verification or decoded to nonsense.
+    CorruptMessage { detail: String },
+    /// The apply journal is not a journal (bad magic) or undecodable.
+    CorruptJournal { detail: String },
+    /// The deterministic kill hook fired: the frame reached the journal but
+    /// the in-memory apply did not run. Recover and re-sync.
+    KilledMidApply,
+    /// `settle` exhausted its round budget without reaching convergence.
+    NoQuiescence { rounds: usize },
+    /// A durability operation (checkpoint, recover) on an in-memory replica.
+    NotDurable,
+    /// Filesystem failure underneath the journal or snapshot.
+    Io { detail: String },
+    /// The underlying EventStore refused an operation.
+    Store(EsError),
+}
+
+impl fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaError::Partitioned { heals_at } => {
+                write!(f, "link partitioned until {heals_at}")
+            }
+            ReplicaError::SessionDropped => write!(f, "sync session dropped before any exchange"),
+            ReplicaError::CorruptMessage { detail } => write!(f, "corrupt message: {detail}"),
+            ReplicaError::CorruptJournal { detail } => write!(f, "corrupt journal: {detail}"),
+            ReplicaError::KilledMidApply => {
+                write!(f, "replica killed between journal append and apply")
+            }
+            ReplicaError::NoQuiescence { rounds } => {
+                write!(f, "no convergence after {rounds} sync rounds")
+            }
+            ReplicaError::NotDurable => write!(f, "replica has no journal directory"),
+            ReplicaError::Io { detail } => write!(f, "journal i/o: {detail}"),
+            ReplicaError::Store(e) => write!(f, "event store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplicaError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EsError> for ReplicaError {
+    fn from(e: EsError) -> Self {
+        ReplicaError::Store(e)
+    }
+}
+
+impl From<MetaError> for ReplicaError {
+    fn from(e: MetaError) -> Self {
+        ReplicaError::Store(EsError::Meta(e))
+    }
+}
+
+pub type ReplicaResult<T> = Result<T, ReplicaError>;
+
+// ---------------------------------------------------------------------------
+// Version vectors
+
+/// Per-file version vector: how many revisions each store has contributed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionVector(BTreeMap<StoreId, u64>);
+
+impl VersionVector {
+    pub fn new() -> Self {
+        VersionVector::default()
+    }
+
+    /// A vector with a single component `store ↦ 1` (a fresh registration).
+    pub fn first(store: StoreId) -> Self {
+        let mut vv = VersionVector::new();
+        vv.bump(store);
+        vv
+    }
+
+    /// Record one more revision by `store`.
+    pub fn bump(&mut self, store: StoreId) {
+        *self.0.entry(store).or_insert(0) += 1;
+    }
+
+    pub fn get(&self, store: StoreId) -> u64 {
+        self.0.get(&store).copied().unwrap_or(0)
+    }
+
+    /// Total revision weight. If `self` causally dominates `other`
+    /// (componentwise ≥, somewhere >) then `self.weight() > other.weight()`,
+    /// so ordering by weight extends causal dominance to a total preorder;
+    /// concurrent vectors of equal weight fall through to the store-id and
+    /// byte tiebreaks.
+    pub fn weight(&self) -> u64 {
+        self.0.values().sum()
+    }
+
+    /// Componentwise ≥ with at least one strict >.
+    pub fn dominates(&self, other: &VersionVector) -> bool {
+        self != other && other.0.iter().all(|(s, c)| self.get(*s) >= *c)
+    }
+
+    pub fn components(&self) -> impl Iterator<Item = (StoreId, u64)> + '_ {
+        self.0.iter().map(|(s, c)| (*s, *c))
+    }
+
+    fn encode_text(&self) -> String {
+        let parts: Vec<String> = self.0.iter().map(|(s, c)| format!("{s}:{c}")).collect();
+        parts.join(",")
+    }
+
+    fn decode_text(s: &str) -> Option<VersionVector> {
+        let mut vv = VersionVector::new();
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (store, count) = part.split_once(':')?;
+            vv.0.insert(store.parse().ok()?, count.parse().ok()?);
+        }
+        Some(vv)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Units and resolution
+
+/// The epoch-versioned quarantine register for one file id. Replicas merge
+/// registers by `max` over `(epoch, flagged, reason)`: a flag set anywhere
+/// propagates everywhere, and lifting it requires a *newer epoch* (a
+/// deliberate release), so a stale copy of the old flag can never resurrect
+/// itself.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QState {
+    pub epoch: u64,
+    pub flagged: bool,
+    pub reason: String,
+}
+
+/// One file record as it travels between replicas: the immutable content
+/// plus the identity of the revision — origin tier, origin store, version
+/// vector — and the current quarantine register. Units are never edited in
+/// flight; resolution picks whole winners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileUnit {
+    pub record: FileRecord,
+    /// Tier of the store that produced this revision (0 personal, 1 group,
+    /// 2 collaboration) — collaboration-blessed data outranks private runs.
+    pub tier_rank: u8,
+    /// The store that produced this revision.
+    pub origin: StoreId,
+    pub vv: VersionVector,
+    pub quarantine: Option<QState>,
+}
+
+pub(crate) fn tier_rank(tier: StoreTier) -> u8 {
+    match tier {
+        StoreTier::Personal => 0,
+        StoreTier::Group => 1,
+        StoreTier::Collaboration => 2,
+    }
+}
+
+fn encode_record(buf: &mut Vec<u8>, r: &FileRecord) {
+    wire::put_u64(buf, r.id);
+    wire::put_u32(buf, r.runs.first);
+    wire::put_u32(buf, r.runs.last);
+    wire::put_str(buf, &r.kind);
+    wire::put_str(buf, &r.version);
+    wire::put_str(buf, &r.site);
+    wire::put_u32(buf, r.registered.as_key());
+    wire::put_str(buf, &r.location);
+    wire::put_str(buf, &r.prov_digest.to_hex());
+}
+
+fn decode_record(r: &mut wire::Reader<'_>) -> ReplicaResult<FileRecord> {
+    let id = r.u64()?;
+    let first = r.u32()?;
+    let last = r.u32()?;
+    let kind = r.str()?;
+    let version = r.str()?;
+    let site = r.str()?;
+    let date_key = r.u32()?;
+    let location = r.str()?;
+    let hex = r.str()?;
+    let registered = CalDate::new(
+        (date_key / 10_000) as u16,
+        (date_key / 100 % 100) as u8,
+        (date_key % 100) as u8,
+    )
+    .ok_or_else(|| ReplicaError::CorruptMessage { detail: format!("bad date key {date_key}") })?;
+    let prov_digest = Digest::from_hex(&hex)
+        .ok_or_else(|| ReplicaError::CorruptMessage { detail: "bad digest hex".into() })?;
+    if first > last {
+        return Err(ReplicaError::CorruptMessage {
+            detail: format!("inverted run range [{first}, {last}]"),
+        });
+    }
+    Ok(FileRecord {
+        id,
+        runs: RunRange { first, last },
+        kind,
+        version,
+        site,
+        registered,
+        location,
+        prov_digest,
+    })
+}
+
+/// Encode everything the total order looks at (record, tier, origin, vv) —
+/// the quarantine register is deliberately excluded, because quarantining a
+/// file must not change which revision wins.
+fn encode_unit_core(u: &FileUnit) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_record(&mut buf, &u.record);
+    wire::put_u8(&mut buf, u.tier_rank);
+    wire::put_u16(&mut buf, u.origin);
+    let comps: Vec<(StoreId, u64)> = u.vv.components().collect();
+    wire::put_u16(&mut buf, comps.len() as u16);
+    for (s, c) in comps {
+        wire::put_u16(&mut buf, s);
+        wire::put_u64(&mut buf, c);
+    }
+    buf
+}
+
+pub(crate) fn encode_unit(u: &FileUnit) -> Vec<u8> {
+    let mut buf = encode_unit_core(u);
+    wire::put_qstate(&mut buf, &u.quarantine);
+    buf
+}
+
+pub(crate) fn decode_unit(r: &mut wire::Reader<'_>) -> ReplicaResult<FileUnit> {
+    let record = decode_record(r)?;
+    let tier = r.u8()?;
+    let origin = r.u16()?;
+    let n = r.u16()? as usize;
+    let mut vv = VersionVector::new();
+    for _ in 0..n {
+        let s = r.u16()?;
+        let c = r.u64()?;
+        vv.0.insert(s, c);
+    }
+    let quarantine = wire::read_qstate(r)?;
+    Ok(FileUnit { record, tier_rank: tier, origin, vv, quarantine })
+}
+
+/// The total order behind conflict resolution. `a > b` means `a` wins:
+///
+/// 1. higher origin tier (collaboration ≻ group ≻ personal);
+/// 2. heavier version vector (extends causal dominance: a revision that has
+///    seen more history wins);
+/// 3. lower origin store id;
+/// 4. lexicographically smaller canonical bytes.
+///
+/// `Equal` implies the canonical bytes are identical, i.e. the units are the
+/// same revision. Because this is a *total* order, taking `max` is
+/// associative, commutative and idempotent — the convergence proof in one
+/// line.
+pub fn cmp_units(a: &FileUnit, b: &FileUnit) -> std::cmp::Ordering {
+    a.tier_rank
+        .cmp(&b.tier_rank)
+        .then_with(|| a.vv.weight().cmp(&b.vv.weight()))
+        .then_with(|| b.origin.cmp(&a.origin))
+        .then_with(|| encode_unit_core(b).cmp(&encode_unit_core(a)))
+}
+
+/// Merge two quarantine registers: newest epoch wins; at equal epochs a set
+/// flag beats a lifted one (safety first), and the lexicographically
+/// greater reason breaks exact ties.
+pub fn merge_qstate(a: Option<QState>, b: Option<QState>) -> Option<QState> {
+    match (a, b) {
+        (None, q) | (q, None) => q,
+        (Some(x), Some(y)) => Some(x.max(y)),
+    }
+}
+
+/// Which digest range a file id belongs to.
+pub(crate) fn range_of(id: u64) -> usize {
+    (fnv1a(&id.to_le_bytes()) % NUM_RANGES as u64) as usize
+}
+
+/// What applying a unit did to the local store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyEffect {
+    /// The file id was new here.
+    Added,
+    /// The incoming unit beat the resident one and replaced it.
+    Replaced,
+    /// The resident unit won (or the units were identical); nothing changed.
+    Kept,
+}
+
+// ---------------------------------------------------------------------------
+// Replica
+
+/// One store participating in replication: an [`EventStore`] plus a store
+/// id, per-file version metadata, and (optionally) a durable apply journal.
+#[derive(Debug)]
+pub struct Replica {
+    store: EventStore,
+    id: StoreId,
+    journal: Option<journal::ApplyJournal>,
+    dir: Option<PathBuf>,
+    /// Deterministic crash hook: after this many more journal appends, the
+    /// replica "dies" — the append is on disk, the in-memory apply never
+    /// runs, and the caller gets [`ReplicaError::KilledMidApply`]. Used by
+    /// the chaos suite to prove kill -9 mid-apply is recoverable.
+    pub kill_after_appends: Option<u64>,
+}
+
+impl Replica {
+    /// A fresh in-memory replica (no journal; crash recovery not needed
+    /// because there is nothing durable to tear).
+    pub fn new(id: StoreId, tier: StoreTier) -> Self {
+        let mut store = EventStore::new(tier);
+        put_meta(&mut store, ID_KEY, &id.to_string()).expect("fresh meta table accepts id");
+        Replica { store, id, journal: None, dir: None, kill_after_appends: None }
+    }
+
+    /// A durable replica rooted at `dir`: the store snapshot lives at
+    /// `dir/store.sfm`, the apply journal at `dir/journal.esr`. The initial
+    /// (empty) snapshot is written immediately so [`Replica::recover`]
+    /// always has a base to replay onto.
+    pub fn durable(id: StoreId, tier: StoreTier, dir: impl AsRef<Path>) -> ReplicaResult<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ReplicaError::Io { detail: format!("create {}: {e}", dir.display()) })?;
+        let mut rep = Replica::new(id, tier);
+        rep.dir = Some(dir.to_path_buf());
+        rep.store.save(&dir.join(STORE_FILE))?;
+        rep.journal = Some(journal::ApplyJournal::create(&dir.join(JOURNAL_FILE))?);
+        Ok(rep)
+    }
+
+    /// Adopt an existing store into the replication layer: every file that
+    /// lacks version metadata gets a fresh first-revision vector attributed
+    /// to this replica, and existing quarantine flags become epoch-1
+    /// registers. The bridge from `merge_into`-era stores.
+    pub fn adopt(store: EventStore, id: StoreId) -> ReplicaResult<Self> {
+        let mut rep = Replica { store, id, journal: None, dir: None, kill_after_appends: None };
+        put_meta(&mut rep.store, ID_KEY, &id.to_string())?;
+        let rank = tier_rank(rep.store.tier());
+        let files = rep.store.files()?;
+        for f in files {
+            let vkey = format!("{VER_PREFIX}{}", f.id);
+            if get_meta(&rep.store, &vkey).is_none() {
+                put_meta(
+                    &mut rep.store,
+                    &vkey,
+                    &format!("{rank}|{id}|{}", VersionVector::first(id).encode_text()),
+                )?;
+            }
+            let qkey = format!("{QUAR_PREFIX}{}", f.id);
+            if rep.store.is_quarantined(f.id) && get_meta(&rep.store, &qkey).is_none() {
+                let reason = rep.store.quarantine_reason(f.id).unwrap_or_default();
+                put_qmeta(&mut rep.store, f.id, &QState { epoch: 1, flagged: true, reason })?;
+            }
+        }
+        Ok(rep)
+    }
+
+    /// Recover a durable replica after a crash: load the last sealed
+    /// snapshot, then replay every intact journal frame through the same
+    /// deterministic apply functions. A torn tail (the crash signature) is
+    /// truncated by its broken seal; re-applying frames that had already
+    /// landed is a no-op because resolution is idempotent.
+    pub fn recover(dir: impl AsRef<Path>) -> ReplicaResult<Self> {
+        let dir = dir.as_ref();
+        let store = EventStore::load(&dir.join(STORE_FILE))?;
+        let id: StoreId =
+            get_meta(&store, ID_KEY).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                ReplicaError::CorruptJournal { detail: "snapshot has no replica id".into() }
+            })?;
+        let mut rep = Replica {
+            store,
+            id,
+            journal: None,
+            dir: Some(dir.to_path_buf()),
+            kill_after_appends: None,
+        };
+        let (frames, _torn) = journal::ApplyJournal::replay(&dir.join(JOURNAL_FILE))?;
+        for (kind, payload) in frames {
+            rep.replay_frame(kind, &payload)?;
+        }
+        rep.journal = Some(journal::ApplyJournal::open(&dir.join(JOURNAL_FILE))?);
+        Ok(rep)
+    }
+
+    /// Persist the store atomically and truncate the journal. After a
+    /// checkpoint, recovery replays nothing.
+    pub fn checkpoint(&mut self) -> ReplicaResult<()> {
+        let dir = self.dir.clone().ok_or(ReplicaError::NotDurable)?;
+        self.store.save(&dir.join(STORE_FILE))?;
+        self.journal.as_mut().ok_or(ReplicaError::NotDurable)?.reset()?;
+        Ok(())
+    }
+
+    pub fn id(&self) -> StoreId {
+        self.id
+    }
+
+    pub fn tier(&self) -> StoreTier {
+        self.store.tier()
+    }
+
+    /// Read access to the underlying EventStore (resolve views, list files).
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    // --- local operations (journal-then-apply) -------------------------
+
+    /// Register a brand-new file at this replica.
+    pub fn register(&mut self, record: &FileRecord) -> ReplicaResult<()> {
+        if self.store.file(record.id)?.is_some() {
+            return Err(EsError::DuplicateFile { id: record.id }.into());
+        }
+        let unit = FileUnit {
+            record: record.clone(),
+            tier_rank: tier_rank(self.store.tier()),
+            origin: self.id,
+            vv: VersionVector::first(self.id),
+            quarantine: None,
+        };
+        self.commit_unit(&unit)?;
+        Ok(())
+    }
+
+    /// Supersede an existing file's metadata with a new revision. The new
+    /// unit carries the old vector bumped at this replica — it causally
+    /// dominates everything this replica has seen — but it may still
+    /// deterministically lose to a higher-tier resident, in which case the
+    /// returned effect is [`ApplyEffect::Kept`].
+    pub fn revise(&mut self, record: &FileRecord) -> ReplicaResult<ApplyEffect> {
+        let current = self
+            .unit(record.id)?
+            .ok_or(ReplicaError::Store(EsError::UnknownFile { id: record.id }))?;
+        let mut vv = current.vv.clone();
+        vv.bump(self.id);
+        let unit = FileUnit {
+            record: record.clone(),
+            tier_rank: tier_rank(self.store.tier()),
+            origin: self.id,
+            vv,
+            quarantine: None,
+        };
+        self.commit_unit(&unit)
+    }
+
+    /// Quarantine a file (new epoch, flag set). Propagates to every replica
+    /// on the next sync.
+    pub fn quarantine(&mut self, id: u64, reason: &str) -> ReplicaResult<()> {
+        if self.store.file(id)?.is_none() {
+            return Err(EsError::UnknownFile { id }.into());
+        }
+        let epoch = self.qstate(id).map(|q| q.epoch + 1).unwrap_or(1);
+        let q = QState { epoch, flagged: true, reason: to_owned_reason(reason) };
+        self.commit_quarantine(id, &q)
+    }
+
+    /// Lift a quarantine (new epoch, flag cleared) — the deliberate release
+    /// that outranks every stale copy of the old flag.
+    pub fn release(&mut self, id: u64) -> ReplicaResult<()> {
+        if self.store.file(id)?.is_none() {
+            return Err(EsError::UnknownFile { id }.into());
+        }
+        let epoch = self.qstate(id).map(|q| q.epoch + 1).unwrap_or(1);
+        let q = QState { epoch, flagged: false, reason: String::new() };
+        self.commit_quarantine(id, &q)
+    }
+
+    /// Declare a grade snapshot locally (same ordering rule as
+    /// [`EventStore::declare_snapshot`]), journaled and applied through the
+    /// replication-canonical union path.
+    pub fn declare_snapshot(
+        &mut self,
+        grade: &str,
+        date: CalDate,
+        entries: Vec<crate::grade::GradeEntry>,
+    ) -> ReplicaResult<()> {
+        let history = self.store.grade_history(grade)?;
+        if let Some(last) = history.snapshots().last() {
+            if date <= last.date {
+                return Err(EsError::SnapshotOutOfOrder {
+                    grade: grade.to_string(),
+                    date: date.to_string(),
+                }
+                .into());
+            }
+        }
+        let rows: Vec<GradeRow> = entries
+            .iter()
+            .map(|e| GradeRow {
+                grade: grade.to_string(),
+                date: date.as_key(),
+                first: e.runs.first,
+                last: e.runs.last,
+                kind: e.kind.clone(),
+                version: e.version.clone(),
+            })
+            .collect();
+        self.journal_append(wire::AJ_GRADES, &wire::encode_grade_rows(&rows))?;
+        self.apply_grade_rows(&rows)?;
+        Ok(())
+    }
+
+    // --- unit plumbing ---------------------------------------------------
+
+    /// The full unit for a file id, if registered here.
+    pub fn unit(&self, id: u64) -> ReplicaResult<Option<FileUnit>> {
+        let Some(record) = self.store.file(id)? else { return Ok(None) };
+        let (tier, origin, vv) = match get_meta(&self.store, &format!("{VER_PREFIX}{id}")) {
+            Some(text) => parse_version_meta(&text).ok_or_else(|| {
+                ReplicaError::CorruptJournal { detail: format!("bad version meta for file {id}") }
+            })?,
+            // A file that predates replication metadata (adopted store
+            // mutated behind our back): attribute it to this replica.
+            None => (tier_rank(self.store.tier()), self.id, VersionVector::first(self.id)),
+        };
+        Ok(Some(FileUnit { record, tier_rank: tier, origin, vv, quarantine: self.qstate(id) }))
+    }
+
+    /// All units, ascending by file id.
+    pub fn units(&self) -> ReplicaResult<Vec<FileUnit>> {
+        let mut files = self.store.files()?;
+        files.sort_by_key(|f| f.id);
+        files.into_iter().map(|f| Ok(self.unit(f.id)?.expect("listed file exists"))).collect()
+    }
+
+    fn qstate(&self, id: u64) -> Option<QState> {
+        get_meta(&self.store, &format!("{QUAR_PREFIX}{id}")).and_then(|t| parse_qmeta(&t))
+    }
+
+    fn journal_append(&mut self, kind: u8, payload: &[u8]) -> ReplicaResult<()> {
+        if let Some(j) = &mut self.journal {
+            j.append(kind, payload)?;
+        }
+        if let Some(n) = &mut self.kill_after_appends {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.kill_after_appends = None;
+                return Err(ReplicaError::KilledMidApply);
+            }
+        }
+        Ok(())
+    }
+
+    fn commit_unit(&mut self, unit: &FileUnit) -> ReplicaResult<ApplyEffect> {
+        self.journal_append(wire::AJ_UNIT, &encode_unit(unit))?;
+        self.apply_unit(unit)
+    }
+
+    fn commit_quarantine(&mut self, id: u64, q: &QState) -> ReplicaResult<()> {
+        let mut payload = Vec::new();
+        wire::put_u64(&mut payload, id);
+        wire::put_qstate(&mut payload, &Some(q.clone()));
+        self.journal_append(wire::AJ_QUAR, &payload)?;
+        self.apply_qstate(id, q)?;
+        Ok(())
+    }
+
+    fn replay_frame(&mut self, kind: u8, payload: &[u8]) -> ReplicaResult<()> {
+        match kind {
+            wire::AJ_UNIT => {
+                let mut r = wire::Reader::new(payload);
+                let unit = decode_unit(&mut r)?;
+                r.done()?;
+                self.apply_unit(&unit)?;
+            }
+            wire::AJ_QUAR => {
+                let mut r = wire::Reader::new(payload);
+                let id = r.u64()?;
+                let q = wire::read_qstate(&mut r)?.ok_or_else(|| ReplicaError::CorruptJournal {
+                    detail: "empty qstate".into(),
+                })?;
+                r.done()?;
+                self.apply_qstate(id, &q)?;
+            }
+            wire::AJ_GRADES => {
+                let rows = wire::decode_grade_rows(payload)?;
+                self.apply_grade_rows(&rows)?;
+            }
+            k => {
+                return Err(ReplicaError::CorruptJournal {
+                    detail: format!("unknown journal frame kind 0x{k:02x}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve `incoming` against the resident unit for its file id and
+    /// keep the winner. Quarantine registers merge independently of which
+    /// revision won. Pure function of (resident state, incoming unit) —
+    /// no clocks, no randomness.
+    fn apply_unit(&mut self, incoming: &FileUnit) -> ReplicaResult<ApplyEffect> {
+        let effect = match self.unit(incoming.record.id)? {
+            None => {
+                self.write_unit(incoming, true)?;
+                ApplyEffect::Added
+            }
+            Some(resident) => {
+                if cmp_units(incoming, &resident) == std::cmp::Ordering::Greater {
+                    self.write_unit(incoming, false)?;
+                    ApplyEffect::Replaced
+                } else {
+                    ApplyEffect::Kept
+                }
+            }
+        };
+        if let Some(q) = &incoming.quarantine {
+            self.apply_qstate(incoming.record.id, q)?;
+        }
+        Ok(effect)
+    }
+
+    fn write_unit(&mut self, unit: &FileUnit, fresh: bool) -> ReplicaResult<()> {
+        let row = crate::store::file_row(&unit.record);
+        let table = self.store.db_mut().table_mut(FILES)?;
+        if fresh {
+            table.insert(row).map_err(EsError::from)?;
+        } else {
+            table.update_by_key(&Value::Int(unit.record.id as i64), row).map_err(EsError::from)?;
+        }
+        put_meta(
+            &mut self.store,
+            &format!("{VER_PREFIX}{}", unit.record.id),
+            &format!("{}|{}|{}", unit.tier_rank, unit.origin, unit.vv.encode_text()),
+        )?;
+        Ok(())
+    }
+
+    /// Merge a quarantine register and mirror the winning flag into the
+    /// base store's quarantine table (so `merge_into`, `is_quarantined` and
+    /// the rest of the non-replicated API see the same truth).
+    fn apply_qstate(&mut self, id: u64, incoming: &QState) -> ReplicaResult<bool> {
+        let current = self.qstate(id);
+        let winner = merge_qstate(current.clone(), Some(incoming.clone()))
+            .expect("merge of a present register is present");
+        if current.as_ref() == Some(&winner) {
+            return Ok(false);
+        }
+        put_qmeta(&mut self.store, id, &winner)?;
+        if self.store.file(id)?.is_some() {
+            if winner.flagged {
+                self.store.quarantine_file(id, &winner.reason)?;
+            } else {
+                self.store.release_file(id)?;
+            }
+        }
+        Ok(true)
+    }
+
+    // --- grade rows ------------------------------------------------------
+
+    /// Every grade-entry row in replication-canonical form (rowid and seq
+    /// stripped), unsorted.
+    pub fn grade_rows(&self) -> ReplicaResult<Vec<GradeRow>> {
+        grade_rows_of(&self.store).map_err(Into::into)
+    }
+
+    /// Union-merge incoming grade rows per `(grade, date)` snapshot. A
+    /// snapshot key whose entry set is unchanged is left untouched
+    /// (preserving local declaration order); a genuinely new or conflicting
+    /// snapshot is rewritten in canonical sorted order with renumbered
+    /// sequence numbers. Set union is associative, commutative and
+    /// idempotent, so snapshot content converges like everything else.
+    fn apply_grade_rows(&mut self, rows: &[GradeRow]) -> ReplicaResult<usize> {
+        let mut incoming: BTreeMap<(String, u32), BTreeSet<GradeRow>> = BTreeMap::new();
+        for row in rows {
+            incoming.entry((row.grade.clone(), row.date)).or_default().insert(row.clone());
+        }
+        let mut changed_keys = 0;
+        for ((grade, date), new_rows) in incoming {
+            // Existing rows (with their rowids) for this snapshot key.
+            let mut existing_ids: Vec<i64> = Vec::new();
+            let mut existing: BTreeSet<GradeRow> = BTreeSet::new();
+            {
+                let table = self.store.database().table(GRADES)?;
+                for (_, r) in table.scan() {
+                    if r[1].as_text() == Some(grade.as_str()) && r[2].as_date() == Some(date) {
+                        existing_ids.push(r[0].as_int().expect("rowid is int"));
+                        existing.insert(GradeRow {
+                            grade: grade.clone(),
+                            date,
+                            first: r[4].as_int().expect("run_first is int") as u32,
+                            last: r[5].as_int().expect("run_last is int") as u32,
+                            kind: r[6].as_text().expect("kind is text").to_string(),
+                            version: r[7].as_text().expect("version is text").to_string(),
+                        });
+                    }
+                }
+            }
+            let union: BTreeSet<GradeRow> = existing.union(&new_rows).cloned().collect();
+            if union == existing {
+                continue;
+            }
+            changed_keys += 1;
+            // Rewrite the snapshot atomically: drop the old rows, insert
+            // the union in canonical order with fresh rowids.
+            let mut next_row = self.store.next_grade_row();
+            {
+                let table = self.store.database().table(GRADES)?;
+                let table_next = table
+                    .scan()
+                    .map(|(_, r)| r[0].as_int().expect("rowid is int") + 1)
+                    .max()
+                    .unwrap_or(0);
+                next_row = next_row.max(table_next);
+            }
+            let mut txn = Transaction::new();
+            for rowid in &existing_ids {
+                txn.delete(GRADES, Value::Int(*rowid));
+            }
+            let mut inserted = 0i64;
+            for (seq, row) in union.iter().enumerate() {
+                txn.insert(
+                    GRADES,
+                    vec![
+                        Value::Int(next_row + seq as i64),
+                        Value::Text(row.grade.clone()),
+                        Value::Date(row.date),
+                        Value::Int(seq as i64),
+                        Value::Int(row.first as i64),
+                        Value::Int(row.last as i64),
+                        Value::Text(row.kind.clone()),
+                        Value::Text(row.version.clone()),
+                    ],
+                );
+                inserted += 1;
+            }
+            self.store.db_mut().execute(&txn).map_err(EsError::from)?;
+            self.store.bump_grade_rows(next_row + inserted - self.store.next_grade_row());
+        }
+        Ok(changed_keys)
+    }
+
+    // --- digests and canonical bytes ------------------------------------
+
+    /// The anti-entropy opening summary: 64 per-range digests over the
+    /// canonical unit encodings plus one digest over the grade rows.
+    pub fn summary(&self) -> ReplicaResult<Summary> {
+        let mut ranges = [FNV_OFFSET; NUM_RANGES];
+        for unit in self.units()? {
+            let r = range_of(unit.record.id);
+            ranges[r] = fnv1a_update(ranges[r], &encode_unit(&unit));
+        }
+        let grades = wire::grade_digest(&self.grade_rows()?);
+        Ok(Summary { store: self.id, ranges, grades })
+    }
+
+    /// Units belonging to digest range `r`, ascending by id.
+    pub fn units_in_range(&self, r: usize) -> ReplicaResult<Vec<FileUnit>> {
+        Ok(self.units()?.into_iter().filter(|u| range_of(u.record.id) == r).collect())
+    }
+
+    /// The replica's canonical content as sealed bytes: every unit in id
+    /// order, every grade row in canonical order, closed by a
+    /// length-and-digest trailer. Two replicas have converged **iff** these
+    /// bytes are identical — per-store identity (own id, own tier, grade
+    /// rowids, declaration order) is deliberately excluded.
+    pub fn sealed_content(&self) -> ReplicaResult<Vec<u8>> {
+        let mut buf = Vec::new();
+        for unit in self.units()? {
+            buf.extend_from_slice(&encode_unit(&unit));
+        }
+        let mut rows = self.grade_rows()?;
+        rows.sort();
+        for row in rows {
+            row.encode(&mut buf);
+        }
+        let len = buf.len() as u64;
+        let digest = fnv1a(&buf);
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&digest.to_le_bytes());
+        Ok(buf)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store-level helpers (shared with the merge-algebra property tests)
+
+fn get_meta(store: &EventStore, key: &str) -> Option<String> {
+    let table = store.database().table(META).ok()?;
+    let row = table.get_by_key(&Value::Text(key.to_string())).ok()??;
+    row[1].as_text().map(str::to_string)
+}
+
+fn put_meta(store: &mut EventStore, key: &str, value: &str) -> Result<(), EsError> {
+    let table = store.db_mut().table_mut(META)?;
+    let key_v = Value::Text(key.to_string());
+    let row = vec![key_v.clone(), Value::Text(value.to_string())];
+    match table.insert(row.clone()) {
+        Ok(_) => Ok(()),
+        Err(MetaError::DuplicateKey { .. }) => {
+            table.update_by_key(&key_v, row)?;
+            Ok(())
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn put_qmeta(store: &mut EventStore, id: u64, q: &QState) -> Result<(), EsError> {
+    put_meta(
+        store,
+        &format!("{QUAR_PREFIX}{id}"),
+        &format!("{}|{}|{}", q.epoch, q.flagged as u8, q.reason),
+    )
+}
+
+fn parse_qmeta(text: &str) -> Option<QState> {
+    let mut parts = text.splitn(3, '|');
+    let epoch = parts.next()?.parse().ok()?;
+    let flagged = parts.next()? == "1";
+    let reason = parts.next().unwrap_or("").to_string();
+    Some(QState { epoch, flagged, reason })
+}
+
+fn parse_version_meta(text: &str) -> Option<(u8, StoreId, VersionVector)> {
+    let mut parts = text.splitn(3, '|');
+    let tier = parts.next()?.parse().ok()?;
+    let origin = parts.next()?.parse().ok()?;
+    let vv = VersionVector::decode_text(parts.next()?)?;
+    Some((tier, origin, vv))
+}
+
+fn to_owned_reason(reason: &str) -> String {
+    // Reasons ride in a '|'-delimited meta row; normalise the delimiter so
+    // the row stays parseable.
+    reason.replace('|', "/")
+}
+
+fn grade_rows_of(store: &EventStore) -> Result<Vec<GradeRow>, EsError> {
+    let table = store.database().table(GRADES)?;
+    Ok(table
+        .scan()
+        .map(|(_, r)| GradeRow {
+            grade: r[1].as_text().expect("grade is text").to_string(),
+            date: r[2].as_date().expect("snapshot_date is a date"),
+            first: r[4].as_int().expect("run_first is int") as u32,
+            last: r[5].as_int().expect("run_last is int") as u32,
+            kind: r[6].as_text().expect("kind is text").to_string(),
+            version: r[7].as_text().expect("version is text").to_string(),
+        })
+        .collect())
+}
+
+/// Canonical content bytes of a *plain* [`EventStore`] (no replication
+/// metadata): sorted file rows, sorted grade rows, sorted quarantine flags,
+/// sealed with a length-and-digest trailer. Two stores are observationally
+/// identical to the non-replicated API iff these bytes match — the equality
+/// the `merge_algebra` property suite checks.
+pub fn canonical_content(store: &EventStore) -> Result<Vec<u8>, EsError> {
+    let mut buf = Vec::new();
+    let mut files = store.files()?;
+    files.sort_by_key(|f| f.id);
+    for f in &files {
+        encode_record(&mut buf, f);
+    }
+    let mut rows = grade_rows_of(store)?;
+    rows.sort();
+    for row in rows {
+        row.encode(&mut buf);
+    }
+    for id in store.quarantined_files() {
+        wire::put_u64(&mut buf, id);
+        wire::put_str(&mut buf, &store.quarantine_reason(id).unwrap_or_default());
+    }
+    let len = buf.len() as u64;
+    let digest = fnv1a(&buf);
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&digest.to_le_bytes());
+    Ok(buf)
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy sessions
+
+/// What one [`sync_once`] session did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// The stores' summaries already matched; nothing was transferred.
+    pub in_sync: bool,
+    /// Digest ranges the responder found differing.
+    pub ranges_differing: usize,
+    /// Units shipped in either direction.
+    pub units_sent: usize,
+    pub units_added: usize,
+    pub units_replaced: usize,
+    pub units_kept: usize,
+    /// Grade rows shipped in either direction.
+    pub grade_rows_sent: usize,
+    /// Frames that arrived with a broken seal and were discarded (their
+    /// ranges retry on the next session).
+    pub corrupt_frames: usize,
+    pub frames_sent: u64,
+    pub bytes_sent: u64,
+}
+
+impl SyncReport {
+    fn tally(&mut self, effect: ApplyEffect) {
+        match effect {
+            ApplyEffect::Added => self.units_added += 1,
+            ApplyEffect::Replaced => self.units_replaced += 1,
+            ApplyEffect::Kept => self.units_kept += 1,
+        }
+    }
+}
+
+fn encode_range_msg(range: usize, units: &[FileUnit]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    wire::put_u16(&mut buf, range as u16);
+    wire::put_u32(&mut buf, units.len() as u32);
+    for u in units {
+        buf.extend_from_slice(&encode_unit(u));
+    }
+    buf
+}
+
+fn decode_range_msg(payload: &[u8]) -> ReplicaResult<(usize, Vec<FileUnit>)> {
+    let mut r = wire::Reader::new(payload);
+    let range = r.u16()? as usize;
+    if range >= NUM_RANGES {
+        return Err(ReplicaError::CorruptMessage {
+            detail: format!("range {range} out of bounds"),
+        });
+    }
+    let n = r.u32()? as usize;
+    let mut units = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        units.push(decode_unit(&mut r)?);
+    }
+    r.done()?;
+    Ok((range, units))
+}
+
+/// Run one anti-entropy session between `initiator` and `responder` over
+/// `link`.
+///
+/// The protocol is digest-first and per-range:
+///
+/// 1. the initiator sends its [`Summary`];
+/// 2. the responder diffs it against its own and answers with one frame per
+///    differing range (its units in that range) plus its grade rows if the
+///    grade digests differ — or a single in-sync frame;
+/// 3. the initiator journals and applies every frame that arrives intact,
+///    then replies with its own units for exactly the ranges it received;
+/// 4. the responder journals and applies the replies.
+///
+/// Lost or corrupted frames shrink the session instead of wedging it: a
+/// dropped summary is [`ReplicaError::SessionDropped`], a dropped or
+/// corrupt range frame leaves that range divergent for the *next* session
+/// (counted in [`SyncReport::corrupt_frames`]), and a partition aborts with
+/// [`ReplicaError::Partitioned`]. Everything already applied stays applied —
+/// re-merging is free by idempotence.
+pub fn sync_once(
+    initiator: &mut Replica,
+    responder: &mut Replica,
+    link: &mut SyncLink,
+) -> ReplicaResult<SyncReport> {
+    let mut report = SyncReport::default();
+    let stats_before = link.stats();
+
+    // 1. Initiator's summary crosses the link.
+    let summary = initiator.summary()?;
+    link.send(wire::seal(wire::MSG_SUMMARY, &summary.encode()))?;
+    let mut received_summary = None;
+    for frame in link.drain() {
+        match wire::open(&frame) {
+            Ok((wire::MSG_SUMMARY, payload)) => {
+                received_summary = Some(Summary::decode(payload)?);
+            }
+            Ok(_) => {}
+            Err(_) => report.corrupt_frames += 1,
+        }
+    }
+    let Some(their_summary) = received_summary else {
+        return Err(ReplicaError::SessionDropped);
+    };
+
+    // 2. Responder diffs and answers.
+    let own_summary = responder.summary()?;
+    let differing: Vec<usize> =
+        (0..NUM_RANGES).filter(|&r| their_summary.ranges[r] != own_summary.ranges[r]).collect();
+    report.ranges_differing = differing.len();
+    let grades_differ = their_summary.grades != own_summary.grades;
+    if differing.is_empty() && !grades_differ {
+        link.send(wire::seal(wire::MSG_IN_SYNC, &[]))?;
+        link.drain();
+        report.in_sync = true;
+        let after = link.stats();
+        report.frames_sent = after.frames_sent - stats_before.frames_sent;
+        report.bytes_sent = after.bytes_sent - stats_before.bytes_sent;
+        return Ok(report);
+    }
+    for &r in &differing {
+        let units = responder.units_in_range(r)?;
+        report.units_sent += units.len();
+        link.send(wire::seal(wire::MSG_RANGE, &encode_range_msg(r, &units)))?;
+    }
+    if grades_differ {
+        let rows = responder.grade_rows()?;
+        report.grade_rows_sent += rows.len();
+        link.send(wire::seal(wire::MSG_GRADES, &wire::encode_grade_rows(&rows)))?;
+    }
+
+    // 3. Initiator applies what arrived and replies range-for-range.
+    let mut got_ranges: Vec<usize> = Vec::new();
+    let mut got_grades = false;
+    for frame in link.drain() {
+        match wire::open(&frame) {
+            Ok((wire::MSG_RANGE, payload)) => {
+                let (range, units) = decode_range_msg(payload)?;
+                for unit in &units {
+                    let effect = initiator.commit_unit(unit)?;
+                    report.tally(effect);
+                }
+                if !got_ranges.contains(&range) {
+                    got_ranges.push(range);
+                }
+            }
+            Ok((wire::MSG_GRADES, payload)) => {
+                let rows = wire::decode_grade_rows(payload)?;
+                initiator.journal_append(wire::AJ_GRADES, &wire::encode_grade_rows(&rows))?;
+                initiator.apply_grade_rows(&rows)?;
+                got_grades = true;
+            }
+            Ok(_) => {}
+            Err(_) => report.corrupt_frames += 1,
+        }
+    }
+    for &r in &got_ranges {
+        let units = initiator.units_in_range(r)?;
+        report.units_sent += units.len();
+        link.send(wire::seal(wire::MSG_RANGE, &encode_range_msg(r, &units)))?;
+    }
+    if got_grades {
+        let rows = initiator.grade_rows()?;
+        report.grade_rows_sent += rows.len();
+        link.send(wire::seal(wire::MSG_GRADES, &wire::encode_grade_rows(&rows)))?;
+    }
+
+    // 4. Responder applies the replies.
+    for frame in link.drain() {
+        match wire::open(&frame) {
+            Ok((wire::MSG_RANGE, payload)) => {
+                let (_, units) = decode_range_msg(payload)?;
+                for unit in &units {
+                    let effect = responder.commit_unit(unit)?;
+                    report.tally(effect);
+                }
+            }
+            Ok((wire::MSG_GRADES, payload)) => {
+                let rows = wire::decode_grade_rows(payload)?;
+                responder.journal_append(wire::AJ_GRADES, &wire::encode_grade_rows(&rows))?;
+                responder.apply_grade_rows(&rows)?;
+            }
+            Ok(_) => {}
+            Err(_) => report.corrupt_frames += 1,
+        }
+    }
+
+    let after = link.stats();
+    report.frames_sent = after.frames_sent - stats_before.frames_sent;
+    report.bytes_sent = after.bytes_sent - stats_before.bytes_sent;
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+
+/// A set of replicas wired pairwise by faulty links, synced in rounds.
+#[derive(Debug, Default)]
+pub struct SyncFabric {
+    links: Vec<(usize, usize, SyncLink)>,
+}
+
+impl SyncFabric {
+    pub fn new() -> Self {
+        SyncFabric::default()
+    }
+
+    /// Wire replicas `a` and `b` (indices into the slice later passed to
+    /// [`SyncFabric::round`]) with `link`.
+    pub fn connect(&mut self, a: usize, b: usize, link: SyncLink) {
+        assert!(a != b, "a replica cannot sync with itself");
+        self.links.push((a, b, link));
+    }
+
+    /// Per-link cumulative delivery stats, in connect order.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        self.links.iter().map(|(_, _, l)| l.stats()).collect()
+    }
+
+    /// Advance every link's clock (consuming fault-timeline events).
+    pub fn advance(&mut self, dt: sciflow_core::units::SimDuration) {
+        for (_, _, link) in &mut self.links {
+            link.advance(dt);
+        }
+    }
+
+    /// Run one session on every link. Partitioned or fully-dropped sessions
+    /// yield `None` for that link (and partitioned links are advanced to
+    /// their heal time so progress is guaranteed); every other error aborts.
+    pub fn round(&mut self, replicas: &mut [Replica]) -> ReplicaResult<Vec<Option<SyncReport>>> {
+        let mut reports = Vec::with_capacity(self.links.len());
+        for (a, b, link) in &mut self.links {
+            let (ra, rb) = pair_mut(replicas, *a, *b);
+            match sync_once(ra, rb, link) {
+                Ok(report) => reports.push(Some(report)),
+                Err(ReplicaError::Partitioned { .. }) | Err(ReplicaError::SessionDropped) => {
+                    link.heal();
+                    reports.push(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Whether every replica's sealed content is byte-identical.
+    pub fn converged(replicas: &[Replica]) -> ReplicaResult<bool> {
+        let Some(first) = replicas.first() else { return Ok(true) };
+        let reference = first.sealed_content()?;
+        for r in &replicas[1..] {
+            if r.sealed_content()? != reference {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Run rounds until convergence, up to `max_rounds`. Returns the number
+    /// of rounds taken; a fabric that fails to quiesce is a typed error —
+    /// never silent divergence.
+    pub fn settle(&mut self, replicas: &mut [Replica], max_rounds: usize) -> ReplicaResult<usize> {
+        for round in 1..=max_rounds {
+            self.round(replicas)?;
+            if Self::converged(replicas)? {
+                return Ok(round);
+            }
+        }
+        Err(ReplicaError::NoQuiescence { rounds: max_rounds })
+    }
+}
+
+fn pair_mut<T>(slice: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert!(a != b && a < slice.len() && b < slice.len());
+    if a < b {
+        let (left, right) = slice.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = slice.split_at_mut(a);
+        (&mut right[0], &mut left[b])
+    }
+}

@@ -1,0 +1,272 @@
+//! Wire and journal encoding for the replication layer.
+//!
+//! Every message and journal entry is a **sealed frame** with the same shape
+//! as the frames in [`sciflow_core::durable`]'s run journal:
+//!
+//! ```text
+//! [kind u8] [len u64 LE] [payload] [FNV-1a(kind..payload) u64 LE]
+//! ```
+//!
+//! A frame whose trailing digest does not cover its bytes is rejected as a
+//! unit — one flipped bit anywhere (fault injection, bit rot, a torn tail)
+//! invalidates the whole frame, never a silently different payload.
+
+use sciflow_core::fnv::{fnv1a, fnv1a_update, FNV_OFFSET};
+
+use super::{QState, ReplicaError, ReplicaResult, NUM_RANGES};
+
+// Anti-entropy message kinds.
+pub(crate) const MSG_SUMMARY: u8 = 0x01;
+pub(crate) const MSG_RANGE: u8 = 0x02;
+pub(crate) const MSG_GRADES: u8 = 0x03;
+pub(crate) const MSG_IN_SYNC: u8 = 0x04;
+
+// Apply-journal entry kinds (disjoint from message kinds on purpose: a
+// journal file fed to the message decoder, or vice versa, fails typed).
+pub(crate) const AJ_UNIT: u8 = 0x11;
+pub(crate) const AJ_QUAR: u8 = 0x12;
+pub(crate) const AJ_GRADES: u8 = 0x13;
+
+/// Seal `payload` into a self-verifying frame.
+pub(crate) fn seal(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(1 + 8 + payload.len() + 8);
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let digest = fnv1a(&frame);
+    frame.extend_from_slice(&digest.to_le_bytes());
+    frame
+}
+
+/// Open a sealed frame, verifying length and digest.
+pub(crate) fn open(frame: &[u8]) -> ReplicaResult<(u8, &[u8])> {
+    if frame.len() < 1 + 8 + 8 {
+        return Err(ReplicaError::CorruptMessage { detail: "frame shorter than header".into() });
+    }
+    let len = u64::from_le_bytes(frame[1..9].try_into().expect("8 bytes")) as usize;
+    if frame.len() != 1 + 8 + len + 8 {
+        return Err(ReplicaError::CorruptMessage {
+            detail: format!("frame length {} does not match header {len}", frame.len()),
+        });
+    }
+    let body = &frame[..1 + 8 + len];
+    let want = u64::from_le_bytes(frame[1 + 8 + len..].try_into().expect("8 bytes"));
+    if fnv1a(body) != want {
+        return Err(ReplicaError::CorruptMessage { detail: "frame digest mismatch".into() });
+    }
+    Ok((frame[0], &frame[1 + 8..1 + 8 + len]))
+}
+
+// --- primitive writers -------------------------------------------------
+
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub(crate) fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+// --- primitive reader --------------------------------------------------
+
+/// A bounds-checked cursor over a payload; every overrun is a typed
+/// [`ReplicaError::CorruptMessage`], never a panic.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> ReplicaResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(ReplicaError::CorruptMessage {
+                detail: format!("payload truncated at byte {}", self.pos),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> ReplicaResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> ReplicaResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    pub(crate) fn u32(&mut self) -> ReplicaResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> ReplicaResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn str(&mut self) -> ReplicaResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ReplicaError::CorruptMessage { detail: "invalid utf-8".into() })
+    }
+
+    pub(crate) fn done(&self) -> ReplicaResult<()> {
+        if self.pos != self.buf.len() {
+            return Err(ReplicaError::CorruptMessage {
+                detail: format!("{} trailing bytes", self.buf.len() - self.pos),
+            });
+        }
+        Ok(())
+    }
+}
+
+// --- quarantine register ------------------------------------------------
+
+pub(crate) fn put_qstate(buf: &mut Vec<u8>, q: &Option<QState>) {
+    match q {
+        None => put_u8(buf, 0),
+        Some(q) => {
+            put_u8(buf, 1);
+            put_u64(buf, q.epoch);
+            put_u8(buf, q.flagged as u8);
+            put_str(buf, &q.reason);
+        }
+    }
+}
+
+pub(crate) fn read_qstate(r: &mut Reader<'_>) -> ReplicaResult<Option<QState>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(QState { epoch: r.u64()?, flagged: r.u8()? != 0, reason: r.str()? })),
+        k => Err(ReplicaError::CorruptMessage { detail: format!("bad qstate tag {k}") }),
+    }
+}
+
+// --- anti-entropy summary ----------------------------------------------
+
+/// The opening message of a session: per-range digests over this replica's
+/// canonical units plus one digest over its grade rows. 64 ranges keep the
+/// summary at a fixed ~0.5 KiB regardless of how many files the store holds,
+/// so the cost of discovering "nothing to do" is O(1) in the file count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    pub store: u16,
+    pub ranges: [u64; NUM_RANGES],
+    pub grades: u64,
+}
+
+impl Summary {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(2 + NUM_RANGES * 8 + 8);
+        put_u16(&mut buf, self.store);
+        for d in &self.ranges {
+            put_u64(&mut buf, *d);
+        }
+        put_u64(&mut buf, self.grades);
+        buf
+    }
+
+    pub(crate) fn decode(payload: &[u8]) -> ReplicaResult<Summary> {
+        let mut r = Reader::new(payload);
+        let store = r.u16()?;
+        let mut ranges = [FNV_OFFSET; NUM_RANGES];
+        for d in ranges.iter_mut() {
+            *d = r.u64()?;
+        }
+        let grades = r.u64()?;
+        r.done()?;
+        Ok(Summary { store, ranges, grades })
+    }
+}
+
+// --- grade rows ---------------------------------------------------------
+
+/// The canonical, replication-visible content of one grade-entry row:
+/// everything except the per-store `rowid` and `seq` columns, which are
+/// local bookkeeping. Ordered derive gives the canonical sort used for
+/// digests, snapshots and union-normalisation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GradeRow {
+    pub grade: String,
+    /// `CalDate::as_key` encoding (yyyymmdd).
+    pub date: u32,
+    pub first: u32,
+    pub last: u32,
+    pub kind: String,
+    pub version: String,
+}
+
+impl GradeRow {
+    pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
+        put_str(buf, &self.grade);
+        put_u32(buf, self.date);
+        put_u32(buf, self.first);
+        put_u32(buf, self.last);
+        put_str(buf, &self.kind);
+        put_str(buf, &self.version);
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> ReplicaResult<GradeRow> {
+        Ok(GradeRow {
+            grade: r.str()?,
+            date: r.u32()?,
+            first: r.u32()?,
+            last: r.u32()?,
+            kind: r.str()?,
+            version: r.str()?,
+        })
+    }
+}
+
+pub(crate) fn encode_grade_rows(rows: &[GradeRow]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, rows.len() as u32);
+    for row in rows {
+        row.encode(&mut buf);
+    }
+    buf
+}
+
+pub(crate) fn decode_grade_rows(payload: &[u8]) -> ReplicaResult<Vec<GradeRow>> {
+    let mut r = Reader::new(payload);
+    let n = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        rows.push(GradeRow::decode(&mut r)?);
+    }
+    r.done()?;
+    Ok(rows)
+}
+
+/// Digest over the canonical sorted grade rows (order-insensitive because
+/// the rows are sorted first).
+pub(crate) fn grade_digest(rows: &[GradeRow]) -> u64 {
+    let mut sorted: Vec<&GradeRow> = rows.iter().collect();
+    sorted.sort();
+    let mut h = FNV_OFFSET;
+    let mut buf = Vec::new();
+    for row in sorted {
+        buf.clear();
+        row.encode(&mut buf);
+        h = fnv1a_update(h, &buf);
+    }
+    h
+}

@@ -515,6 +515,12 @@ impl EventStore {
     }
 }
 
+/// The `es_files` row encoding of a record, shared with the replication
+/// layer's resolved-unit writes.
+pub(crate) fn file_row(f: &FileRecord) -> Vec<Value> {
+    EventStore::file_row(f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

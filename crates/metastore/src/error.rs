@@ -90,7 +90,14 @@ impl fmt::Display for MetaError {
     }
 }
 
-impl std::error::Error for MetaError {}
+impl std::error::Error for MetaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MetaError::TxnAborted { cause } => Some(cause.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for MetaError {
     fn from(e: std::io::Error) -> Self {

@@ -31,19 +31,12 @@ const SEAL_MAGIC: &[u8; 8] = b"SFSEAL1\n";
 /// Trailer layout: seal magic, u64 payload length, u64 FNV-1a checksum.
 const SEAL_LEN: usize = 8 + 8 + 8;
 
-/// 64-bit FNV-1a. Dependency-free and good enough for its one job here:
-/// telling a complete snapshot from a torn or bit-rotted one. Any single
-/// bit flip changes the digest (each step is XOR then multiplication by an
-/// odd prime, which is injective mod 2^64), and a truncated payload fails
-/// the length check before the digest is even consulted.
-fn fnv1a(data: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+// 64-bit FNV-1a, the workspace-wide seal primitive (`sciflow_core::fnv`).
+// Good enough for its one job here: telling a complete snapshot from a
+// torn or bit-rotted one (any single bit flip changes the digest), and a
+// truncated payload fails the length check before the digest is even
+// consulted.
+use sciflow_core::fnv::fnv1a;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());

@@ -19,12 +19,17 @@
 //!   injection: conservation of bytes across retries, monotone simulated
 //!   time, provenance-hash stability across replays;
 //! * [`determinism`] — [`determinism::assert_deterministic`], which replays
-//!   a seeded scenario and requires byte-identical results.
+//!   a seeded scenario and requires byte-identical results;
+//! * [`replicated`] — seeded multi-replica EventStore fleets with generated
+//!   operation histories over faulty links, and
+//!   [`replicated::assert_convergence`], the byte-identical-after-quiescence
+//!   acceptance bar of the replication layer.
 
 pub mod determinism;
 pub mod generated;
 pub mod golden;
 pub mod invariants;
+pub mod replicated;
 pub mod rng;
 pub mod scenarios;
 pub mod sealed;
@@ -39,6 +44,7 @@ pub use invariants::{
     assert_provenance_stability, assert_trace_conservation, assert_transfer_conservation,
     assert_within_pct,
 };
+pub use replicated::{assert_convergence, registered_ids, ReplicatedScenario};
 pub use rng::{derive_seed, matrix_seed, seeded_rng};
 pub use scenarios::{
     CorruptFlowScenario, CrashFlowScenario, LossyFlowScenario, LossyLinkScenario,

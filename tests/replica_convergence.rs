@@ -1,0 +1,243 @@
+//! The replication layer's acceptance bar, in executable form.
+//!
+//! For arbitrary generated operation histories and arbitrary partition/heal
+//! schedules, after quiescence:
+//!
+//! * every replica holds **byte-identical sealed content**;
+//! * quarantine flags propagate (quarantined anywhere ⇒ quarantined
+//!   everywhere, releases win via epoch bump);
+//! * Σ records is conserved — every file id registered at any store is
+//!   present at every store;
+//! * a replica killed at a seed-derived point mid-apply recovers through
+//!   its journal and still converges — a typed error or identical bytes,
+//!   never silent divergence.
+//!
+//! CI sweeps `FAULT_MATRIX_SEED` over these tests; locally they run at the
+//! default seed.
+
+use std::env;
+use std::fs;
+
+use sciflow_core::fault::{FaultPlan, FaultProfile};
+use sciflow_core::md5::md5;
+use sciflow_core::units::SimDuration;
+use sciflow_core::version::CalDate;
+use sciflow_eventstore::replica::{Replica, ReplicaError, SyncFabric, SyncLink};
+use sciflow_eventstore::{sync_once, FileRecord, RunRange, StoreTier};
+use sciflow_testkit::{
+    assert_convergence, derive_seed, matrix_seed, registered_ids, ReplicatedScenario,
+};
+
+fn record(id: u64, run: u32, version: &str) -> FileRecord {
+    FileRecord {
+        id,
+        runs: RunRange::single(run),
+        kind: "recon".into(),
+        version: version.into(),
+        site: "Cornell".into(),
+        registered: CalDate::new(2005, 6, 1).unwrap(),
+        location: format!("/data/{id}"),
+        prov_digest: md5(format!("{id}:{version}").as_bytes()),
+    }
+}
+
+/// Arbitrary histories over the full chaos profile (drops, stalls,
+/// corruption, duplicates, reorders, partitions) converge to byte-identical
+/// stores, conserving every record. Three derived seeds per matrix seed.
+#[test]
+fn arbitrary_histories_converge_under_chaos() {
+    let base = matrix_seed(42);
+    for label in ["chaos-a", "chaos-b", "chaos-c"] {
+        let seed = derive_seed(base, label);
+        let scenario = ReplicatedScenario::new(seed);
+        let (replicas, _) = scenario.build().expect("history generation");
+        let expected = registered_ids(&replicas);
+        let (settled, rounds) = scenario.run().expect("fleet must quiesce");
+        assert!(rounds >= 1, "settle reports the rounds it took");
+        assert_convergence(&settled, &expected);
+    }
+}
+
+/// A larger fleet with a partition-heavy profile: links sever and heal on
+/// the seeded schedule, sessions inside windows fail typed, and the fleet
+/// still converges once the windows pass.
+#[test]
+fn partition_heal_schedules_converge() {
+    let seed = matrix_seed(42);
+    let profile = FaultProfile::replica_chaos().with_partitions(6.0, SimDuration::from_hours(6));
+    let scenario = ReplicatedScenario::new(derive_seed(seed, "partitions"))
+        .with_replicas(5)
+        .with_profile(profile);
+    // The schedule must actually contain partitions for this to test
+    // anything.
+    let plan = scenario.link_plan(0, 1);
+    assert!(
+        plan.count(|k| matches!(k, sciflow_core::fault::FaultKind::Partition { .. })) > 0,
+        "partition profile generated no partitions"
+    );
+    let (replicas, _) = scenario.build().expect("history generation");
+    let expected = registered_ids(&replicas);
+    let (settled, _) = scenario.run().expect("fleet must quiesce after heals");
+    assert_convergence(&settled, &expected);
+}
+
+/// Quarantined anywhere ⇒ quarantined everywhere: a flag raised at a leaf
+/// personal store reaches the collaboration root across two hops of faulty
+/// links, carrying its reason.
+#[test]
+fn quarantine_propagates_fleet_wide() {
+    let seed = matrix_seed(42);
+    let mut replicas = vec![
+        Replica::new(1, StoreTier::Collaboration),
+        Replica::new(2, StoreTier::Group),
+        Replica::new(3, StoreTier::Personal),
+    ];
+    for i in 0..12u64 {
+        replicas[2].register(&record(i, 100 + i as u32, "v1")).unwrap();
+    }
+    replicas[2].quarantine(5, "md5 mismatch on tape 7").unwrap();
+
+    let profile = FaultProfile::replica_chaos();
+    let mut fabric = SyncFabric::new();
+    fabric.connect(
+        0,
+        1,
+        SyncLink::new(FaultPlan::generate(
+            derive_seed(seed, "q-link-01"),
+            SimDuration::from_days(2),
+            &profile,
+        )),
+    );
+    fabric.connect(
+        1,
+        2,
+        SyncLink::new(FaultPlan::generate(
+            derive_seed(seed, "q-link-12"),
+            SimDuration::from_days(2),
+            &profile,
+        )),
+    );
+    fabric.settle(&mut replicas, 300).expect("quiesce");
+
+    for replica in &replicas {
+        assert!(replica.store().is_quarantined(5), "flag must reach every tier");
+        assert_eq!(replica.store().quarantine_reason(5).as_deref(), Some("md5 mismatch on tape 7"));
+    }
+
+    // Release at the root; the release (newer epoch) must win everywhere,
+    // including back at the store that raised the flag.
+    replicas[0].release(5).unwrap();
+    fabric.settle(&mut replicas, 300).expect("quiesce after release");
+    for replica in &replicas {
+        assert!(!replica.store().is_quarantined(5), "release must not resurrect");
+    }
+}
+
+/// The crash clause of the acceptance bar: a durable replica is killed at a
+/// seed-derived point while applying a sync session (the frame is on disk,
+/// the in-memory apply never ran). Recovery replays the journal and a
+/// re-driven sync converges to the same bytes as a never-killed run.
+#[test]
+fn killed_replica_recovers_and_converges() {
+    let seed = matrix_seed(42);
+    let dir = env::temp_dir().join(format!("sciflow-replica-chaos-kill-{seed}"));
+    fs::remove_dir_all(&dir).ok();
+
+    let build_peer = || {
+        let mut peer = Replica::new(2, StoreTier::Personal);
+        for i in 0..40u64 {
+            peer.register(&record(i, 100 + i as u32, "v1")).unwrap();
+        }
+        peer.quarantine(seed % 40, "failed verify before shipping").unwrap();
+        peer
+    };
+
+    // Reference run without the kill.
+    let reference = {
+        let mut root = Replica::new(1, StoreTier::Collaboration);
+        let mut peer = build_peer();
+        let mut link = SyncLink::clean();
+        sync_once(&mut peer, &mut root, &mut link).unwrap();
+        root.sealed_content().unwrap()
+    };
+
+    // Killed run: the kill point is derived from the seed, so the matrix
+    // sweeps different interruption points.
+    let mut root = Replica::durable(1, StoreTier::Collaboration, &dir).unwrap();
+    let mut peer = build_peer();
+    root.kill_after_appends = Some(1 + seed % 17);
+    let mut link = SyncLink::clean();
+    match sync_once(&mut peer, &mut root, &mut link) {
+        Err(ReplicaError::KilledMidApply) => {}
+        other => panic!("kill hook must fire as a typed error, got {other:?}"),
+    }
+    drop(root);
+
+    let root = Replica::recover(&dir).expect("snapshot + journal replay");
+    let mut replicas = vec![root, peer];
+    let mut fabric = SyncFabric::new();
+    fabric.connect(
+        0,
+        1,
+        SyncLink::new(FaultPlan::generate(
+            derive_seed(seed, "kill-resync"),
+            SimDuration::from_days(1),
+            &FaultProfile::replica_chaos(),
+        )),
+    );
+    fabric.settle(&mut replicas, 300).expect("resync after recovery");
+    assert_eq!(
+        replicas[0].sealed_content().unwrap(),
+        reference,
+        "recovered replica must land on the identical bytes"
+    );
+    assert_eq!(
+        replicas[1].sealed_content().unwrap(),
+        reference,
+        "the peer must agree with the recovered replica"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Same seed, same fleet, byte-for-byte: the whole chaos pipeline — history
+/// generation, fault timelines, session scheduling, resolution — is a pure
+/// function of the seed.
+#[test]
+fn convergence_is_deterministic_per_seed() {
+    let seed = derive_seed(matrix_seed(42), "determinism");
+    let run = |s| {
+        let (replicas, rounds) = ReplicatedScenario::new(s).run().unwrap();
+        (replicas[0].sealed_content().unwrap(), rounds)
+    };
+    let (bytes_a, rounds_a) = run(seed);
+    let (bytes_b, rounds_b) = run(seed);
+    assert_eq!(bytes_a, bytes_b);
+    assert_eq!(rounds_a, rounds_b);
+}
+
+/// Tier precedence end to end: when a personal store and the collaboration
+/// store revise the same file concurrently, every replica settles on the
+/// collaboration revision, regardless of sync order.
+#[test]
+fn collaboration_revisions_outrank_personal_ones() {
+    let shared = record(77, 500, "base");
+    let mut root = Replica::new(1, StoreTier::Collaboration);
+    let mut leaf = Replica::new(3, StoreTier::Personal);
+    leaf.register(&shared).unwrap();
+    let mut link = SyncLink::clean();
+    sync_once(&mut leaf, &mut root, &mut link).unwrap();
+
+    // Concurrent revisions on both sides of the link.
+    leaf.revise(&record(77, 500, "personal-fix")).unwrap();
+    root.revise(&record(77, 500, "blessed-recon")).unwrap();
+    sync_once(&mut leaf, &mut root, &mut link).unwrap();
+
+    for replica in [&root, &leaf] {
+        assert_eq!(
+            replica.store().file(77).unwrap().unwrap().version,
+            "blessed-recon",
+            "collaboration tier must win the concurrent revision"
+        );
+    }
+    assert_eq!(root.sealed_content().unwrap(), leaf.sealed_content().unwrap());
+}
