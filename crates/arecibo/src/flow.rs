@@ -11,7 +11,7 @@
 
 use sciflow_core::fault::FaultProfile;
 use sciflow_core::graph::{CheckpointPolicy, FlowGraph, VerifyPolicy};
-use sciflow_core::spec::{FlowSpec, ObserveConfig, ProcessSpec, SourceSpec, TransferSpec};
+use sciflow_core::spec::{FlowSpec, ObserveConfig, ProcessSpec, SloRule, SourceSpec, TransferSpec};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
 /// Paper-scale parameters for the Arecibo flow.
@@ -114,6 +114,18 @@ pub const CTC_POOL: &str = "ctc";
 /// month-long run to a few hundred samples.
 pub fn arecibo_observe_preset() -> ObserveConfig {
     ObserveConfig::every(SimDuration::from_hours(6))
+}
+
+/// SLO preset for the survey flow, sized from the flow's own parameters:
+/// dedispersion falling a month of raw data behind the shipments, or any
+/// corrupt pointing escaping tape verification. Attach with
+/// [`FlowSpec::slo`]; the default graph builders leave rules off so their
+/// committed reports keep their pre-SLO bytes.
+pub fn arecibo_slo_preset(p: &AreciboFlowParams) -> Vec<SloRule> {
+    vec![
+        SloRule::queue_backlog("dedisperse-backlog", "dedisperse", p.weekly_block * 4),
+        SloRule::escaped_taint("tape-escapes", 0),
+    ]
 }
 
 /// Build the Figure-1 flow: acquisition at the telescope, local quality

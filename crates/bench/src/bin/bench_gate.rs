@@ -1,0 +1,50 @@
+//! CI regression gate over committed bench records.
+//!
+//! ```text
+//! bench-gate [OLD.json NEW.json]
+//! ```
+//!
+//! With no arguments, scans the current directory for `BENCH_<n>.json`
+//! files and diffs the newest two by numeric suffix. Exits nonzero when
+//! any flow slowed down beyond the ±5% noise gate
+//! (`sciflow_bench::gate::NOISE_GATE_PCT`).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use sciflow_bench::gate::{newest_two_records, parse_record, render_verdict, BenchRecord};
+
+fn load(path: &PathBuf) -> BenchRecord {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-gate: cannot read {}: {e}", path.display());
+        exit(2);
+    });
+    parse_record(&text).unwrap_or_else(|| {
+        eprintln!("bench-gate: {} is not a bench record", path.display());
+        exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (older, newer) = match args.as_slice() {
+        [] => newest_two_records(&std::env::current_dir().expect("cwd")).unwrap_or_else(|| {
+            eprintln!(
+                "bench-gate: need at least two BENCH_<n>.json files in the current directory"
+            );
+            exit(2);
+        }),
+        [old, new] => (PathBuf::from(old), PathBuf::from(new)),
+        _ => {
+            eprintln!("usage: bench-gate [OLD.json NEW.json]");
+            exit(2);
+        }
+    };
+    match render_verdict(&load(&older), &load(&newer)) {
+        Ok(report) => print!("{report}"),
+        Err(report) => {
+            print!("{report}");
+            exit(1);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! `BENCH_9.json`).
 //!
 //! ```text
-//! flows [--quick] [--iters N] [--out FILE] [--baseline FILE] [--label NAME]
+//! flows [--quick] [--iters N] [--only FLOW] [--out FILE] [--baseline FILE] [--label NAME]
 //! ```
 //!
 //! Runs every suite flow `N` times (default 5; `--quick` forces 1, for CI
@@ -20,12 +20,14 @@ use sciflow_bench::flows::{run_flow, standard_suite, SuiteFlow, BENCH_RECORD};
 struct Measurement {
     name: &'static str,
     best_ms: f64,
-    finished_at_us: u64,
+    /// Simulated finish time; `None` for store rows, which are omitted
+    /// from the JSON instead of stamped with a bogus zero.
+    finished_at_us: Option<u64>,
 }
 
 fn measure(flow: &SuiteFlow, iters: u32) -> Measurement {
     let mut best = f64::INFINITY;
-    let mut finished_at_us = 0;
+    let mut finished_at_us = None;
     for _ in 0..iters {
         let start = Instant::now();
         let outcome = run_flow(flow);
@@ -64,10 +66,10 @@ fn render_json(
 ) -> String {
     let mut flows = Vec::new();
     for m in rows {
-        let mut entry = format!(
-            "    {{\"name\":\"{}\",\"wall_ms\":{:.3},\"finished_at_us\":{}",
-            m.name, m.best_ms, m.finished_at_us
-        );
+        let mut entry = format!("    {{\"name\":\"{}\",\"wall_ms\":{:.3}", m.name, m.best_ms);
+        if let Some(us) = m.finished_at_us {
+            entry.push_str(&format!(",\"finished_at_us\":{us}"));
+        }
         if let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) {
             let pct = (base - m.best_ms) / base * 100.0;
             entry.push_str(&format!(",\"baseline_ms\":{base:.3},\"improvement_pct\":{pct:.1}"));
@@ -89,10 +91,15 @@ fn main() {
     let mut out: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut label = BENCH_RECORD.to_string();
+    let mut only: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => iters = 1,
+            "--only" => {
+                i += 1;
+                only = args.get(i).cloned();
+            }
             "--iters" => {
                 i += 1;
                 iters = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -118,7 +125,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: flows [--quick] [--iters N] [--out FILE] [--baseline FILE] [--label NAME]"
+                    "usage: flows [--quick] [--iters N] [--only FLOW] [--out FILE] [--baseline FILE] [--label NAME]"
                 );
                 std::process::exit(2);
             }
@@ -136,6 +143,9 @@ fn main() {
 
     let mut rows = Vec::new();
     for flow in standard_suite() {
+        if only.as_deref().is_some_and(|o| o != flow.name) {
+            continue;
+        }
         let m = measure(&flow, iters);
         match baseline.iter().find(|(n, _)| *n == m.name) {
             Some((_, base)) => {

@@ -1,0 +1,232 @@
+//! The bench regression gate: diff two committed bench records
+//! (`BENCH_N.json`) flow by flow and fail on any slowdown beyond the noise
+//! allowance. The `bench-gate` binary wraps this for CI; the logic lives
+//! here so it is unit-testable without spawning processes.
+//!
+//! Records are compared on `wall_ms` per flow name. A flow is a
+//! *regression* when its new time exceeds the old by more than
+//! [`NOISE_GATE_PCT`] percent; flows present in only one record are
+//! reported but never fail the gate (suites are allowed to grow).
+
+use std::path::{Path, PathBuf};
+
+/// Slowdown beyond this percentage of the old time fails the gate. ±5%
+/// is the same noise allowance the committed-record test applies to the
+/// stress row.
+pub const NOISE_GATE_PCT: f64 = 5.0;
+
+/// One parsed bench record: its self-declared label and `(flow, wall_ms)`
+/// rows in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    pub label: String,
+    pub rows: Vec<(String, f64)>,
+}
+
+/// Parse a `flows --out` JSON without a JSON dependency: the label from
+/// the `"bench"` field, then `(name, wall_ms)` pairs in order of
+/// appearance. Returns `None` when either is missing.
+pub fn parse_record(text: &str) -> Option<BenchRecord> {
+    let label = text.split("\"bench\": \"").nth(1)?.split('"').next()?.to_string();
+    let mut rows = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("\"name\":\"") {
+        rest = &rest[at + 8..];
+        let name = rest[..rest.find('"')?].to_string();
+        let w = rest.find("\"wall_ms\":")?;
+        rest = &rest[w + 10..];
+        let num: String =
+            rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        rows.push((name, num.parse().ok()?));
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    Some(BenchRecord { label, rows })
+}
+
+/// The gate's verdict on one flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    pub flow: String,
+    /// `None` when the flow exists in only one record.
+    pub old_ms: Option<f64>,
+    pub new_ms: Option<f64>,
+    /// Slowdown in percent of the old time (positive = slower), when both
+    /// sides exist.
+    pub delta_pct: Option<f64>,
+    pub regressed: bool,
+}
+
+/// Diff `new` against `old` flow by flow. Rows follow `new`'s order, then
+/// any flows only `old` knows.
+pub fn compare(old: &BenchRecord, new: &BenchRecord) -> Vec<GateRow> {
+    let mut rows = Vec::new();
+    for (flow, new_ms) in &new.rows {
+        match old.rows.iter().find(|(n, _)| n == flow) {
+            Some((_, old_ms)) => {
+                let delta = (new_ms - old_ms) / old_ms * 100.0;
+                rows.push(GateRow {
+                    flow: flow.clone(),
+                    old_ms: Some(*old_ms),
+                    new_ms: Some(*new_ms),
+                    delta_pct: Some(delta),
+                    regressed: delta > NOISE_GATE_PCT,
+                });
+            }
+            None => rows.push(GateRow {
+                flow: flow.clone(),
+                old_ms: None,
+                new_ms: Some(*new_ms),
+                delta_pct: None,
+                regressed: false,
+            }),
+        }
+    }
+    for (flow, old_ms) in &old.rows {
+        if !new.rows.iter().any(|(n, _)| n == flow) {
+            rows.push(GateRow {
+                flow: flow.clone(),
+                old_ms: Some(*old_ms),
+                new_ms: None,
+                delta_pct: None,
+                regressed: false,
+            });
+        }
+    }
+    rows
+}
+
+/// The numeric suffix of a `BENCH_<n>.json` file name, if it has one.
+fn bench_number(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("BENCH_")?.strip_suffix(".json")?.parse().ok()
+}
+
+/// The two newest `BENCH_<n>.json` records in `dir`, ordered
+/// `(older, newer)` by numeric suffix. `None` unless at least two exist.
+pub fn newest_two_records(dir: &Path) -> Option<(PathBuf, PathBuf)> {
+    let mut records: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .filter_map(|e| {
+            let p = e.path();
+            bench_number(&p).map(|n| (n, p))
+        })
+        .collect();
+    records.sort_by_key(|(n, _)| *n);
+    if records.len() < 2 {
+        return None;
+    }
+    let newer = records.pop()?.1;
+    let older = records.pop()?.1;
+    Some((older, newer))
+}
+
+/// Render the gate's report; `Err` carries the same text when any row
+/// regressed, so callers can pick the exit code off the variant.
+pub fn render_verdict(old: &BenchRecord, new: &BenchRecord) -> Result<String, String> {
+    let rows = compare(old, new);
+    let mut out =
+        format!("bench-gate: {} vs {} (noise gate ±{NOISE_GATE_PCT}%)\n", new.label, old.label);
+    let mut regressions = 0;
+    for r in &rows {
+        let line = match (r.old_ms, r.new_ms, r.delta_pct) {
+            (Some(o), Some(n), Some(d)) => {
+                let verdict = if r.regressed { "REGRESSED" } else { "ok" };
+                format!("{:<16} {o:>10.3} ms -> {n:>10.3} ms  {d:+6.1}%  {verdict}\n", r.flow)
+            }
+            (None, Some(n), _) => {
+                format!("{:<16} {:>10} -> {n:>10.3} ms    new flow\n", r.flow, "-")
+            }
+            (Some(o), None, _) => {
+                format!("{:<16} {o:>10.3} ms -> {:>10}    flow removed\n", r.flow, "-")
+            }
+            _ => unreachable!("every row has at least one side"),
+        };
+        out.push_str(&line);
+        regressions += r.regressed as usize;
+    }
+    if regressions > 0 {
+        out.push_str(&format!("FAIL: {regressions} flow(s) regressed beyond {NOISE_GATE_PCT}%\n"));
+        Err(out)
+    } else {
+        out.push_str("PASS: no flow regressed beyond the noise gate\n");
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: &str, rows: &[(&str, f64)]) -> BenchRecord {
+        BenchRecord {
+            label: label.into(),
+            rows: rows.iter().map(|(n, ms)| (n.to_string(), *ms)).collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_flows_binary_output() {
+        let text = concat!(
+            "{\n  \"bench\": \"BENCH_X\",\n  \"suite\": \"flows\",\n  \"iters\": 2,\n",
+            "  \"flows\": [\n",
+            "    {\"name\":\"arecibo\",\"wall_ms\":1.500,\"finished_at_us\":123},\n",
+            "    {\"name\":\"es-sync\",\"wall_ms\":537.585}\n",
+            "  ]\n}\n"
+        );
+        let rec = parse_record(text).unwrap();
+        assert_eq!(rec.label, "BENCH_X");
+        assert_eq!(rec.rows, vec![("arecibo".into(), 1.5), ("es-sync".into(), 537.585)]);
+        assert!(parse_record("{}").is_none());
+    }
+
+    #[test]
+    fn five_percent_is_noise_and_more_is_a_regression() {
+        let old = record("A", &[("stress", 100.0), ("cleo", 10.0)]);
+        let new = record("B", &[("stress", 105.0), ("cleo", 10.6)]);
+        let rows = compare(&old, &new);
+        assert!(!rows[0].regressed, "exactly +5.0% passes the gate");
+        assert!(rows[1].regressed, "+6% fails it");
+        assert!(render_verdict(&old, &new).is_err());
+
+        let improved = record("C", &[("stress", 90.0), ("cleo", 10.0)]);
+        let verdict = render_verdict(&old, &improved).unwrap();
+        assert!(verdict.contains("PASS"));
+    }
+
+    #[test]
+    fn added_and_removed_flows_never_fail_the_gate() {
+        let old = record("A", &[("stress", 100.0), ("retired", 5.0)]);
+        let new = record("B", &[("stress", 100.0), ("brand-new", 50.0)]);
+        let rows = compare(&old, &new);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| !r.regressed));
+        assert!(render_verdict(&old, &new).is_ok());
+    }
+
+    #[test]
+    fn newest_two_records_orders_numerically_not_lexically() {
+        let dir = std::env::temp_dir().join(format!("sciflow-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [2u64, 9, 10] {
+            std::fs::write(dir.join(format!("BENCH_{n}.json")), "{}").unwrap();
+        }
+        std::fs::write(dir.join("BENCH_bogus.json"), "{}").unwrap();
+        let (older, newer) = newest_two_records(&dir).unwrap();
+        assert!(older.ends_with("BENCH_9.json"), "lexical order would pick BENCH_2: {older:?}");
+        assert!(newer.ends_with("BENCH_10.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The gate must accept the records the repo actually commits.
+    #[test]
+    fn committed_records_pass_the_gate() {
+        let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let (older, newer) = newest_two_records(root).expect("repo commits at least two records");
+        let old = parse_record(&std::fs::read_to_string(older).unwrap()).unwrap();
+        let new = parse_record(&std::fs::read_to_string(newer).unwrap()).unwrap();
+        render_verdict(&old, &new).expect("the committed record must not regress");
+    }
+}

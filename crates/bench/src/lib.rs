@@ -11,6 +11,7 @@ pub mod exp_extensions;
 pub mod exp_summary;
 pub mod exp_weblab;
 pub mod flows;
+pub mod gate;
 pub mod report;
 
 use report::Report;

@@ -12,7 +12,7 @@
 use sciflow_core::fault::FaultProfile;
 use sciflow_core::graph::{CheckpointPolicy, FlowGraph, VerifyPolicy};
 use sciflow_core::spec::{
-    FilterSpec, FlowSpec, ObserveConfig, ProcessSpec, SourceSpec, TransferSpec,
+    FilterSpec, FlowSpec, ObserveConfig, ProcessSpec, SloRule, SourceSpec, TransferSpec,
 };
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
@@ -105,6 +105,18 @@ pub fn cleo_observe_preset() -> ObserveConfig {
     ObserveConfig::every(SimDuration::from_mins(30))
 }
 
+/// SLO preset for the CLEO flow, sized from the flow's own parameters: the
+/// reconstruction farm falling a shift (eight runs) behind acquisition, or
+/// any corrupt run escaping EventStore verification. Attach with
+/// [`FlowSpec::slo`]; the default graph builders leave rules off so their
+/// committed reports keep their pre-SLO bytes.
+pub fn cleo_slo_preset(p: &CleoFlowParams) -> Vec<SloRule> {
+    vec![
+        SloRule::queue_backlog("recon-backlog", "reconstruction", p.run_volume * 8),
+        SloRule::escaped_taint("eventstore-escapes", 0),
+    ]
+}
+
 /// Build the Figure-2 flow: run acquisition → reconstruction →
 /// post-reconstruction → collaboration EventStore; MC produced in parallel
 /// (offsite) and shipped in; analysis reads the store.
@@ -117,6 +129,18 @@ pub fn cleo_flow_graph(p: &CleoFlowParams) -> FlowGraph {
 /// report.
 pub fn cleo_flow_graph_observed(p: &CleoFlowParams) -> FlowGraph {
     cleo_flow_spec(p).observe(cleo_observe_preset()).build().expect("cleo flow spec is valid")
+}
+
+/// [`cleo_flow_graph`] with the [`cleo_slo_preset`] rules attached: same
+/// flow, same replay, plus an `alerts` section in the report. Kept separate
+/// from the default builder so the committed golden reports keep their
+/// pre-SLO bytes.
+pub fn cleo_flow_graph_slo(p: &CleoFlowParams) -> FlowGraph {
+    let mut spec = cleo_flow_spec(p);
+    for rule in cleo_slo_preset(p) {
+        spec = spec.slo(rule);
+    }
+    spec.build().expect("cleo flow spec is valid")
 }
 
 /// The shared [`FlowSpec`] behind both graph builders.

@@ -32,6 +32,7 @@
 use crate::durable::SnapshotPolicy;
 use crate::error::CoreResult;
 use crate::graph::{CheckpointPolicy, FlowGraph, StageId, StageKind, VerifyPolicy};
+use crate::obs::SloRule;
 use crate::trace::ObserveConfig;
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
 
@@ -129,6 +130,8 @@ pub struct CompiledFlow {
     observe: Option<ObserveConfig>,
     /// Snapshot cadence for journaled runs, carried over from the graph.
     snapshot: SnapshotPolicy,
+    /// Declarative SLO rules carried over from the graph.
+    slos: Vec<SloRule>,
 }
 
 /// Lower a flow graph into its executable form. Validates the graph first,
@@ -237,6 +240,7 @@ pub fn compile(graph: &FlowGraph) -> CoreResult<CompiledFlow> {
         pending_emits,
         observe: graph.observe_config(),
         snapshot: graph.snapshot_policy(),
+        slos: graph.slo_rules().to_vec(),
     })
 }
 
@@ -345,6 +349,11 @@ impl CompiledFlow {
     /// The snapshot cadence for journaled runs of this flow.
     pub fn snapshot_policy(&self) -> SnapshotPolicy {
         self.snapshot
+    }
+
+    /// The declarative SLO rules carried from the graph (empty when none).
+    pub fn slo_rules(&self) -> &[SloRule] {
+        &self.slos
     }
 }
 

@@ -325,7 +325,6 @@ pub(crate) struct Recovered {
     /// Why the tail was truncated, when it was. `None` means every byte of
     /// the file was part of a sealed frame. Diagnostic only — resume
     /// proceeds either way — so only the tests read it today.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) truncated: Option<String>,
 }
 

@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 
 use crate::durable::SnapshotPolicy;
 use crate::error::{CoreError, CoreResult};
+use crate::obs::SloRule;
 use crate::trace::ObserveConfig;
 use crate::units::{DataRate, DataVolume, SimDuration, SimTime};
 
@@ -176,6 +177,10 @@ pub struct FlowGraph {
     observe: Option<ObserveConfig>,
     /// When journaled runs commit snapshot frames (default: never).
     snapshot: SnapshotPolicy,
+    /// Declarative SLO rules evaluated during the run (default: none).
+    /// An empty list leaves `SimReport::alerts` as `None`, so rule-free
+    /// flows report exactly as they did before the observability layer.
+    slos: Vec<SloRule>,
 }
 
 impl FlowGraph {
@@ -218,6 +223,18 @@ impl FlowGraph {
     /// The snapshot cadence for journaled runs.
     pub fn snapshot_policy(&self) -> SnapshotPolicy {
         self.snapshot
+    }
+
+    /// Attach declarative SLO rules, evaluated deterministically against
+    /// the run's own state. Rules never perturb the simulation; they only
+    /// add [`crate::obs::Alert`] records to the report.
+    pub fn set_slos(&mut self, rules: Vec<SloRule>) {
+        self.slos = rules;
+    }
+
+    /// The attached SLO rules (empty when none were declared).
+    pub fn slo_rules(&self) -> &[SloRule] {
+        &self.slos
     }
 
     /// Route the output of `from` into `to`.

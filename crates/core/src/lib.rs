@@ -81,6 +81,7 @@ pub mod genflow;
 pub mod graph;
 pub mod md5;
 pub mod metrics;
+pub mod obs;
 pub mod product;
 pub mod provenance;
 pub mod resource;
@@ -103,6 +104,7 @@ pub use fault::{
 pub use genflow::{generate, Archetype, GenFlow};
 pub use graph::{FlowGraph, StageId, StageKind, VerifyPolicy};
 pub use metrics::{EngineStats, PoolMetrics, SimReport, StageMetrics, TimeSeries, TsSample};
+pub use obs::{Alert, MetricsHub, MetricsRegistry, SloKind, SloRule};
 pub use product::{DataProduct, ProductKind};
 pub use provenance::{ProvenanceRecord, ProvenanceStep};
 pub use resource::{ResourceId, ResourceSet, SchedPolicy, StorageLedger};

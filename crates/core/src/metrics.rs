@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::obs::Alert;
 use crate::units::{DataVolume, SimDuration, SimTime};
 
 /// Per-stage counters accumulated during a simulation run.
@@ -142,6 +143,11 @@ pub struct SimReport {
     pub timeseries: Option<TimeSeries>,
     /// Event-loop counters; populated together with `timeseries`.
     pub engine: Option<EngineStats>,
+    /// SLO violation windows; `Some` (possibly empty) only when the flow was
+    /// built with [`crate::spec::FlowSpec::slo`] rules. Flows without rules
+    /// carry `None`, so their reports — and every previously committed
+    /// golden — render byte-identically to the pre-SLO simulator.
+    pub alerts: Option<Vec<Alert>>,
 }
 
 impl SimReport {
@@ -374,14 +380,39 @@ impl SimReport {
                 writeln!(w, "  }},").unwrap();
             }
         }
+        // The `alerts` key is rendered *only* for flows that declared SLO
+        // rules: rule-free reports keep the exact bytes they had before the
+        // observability layer existed, so committed goldens stay pinned.
+        let engine_comma = if self.alerts.is_some() { "," } else { "" };
         match self.engine {
-            None => writeln!(w, "  \"engine\": null").unwrap(),
+            None => writeln!(w, "  \"engine\": null{engine_comma}").unwrap(),
             Some(e) => writeln!(
                 w,
-                "  \"engine\": {{\"events_handled\": {}, \"peak_pending\": {}}}",
+                "  \"engine\": {{\"events_handled\": {}, \"peak_pending\": {}}}{engine_comma}",
                 e.events_handled, e.peak_pending
             )
             .unwrap(),
+        }
+        if let Some(alerts) = &self.alerts {
+            writeln!(w, "  \"alerts\": [").unwrap();
+            for (i, a) in alerts.iter().enumerate() {
+                let comma = if i + 1 < alerts.len() { "," } else { "" };
+                let resolved = match a.resolved_at {
+                    Some(t) => t.as_micros().to_string(),
+                    None => "null".to_string(),
+                };
+                writeln!(
+                    w,
+                    "    {{\"rule\": \"{}\", \"fired_at\": {}, \"resolved_at\": {}, \
+                     \"peak\": {}}}{comma}",
+                    esc(&a.rule),
+                    a.fired_at.as_micros(),
+                    resolved,
+                    a.peak,
+                )
+                .unwrap();
+            }
+            writeln!(w, "  ]").unwrap();
         }
         writeln!(w, "}}").unwrap();
         out
@@ -464,6 +495,14 @@ impl fmt::Display for SimReport {
                 e.events_handled, e.peak_pending
             )?;
         }
+        if let Some(alerts) = &self.alerts {
+            if alerts.is_empty() {
+                writeln!(f, "  slo: all rules held")?;
+            }
+            for a in alerts {
+                writeln!(f, "  slo: {a}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -493,6 +532,7 @@ mod tests {
             ledger_underflows: 0,
             timeseries: None,
             engine: None,
+            alerts: None,
         }
     }
 
@@ -550,5 +590,32 @@ mod tests {
         assert!(json.contains("\"pool_in_use\": [2]"));
         assert!(json.contains("\"events_handled\": 11"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn alerts_render_only_when_rules_were_declared() {
+        let mut report = sample_report();
+        let without = report.to_json();
+        assert!(!without.contains("\"alerts\""), "rule-free reports keep their old bytes");
+        assert!(without.contains("\"engine\": null\n"), "no trailing comma without alerts");
+
+        report.alerts = Some(vec![]);
+        let empty = report.to_json();
+        assert!(empty.contains("\"engine\": null,"), "engine gains a comma before alerts");
+        assert!(empty.contains("\"alerts\": [\n  ]"));
+
+        report.alerts = Some(vec![Alert {
+            rule: "backlog".into(),
+            fired_at: SimTime::from_micros(3),
+            resolved_at: None,
+            peak: 9,
+        }]);
+        let json = report.to_json();
+        assert!(json.contains(
+            "{\"rule\": \"backlog\", \"fired_at\": 3, \"resolved_at\": null, \"peak\": 9}"
+        ));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let text = report.to_string();
+        assert!(text.contains("slo: ALERT backlog"), "{text}");
     }
 }

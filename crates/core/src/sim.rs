@@ -35,6 +35,9 @@ use crate::error::{CoreError, CoreResult};
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::graph::{FlowGraph, StageId, VerifyPolicy};
 use crate::metrics::{EngineStats, SimReport, StageMetrics, TimeSeries, TsSample};
+#[cfg(test)]
+use crate::obs::SloRule;
+use crate::obs::{Alert, MetricsHub, SloKind, SloState};
 use crate::resource::{ResourceDyn, ResourceId, ResourceSet};
 use crate::slab::Slab;
 use crate::trace::{Observer, TraceCtx, TraceEvent, TraceMeta};
@@ -80,6 +83,27 @@ struct TsSampler {
     /// The next tick still to be sampled.
     next: SimTime,
     samples: Vec<TsSample>,
+}
+
+/// What one SLO rule watches, resolved against the compiled flow so the
+/// per-event evaluation path never touches a string.
+enum SloTarget {
+    /// Queued volume (bytes) of the stage at this index.
+    Queue { stage: usize, ceiling: u64 },
+    /// Total corrupt blocks escaped past every verifier.
+    Escapes { ceiling: u64 },
+    /// Simulated time since the last committed snapshot frame. Evaluated
+    /// only while a journal is attached — an unjournaled run has no
+    /// snapshot cadence to stall.
+    SnapGap { max_gap: SimDuration },
+}
+
+/// One attached SLO rule: its name, its resolved target, and the
+/// fire/resolve automaton accumulating the current violation window.
+struct SloMonitor {
+    name: String,
+    target: SloTarget,
+    state: SloState,
 }
 
 /// Discrete-event executor for a compiled flow ([`CompiledFlow`]).
@@ -136,6 +160,18 @@ pub struct FlowSim {
     /// Crash-test hook: abort with [`CoreError::Killed`] once this many
     /// events have been handled ([`FlowSim::with_kill_after`]).
     kill_after: Option<u64>,
+    /// Metrics hub, if one was attached ([`FlowSim::with_metrics`]).
+    /// Recording is strictly write-only from the simulation's point of
+    /// view: nothing in the run loop ever reads a metric back, so the
+    /// disabled path costs one `Option` check and the enabled path cannot
+    /// perturb the run.
+    obs: Option<MetricsHub>,
+    /// SLO rules resolved to id-indexed targets, with their automata.
+    slo_monitors: Vec<SloMonitor>,
+    /// Completed alert windows, in resolution order.
+    alerts: Vec<Alert>,
+    /// When the last snapshot frame was committed (SnapGap anchor).
+    last_snap_at: SimTime,
 }
 
 impl FlowSim {
@@ -254,6 +290,41 @@ impl FlowSim {
             }
             None => (None, Vec::new()),
         };
+        // Resolve SLO rules to id-indexed targets once, so evaluation (which
+        // runs per event when rules are attached) never compares strings.
+        let mut slo_monitors = Vec::with_capacity(flow.slo_rules().len());
+        for rule in flow.slo_rules() {
+            let target = match &rule.kind {
+                SloKind::QueueBacklog { stage, max_volume } => {
+                    let id =
+                        flow.stage_ids().find(|&id| flow.name(id) == stage).ok_or_else(|| {
+                            CoreError::InvalidConfig {
+                                detail: format!(
+                                    "SLO rule `{}` watches unknown stage `{stage}`",
+                                    rule.name
+                                ),
+                            }
+                        })?;
+                    SloTarget::Queue { stage: id.index(), ceiling: max_volume.bytes() }
+                }
+                SloKind::EscapedTaint { max } => SloTarget::Escapes { ceiling: *max },
+                SloKind::SnapshotGap { max_gap } => SloTarget::SnapGap { max_gap: *max_gap },
+                SloKind::ReplicationLag { .. } => {
+                    return Err(CoreError::InvalidConfig {
+                        detail: format!(
+                            "SLO rule `{}`: replication-lag rules attach to a replica \
+                             SyncFabric, not a flow",
+                            rule.name
+                        ),
+                    })
+                }
+            };
+            slo_monitors.push(SloMonitor {
+                name: rule.name.clone(),
+                target,
+                state: SloState::default(),
+            });
+        }
         let pending_emits = flow.pending_emits();
         let snapshot_policy = flow.snapshot_policy();
         Ok(FlowSim {
@@ -280,6 +351,10 @@ impl FlowSim {
             journal: None,
             snap_buf: Vec::new(),
             kill_after: None,
+            obs: None,
+            slo_monitors,
+            alerts: Vec::new(),
+            last_snap_at: SimTime::ZERO,
         })
     }
 
@@ -354,6 +429,19 @@ impl FlowSim {
     /// journal already sealed. The resume-identity tests are built on this.
     pub fn with_kill_after(mut self, events: u64) -> Self {
         self.kill_after = Some(events);
+        self
+    }
+
+    /// Attach a [`MetricsHub`]: the run records event counts, engine
+    /// high-water marks, and snapshot/journal sizes into it, and the caller
+    /// renders the hub after the run. Recording is strictly one-way — the
+    /// same seed and graph produce byte-identical [`SimReport`]s with or
+    /// without a hub attached (pinned by `tests/obs_metrics.rs` against
+    /// every committed golden), and an unattached run pays one `Option`
+    /// check per event. Attach before [`FlowSim::resume_from`] so recovery
+    /// counters land in the hub.
+    pub fn with_metrics(mut self, hub: MetricsHub) -> Self {
+        self.obs = Some(hub);
         self
     }
 
@@ -515,12 +603,23 @@ impl FlowSim {
         if !due {
             return Ok(());
         }
+        // Anchor the gap *before* encoding so the frame itself carries the
+        // post-commit state: a run resumed from this snapshot and the
+        // uninterrupted run agree on when the last snapshot happened.
+        self.last_snap_at = now;
         // The encode buffer swaps out of its field for the borrow's
         // duration and keeps its capacity across frames.
         let mut buf = std::mem::take(&mut self.snap_buf);
         buf.clear();
         self.encode_snapshot(engine, &mut buf);
         let sealed = self.journal.as_mut().expect("journal attached").append_snapshot(&buf);
+        if let Some(h) = &self.obs {
+            h.counter_add("snapshot_frames_total", 1);
+            h.observe("snapshot_bytes", buf.len() as u64);
+            // One journal frame is type byte + u64 length + payload + seal.
+            h.observe("journal_frame_bytes", buf.len() as u64 + 17);
+            h.gauge_set("snapshot_last_at_us", now.as_micros());
+        }
         self.snap_buf = buf;
         sealed?;
         match self.snapshot_policy {
@@ -564,6 +663,11 @@ impl FlowSim {
             });
         }
         let rec = durable::recover(path.as_ref())?;
+        if rec.truncated.is_some() {
+            if let Some(h) = &self.obs {
+                h.counter_add("recovery_truncations_total", 1);
+            }
+        }
         if rec.header.format != durable::SNAPSHOT_FORMAT {
             return Err(CoreError::ResumeMismatch {
                 detail: format!(
@@ -622,6 +726,7 @@ impl FlowSim {
         }
         let _ = write!(s, "emits {};", self.flow.pending_emits());
         let _ = write!(s, "observe {:?};", self.flow.observe_config());
+        let _ = write!(s, "slos {:?};", self.flow.slo_rules());
         let _ = write!(s, "policy {:?};", self.resources.policy());
         for (i, name) in self.resources.names().iter().enumerate() {
             let _ = write!(s, "res {name} {};", self.resources.total(ResourceId(i)));
@@ -786,6 +891,34 @@ impl FlowSim {
             }
             None => wire::put_u8(out, 0),
         }
+        // SLO monitor state: the snapshot anchor, each rule's fire/resolve
+        // automaton, and every completed alert window. Tagged so rule-free
+        // flows pay one byte and keep no further layout.
+        if self.slo_monitors.is_empty() {
+            wire::put_u8(out, 0);
+        } else {
+            wire::put_u8(out, 1);
+            durable::put_time(out, self.last_snap_at);
+            wire::put_u64(out, self.slo_monitors.len() as u64);
+            for mon in &self.slo_monitors {
+                wire::put_u8(out, mon.state.active as u8);
+                durable::put_time(out, mon.state.fired_at);
+                wire::put_u64(out, mon.state.peak);
+            }
+            wire::put_u64(out, self.alerts.len() as u64);
+            for a in &self.alerts {
+                wire::put_bytes(out, a.rule.as_bytes());
+                durable::put_time(out, a.fired_at);
+                match a.resolved_at {
+                    Some(t) => {
+                        wire::put_u8(out, 1);
+                        durable::put_time(out, t);
+                    }
+                    None => wire::put_u8(out, 0),
+                }
+                wire::put_u64(out, a.peak);
+            }
+        }
     }
 
     /// Restore the state written by [`FlowSim::encode_snapshot`] onto this
@@ -913,6 +1046,48 @@ impl FlowSim {
             1 => Some(durable::get_time(&mut r)?),
             other => return Err(corrupt(format!("bad source-end tag {other}"))),
         };
+        match (r.u8()?, self.slo_monitors.is_empty()) {
+            (1, false) => {
+                self.last_snap_at = durable::get_time(&mut r)?;
+                let n = r.len()?;
+                if n != self.slo_monitors.len() {
+                    return Err(corrupt(format!(
+                        "snapshot has {n} SLO rules, simulator has {}",
+                        self.slo_monitors.len()
+                    )));
+                }
+                for mon in &mut self.slo_monitors {
+                    mon.state.active = match r.u8()? {
+                        0 => false,
+                        1 => true,
+                        other => return Err(corrupt(format!("bad SLO active tag {other}"))),
+                    };
+                    mon.state.fired_at = durable::get_time(&mut r)?;
+                    mon.state.peak = r.u64()?;
+                }
+                let n = r.len()?;
+                let mut alerts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let rule = String::from_utf8(r.bytes()?.to_vec())
+                        .map_err(|e| corrupt(format!("bad alert rule name: {e}")))?;
+                    let fired_at = durable::get_time(&mut r)?;
+                    let resolved_at = match r.u8()? {
+                        0 => None,
+                        1 => Some(durable::get_time(&mut r)?),
+                        other => return Err(corrupt(format!("bad alert resolve tag {other}"))),
+                    };
+                    alerts.push(Alert { rule, fired_at, resolved_at, peak: r.u64()? });
+                }
+                self.alerts = alerts;
+            }
+            (0, true) => {}
+            (0 | 1, _) => {
+                return Err(CoreError::ResumeMismatch {
+                    detail: "snapshot and simulator disagree about SLO rules".to_string(),
+                })
+            }
+            (other, _) => return Err(corrupt(format!("bad SLO tag {other}"))),
+        }
         r.done()?;
         self.engine = Some(Engine::from_snapshot(sched, self.max_events, handled, peak_pending));
         // Re-anchor the snapshot cadence at the restored position.
@@ -1134,6 +1309,29 @@ impl FlowSim {
                 self.behaviors[id.index()].as_ref().expect("behavior in place").queued_volume();
             stages.push(m);
         }
+        // End-of-run engine gauges; counters along the way were recorded
+        // per event. Nothing here feeds back into the report.
+        if let Some(h) = &self.obs {
+            h.gauge_set("engine_events_handled", stats.events_handled);
+            h.gauge_set("engine_peak_pending", stats.peak_pending as u64);
+            if let Some(e) = &self.engine {
+                h.gauge_set("engine_slab_high_water", e.sched().slab_high_water() as u64);
+                h.gauge_set("engine_slab_slots", e.sched().slots().slot_count() as u64);
+            }
+        }
+        // Close any still-firing SLO windows as unresolved alerts. Flows
+        // without rules report `None`, keeping their pre-SLO bytes.
+        let alerts = if self.slo_monitors.is_empty() {
+            None
+        } else {
+            let mut alerts = std::mem::take(&mut self.alerts);
+            for mon in &self.slo_monitors {
+                if let Some(a) = mon.state.finish(&mon.name) {
+                    alerts.push(a);
+                }
+            }
+            Some(alerts)
+        };
         let (timeseries, engine) = match self.sampler {
             Some(s) => {
                 // Pool names are resolved only here, at the render edge: the
@@ -1161,6 +1359,38 @@ impl FlowSim {
             ledger_underflows: self.ledger.underflow_events(),
             timeseries,
             engine,
+            alerts,
+        }
+    }
+
+    /// Evaluate every attached SLO rule at `now`. Runs once per event, and
+    /// only when rules are attached; evaluation reads simulation state but
+    /// never writes it, so rules cannot perturb the run they watch.
+    fn eval_slos(&mut self, now: SimTime) {
+        for i in 0..self.slo_monitors.len() {
+            let (value, ceiling) = match self.slo_monitors[i].target {
+                SloTarget::Queue { stage, ceiling } => {
+                    let queued =
+                        self.behaviors[stage].as_ref().expect("behavior in place").queued_volume();
+                    (queued.bytes(), ceiling)
+                }
+                SloTarget::Escapes { ceiling } => {
+                    (self.metrics.iter().map(|m| m.corrupt_escaped).sum(), ceiling)
+                }
+                SloTarget::SnapGap { max_gap } => {
+                    // An unjournaled run commits no snapshot frames; there
+                    // is no write cadence to stall, so the rule is inert.
+                    if self.journal.is_none() {
+                        continue;
+                    }
+                    let gap = now.checked_sub(self.last_snap_at).unwrap_or(SimDuration::ZERO);
+                    (gap.as_micros(), max_gap.as_micros())
+                }
+            };
+            let mon = &mut self.slo_monitors[i];
+            if let Some(alert) = mon.state.observe(&mon.name, now, value, ceiling) {
+                self.alerts.push(alert);
+            }
         }
     }
 }
@@ -1267,6 +1497,16 @@ impl EventHandler for FlowSim {
 
     fn handle(&mut self, ev: FlowEvent, sched: &mut Scheduler<FlowEvent>) {
         self.sample_up_to(sched.now());
+        // Hot-path instrumentation: one `Option` check when no hub is
+        // attached, one counter bump when one is. SLO evaluation sees the
+        // state as of the previous event (nothing fired in between), which
+        // keeps it a pure function of the event sequence.
+        if let Some(h) = &self.obs {
+            h.counter_add("sim_events_total", 1);
+        }
+        if !self.slo_monitors.is_empty() {
+            self.eval_slos(sched.now());
+        }
         let (stage, step) = match ev {
             FlowEvent::Arrive { stage, volume, taint, from, lineage } => {
                 // Arrival bookkeeping is common to every kind: the block now
@@ -2066,5 +2306,189 @@ mod tests {
         std::fs::write(&path, &clean).unwrap();
         durable_sim(&g, &plan).resume_from(&path).unwrap();
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn attaching_a_metrics_hub_never_perturbs_the_report() {
+        let bare = FlowSim::new(simple_graph(1.0, 0.5), vec![CpuPool::new("pool", 1)])
+            .unwrap()
+            .run()
+            .unwrap();
+        let hub = MetricsHub::new();
+        let observed = FlowSim::new(simple_graph(1.0, 0.5), vec![CpuPool::new("pool", 1)])
+            .unwrap()
+            .with_metrics(hub.clone())
+            .run()
+            .unwrap();
+        assert_eq!(observed.to_json(), bare.to_json(), "hub must be invisible to the report");
+        assert_eq!(
+            hub.value("sim_events_total"),
+            hub.value("engine_events_handled"),
+            "per-event counter and end-of-run gauge must agree"
+        );
+        assert!(hub.value("engine_peak_pending").unwrap() > 0);
+        assert!(hub.value("engine_slab_high_water").unwrap() > 0);
+    }
+
+    #[test]
+    fn queue_backlog_slo_fires_peaks_and_resolves() {
+        // At 1 MB/s each 36 GB block takes 10 h while blocks arrive hourly:
+        // the process queue backlogs far past 1 GB, then drains.
+        let mut g = simple_graph(1.0, 0.5);
+        g.set_slos(vec![
+            SloRule::queue_backlog("process-backlog", "process", DataVolume::gb(1)),
+            SloRule::queue_backlog("never-fires", "archive", DataVolume::tb(999)),
+        ]);
+        let report = FlowSim::new(g, vec![CpuPool::new("pool", 1)]).unwrap().run().unwrap();
+        let alerts = report.alerts.as_ref().expect("rules attached => Some");
+        assert_eq!(alerts.len(), 1, "only the backlog rule fires: {alerts:?}");
+        let a = &alerts[0];
+        assert_eq!(a.rule, "process-backlog");
+        assert!(a.peak > 1_000_000_000, "peak {} must exceed the 1 GB ceiling", a.peak);
+        let resolved = a.resolved_at.expect("the queue drains before the run ends");
+        assert!(a.fired_at < resolved);
+        assert!(report.to_json().contains("\"alerts\": ["));
+    }
+
+    #[test]
+    fn escaped_taint_slo_stays_unresolved() {
+        // No verifier anywhere: the injected corruption escapes to the sink
+        // and the escape count never comes back down.
+        let (g, plan) = corrupting_setup(VerifyPolicy::None);
+        let mut g = g;
+        g.set_slos(vec![SloRule::escaped_taint("no-escapes", 0)]);
+        let report = FlowSim::new(g, vec![])
+            .unwrap()
+            .with_faults(plan, RetryPolicy::default())
+            .run()
+            .unwrap();
+        assert!(report.total_corrupt_escaped() > 0, "setup must actually leak taint");
+        let alerts = report.alerts.as_ref().unwrap();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "no-escapes");
+        assert_eq!(alerts[0].resolved_at, None, "escapes cannot un-escape");
+    }
+
+    #[test]
+    fn slo_rules_never_perturb_the_flow_itself() {
+        let plain = FlowSim::new(simple_graph(1.0, 0.5), vec![CpuPool::new("pool", 1)])
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut g = simple_graph(1.0, 0.5);
+        g.set_slos(vec![SloRule::queue_backlog("b", "process", DataVolume::gb(1))]);
+        let mut ruled = FlowSim::new(g, vec![CpuPool::new("pool", 1)]).unwrap().run().unwrap();
+        assert!(ruled.alerts.take().is_some_and(|a| !a.is_empty()));
+        ruled.alerts = None;
+        assert_eq!(ruled.to_json(), plain.to_json(), "rules only add alerts, nothing else");
+    }
+
+    #[test]
+    fn slo_state_survives_snapshot_and_resume() {
+        let (base, plan) = durable_setup();
+        let graph = || {
+            let mut g = base.clone();
+            g.set_slos(vec![
+                SloRule::queue_backlog("link-backlog", "link", DataVolume::mb(500)),
+                SloRule::escaped_taint("esc", 0),
+            ]);
+            g
+        };
+        let sim = |g: FlowGraph| {
+            FlowSim::new(g, vec![]).unwrap().with_faults(plan.clone(), RetryPolicy::default())
+        };
+        let golden = sim(graph()).run().unwrap().to_json();
+        assert!(golden.contains("\"alerts\""));
+        let total = {
+            let mut s = sim(graph());
+            let mut n = 0u64;
+            while s.run_for(1).unwrap() {
+                n += 1;
+            }
+            n
+        };
+        let path = tmp("slo-sweep");
+        for k in (1..total).step_by(3) {
+            let mut paused = sim(graph());
+            paused.run_for(k).unwrap();
+            paused.snapshot_to(&path).unwrap();
+            let resumed = sim(graph()).resume_from(&path).unwrap().run().unwrap().to_json();
+            assert_eq!(resumed, golden, "alert divergence resuming from event {k}/{total}");
+        }
+        // A simulator without the rules refuses the ruled snapshot.
+        let mut paused = sim(graph());
+        paused.run_for(3).unwrap();
+        paused.snapshot_to(&path).unwrap();
+        let err = sim(base.clone()).resume_from(&path).map(|_| ()).unwrap_err();
+        assert!(matches!(err, CoreError::ResumeMismatch { .. }), "got {err:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_gap_slo_watches_journaled_runs_only() {
+        let (base, plan) = durable_setup();
+        let gap_rule = SloRule::snapshot_gap("journal-stall", SimDuration::from_secs(2));
+        let mut g = base.clone();
+        g.set_slos(vec![gap_rule.clone()]);
+        // Unjournaled: no snapshot cadence exists, the rule is inert.
+        let report = FlowSim::new(g.clone(), vec![])
+            .unwrap()
+            .with_faults(plan.clone(), RetryPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(report.alerts.as_deref(), Some(&[][..]));
+        // Journaled with a cadence far slower than the ceiling: it fires.
+        let path = tmp("slo-gap");
+        let report = FlowSim::new(g, vec![])
+            .unwrap()
+            .with_faults(plan.clone(), RetryPolicy::default())
+            .with_snapshot_policy(SnapshotPolicy::EverySimTime(SimDuration::from_secs(3600)))
+            .with_journal(&path)
+            .unwrap()
+            .run()
+            .unwrap();
+        let alerts = report.alerts.as_ref().unwrap();
+        assert!(!alerts.is_empty(), "an hourly cadence stalls a 2 s ceiling");
+        assert!(alerts.iter().all(|a| a.rule == "journal-stall"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journaled_run_records_snapshot_metrics() {
+        let (g, plan) = durable_setup();
+        let hub = MetricsHub::new();
+        let path = tmp("obs-journal");
+        let bare = durable_sim(&g, &plan).run().unwrap().to_json();
+        let journaled = durable_sim(&g, &plan)
+            .with_metrics(hub.clone())
+            .with_snapshot_policy(SnapshotPolicy::EveryEvents(5))
+            .with_journal(&path)
+            .unwrap()
+            .run()
+            .unwrap()
+            .to_json();
+        assert_eq!(journaled, bare);
+        let frames = hub.value("snapshot_frames_total").expect("snapshots committed");
+        assert!(frames > 0);
+        assert_eq!(hub.value("snapshot_bytes"), Some(frames));
+        assert_eq!(
+            hub.histogram_sum("journal_frame_bytes"),
+            hub.histogram_sum("snapshot_bytes").map(|s| s + 17 * frames),
+        );
+        assert!(hub.value("snapshot_last_at_us").unwrap() > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn misdirected_slo_rules_are_rejected() {
+        let mut g = simple_graph(10.0, 0.5);
+        g.set_slos(vec![SloRule::queue_backlog("b", "no-such-stage", DataVolume::gb(1))]);
+        let err = FlowSim::new(g, vec![CpuPool::new("pool", 1)]).map(|_| ()).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }), "got {err:?}");
+
+        let mut g = simple_graph(10.0, 0.5);
+        g.set_slos(vec![SloRule::replication_lag("lag", 4)]);
+        let err = FlowSim::new(g, vec![CpuPool::new("pool", 1)]).map(|_| ()).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }), "got {err:?}");
     }
 }

@@ -41,6 +41,7 @@ use std::collections::HashMap;
 
 pub use crate::durable::SnapshotPolicy;
 pub use crate::graph::{CheckpointPolicy, VerifyPolicy};
+pub use crate::obs::{SloKind, SloRule};
 pub use crate::trace::ObserveConfig;
 
 /// Spec for a [`StageKind::Source`]: emits `blocks` blocks of `block` bytes,
@@ -274,6 +275,7 @@ pub struct FlowSpec {
     verifies: Vec<(String, VerifyPolicy)>,
     observe: Option<ObserveConfig>,
     snapshot: SnapshotPolicy,
+    slos: Vec<SloRule>,
 }
 
 impl FlowSpec {
@@ -364,6 +366,18 @@ impl FlowSpec {
         self
     }
 
+    /// Attach a declarative SLO rule, evaluated deterministically during
+    /// the run. Rules never perturb the simulation; they add typed
+    /// [`crate::obs::Alert`] records to
+    /// [`crate::metrics::SimReport::alerts`]. A [`SloRule::queue_backlog`]
+    /// rule must name a declared stage — [`FlowSpec::build`] rejects
+    /// unknown names. Flows built without rules produce byte-identical
+    /// reports to older builds.
+    pub fn slo(mut self, rule: SloRule) -> Self {
+        self.slos.push(rule);
+        self
+    }
+
     /// Resolve names, wire edges, and validate the resulting graph.
     pub fn build(self) -> CoreResult<FlowGraph> {
         let mut g = FlowGraph::new();
@@ -406,6 +420,19 @@ impl FlowSpec {
             g.set_observe(cfg);
         }
         g.set_snapshot_policy(self.snapshot);
+        for rule in &self.slos {
+            if let SloKind::QueueBacklog { stage, .. } = &rule.kind {
+                if !index.contains_key(stage) {
+                    return Err(CoreError::InvalidTopology {
+                        detail: format!(
+                            "SLO rule `{}` watches undeclared stage `{stage}`",
+                            rule.name
+                        ),
+                    });
+                }
+            }
+        }
+        g.set_slos(self.slos);
         g.validate()?;
         Ok(g)
     }

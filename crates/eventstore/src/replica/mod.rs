@@ -53,7 +53,8 @@ use std::path::{Path, PathBuf};
 
 use sciflow_core::fnv::{fnv1a, fnv1a_update, FNV_OFFSET};
 use sciflow_core::md5::Digest;
-use sciflow_core::units::SimTime;
+use sciflow_core::obs::{Alert, MetricsHub, SloKind, SloRule, SloState};
+use sciflow_core::units::{SimDuration, SimTime};
 use sciflow_core::version::CalDate;
 use sciflow_metastore::prelude::*;
 
@@ -1163,10 +1164,55 @@ pub fn sync_once(
 // ---------------------------------------------------------------------------
 // Fabric
 
+/// Fleet replication lag: the summed version-vector shortfall of every
+/// replica against the componentwise fleet maximum.
+///
+/// Each replica's aggregate vector sums its [`FileUnit`] version vectors
+/// componentwise; the fleet maximum is the componentwise max over those
+/// aggregates; the lag is the total distance still to close. Converged
+/// replicas hold byte-identical content, hence identical aggregates, hence
+/// lag zero — the conservation law `replica-chaos` CI asserts.
+pub fn replication_lag(replicas: &[Replica]) -> ReplicaResult<u64> {
+    let mut aggregates: Vec<BTreeMap<StoreId, u64>> = Vec::with_capacity(replicas.len());
+    for rep in replicas {
+        let mut agg = BTreeMap::new();
+        for unit in rep.units()? {
+            for (store, count) in unit.vv.components() {
+                *agg.entry(store).or_insert(0) += count;
+            }
+        }
+        aggregates.push(agg);
+    }
+    let mut fleet_max: BTreeMap<StoreId, u64> = BTreeMap::new();
+    for agg in &aggregates {
+        for (&store, &count) in agg {
+            let slot = fleet_max.entry(store).or_insert(0);
+            *slot = (*slot).max(count);
+        }
+    }
+    let mut lag = 0u64;
+    for agg in &aggregates {
+        for (&store, &max) in &fleet_max {
+            lag += max - agg.get(&store).copied().unwrap_or(0);
+        }
+    }
+    Ok(lag)
+}
+
 /// A set of replicas wired pairwise by faulty links, synced in rounds.
+///
+/// Attach a [`MetricsHub`] to record per-link wire metrics and fleet
+/// replication lag, and [`SloKind::ReplicationLag`] rules to turn lag
+/// ceilings into typed [`Alert`]s. An unadorned fabric skips all of it —
+/// the instrumented paths are gated on the same `Option`/emptiness checks
+/// the simulator uses, and recording never feeds back into sync decisions.
 #[derive(Debug, Default)]
 pub struct SyncFabric {
     links: Vec<(usize, usize, SyncLink)>,
+    obs: Option<MetricsHub>,
+    slo_rules: Vec<SloRule>,
+    slo_states: Vec<SloState>,
+    alerts: Vec<Alert>,
 }
 
 impl SyncFabric {
@@ -1181,13 +1227,43 @@ impl SyncFabric {
         self.links.push((a, b, link));
     }
 
+    /// Attach a metrics hub; every subsequent round records wire and lag
+    /// metrics into it.
+    pub fn with_metrics(mut self, hub: MetricsHub) -> Self {
+        self.obs = Some(hub);
+        self
+    }
+
+    /// Attach a replication-lag SLO rule, evaluated after every round.
+    /// Other rule kinds watch flow state and are rejected here.
+    pub fn with_slo(mut self, rule: SloRule) -> Self {
+        assert!(
+            matches!(rule.kind, SloKind::ReplicationLag { .. }),
+            "SLO rule `{}` watches flow state; only replication-lag rules attach to a fabric",
+            rule.name
+        );
+        self.slo_rules.push(rule);
+        self.slo_states.push(SloState::default());
+        self
+    }
+
+    /// Completed alert windows so far, plus an unresolved alert for every
+    /// rule still firing.
+    pub fn alerts(&self) -> Vec<Alert> {
+        let mut out = self.alerts.clone();
+        for (rule, state) in self.slo_rules.iter().zip(&self.slo_states) {
+            out.extend(state.finish(&rule.name));
+        }
+        out
+    }
+
     /// Per-link cumulative delivery stats, in connect order.
     pub fn link_stats(&self) -> Vec<LinkStats> {
         self.links.iter().map(|(_, _, l)| l.stats()).collect()
     }
 
     /// Advance every link's clock (consuming fault-timeline events).
-    pub fn advance(&mut self, dt: sciflow_core::units::SimDuration) {
+    pub fn advance(&mut self, dt: SimDuration) {
         for (_, _, link) in &mut self.links {
             link.advance(dt);
         }
@@ -1197,19 +1273,92 @@ impl SyncFabric {
     /// yield `None` for that link (and partitioned links are advanced to
     /// their heal time so progress is guaranteed); every other error aborts.
     pub fn round(&mut self, replicas: &mut [Replica]) -> ReplicaResult<Vec<Option<SyncReport>>> {
+        // Lag is sampled both before and after the sessions, so a fleet
+        // that converges in its first round still records its initial
+        // divergence (mirrors the simulator's evaluate-then-act order).
+        self.observe_lag(replicas)?;
         let mut reports = Vec::with_capacity(self.links.len());
-        for (a, b, link) in &mut self.links {
+        for (i, (a, b, link)) in self.links.iter_mut().enumerate() {
             let (ra, rb) = pair_mut(replicas, *a, *b);
             match sync_once(ra, rb, link) {
-                Ok(report) => reports.push(Some(report)),
-                Err(ReplicaError::Partitioned { .. }) | Err(ReplicaError::SessionDropped) => {
+                Ok(report) => {
+                    if let Some(h) = &self.obs {
+                        h.counter_add(&format!("repl_sessions_total{{link=\"{i}\"}}"), 1);
+                        h.counter_add(
+                            &format!("repl_units_sent{{link=\"{i}\"}}"),
+                            report.units_sent as u64,
+                        );
+                        h.counter_add(
+                            &format!("repl_frames_sent{{link=\"{i}\"}}"),
+                            report.frames_sent,
+                        );
+                        h.counter_add(
+                            &format!("repl_bytes_sent{{link=\"{i}\"}}"),
+                            report.bytes_sent,
+                        );
+                        h.counter_add(
+                            &format!("repl_corrupt_frames_total{{link=\"{i}\"}}"),
+                            report.corrupt_frames as u64,
+                        );
+                        h.observe(
+                            &format!("repl_ranges_differing{{link=\"{i}\"}}"),
+                            report.ranges_differing as u64,
+                        );
+                    }
+                    reports.push(Some(report));
+                }
+                Err(e @ ReplicaError::Partitioned { .. })
+                | Err(e @ ReplicaError::SessionDropped) => {
+                    if let Some(h) = &self.obs {
+                        h.counter_add(&format!("repl_sessions_dropped_total{{link=\"{i}\"}}"), 1);
+                        if let ReplicaError::Partitioned { heals_at } = e {
+                            if let Some(wait) = heals_at.checked_sub(link.now()) {
+                                h.observe(
+                                    &format!("repl_partition_us{{link=\"{i}\"}}"),
+                                    wait.as_micros(),
+                                );
+                            }
+                        }
+                    }
                     link.heal();
                     reports.push(None);
                 }
                 Err(e) => return Err(e),
             }
         }
+        self.observe_lag(replicas)?;
         Ok(reports)
+    }
+
+    /// Post-round lag bookkeeping: the `repl_lag_weight` gauge, per-link
+    /// delivery-fault gauges, and the lag SLO automata. Costs nothing on an
+    /// uninstrumented fabric.
+    fn observe_lag(&mut self, replicas: &[Replica]) -> ReplicaResult<()> {
+        if self.obs.is_none() && self.slo_rules.is_empty() {
+            return Ok(());
+        }
+        let lag = replication_lag(replicas)?;
+        let now = self.links.iter().map(|(_, _, l)| l.now()).max().unwrap_or(SimTime::ZERO);
+        if let Some(h) = &self.obs {
+            h.gauge_set("repl_lag_weight", lag);
+            for (i, (_, _, link)) in self.links.iter().enumerate() {
+                let stats = link.stats();
+                h.gauge_set(&format!("repl_frames_dropped{{link=\"{i}\"}}"), stats.frames_dropped);
+                h.gauge_set(
+                    &format!("repl_frames_corrupted{{link=\"{i}\"}}"),
+                    stats.frames_corrupted,
+                );
+                h.gauge_set(
+                    &format!("repl_frames_duplicated{{link=\"{i}\"}}"),
+                    stats.frames_duplicated,
+                );
+            }
+        }
+        for (rule, state) in self.slo_rules.iter().zip(&mut self.slo_states) {
+            let SloKind::ReplicationLag { max_weight } = rule.kind else { continue };
+            self.alerts.extend(state.observe(&rule.name, now, lag, max_weight));
+        }
+        Ok(())
     }
 
     /// Whether every replica's sealed content is byte-identical.
@@ -1231,6 +1380,9 @@ impl SyncFabric {
         for round in 1..=max_rounds {
             self.round(replicas)?;
             if Self::converged(replicas)? {
+                if let Some(h) = &self.obs {
+                    h.gauge_set("repl_rounds_to_quiescence", round as u64);
+                }
                 return Ok(round);
             }
         }

@@ -473,3 +473,103 @@ fn canonical_content_ignores_rowids_and_declaration_order() {
     y.declare_snapshot("g", d("20050601"), vec![entry(11, 20, "b"), entry(1, 10, "a")]).unwrap();
     assert_eq!(canonical_content(&x).unwrap(), canonical_content(&y).unwrap());
 }
+
+// --- observability -----------------------------------------------------
+
+use sciflow_core::obs::{MetricsHub, SloRule};
+
+fn divergent_pair() -> Vec<Replica> {
+    let mut a = Replica::new(1, StoreTier::Personal);
+    let mut b = Replica::new(2, StoreTier::Collaboration);
+    for i in 0..20 {
+        a.register(&rec(i, 100 + i as u32, "recon", "v1")).unwrap();
+        b.register(&rec(1_000 + i, 500 + i as u32, "mc", "m1")).unwrap();
+    }
+    vec![a, b]
+}
+
+#[test]
+fn replication_lag_is_zero_exactly_at_convergence() {
+    let mut replicas = divergent_pair();
+    assert!(replication_lag(&replicas).unwrap() > 0);
+    let mut fabric = SyncFabric::new();
+    fabric.connect(0, 1, SyncLink::clean());
+    fabric.settle(&mut replicas, 10).unwrap();
+    assert!(SyncFabric::converged(&replicas).unwrap());
+    assert_eq!(replication_lag(&replicas).unwrap(), 0);
+}
+
+#[test]
+fn instrumented_fabric_syncs_identically_and_records_the_wire() {
+    let profile = FaultProfile::replica_chaos();
+
+    let mut plain = divergent_pair();
+    let mut fabric = SyncFabric::new();
+    fabric.connect(
+        0,
+        1,
+        SyncLink::new(FaultPlan::generate(99, SimDuration::from_days(2), &profile)),
+    );
+    let plain_rounds = fabric.settle(&mut plain, 200).unwrap();
+
+    let hub = MetricsHub::new();
+    let mut watched = divergent_pair();
+    let mut fabric = SyncFabric::new()
+        .with_metrics(hub.clone())
+        .with_slo(SloRule::replication_lag("lag-ceiling", 0));
+    fabric.connect(
+        0,
+        1,
+        SyncLink::new(FaultPlan::generate(99, SimDuration::from_days(2), &profile)),
+    );
+    let rounds = fabric.settle(&mut watched, 200).unwrap();
+
+    // Instrumentation must not perturb the sync itself.
+    assert_eq!(rounds, plain_rounds);
+    assert_eq!(watched[0].sealed_content().unwrap(), plain[0].sealed_content().unwrap());
+
+    // Wire metrics agree with the link's own cumulative stats.
+    let stats = fabric.link_stats()[0];
+    assert_eq!(hub.value("repl_bytes_sent{link=\"0\"}"), Some(stats.bytes_sent));
+    assert_eq!(hub.value("repl_frames_dropped{link=\"0\"}"), Some(stats.frames_dropped));
+    assert_eq!(hub.value("repl_rounds_to_quiescence"), Some(rounds as u64));
+    // Lag conservation: converged fleet reads zero.
+    assert_eq!(hub.value("repl_lag_weight"), Some(0));
+
+    // The zero-ceiling lag rule fired while divergent and resolved at
+    // quiescence — one completed window, nothing left open.
+    let alerts = fabric.alerts();
+    assert_eq!(alerts.len(), 1);
+    assert_eq!(alerts[0].rule, "lag-ceiling");
+    assert!(alerts[0].resolved_at.is_some());
+    assert!(alerts[0].peak > 0);
+}
+
+#[test]
+fn partition_windows_are_measured() {
+    let plan = FaultPlan::from_events(
+        7,
+        vec![sciflow_core::fault::FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::Partition { heal: SimDuration::from_hours(2) },
+        }],
+    );
+    let hub = MetricsHub::new();
+    let mut fabric = SyncFabric::new().with_metrics(hub.clone());
+    fabric.connect(0, 1, SyncLink::new(plan));
+    let mut replicas = divergent_pair();
+    let reports = fabric.round(&mut replicas).unwrap();
+    assert!(reports[0].is_none());
+    assert_eq!(hub.value("repl_sessions_dropped_total{link=\"0\"}"), Some(1));
+    assert_eq!(hub.value("repl_partition_us{link=\"0\"}"), Some(1));
+    assert_eq!(
+        hub.histogram_sum("repl_partition_us{link=\"0\"}"),
+        Some(SimDuration::from_hours(2).as_micros())
+    );
+}
+
+#[test]
+#[should_panic(expected = "only replication-lag rules")]
+fn fabric_rejects_flow_rules() {
+    let _ = SyncFabric::new().with_slo(SloRule::escaped_taint("esc", 0));
+}

@@ -9,6 +9,7 @@ use std::fmt::Debug;
 
 use sciflow_core::md5::md5_strings;
 use sciflow_core::metrics::SimReport;
+use sciflow_core::obs::validate_exposition;
 
 /// Run `scenario(seed)` twice and require identical results; returns the
 /// (verified) result for further assertions.
@@ -24,6 +25,16 @@ pub fn assert_deterministic<T: PartialEq + Debug>(seed: u64, scenario: impl Fn(u
         "scenario is not deterministic for seed {seed}: two replays disagree"
     );
     first
+}
+
+/// [`assert_deterministic`] specialized to Prometheus exposition text: the
+/// renders must be byte-identical *and* parse under the exposition-format
+/// grammar ([`sciflow_core::obs::validate_exposition`]). Returns the family
+/// count, which callers typically bound from below.
+pub fn assert_exposition_deterministic(seed: u64, render: impl Fn(u64) -> String) -> usize {
+    let text = assert_deterministic(seed, render);
+    validate_exposition(&text)
+        .unwrap_or_else(|e| panic!("seed {seed}: exposition fails to parse: {e}"))
 }
 
 /// A stable hex fingerprint of a [`SimReport`], for compact cross-run

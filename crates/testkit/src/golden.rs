@@ -167,6 +167,7 @@ mod tests {
             ledger_underflows: 0,
             timeseries: None,
             engine: None,
+            alerts: None,
         }
     }
 

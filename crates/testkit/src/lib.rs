@@ -34,7 +34,7 @@ pub mod rng;
 pub mod scenarios;
 pub mod sealed;
 
-pub use determinism::{assert_deterministic, report_fingerprint};
+pub use determinism::{assert_deterministic, assert_exposition_deterministic, report_fingerprint};
 pub use generated::{check_generated, GeneratedScenario};
 pub use golden::{assert_matches_golden, assert_matches_golden_text, canonical_report};
 pub use invariants::{

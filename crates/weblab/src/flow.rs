@@ -8,7 +8,7 @@
 
 use sciflow_core::fault::FaultProfile;
 use sciflow_core::graph::{CheckpointPolicy, FlowGraph, VerifyPolicy};
-use sciflow_core::spec::{FlowSpec, ObserveConfig, ProcessSpec, SourceSpec, TransferSpec};
+use sciflow_core::spec::{FlowSpec, ObserveConfig, ProcessSpec, SloRule, SourceSpec, TransferSpec};
 use sciflow_core::units::{DataRate, DataVolume, SimDuration};
 
 /// Paper-scale parameters.
@@ -93,6 +93,18 @@ pub fn crawl_corruption_profile(silent_corrupts_per_day: f64) -> FaultProfile {
 /// ~1 TB/day loaders resolve at six-hour samples over the multi-week run.
 pub fn weblab_observe_preset() -> ObserveConfig {
     ObserveConfig::every(SimDuration::from_hours(6))
+}
+
+/// SLO preset for the ingest flow, sized from the flow's own parameters:
+/// preload falling three crawl deliveries behind the Internet2 link, or any
+/// corrupt ARC file escaping preload verification. Attach with
+/// [`FlowSpec::slo`]; the default graph builders leave rules off so their
+/// committed reports keep their pre-SLO bytes.
+pub fn weblab_slo_preset(p: &WeblabFlowParams) -> Vec<SloRule> {
+    vec![
+        SloRule::queue_backlog("preload-backlog", "preload", p.daily_volume * 3),
+        SloRule::escaped_taint("store-escapes", 0),
+    ]
 }
 
 /// [`weblab_flow_graph`] with the [`weblab_observe_preset`] telemetry

@@ -52,14 +52,11 @@ fn main() {
         peak_cpus,
     );
 
-    // Where did the makespan go? Walk the trace's critical chain.
+    // Where did the makespan go? Walk the trace's critical chain. The
+    // report's Display already ranks stages by attributed share.
     let snapshot = trace.snapshot();
     let cp = critical_path(&snapshot, report.finished_at);
     println!("\n{cp}");
-    println!("top bottlenecks:");
-    for b in cp.top_bottlenecks(3) {
-        println!("  {:<24} {:>5.1}% of makespan", b.name, b.share * 100.0);
-    }
 
     // At the survey data rate the serial disk-shipping channel, not the CPU
     // farm, owns the makespan — the paper's "primarily transported ... by

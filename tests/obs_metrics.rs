@@ -1,0 +1,160 @@
+//! Observability is strictly one-way: attaching a [`MetricsHub`] or SLO
+//! rules must never change what the simulator computes.
+//!
+//! Three pins enforce that:
+//!
+//! 1. **Zero perturbation** — the committed goldens under `tests/golden/`
+//!    were captured from *uninstrumented* runs. Re-running the same flows
+//!    with a hub attached must reproduce them byte for byte.
+//! 2. **Exposition determinism** — same seed, same flow → byte-identical
+//!    Prometheus text, across the whole `FAULT_MATRIX_SEED` sweep, and the
+//!    text parses under the exposition-format validator.
+//! 3. **Golden exposition** — the default CLEO flow's metrics render to a
+//!    committed `.prom` snapshot, pinning metric names, label syntax, and
+//!    bucket layout. Regenerate with `UPDATE_GOLDEN=1` only for an
+//!    intentional schema change.
+
+use std::path::PathBuf;
+
+use sciflow_arecibo::flow::{arecibo_flow_graph, AreciboFlowParams, CTC_POOL};
+use sciflow_cleo::flow::{cleo_flow_graph, cleo_flow_graph_slo, CleoFlowParams, WILSON_POOL};
+use sciflow_core::fault::{FaultPlan, FaultProfile, RetryPolicy};
+use sciflow_core::metrics::SimReport;
+use sciflow_core::obs::MetricsHub;
+use sciflow_core::sim::{CpuPool, FlowSim};
+use sciflow_core::units::SimDuration;
+use sciflow_testkit::{
+    assert_deterministic, assert_exposition_deterministic, assert_matches_golden,
+    assert_matches_golden_text, matrix_seed,
+};
+use sciflow_weblab::flow::{weblab_flow_graph, WeblabFlowParams, WEBLAB_POOL};
+
+/// Seed the committed goldens were captured under (`golden_reports.rs`).
+const GOLDEN_SEED: u64 = 42;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden").join(name)
+}
+
+/// The same faulted-WebLab construction as `golden_reports.rs`, with an
+/// optional hub wired in.
+fn weblab_report(seed: u64, hub: Option<MetricsHub>) -> SimReport {
+    let plan = FaultPlan::generate(seed, SimDuration::from_days(30), &FaultProfile::flaky());
+    let graph = weblab_flow_graph(&WeblabFlowParams::default());
+    let mut sim = FlowSim::new(graph, vec![CpuPool::new(WEBLAB_POOL, 16)])
+        .expect("valid flow")
+        .with_faults(plan, RetryPolicy::default());
+    if let Some(h) = hub {
+        sim = sim.with_metrics(h);
+    }
+    sim.run().expect("flow completes")
+}
+
+fn cleo_report(hub: Option<MetricsHub>) -> SimReport {
+    let graph = cleo_flow_graph(&CleoFlowParams::default());
+    let mut sim = FlowSim::new(graph, vec![CpuPool::new(WILSON_POOL, 32)]).expect("valid flow");
+    if let Some(h) = hub {
+        sim = sim.with_metrics(h);
+    }
+    sim.run().expect("flow completes")
+}
+
+fn arecibo_report(hub: Option<MetricsHub>) -> SimReport {
+    let graph = arecibo_flow_graph(&AreciboFlowParams::default());
+    let pools = vec![CpuPool::new("observatory", 8), CpuPool::new(CTC_POOL, 150)];
+    let mut sim = FlowSim::new(graph, pools).expect("valid flow");
+    if let Some(h) = hub {
+        sim = sim.with_metrics(h);
+    }
+    sim.run().expect("flow completes")
+}
+
+// --- 1. zero perturbation against the committed goldens ---
+
+/// The strongest form of the claim: reports produced *with* a hub attached
+/// match the goldens captured *without* one, byte for byte.
+#[test]
+fn instrumented_runs_match_uninstrumented_goldens() {
+    let hub = MetricsHub::new();
+    assert_matches_golden(golden_path("arecibo_clean.txt"), &arecibo_report(Some(hub.clone())));
+    assert_matches_golden(golden_path("cleo_clean.txt"), &cleo_report(Some(hub.clone())));
+    assert_matches_golden(
+        golden_path("weblab_faulted.txt"),
+        &weblab_report(GOLDEN_SEED, Some(hub.clone())),
+    );
+    // The hub really was recording while those reports stayed pinned.
+    assert!(hub.value("sim_events_total").unwrap_or(0) > 0, "hub never saw an event");
+}
+
+/// The JSON export is held to the same standard as the text rendering.
+#[test]
+fn instrumented_cleo_json_matches_golden() {
+    let report = cleo_report(Some(MetricsHub::new()));
+    assert_matches_golden_text(golden_path("cleo_baseline.json"), &report.to_json());
+}
+
+// --- 2. exposition determinism across the seed matrix ---
+
+/// Two identically-seeded runs must render identical Prometheus text, and
+/// that text must survive the exposition-format validator. Runs under the
+/// whole `FAULT_MATRIX_SEED` sweep in CI; locally checks every matrix seed.
+#[test]
+fn prometheus_exposition_is_deterministic_per_seed() {
+    let sweep = [matrix_seed(42), 7, 1234, 9001];
+    for seed in sweep {
+        let families = assert_exposition_deterministic(seed, |s| {
+            let hub = MetricsHub::new();
+            let _ = weblab_report(s, Some(hub.clone()));
+            hub.render_prometheus()
+        });
+        assert!(families > 0, "seed {seed}: empty exposition");
+    }
+}
+
+/// The stable-key JSON rendering is deterministic too — same discipline,
+/// cheaper format.
+#[test]
+fn json_metrics_are_deterministic() {
+    let text = assert_deterministic(GOLDEN_SEED, |seed| {
+        let hub = MetricsHub::new();
+        let _ = weblab_report(seed, Some(hub.clone()));
+        hub.render_json()
+    });
+    assert!(text.contains("\"sim_events_total\""));
+}
+
+// --- 3. committed exposition golden ---
+
+/// Pins the exposition schema itself: metric names, HELP/TYPE lines, label
+/// syntax, and the log-linear bucket layout for the default CLEO flow.
+#[test]
+fn cleo_exposition_matches_golden() {
+    let hub = MetricsHub::new();
+    let _ = cleo_report(Some(hub.clone()));
+    assert_matches_golden_text(golden_path("cleo_metrics.prom"), &hub.render_prometheus());
+}
+
+// --- SLO alerts ---
+
+/// The CLEO preset rules evaluated on a starved Wilson-lab farm: one CPU
+/// reconstructs at ~3.5 h/run against hourly arrivals, so the backlog
+/// breaches the eight-run ceiling, fires, and resolves once acquisition
+/// stops and the farm drains; taint never escapes. Pinned as a golden so
+/// alert timing is part of the committed surface.
+#[test]
+fn cleo_slo_alerts_match_golden() {
+    let graph = cleo_flow_graph_slo(&CleoFlowParams::default());
+    let report = FlowSim::new(graph, vec![CpuPool::new(WILSON_POOL, 1)])
+        .expect("valid flow")
+        .run()
+        .expect("flow completes");
+    let alerts = report.alerts.as_ref().expect("SLO-bearing flow renders alerts");
+    let mut text = String::new();
+    for a in alerts {
+        text.push_str(&format!("{a}\n"));
+    }
+    if text.is_empty() {
+        text.push_str("(no alerts)\n");
+    }
+    assert_matches_golden_text(golden_path("cleo_slo_alerts.txt"), &text);
+}

@@ -241,3 +241,38 @@ fn collaboration_revisions_outrank_personal_ones() {
     }
     assert_eq!(root.sealed_content().unwrap(), leaf.sealed_content().unwrap());
 }
+
+/// The conservation law behind the `repl_lag_weight` gauge: replication lag
+/// (the fleet-wide version-vector shortfall) is positive exactly while the
+/// fleet is diverged and zero exactly at quiescence — for arbitrary
+/// generated histories under full chaos, across the seed sweep.
+#[test]
+fn replication_lag_is_conserved_across_the_sweep() {
+    use sciflow_core::obs::MetricsHub;
+    use sciflow_eventstore::replica::replication_lag;
+
+    let base = matrix_seed(42);
+    for label in ["lag-a", "lag-b", "lag-c"] {
+        let seed = derive_seed(base, label);
+        let scenario = ReplicatedScenario::new(seed);
+        let (mut replicas, fabric) = scenario.build().expect("history generation");
+        let before = replication_lag(&replicas).expect("lag computable");
+        assert!(before > 0, "seed {seed}: generated history left the fleet already in sync");
+
+        let hub = MetricsHub::new();
+        let mut fabric = fabric.with_metrics(hub.clone());
+        fabric.settle(&mut replicas, 300).expect("fleet must quiesce");
+
+        let after = replication_lag(&replicas).expect("lag computable");
+        assert_eq!(after, 0, "seed {seed}: lag must be exactly zero at quiescence");
+        assert_eq!(
+            hub.value("repl_lag_weight"),
+            Some(0),
+            "seed {seed}: the gauge must agree with the direct computation"
+        );
+        assert!(
+            hub.value("repl_rounds_to_quiescence").unwrap_or(0) >= 1,
+            "seed {seed}: quiescence round must be recorded"
+        );
+    }
+}
